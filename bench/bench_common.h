@@ -1,0 +1,93 @@
+// Shared plumbing for the table/figure benchmark harnesses.
+//
+// Environment knobs (all optional):
+//   HMN_BENCH_REPS   repetitions per cell       (default 30, the paper's)
+//   HMN_BENCH_TRIES  retry budget for R/RA/HS   (default 50; the paper uses
+//                    100 000, which only adds time on the structurally
+//                    infeasible instances — see EXPERIMENTS.md)
+//   HMN_BENCH_SEED   master seed                (default 20090922)
+//   HMN_BENCH_OUT    directory for CSV exports  (default "bench_out")
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/composite_mappers.h"
+#include "core/hmn_mapper.h"
+#include "expfw/aggregate.h"
+#include "expfw/report.h"
+#include "expfw/runner.h"
+
+namespace hmn::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+inline std::uint64_t env_seed() {
+  const char* v = std::getenv("HMN_BENCH_SEED");
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : 20090922ULL;
+}
+
+inline std::size_t bench_reps() { return env_size("HMN_BENCH_REPS", 30); }
+inline std::size_t bench_tries() { return env_size("HMN_BENCH_TRIES", 50); }
+
+inline std::filesystem::path out_dir() {
+  const char* v = std::getenv("HMN_BENCH_OUT");
+  std::filesystem::path dir = v != nullptr ? v : "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+inline void write_file(const std::filesystem::path& path,
+                       const std::string& contents) {
+  std::ofstream out(path);
+  out << contents;
+  std::printf("wrote %s\n", path.string().c_str());
+}
+
+/// The paper's four Table 2/3 heuristics, in column order.
+struct PaperMappers {
+  core::HmnMapper hmn;
+  baselines::RandomDfsMapper r;
+  baselines::RandomAStarMapper ra;
+  baselines::HostingSearchMapper hs;
+
+  explicit PaperMappers(std::size_t tries)
+      : r(baselines::BaselineOptions{.max_tries = tries,
+                                     .dfs_max_expansions = 20000}),
+        ra(baselines::BaselineOptions{.max_tries = tries,
+                                      .dfs_max_expansions = 20000}),
+        hs(baselines::BaselineOptions{.max_tries = tries,
+                                      .dfs_max_expansions = 20000}) {}
+
+  [[nodiscard]] std::vector<const core::Mapper*> all() const {
+    return {&hmn, &r, &ra, &hs};
+  }
+  [[nodiscard]] static std::vector<std::string> names() {
+    return {"HMN", "R", "RA", "HS"};
+  }
+};
+
+/// Grid spec for the paper's full Table 2/3 run.
+inline expfw::GridSpec paper_grid(bool simulate_experiment = false) {
+  expfw::GridSpec spec;
+  spec.scenarios = workload::paper_scenarios();
+  spec.clusters = {workload::ClusterKind::kTorus2D,
+                   workload::ClusterKind::kSwitched};
+  spec.repetitions = bench_reps();
+  spec.master_seed = env_seed();
+  spec.simulate_experiment = simulate_experiment;
+  return spec;
+}
+
+}  // namespace hmn::bench

@@ -1,0 +1,240 @@
+// E7 — google-benchmark microbenchmarks for the algorithmic substrate:
+// Dijkstra, the modified A*Prune (with and without dominance pruning),
+// DFS variants, generators, and the three HMN stages in isolation.
+#include <benchmark/benchmark.h>
+
+#include "core/hosting.h"
+#include "core/incremental.h"
+#include "core/repair.h"
+#include "core/hmn_mapper.h"
+#include "core/migration.h"
+#include "core/networking.h"
+#include "graph/astar_prune.h"
+#include "graph/dfs_path.h"
+#include "graph/dijkstra.h"
+#include "sim/experiment.h"
+#include "topology/topologies.h"
+#include "workload/scenario.h"
+#include "workload/venv_generator.h"
+
+namespace {
+
+using namespace hmn;
+
+const model::PhysicalCluster& torus_cluster() {
+  static const auto cluster =
+      workload::make_paper_cluster(workload::ClusterKind::kTorus2D, 1);
+  return cluster;
+}
+
+const model::VirtualEnvironment& scenario_venv(double ratio, double density,
+                                               workload::WorkloadKind kind) {
+  static std::map<std::string, model::VirtualEnvironment> cache;
+  const workload::Scenario sc{ratio, density, kind};
+  auto [it, inserted] = cache.try_emplace(sc.label());
+  if (inserted) {
+    it->second = workload::make_scenario_venv(sc, torus_cluster(), 2);
+  }
+  return it->second;
+}
+
+void BM_Dijkstra_Torus40(benchmark::State& state) {
+  const auto& cluster = torus_cluster();
+  auto lat = [&](EdgeId e) { return cluster.link(e).latency_ms; };
+  for (auto _ : state) {
+    auto sp = graph::dijkstra(cluster.graph(), NodeId{0}, lat);
+    benchmark::DoNotOptimize(sp.dist.data());
+  }
+}
+BENCHMARK(BM_Dijkstra_Torus40);
+
+void BM_AStarPrune_Torus40(benchmark::State& state) {
+  const bool prune = state.range(0) != 0;
+  const auto& cluster = torus_cluster();
+  auto bw = [&](EdgeId e) { return cluster.link(e).bandwidth_mbps; };
+  auto lat = [&](EdgeId e) { return cluster.link(e).latency_ms; };
+  graph::AStarPruneOptions opts;
+  opts.prune_dominated = prune;
+  unsigned dst = 1;
+  for (auto _ : state) {
+    dst = dst % 39 + 1;
+    auto path = graph::astar_prune_bottleneck(
+        cluster.graph(), NodeId{0}, NodeId{dst}, 0.75, 45.0, bw, lat, opts);
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_AStarPrune_Torus40)->Arg(1)->Arg(0)
+    ->ArgName("dominance_pruning");
+
+void BM_DfsPruned_Torus40(benchmark::State& state) {
+  const auto& cluster = torus_cluster();
+  auto bw = [&](EdgeId e) { return cluster.link(e).bandwidth_mbps; };
+  auto lat = [&](EdgeId e) { return cluster.link(e).latency_ms; };
+  unsigned dst = 1;
+  for (auto _ : state) {
+    dst = dst % 39 + 1;
+    auto path = graph::dfs_find_path(cluster.graph(), NodeId{0}, NodeId{dst},
+                                     0.75, 45.0, bw, lat);
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_DfsPruned_Torus40);
+
+void BM_DfsNaive_Torus40(benchmark::State& state) {
+  const auto& cluster = torus_cluster();
+  auto bw = [&](EdgeId e) { return cluster.link(e).bandwidth_mbps; };
+  auto lat = [&](EdgeId e) { return cluster.link(e).latency_ms; };
+  util::Rng rng(4);
+  graph::DfsOptions opts;
+  opts.rng = &rng;
+  unsigned dst = 1;
+  for (auto _ : state) {
+    dst = dst % 39 + 1;
+    auto path = graph::dfs_first_path(cluster.graph(), NodeId{0},
+                                      NodeId{dst}, bw, lat, opts);
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_DfsNaive_Torus40);
+
+void BM_RandomConnectedGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  for (auto _ : state) {
+    auto g = topology::random_connected_graph(n, 0.01, rng);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RandomConnectedGraph)->Arg(100)->Arg(400)->Arg(2000)
+    ->Complexity();
+
+void BM_HostingStage(benchmark::State& state) {
+  const auto ratio = static_cast<double>(state.range(0));
+  const auto& venv = scenario_venv(
+      ratio, ratio > 10 ? 0.01 : 0.02,
+      ratio > 10 ? workload::WorkloadKind::kLowLevel
+                 : workload::WorkloadKind::kHighLevel);
+  for (auto _ : state) {
+    core::ResidualState st(torus_cluster());
+    auto r = core::run_hosting(venv, st);
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+BENCHMARK(BM_HostingStage)->Arg(5)->Arg(20)->Arg(50)->ArgName("ratio");
+
+void BM_MigrationStage(benchmark::State& state) {
+  const auto& venv = scenario_venv(5.0, 0.02,
+                                   workload::WorkloadKind::kHighLevel);
+  // Prepare a fresh hosting per iteration (migration mutates it).
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ResidualState st(torus_cluster());
+    auto hosted = core::run_hosting(venv, st);
+    state.ResumeTiming();
+    auto r = core::run_migration(venv, st, hosted.guest_host);
+    benchmark::DoNotOptimize(r.migrations);
+  }
+}
+BENCHMARK(BM_MigrationStage);
+
+void BM_NetworkingStage(benchmark::State& state) {
+  const auto ratio = static_cast<double>(state.range(0));
+  const auto& venv = scenario_venv(
+      ratio, ratio > 10 ? 0.01 : 0.02,
+      ratio > 10 ? workload::WorkloadKind::kLowLevel
+                 : workload::WorkloadKind::kHighLevel);
+  core::ResidualState base(torus_cluster());
+  auto hosted = core::run_hosting(venv, base);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ResidualState st(torus_cluster());
+    for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+      st.place(venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)}),
+               hosted.guest_host[g]);
+    }
+    state.ResumeTiming();
+    auto r = core::run_networking(venv, st, hosted.guest_host);
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+BENCHMARK(BM_NetworkingStage)->Arg(5)->Arg(20)->Arg(50)->ArgName("ratio");
+
+void BM_HmnEndToEnd(benchmark::State& state) {
+  const auto ratio = static_cast<double>(state.range(0));
+  const auto& venv = scenario_venv(
+      ratio, ratio > 10 ? 0.01 : 0.02,
+      ratio > 10 ? workload::WorkloadKind::kLowLevel
+                 : workload::WorkloadKind::kHighLevel);
+  const core::HmnMapper mapper;
+  for (auto _ : state) {
+    auto out = mapper.map(torus_cluster(), venv, 1);
+    benchmark::DoNotOptimize(out.ok());
+  }
+}
+BENCHMARK(BM_HmnEndToEnd)->Arg(5)->Arg(20)->Arg(50)->ArgName("ratio");
+
+void BM_ExtendMapping(benchmark::State& state) {
+  // Grow a mapped 5:1 instance by 10 guests per iteration (fresh copy each
+  // time so the increment size is constant).
+  const auto& venv = scenario_venv(5.0, 0.02,
+                                   workload::WorkloadKind::kHighLevel);
+  const core::HmnMapper mapper;
+  const auto base = mapper.map(torus_cluster(), venv, 1);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    model::VirtualEnvironment grown;
+    for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+      grown.add_guest(venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)}));
+    }
+    for (std::size_t l = 0; l < venv.link_count(); ++l) {
+      const auto id = VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)};
+      const auto ep = venv.endpoints(id);
+      grown.add_link(ep.src, ep.dst, venv.link(id));
+    }
+    for (int i = 0; i < 10; ++i) {
+      const GuestId g = grown.add_guest({75, 192, 150});
+      const GuestId peer{static_cast<GuestId::underlying_type>(
+          rng.index(venv.guest_count()))};
+      grown.add_link(g, peer, {0.75, 45.0});
+    }
+    state.ResumeTiming();
+    auto out = core::extend_mapping(torus_cluster(), grown, *base.mapping);
+    benchmark::DoNotOptimize(out.ok());
+  }
+}
+BENCHMARK(BM_ExtendMapping);
+
+void BM_RepairMapping(benchmark::State& state) {
+  const auto& venv = scenario_venv(5.0, 0.02,
+                                   workload::WorkloadKind::kHighLevel);
+  const core::HmnMapper mapper;
+  const auto base = mapper.map(torus_cluster(), venv, 1);
+  unsigned host = 0;
+  for (auto _ : state) {
+    host = (host + 1) % 40;
+    auto out = core::repair_mapping(torus_cluster(), venv, *base.mapping,
+                                    NodeId{host});
+    benchmark::DoNotOptimize(out.ok());
+  }
+}
+BENCHMARK(BM_RepairMapping);
+
+void BM_ExperimentSimulation(benchmark::State& state) {
+  const auto& venv = scenario_venv(5.0, 0.02,
+                                   workload::WorkloadKind::kHighLevel);
+  const core::HmnMapper mapper;
+  const auto out = mapper.map(torus_cluster(), venv, 1);
+  sim::ExperimentSpec spec;
+  spec.iterations = 5;
+  for (auto _ : state) {
+    auto r = sim::run_experiment(torus_cluster(), venv, *out.mapping, spec);
+    benchmark::DoNotOptimize(r.makespan_seconds);
+  }
+}
+BENCHMARK(BM_ExperimentSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

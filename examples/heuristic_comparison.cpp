@@ -1,0 +1,86 @@
+// Compare every mapper in the library on one instance — the per-instance
+// view of the paper's Table 2 columns, plus the Section 6 extensions.
+//
+//   $ ./heuristic_comparison [ratio] [density] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "baselines/composite_mappers.h"
+#include "core/hmn_mapper.h"
+#include "core/objective.h"
+#include "core/validator.h"
+#include "extensions/heuristic_pool.h"
+#include "extensions/min_hosts_mapper.h"
+#include "extensions/objectives.h"
+#include "util/table.h"
+#include "workload/scenario.h"
+
+using namespace hmn;
+
+int main(int argc, char** argv) {
+  const double ratio = argc > 1 ? std::atof(argv[1]) : 5.0;
+  const double density = argc > 2 ? std::atof(argv[2]) : 0.02;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
+
+  const workload::Scenario scenario{
+      ratio, density,
+      ratio > 10.0 ? workload::WorkloadKind::kLowLevel
+                   : workload::WorkloadKind::kHighLevel};
+
+  baselines::BaselineOptions bopts;
+  bopts.max_tries = 100;
+  std::vector<core::MapperPtr> mappers;
+  mappers.push_back(std::make_unique<core::HmnMapper>());
+  mappers.push_back(std::make_unique<baselines::RandomDfsMapper>(bopts));
+  mappers.push_back(std::make_unique<baselines::RandomAStarMapper>(bopts));
+  mappers.push_back(std::make_unique<baselines::HostingSearchMapper>(bopts));
+  mappers.push_back(std::make_unique<extensions::MinHostsMapper>());
+
+  const extensions::MinHostsObjective hosts_used;
+
+  for (const auto kind : {workload::ClusterKind::kTorus2D,
+                          workload::ClusterKind::kSwitched}) {
+    const auto cluster = workload::make_paper_cluster(kind, seed);
+    const auto venv =
+        workload::make_scenario_venv(scenario, cluster, seed + 1);
+    std::printf("\n=== %s cluster, scenario %s (%zu guests, %zu links)\n",
+                to_string(kind), scenario.label().c_str(), venv.guest_count(),
+                venv.link_count());
+
+    util::Table table({"mapper", "outcome", "lbf (Eq.10)", "hosts used",
+                       "map time (s)", "tries", "valid"});
+    for (const auto& mapper : mappers) {
+      const auto out = mapper->map(cluster, venv, seed);
+      if (out.ok()) {
+        const bool valid =
+            core::validate_mapping(cluster, venv, *out.mapping).ok();
+        table.add_row(
+            {mapper->name(), "ok",
+             util::Table::fmt(
+                 core::load_balance_factor(cluster, venv, *out.mapping), 1),
+             util::Table::fmt(hosts_used.evaluate(cluster, venv, *out.mapping),
+                              0),
+             util::Table::fmt(out.stats.total_seconds, 4),
+             std::to_string(out.stats.tries), valid ? "yes" : "NO"});
+      } else {
+        table.add_row({mapper->name(), core::to_string(out.error), "-", "-",
+                       util::Table::fmt(out.stats.total_seconds, 4),
+                       std::to_string(out.stats.tries), "-"});
+      }
+    }
+    std::printf("%s", table.to_string().c_str());
+  }
+
+  // The Section 6 heuristic pool: HMN with an RA fallback.
+  const auto pool = extensions::default_pool();
+  const auto cluster =
+      workload::make_paper_cluster(workload::ClusterKind::kTorus2D, seed);
+  const auto venv = workload::make_scenario_venv(scenario, cluster, seed + 1);
+  const auto pooled = pool.first_success(cluster, venv, seed);
+  std::printf("\nheuristic pool (HMN -> RA fallback): %s\n",
+              pooled.ok() ? "mapped" : pooled.detail.c_str());
+  return 0;
+}

@@ -1,0 +1,179 @@
+// mapping_tool — map a JSON-described virtual environment onto a
+// JSON-described cluster from the command line; the standalone-tool face
+// of the library (an emulation frontend can shell out to it).
+//
+//   $ ./mapping_tool cluster.json venv.json [--mapper=...] [--seed=N]
+//         [--out=mapping.json] [--dot=mapping.dot] [--quiet]
+//     with --mapper one of: hmn, hn, r, ra, hs, minhosts, greedyrank, pool
+//   $ ./mapping_tool cluster.json venv.json --check=mapping.json
+//
+// Prints a human summary to stdout (unless --quiet) and exits 0 on a valid
+// mapping, 1 on failure, 2 on usage/spec errors.  With --out/--dot the
+// mapping is written as JSON / Graphviz.  --check validates an existing
+// mapping file against the paper's constraints instead of computing one.
+//
+// Generate example inputs with --emit-sample, which writes
+// sample_cluster.json and sample_venv.json to the working directory.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "baselines/composite_mappers.h"
+#include "core/hmn_mapper.h"
+#include "core/objective.h"
+#include "core/validator.h"
+#include "extensions/heuristic_pool.h"
+#include "extensions/mapper_registry.h"
+#include "extensions/min_hosts_mapper.h"
+#include "io/dot.h"
+#include "io/json.h"
+#include "io/spec.h"
+#include "workload/scenario.h"
+
+using namespace hmn;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mapping_tool <cluster.json> <venv.json>\n"
+               "                    [--mapper=hmn|hn|r|ra|hs|minhosts|pool]\n"
+               "                    [--seed=N] [--out=FILE] [--dot=FILE] "
+               "[--quiet]\n"
+               "       mapping_tool --emit-sample\n");
+  return 2;
+}
+
+int emit_sample() {
+  const auto cluster =
+      workload::make_paper_cluster(workload::ClusterKind::kTorus2D, 1);
+  const workload::Scenario sc{2.5, 0.02, workload::WorkloadKind::kHighLevel};
+  const auto venv = workload::make_scenario_venv(sc, cluster, 2);
+  std::ofstream("sample_cluster.json") << io::to_json(cluster);
+  std::ofstream("sample_venv.json") << io::to_json(venv);
+  std::printf("wrote sample_cluster.json (paper torus, 40 hosts) and "
+              "sample_venv.json (100 guests)\n");
+  return 0;
+}
+
+core::MapperPtr make_mapper(const std::string& name) {
+  extensions::RegistryOptions opts;
+  opts.max_tries = 1000;
+  return extensions::make_named_mapper(name, opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string cluster_path, venv_path, mapper_name = "hmn";
+  std::string out_path, dot_path, check_path;
+  std::uint64_t seed = 42;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--emit-sample") return emit_sample();
+    if (arg.rfind("--mapper=", 0) == 0) {
+      mapper_name = arg.substr(9);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      dot_path = arg.substr(6);
+    } else if (arg.rfind("--check=", 0) == 0) {
+      check_path = arg.substr(8);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage();
+    } else if (cluster_path.empty()) {
+      cluster_path = arg;
+    } else if (venv_path.empty()) {
+      venv_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (cluster_path.empty() || venv_path.empty()) return usage();
+
+  auto cluster_or = io::load_cluster_file(cluster_path);
+  if (auto* err = std::get_if<io::SpecError>(&cluster_or)) {
+    std::fprintf(stderr, "error: %s\n", err->message.c_str());
+    return 2;
+  }
+  auto venv_or = io::load_venv_file(venv_path);
+  if (auto* err = std::get_if<io::SpecError>(&venv_or)) {
+    std::fprintf(stderr, "error: %s\n", err->message.c_str());
+    return 2;
+  }
+  const auto& cluster = std::get<model::PhysicalCluster>(cluster_or);
+  const auto& venv = std::get<model::VirtualEnvironment>(venv_or);
+
+  if (!check_path.empty()) {
+    // Validation mode: check an existing mapping against Eqs. 1-9.
+    auto mapping_or = io::load_mapping_file(check_path);
+    if (auto* err = std::get_if<io::SpecError>(&mapping_or)) {
+      std::fprintf(stderr, "error: %s\n", err->message.c_str());
+      return 2;
+    }
+    const auto& mapping = std::get<core::Mapping>(mapping_or);
+    const auto report = core::validate_mapping(cluster, venv, mapping);
+    if (!report.ok()) {
+      std::printf("INVALID mapping:\n%s\n", report.summary().c_str());
+      return 1;
+    }
+    std::printf("valid mapping; load-balance factor %.2f MIPS\n",
+                core::load_balance_factor(cluster, venv, mapping));
+    return 0;
+  }
+
+  core::MapOutcome outcome;
+  if (mapper_name == "pool") {
+    outcome = extensions::default_pool().first_success(cluster, venv, seed);
+  } else {
+    const auto mapper = make_mapper(mapper_name);
+    if (mapper == nullptr) {
+      std::fprintf(stderr, "unknown mapper: %s\n", mapper_name.c_str());
+      return usage();
+    }
+    outcome = mapper->map(cluster, venv, seed);
+  }
+
+  if (!outcome.ok()) {
+    if (!quiet) {
+      std::printf("mapping failed: %s (%s)\n", core::to_string(outcome.error),
+                  outcome.detail.c_str());
+    }
+    return 1;
+  }
+  const auto report = core::validate_mapping(cluster, venv, *outcome.mapping);
+  if (!report.ok()) {
+    std::fprintf(stderr, "internal error — mapper produced invalid "
+                         "mapping:\n%s\n", report.summary().c_str());
+    return 1;
+  }
+
+  if (!quiet) {
+    std::printf("mapped %zu guests and %zu virtual links onto %zu hosts in "
+                "%.4f s\n",
+                venv.guest_count(), venv.link_count(), cluster.host_count(),
+                outcome.stats.total_seconds);
+    std::printf("load-balance factor (Eq. 10): %.2f MIPS; inter-host links "
+                "routed: %zu\n",
+                core::load_balance_factor(cluster, venv, *outcome.mapping),
+                outcome.stats.links_routed);
+  }
+  if (!out_path.empty()) {
+    std::ofstream(out_path) << io::to_json(outcome);
+    if (!quiet) std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (!dot_path.empty()) {
+    std::ofstream(dot_path) << io::to_dot(cluster, venv, *outcome.mapping);
+    if (!quiet) std::printf("wrote %s\n", dot_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Quickstart: build a small cluster and virtual environment by hand, run
+// the HMN heuristic, validate the result, and inspect the mapping.
+//
+//   $ ./quickstart
+//
+// This is the 60-second tour of the public API:
+//   topology::* -> model::PhysicalCluster -> model::VirtualEnvironment
+//   -> core::HmnMapper::map -> core::validate_mapping
+//   -> core::load_balance_factor.
+#include <cstdio>
+
+#include "core/hmn_mapper.h"
+#include "core/objective.h"
+#include "core/validator.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+#include "topology/topologies.h"
+
+using namespace hmn;
+
+int main() {
+  // --- Physical side: a 3x3 torus of heterogeneous hosts, 1 Gbps / 5 ms
+  // links (the paper's link parameters).
+  std::vector<model::HostCapacity> hosts;
+  for (int i = 0; i < 9; ++i) {
+    hosts.push_back({
+        .proc_mips = 1000.0 + 250.0 * i,  // heterogeneous CPUs
+        .mem_mb = 2048.0,
+        .stor_gb = 1024.0,
+    });
+  }
+  const auto cluster = model::PhysicalCluster::build(
+      topology::torus_2d(3, 3), std::move(hosts),
+      model::LinkProps{.bandwidth_mbps = 1000.0, .latency_ms = 5.0});
+
+  // --- Virtual side: a 12-guest ring of VMs, as a tester would describe an
+  // emulated distributed system.
+  model::VirtualEnvironment venv;
+  std::vector<GuestId> guests;
+  for (int i = 0; i < 12; ++i) {
+    guests.push_back(venv.add_guest({
+        .proc_mips = 75.0,
+        .mem_mb = 192.0,
+        .stor_gb = 150.0,
+    }));
+  }
+  for (std::size_t i = 0; i < guests.size(); ++i) {
+    venv.add_link(guests[i], guests[(i + 1) % guests.size()],
+                  {.bandwidth_mbps = 0.75, .max_latency_ms = 45.0});
+  }
+
+  // --- Map it.
+  const core::HmnMapper mapper;
+  const core::MapOutcome outcome = mapper.map(cluster, venv, /*seed=*/42);
+  if (!outcome.ok()) {
+    std::printf("mapping failed: %s (%s)\n", core::to_string(outcome.error),
+                outcome.detail.c_str());
+    return 1;
+  }
+
+  // --- Verify against the paper's formal constraints (Eqs. 1-9).
+  const auto report = core::validate_mapping(cluster, venv, *outcome.mapping);
+  std::printf("mapping valid: %s\n", report.ok() ? "yes" : "NO");
+
+  // --- Inspect.
+  std::printf("load-balance factor (Eq. 10): %.2f MIPS\n",
+              core::load_balance_factor(cluster, venv, *outcome.mapping));
+  std::printf("migrations performed: %zu\n", outcome.stats.migrations);
+  std::printf("inter-host links routed: %zu of %zu\n",
+              outcome.stats.links_routed, venv.link_count());
+  for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+    std::printf("  guest %zu -> host %u\n", g,
+                outcome.mapping->guest_host[g].value());
+  }
+  for (std::size_t l = 0; l < venv.link_count(); ++l) {
+    const auto& path = outcome.mapping->link_paths[l];
+    if (path.empty()) {
+      std::printf("  vlink %zu: intra-host\n", l);
+    } else {
+      std::printf("  vlink %zu: %zu physical hop(s)\n", l, path.size());
+    }
+  }
+  return report.ok() ? 0 : 1;
+}

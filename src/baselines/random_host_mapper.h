@@ -1,0 +1,28 @@
+// Random guest placement — the host-mapping half of the paper's Random (R)
+// and Random-with-A*Prune (RA) baselines (Section 5).
+//
+// One placement attempt assigns guests (in shuffled order) to a uniformly
+// random host among those whose residual memory and storage fit the guest.
+// An attempt fails when some guest fits nowhere.  Pure uniform choice over
+// *all* hosts would almost never produce a feasible packing at the paper's
+// utilization levels; choosing uniformly among fitting hosts keeps the
+// placement "random" in the sense the baseline needs (no affinity, no load
+// balancing) while remaining comparable.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/residual.h"
+#include "model/virtual_environment.h"
+#include "util/rng.h"
+
+namespace hmn::baselines {
+
+/// Attempts one random placement, mutating `state`.  Returns the placement
+/// or nullopt (state then holds partial placements; callers discard it).
+[[nodiscard]] std::optional<std::vector<NodeId>> random_placement(
+    const model::VirtualEnvironment& venv, core::ResidualState& state,
+    util::Rng& rng);
+
+}  // namespace hmn::baselines

@@ -1,0 +1,72 @@
+#include "core/hmn_mapper.h"
+
+#include "util/timer.h"
+
+namespace hmn::core {
+
+HmnMapper::HmnMapper(HmnOptions opts) : opts_(std::move(opts)) {}
+
+std::string HmnMapper::name() const {
+  if (!opts_.display_name.empty()) return opts_.display_name;
+  return opts_.enable_migration ? "HMN" : "HN";
+}
+
+MapOutcome HmnMapper::map(const model::PhysicalCluster& cluster,
+                          const model::VirtualEnvironment& venv,
+                          std::uint64_t seed) const {
+  MapOutcome outcome;
+  if (cluster.host_count() == 0) {
+    return MapOutcome::failure(MapErrorCode::kInvalidInput,
+                               "cluster has no hosts");
+  }
+  const util::Timer total;
+  ResidualState state(cluster);
+
+  // Stage 1 — Hosting.
+  util::Timer stage;
+  HostingOptions hosting = opts_.hosting;
+  if (hosting.order == LinkOrder::kRandom) hosting.shuffle_seed = seed;
+  HostingResult hosted = run_hosting(venv, state, hosting);
+  outcome.stats.hosting_seconds = stage.elapsed_seconds();
+  if (!hosted.ok) {
+    outcome = MapOutcome::failure(MapErrorCode::kHostingFailed, hosted.detail);
+    outcome.stats.hosting_seconds = stage.elapsed_seconds();
+    outcome.stats.total_seconds = total.elapsed_seconds();
+    return outcome;
+  }
+
+  // Stage 2 — Migration.
+  if (opts_.enable_migration) {
+    stage.restart();
+    const MigrationResult migrated =
+        run_migration(venv, state, hosted.guest_host, opts_.migration);
+    outcome.stats.migration_seconds = stage.elapsed_seconds();
+    outcome.stats.migrations = migrated.migrations;
+  }
+
+  // Stage 3 — Networking.
+  stage.restart();
+  NetworkingOptions networking = opts_.networking;
+  if (networking.order == LinkOrder::kRandom) networking.shuffle_seed = seed;
+  NetworkingResult routed = run_networking(venv, state, hosted.guest_host,
+                                           networking);
+  outcome.stats.networking_seconds = stage.elapsed_seconds();
+  if (!routed.ok) {
+    const MapStats stats = outcome.stats;
+    outcome =
+        MapOutcome::failure(MapErrorCode::kNetworkingFailed, routed.detail);
+    outcome.stats = stats;
+    outcome.stats.total_seconds = total.elapsed_seconds();
+    return outcome;
+  }
+  outcome.stats.links_routed = routed.links_routed;
+
+  Mapping mapping;
+  mapping.guest_host = std::move(hosted.guest_host);
+  mapping.link_paths = std::move(routed.link_paths);
+  outcome.mapping = std::move(mapping);
+  outcome.stats.total_seconds = total.elapsed_seconds();
+  return outcome;
+}
+
+}  // namespace hmn::core

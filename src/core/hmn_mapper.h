@@ -1,0 +1,39 @@
+// The HMN (Hosting-Migration-Networking) heuristic — the paper's
+// contribution (Section 4) — as a Mapper.
+#pragma once
+
+#include "core/hosting.h"
+#include "core/mapper.h"
+#include "core/migration.h"
+#include "core/networking.h"
+
+namespace hmn::core {
+
+struct HmnOptions {
+  /// Disable to get the Hosting+Networking-only variant (migration
+  /// ablation, bench E5).
+  bool enable_migration = true;
+  HostingOptions hosting;
+  MigrationOptions migration;
+  NetworkingOptions networking;
+  /// Override the table name (defaults to "HMN", or "HN" when migration is
+  /// disabled).
+  std::string display_name;
+};
+
+class HmnMapper final : public Mapper {
+ public:
+  explicit HmnMapper(HmnOptions opts = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] MapOutcome map(const model::PhysicalCluster& cluster,
+                               const model::VirtualEnvironment& venv,
+                               std::uint64_t seed) const override;
+
+  [[nodiscard]] const HmnOptions& options() const { return opts_; }
+
+ private:
+  HmnOptions opts_;
+};
+
+}  // namespace hmn::core

@@ -1,0 +1,197 @@
+#include "core/hosting.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace hmn::core {
+namespace {
+
+/// Host list sorted by residual CPU, descending, with NodeId as a
+/// deterministic tiebreak.  Re-sorted after each assignment (n is the
+/// cluster size, tens of nodes, so repeated sorting is cheap and mirrors
+/// the paper's description literally).
+class HostList {
+ public:
+  explicit HostList(const ResidualState& state)
+      : state_(&state), hosts_(state.cluster().hosts()) {
+    resort();
+  }
+
+  void resort() {
+    std::sort(hosts_.begin(), hosts_.end(), [&](NodeId a, NodeId b) {
+      const double ra = state_->residual_proc(a);
+      const double rb = state_->residual_proc(b);
+      if (ra != rb) return ra > rb;
+      return a < b;
+    });
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& hosts() const { return hosts_; }
+  [[nodiscard]] NodeId first() const { return hosts_.front(); }
+
+  /// First host (in residual-CPU order) that fits `req`, or invalid().
+  [[nodiscard]] NodeId first_fitting(const model::GuestRequirements& req) const {
+    for (const NodeId h : hosts_) {
+      if (state_->fits(req, h)) return h;
+    }
+    return NodeId::invalid();
+  }
+
+ private:
+  const ResidualState* state_;
+  std::vector<NodeId> hosts_;
+};
+
+}  // namespace
+
+std::vector<VirtLinkId> ordered_links(const model::VirtualEnvironment& venv,
+                                      LinkOrder order,
+                                      std::uint64_t shuffle_seed) {
+  std::vector<VirtLinkId> links;
+  links.reserve(venv.link_count());
+  for (std::size_t l = 0; l < venv.link_count(); ++l) {
+    links.push_back(VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)});
+  }
+  switch (order) {
+    case LinkOrder::kBandwidthDescending:
+      std::stable_sort(links.begin(), links.end(),
+                       [&](VirtLinkId a, VirtLinkId b) {
+                         return venv.link(a).bandwidth_mbps >
+                                venv.link(b).bandwidth_mbps;
+                       });
+      break;
+    case LinkOrder::kBandwidthAscending:
+      std::stable_sort(links.begin(), links.end(),
+                       [&](VirtLinkId a, VirtLinkId b) {
+                         return venv.link(a).bandwidth_mbps <
+                                venv.link(b).bandwidth_mbps;
+                       });
+      break;
+    case LinkOrder::kRandom: {
+      util::Rng rng(shuffle_seed);
+      rng.shuffle(links.begin(), links.end());
+      break;
+    }
+  }
+  return links;
+}
+
+HostingResult run_hosting(const model::VirtualEnvironment& venv,
+                          ResidualState& state, const HostingOptions& opts) {
+  HostingResult result;
+  result.guest_host.assign(venv.guest_count(), NodeId::invalid());
+  if (state.cluster().host_count() == 0) {
+    result.detail = "cluster has no hosts";
+    return result;
+  }
+
+  HostList hosts(state);
+  auto assigned = [&](GuestId g) { return result.guest_host[g.index()].valid(); };
+  auto assign = [&](GuestId g, NodeId h) {
+    state.place(venv.guest(g), h);
+    result.guest_host[g.index()] = h;
+    hosts.resort();
+  };
+
+  if (opts.policy == HostingPolicy::kBalanceOnly) {
+    // Link-blind ablation: guests individually, descending CPU demand,
+    // each to the first (most-available-CPU) host that fits.
+    std::vector<GuestId> order;
+    order.reserve(venv.guest_count());
+    for (std::size_t gi = 0; gi < venv.guest_count(); ++gi) {
+      order.push_back(GuestId{static_cast<GuestId::underlying_type>(gi)});
+    }
+    std::stable_sort(order.begin(), order.end(), [&](GuestId a, GuestId b) {
+      return venv.guest(a).proc_mips > venv.guest(b).proc_mips;
+    });
+    for (const GuestId g : order) {
+      const NodeId h = hosts.first_fitting(venv.guest(g));
+      if (!h.valid()) {
+        result.detail = "no host fits guest " + std::to_string(g.value());
+        return result;
+      }
+      assign(g, h);
+    }
+    result.ok = true;
+    return result;
+  }
+
+  for (const VirtLinkId l : ordered_links(venv, opts.order, opts.shuffle_seed)) {
+    const auto [vs, vd] = venv.endpoints(l);
+    const bool s_done = assigned(vs);
+    const bool d_done = assigned(vd);
+
+    if (s_done && d_done) continue;
+
+    if (!s_done && !d_done) {
+      // Try to co-locate both endpoints on the most-available-CPU host.
+      const NodeId top = hosts.first();
+      if (vs != vd && state.fits_both(venv.guest(vs), venv.guest(vd), top)) {
+        assign(vs, top);
+        assign(vd, top);
+        continue;
+      }
+      if (vs == vd) {  // self-loop virtual link: one guest to place
+        const NodeId h = hosts.first_fitting(venv.guest(vs));
+        if (!h.valid()) {
+          result.detail = "no host fits guest " + std::to_string(vs.value());
+          return result;
+        }
+        assign(vs, h);
+        continue;
+      }
+      // They do not fit together: the most CPU-intensive guest goes to the
+      // first host able to receive it, the other to the next fitting host.
+      const GuestId g1 = venv.guest(vs).proc_mips >= venv.guest(vd).proc_mips
+                             ? vs : vd;
+      const GuestId g2 = g1 == vs ? vd : vs;
+      const NodeId h1 = hosts.first_fitting(venv.guest(g1));
+      if (!h1.valid()) {
+        result.detail = "no host fits guest " + std::to_string(g1.value());
+        return result;
+      }
+      assign(g1, h1);
+      const NodeId h2 = hosts.first_fitting(venv.guest(g2));
+      if (!h2.valid()) {
+        result.detail = "no host fits guest " + std::to_string(g2.value());
+        return result;
+      }
+      assign(g2, h2);
+      continue;
+    }
+
+    // Exactly one endpoint mapped: pull the other one onto the same host if
+    // it fits, otherwise onto the first host that does.
+    const GuestId done = s_done ? vs : vd;
+    const GuestId todo = s_done ? vd : vs;
+    const NodeId peer_host = result.guest_host[done.index()];
+    NodeId target = state.fits(venv.guest(todo), peer_host)
+                        ? peer_host
+                        : hosts.first_fitting(venv.guest(todo));
+    if (!target.valid()) {
+      result.detail = "no host fits guest " + std::to_string(todo.value());
+      return result;
+    }
+    assign(todo, target);
+  }
+
+  // Guests untouched by any virtual link (isolated nodes; the paper's
+  // generator emits connected graphs, but the API permits them): first
+  // fitting host in residual-CPU order.
+  for (std::size_t gi = 0; gi < venv.guest_count(); ++gi) {
+    const GuestId g{static_cast<GuestId::underlying_type>(gi)};
+    if (assigned(g)) continue;
+    const NodeId h = hosts.first_fitting(venv.guest(g));
+    if (!h.valid()) {
+      result.detail = "no host fits isolated guest " + std::to_string(gi);
+      return result;
+    }
+    assign(g, h);
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace hmn::core

@@ -1,0 +1,72 @@
+// Stage 1 — Hosting (Section 4.1): preliminary assignment of guests to
+// hosts by network affinity.
+//
+// Virtual links are processed in descending bandwidth order; both endpoints
+// of a high-bandwidth link are co-located on the host with the most
+// available CPU whenever memory and storage allow, reducing physical-link
+// usage.  The host list is re-sorted by residual CPU after every
+// assignment, exactly as the paper prescribes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/map_result.h"
+#include "core/residual.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::core {
+
+/// Order in which virtual links are considered.  The paper uses descending
+/// bandwidth (so heavy links are co-located first); the alternatives feed
+/// the ordering ablation bench (E6 in DESIGN.md).
+enum class LinkOrder : std::uint8_t {
+  kBandwidthDescending,  // the paper's choice
+  kBandwidthAscending,
+  kRandom,
+};
+
+/// How guests are assigned to hosts.
+enum class HostingPolicy : std::uint8_t {
+  /// The paper's rule (Section 4.1): co-locate the endpoints of heavy
+  /// virtual links.  Besides reducing physical-link use, affinity is what
+  /// lets HMN map virtual links whose demand *exceeds* any physical
+  /// link's capacity — co-located endpoints communicate inside the host
+  /// (bw = inf), so such links never touch the fabric (Section 5.2's
+  /// argument for hosting by network affinity).
+  kAffinity,
+  /// Ablation: ignore links entirely; place each guest (descending vproc)
+  /// on the most-available-CPU host that fits.  Balances at least as well
+  /// as affinity hosting but strands heavy links on the fabric.
+  kBalanceOnly,
+};
+
+struct HostingOptions {
+  HostingPolicy policy = HostingPolicy::kAffinity;
+  LinkOrder order = LinkOrder::kBandwidthDescending;
+  /// Seed for LinkOrder::kRandom (ignored otherwise).
+  std::uint64_t shuffle_seed = 0;
+};
+
+/// Result of the Hosting stage: the preliminary guest placement.
+struct HostingResult {
+  bool ok = false;
+  std::string detail;                // failure explanation when !ok
+  std::vector<NodeId> guest_host;    // complete placement when ok
+};
+
+/// Runs the Hosting stage, mutating `state` to reflect placements.
+/// On failure (`some guest fits on no host`, Section 4.1) the state is left
+/// with the partial placements applied; callers discard it.
+[[nodiscard]] HostingResult run_hosting(const model::VirtualEnvironment& venv,
+                                        ResidualState& state,
+                                        const HostingOptions& opts = {});
+
+/// The link processing order used by Hosting/Networking for the given
+/// policy (exposed for tests and for the Networking stage to share).
+[[nodiscard]] std::vector<VirtLinkId> ordered_links(
+    const model::VirtualEnvironment& venv, LinkOrder order,
+    std::uint64_t shuffle_seed);
+
+}  // namespace hmn::core

@@ -1,0 +1,68 @@
+// Mapper outcome: a mapping or a typed failure, plus per-stage metrics.
+//
+// Failure is data, not an exception: the paper's Table 2 reports *failure
+// counts* per heuristic, so an unmappable instance is an expected result
+// the experiment framework aggregates.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/mapping.h"
+
+namespace hmn::core {
+
+enum class MapErrorCode {
+  kNone = 0,
+  /// Hosting: some guest fits on no host (Section 4.1 "the heuristic
+  /// fails").
+  kHostingFailed,
+  /// Networking: no feasible path for some virtual link (Section 4.3).
+  kNetworkingFailed,
+  /// Random baseline exhausted its retry budget (Section 5: 100 000 tries).
+  kTriesExhausted,
+  /// Malformed input (e.g. empty cluster).
+  kInvalidInput,
+};
+
+[[nodiscard]] constexpr const char* to_string(MapErrorCode c) {
+  switch (c) {
+    case MapErrorCode::kNone: return "ok";
+    case MapErrorCode::kHostingFailed: return "hosting failed";
+    case MapErrorCode::kNetworkingFailed: return "networking failed";
+    case MapErrorCode::kTriesExhausted: return "tries exhausted";
+    case MapErrorCode::kInvalidInput: return "invalid input";
+  }
+  return "?";
+}
+
+/// Wall-clock and work metrics of one mapper run.  The stage split backs
+/// the paper's observation that "most part of mapping time is spent in the
+/// Networking stage"; `links_routed` is Figure 1's x-axis.
+struct MapStats {
+  double hosting_seconds = 0.0;
+  double migration_seconds = 0.0;
+  double networking_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::size_t migrations = 0;     // reassignments performed by stage 2
+  std::size_t links_routed = 0;   // inter-host virtual links actually routed
+  std::size_t tries = 0;          // attempts used by randomized mappers
+};
+
+struct MapOutcome {
+  std::optional<Mapping> mapping;
+  MapErrorCode error = MapErrorCode::kNone;
+  std::string detail;
+  MapStats stats;
+
+  [[nodiscard]] bool ok() const { return mapping.has_value(); }
+
+  static MapOutcome failure(MapErrorCode code, std::string why) {
+    MapOutcome o;
+    o.error = code;
+    o.detail = std::move(why);
+    return o;
+  }
+};
+
+}  // namespace hmn::core

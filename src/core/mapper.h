@@ -1,0 +1,34 @@
+// Mapper interface: every mapping strategy in the library (HMN, the three
+// baselines, the extensions) implements this, so the experiment framework
+// and examples treat them uniformly — the "pool of heuristics" the paper's
+// future-work section envisions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/map_result.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::core {
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Short identifier used in tables ("HMN", "R", "RA", "HS", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Maps `venv` onto `cluster`.  `seed` drives any internal randomness;
+  /// deterministic mappers ignore it.  Must be callable concurrently on the
+  /// same object (mappers hold no mutable state across calls).
+  [[nodiscard]] virtual MapOutcome map(const model::PhysicalCluster& cluster,
+                                       const model::VirtualEnvironment& venv,
+                                       std::uint64_t seed) const = 0;
+};
+
+using MapperPtr = std::unique_ptr<Mapper>;
+
+}  // namespace hmn::core

@@ -1,0 +1,138 @@
+#include "core/migration.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/objective.h"
+
+namespace hmn::core {
+namespace {
+
+/// Sum of virtual-link bandwidth between guest g and guests co-located on
+/// the same host — the Migration stage's tie to the Hosting stage's
+/// affinity groupings.
+double colocated_bandwidth(const model::VirtualEnvironment& venv,
+                           const std::vector<NodeId>& guest_host, GuestId g) {
+  const NodeId home = guest_host[g.index()];
+  double sum = 0.0;
+  for (const VirtLinkId l : venv.links_of(g)) {
+    const GuestId other = venv.endpoints(l).other(g);
+    if (other != g && guest_host[other.index()] == home) {
+      sum += venv.link(l).bandwidth_mbps;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+MigrationResult run_migration(const model::VirtualEnvironment& venv,
+                              ResidualState& state,
+                              std::vector<NodeId>& guest_host,
+                              const MigrationOptions& opts) {
+  MigrationResult result;
+  const auto& hosts = state.cluster().hosts();
+  result.initial_lbf = load_balance_factor(state);
+  result.final_lbf = result.initial_lbf;
+  if (hosts.size() < 2) return result;
+
+  // host_index[node] = position of the node in the hosts() vector, which is
+  // also its index in the rproc vector the objective runs over.
+  std::vector<std::size_t> host_index(state.cluster().node_count(), 0);
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    host_index[hosts[i].index()] = i;
+  }
+
+  // guests_on[host position] = guests currently assigned there.
+  std::vector<std::vector<GuestId>> guests_on(hosts.size());
+  for (std::size_t gi = 0; gi < guest_host.size(); ++gi) {
+    guests_on[host_index[guest_host[gi].index()]].push_back(
+        GuestId{static_cast<GuestId::underlying_type>(gi)});
+  }
+
+  double current_lbf = result.initial_lbf;
+  for (;;) {
+    if (opts.max_migrations != 0 && result.migrations >= opts.max_migrations) {
+      break;
+    }
+    std::vector<double> rproc = state.residual_proc_of_hosts();
+
+    // Most-loaded host = smallest residual CPU, among hosts with guests.
+    std::size_t origin = hosts.size();
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (guests_on[i].empty()) continue;
+      if (origin == hosts.size() || rproc[i] < rproc[origin]) origin = i;
+    }
+    if (origin == hosts.size()) break;  // nothing mapped anywhere
+
+    // Candidate targets from least loaded (largest residual CPU) upward.
+    std::vector<std::size_t> order(hosts.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (rproc[a] != rproc[b]) return rproc[a] > rproc[b];
+      return hosts[a] < hosts[b];
+    });
+
+    GuestId victim = GuestId::invalid();
+    std::size_t target = hosts.size();
+    double lbf_after = current_lbf;
+
+    if (opts.victim == VictimPolicy::kMinColocatedBandwidth) {
+      // The paper's rule: one candidate guest — smallest co-located
+      // bandwidth sum (ties: lowest id) — moved to the first improving,
+      // fitting host in least-loaded order.
+      double best_sum = std::numeric_limits<double>::infinity();
+      for (const GuestId g : guests_on[origin]) {
+        const double s = colocated_bandwidth(venv, guest_host, g);
+        if (s < best_sum ||
+            (s == best_sum && (!victim.valid() || g < victim))) {
+          best_sum = s;
+          victim = g;
+        }
+      }
+      const model::GuestRequirements& req = venv.guest(victim);
+      for (const std::size_t cand : order) {
+        if (cand == origin) continue;
+        const double after = load_balance_factor_if_moved(
+            rproc, origin, cand, req.proc_mips);
+        if (after < current_lbf && state.fits(req, hosts[cand])) {
+          target = cand;
+          lbf_after = after;
+          break;
+        }
+      }
+    } else {
+      // kBestImprovement: exhaustive over (guest, target); commit the
+      // steepest descent step.
+      for (const GuestId g : guests_on[origin]) {
+        const model::GuestRequirements& req = venv.guest(g);
+        for (const std::size_t cand : order) {
+          if (cand == origin) continue;
+          const double after = load_balance_factor_if_moved(
+              rproc, origin, cand, req.proc_mips);
+          if (after < lbf_after && state.fits(req, hosts[cand])) {
+            victim = g;
+            target = cand;
+            lbf_after = after;
+          }
+        }
+      }
+    }
+
+    if (target == hosts.size()) break;  // no improving move: stage ends
+    const model::GuestRequirements& req = venv.guest(victim);
+    state.remove(req, hosts[origin]);
+    state.place(req, hosts[target]);
+    guest_host[victim.index()] = hosts[target];
+    auto& src = guests_on[origin];
+    src.erase(std::find(src.begin(), src.end(), victim));
+    guests_on[target].push_back(victim);
+    current_lbf = lbf_after;
+    ++result.migrations;
+  }
+
+  result.final_lbf = current_lbf;
+  return result;
+}
+
+}  // namespace hmn::core

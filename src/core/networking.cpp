@@ -1,0 +1,113 @@
+#include "core/networking.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "graph/astar_prune.h"
+#include "graph/dfs_path.h"
+#include "graph/dijkstra.h"
+#include "util/rng.h"
+
+namespace hmn::core {
+
+NetworkingResult run_networking(const model::VirtualEnvironment& venv,
+                                ResidualState& state,
+                                const std::vector<NodeId>& guest_host,
+                                const NetworkingOptions& opts) {
+  NetworkingResult result;
+  result.link_paths.assign(venv.link_count(), graph::Path{});
+  const graph::Graph& g = state.cluster().graph();
+  const model::PhysicalCluster& cluster = state.cluster();
+
+  auto residual_bw = [&](EdgeId e) { return state.residual_bw(e); };
+  auto latency = [&](EdgeId e) { return cluster.link(e).latency_ms; };
+
+  // Physical latencies never change during the stage, so the Dijkstra
+  // latency-to-destination arrays (Algorithm 1's ar[]) are computed once
+  // per distinct destination host and reused across virtual links.
+  std::unordered_map<NodeId, std::vector<double>> ar_cache;
+  auto ar_for = [&](NodeId dest) -> const std::vector<double>& {
+    auto it = ar_cache.find(dest);
+    if (it == ar_cache.end()) {
+      it = ar_cache.emplace(dest, graph::dijkstra(g, dest, latency).dist).first;
+    }
+    return it->second;
+  };
+
+  util::Rng dfs_rng(opts.shuffle_seed);
+
+  for (const VirtLinkId l :
+       ordered_links(venv, opts.order, opts.shuffle_seed)) {
+    const auto [vs, vd] = venv.endpoints(l);
+    const NodeId s = guest_host[vs.index()];
+    const NodeId d = guest_host[vd.index()];
+    if (s == d) continue;  // intra-host: empty path, handled in the VMM
+
+    const model::VirtualLinkDemand& demand = venv.link(l);
+    std::optional<graph::ConstrainedPath> path;
+    switch (opts.algorithm) {
+      case PathAlgorithm::kAStarPrune: {
+        graph::AStarPruneOptions ap;
+        ap.lat_to_dest = &ar_for(d);
+        path = graph::astar_prune_bottleneck(g, s, d, demand.bandwidth_mbps,
+                                             demand.max_latency_ms,
+                                             residual_bw, latency, ap);
+        break;
+      }
+      case PathAlgorithm::kMinLatency: {
+        // Dijkstra over edges with enough residual bandwidth; the result is
+        // latency-optimal for this link but ignores bottleneck headroom.
+        auto filtered = [&](EdgeId e) {
+          return state.residual_bw(e) >= demand.bandwidth_mbps
+                     ? cluster.link(e).latency_ms
+                     : std::numeric_limits<double>::infinity();
+        };
+        const auto sp = graph::dijkstra(g, s, filtered);
+        if (sp.reachable(d) &&
+            sp.dist[d.index()] <= demand.max_latency_ms) {
+          graph::ConstrainedPath cp;
+          cp.edges = graph::extract_path(g, sp, s, d);
+          cp.total_latency = sp.dist[d.index()];
+          path = std::move(cp);
+        }
+        break;
+      }
+      case PathAlgorithm::kDfsNaive: {
+        graph::DfsOptions dfs;
+        dfs.rng = opts.randomize_dfs ? &dfs_rng : nullptr;
+        dfs.max_expansions = opts.dfs_max_expansions;
+        path = graph::dfs_first_path(g, s, d, residual_bw, latency, dfs);
+        // The naive search ignores constraints; reject its path when the
+        // virtual link's demands are not met.
+        if (path.has_value() &&
+            (path->bottleneck_bw < demand.bandwidth_mbps ||
+             path->total_latency > demand.max_latency_ms)) {
+          path.reset();
+        }
+        break;
+      }
+      case PathAlgorithm::kDfsPruned: {
+        graph::DfsOptions dfs;
+        dfs.rng = opts.randomize_dfs ? &dfs_rng : nullptr;
+        dfs.max_expansions = opts.dfs_max_expansions;
+        path = graph::dfs_find_path(g, s, d, demand.bandwidth_mbps,
+                                    demand.max_latency_ms, residual_bw,
+                                    latency, dfs);
+        break;
+      }
+    }
+    if (!path.has_value()) {
+      result.detail = "no feasible path for virtual link " +
+                      std::to_string(l.value());
+      return result;
+    }
+    state.reserve_bw(path->edges, demand.bandwidth_mbps);
+    result.link_paths[l.index()] = std::move(path->edges);
+    ++result.links_routed;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace hmn::core

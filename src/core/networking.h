@@ -1,0 +1,72 @@
+// Stage 3 — Networking (Section 4.3): route every virtual link over the
+// physical fabric.
+//
+// Virtual links are routed in descending bandwidth order with the modified
+// 1-constrained A*Prune (Algorithm 1), which maximizes bottleneck residual
+// bandwidth subject to the latency bound, keeping wide links available for
+// the rest of the list.  Links between co-located guests are handled inside
+// the host (empty path; bw = inf, lat = 0 per Section 3.2) and are not
+// counted as routed.  A DFS path finder can be substituted to build the
+// paper's Hosting-with-Search (HS) baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hosting.h"  // LinkOrder
+#include "core/residual.h"
+#include "graph/graph.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::core {
+
+/// Path-finding algorithm used by the stage.
+enum class PathAlgorithm : std::uint8_t {
+  /// The paper's modified Algorithm 1 (used by HMN and RA): maximize
+  /// bottleneck residual bandwidth subject to the latency bound.  "The
+  /// rationale behind the choice of this metric is to keep the links with
+  /// the largest amount of bandwidth available to map the rest of the
+  /// links" (Section 4.3).
+  kAStarPrune,
+  /// Ablation of that rationale: minimize accumulated latency subject to
+  /// per-edge residual bandwidth >= demand (Dijkstra over the feasible
+  /// subgraph).  Routes each link optimally in isolation but spends wide
+  /// links greedily — bench E6 measures what that costs the rest of the
+  /// list.
+  kMinLatency,
+  /// Literal DFS baseline (used by R and HS): the first simple path found,
+  /// checked against the link's constraints afterwards.
+  kDfsNaive,
+  /// Constraint-pruned backtracking DFS: finds a feasible path whenever one
+  /// exists w.r.t. residual bandwidth and latency (used by the path-finder
+  /// ablation, bench E6).
+  kDfsPruned,
+};
+
+struct NetworkingOptions {
+  PathAlgorithm algorithm = PathAlgorithm::kAStarPrune;
+  LinkOrder order = LinkOrder::kBandwidthDescending;
+  std::uint64_t shuffle_seed = 0;  // for LinkOrder::kRandom and DFS shuffling
+  /// Shuffle DFS neighbor expansion (the Random baseline retries with
+  /// different DFS orders; deterministic DFS would retry identically).
+  bool randomize_dfs = false;
+  /// Expansion budget per DFS path search (0 = unlimited).
+  std::size_t dfs_max_expansions = 0;
+};
+
+struct NetworkingResult {
+  bool ok = false;
+  std::string detail;                   // failure explanation when !ok
+  std::vector<graph::Path> link_paths;  // per virtual link, when ok
+  std::size_t links_routed = 0;         // inter-host links actually routed
+};
+
+/// Runs the Networking stage over a completed placement, reserving
+/// bandwidth in `state` for every routed link.  On failure the state
+/// retains partial reservations; callers discard it.
+[[nodiscard]] NetworkingResult run_networking(
+    const model::VirtualEnvironment& venv, ResidualState& state,
+    const std::vector<NodeId>& guest_host, const NetworkingOptions& opts = {});
+
+}  // namespace hmn::core

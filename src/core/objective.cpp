@@ -1,0 +1,57 @@
+#include "core/objective.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace hmn::core {
+
+double load_balance_factor(std::span<const double> rproc) {
+  return util::stddev_population(rproc);
+}
+
+double load_balance_factor(const ResidualState& state) {
+  const std::vector<double> rproc = state.residual_proc_of_hosts();
+  return load_balance_factor(rproc);
+}
+
+double load_balance_factor(const model::PhysicalCluster& cluster,
+                           const model::VirtualEnvironment& venv,
+                           const Mapping& mapping) {
+  std::vector<double> rproc;
+  rproc.reserve(cluster.host_count());
+  // rproc(c_i) = proc(c_i) - sum_{g in G_i} vproc(g)  (Eq. 11)
+  std::vector<double> used(cluster.node_count(), 0.0);
+  for (std::size_t g = 0; g < mapping.guest_host.size(); ++g) {
+    const NodeId h = mapping.guest_host[g];
+    if (h.valid()) {
+      used[h.index()] +=
+          venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)}).proc_mips;
+    }
+  }
+  for (const NodeId h : cluster.hosts()) {
+    rproc.push_back(cluster.capacity(h).proc_mips - used[h.index()]);
+  }
+  return load_balance_factor(rproc);
+}
+
+double load_balance_factor_if_moved(std::span<const double> rproc,
+                                    std::size_t from, std::size_t to,
+                                    double vproc) {
+  const auto n = static_cast<double>(rproc.size());
+  if (n == 0.0) return 0.0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (std::size_t i = 0; i < rproc.size(); ++i) {
+    double v = rproc[i];
+    if (i == from) v += vproc;   // origin regains the guest's CPU
+    if (i == to) v -= vproc;     // target spends it
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+}  // namespace hmn::core

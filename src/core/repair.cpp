@@ -1,0 +1,205 @@
+#include "core/repair.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/residual.h"
+#include "graph/astar_prune.h"
+#include "graph/dijkstra.h"
+#include "util/timer.h"
+
+namespace hmn::core {
+namespace {
+
+/// Edges touching the failed node are dead.
+bool edge_touches(const graph::Graph& g, EdgeId e, NodeId node) {
+  const auto ep = g.endpoints(e);
+  return ep.a == node || ep.b == node;
+}
+
+}  // namespace
+
+bool mapping_avoids_node(const model::PhysicalCluster& cluster,
+                         const Mapping& mapping, NodeId host) {
+  for (const NodeId h : mapping.guest_host) {
+    if (h == host) return false;
+  }
+  const graph::Graph& g = cluster.graph();
+  for (const auto& path : mapping.link_paths) {
+    for (const EdgeId e : path) {
+      if (edge_touches(g, e, host)) return false;
+    }
+  }
+  return true;
+}
+
+MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
+                          const model::VirtualEnvironment& venv,
+                          const Mapping& mapping, NodeId failed_host,
+                          RepairStats* stats) {
+  const util::Timer total;
+  if (!failed_host.valid() || failed_host.index() >= cluster.node_count()) {
+    return MapOutcome::failure(MapErrorCode::kInvalidInput,
+                               "failed host out of range");
+  }
+  const graph::Graph& g = cluster.graph();
+
+  // --- Identify the damage.
+  std::vector<GuestId> evicted;
+  for (std::size_t gi = 0; gi < mapping.guest_host.size(); ++gi) {
+    if (mapping.guest_host[gi] == failed_host) {
+      evicted.push_back(GuestId{static_cast<GuestId::underlying_type>(gi)});
+    }
+  }
+  std::vector<bool> link_affected(venv.link_count(), false);
+  for (std::size_t li = 0; li < venv.link_count(); ++li) {
+    const auto id = VirtLinkId{static_cast<VirtLinkId::underlying_type>(li)};
+    const auto ep = venv.endpoints(id);
+    if (mapping.guest_host[ep.src.index()] == failed_host ||
+        mapping.guest_host[ep.dst.index()] == failed_host) {
+      link_affected[li] = true;
+      continue;
+    }
+    for (const EdgeId e : mapping.link_paths[li]) {
+      if (edge_touches(g, e, failed_host)) {
+        link_affected[li] = true;
+        break;
+      }
+    }
+  }
+
+  // --- Rebuild residual state of the *surviving* part.
+  Mapping repaired = mapping;
+  ResidualState state(cluster);
+  for (std::size_t gi = 0; gi < mapping.guest_host.size(); ++gi) {
+    const NodeId h = mapping.guest_host[gi];
+    if (h == failed_host) {
+      repaired.guest_host[gi] = NodeId::invalid();
+      continue;
+    }
+    state.place(venv.guest(GuestId{static_cast<GuestId::underlying_type>(gi)}), h);
+  }
+  for (std::size_t li = 0; li < venv.link_count(); ++li) {
+    if (link_affected[li]) {
+      repaired.link_paths[li].clear();
+      continue;
+    }
+    state.reserve_bw(mapping.link_paths[li],
+                     venv.link(VirtLinkId{
+                         static_cast<VirtLinkId::underlying_type>(li)})
+                         .bandwidth_mbps);
+  }
+
+  // --- Re-place evicted guests: strongest surviving-neighbor affinity
+  // first, then the most-available-CPU host that fits; never the failed
+  // host.
+  auto placed = [&](GuestId guest) {
+    return repaired.guest_host[guest.index()].valid();
+  };
+  auto strongest_neighbor_host = [&](GuestId guest) {
+    double best_bw = -1.0;
+    NodeId best = NodeId::invalid();
+    for (const VirtLinkId l : venv.links_of(guest)) {
+      const GuestId other = venv.endpoints(l).other(guest);
+      if (other == guest || !placed(other)) continue;
+      if (venv.link(l).bandwidth_mbps > best_bw) {
+        best_bw = venv.link(l).bandwidth_mbps;
+        best = repaired.guest_host[other.index()];
+      }
+    }
+    return best;
+  };
+  for (const GuestId guest : evicted) {
+    const auto& req = venv.guest(guest);
+    NodeId target = strongest_neighbor_host(guest);
+    if (!target.valid() || target == failed_host ||
+        !state.fits(req, target)) {
+      target = NodeId::invalid();
+      double best_proc = 0.0;
+      for (const NodeId h : cluster.hosts()) {
+        if (h == failed_host || !state.fits(req, h)) continue;
+        if (!target.valid() || state.residual_proc(h) > best_proc) {
+          target = h;
+          best_proc = state.residual_proc(h);
+        }
+      }
+    }
+    if (!target.valid()) {
+      MapOutcome out = MapOutcome::failure(
+          MapErrorCode::kHostingFailed,
+          "no surviving host fits evicted guest " +
+              std::to_string(guest.value()));
+      out.stats.total_seconds = total.elapsed_seconds();
+      return out;
+    }
+    state.place(req, target);
+    repaired.guest_host[guest.index()] = target;
+  }
+
+  // --- Re-route affected links over the surviving fabric, heaviest first.
+  std::vector<VirtLinkId> to_route;
+  for (std::size_t li = 0; li < venv.link_count(); ++li) {
+    if (link_affected[li]) {
+      to_route.push_back(VirtLinkId{static_cast<VirtLinkId::underlying_type>(li)});
+    }
+  }
+  std::stable_sort(to_route.begin(), to_route.end(),
+                   [&](VirtLinkId a, VirtLinkId b) {
+                     return venv.link(a).bandwidth_mbps >
+                            venv.link(b).bandwidth_mbps;
+                   });
+
+  auto residual_bw = [&](EdgeId e) {
+    return edge_touches(g, e, failed_host) ? 0.0 : state.residual_bw(e);
+  };
+  auto latency = [&](EdgeId e) {
+    return edge_touches(g, e, failed_host)
+               ? std::numeric_limits<double>::infinity()
+               : cluster.link(e).latency_ms;
+  };
+  std::unordered_map<NodeId, std::vector<double>> ar_cache;
+  auto ar_for = [&](NodeId dest) -> const std::vector<double>& {
+    auto it = ar_cache.find(dest);
+    if (it == ar_cache.end()) {
+      it = ar_cache.emplace(dest, graph::dijkstra(g, dest, latency).dist)
+               .first;
+    }
+    return it->second;
+  };
+
+  std::size_t rerouted = 0;
+  for (const VirtLinkId l : to_route) {
+    const auto ep = venv.endpoints(l);
+    const NodeId s = repaired.guest_host[ep.src.index()];
+    const NodeId d = repaired.guest_host[ep.dst.index()];
+    if (s == d) continue;  // refugees co-located: intra-host now
+    const auto& demand = venv.link(l);
+    graph::AStarPruneOptions ap;
+    ap.lat_to_dest = &ar_for(d);
+    auto path = graph::astar_prune_bottleneck(
+        g, s, d, demand.bandwidth_mbps, demand.max_latency_ms, residual_bw,
+        latency, ap);
+    if (!path.has_value()) {
+      MapOutcome out = MapOutcome::failure(
+          MapErrorCode::kNetworkingFailed,
+          "no surviving path for virtual link " + std::to_string(l.value()));
+      out.stats.total_seconds = total.elapsed_seconds();
+      return out;
+    }
+    state.reserve_bw(path->edges, demand.bandwidth_mbps);
+    repaired.link_paths[l.index()] = std::move(path->edges);
+    ++rerouted;
+  }
+
+  if (stats != nullptr) {
+    stats->guests_moved = evicted.size();
+    stats->links_rerouted = rerouted;
+  }
+  MapOutcome out;
+  out.mapping = std::move(repaired);
+  out.stats.links_routed = rerouted;
+  out.stats.total_seconds = total.elapsed_seconds();
+  return out;
+}
+
+}  // namespace hmn::core

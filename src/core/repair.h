@@ -1,0 +1,47 @@
+// Mapping repair after a host failure.
+//
+// Long-running emulation experiments lose hosts (the paper's motivation
+// for emulation is precisely that real testbeds misbehave); when one
+// fails, re-running HMN from scratch would re-place every VM.
+// `repair_mapping` instead performs the minimal surgery:
+//
+//   * guests on the failed host are evicted and re-placed on surviving
+//     hosts (affinity first, then most-available-CPU, as in the
+//     incremental extension);
+//   * virtual links whose physical path traverses the failed host — plus
+//     all links of evicted guests — are re-routed with the modified
+//     A*Prune over the surviving fabric;
+//   * every other guest and path is untouched.
+//
+// The repaired mapping satisfies all of Eqs. 1-9 *and* avoids the failed
+// host entirely (no guest on it, no path through it).
+#pragma once
+
+#include "core/map_result.h"
+#include "core/mapping.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::core {
+
+struct RepairStats {
+  std::size_t guests_moved = 0;
+  std::size_t links_rerouted = 0;
+};
+
+/// Repairs `mapping` after `failed_host` dies.  Fails with kHostingFailed /
+/// kNetworkingFailed when the surviving capacity cannot absorb the
+/// refugees (callers may then fall back to a full remap on the reduced
+/// cluster).  `stats`, when non-null, receives the surgery size.
+[[nodiscard]] MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
+                                        const model::VirtualEnvironment& venv,
+                                        const Mapping& mapping,
+                                        NodeId failed_host,
+                                        RepairStats* stats = nullptr);
+
+/// True when `mapping` uses `host` in no way: no guest placed on it and no
+/// link path traversing it.  The post-condition of a successful repair.
+[[nodiscard]] bool mapping_avoids_node(const model::PhysicalCluster& cluster,
+                                       const Mapping& mapping, NodeId host);
+
+}  // namespace hmn::core

@@ -1,0 +1,72 @@
+// Mutable residual-capacity bookkeeping over an immutable PhysicalCluster.
+//
+// Mapping stages place and move guests and reserve bandwidth along paths;
+// this object tracks what remains.  Memory and storage are hard constraints
+// (Eqs. 2-3); CPU may go negative — it is the optimization variable, not a
+// constraint (Section 3.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/mapping.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::core {
+
+class ResidualState {
+ public:
+  explicit ResidualState(const model::PhysicalCluster& cluster);
+
+  /// Rebuilds residuals to reflect an existing (possibly partial) mapping.
+  ResidualState(const model::PhysicalCluster& cluster,
+                const model::VirtualEnvironment& venv, const Mapping& mapping);
+
+  [[nodiscard]] const model::PhysicalCluster& cluster() const {
+    return *cluster_;
+  }
+
+  /// Hard-constraint fit check (memory + storage, Eqs. 2-3).
+  [[nodiscard]] bool fits(const model::GuestRequirements& req,
+                          NodeId host) const;
+  /// Fit check for two guests placed together on one host.
+  [[nodiscard]] bool fits_both(const model::GuestRequirements& a,
+                               const model::GuestRequirements& b,
+                               NodeId host) const;
+
+  /// Deducts the guest's requirements from `host`.  Precondition: fits().
+  void place(const model::GuestRequirements& req, NodeId host);
+  /// Returns the guest's requirements to `host`.
+  void remove(const model::GuestRequirements& req, NodeId host);
+
+  [[nodiscard]] double residual_proc(NodeId n) const {
+    return proc_[n.index()];
+  }
+  [[nodiscard]] double residual_mem(NodeId n) const { return mem_[n.index()]; }
+  [[nodiscard]] double residual_stor(NodeId n) const {
+    return stor_[n.index()];
+  }
+
+  /// Residual CPU of every host, in cluster.hosts() order — the vector the
+  /// objective function (Eq. 10) is computed over.
+  [[nodiscard]] std::vector<double> residual_proc_of_hosts() const;
+
+  [[nodiscard]] double residual_bw(EdgeId e) const { return bw_[e.index()]; }
+
+  /// Reserves `bw` Mbps on every edge of `path` (Eq. 9 accounting).
+  /// Residual bandwidth may not go negative; callers check feasibility via
+  /// the path-finding algorithms, and this asserts it.
+  void reserve_bw(const graph::Path& path, double bw);
+  /// Releases a previous reservation.
+  void release_bw(const graph::Path& path, double bw);
+
+ private:
+  const model::PhysicalCluster* cluster_ = nullptr;
+  std::vector<double> proc_;  // per node
+  std::vector<double> mem_;
+  std::vector<double> stor_;
+  std::vector<double> bw_;  // per edge
+};
+
+}  // namespace hmn::core

@@ -1,0 +1,149 @@
+#include "core/validator.h"
+
+#include <sstream>
+
+namespace hmn::core {
+namespace {
+
+// Capacity comparisons tolerate accumulated floating-point error from the
+// mappers' incremental bookkeeping.
+constexpr double kEps = 1e-6;
+
+}  // namespace
+
+std::string ValidationReport::summary() const {
+  if (ok()) return "valid";
+  std::ostringstream out;
+  out << violations.size() << " violation(s):";
+  for (const Violation& v : violations) {
+    out << "\n  [" << to_string(v.constraint) << "] " << v.detail;
+  }
+  return out.str();
+}
+
+ValidationReport validate_mapping(const model::PhysicalCluster& cluster,
+                                  const model::VirtualEnvironment& venv,
+                                  const Mapping& mapping) {
+  ValidationReport report;
+  auto fail = [&](ConstraintId c, std::string detail) {
+    report.violations.push_back({c, std::move(detail)});
+  };
+
+  // --- Eq. 1: every guest mapped exactly once, to a real node.
+  if (mapping.guest_host.size() != venv.guest_count()) {
+    fail(ConstraintId::kGuestMappedOnce,
+         "guest_host size " + std::to_string(mapping.guest_host.size()) +
+             " != guest count " + std::to_string(venv.guest_count()));
+    return report;  // sizes wrong: nothing below is meaningful
+  }
+  if (mapping.link_paths.size() != venv.link_count()) {
+    fail(ConstraintId::kPathEndpoints,
+         "link_paths size " + std::to_string(mapping.link_paths.size()) +
+             " != link count " + std::to_string(venv.link_count()));
+    return report;
+  }
+  for (std::size_t g = 0; g < mapping.guest_host.size(); ++g) {
+    const NodeId h = mapping.guest_host[g];
+    if (!h.valid() || h.index() >= cluster.node_count()) {
+      fail(ConstraintId::kGuestMappedOnce,
+           "guest " + std::to_string(g) + " unmapped or out of range");
+    } else if (!cluster.is_host(h)) {
+      fail(ConstraintId::kGuestOnHostNode,
+           "guest " + std::to_string(g) + " mapped to switch node " +
+               std::to_string(h.value()));
+    }
+  }
+  if (!report.ok()) return report;
+
+  // --- Eqs. 2-3: per-host memory and storage.
+  std::vector<double> mem_used(cluster.node_count(), 0.0);
+  std::vector<double> stor_used(cluster.node_count(), 0.0);
+  for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+    const auto& req = venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)});
+    const NodeId h = mapping.guest_host[g];
+    mem_used[h.index()] += req.mem_mb;
+    stor_used[h.index()] += req.stor_gb;
+  }
+  for (const NodeId h : cluster.hosts()) {
+    const auto& cap = cluster.capacity(h);
+    if (mem_used[h.index()] > cap.mem_mb + kEps) {
+      fail(ConstraintId::kMemoryCapacity,
+           "host " + std::to_string(h.value()) + ": " +
+               std::to_string(mem_used[h.index()]) + " MB > " +
+               std::to_string(cap.mem_mb) + " MB");
+    }
+    if (stor_used[h.index()] > cap.stor_gb + kEps) {
+      fail(ConstraintId::kStorageCapacity,
+           "host " + std::to_string(h.value()) + ": " +
+               std::to_string(stor_used[h.index()]) + " GB > " +
+               std::to_string(cap.stor_gb) + " GB");
+    }
+  }
+
+  // --- Eqs. 4-9: per-link paths and aggregate bandwidth.
+  const graph::Graph& g = cluster.graph();
+  std::vector<double> bw_used(cluster.link_count(), 0.0);
+  for (std::size_t li = 0; li < venv.link_count(); ++li) {
+    const auto l = VirtLinkId{static_cast<VirtLinkId::underlying_type>(li)};
+    const auto ep = venv.endpoints(l);
+    const NodeId s = mapping.guest_host[ep.src.index()];
+    const NodeId d = mapping.guest_host[ep.dst.index()];
+    const graph::Path& path = mapping.link_paths[li];
+
+    if (s == d) {
+      // Intra-host: the only valid path is the empty one (bw = inf,
+      // lat = 0, Section 3.2).
+      if (!path.empty()) {
+        fail(ConstraintId::kPathEndpoints,
+             "virtual link " + std::to_string(li) +
+                 ": co-located endpoints but non-empty path");
+      }
+      continue;
+    }
+    if (path.empty()) {
+      fail(ConstraintId::kPathEndpoints,
+           "virtual link " + std::to_string(li) +
+               ": endpoints on different hosts but empty path");
+      continue;
+    }
+    // Eqs. 4-7 via the graph-level walk check: starts at s, chains, is
+    // loop-free, ends at d.  Accept the path in either orientation — the
+    // links are undirected.
+    if (!graph::path_is_simple(g, s, d, path) &&
+        !graph::path_is_simple(g, d, s, path)) {
+      // Distinguish the failure cause for diagnostics.
+      const auto nodes_fwd = graph::path_nodes(g, s, path);
+      fail(ConstraintId::kPathChains,
+           "virtual link " + std::to_string(li) +
+               ": path is not a simple s->d walk (reached node " +
+               std::to_string(nodes_fwd.back().value()) + ", wanted " +
+               std::to_string(d.value()) + ")");
+      continue;
+    }
+
+    // Eq. 8: accumulated latency within the demand.
+    double lat = 0.0;
+    for (const EdgeId e : path) lat += cluster.link(e).latency_ms;
+    if (lat > venv.link(l).max_latency_ms + kEps) {
+      fail(ConstraintId::kLatencyBound,
+           "virtual link " + std::to_string(li) + ": latency " +
+               std::to_string(lat) + " ms > " +
+               std::to_string(venv.link(l).max_latency_ms) + " ms");
+    }
+    for (const EdgeId e : path) {
+      bw_used[e.index()] += venv.link(l).bandwidth_mbps;
+    }
+  }
+  for (std::size_t e = 0; e < cluster.link_count(); ++e) {
+    const auto id = EdgeId{static_cast<EdgeId::underlying_type>(e)};
+    if (bw_used[e] > cluster.link(id).bandwidth_mbps + kEps) {
+      fail(ConstraintId::kBandwidthCapacity,
+           "physical link " + std::to_string(e) + ": " +
+               std::to_string(bw_used[e]) + " Mbps > " +
+               std::to_string(cluster.link(id).bandwidth_mbps) + " Mbps");
+    }
+  }
+  return report;
+}
+
+}  // namespace hmn::core

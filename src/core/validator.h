@@ -1,0 +1,63 @@
+// Independent verification of a mapping against the paper's formal
+// constraints (Section 3.2, Eqs. 1-9).
+//
+// The validator shares no code with the mappers' own bookkeeping: it
+// recomputes every sum from the cluster, the virtual environment, and the
+// mapping value alone.  Tests run it over every mapper on every random
+// instance, so a bookkeeping bug in a stage cannot hide behind itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mapping.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::core {
+
+enum class ConstraintId {
+  kGuestMappedOnce,       // Eq. 1: partition of V
+  kGuestOnHostNode,       // guests only on host-role nodes
+  kMemoryCapacity,        // Eq. 2
+  kStorageCapacity,       // Eq. 3
+  kPathEndpoints,         // Eqs. 4-5
+  kPathChains,            // Eq. 6
+  kPathLoopFree,          // Eq. 7
+  kLatencyBound,          // Eq. 8
+  kBandwidthCapacity,     // Eq. 9
+};
+
+[[nodiscard]] constexpr const char* to_string(ConstraintId c) {
+  switch (c) {
+    case ConstraintId::kGuestMappedOnce: return "Eq1:guest-mapped-once";
+    case ConstraintId::kGuestOnHostNode: return "guest-on-host-node";
+    case ConstraintId::kMemoryCapacity: return "Eq2:memory";
+    case ConstraintId::kStorageCapacity: return "Eq3:storage";
+    case ConstraintId::kPathEndpoints: return "Eq4-5:path-endpoints";
+    case ConstraintId::kPathChains: return "Eq6:path-chains";
+    case ConstraintId::kPathLoopFree: return "Eq7:loop-free";
+    case ConstraintId::kLatencyBound: return "Eq8:latency";
+    case ConstraintId::kBandwidthCapacity: return "Eq9:bandwidth";
+  }
+  return "?";
+}
+
+struct Violation {
+  ConstraintId constraint;
+  std::string detail;
+};
+
+struct ValidationReport {
+  std::vector<Violation> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Checks every constraint; collects all violations rather than stopping at
+/// the first, so test failures show the full picture.
+[[nodiscard]] ValidationReport validate_mapping(
+    const model::PhysicalCluster& cluster,
+    const model::VirtualEnvironment& venv, const Mapping& mapping);
+
+}  // namespace hmn::core

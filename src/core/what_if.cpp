@@ -1,0 +1,43 @@
+#include "core/what_if.h"
+
+#include <algorithm>
+
+#include "core/residual.h"
+#include "graph/astar_prune.h"
+
+namespace hmn::core {
+
+std::vector<NodeId> hosts_fitting_guest(
+    const model::PhysicalCluster& cluster,
+    const model::VirtualEnvironment& venv, const Mapping& mapping,
+    const model::GuestRequirements& req) {
+  const ResidualState state(cluster, venv, mapping);
+  std::vector<NodeId> fitting;
+  for (const NodeId h : cluster.hosts()) {
+    if (state.fits(req, h)) fitting.push_back(h);
+  }
+  std::stable_sort(fitting.begin(), fitting.end(), [&](NodeId a, NodeId b) {
+    return state.residual_proc(a) > state.residual_proc(b);
+  });
+  return fitting;
+}
+
+std::optional<graph::Path> link_route_available(
+    const model::PhysicalCluster& cluster,
+    const model::VirtualEnvironment& venv, const Mapping& mapping,
+    GuestId a, GuestId b, const model::VirtualLinkDemand& demand) {
+  const NodeId s = mapping.host_of(a);
+  const NodeId d = mapping.host_of(b);
+  if (!s.valid() || !d.valid()) return std::nullopt;
+  if (s == d) return graph::Path{};  // intra-host, free
+
+  const ResidualState state(cluster, venv, mapping);
+  auto path = graph::astar_prune_bottleneck(
+      cluster.graph(), s, d, demand.bandwidth_mbps, demand.max_latency_ms,
+      [&](EdgeId e) { return state.residual_bw(e); },
+      [&](EdgeId e) { return cluster.link(e).latency_ms; });
+  if (!path.has_value()) return std::nullopt;
+  return std::move(path->edges);
+}
+
+}  // namespace hmn::core

@@ -1,0 +1,33 @@
+// Non-committing feasibility queries over an existing mapping — the
+// planning calls an emulator frontend issues before it actually grows an
+// experiment (extend_mapping) or promises a tester capacity.
+//
+// Both queries evaluate against the residual capacity implied by
+// (cluster, venv, mapping) and leave everything untouched.
+#pragma once
+
+#include <optional>
+
+#include "core/mapping.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::core {
+
+/// Hosts (in descending residual-CPU order) that could accept a new guest
+/// with requirements `req` right now.  Empty = the environment cannot grow
+/// by this guest without migrations.
+[[nodiscard]] std::vector<NodeId> hosts_fitting_guest(
+    const model::PhysicalCluster& cluster,
+    const model::VirtualEnvironment& venv, const Mapping& mapping,
+    const model::GuestRequirements& req);
+
+/// Whether a new virtual link between mapped guests a and b with `demand`
+/// could be routed over residual bandwidth (empty path when co-located).
+/// Returns the path it would take, or nullopt when infeasible.
+[[nodiscard]] std::optional<graph::Path> link_route_available(
+    const model::PhysicalCluster& cluster,
+    const model::VirtualEnvironment& venv, const Mapping& mapping,
+    GuestId a, GuestId b, const model::VirtualLinkDemand& demand);
+
+}  // namespace hmn::core

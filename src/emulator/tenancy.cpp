@@ -1,0 +1,128 @@
+#include "emulator/tenancy.h"
+
+#include <algorithm>
+
+namespace hmn::emulator {
+
+TenancyManager::TenancyManager(model::PhysicalCluster cluster)
+    : TenancyManager(std::move(cluster), extensions::default_pool()) {}
+
+TenancyManager::TenancyManager(model::PhysicalCluster cluster,
+                               extensions::HeuristicPool pool)
+    : cluster_(std::move(cluster)), pool_(std::move(pool)) {
+  used_proc_.assign(cluster_.node_count(), 0.0);
+  used_mem_.assign(cluster_.node_count(), 0.0);
+  used_stor_.assign(cluster_.node_count(), 0.0);
+  used_bw_.assign(cluster_.link_count(), 0.0);
+}
+
+void TenancyManager::apply(const Tenant& tenant, double sign) {
+  for (std::size_t g = 0; g < tenant.venv.guest_count(); ++g) {
+    const auto& req =
+        tenant.venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)});
+    const std::size_t h = tenant.mapping.guest_host[g].index();
+    used_proc_[h] += sign * req.proc_mips;
+    used_mem_[h] += sign * req.mem_mb;
+    used_stor_[h] += sign * req.stor_gb;
+  }
+  for (std::size_t l = 0; l < tenant.venv.link_count(); ++l) {
+    const double bw =
+        tenant.venv.link(VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)})
+            .bandwidth_mbps;
+    for (const EdgeId e : tenant.mapping.link_paths[l]) {
+      used_bw_[e.index()] += sign * bw;
+    }
+  }
+}
+
+model::PhysicalCluster TenancyManager::residual_cluster() const {
+  topology::Topology topo = cluster_.topology();  // copy
+  std::vector<model::HostCapacity> caps;
+  caps.reserve(cluster_.host_count());
+  for (const NodeId h : cluster_.hosts()) {
+    const auto& cap = cluster_.capacity(h);
+    caps.push_back({
+        // Residual CPU may be negative (not a constraint); the mapper only
+        // uses it as the balancing metric, so clamp for sanity.
+        std::max(0.0, cap.proc_mips - used_proc_[h.index()]),
+        std::max(0.0, cap.mem_mb - used_mem_[h.index()]),
+        std::max(0.0, cap.stor_gb - used_stor_[h.index()]),
+    });
+  }
+  std::vector<model::LinkProps> links;
+  links.reserve(cluster_.link_count());
+  for (std::size_t e = 0; e < cluster_.link_count(); ++e) {
+    const auto id = EdgeId{static_cast<EdgeId::underlying_type>(e)};
+    links.push_back({std::max(0.0, cluster_.link(id).bandwidth_mbps -
+                                       used_bw_[e]),
+                     cluster_.link(id).latency_ms});
+  }
+  return model::PhysicalCluster::build(std::move(topo), std::move(caps),
+                                       std::move(links));
+}
+
+TenancyManager::AdmissionResult TenancyManager::admit(
+    std::string name, model::VirtualEnvironment venv, std::uint64_t seed) {
+  AdmissionResult result;
+  const model::PhysicalCluster view = residual_cluster();
+  core::MapOutcome outcome = pool_.first_success(view, venv, seed);
+  if (!outcome.ok()) {
+    result.error = outcome.error;
+    result.detail = std::move(outcome.detail);
+    return result;
+  }
+  Tenant tenant;
+  tenant.id = next_id_++;
+  tenant.name = std::move(name);
+  tenant.venv = std::move(venv);
+  tenant.mapping = std::move(*outcome.mapping);
+  apply(tenant, +1.0);
+  result.tenant = tenant.id;
+  tenants_.emplace(tenant.id, std::move(tenant));
+  return result;
+}
+
+bool TenancyManager::release(TenantId id) {
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) return false;
+  apply(it->second, -1.0);
+  tenants_.erase(it);
+  return true;
+}
+
+const Tenant* TenancyManager::tenant(TenantId id) const {
+  const auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+TenancyUtilization TenancyManager::utilization() const {
+  TenancyUtilization u;
+  u.tenants = tenants_.size();
+  double total_mem = 0.0, total_stor = 0.0, total_proc = 0.0;
+  double used_mem = 0.0, used_stor = 0.0, used_proc = 0.0;
+  for (const NodeId h : cluster_.hosts()) {
+    const auto& cap = cluster_.capacity(h);
+    total_mem += cap.mem_mb;
+    total_stor += cap.stor_gb;
+    total_proc += cap.proc_mips;
+    used_mem += used_mem_[h.index()];
+    used_stor += used_stor_[h.index()];
+    used_proc += used_proc_[h.index()];
+  }
+  u.mem_fraction = total_mem > 0 ? used_mem / total_mem : 0.0;
+  u.stor_fraction = total_stor > 0 ? used_stor / total_stor : 0.0;
+  u.proc_fraction = total_proc > 0 ? used_proc / total_proc : 0.0;
+  for (std::size_t e = 0; e < cluster_.link_count(); ++e) {
+    const double cap = cluster_.link(EdgeId{static_cast<EdgeId::underlying_type>(e)})
+                           .bandwidth_mbps;
+    if (cap > 0) {
+      u.peak_link_fraction = std::max(u.peak_link_fraction, used_bw_[e] / cap);
+    }
+  }
+  for (const auto& [id, tenant] : tenants_) {
+    u.guests += tenant.venv.guest_count();
+  }
+  return u;
+}
+
+}  // namespace hmn::emulator

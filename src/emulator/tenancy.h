@@ -1,0 +1,107 @@
+// Multi-tenant testbed management.
+//
+// The paper simplifies: "we consider that the entire cluster is available
+// for a single tester per time" (Section 3.2).  A production testbed
+// serves several testers at once; the TenancyManager relaxes the
+// assumption by admitting each tenant's virtual environment against the
+// *residual* capacity left by the tenants already running:
+//
+//   * admit(): builds a residual view of the cluster (same topology, host
+//     capacities and link bandwidths minus existing reservations) and runs
+//     the heuristic pool (HMN, RA fallback) on it; on success the tenant's
+//     demands are committed;
+//   * release(): returns a departed tenant's memory, storage, CPU, and
+//     bandwidth; no other tenant is disturbed (their placements were
+//     computed against capacities that only grew).
+//
+// Admission is deliberately conservative: a tenant that cannot be mapped
+// within the current residual is rejected rather than triggering
+// migrations of running tenants.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/map_result.h"
+#include "extensions/heuristic_pool.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::emulator {
+
+using TenantId = std::uint32_t;
+
+struct Tenant {
+  TenantId id = 0;
+  std::string name;
+  model::VirtualEnvironment venv;
+  core::Mapping mapping;
+};
+
+/// Cluster-wide utilization snapshot across all tenants.
+struct TenancyUtilization {
+  double mem_fraction = 0.0;      // reserved / total host memory
+  double stor_fraction = 0.0;
+  double proc_fraction = 0.0;     // may exceed 1: CPU is not a constraint
+  double peak_link_fraction = 0.0;  // most-loaded physical link
+  std::size_t tenants = 0;
+  std::size_t guests = 0;
+};
+
+class TenancyManager {
+ public:
+  /// Admission uses the default pool (HMN, RA fallback) unless a custom
+  /// pool is supplied — e.g. a MinHosts-first pool, which consolidates
+  /// each tenant and leaves contiguous capacity for later arrivals (bench
+  /// E11 quantifies the admission-rate difference).
+  explicit TenancyManager(model::PhysicalCluster cluster);
+  TenancyManager(model::PhysicalCluster cluster,
+                 extensions::HeuristicPool pool);
+
+  /// Admits a tenant; on success returns its id, on failure the mapper's
+  /// outcome explains why (kHostingFailed / kNetworkingFailed /
+  /// kTriesExhausted).
+  struct AdmissionResult {
+    std::optional<TenantId> tenant;
+    core::MapErrorCode error = core::MapErrorCode::kNone;
+    std::string detail;
+
+    [[nodiscard]] bool ok() const { return tenant.has_value(); }
+  };
+  AdmissionResult admit(std::string name, model::VirtualEnvironment venv,
+                        std::uint64_t seed);
+
+  /// Releases a tenant's resources.  False if the id is unknown.
+  bool release(TenantId id);
+
+  [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
+  /// nullptr when unknown.
+  [[nodiscard]] const Tenant* tenant(TenantId id) const;
+  [[nodiscard]] const model::PhysicalCluster& cluster() const {
+    return cluster_;
+  }
+
+  /// The cluster as the *next* tenant would see it: host capacities and
+  /// link bandwidths minus all current reservations.
+  [[nodiscard]] model::PhysicalCluster residual_cluster() const;
+
+  [[nodiscard]] TenancyUtilization utilization() const;
+
+ private:
+  model::PhysicalCluster cluster_;
+  extensions::HeuristicPool pool_;
+  std::map<TenantId, Tenant> tenants_;
+  TenantId next_id_ = 1;
+
+  // Aggregate reservations across tenants, per cluster node / edge.
+  std::vector<double> used_proc_;
+  std::vector<double> used_mem_;
+  std::vector<double> used_stor_;
+  std::vector<double> used_bw_;
+
+  void apply(const Tenant& tenant, double sign);
+};
+
+}  // namespace hmn::emulator

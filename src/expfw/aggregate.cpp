@@ -1,0 +1,49 @@
+#include "expfw/aggregate.h"
+
+namespace hmn::expfw {
+
+namespace {
+const CellSummary kEmptyCell{};
+}  // namespace
+
+const CellSummary& GridSummary::cell(std::size_t scenario,
+                                     workload::ClusterKind cluster,
+                                     const std::string& mapper) const {
+  const auto it = cells_.find({scenario, cluster, mapper});
+  return it == cells_.end() ? kEmptyCell : it->second;
+}
+
+std::size_t GridSummary::total_failures(workload::ClusterKind cluster,
+                                        const std::string& mapper) const {
+  std::size_t total = 0;
+  for (const auto& [key, cell] : cells_) {
+    if (std::get<1>(key) == cluster && std::get<2>(key) == mapper) {
+      total += cell.failures;
+    }
+  }
+  return total;
+}
+
+void GridSummary::add(const RunRecord& record) {
+  CellSummary& cell =
+      cells_[{record.scenario_index, record.cluster, record.mapper}];
+  ++cell.runs;
+  if (!record.ok) {
+    ++cell.failures;
+    return;
+  }
+  cell.objective.add(record.objective);
+  cell.map_seconds.add(record.stats.total_seconds);
+  cell.links_routed.add(static_cast<double>(record.stats.links_routed));
+  if (record.experiment_seconds >= 0.0) {
+    cell.experiment_secs.add(record.experiment_seconds);
+  }
+}
+
+GridSummary summarize(const std::vector<RunRecord>& records) {
+  GridSummary summary;
+  for (const RunRecord& r : records) summary.add(r);
+  return summary;
+}
+
+}  // namespace hmn::expfw

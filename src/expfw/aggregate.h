@@ -1,0 +1,52 @@
+// Aggregation of run records into per-cell summaries, as the paper's
+// Tables 2-3 report them: mean objective of valid runs, mean mapping time,
+// and the count of failures.
+#pragma once
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "expfw/runner.h"
+#include "util/stats.h"
+
+namespace hmn::expfw {
+
+struct CellSummary {
+  util::RunningStats objective;        // over valid runs
+  util::RunningStats map_seconds;      // over valid runs
+  util::RunningStats links_routed;     // over valid runs
+  util::RunningStats experiment_secs;  // over valid simulated runs
+  std::size_t failures = 0;
+  std::size_t runs = 0;
+};
+
+/// (scenario index, cluster kind, mapper name) -> summary.
+class GridSummary {
+ public:
+  using Key = std::tuple<std::size_t, workload::ClusterKind, std::string>;
+
+  /// Cell accessor; returns an empty summary when the cell never ran.
+  [[nodiscard]] const CellSummary& cell(std::size_t scenario,
+                                        workload::ClusterKind cluster,
+                                        const std::string& mapper) const;
+
+  /// Total failures of one mapper on one cluster across all scenarios
+  /// (Table 2's "Failures" row).
+  [[nodiscard]] std::size_t total_failures(workload::ClusterKind cluster,
+                                           const std::string& mapper) const;
+
+  [[nodiscard]] const std::map<Key, CellSummary>& cells() const {
+    return cells_;
+  }
+
+  void add(const RunRecord& record);
+
+ private:
+  std::map<Key, CellSummary> cells_;
+};
+
+[[nodiscard]] GridSummary summarize(const std::vector<RunRecord>& records);
+
+}  // namespace hmn::expfw

@@ -1,0 +1,51 @@
+// Renderers that lay grid summaries out in the paper's table formats.
+//
+//   * Table 2 — objective function per scenario x (cluster x mapper), with
+//     a final "Failures" row; cells with zero valid runs print "-", as the
+//     paper does.
+//   * Table 3 — mapping time per scenario x (cluster x mapper).
+//   * Figure 1 — series of (inter-host links routed, mean time, stddev)
+//     points for HMN, printed as a text table and exportable to CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expfw/aggregate.h"
+#include "util/table.h"
+
+namespace hmn::expfw {
+
+/// Table 2: mean objective function of valid runs + failure totals.
+[[nodiscard]] util::Table render_objective_table(
+    const std::vector<workload::Scenario>& scenarios,
+    const std::vector<workload::ClusterKind>& clusters,
+    const std::vector<std::string>& mappers, const GridSummary& summary);
+
+/// Table 3: mean mapping ("simulation") time of valid runs, in seconds.
+[[nodiscard]] util::Table render_time_table(
+    const std::vector<workload::Scenario>& scenarios,
+    const std::vector<workload::ClusterKind>& clusters,
+    const std::vector<std::string>& mappers, const GridSummary& summary);
+
+/// One Figure 1 point: links actually routed vs. mapping time.
+struct SeriesPoint {
+  double x = 0.0;        // mean inter-host links routed
+  double mean = 0.0;     // mean mapping time (s)
+  double stddev = 0.0;   // sample stddev of mapping time
+  std::string label;
+};
+
+/// Figure 1 data from per-scenario summaries of one mapper on one cluster,
+/// sorted by x.
+[[nodiscard]] std::vector<SeriesPoint> figure1_series(
+    const std::vector<workload::Scenario>& scenarios,
+    workload::ClusterKind cluster, const std::string& mapper,
+    const GridSummary& summary);
+
+/// Text rendering of a series (table plus a coarse ASCII plot).
+[[nodiscard]] std::string render_series(const std::vector<SeriesPoint>& pts,
+                                        const std::string& x_label,
+                                        const std::string& y_label);
+
+}  // namespace hmn::expfw

@@ -1,0 +1,95 @@
+#include "expfw/runner.h"
+
+#include "core/objective.h"
+#include "sim/experiment.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace hmn::expfw {
+namespace {
+
+// Seed-stream tags keep the derived seed spaces of unrelated draws apart.
+constexpr std::uint64_t kHostStream = 0x686f737473ULL;    // "hosts"
+constexpr std::uint64_t kVenvStream = 0x76656e76ULL;      // "venv"
+constexpr std::uint64_t kMapperStream = 0x6d617070ULL;    // "mapp"
+constexpr std::uint64_t kSimStream = 0x73696dULL;         // "sim"
+
+}  // namespace
+
+std::vector<RunRecord> run_grid(const GridSpec& spec,
+                                const std::vector<const core::Mapper*>& mappers) {
+  // Work items: (scenario, cluster, repetition).  All mappers run inside
+  // one item so they share the generated instance.
+  struct Item {
+    std::size_t scenario;
+    std::size_t cluster;
+    std::size_t rep;
+  };
+  std::vector<Item> items;
+  for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+    for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+      for (std::size_t r = 0; r < spec.repetitions; ++r) {
+        items.push_back({s, c, r});
+      }
+    }
+  }
+
+  std::vector<RunRecord> records(items.size() * mappers.size());
+
+  util::parallel_for(
+      items.size(),
+      [&](std::size_t i) {
+        const Item& item = items[i];
+        const workload::Scenario& scenario = spec.scenarios[item.scenario];
+        const workload::ClusterKind kind = spec.clusters[item.cluster];
+
+        // Host capacities depend only on the repetition: both topologies
+        // see the same hosts (Section 5.1).
+        const std::uint64_t host_seed =
+            util::derive_seed(spec.master_seed, kHostStream, item.rep);
+        const model::PhysicalCluster cluster =
+            workload::make_paper_cluster(kind, host_seed);
+        const std::uint64_t venv_seed = util::derive_seed(
+            spec.master_seed, kVenvStream,
+            item.scenario, item.rep);
+        const model::VirtualEnvironment venv =
+            workload::make_scenario_venv(scenario, cluster, venv_seed);
+
+        for (std::size_t m = 0; m < mappers.size(); ++m) {
+          RunRecord rec;
+          rec.scenario_index = item.scenario;
+          rec.cluster = kind;
+          rec.mapper = mappers[m]->name();
+          rec.repetition = item.rep;
+          rec.guests = venv.guest_count();
+          rec.virtual_links = venv.link_count();
+
+          const std::uint64_t map_seed = util::derive_seed(
+              spec.master_seed, kMapperStream,
+              item.scenario * 1000 + item.cluster, item.rep * 64 + m);
+          const core::MapOutcome outcome =
+              mappers[m]->map(cluster, venv, map_seed);
+          rec.ok = outcome.ok();
+          rec.error = outcome.error;
+          rec.stats = outcome.stats;
+          if (outcome.ok()) {
+            rec.objective =
+                core::load_balance_factor(cluster, venv, *outcome.mapping);
+            if (spec.simulate_experiment) {
+              sim::ExperimentSpec es = spec.experiment;
+              es.seed = util::derive_seed(spec.master_seed, kSimStream,
+                                          item.scenario, item.rep);
+              rec.experiment_seconds =
+                  sim::run_experiment(cluster, venv, *outcome.mapping, es)
+                      .makespan_seconds;
+            }
+          }
+          records[i * mappers.size() + m] = std::move(rec);
+        }
+      },
+      spec.threads);
+
+  return records;
+}
+
+}  // namespace hmn::expfw

@@ -1,0 +1,57 @@
+// Experiment grid runner (Section 5.2's protocol): every (scenario,
+// cluster, mapper) cell is executed `repetitions` times on independently
+// generated instances, and all heuristics see the *same* instance within a
+// repetition so comparisons are paired.  Host capacities are shared between
+// the two cluster topologies within a repetition, as in the paper ("the
+// cluster topology has been built with the same set of hosts").
+//
+// Cells run in parallel; every cell derives its own RNG seed from the
+// master seed, so results are identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/map_result.h"
+#include "core/mapper.h"
+#include "sim/experiment.h"
+#include "workload/scenario.h"
+
+namespace hmn::expfw {
+
+struct GridSpec {
+  std::vector<workload::Scenario> scenarios;
+  std::vector<workload::ClusterKind> clusters;
+  std::size_t repetitions = 30;
+  std::uint64_t master_seed = 20090922;  // ICPP 2009
+  std::size_t threads = 0;               // 0 = hardware concurrency
+  /// Also run the emulation-experiment simulation on every successful
+  /// mapping (needed for the correlation study, bench E4).
+  bool simulate_experiment = false;
+  /// Parameters of the simulated application (seed is overridden per cell).
+  sim::ExperimentSpec experiment;
+};
+
+/// One (scenario, cluster, mapper, repetition) execution.
+struct RunRecord {
+  std::size_t scenario_index = 0;
+  workload::ClusterKind cluster = workload::ClusterKind::kTorus2D;
+  std::string mapper;
+  std::size_t repetition = 0;
+
+  bool ok = false;
+  core::MapErrorCode error = core::MapErrorCode::kNone;
+  double objective = 0.0;        // Eq. 10 (valid runs only)
+  core::MapStats stats;
+  std::size_t guests = 0;
+  std::size_t virtual_links = 0;
+  /// Simulated emulation-experiment time; < 0 when not simulated.
+  double experiment_seconds = -1.0;
+};
+
+/// Runs the full grid.  `mappers` are borrowed; they must be callable
+/// concurrently (all mappers in this library are).
+[[nodiscard]] std::vector<RunRecord> run_grid(
+    const GridSpec& spec, const std::vector<const core::Mapper*>& mappers);
+
+}  // namespace hmn::expfw

@@ -1,0 +1,58 @@
+#include "extensions/heuristic_pool.h"
+
+#include <limits>
+
+#include "baselines/composite_mappers.h"
+#include "core/hmn_mapper.h"
+
+namespace hmn::extensions {
+
+void HeuristicPool::add(core::MapperPtr mapper) {
+  mappers_.push_back(std::move(mapper));
+}
+
+core::MapOutcome HeuristicPool::first_success(
+    const model::PhysicalCluster& cluster,
+    const model::VirtualEnvironment& venv, std::uint64_t seed) const {
+  core::MapOutcome last = core::MapOutcome::failure(
+      core::MapErrorCode::kInvalidInput, "empty heuristic pool");
+  for (const auto& mapper : mappers_) {
+    last = mapper->map(cluster, venv, seed);
+    if (last.ok()) return last;
+  }
+  return last;
+}
+
+core::MapOutcome HeuristicPool::best_by(const model::PhysicalCluster& cluster,
+                                        const model::VirtualEnvironment& venv,
+                                        std::uint64_t seed,
+                                        const ObjectiveFunction& objective,
+                                        std::string* winner) const {
+  core::MapOutcome best = core::MapOutcome::failure(
+      core::MapErrorCode::kInvalidInput, "empty heuristic pool");
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& mapper : mappers_) {
+    core::MapOutcome outcome = mapper->map(cluster, venv, seed);
+    if (!outcome.ok()) {
+      if (!best.ok()) best = std::move(outcome);  // keep an error to report
+      continue;
+    }
+    const double score = objective.evaluate(cluster, venv, *outcome.mapping);
+    if (score < best_score) {
+      best_score = score;
+      best = std::move(outcome);
+      if (winner != nullptr) *winner = mapper->name();
+    }
+  }
+  return best;
+}
+
+HeuristicPool default_pool() {
+  HeuristicPool pool;
+  pool.add(std::make_unique<core::HmnMapper>());
+  pool.add(std::make_unique<baselines::RandomAStarMapper>(
+      baselines::BaselineOptions{.max_tries = 100, .dfs_max_expansions = 0}));
+  return pool;
+}
+
+}  // namespace hmn::extensions

@@ -1,0 +1,51 @@
+// Heuristic pool — the paper's future-work vision (Section 6): "offer to
+// the emulator a pool of different heuristics that might be selected
+// according to the emulated scenario."
+//
+// The pool holds any number of Mappers and supports two selection modes:
+//   * first_success: try mappers in registration order, return the first
+//     valid mapping (a fallback chain: HMN, then RA when HMN fails, ...);
+//   * best_by: run every mapper and return the valid mapping with the best
+//     (lowest) score under a supplied ObjectiveFunction.
+#pragma once
+
+#include <vector>
+
+#include "core/mapper.h"
+#include "extensions/objectives.h"
+
+namespace hmn::extensions {
+
+class HeuristicPool {
+ public:
+  /// Adds a mapper to the pool (order defines first_success priority).
+  void add(core::MapperPtr mapper);
+
+  [[nodiscard]] std::size_t size() const { return mappers_.size(); }
+  [[nodiscard]] const core::Mapper& at(std::size_t i) const {
+    return *mappers_[i];
+  }
+
+  /// First mapper (in registration order) that produces a valid mapping.
+  /// Fails with the *last* mapper's error when all fail.
+  [[nodiscard]] core::MapOutcome first_success(
+      const model::PhysicalCluster& cluster,
+      const model::VirtualEnvironment& venv, std::uint64_t seed) const;
+
+  /// Runs every mapper; returns the valid mapping minimizing `objective`.
+  /// The winning mapper's name is reported through `winner` when non-null.
+  [[nodiscard]] core::MapOutcome best_by(
+      const model::PhysicalCluster& cluster,
+      const model::VirtualEnvironment& venv, std::uint64_t seed,
+      const ObjectiveFunction& objective, std::string* winner = nullptr) const;
+
+ private:
+  std::vector<core::MapperPtr> mappers_;
+};
+
+/// The default pool: HMN first, then RA as a fallback (the combination the
+/// paper's evaluation suggests: HMN for quality, random+A*Prune for the
+/// tight instances where affinity hosting fails).
+[[nodiscard]] HeuristicPool default_pool();
+
+}  // namespace hmn::extensions

@@ -1,0 +1,36 @@
+#include "extensions/mapper_registry.h"
+
+#include "baselines/composite_mappers.h"
+#include "core/hmn_mapper.h"
+#include "extensions/greedy_rank_mapper.h"
+#include "extensions/min_hosts_mapper.h"
+
+namespace hmn::extensions {
+
+core::MapperPtr make_named_mapper(std::string_view name,
+                                  const RegistryOptions& opts) {
+  baselines::BaselineOptions baseline;
+  baseline.max_tries = opts.max_tries;
+  if (name == "hmn") return std::make_unique<core::HmnMapper>();
+  if (name == "hn") {
+    core::HmnOptions o;
+    o.enable_migration = false;
+    return std::make_unique<core::HmnMapper>(o);
+  }
+  if (name == "r") return std::make_unique<baselines::RandomDfsMapper>(baseline);
+  if (name == "ra") {
+    return std::make_unique<baselines::RandomAStarMapper>(baseline);
+  }
+  if (name == "hs") {
+    return std::make_unique<baselines::HostingSearchMapper>(baseline);
+  }
+  if (name == "minhosts") return std::make_unique<MinHostsMapper>();
+  if (name == "greedyrank") return std::make_unique<GreedyRankMapper>();
+  return nullptr;
+}
+
+std::vector<std::string> known_mapper_names() {
+  return {"hmn", "hn", "r", "ra", "hs", "minhosts", "greedyrank"};
+}
+
+}  // namespace hmn::extensions

@@ -1,0 +1,27 @@
+// Name-based mapper factory — the single place tools and spec files
+// resolve mapper names ("hmn", "ra", "minhosts", ...) into instances.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mapper.h"
+
+namespace hmn::extensions {
+
+struct RegistryOptions {
+  /// Retry budget for the randomized baselines (R, RA, HS).
+  std::size_t max_tries = 1000;
+};
+
+/// Known names: "hmn", "hn" (HMN without migration), "r", "ra", "hs",
+/// "minhosts", "greedyrank".  Case-sensitive.  Returns nullptr for an
+/// unknown name.
+[[nodiscard]] core::MapperPtr make_named_mapper(std::string_view name,
+                                                const RegistryOptions& opts = {});
+
+/// The names make_named_mapper accepts, for help texts and validation.
+[[nodiscard]] std::vector<std::string> known_mapper_names();
+
+}  // namespace hmn::extensions

@@ -1,0 +1,35 @@
+#include "extensions/objectives.h"
+
+#include <unordered_set>
+
+#include "core/objective.h"
+
+namespace hmn::extensions {
+
+double LoadBalanceObjective::evaluate(const model::PhysicalCluster& cluster,
+                                      const model::VirtualEnvironment& venv,
+                                      const core::Mapping& mapping) const {
+  return core::load_balance_factor(cluster, venv, mapping);
+}
+
+double MinHostsObjective::evaluate(const model::PhysicalCluster&,
+                                   const model::VirtualEnvironment&,
+                                   const core::Mapping& mapping) const {
+  std::unordered_set<NodeId> used;
+  for (const NodeId h : mapping.guest_host) used.insert(h);
+  return static_cast<double>(used.size());
+}
+
+double NetworkFootprintObjective::evaluate(
+    const model::PhysicalCluster&, const model::VirtualEnvironment& venv,
+    const core::Mapping& mapping) const {
+  double total = 0.0;
+  for (std::size_t l = 0; l < mapping.link_paths.size(); ++l) {
+    const auto id = VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)};
+    total += venv.link(id).bandwidth_mbps *
+             static_cast<double>(mapping.link_paths[l].size());
+  }
+  return total;
+}
+
+}  // namespace hmn::extensions

@@ -1,0 +1,63 @@
+// Pluggable objective functions — the paper's future work (Section 6):
+// "heuristics for different optimization goals can be developed.  For
+// example, one could be interested in a mapping whose goal is to minimize
+// the amount of hosts used in each emulation."
+//
+// An ObjectiveFunction scores a complete mapping; lower is better for every
+// objective in the library, so the heuristic pool can compare them
+// uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/mapping.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::extensions {
+
+class ObjectiveFunction {
+ public:
+  virtual ~ObjectiveFunction() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Scores a complete mapping; lower is better.
+  [[nodiscard]] virtual double evaluate(
+      const model::PhysicalCluster& cluster,
+      const model::VirtualEnvironment& venv,
+      const core::Mapping& mapping) const = 0;
+};
+
+/// The paper's Eq. 10: population standard deviation of residual CPU.
+class LoadBalanceObjective final : public ObjectiveFunction {
+ public:
+  [[nodiscard]] std::string name() const override { return "load-balance"; }
+  [[nodiscard]] double evaluate(const model::PhysicalCluster& cluster,
+                                const model::VirtualEnvironment& venv,
+                                const core::Mapping& mapping) const override;
+};
+
+/// Number of distinct hosts used — the consolidation goal of Section 6.
+class MinHostsObjective final : public ObjectiveFunction {
+ public:
+  [[nodiscard]] std::string name() const override { return "min-hosts"; }
+  [[nodiscard]] double evaluate(const model::PhysicalCluster& cluster,
+                                const model::VirtualEnvironment& venv,
+                                const core::Mapping& mapping) const override;
+};
+
+/// Total physical bandwidth consumed: sum over virtual links of
+/// vbw x path-hops.  Rewards co-location and short paths.
+class NetworkFootprintObjective final : public ObjectiveFunction {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "network-footprint";
+  }
+  [[nodiscard]] double evaluate(const model::PhysicalCluster& cluster,
+                                const model::VirtualEnvironment& venv,
+                                const core::Mapping& mapping) const override;
+};
+
+using ObjectivePtr = std::unique_ptr<ObjectiveFunction>;
+
+}  // namespace hmn::extensions

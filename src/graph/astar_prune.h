@@ -1,0 +1,287 @@
+// A*Prune path search (Liu & Ramakrishnan, INFOCOM 2001) and the paper's
+// modified 1-constrained variant (Algorithm 1).
+//
+// The original A*Prune enumerates the K shortest paths subject to multiple
+// additive constraints, expanding partial paths in best-first order and
+// pruning those whose optimistic completion (current accumulation + a
+// precomputed Dijkstra lower bound to the destination) violates any
+// constraint.  The paper modifies it for the Networking stage:
+//
+//   * the priority is the greatest *bottleneck bandwidth* of the partial
+//     path (a max-min objective rather than an additive one);
+//   * one additive constraint remains: accumulated latency, with the
+//     Dijkstra latency-to-destination array `ar[]` as admissible heuristic;
+//   * edges whose residual bandwidth is below the virtual link's demand are
+//     pruned outright.
+//
+// `astar_prune_bottleneck` is that modified algorithm, faithful to the
+// paper's pseudocode.  `astar_prune_ksp` is the general additive K-path
+// form, provided because the library exposes the substrate, and used by the
+// tests to cross-check the modified variant on latency-feasibility.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+
+namespace hmn::graph {
+
+/// A feasible path plus its bottleneck bandwidth and accumulated latency.
+struct ConstrainedPath {
+  Path edges;
+  double bottleneck_bw = std::numeric_limits<double>::infinity();
+  double total_latency = 0.0;
+};
+
+namespace detail {
+
+/// Partial path stored as an immutable chain so that the frontier can share
+/// prefixes; heads are indices into an arena.  This keeps A*Prune's frontier
+/// memory linear in expansions instead of quadratic.
+struct ChainNode {
+  EdgeId edge;          // edge taken to reach `node`
+  NodeId node;          // endpoint reached
+  std::int32_t parent;  // arena index of predecessor, -1 for the origin
+};
+
+struct Frontier {
+  double bottleneck;  // max-min objective: larger is better
+  double latency;     // accumulated additive constraint
+  std::int32_t chain;  // arena index of the partial path head
+  NodeId last;
+
+  // Max-heap by bottleneck; ties broken toward lower latency so that, among
+  // equally wide paths, shorter ones surface first (deterministic result).
+  bool operator<(const Frontier& o) const {
+    if (bottleneck != o.bottleneck) return bottleneck < o.bottleneck;
+    return latency > o.latency;
+  }
+};
+
+}  // namespace detail
+
+/// Search options for the modified A*Prune.
+struct AStarPruneOptions {
+  /// Per-node Pareto dominance pruning on (bottleneck, latency) labels.  A
+  /// partial path reaching node v is discarded if another recorded partial
+  /// path reached v with bandwidth >= and latency <=.  With strictly
+  /// positive edge latencies this pruning is exact (any walk revisiting a
+  /// node is dominated by its own prefix) and reduces the frontier from the
+  /// number of feasible simple paths to the number of Pareto-optimal
+  /// labels — the difference between minutes and milliseconds per link on
+  /// the torus cluster.  Disable only to cross-check against the literal
+  /// Algorithm 1 enumeration in tests.
+  bool prune_dominated = true;
+
+  /// Precomputed latency-to-destination array (the paper's ar[], one entry
+  /// per node) to reuse across calls with the same destination.  When null,
+  /// a Dijkstra run computes it.
+  const std::vector<double>* lat_to_dest = nullptr;
+};
+
+/// The paper's modified 1-constrained A*Prune (Algorithm 1).
+///
+/// Finds a loop-free path origin->destination maximizing the bottleneck of
+/// `residual_bw(EdgeId)`, subject to:
+///   * every edge on the path has residual_bw >= `demand_bw` (Eq. 9 pruning)
+///   * sum of `latency(EdgeId)` over the path <= `max_latency` (Eq. 8),
+///     pruned via the Dijkstra latency-to-destination lower bound.
+///
+/// Returns nullopt when no feasible path exists.  origin == destination
+/// yields the empty path (infinite bottleneck, zero latency) — virtual links
+/// between co-located guests are handled inside the host (Section 5.2).
+template <typename BwFn, typename LatFn>
+[[nodiscard]] std::optional<ConstrainedPath> astar_prune_bottleneck(
+    const Graph& g, NodeId origin, NodeId destination, double demand_bw,
+    double max_latency, BwFn&& residual_bw, LatFn&& latency,
+    const AStarPruneOptions& opts = {}) {
+  if (origin == destination) return ConstrainedPath{};
+
+  // ar[c] = shortest achievable latency from c to destination (undirected
+  // graph: Dijkstra from the destination gives distance-to-destination).
+  std::vector<double> computed;
+  if (opts.lat_to_dest == nullptr) {
+    computed = dijkstra(g, destination, [&](EdgeId e) { return latency(e); }).dist;
+  }
+  const std::vector<double>& ar =
+      opts.lat_to_dest != nullptr ? *opts.lat_to_dest : computed;
+  if (ar[origin.index()] > max_latency) {
+    return std::nullopt;  // even the latency-optimal path is inadmissible
+  }
+
+  std::vector<detail::ChainNode> arena;
+  std::priority_queue<detail::Frontier> set;
+  set.push({std::numeric_limits<double>::infinity(), 0.0, -1, origin});
+
+  // Pareto label store per node: non-dominated (bottleneck, latency) pairs
+  // of partial paths already queued for that node.
+  struct Label {
+    double bottleneck;
+    double latency;
+  };
+  std::vector<std::vector<Label>> labels(
+      opts.prune_dominated ? g.node_count() : 0);
+  auto dominated = [&](NodeId n, double bneck, double lat) {
+    for (const Label& l : labels[n.index()]) {
+      if (l.bottleneck >= bneck && l.latency <= lat) return true;
+    }
+    return false;
+  };
+  auto record = [&](NodeId n, double bneck, double lat) {
+    auto& ls = labels[n.index()];
+    std::erase_if(ls, [&](const Label& l) {
+      return bneck >= l.bottleneck && lat <= l.latency;
+    });
+    ls.push_back({bneck, lat});
+  };
+
+  // Reconstructs the node set of a partial path for the loop check.
+  auto on_path = [&](std::int32_t chain, NodeId n) {
+    if (n == origin) return true;
+    for (std::int32_t i = chain; i >= 0; i = arena[static_cast<std::size_t>(i)].parent) {
+      if (arena[static_cast<std::size_t>(i)].node == n) return true;
+    }
+    return false;
+  };
+
+  while (!set.empty()) {
+    const detail::Frontier best = set.top();
+    set.pop();
+    if (best.last == destination) {
+      ConstrainedPath out;
+      out.bottleneck_bw = best.bottleneck;
+      out.total_latency = best.latency;
+      for (std::int32_t i = best.chain; i >= 0;
+           i = arena[static_cast<std::size_t>(i)].parent) {
+        out.edges.push_back(arena[static_cast<std::size_t>(i)].edge);
+      }
+      std::reverse(out.edges.begin(), out.edges.end());
+      return out;
+    }
+    for (const Adjacency& adj : g.neighbors(best.last)) {
+      if (on_path(best.chain, adj.neighbor)) continue;  // loop-free (Eq. 7)
+      const double bw = residual_bw(adj.edge);
+      if (bw < demand_bw) continue;  // bandwidth pruning (Eq. 9)
+      const double lat = latency(adj.edge);
+      const double acc = best.latency + lat;
+      // Admissibility pruning: optimistic completion must satisfy Eq. 8.
+      const double bound = ar[adj.neighbor.index()];
+      if (acc + bound > max_latency) continue;
+      const double nbneck = std::min(best.bottleneck, bw);
+      if (opts.prune_dominated) {
+        if (dominated(adj.neighbor, nbneck, acc)) continue;
+        record(adj.neighbor, nbneck, acc);
+      }
+      arena.push_back({adj.edge, adj.neighbor, best.chain});
+      set.push({nbneck, acc,
+                static_cast<std::int32_t>(arena.size() - 1), adj.neighbor});
+    }
+  }
+  return std::nullopt;
+}
+
+/// General A*Prune: the K shortest loop-free paths by additive length
+/// `length(EdgeId)`, subject to additive constraints given as
+/// (weight fn, bound) pairs evaluated with Dijkstra lower-bound pruning.
+///
+/// This is the algorithm of the paper's reference [8], of which Algorithm 1
+/// is a specialization; exposing it makes the library usable for QoS
+/// routing beyond the mapping problem and lets tests cross-validate the
+/// modified variant.
+struct AdditiveConstraint {
+  std::vector<double> weight;  // per-edge weight, indexed by EdgeId
+  double bound;
+};
+
+template <typename LenFn>
+[[nodiscard]] std::vector<ConstrainedPath> astar_prune_ksp(
+    const Graph& g, NodeId origin, NodeId destination, std::size_t k,
+    LenFn&& length, const std::vector<AdditiveConstraint>& constraints) {
+  std::vector<ConstrainedPath> results;
+  if (k == 0) return results;
+  if (origin == destination) {
+    results.push_back(ConstrainedPath{});
+    return results;
+  }
+
+  // Lower bounds to destination: one Dijkstra per metric (length + each
+  // constraint).
+  const ShortestPaths len_bound =
+      dijkstra(g, destination, [&](EdgeId e) { return length(e); });
+  if (!len_bound.reachable(origin)) return results;
+  std::vector<ShortestPaths> cons_bound;
+  cons_bound.reserve(constraints.size());
+  for (const auto& c : constraints) {
+    cons_bound.push_back(
+        dijkstra(g, destination, [&](EdgeId e) { return c.weight[e.index()]; }));
+  }
+
+  struct KFrontier {
+    double est;  // accumulated length + lower bound (A* f-value)
+    double len;  // accumulated length (g-value)
+    std::vector<double> acc;  // accumulated constraint values
+    std::int32_t chain;
+    NodeId last;
+    bool operator<(const KFrontier& o) const { return est > o.est; }  // min-heap
+  };
+
+  std::vector<detail::ChainNode> arena;
+  std::priority_queue<KFrontier> set;
+  set.push({len_bound.dist[origin.index()], 0.0,
+            std::vector<double>(constraints.size(), 0.0), -1, origin});
+
+  auto on_path = [&](std::int32_t chain, NodeId n) {
+    if (n == origin) return true;
+    for (std::int32_t i = chain; i >= 0;
+         i = arena[static_cast<std::size_t>(i)].parent) {
+      if (arena[static_cast<std::size_t>(i)].node == n) return true;
+    }
+    return false;
+  };
+
+  while (!set.empty() && results.size() < k) {
+    KFrontier best = set.top();
+    set.pop();
+    if (best.last == destination) {
+      ConstrainedPath out;
+      out.total_latency = best.len;
+      out.bottleneck_bw = std::numeric_limits<double>::infinity();
+      for (std::int32_t i = best.chain; i >= 0;
+           i = arena[static_cast<std::size_t>(i)].parent) {
+        out.edges.push_back(arena[static_cast<std::size_t>(i)].edge);
+      }
+      std::reverse(out.edges.begin(), out.edges.end());
+      results.push_back(std::move(out));
+      continue;
+    }
+    for (const Adjacency& adj : g.neighbors(best.last)) {
+      if (on_path(best.chain, adj.neighbor)) continue;
+      bool feasible = true;
+      std::vector<double> acc = best.acc;
+      for (std::size_t ci = 0; ci < constraints.size(); ++ci) {
+        acc[ci] += constraints[ci].weight[adj.edge.index()];
+        if (acc[ci] + cons_bound[ci].dist[adj.neighbor.index()] >
+            constraints[ci].bound) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      const double nlen = best.len + length(adj.edge);
+      const double bound = len_bound.dist[adj.neighbor.index()];
+      if (bound == std::numeric_limits<double>::infinity()) continue;
+      arena.push_back({adj.edge, adj.neighbor, best.chain});
+      set.push({nlen + bound, nlen, std::move(acc),
+                static_cast<std::int32_t>(arena.size() - 1), adj.neighbor});
+    }
+  }
+  return results;
+}
+
+}  // namespace hmn::graph

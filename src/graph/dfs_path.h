@@ -1,0 +1,137 @@
+// Depth-first constrained path search — the path-mapping algorithm of the
+// paper's Random (R) and Hosting-with-Search (HS) baselines (Section 5).
+//
+// The search backtracks through the graph looking for *any* loop-free path
+// that satisfies the bandwidth demand on every edge and the accumulated
+// latency bound.  Unlike A*Prune it makes no attempt to preserve bottleneck
+// bandwidth for later links, which is exactly the deficiency the paper's
+// evaluation attributes the baselines' failures to.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/astar_prune.h"  // ConstrainedPath
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace hmn::graph {
+
+/// DFS options.
+struct DfsOptions {
+  /// When set, neighbor expansion order is shuffled per node with this RNG,
+  /// giving the randomized retries the Random baseline relies on.  When
+  /// null, adjacency order is used (deterministic).
+  util::Rng* rng = nullptr;
+  /// Safety valve on visited states; 0 = unlimited.  The mapping instances
+  /// in the paper are 40-node clusters, where full DFS is affordable.
+  std::size_t max_expansions = 0;
+};
+
+/// Finds a loop-free origin->destination path where every edge has
+/// `residual_bw >= demand_bw` and total latency <= max_latency.
+/// Returns nullopt if the (possibly truncated) search finds none.
+template <typename BwFn, typename LatFn>
+[[nodiscard]] std::optional<ConstrainedPath> dfs_find_path(
+    const Graph& g, NodeId origin, NodeId destination, double demand_bw,
+    double max_latency, BwFn&& residual_bw, LatFn&& latency,
+    DfsOptions opts = {}) {
+  if (origin == destination) return ConstrainedPath{};
+
+  std::vector<bool> on_path(g.node_count(), false);
+  Path stack_edges;
+  std::size_t expansions = 0;
+  bool truncated = false;
+
+  // Recursive lambda via explicit stack of (node, accumulated latency,
+  // bottleneck) frames would obscure the backtracking; the cluster graphs
+  // are small (tens of nodes), so plain recursion is clear and safe.
+  std::optional<ConstrainedPath> found;
+  auto rec = [&](auto&& self, NodeId u, double acc_lat,
+                 double bottleneck) -> bool {
+    if (u == destination) {
+      found = ConstrainedPath{stack_edges, bottleneck, acc_lat};
+      return true;
+    }
+    if (opts.max_expansions != 0 && ++expansions > opts.max_expansions) {
+      truncated = true;
+      return false;
+    }
+    std::vector<Adjacency> order(g.neighbors(u).begin(), g.neighbors(u).end());
+    if (opts.rng != nullptr) opts.rng->shuffle(order.begin(), order.end());
+    for (const Adjacency& adj : order) {
+      if (on_path[adj.neighbor.index()]) continue;
+      const double bw = residual_bw(adj.edge);
+      if (bw < demand_bw) continue;
+      const double nlat = acc_lat + latency(adj.edge);
+      if (nlat > max_latency) continue;
+      on_path[adj.neighbor.index()] = true;
+      stack_edges.push_back(adj.edge);
+      if (self(self, adj.neighbor, nlat, std::min(bottleneck, bw))) return true;
+      stack_edges.pop_back();
+      on_path[adj.neighbor.index()] = false;
+      if (truncated) return false;
+    }
+    return false;
+  };
+
+  on_path[origin.index()] = true;
+  rec(rec, origin, 0.0, std::numeric_limits<double>::infinity());
+  return found;
+}
+
+/// Naive depth-first path search: returns the *first* simple path the
+/// (optionally randomized) DFS stumbles upon, with no awareness of
+/// bandwidth or latency during the search.  This is the literal reading of
+/// the paper's baseline ("applies a depth-first search algorithm to find a
+/// path connecting the hosts"); the caller checks the found path against
+/// the virtual link's constraints and fails the attempt if they are
+/// violated.  On a torus such first-found paths wander (random
+/// self-avoiding walks), routinely blowing the latency budget — the
+/// mechanism behind the paper's massive R/HS failure counts on the torus
+/// cluster and their success on the switched cluster, where every wrong
+/// turn is a dead end and the first path found is the 2-hop switch route.
+template <typename BwFn, typename LatFn>
+[[nodiscard]] std::optional<ConstrainedPath> dfs_first_path(
+    const Graph& g, NodeId origin, NodeId destination, BwFn&& residual_bw,
+    LatFn&& latency, DfsOptions opts = {}) {
+  if (origin == destination) return ConstrainedPath{};
+
+  std::vector<bool> on_path(g.node_count(), false);
+  Path stack_edges;
+  std::size_t expansions = 0;
+  std::optional<ConstrainedPath> found;
+
+  auto rec = [&](auto&& self, NodeId u) -> bool {
+    if (u == destination) {
+      double lat = 0.0;
+      double bneck = std::numeric_limits<double>::infinity();
+      for (const EdgeId e : stack_edges) {
+        lat += latency(e);
+        bneck = std::min(bneck, residual_bw(e));
+      }
+      found = ConstrainedPath{stack_edges, bneck, lat};
+      return true;
+    }
+    if (opts.max_expansions != 0 && ++expansions > opts.max_expansions) {
+      return true;  // abort the whole search, leaving `found` empty
+    }
+    std::vector<Adjacency> order(g.neighbors(u).begin(), g.neighbors(u).end());
+    if (opts.rng != nullptr) opts.rng->shuffle(order.begin(), order.end());
+    for (const Adjacency& adj : order) {
+      if (on_path[adj.neighbor.index()]) continue;
+      on_path[adj.neighbor.index()] = true;
+      stack_edges.push_back(adj.edge);
+      if (self(self, adj.neighbor)) return true;
+      stack_edges.pop_back();
+      on_path[adj.neighbor.index()] = false;
+    }
+    return false;
+  };
+
+  on_path[origin.index()] = true;
+  rec(rec, origin);
+  return found;
+}
+
+}  // namespace hmn::graph

@@ -1,0 +1,114 @@
+// Dijkstra shortest paths with a caller-supplied edge weight.
+//
+// The Networking stage precomputes, for each A*Prune invocation, the
+// latency-distance from every node to the link's destination host; that
+// array (`ar[]` in the paper's Algorithm 1) is the admissibility heuristic
+// used to prune paths that can no longer meet the latency constraint.
+#pragma once
+
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hmn::graph {
+
+/// Result of a single-source Dijkstra run.
+struct ShortestPaths {
+  /// dist[v] = weight of the lightest path source->v, or +inf if
+  /// unreachable.
+  std::vector<double> dist;
+  /// parent_edge[v] = edge by which v was settled (invalid for source and
+  /// unreachable nodes).  Walking parents reconstructs a lightest path.
+  std::vector<EdgeId> parent_edge;
+
+  [[nodiscard]] bool reachable(NodeId v) const {
+    return dist[v.index()] != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Runs Dijkstra from `source`.  `weight(EdgeId) -> double` must be
+/// non-negative; edges may be skipped by returning +infinity.
+template <typename WeightFn>
+[[nodiscard]] ShortestPaths dijkstra(const Graph& g, NodeId source,
+                                     WeightFn&& weight) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ShortestPaths out;
+  out.dist.assign(g.node_count(), kInf);
+  out.parent_edge.assign(g.node_count(), EdgeId::invalid());
+  assert(source.index() < g.node_count());
+
+  using Entry = std::pair<double, NodeId>;
+  auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+
+  out.dist[source.index()] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > out.dist[u.index()]) continue;  // stale entry
+    for (const Adjacency& adj : g.neighbors(u)) {
+      const double w = weight(adj.edge);
+      assert(!(w < 0.0));
+      if (w == kInf) continue;
+      const double nd = d + w;
+      if (nd < out.dist[adj.neighbor.index()]) {
+        out.dist[adj.neighbor.index()] = nd;
+        out.parent_edge[adj.neighbor.index()] = adj.edge;
+        heap.push({nd, adj.neighbor});
+      }
+    }
+  }
+  return out;
+}
+
+/// Reconstructs the source->target path from a Dijkstra result.  Returns an
+/// empty path when target == source; precondition: target reachable.
+[[nodiscard]] inline Path extract_path(const Graph& g,
+                                       const ShortestPaths& sp,
+                                       NodeId source, NodeId target) {
+  Path rev;
+  NodeId cur = target;
+  while (cur != source) {
+    const EdgeId e = sp.parent_edge[cur.index()];
+    assert(e.valid() && "target not reachable from source");
+    rev.push_back(e);
+    cur = g.endpoints(e).other(cur);
+  }
+  return {rev.rbegin(), rev.rend()};
+}
+
+/// "Widest path" variant: maximizes the bottleneck (minimum) capacity along
+/// the path instead of minimizing a sum.  Used as a comparison baseline for
+/// the modified A*Prune in the ablation benches.
+template <typename CapacityFn>
+[[nodiscard]] std::vector<double> widest_path_capacities(const Graph& g,
+                                                         NodeId source,
+                                                         CapacityFn&& cap) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> width(g.node_count(), 0.0);
+  width[source.index()] = kInf;
+
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry> heap;  // max-heap on width
+  heap.push({kInf, source});
+  while (!heap.empty()) {
+    const auto [w, u] = heap.top();
+    heap.pop();
+    if (w < width[u.index()]) continue;
+    for (const Adjacency& adj : g.neighbors(u)) {
+      const double c = cap(adj.edge);
+      const double nw = std::min(w, c);
+      if (nw > width[adj.neighbor.index()]) {
+        width[adj.neighbor.index()] = nw;
+        heap.push({nw, adj.neighbor});
+      }
+    }
+  }
+  return width;
+}
+
+}  // namespace hmn::graph

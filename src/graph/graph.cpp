@@ -1,0 +1,92 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hmn::graph {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return NodeId{static_cast<NodeId::underlying_type>(adjacency_.size() - 1)};
+}
+
+EdgeId Graph::add_edge(NodeId a, NodeId b) {
+  assert(a.index() < node_count() && b.index() < node_count());
+  const EdgeId id{static_cast<EdgeId::underlying_type>(edges_.size())};
+  edges_.push_back({a, b});
+  adjacency_[a.index()].push_back({b, id});
+  if (a != b) adjacency_[b.index()].push_back({a, id});
+  return id;
+}
+
+EdgeId Graph::find_edge(NodeId a, NodeId b) const {
+  for (const Adjacency& adj : neighbors(a)) {
+    if (adj.neighbor == b) return adj.edge;
+  }
+  return EdgeId::invalid();
+}
+
+bool Graph::connected() const { return component_count() <= 1; }
+
+std::size_t Graph::component_count() const {
+  const std::size_t n = node_count();
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack;
+  std::size_t components = 0;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    ++components;
+    seen[start] = true;
+    stack.push_back(NodeId{static_cast<NodeId::underlying_type>(start)});
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const Adjacency& adj : neighbors(u)) {
+        if (!seen[adj.neighbor.index()]) {
+          seen[adj.neighbor.index()] = true;
+          stack.push_back(adj.neighbor);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+double Graph::density() const {
+  const auto n = static_cast<double>(node_count());
+  if (n < 2.0) return 0.0;
+  return static_cast<double>(edge_count()) / (n * (n - 1.0) / 2.0);
+}
+
+std::vector<NodeId> path_nodes(const Graph& g, NodeId origin,
+                               const Path& path) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(path.size() + 1);
+  nodes.push_back(origin);
+  NodeId cur = origin;
+  for (EdgeId e : path) {
+    cur = g.endpoints(e).other(cur);
+    nodes.push_back(cur);
+  }
+  return nodes;
+}
+
+bool path_is_simple(const Graph& g, NodeId origin, NodeId dest,
+                    const Path& path) {
+  NodeId cur = origin;
+  std::vector<NodeId> visited{origin};
+  for (EdgeId e : path) {
+    const EdgeEndpoints ep = g.endpoints(e);
+    if (ep.a != cur && ep.b != cur) return false;  // edges do not chain
+    cur = ep.other(cur);
+    if (std::find(visited.begin(), visited.end(), cur) != visited.end()) {
+      return false;  // node revisited -> loop
+    }
+    visited.push_back(cur);
+  }
+  return cur == dest;
+}
+
+}  // namespace hmn::graph

@@ -1,0 +1,99 @@
+// Compact undirected multigraph.
+//
+// Both the physical cluster and the virtual environment are modeled as
+// undirected graphs (the paper's links carry symmetric bandwidth/latency).
+// Nodes are dense indices [0, n); edges are endpoint pairs addressed by
+// `EdgeId`.  Attribute data (bandwidth, latency, host capacities) lives in
+// the model layer, keyed by these ids, so algorithms stay generic and the
+// graph stays a pure topology object.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace hmn::graph {
+
+/// One adjacency entry: the neighbor reached and the edge used.
+struct Adjacency {
+  NodeId neighbor;
+  EdgeId edge;
+};
+
+/// Endpoints of an undirected edge (stored in insertion order; no
+/// orientation is implied).
+struct EdgeEndpoints {
+  NodeId a;
+  NodeId b;
+
+  /// The endpoint that is not `n`.  Precondition: n is an endpoint.
+  [[nodiscard]] NodeId other(NodeId n) const { return n == a ? b : a; }
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count);
+
+  /// Appends a node; returns its id.
+  NodeId add_node();
+
+  /// Appends an undirected edge between existing nodes; returns its id.
+  /// Self-loops and parallel edges are permitted (the model layer forbids
+  /// them where the paper does).
+  EdgeId add_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] EdgeEndpoints endpoints(EdgeId e) const {
+    return edges_[e.index()];
+  }
+
+  [[nodiscard]] std::span<const Adjacency> neighbors(NodeId n) const {
+    return adjacency_[n.index()];
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId n) const {
+    return adjacency_[n.index()].size();
+  }
+
+  /// Finds an edge between a and b, or EdgeId::invalid().  If several
+  /// parallel edges exist, returns the first inserted.
+  [[nodiscard]] EdgeId find_edge(NodeId a, NodeId b) const;
+
+  /// True when every node is reachable from node 0 (vacuously true for the
+  /// empty graph).  The paper's generator guarantees connected virtual
+  /// environments; this is the checked invariant.
+  [[nodiscard]] bool connected() const;
+
+  /// Number of connected components.
+  [[nodiscard]] std::size_t component_count() const;
+
+  /// Density as used by the paper's generator: |E| / (n*(n-1)/2).
+  [[nodiscard]] double density() const;
+
+ private:
+  std::vector<std::vector<Adjacency>> adjacency_;
+  std::vector<EdgeEndpoints> edges_;
+};
+
+/// A path as an edge sequence.  The node sequence is recovered with
+/// `path_nodes`; an empty path is valid (source == destination).
+using Path = std::vector<EdgeId>;
+
+/// Expands a path starting at `origin` into its node sequence
+/// (origin, ..., destination).  Precondition: consecutive edges share the
+/// intermediate node (Eq. 6 of the paper).
+[[nodiscard]] std::vector<NodeId> path_nodes(const Graph& g, NodeId origin,
+                                             const Path& path);
+
+/// True when `path` is a valid loop-free walk from `origin` to `dest`:
+/// consecutive edges chain (Eq. 6) and no node repeats (Eq. 7 strengthened
+/// to node-simplicity, which implies the paper's edge-distinctness).
+[[nodiscard]] bool path_is_simple(const Graph& g, NodeId origin, NodeId dest,
+                                  const Path& path);
+
+}  // namespace hmn::graph

@@ -1,0 +1,130 @@
+// Structural metrics of graphs, used by the topology explorer, the
+// workload reports, and tests that pin down topology shapes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+
+namespace hmn::graph {
+
+struct DistanceMetrics {
+  double diameter = 0.0;           // longest shortest path (hops)
+  double average_distance = 0.0;   // mean over connected ordered pairs
+  bool connected = true;
+};
+
+/// Hop-count diameter and mean distance via one BFS-equivalent Dijkstra per
+/// node (unit weights).  O(n * (n + m) log n); fine for cluster-sized
+/// graphs.  For a disconnected graph, unreachable pairs are skipped and
+/// `connected` is false.
+[[nodiscard]] inline DistanceMetrics distance_metrics(const Graph& g) {
+  DistanceMetrics out;
+  const std::size_t n = g.node_count();
+  if (n < 2) return out;
+  auto unit = [](EdgeId) { return 1.0; };
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto sp =
+        dijkstra(g, NodeId{static_cast<NodeId::underlying_type>(v)}, unit);
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u == v) continue;
+      if (sp.dist[u] == std::numeric_limits<double>::infinity()) {
+        out.connected = false;
+        continue;
+      }
+      out.diameter = std::max(out.diameter, sp.dist[u]);
+      sum += sp.dist[u];
+      ++pairs;
+    }
+  }
+  out.average_distance = pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+  return out;
+}
+
+/// Per-edge shortest-path load: how many ordered (s, t) shortest paths use
+/// each edge, one shortest path per pair (Dijkstra parent tree).  A cheap
+/// edge-betweenness proxy that predicts which physical links saturate
+/// first under uniformly spread traffic.
+[[nodiscard]] inline std::vector<std::size_t> shortest_path_edge_load(
+    const Graph& g) {
+  std::vector<std::size_t> load(g.edge_count(), 0);
+  const std::size_t n = g.node_count();
+  auto unit = [](EdgeId) { return 1.0; };
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto src = NodeId{static_cast<NodeId::underlying_type>(s)};
+    const auto sp = dijkstra(g, src, unit);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (t == s) continue;
+      const auto dst = NodeId{static_cast<NodeId::underlying_type>(t)};
+      if (!sp.reachable(dst)) continue;
+      NodeId cur = dst;
+      while (cur != src) {
+        const EdgeId e = sp.parent_edge[cur.index()];
+        ++load[e.index()];
+        cur = g.endpoints(e).other(cur);
+      }
+    }
+  }
+  return load;
+}
+
+/// Articulation points (cut vertices): nodes whose removal disconnects
+/// their component.  For a cluster these are the *critical hosts/switches*
+/// — a failure there is unrepairable for any virtual link crossing the cut
+/// (see core::repair_mapping).
+///
+/// Implementation: the definition, directly — remove each node and count
+/// components among its former neighbors.  O(n * (n + m)), which is
+/// microseconds at testbed sizes; a linear-time low-link DFS would save
+/// nothing measurable and cost review effort.
+[[nodiscard]] inline std::vector<NodeId> articulation_points(const Graph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<NodeId> out;
+  std::vector<bool> seen(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto removed = NodeId{static_cast<NodeId::underlying_type>(v)};
+    if (g.degree(removed) < 2) continue;  // leaves cannot cut
+    std::fill(seen.begin(), seen.end(), false);
+    seen[v] = true;
+    std::size_t components = 0;
+    for (const Adjacency& root : g.neighbors(removed)) {
+      if (seen[root.neighbor.index()]) continue;
+      ++components;
+      if (components > 1) break;  // already proven a cut vertex
+      std::vector<NodeId> stack{root.neighbor};
+      seen[root.neighbor.index()] = true;
+      while (!stack.empty()) {
+        const NodeId u = stack.back();
+        stack.pop_back();
+        for (const Adjacency& adj : g.neighbors(u)) {
+          if (!seen[adj.neighbor.index()]) {
+            seen[adj.neighbor.index()] = true;
+            stack.push_back(adj.neighbor);
+          }
+        }
+      }
+    }
+    if (components > 1) out.push_back(removed);
+  }
+  return out;
+}
+
+/// Degree histogram: result[d] = number of nodes with degree d.
+[[nodiscard]] inline std::vector<std::size_t> degree_histogram(
+    const Graph& g) {
+  std::vector<std::size_t> hist;
+  for (std::size_t v = 0; v < g.node_count(); ++v) {
+    const std::size_t d =
+        g.degree(NodeId{static_cast<NodeId::underlying_type>(v)});
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+}  // namespace hmn::graph

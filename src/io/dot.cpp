@@ -1,0 +1,106 @@
+#include "io/dot.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace hmn::io {
+namespace {
+
+using util::Table;
+
+}  // namespace
+
+std::string to_dot(const model::PhysicalCluster& cluster) {
+  std::ostringstream out;
+  out << "graph cluster {\n  layout=neato;\n  overlap=false;\n";
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    const auto n = NodeId{static_cast<NodeId::underlying_type>(i)};
+    if (cluster.is_host(n)) {
+      const auto& cap = cluster.capacity(n);
+      out << "  n" << i << " [shape=box,label=\"h" << i << "\\n"
+          << Table::fmt(cap.proc_mips, 0) << " MIPS\\n"
+          << Table::fmt(cap.mem_mb, 0) << " MB\"];\n";
+    } else {
+      out << "  n" << i << " [shape=diamond,label=\"sw" << i << "\"];\n";
+    }
+  }
+  for (std::size_t e = 0; e < cluster.link_count(); ++e) {
+    const auto id = EdgeId{static_cast<EdgeId::underlying_type>(e)};
+    const auto ep = cluster.graph().endpoints(id);
+    const auto& props = cluster.link(id);
+    out << "  n" << ep.a.value() << " -- n" << ep.b.value() << " [label=\""
+        << Table::fmt(props.bandwidth_mbps, 0) << "Mbps/"
+        << Table::fmt(props.latency_ms, 0) << "ms\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const model::VirtualEnvironment& venv) {
+  std::ostringstream out;
+  out << "graph venv {\n  layout=sfdp;\n  overlap=false;\n";
+  for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+    const auto& req = venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)});
+    out << "  g" << g << " [label=\"g" << g << "\\n"
+        << Table::fmt(req.mem_mb, 0) << " MB\"];\n";
+  }
+  for (std::size_t l = 0; l < venv.link_count(); ++l) {
+    const auto id = VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)};
+    const auto ep = venv.endpoints(id);
+    out << "  g" << ep.src.value() << " -- g" << ep.dst.value()
+        << " [label=\"" << Table::fmt(venv.link(id).bandwidth_mbps, 3)
+        << "Mbps\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const model::PhysicalCluster& cluster,
+                   const model::VirtualEnvironment& venv,
+                   const core::Mapping& mapping) {
+  std::ostringstream out;
+  out << "graph mapping {\n  compound=true;\n";
+  const auto groups = mapping.guests_per_node(cluster.node_count());
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    const auto n = NodeId{static_cast<NodeId::underlying_type>(i)};
+    if (cluster.is_host(n)) {
+      out << "  subgraph cluster_h" << i << " {\n    label=\"host " << i
+          << "\";\n    anchor_h" << i << " [shape=point,style=invis];\n";
+      for (const GuestId g : groups[i]) {
+        out << "    g" << g.value() << " [label=\"g" << g.value() << "\"];\n";
+      }
+      out << "  }\n";
+    } else {
+      out << "  sw" << i << " [shape=diamond,label=\"sw" << i << "\"];\n";
+    }
+  }
+  // Physical links annotated with routed virtual-link counts.
+  std::vector<std::size_t> routed(cluster.link_count(), 0);
+  for (const auto& path : mapping.link_paths) {
+    for (const EdgeId e : path) ++routed[e.index()];
+  }
+  auto anchor = [&](NodeId n) {
+    std::ostringstream name;
+    if (cluster.is_host(n)) {
+      name << "anchor_h" << n.value();
+    } else {
+      name << "sw" << n.value();
+    }
+    return name.str();
+  };
+  for (std::size_t e = 0; e < cluster.link_count(); ++e) {
+    const auto id = EdgeId{static_cast<EdgeId::underlying_type>(e)};
+    const auto ep = cluster.graph().endpoints(id);
+    out << "  " << anchor(ep.a) << " -- " << anchor(ep.b) << " [label=\""
+        << routed[e] << " vlinks\"";
+    if (cluster.is_host(ep.a)) out << ",ltail=cluster_h" << ep.a.value();
+    if (cluster.is_host(ep.b)) out << ",lhead=cluster_h" << ep.b.value();
+    out << "];\n";
+  }
+  (void)venv;
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hmn::io

@@ -1,0 +1,27 @@
+// Graphviz DOT export for clusters, virtual environments, and mappings —
+// the inspection tool for debugging placements and paths visually.
+#pragma once
+
+#include <string>
+
+#include "core/mapping.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::io {
+
+/// Cluster topology: hosts as boxes (labeled with capacities), switches as
+/// diamonds, links labeled bw/lat.
+[[nodiscard]] std::string to_dot(const model::PhysicalCluster& cluster);
+
+/// Virtual environment: guests as ellipses, links labeled vbw/vlat.
+[[nodiscard]] std::string to_dot(const model::VirtualEnvironment& venv);
+
+/// Mapping overview: one subgraph cluster per host listing its guests,
+/// physical links annotated with the number of virtual links routed
+/// through them.
+[[nodiscard]] std::string to_dot(const model::PhysicalCluster& cluster,
+                                 const model::VirtualEnvironment& venv,
+                                 const core::Mapping& mapping);
+
+}  // namespace hmn::io

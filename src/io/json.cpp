@@ -1,0 +1,156 @@
+#include "io/json.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hmn::io {
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const model::PhysicalCluster& cluster) {
+  std::ostringstream out;
+  out << "{\"nodes\":[";
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    const auto n = NodeId{static_cast<NodeId::underlying_type>(i)};
+    if (i > 0) out << ',';
+    out << "{\"id\":" << i << ",\"role\":"
+        << (cluster.is_host(n) ? "\"host\"" : "\"switch\"");
+    if (cluster.is_host(n)) {
+      const auto& cap = cluster.capacity(n);
+      out << ",\"proc_mips\":" << num(cap.proc_mips)
+          << ",\"mem_mb\":" << num(cap.mem_mb)
+          << ",\"stor_gb\":" << num(cap.stor_gb);
+    }
+    out << '}';
+  }
+  out << "],\"links\":[";
+  for (std::size_t e = 0; e < cluster.link_count(); ++e) {
+    const auto id = EdgeId{static_cast<EdgeId::underlying_type>(e)};
+    const auto ep = cluster.graph().endpoints(id);
+    if (e > 0) out << ',';
+    out << "{\"a\":" << ep.a.value() << ",\"b\":" << ep.b.value()
+        << ",\"bw_mbps\":" << num(cluster.link(id).bandwidth_mbps)
+        << ",\"lat_ms\":" << num(cluster.link(id).latency_ms) << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string to_json(const model::VirtualEnvironment& venv) {
+  std::ostringstream out;
+  out << "{\"guests\":[";
+  for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+    const auto& req = venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)});
+    if (g > 0) out << ',';
+    out << "{\"id\":" << g << ",\"vproc_mips\":" << num(req.proc_mips)
+        << ",\"vmem_mb\":" << num(req.mem_mb)
+        << ",\"vstor_gb\":" << num(req.stor_gb) << '}';
+  }
+  out << "],\"links\":[";
+  for (std::size_t l = 0; l < venv.link_count(); ++l) {
+    const auto id = VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)};
+    const auto ep = venv.endpoints(id);
+    if (l > 0) out << ',';
+    out << "{\"src\":" << ep.src.value() << ",\"dst\":" << ep.dst.value()
+        << ",\"vbw_mbps\":" << num(venv.link(id).bandwidth_mbps)
+        << ",\"vlat_ms\":" << num(venv.link(id).max_latency_ms) << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string to_json(const core::Mapping& mapping) {
+  std::ostringstream out;
+  out << "{\"guest_host\":[";
+  for (std::size_t g = 0; g < mapping.guest_host.size(); ++g) {
+    if (g > 0) out << ',';
+    out << mapping.guest_host[g].value();
+  }
+  out << "],\"link_paths\":[";
+  for (std::size_t l = 0; l < mapping.link_paths.size(); ++l) {
+    if (l > 0) out << ',';
+    out << '[';
+    for (std::size_t e = 0; e < mapping.link_paths[l].size(); ++e) {
+      if (e > 0) out << ',';
+      out << mapping.link_paths[l][e].value();
+    }
+    out << ']';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string to_json(const core::MapOutcome& outcome) {
+  std::ostringstream out;
+  out << "{\"ok\":" << (outcome.ok() ? "true" : "false")
+      << ",\"error\":" << quoted(core::to_string(outcome.error))
+      << ",\"detail\":" << quoted(outcome.detail) << ",\"stats\":{"
+      << "\"hosting_s\":" << num(outcome.stats.hosting_seconds)
+      << ",\"migration_s\":" << num(outcome.stats.migration_seconds)
+      << ",\"networking_s\":" << num(outcome.stats.networking_seconds)
+      << ",\"total_s\":" << num(outcome.stats.total_seconds)
+      << ",\"migrations\":" << outcome.stats.migrations
+      << ",\"links_routed\":" << outcome.stats.links_routed
+      << ",\"tries\":" << outcome.stats.tries << '}';
+  if (outcome.ok()) out << ",\"mapping\":" << to_json(*outcome.mapping);
+  out << '}';
+  return out.str();
+}
+
+std::string to_json(const std::vector<expfw::RunRecord>& records) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const expfw::RunRecord& r = records[i];
+    if (i > 0) out << ',';
+    out << "{\"scenario\":" << r.scenario_index << ",\"cluster\":"
+        << quoted(to_string(r.cluster)) << ",\"mapper\":" << quoted(r.mapper)
+        << ",\"rep\":" << r.repetition << ",\"ok\":"
+        << (r.ok ? "true" : "false") << ",\"objective\":" << num(r.objective)
+        << ",\"map_seconds\":" << num(r.stats.total_seconds)
+        << ",\"links_routed\":" << r.stats.links_routed
+        << ",\"guests\":" << r.guests << ",\"virtual_links\":"
+        << r.virtual_links << ",\"experiment_seconds\":"
+        << num(r.experiment_seconds) << '}';
+  }
+  out << ']';
+  return out.str();
+}
+
+std::string to_json(const std::vector<emulator::PhaseRecord>& timeline) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const emulator::PhaseRecord& r = timeline[i];
+    if (i > 0) out << ',';
+    out << "{\"phase\":" << quoted(r.phase)
+        << ",\"wall_seconds\":" << num(r.wall_seconds)
+        << ",\"simulated_seconds\":" << num(r.simulated_seconds)
+        << ",\"note\":" << quoted(r.note) << '}';
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace hmn::io

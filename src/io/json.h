@@ -1,0 +1,27 @@
+// Minimal JSON serialization of the library's domain objects, for piping
+// experiment inputs/outputs into external tooling.  Writing only — the
+// library has no need to parse JSON, and a writer is auditable in a page.
+#pragma once
+
+#include <string>
+
+#include "core/map_result.h"
+#include "core/mapping.h"
+#include "emulator/session.h"
+#include "expfw/runner.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::io {
+
+[[nodiscard]] std::string to_json(const model::PhysicalCluster& cluster);
+[[nodiscard]] std::string to_json(const model::VirtualEnvironment& venv);
+[[nodiscard]] std::string to_json(const core::Mapping& mapping);
+/// Full outcome including stats and error state.
+[[nodiscard]] std::string to_json(const core::MapOutcome& outcome);
+/// Experiment records as a JSON array (one object per run).
+[[nodiscard]] std::string to_json(const std::vector<expfw::RunRecord>& records);
+/// An emulation session's phase timeline (for frontends logging sessions).
+[[nodiscard]] std::string to_json(const std::vector<emulator::PhaseRecord>& timeline);
+
+}  // namespace hmn::io

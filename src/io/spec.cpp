@@ -1,0 +1,239 @@
+#include "io/spec.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "io/json_parser.h"
+
+namespace hmn::io {
+namespace {
+
+std::variant<std::string, SpecError> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return SpecError{"cannot open " + path};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Fetches a required numeric member or records an error.
+bool require_number(const JsonValue& obj, const std::string& key, double& out,
+                    std::string& error, const std::string& context) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    error = context + ": missing numeric field \"" + key + "\"";
+    return false;
+  }
+  out = v->as_number();
+  return true;
+}
+
+}  // namespace
+
+std::variant<model::PhysicalCluster, SpecError> load_cluster_json(
+    std::string_view text) {
+  auto parsed = parse_json(text);
+  if (auto* err = std::get_if<JsonParseError>(&parsed)) {
+    return SpecError{"JSON error at offset " + std::to_string(err->offset) +
+                     ": " + err->message};
+  }
+  const JsonValue& root = std::get<JsonValue>(parsed);
+  const JsonValue* nodes = root.find("nodes");
+  const JsonValue* links = root.find("links");
+  if (nodes == nullptr || !nodes->is_array()) {
+    return SpecError{"cluster spec: missing \"nodes\" array"};
+  }
+  if (links == nullptr || !links->is_array()) {
+    return SpecError{"cluster spec: missing \"links\" array"};
+  }
+
+  topology::Topology topo;
+  topo.graph = graph::Graph(nodes->as_array().size());
+  std::vector<model::HostCapacity> caps;
+  std::string error;
+  for (std::size_t i = 0; i < nodes->as_array().size(); ++i) {
+    const JsonValue& node = nodes->as_array()[i];
+    const std::string context = "node " + std::to_string(i);
+    if (!node.is_object()) return SpecError{context + ": not an object"};
+    const JsonValue* role = node.find("role");
+    const bool is_host =
+        role == nullptr || !role->is_string() || role->as_string() == "host";
+    if (role != nullptr && role->is_string() && role->as_string() != "host" &&
+        role->as_string() != "switch") {
+      return SpecError{context + ": role must be \"host\" or \"switch\""};
+    }
+    if (const JsonValue* id = node.find("id");
+        id != nullptr && id->is_number() &&
+        static_cast<std::size_t>(id->as_number()) != i) {
+      return SpecError{context + ": ids must be dense and in order"};
+    }
+    topo.role.push_back(is_host ? topology::NodeRole::kHost
+                                : topology::NodeRole::kSwitch);
+    if (is_host) {
+      model::HostCapacity cap;
+      if (!require_number(node, "proc_mips", cap.proc_mips, error, context) ||
+          !require_number(node, "mem_mb", cap.mem_mb, error, context) ||
+          !require_number(node, "stor_gb", cap.stor_gb, error, context)) {
+        return SpecError{error};
+      }
+      caps.push_back(cap);
+    }
+  }
+
+  std::vector<model::LinkProps> props;
+  for (std::size_t i = 0; i < links->as_array().size(); ++i) {
+    const JsonValue& link = links->as_array()[i];
+    const std::string context = "link " + std::to_string(i);
+    if (!link.is_object()) return SpecError{context + ": not an object"};
+    double a = 0, b = 0;
+    model::LinkProps p;
+    if (!require_number(link, "a", a, error, context) ||
+        !require_number(link, "b", b, error, context) ||
+        !require_number(link, "bw_mbps", p.bandwidth_mbps, error, context) ||
+        !require_number(link, "lat_ms", p.latency_ms, error, context)) {
+      return SpecError{error};
+    }
+    if (a < 0 || b < 0 || a >= static_cast<double>(topo.graph.node_count()) ||
+        b >= static_cast<double>(topo.graph.node_count())) {
+      return SpecError{context + ": endpoint out of range"};
+    }
+    topo.graph.add_edge(NodeId{static_cast<NodeId::underlying_type>(a)},
+                        NodeId{static_cast<NodeId::underlying_type>(b)});
+    props.push_back(p);
+  }
+
+  try {
+    return model::PhysicalCluster::build(std::move(topo), std::move(caps),
+                                         std::move(props));
+  } catch (const std::exception& e) {
+    return SpecError{std::string("cluster spec: ") + e.what()};
+  }
+}
+
+std::variant<model::VirtualEnvironment, SpecError> load_venv_json(
+    std::string_view text) {
+  auto parsed = parse_json(text);
+  if (auto* err = std::get_if<JsonParseError>(&parsed)) {
+    return SpecError{"JSON error at offset " + std::to_string(err->offset) +
+                     ": " + err->message};
+  }
+  const JsonValue& root = std::get<JsonValue>(parsed);
+  const JsonValue* guests = root.find("guests");
+  const JsonValue* links = root.find("links");
+  if (guests == nullptr || !guests->is_array()) {
+    return SpecError{"venv spec: missing \"guests\" array"};
+  }
+  if (links == nullptr || !links->is_array()) {
+    return SpecError{"venv spec: missing \"links\" array"};
+  }
+
+  model::VirtualEnvironment venv;
+  std::string error;
+  for (std::size_t i = 0; i < guests->as_array().size(); ++i) {
+    const JsonValue& guest = guests->as_array()[i];
+    const std::string context = "guest " + std::to_string(i);
+    if (!guest.is_object()) return SpecError{context + ": not an object"};
+    model::GuestRequirements req;
+    if (!require_number(guest, "vproc_mips", req.proc_mips, error, context) ||
+        !require_number(guest, "vmem_mb", req.mem_mb, error, context) ||
+        !require_number(guest, "vstor_gb", req.stor_gb, error, context)) {
+      return SpecError{error};
+    }
+    venv.add_guest(req);
+  }
+  for (std::size_t i = 0; i < links->as_array().size(); ++i) {
+    const JsonValue& link = links->as_array()[i];
+    const std::string context = "virtual link " + std::to_string(i);
+    if (!link.is_object()) return SpecError{context + ": not an object"};
+    double src = 0, dst = 0;
+    model::VirtualLinkDemand demand;
+    if (!require_number(link, "src", src, error, context) ||
+        !require_number(link, "dst", dst, error, context) ||
+        !require_number(link, "vbw_mbps", demand.bandwidth_mbps, error,
+                        context) ||
+        !require_number(link, "vlat_ms", demand.max_latency_ms, error,
+                        context)) {
+      return SpecError{error};
+    }
+    if (src < 0 || dst < 0 ||
+        src >= static_cast<double>(venv.guest_count()) ||
+        dst >= static_cast<double>(venv.guest_count())) {
+      return SpecError{context + ": endpoint out of range"};
+    }
+    venv.add_link(GuestId{static_cast<GuestId::underlying_type>(src)},
+                  GuestId{static_cast<GuestId::underlying_type>(dst)}, demand);
+  }
+  return venv;
+}
+
+std::variant<core::Mapping, SpecError> load_mapping_json(
+    std::string_view text) {
+  auto parsed = parse_json(text);
+  if (auto* err = std::get_if<JsonParseError>(&parsed)) {
+    return SpecError{"JSON error at offset " + std::to_string(err->offset) +
+                     ": " + err->message};
+  }
+  const JsonValue* root = &std::get<JsonValue>(parsed);
+  // Accept a wrapped MapOutcome document.
+  if (const JsonValue* inner = root->find("mapping"); inner != nullptr) {
+    root = inner;
+  }
+  const JsonValue* hosts = root->find("guest_host");
+  const JsonValue* paths = root->find("link_paths");
+  if (hosts == nullptr || !hosts->is_array()) {
+    return SpecError{"mapping spec: missing \"guest_host\" array"};
+  }
+  if (paths == nullptr || !paths->is_array()) {
+    return SpecError{"mapping spec: missing \"link_paths\" array"};
+  }
+  core::Mapping mapping;
+  for (std::size_t g = 0; g < hosts->as_array().size(); ++g) {
+    const JsonValue& v = hosts->as_array()[g];
+    if (!v.is_number() || v.as_number() < 0) {
+      return SpecError{"mapping spec: guest_host[" + std::to_string(g) +
+                       "] must be a non-negative node id"};
+    }
+    mapping.guest_host.push_back(
+        NodeId{static_cast<NodeId::underlying_type>(v.as_number())});
+  }
+  for (std::size_t l = 0; l < paths->as_array().size(); ++l) {
+    const JsonValue& path = paths->as_array()[l];
+    if (!path.is_array()) {
+      return SpecError{"mapping spec: link_paths[" + std::to_string(l) +
+                       "] must be an array of edge ids"};
+    }
+    graph::Path edges;
+    for (const JsonValue& e : path.as_array()) {
+      if (!e.is_number() || e.as_number() < 0) {
+        return SpecError{"mapping spec: link_paths[" + std::to_string(l) +
+                         "] contains a non-id entry"};
+      }
+      edges.push_back(EdgeId{static_cast<EdgeId::underlying_type>(e.as_number())});
+    }
+    mapping.link_paths.push_back(std::move(edges));
+  }
+  return mapping;
+}
+
+std::variant<core::Mapping, SpecError> load_mapping_file(
+    const std::string& path) {
+  auto text = slurp(path);
+  if (auto* err = std::get_if<SpecError>(&text)) return *err;
+  return load_mapping_json(std::get<std::string>(text));
+}
+
+std::variant<model::PhysicalCluster, SpecError> load_cluster_file(
+    const std::string& path) {
+  auto text = slurp(path);
+  if (auto* err = std::get_if<SpecError>(&text)) return *err;
+  return load_cluster_json(std::get<std::string>(text));
+}
+
+std::variant<model::VirtualEnvironment, SpecError> load_venv_file(
+    const std::string& path) {
+  auto text = slurp(path);
+  if (auto* err = std::get_if<SpecError>(&text)) return *err;
+  return load_venv_json(std::get<std::string>(text));
+}
+
+}  // namespace hmn::io

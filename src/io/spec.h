@@ -1,0 +1,53 @@
+// Loading clusters and virtual environments from JSON specifications.
+//
+// The accepted format is exactly what io::to_json emits, so serialization
+// round-trips:
+//
+//   cluster:  {"nodes":[{"id":0,"role":"host","proc_mips":...,"mem_mb":...,
+//                        "stor_gb":...}, {"id":1,"role":"switch"}, ...],
+//              "links":[{"a":0,"b":1,"bw_mbps":...,"lat_ms":...}, ...]}
+//   venv:     {"guests":[{"id":0,"vproc_mips":...,"vmem_mb":...,
+//                         "vstor_gb":...}, ...],
+//              "links":[{"src":0,"dst":1,"vbw_mbps":...,"vlat_ms":...},...]}
+//
+// Node/guest ids must be 0..n-1 in order (the writer's invariant); links
+// reference them by index.  Loaders return a value or a diagnostic string.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "core/mapping.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::io {
+
+struct SpecError {
+  std::string message;
+};
+
+[[nodiscard]] std::variant<model::PhysicalCluster, SpecError>
+load_cluster_json(std::string_view text);
+
+[[nodiscard]] std::variant<model::VirtualEnvironment, SpecError>
+load_venv_json(std::string_view text);
+
+/// Loads a mapping: {"guest_host":[...], "link_paths":[[...],...]}.  Also
+/// accepts the full MapOutcome JSON (the "mapping" member is used).
+/// Structural validation (ranges, constraint satisfaction) is the
+/// validator's job; this only checks shape.
+[[nodiscard]] std::variant<core::Mapping, SpecError> load_mapping_json(
+    std::string_view text);
+
+[[nodiscard]] std::variant<core::Mapping, SpecError> load_mapping_file(
+    const std::string& path);
+
+/// File-reading convenience wrappers (error includes the path).
+[[nodiscard]] std::variant<model::PhysicalCluster, SpecError>
+load_cluster_file(const std::string& path);
+
+[[nodiscard]] std::variant<model::VirtualEnvironment, SpecError>
+load_venv_file(const std::string& path);
+
+}  // namespace hmn::io

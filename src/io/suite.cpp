@@ -1,0 +1,107 @@
+#include "io/suite.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "io/json_parser.h"
+
+namespace hmn::io {
+
+std::variant<SuiteSpec, SpecError> load_suite_json(std::string_view text) {
+  auto parsed = parse_json(text);
+  if (auto* err = std::get_if<JsonParseError>(&parsed)) {
+    return SpecError{"JSON error at offset " + std::to_string(err->offset) +
+                     ": " + err->message};
+  }
+  const JsonValue& root = std::get<JsonValue>(parsed);
+  if (!root.is_object()) return SpecError{"suite spec: not an object"};
+
+  SuiteSpec suite;
+  suite.grid.repetitions =
+      static_cast<std::size_t>(root.number_or("repetitions", 30.0));
+  if (suite.grid.repetitions == 0) {
+    return SpecError{"suite spec: repetitions must be positive"};
+  }
+  suite.grid.master_seed =
+      static_cast<std::uint64_t>(root.number_or("seed", 20090922.0));
+
+  // Clusters (default: both of the paper's).
+  if (const JsonValue* clusters = root.find("clusters")) {
+    if (!clusters->is_array()) {
+      return SpecError{"suite spec: \"clusters\" must be an array"};
+    }
+    for (const JsonValue& c : clusters->as_array()) {
+      if (!c.is_string()) {
+        return SpecError{"suite spec: cluster entries must be strings"};
+      }
+      if (c.as_string() == "torus") {
+        suite.grid.clusters.push_back(workload::ClusterKind::kTorus2D);
+      } else if (c.as_string() == "switched") {
+        suite.grid.clusters.push_back(workload::ClusterKind::kSwitched);
+      } else {
+        return SpecError{"suite spec: unknown cluster \"" + c.as_string() +
+                         "\" (torus|switched)"};
+      }
+    }
+  } else {
+    suite.grid.clusters = {workload::ClusterKind::kTorus2D,
+                           workload::ClusterKind::kSwitched};
+  }
+
+  // Mappers (default: the paper's Table 2 columns).
+  if (const JsonValue* mappers = root.find("mappers")) {
+    if (!mappers->is_array()) {
+      return SpecError{"suite spec: \"mappers\" must be an array"};
+    }
+    for (const JsonValue& m : mappers->as_array()) {
+      if (!m.is_string()) {
+        return SpecError{"suite spec: mapper entries must be strings"};
+      }
+      suite.mapper_names.push_back(m.as_string());
+    }
+  } else {
+    suite.mapper_names = {"hmn", "r", "ra", "hs"};
+  }
+
+  // Scenarios (required).
+  const JsonValue* scenarios = root.find("scenarios");
+  if (scenarios == nullptr || !scenarios->is_array() ||
+      scenarios->as_array().empty()) {
+    return SpecError{"suite spec: non-empty \"scenarios\" array required"};
+  }
+  for (std::size_t i = 0; i < scenarios->as_array().size(); ++i) {
+    const JsonValue& s = scenarios->as_array()[i];
+    const std::string context = "scenario " + std::to_string(i);
+    if (!s.is_object()) return SpecError{context + ": not an object"};
+    workload::Scenario scenario;
+    scenario.ratio = s.number_or("ratio", 0.0);
+    scenario.density = s.number_or("density", 0.0);
+    scenario.vproc_scale = s.number_or("vproc_scale", 1.0);
+    if (scenario.ratio <= 0.0 || scenario.density <= 0.0) {
+      return SpecError{context + ": positive ratio and density required"};
+    }
+    const JsonValue* workload_kind = s.find("workload");
+    if (workload_kind == nullptr || !workload_kind->is_string()) {
+      return SpecError{context + ": \"workload\" (high|low) required"};
+    }
+    if (workload_kind->as_string() == "high") {
+      scenario.workload = workload::WorkloadKind::kHighLevel;
+    } else if (workload_kind->as_string() == "low") {
+      scenario.workload = workload::WorkloadKind::kLowLevel;
+    } else {
+      return SpecError{context + ": workload must be \"high\" or \"low\""};
+    }
+    suite.grid.scenarios.push_back(scenario);
+  }
+  return suite;
+}
+
+std::variant<SuiteSpec, SpecError> load_suite_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return SpecError{"cannot open " + path};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return load_suite_json(buf.str());
+}
+
+}  // namespace hmn::io

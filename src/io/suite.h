@@ -1,0 +1,41 @@
+// Evaluation-suite specifications in JSON: a declarative description of an
+// experiment grid that the grid_tool CLI (or any embedder) can run without
+// recompiling.  Example:
+//
+//   {
+//     "repetitions": 10,
+//     "seed": 42,
+//     "clusters": ["torus", "switched"],
+//     "mappers": ["hmn", "ra"],
+//     "scenarios": [
+//       {"ratio": 2.5, "density": 0.02, "workload": "high"},
+//       {"ratio": 20,  "density": 0.01, "workload": "low",
+//        "vproc_scale": 1.0}
+//     ]
+//   }
+//
+// All fields are optional except "scenarios"; defaults are the paper's
+// (30 repetitions, both clusters, the four Table 2 mappers).
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "expfw/runner.h"
+#include "io/spec.h"
+
+namespace hmn::io {
+
+struct SuiteSpec {
+  expfw::GridSpec grid;
+  std::vector<std::string> mapper_names;
+};
+
+[[nodiscard]] std::variant<SuiteSpec, SpecError> load_suite_json(
+    std::string_view text);
+
+[[nodiscard]] std::variant<SuiteSpec, SpecError> load_suite_file(
+    const std::string& path);
+
+}  // namespace hmn::io

@@ -1,0 +1,61 @@
+#include "model/physical_cluster.h"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace hmn::model {
+
+PhysicalCluster PhysicalCluster::build(topology::Topology topo,
+                                       std::vector<HostCapacity> host_caps,
+                                       LinkProps uniform_link) {
+  const std::size_t edges = topo.graph.edge_count();
+  return build(std::move(topo), std::move(host_caps),
+               std::vector<LinkProps>(edges, uniform_link));
+}
+
+PhysicalCluster PhysicalCluster::build(topology::Topology topo,
+                                       std::vector<HostCapacity> host_caps,
+                                       std::vector<LinkProps> link_props) {
+  if (host_caps.size() != topo.host_count()) {
+    throw std::invalid_argument(
+        "PhysicalCluster::build: one capacity per host node required");
+  }
+  if (link_props.size() != topo.graph.edge_count()) {
+    throw std::invalid_argument(
+        "PhysicalCluster::build: one LinkProps per edge required");
+  }
+
+  PhysicalCluster c;
+  c.hosts_ = topo.host_nodes();
+  c.capacity_.assign(topo.graph.node_count(), HostCapacity{});
+  for (std::size_t i = 0; i < c.hosts_.size(); ++i) {
+    c.capacity_[c.hosts_[i].index()] = host_caps[i];
+  }
+  c.links_ = std::move(link_props);
+  c.topo_ = std::move(topo);
+  return c;
+}
+
+void PhysicalCluster::deduct_vmm_overhead(const HostCapacity& overhead) {
+  for (const NodeId h : hosts_) {
+    capacity_[h.index()] = capacity_[h.index()].minus(overhead);
+  }
+}
+
+void PhysicalCluster::fail_node(NodeId node) {
+  capacity_[node.index()] = HostCapacity{};
+  for (const graph::Adjacency& adj : topo_.graph.neighbors(node)) {
+    links_[adj.edge.index()].bandwidth_mbps = 0.0;
+    links_[adj.edge.index()].latency_ms =
+        std::numeric_limits<double>::infinity();
+  }
+}
+
+double PhysicalCluster::total_proc_mips() const {
+  double sum = 0.0;
+  for (const NodeId h : hosts_) sum += capacity_[h.index()].proc_mips;
+  return sum;
+}
+
+}  // namespace hmn::model

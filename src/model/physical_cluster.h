@@ -1,0 +1,80 @@
+// The physical cluster: topology + per-node capacities + per-link
+// properties (the paper's graph c = (C, E_c) with proc/mem/stor and bw/lat).
+//
+// The cluster is immutable once built; mutable residual bookkeeping during
+// mapping lives in core::ResidualState so that a cluster can be shared by
+// many concurrent mapping runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/resources.h"
+#include "topology/topologies.h"
+
+namespace hmn::model {
+
+class PhysicalCluster {
+ public:
+  PhysicalCluster() = default;
+
+  /// Builds a cluster over `topo`.  `host_caps` gives the capacity of each
+  /// host node in topology host order (host_caps.size() must equal
+  /// topo.host_count()); switches get zero capacity.  Every link receives
+  /// `uniform_link` (the paper's clusters use uniform 1 Gbps / 5 ms links).
+  static PhysicalCluster build(topology::Topology topo,
+                               std::vector<HostCapacity> host_caps,
+                               LinkProps uniform_link);
+
+  /// As above but with per-link properties, indexed by EdgeId.
+  static PhysicalCluster build(topology::Topology topo,
+                               std::vector<HostCapacity> host_caps,
+                               std::vector<LinkProps> link_props);
+
+  /// Deducts the VMM's own consumption from every host (Section 3.1:
+  /// "the amount of it used by the VMM is deducted from that resource
+  /// availability prior the mapping").
+  void deduct_vmm_overhead(const HostCapacity& overhead);
+
+  /// Marks a node as failed: capacity drops to zero and every incident
+  /// link becomes unusable (zero bandwidth, infinite latency), so every
+  /// subsequent mapping, extension, and routing pass naturally avoids it.
+  /// The topology itself is unchanged (ids remain stable).
+  void fail_node(NodeId node);
+
+  [[nodiscard]] const graph::Graph& graph() const { return topo_.graph; }
+  [[nodiscard]] const topology::Topology& topology() const { return topo_; }
+
+  [[nodiscard]] std::size_t node_count() const {
+    return topo_.graph.node_count();
+  }
+  [[nodiscard]] std::size_t link_count() const {
+    return topo_.graph.edge_count();
+  }
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+  /// Host nodes in ascending NodeId order.
+  [[nodiscard]] const std::vector<NodeId>& hosts() const { return hosts_; }
+  [[nodiscard]] bool is_host(NodeId n) const { return topo_.is_host(n); }
+
+  /// Capacity of a node (zero for switches).
+  [[nodiscard]] const HostCapacity& capacity(NodeId n) const {
+    return capacity_[n.index()];
+  }
+
+  [[nodiscard]] const LinkProps& link(EdgeId e) const {
+    return links_[e.index()];
+  }
+
+  /// Sum of host processing capacity — used by load metrics.
+  [[nodiscard]] double total_proc_mips() const;
+
+ private:
+  topology::Topology topo_;
+  std::vector<HostCapacity> capacity_;  // per node
+  std::vector<LinkProps> links_;        // per edge
+  std::vector<NodeId> hosts_;
+};
+
+}  // namespace hmn::model

@@ -1,0 +1,54 @@
+// Resource quantities for hosts and guests.
+//
+// Unit conventions, used consistently across the library and matching the
+// paper's Table 1 scales:
+//   * processing capacity  — MIPS
+//   * memory               — MB
+//   * storage              — GB
+//   * bandwidth            — Mbps
+//   * latency              — ms
+#pragma once
+
+namespace hmn::model {
+
+// Named unit multipliers for readable workload definitions.
+inline constexpr double kGB_in_MB = 1024.0;   // memory: GB expressed in MB
+inline constexpr double kTB_in_GB = 1024.0;   // storage: TB expressed in GB
+inline constexpr double kGbps_in_Mbps = 1000.0;
+inline constexpr double kMbps_in_kbps = 1000.0;
+
+/// Capacity of a physical host (Section 3.2: proc, mem, stor).
+struct HostCapacity {
+  double proc_mips = 0.0;
+  double mem_mb = 0.0;
+  double stor_gb = 0.0;
+
+  /// Element-wise subtraction, clamped at zero; used to deduct the VMM's
+  /// own consumption before mapping (Section 3.1).
+  [[nodiscard]] HostCapacity minus(const HostCapacity& other) const {
+    auto sub = [](double a, double b) { return a > b ? a - b : 0.0; };
+    return {sub(proc_mips, other.proc_mips), sub(mem_mb, other.mem_mb),
+            sub(stor_gb, other.stor_gb)};
+  }
+};
+
+/// Requirements of a guest VM (Section 3.2: vproc, vmem, vstor).
+struct GuestRequirements {
+  double proc_mips = 0.0;
+  double mem_mb = 0.0;
+  double stor_gb = 0.0;
+};
+
+/// Properties of a physical link (bw, lat).
+struct LinkProps {
+  double bandwidth_mbps = 0.0;
+  double latency_ms = 0.0;
+};
+
+/// Demands of a virtual link (vbw, vlat).
+struct VirtualLinkDemand {
+  double bandwidth_mbps = 0.0;
+  double max_latency_ms = 0.0;
+};
+
+}  // namespace hmn::model

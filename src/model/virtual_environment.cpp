@@ -1,0 +1,58 @@
+#include "model/virtual_environment.h"
+
+#include <cassert>
+
+namespace hmn::model {
+namespace {
+
+NodeId to_node(GuestId g) { return NodeId{g.value()}; }
+GuestId to_guest(NodeId n) { return GuestId{n.value()}; }
+EdgeId to_edge(VirtLinkId l) { return EdgeId{l.value()}; }
+VirtLinkId to_vlink(EdgeId e) { return VirtLinkId{e.value()}; }
+
+}  // namespace
+
+GuestId VirtualEnvironment::add_guest(const GuestRequirements& req) {
+  guests_.push_back(req);
+  return to_guest(graph_.add_node());
+}
+
+VirtLinkId VirtualEnvironment::add_link(GuestId a, GuestId b,
+                                        const VirtualLinkDemand& demand) {
+  assert(a.index() < guest_count() && b.index() < guest_count());
+  demands_.push_back(demand);
+  return to_vlink(graph_.add_edge(to_node(a), to_node(b)));
+}
+
+VirtualLinkEndpoints VirtualEnvironment::endpoints(VirtLinkId l) const {
+  const graph::EdgeEndpoints ep = graph_.endpoints(to_edge(l));
+  return {to_guest(ep.a), to_guest(ep.b)};
+}
+
+std::vector<VirtLinkId> VirtualEnvironment::links_of(GuestId g) const {
+  std::vector<VirtLinkId> out;
+  for (const graph::Adjacency& adj : graph_.neighbors(to_node(g))) {
+    out.push_back(to_vlink(adj.edge));
+  }
+  return out;
+}
+
+double VirtualEnvironment::total_vproc_mips() const {
+  double s = 0.0;
+  for (const auto& g : guests_) s += g.proc_mips;
+  return s;
+}
+
+double VirtualEnvironment::total_vmem_mb() const {
+  double s = 0.0;
+  for (const auto& g : guests_) s += g.mem_mb;
+  return s;
+}
+
+double VirtualEnvironment::total_vstor_gb() const {
+  double s = 0.0;
+  for (const auto& g : guests_) s += g.stor_gb;
+  return s;
+}
+
+}  // namespace hmn::model

@@ -1,0 +1,65 @@
+// The virtual environment: the tester-described distributed system to be
+// emulated (the paper's graph v = (V, E_v) with vproc/vmem/vstor and
+// vbw/vlat).
+//
+// Guests and virtual links are addressed by GuestId / VirtLinkId, distinct
+// types from the cluster's NodeId / EdgeId so a guest index can never be
+// used to subscript cluster arrays by accident.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/resources.h"
+
+namespace hmn::model {
+
+/// Endpoints of a virtual link.
+struct VirtualLinkEndpoints {
+  GuestId src;
+  GuestId dst;
+
+  [[nodiscard]] GuestId other(GuestId g) const { return g == src ? dst : src; }
+};
+
+class VirtualEnvironment {
+ public:
+  VirtualEnvironment() = default;
+
+  /// Adds a guest; returns its id.
+  GuestId add_guest(const GuestRequirements& req);
+
+  /// Adds a virtual link between existing guests; returns its id.
+  VirtLinkId add_link(GuestId a, GuestId b, const VirtualLinkDemand& demand);
+
+  [[nodiscard]] std::size_t guest_count() const { return guests_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return demands_.size(); }
+
+  [[nodiscard]] const GuestRequirements& guest(GuestId g) const {
+    return guests_[g.index()];
+  }
+  [[nodiscard]] const VirtualLinkDemand& link(VirtLinkId l) const {
+    return demands_[l.index()];
+  }
+  [[nodiscard]] VirtualLinkEndpoints endpoints(VirtLinkId l) const;
+
+  /// Virtual links incident to guest g (as VirtLinkIds).
+  [[nodiscard]] std::vector<VirtLinkId> links_of(GuestId g) const;
+
+  /// The underlying topology graph (guest i == graph node i,
+  /// virtual link j == graph edge j).
+  [[nodiscard]] const graph::Graph& graph() const { return graph_; }
+
+  /// Aggregate demand — used in feasibility pre-checks and reports.
+  [[nodiscard]] double total_vproc_mips() const;
+  [[nodiscard]] double total_vmem_mb() const;
+  [[nodiscard]] double total_vstor_gb() const;
+
+ private:
+  graph::Graph graph_;
+  std::vector<GuestRequirements> guests_;
+  std::vector<VirtualLinkDemand> demands_;
+};
+
+}  // namespace hmn::model

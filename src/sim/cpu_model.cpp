@@ -1,0 +1,45 @@
+#include "sim/cpu_model.h"
+
+#include <algorithm>
+
+namespace hmn::sim {
+
+std::vector<double> effective_guest_mips(
+    const model::PhysicalCluster& cluster,
+    const model::VirtualEnvironment& venv, const core::Mapping& mapping) {
+  std::vector<double> demand(cluster.node_count(), 0.0);
+  for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+    demand[mapping.guest_host[g].index()] +=
+        venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)}).proc_mips;
+  }
+  std::vector<double> rate(venv.guest_count(), 0.0);
+  for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+    const NodeId h = mapping.guest_host[g];
+    const double vproc =
+        venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)}).proc_mips;
+    const double cap = cluster.capacity(h).proc_mips;
+    const double dem = demand[h.index()];
+    const double share = dem > cap && dem > 0.0 ? cap / dem : 1.0;
+    rate[g] = vproc * share;
+  }
+  return rate;
+}
+
+std::vector<double> host_cpu_load(const model::PhysicalCluster& cluster,
+                                  const model::VirtualEnvironment& venv,
+                                  const core::Mapping& mapping) {
+  std::vector<double> demand(cluster.node_count(), 0.0);
+  for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+    demand[mapping.guest_host[g].index()] +=
+        venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)}).proc_mips;
+  }
+  std::vector<double> load;
+  load.reserve(cluster.host_count());
+  for (const NodeId h : cluster.hosts()) {
+    const double cap = cluster.capacity(h).proc_mips;
+    load.push_back(cap > 0.0 ? demand[h.index()] / cap : 0.0);
+  }
+  return load;
+}
+
+}  // namespace hmn::sim

@@ -1,0 +1,33 @@
+// Host CPU allocation model.
+//
+// Each host shares its MIPS capacity among resident guests the way a
+// time-sharing VMM does: a guest receives its requested vproc while the
+// host can cover the sum of requests, and a proportional share of the
+// host's capacity once the host is oversubscribed.  This is the mechanism
+// behind the paper's premise that "a host [with] high load decreases the
+// performance of the virtual machines running on it" — an unbalanced
+// mapping oversubscribes small hosts, slowing their guests and stretching
+// the experiment's makespan.
+#pragma once
+
+#include <vector>
+
+#include "core/mapping.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::sim {
+
+/// Effective MIPS each guest receives under the given mapping.
+/// rate(g) = vproc(g) * min(1, proc(host)/sum of vproc on host).
+[[nodiscard]] std::vector<double> effective_guest_mips(
+    const model::PhysicalCluster& cluster,
+    const model::VirtualEnvironment& venv, const core::Mapping& mapping);
+
+/// CPU oversubscription factor of each host: sum of vproc / proc
+/// (1.0 = exactly full).  Useful for diagnostics and tests.
+[[nodiscard]] std::vector<double> host_cpu_load(
+    const model::PhysicalCluster& cluster,
+    const model::VirtualEnvironment& venv, const core::Mapping& mapping);
+
+}  // namespace hmn::sim

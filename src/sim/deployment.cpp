@@ -1,0 +1,90 @@
+#include "sim/deployment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/dijkstra.h"
+
+namespace hmn::sim {
+
+DeploymentResult estimate_deployment(const model::PhysicalCluster& cluster,
+                                     const model::VirtualEnvironment& venv,
+                                     const core::Mapping& mapping,
+                                     const DeploymentSpec& spec) {
+  DeploymentResult result;
+  if (venv.guest_count() == 0 || cluster.host_count() == 0) return result;
+
+  const NodeId repo =
+      spec.repository.valid() ? spec.repository : cluster.hosts().front();
+
+  // Latency-shortest paths from the repository to every node.
+  auto latency = [&](EdgeId e) { return cluster.link(e).latency_ms; };
+  const auto sp = graph::dijkstra(cluster.graph(), repo, latency);
+
+  // Image volume per destination host (new guests only).
+  std::vector<double> volume_gb(cluster.node_count(), 0.0);
+  double total_gb = 0.0;
+  auto deployed_now = [&](std::size_t g) {
+    return g >= spec.first_guest &&
+           (spec.include == nullptr || (*spec.include)[g]);
+  };
+  for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+    if (!deployed_now(g)) continue;
+    const auto id = GuestId{static_cast<GuestId::underlying_type>(g)};
+    const double image =
+        spec.base_image_gb +
+        spec.image_fraction_of_storage * venv.guest(id).stor_gb;
+    volume_gb[mapping.guest_host[g].index()] += image;
+    total_gb += image;
+  }
+  result.bytes_moved_gb = static_cast<std::size_t>(std::llround(total_gb));
+
+  // Per-edge sharing: count how many destination hosts' shortest paths use
+  // each physical edge; an edge's bandwidth is split equally among them.
+  std::vector<std::size_t> users(cluster.link_count(), 0);
+  for (const NodeId h : cluster.hosts()) {
+    if (h == repo || volume_gb[h.index()] == 0.0) continue;
+    if (!sp.reachable(h)) continue;
+    for (const EdgeId e : graph::extract_path(cluster.graph(), sp, repo, h)) {
+      ++users[e.index()];
+    }
+  }
+
+  // Host transfer time = volume / (bottleneck of fair-shared bandwidth
+  // along its path); boots are sequential per host, overlapped across
+  // hosts.  The makespan is the slowest host's transfer+boot pipeline.
+  for (const NodeId h : cluster.hosts()) {
+    std::size_t guests_here = 0;
+    for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+      if (deployed_now(g) && mapping.guest_host[g] == h) ++guests_here;
+    }
+    if (guests_here == 0 && volume_gb[h.index()] == 0.0) continue;
+    double transfer = 0.0;
+    if (h != repo && volume_gb[h.index()] > 0.0) {
+      if (!sp.reachable(h)) {
+        // Unreachable host with images to deploy: deployment impossible;
+        // signal with an infinite estimate.
+        result.total_seconds = std::numeric_limits<double>::infinity();
+        continue;
+      }
+      double share_mbps = std::numeric_limits<double>::infinity();
+      for (const EdgeId e :
+           graph::extract_path(cluster.graph(), sp, repo, h)) {
+        const double bw = cluster.link(e).bandwidth_mbps /
+                          static_cast<double>(std::max<std::size_t>(1, users[e.index()]));
+        share_mbps = std::min(share_mbps, bw);
+      }
+      // GB -> megabits: x 8 x 1024; bandwidth in Mbps.
+      transfer = volume_gb[h.index()] * 8.0 * 1024.0 / share_mbps;
+    }
+    const double boot = spec.boot_seconds * static_cast<double>(guests_here);
+    if (transfer + boot > result.total_seconds) {
+      result.total_seconds = transfer + boot;
+      result.transfer_seconds = transfer;
+      result.boot_seconds = boot;
+    }
+  }
+  return result;
+}
+
+}  // namespace hmn::sim

@@ -1,0 +1,27 @@
+#include "sim/engine.h"
+
+#include <cassert>
+
+namespace hmn::sim {
+
+void Engine::schedule(double delay, EventFn fn) {
+  assert(delay >= 0.0);
+  queue_.push(now_ + delay, std::move(fn));
+}
+
+void Engine::schedule_at(double at, EventFn fn) {
+  assert(at >= now_);
+  queue_.push(at, std::move(fn));
+}
+
+double Engine::run(double horizon) {
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    now_ = queue_.next_time();
+    EventFn fn = queue_.pop();
+    fn();
+    ++processed_;
+  }
+  return now_;
+}
+
+}  // namespace hmn::sim

@@ -1,0 +1,39 @@
+// Discrete-event simulation engine.
+//
+// A minimal, deterministic kernel in the style of CloudSim's core: a clock
+// and a future-event list.  Entities schedule closures; the engine executes
+// them in timestamp order, advancing the clock.  Everything the emulation
+// experiment needs (CPU phases completing, messages arriving) is expressed
+// as scheduled events.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.h"
+
+namespace hmn::sim {
+
+class Engine {
+ public:
+  /// Current simulation time in seconds.
+  [[nodiscard]] double now() const { return now_; }
+  /// Events executed so far.
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  void schedule(double delay, EventFn fn);
+  /// Schedules `fn` at absolute time `at` (at >= now()).
+  void schedule_at(double at, EventFn fn);
+
+  /// Runs until the event list drains or the clock would pass `horizon`.
+  /// Returns the final clock value.
+  double run(double horizon = std::numeric_limits<double>::infinity());
+
+ private:
+  EventQueue queue_;
+  double now_ = 0.0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace hmn::sim

@@ -1,0 +1,18 @@
+#include "sim/event_queue.h"
+
+#include <memory>
+#include <utility>
+
+namespace hmn::sim {
+
+void EventQueue::push(double at, EventFn fn) {
+  heap_.push({at, next_seq_++, std::make_shared<EventFn>(std::move(fn))});
+}
+
+EventFn EventQueue::pop() {
+  EventFn fn = std::move(*heap_.top().fn);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace hmn::sim

@@ -1,0 +1,50 @@
+// Future-event list for the discrete-event engine.
+//
+// A binary heap keyed by (time, sequence).  The sequence number breaks ties
+// FIFO so simultaneous events execute in schedule order — without it, heap
+// reordering would make runs non-deterministic across standard-library
+// implementations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace hmn::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at` (seconds).
+  void push(double at, EventFn fn);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  /// Timestamp of the next event.  Precondition: !empty().
+  [[nodiscard]] double next_time() const { return heap_.top().time; }
+
+  /// Removes and returns the next event's action.  Precondition: !empty().
+  [[nodiscard]] EventFn pop();
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    // shared_ptr rather than function by value: priority_queue's internal
+    // moves during sift must stay cheap and noexcept.
+    std::shared_ptr<EventFn> fn;
+
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hmn::sim

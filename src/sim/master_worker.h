@@ -1,0 +1,55 @@
+// Master-worker application simulator — the second canonical shape of the
+// paper's high-level workloads (grid parameter sweeps: a coordinator farms
+// tasks to workers and collects results), complementing the BSP pattern in
+// experiment.h.
+//
+// The master guest holds a bag of independent tasks.  Each virtual-link
+// neighbor of the master is a worker: the master sends a task (payload
+// over the mapped path), the worker computes it at its effective CPU rate
+// (cpu_model.h), returns the result, and immediately receives the next
+// task.  The experiment ends when every task's result is back — so the
+// makespan reflects both the stragglers' CPU contention and the task/
+// result transfer times, the same mechanisms Section 5.2's correlation
+// argument rests on.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mapping.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::sim {
+
+struct MasterWorkerSpec {
+  /// The coordinating guest; its virtual-link neighbors are the workers.
+  GuestId master{0};
+  /// Total independent tasks; 0 means 4 tasks per worker.
+  std::size_t tasks = 0;
+  /// Compute cost per task, in seconds at the worker's requested vproc.
+  double task_seconds = 1.0;
+  /// Payload sizes for task dispatch and result return.
+  double task_kb = 64.0;
+  double result_kb = 64.0;
+  /// Per-task compute jitter of +-jitter_fraction, drawn from `seed`.
+  double jitter_fraction = 0.1;
+  std::uint64_t seed = 1;
+};
+
+struct MasterWorkerResult {
+  double makespan_seconds = 0.0;
+  std::size_t tasks_completed = 0;
+  std::size_t workers = 0;
+  /// Tasks completed per worker, indexed like the master's neighbor list —
+  /// fast workers (good hosts, cheap paths) complete more.
+  std::vector<std::size_t> tasks_per_worker;
+};
+
+/// Simulates the farm over a complete, valid mapping.  A master with no
+/// neighbors (or zero tasks) completes instantly.
+[[nodiscard]] MasterWorkerResult run_master_worker(
+    const model::PhysicalCluster& cluster,
+    const model::VirtualEnvironment& venv, const core::Mapping& mapping,
+    const MasterWorkerSpec& spec = {});
+
+}  // namespace hmn::sim

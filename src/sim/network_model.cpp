@@ -1,0 +1,35 @@
+#include "sim/network_model.h"
+
+namespace hmn::sim {
+
+NetworkModel::NetworkModel(const model::PhysicalCluster& cluster,
+                           const model::VirtualEnvironment& venv,
+                           const core::Mapping& mapping,
+                           double intra_host_mbps)
+    : venv_(&venv), intra_host_mbps_(intra_host_mbps) {
+  path_latency_ms_.resize(venv.link_count(), 0.0);
+  colocated_.resize(venv.link_count(), false);
+  for (std::size_t l = 0; l < venv.link_count(); ++l) {
+    const auto id = VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)};
+    colocated_[l] = mapping.colocated(venv, id);
+    double lat = 0.0;
+    for (const EdgeId e : mapping.path_of(id)) {
+      lat += cluster.link(e).latency_ms;
+    }
+    path_latency_ms_[l] = lat;
+  }
+}
+
+double NetworkModel::transfer_seconds(VirtLinkId l, double size_kb) const {
+  const double bw_mbps = colocated_[l.index()]
+                             ? intra_host_mbps_
+                             : venv_->link(l).bandwidth_mbps;
+  const double latency_s = path_latency_ms_[l.index()] / 1e3;
+  // size_kb kilobytes -> kilobits; bw in Mbps -> kbps.
+  const double serialize_s = bw_mbps > 0.0
+                                 ? (size_kb * 8.0) / (bw_mbps * 1e3)
+                                 : 0.0;
+  return latency_s + serialize_s;
+}
+
+}  // namespace hmn::sim

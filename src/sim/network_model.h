@@ -1,0 +1,42 @@
+// Virtual-link communication model.
+//
+// A message over a virtual link experiences the accumulated latency of the
+// physical path its link was mapped to, plus serialization at the virtual
+// link's granted bandwidth (the mapping reserved vbw on every physical edge
+// of the path, so the virtual link owns that much end to end).  Co-located
+// guests communicate through the VMM: zero latency, `intra_host_mbps`
+// bandwidth (effectively instantaneous for the paper's message sizes).
+#pragma once
+
+#include <vector>
+
+#include "core/mapping.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+
+namespace hmn::sim {
+
+class NetworkModel {
+ public:
+  NetworkModel(const model::PhysicalCluster& cluster,
+               const model::VirtualEnvironment& venv,
+               const core::Mapping& mapping, double intra_host_mbps = 1e6);
+
+  /// Transfer time (seconds) of a `size_kb` kilobyte message over virtual
+  /// link l: path latency + size / granted bandwidth.
+  [[nodiscard]] double transfer_seconds(VirtLinkId l, double size_kb) const;
+
+  /// Accumulated physical latency (ms) of the path carrying link l
+  /// (0 for co-located endpoints).
+  [[nodiscard]] double path_latency_ms(VirtLinkId l) const {
+    return path_latency_ms_[l.index()];
+  }
+
+ private:
+  const model::VirtualEnvironment* venv_;
+  std::vector<double> path_latency_ms_;  // per virtual link
+  double intra_host_mbps_;
+  std::vector<bool> colocated_;
+};
+
+}  // namespace hmn::sim

@@ -1,0 +1,328 @@
+#include "topology/topologies.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <utility>
+
+namespace hmn::topology {
+namespace {
+
+NodeId nid(std::size_t i) {
+  return NodeId{static_cast<NodeId::underlying_type>(i)};
+}
+
+Topology hosts_only(std::size_t n) {
+  Topology t;
+  t.graph = graph::Graph(n);
+  t.role.assign(n, NodeRole::kHost);
+  return t;
+}
+
+}  // namespace
+
+std::size_t Topology::host_count() const {
+  return static_cast<std::size_t>(
+      std::count(role.begin(), role.end(), NodeRole::kHost));
+}
+
+std::size_t Topology::switch_count() const {
+  return role.size() - host_count();
+}
+
+std::vector<NodeId> Topology::host_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(role.size());
+  for (std::size_t i = 0; i < role.size(); ++i) {
+    if (role[i] == NodeRole::kHost) out.push_back(nid(i));
+  }
+  return out;
+}
+
+Topology torus_2d(std::size_t rows, std::size_t cols) {
+  assert(rows >= 1 && cols >= 1);
+  Topology t = hosts_only(rows * cols);
+  auto at = [cols](std::size_t r, std::size_t c) { return nid(r * cols + c); };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Right and down neighbors with wraparound; a 1-wide dimension would
+      // produce a self-loop or duplicate edge, so it is skipped.
+      if (cols > 1) {
+        const std::size_t c2 = (c + 1) % cols;
+        if (c2 != c && !(cols == 2 && c == 1)) t.graph.add_edge(at(r, c), at(r, c2));
+      }
+      if (rows > 1) {
+        const std::size_t r2 = (r + 1) % rows;
+        if (r2 != r && !(rows == 2 && r == 1)) t.graph.add_edge(at(r, c), at(r2, c));
+      }
+    }
+  }
+  return t;
+}
+
+Topology switched(std::size_t hosts, std::size_t ports) {
+  assert(ports >= 3 && "cascading needs at least host + two uplink ports");
+  Topology t;
+  t.graph = graph::Graph(hosts);
+  t.role.assign(hosts, NodeRole::kHost);
+
+  // Greedy fill: attach hosts to the current switch until its free ports
+  // (total minus the uplink(s) consumed by the cascade) are exhausted, then
+  // chain a new switch.
+  std::size_t placed = 0;
+  NodeId prev_switch = NodeId::invalid();
+  while (placed < hosts) {
+    const NodeId sw = t.graph.add_node();
+    t.role.push_back(NodeRole::kSwitch);
+    std::size_t free = ports;
+    if (prev_switch.valid()) {
+      t.graph.add_edge(prev_switch, sw);
+      free -= 1;  // downlink to the previous switch
+    }
+    const std::size_t remaining = hosts - placed;
+    // Reserve one port for the next cascade hop unless this switch can
+    // absorb every remaining host.
+    const std::size_t usable = remaining <= free ? remaining : free - 1;
+    for (std::size_t i = 0; i < usable; ++i) {
+      t.graph.add_edge(nid(placed++), sw);
+    }
+    prev_switch = sw;
+  }
+  return t;
+}
+
+Topology ring(std::size_t n) {
+  Topology t = hosts_only(n);
+  if (n == 2) {
+    t.graph.add_edge(nid(0), nid(1));
+    return t;
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) t.graph.add_edge(nid(i), nid(i + 1));
+  if (n > 2) t.graph.add_edge(nid(n - 1), nid(0));
+  return t;
+}
+
+Topology line(std::size_t n) {
+  Topology t = hosts_only(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) t.graph.add_edge(nid(i), nid(i + 1));
+  return t;
+}
+
+Topology star(std::size_t n) {
+  Topology t = hosts_only(n);
+  const NodeId hub = t.graph.add_node();
+  t.role.push_back(NodeRole::kSwitch);
+  for (std::size_t i = 0; i < n; ++i) t.graph.add_edge(nid(i), hub);
+  return t;
+}
+
+Topology full_mesh(std::size_t n) {
+  Topology t = hosts_only(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) t.graph.add_edge(nid(i), nid(j));
+  }
+  return t;
+}
+
+Topology hypercube(std::size_t dimension) {
+  const std::size_t n = std::size_t{1} << dimension;
+  Topology t = hosts_only(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < dimension; ++d) {
+      const std::size_t j = i ^ (std::size_t{1} << d);
+      if (i < j) t.graph.add_edge(nid(i), nid(j));
+    }
+  }
+  return t;
+}
+
+Topology fat_tree(std::size_t k) {
+  assert(k >= 2 && k % 2 == 0);
+  const std::size_t half = k / 2;
+  const std::size_t host_count = k * half * half;  // k pods * (k/2)^2 hosts
+  Topology t = hosts_only(host_count);
+
+  const std::size_t core_count = half * half;
+  std::vector<NodeId> core(core_count);
+  for (auto& c : core) {
+    c = t.graph.add_node();
+    t.role.push_back(NodeRole::kSwitch);
+  }
+
+  std::size_t next_host = 0;
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    std::vector<NodeId> aggr(half), edge(half);
+    for (auto& a : aggr) {
+      a = t.graph.add_node();
+      t.role.push_back(NodeRole::kSwitch);
+    }
+    for (auto& e : edge) {
+      e = t.graph.add_node();
+      t.role.push_back(NodeRole::kSwitch);
+    }
+    // Edge <-> aggregation full bipartite within the pod.
+    for (const NodeId a : aggr) {
+      for (const NodeId e : edge) t.graph.add_edge(a, e);
+    }
+    // Hosts under edge switches.
+    for (const NodeId e : edge) {
+      for (std::size_t h = 0; h < half; ++h) {
+        t.graph.add_edge(nid(next_host++), e);
+      }
+    }
+    // Aggregation switch i uplinks to core switches [i*half, (i+1)*half).
+    for (std::size_t i = 0; i < half; ++i) {
+      for (std::size_t j = 0; j < half; ++j) {
+        t.graph.add_edge(aggr[i], core[i * half + j]);
+      }
+    }
+  }
+  return t;
+}
+
+Topology mesh_2d(std::size_t rows, std::size_t cols) {
+  assert(rows >= 1 && cols >= 1);
+  Topology t = hosts_only(rows * cols);
+  auto at = [cols](std::size_t r, std::size_t c) { return nid(r * cols + c); };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) t.graph.add_edge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) t.graph.add_edge(at(r, c), at(r + 1, c));
+    }
+  }
+  return t;
+}
+
+Topology torus_3d(std::size_t x, std::size_t y, std::size_t z) {
+  assert(x >= 1 && y >= 1 && z >= 1);
+  Topology t = hosts_only(x * y * z);
+  auto at = [y, z](std::size_t i, std::size_t j, std::size_t k) {
+    return nid((i * y + j) * z + k);
+  };
+  // +1 neighbor per dimension with wraparound; a dimension of width 1 is
+  // skipped and width 2 adds the single edge only once.
+  for (std::size_t i = 0; i < x; ++i) {
+    for (std::size_t j = 0; j < y; ++j) {
+      for (std::size_t k = 0; k < z; ++k) {
+        if (x > 1 && !(x == 2 && i == 1)) {
+          t.graph.add_edge(at(i, j, k), at((i + 1) % x, j, k));
+        }
+        if (y > 1 && !(y == 2 && j == 1)) {
+          t.graph.add_edge(at(i, j, k), at(i, (j + 1) % y, k));
+        }
+        if (z > 1 && !(z == 2 && k == 1)) {
+          t.graph.add_edge(at(i, j, k), at(i, j, (k + 1) % z));
+        }
+      }
+    }
+  }
+  return t;
+}
+
+Topology switch_tree(std::size_t hosts, std::size_t leaf_width,
+                     std::size_t fanout) {
+  assert(leaf_width >= 1 && fanout >= 2);
+  Topology t = hosts_only(hosts);
+
+  // Level 0: leaf switches over host groups.
+  std::vector<NodeId> level;
+  for (std::size_t base = 0; base < hosts; base += leaf_width) {
+    const NodeId sw = t.graph.add_node();
+    t.role.push_back(NodeRole::kSwitch);
+    for (std::size_t h = base; h < std::min(base + leaf_width, hosts); ++h) {
+      t.graph.add_edge(nid(h), sw);
+    }
+    level.push_back(sw);
+  }
+  // Inner levels until one root remains.
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t base = 0; base < level.size(); base += fanout) {
+      const NodeId sw = t.graph.add_node();
+      t.role.push_back(NodeRole::kSwitch);
+      for (std::size_t c = base; c < std::min(base + fanout, level.size());
+           ++c) {
+        t.graph.add_edge(level[c], sw);
+      }
+      next.push_back(sw);
+    }
+    level = std::move(next);
+  }
+  return t;
+}
+
+Topology dragonfly(std::size_t groups, std::size_t routers_per_group) {
+  assert(groups >= 1 && routers_per_group >= 1);
+  Topology t = hosts_only(groups * routers_per_group);
+  auto router = [routers_per_group](std::size_t g, std::size_t r) {
+    return nid(g * routers_per_group + r);
+  };
+  // Intra-group: full mesh.
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t a = 0; a < routers_per_group; ++a) {
+      for (std::size_t b = a + 1; b < routers_per_group; ++b) {
+        t.graph.add_edge(router(g, a), router(g, b));
+      }
+    }
+  }
+  // Inter-group: one global link per group pair, spread round-robin over
+  // each group's routers.
+  std::vector<std::size_t> next_port(groups, 0);
+  for (std::size_t g1 = 0; g1 < groups; ++g1) {
+    for (std::size_t g2 = g1 + 1; g2 < groups; ++g2) {
+      const std::size_t r1 = next_port[g1]++ % routers_per_group;
+      const std::size_t r2 = next_port[g2]++ % routers_per_group;
+      t.graph.add_edge(router(g1, r1), router(g2, r2));
+    }
+  }
+  return t;
+}
+
+Topology random_cluster(std::size_t n, double density, util::Rng& rng) {
+  Topology t;
+  t.graph = random_connected_graph(n, density, rng);
+  t.role.assign(n, NodeRole::kHost);
+  return t;
+}
+
+graph::Graph random_connected_graph(std::size_t n, double density,
+                                    util::Rng& rng) {
+  graph::Graph g(n);
+  if (n < 2) return g;
+
+  // Uniform random spanning tree by random node permutation: node i (i>0)
+  // attaches to a uniformly random earlier node.  Guarantees connectivity;
+  // the paper's generator makes the same promise.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order.begin(), order.end());
+
+  std::set<std::pair<std::size_t, std::size_t>> present;
+  auto add_unique = [&](std::size_t a, std::size_t b) {
+    if (a > b) std::swap(a, b);
+    if (a == b) return false;
+    if (!present.insert({a, b}).second) return false;
+    g.add_edge(nid(a), nid(b));
+    return true;
+  };
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t parent = order[rng.index(i)];
+    add_unique(order[i], parent);
+  }
+
+  const double max_edges = static_cast<double>(n) *
+                           static_cast<double>(n - 1) / 2.0;
+  const auto target =
+      static_cast<std::size_t>(std::max(0.0, density * max_edges + 0.5));
+  // The spanning tree may already exceed a very low density target; the
+  // graph is then as sparse as connectivity allows.
+  std::size_t guard = 0;
+  const std::size_t guard_limit = 20 * n * n + 1000;
+  while (g.edge_count() < target && guard++ < guard_limit) {
+    add_unique(rng.index(n), rng.index(n));
+  }
+  return g;
+}
+
+}  // namespace hmn::topology

@@ -1,0 +1,102 @@
+// Physical cluster topology builders.
+//
+// The paper evaluates two cluster topologies — a 2-D torus and a switched
+// cluster of cascaded 64-port switches — and claims HMN handles *arbitrary*
+// cluster networks (Section 2).  This module provides those two plus the
+// topologies named in the paper's related-work discussion (ring, etc.) and
+// common cluster fabrics, all as pure topology objects: a graph plus a
+// host/switch role per node.  Capacities are attached by the model layer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace hmn::topology {
+
+/// Role of a cluster node.  Switches forward traffic but cannot run guests.
+enum class NodeRole : std::uint8_t { kHost, kSwitch };
+
+/// A topology: graph structure plus per-node role.
+struct Topology {
+  graph::Graph graph;
+  std::vector<NodeRole> role;
+
+  [[nodiscard]] std::size_t host_count() const;
+  [[nodiscard]] std::size_t switch_count() const;
+  [[nodiscard]] std::vector<NodeId> host_nodes() const;
+  [[nodiscard]] bool is_host(NodeId n) const {
+    return role[n.index()] == NodeRole::kHost;
+  }
+};
+
+/// 2-D torus of rows x cols hosts: each host links to its four grid
+/// neighbors with wraparound.  The paper's first evaluation cluster
+/// (40 hosts => 8x5).  Degenerate dimensions (1 row/col) collapse the
+/// duplicate wrap link.
+[[nodiscard]] Topology torus_2d(std::size_t rows, std::size_t cols);
+
+/// Switched cluster: `hosts` hosts attached to cascaded switches with
+/// `ports` ports each (default 64, as in the paper).  Switches are chained
+/// linearly; chain uplinks consume one port on each adjacent switch.  The
+/// paper's second evaluation cluster (40 hosts => a single switch).
+[[nodiscard]] Topology switched(std::size_t hosts, std::size_t ports = 64);
+
+/// Ring of n hosts (the related-work topology V-eM cannot handle).
+[[nodiscard]] Topology ring(std::size_t n);
+
+/// Line (path) of n hosts.
+[[nodiscard]] Topology line(std::size_t n);
+
+/// Star: n hosts all attached to one central switch.
+[[nodiscard]] Topology star(std::size_t n);
+
+/// Fully connected mesh of n hosts.
+[[nodiscard]] Topology full_mesh(std::size_t n);
+
+/// Hypercube of dimension d (2^d hosts).
+[[nodiscard]] Topology hypercube(std::size_t dimension);
+
+/// k-ary fat-tree (Al-Fares et al.): k pods, (k/2)^2 core switches,
+/// k^3/4 hosts.  Requires even k >= 2.
+[[nodiscard]] Topology fat_tree(std::size_t k);
+
+/// 2-D mesh (grid without wraparound) of rows x cols hosts — the torus's
+/// open-boundary sibling; corner/edge hosts have lower degree, so path
+/// diversity is uneven (useful for stressing the Networking stage).
+[[nodiscard]] Topology mesh_2d(std::size_t rows, std::size_t cols);
+
+/// 3-D torus of x*y*z hosts (each host links to six neighbors with
+/// wraparound; degenerate dimensions collapse duplicates, as in torus_2d).
+[[nodiscard]] Topology torus_3d(std::size_t x, std::size_t y, std::size_t z);
+
+/// Balanced switch tree: `hosts` hosts under leaf switches of `leaf_width`
+/// downlinks each, leaf switches under inner switches of `fanout`
+/// downlinks, recursively, up to a single root switch.
+[[nodiscard]] Topology switch_tree(std::size_t hosts, std::size_t leaf_width,
+                                   std::size_t fanout);
+
+/// Dragonfly (Kim et al., simplified, one host per router): `groups`
+/// fully-connected groups of `routers_per_group` routers-as-hosts, with one
+/// global link between every pair of groups (attached round-robin to the
+/// routers of each group).
+[[nodiscard]] Topology dragonfly(std::size_t groups,
+                                 std::size_t routers_per_group);
+
+/// Connected random host-only topology with approximately the given edge
+/// density (see `random_connected_graph`).
+[[nodiscard]] Topology random_cluster(std::size_t n, double density,
+                                      util::Rng& rng);
+
+/// Connected Erdos–Renyi-style random graph used for both random clusters
+/// and virtual environments: builds a uniformly random spanning tree
+/// (guaranteeing connectivity, as the paper's generator does), then adds
+/// distinct random extra edges until `density` = |E| / (n(n-1)/2) is
+/// reached.  For n < 2 returns the trivial graph.
+[[nodiscard]] graph::Graph random_connected_graph(std::size_t n,
+                                                  double density,
+                                                  util::Rng& rng);
+
+}  // namespace hmn::topology

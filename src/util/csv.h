@@ -1,0 +1,31 @@
+// Minimal CSV file writer used by benches to persist series for plotting.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hmn::util {
+
+/// Streams rows to a CSV file.  Cells containing a comma, quote, or newline
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`.  `ok()` reports whether the stream is usable.
+  explicit CsvWriter(const std::string& path);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  void row(const std::vector<std::string>& cells);
+  void row(std::initializer_list<std::string> cells);
+
+  /// Convenience: formats doubles with full round-trip precision.
+  static std::string num(double v);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace hmn::util

@@ -1,0 +1,69 @@
+// Strong integer identifiers.
+//
+// Hosts, guests, physical links, and virtual links are addressed by dense
+// integer indices into contiguous arrays.  Raw `std::size_t` indices invite
+// cross-domain mixups (passing a guest index where a host index is expected
+// compiles silently); these thin wrappers make each identifier a distinct
+// type while remaining trivially copyable and hashable.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace hmn {
+
+/// Strongly typed index.  `Tag` is a phantom type that distinguishes
+/// otherwise-identical identifier types at compile time.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  /// Sentinel meaning "no entity"; default-constructed Ids are invalid.
+  [[nodiscard]] static constexpr Id invalid() { return Id{}; }
+  [[nodiscard]] constexpr bool valid() const {
+    return value_ != std::numeric_limits<underlying_type>::max();
+  }
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  /// Convenience for indexing std containers.
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+ private:
+  underlying_type value_ = std::numeric_limits<underlying_type>::max();
+};
+
+struct HostTag;
+struct GuestTag;
+struct PhysLinkTag;
+struct VirtLinkTag;
+struct NodeTag;
+struct EdgeTag;
+
+/// A node of the physical cluster graph (host or switch).
+using NodeId = Id<NodeTag>;
+/// An edge of a graph (physical link, in cluster context).
+using EdgeId = Id<EdgeTag>;
+/// A host: a cluster node capable of running guests.
+using HostId = Id<HostTag>;
+/// A guest virtual machine.
+using GuestId = Id<GuestTag>;
+/// A virtual link between two guests.
+using VirtLinkId = Id<VirtLinkTag>;
+
+}  // namespace hmn
+
+template <typename Tag>
+struct std::hash<hmn::Id<Tag>> {
+  std::size_t operator()(const hmn::Id<Tag>& id) const noexcept {
+    return std::hash<typename hmn::Id<Tag>::underlying_type>{}(id.value());
+  }
+};

@@ -1,0 +1,172 @@
+#include "util/stats.h"
+
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hmn::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance_population(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev_population(std::span<const double> xs) {
+  return std::sqrt(variance_population(xs));
+}
+
+double stddev_sample(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+namespace {
+
+ConfidenceInterval bootstrap_ci_impl(std::span<const double> values,
+                                     std::span<const double> paired,
+                                     double level, std::size_t resamples,
+                                     std::uint64_t seed) {
+  // `paired` empty: one-sample mean CI; otherwise CI of mean(values-paired).
+  const std::size_t n = values.size();
+  auto point = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      s += values[i] - (paired.empty() ? 0.0 : paired[i]);
+    }
+    return n > 0 ? s / static_cast<double>(n) : 0.0;
+  };
+  if (n < 2 || resamples == 0) {
+    const double m = point();
+    return {m, m};
+  }
+  Rng rng(seed);
+  std::vector<double> means(resamples);
+  for (auto& m : means) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = rng.index(n);
+      sum += values[j] - (paired.empty() ? 0.0 : paired[j]);
+    }
+    m = sum / static_cast<double>(n);
+  }
+  const double alpha = (1.0 - level) / 2.0;
+  return {percentile(means, 100.0 * alpha),
+          percentile(means, 100.0 * (1.0 - alpha))};
+}
+
+}  // namespace
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> xs, double level,
+                                     std::size_t resamples,
+                                     std::uint64_t seed) {
+  return bootstrap_ci_impl(xs, {}, level, resamples, seed);
+}
+
+ConfidenceInterval bootstrap_paired_diff_ci(std::span<const double> xs,
+                                            std::span<const double> ys,
+                                            double level,
+                                            std::size_t resamples,
+                                            std::uint64_t seed) {
+  if (xs.size() != ys.size()) return {0.0, 0.0};
+  return bootstrap_ci_impl(xs, ys, level, resamples, seed);
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance_population() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev_population() const {
+  return std::sqrt(variance_population());
+}
+
+double RunningStats::variance_sample() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev_sample() const {
+  return std::sqrt(variance_sample());
+}
+
+}  // namespace hmn::util

@@ -1,0 +1,89 @@
+// Descriptive statistics used across the library.
+//
+// The paper's objective function (Eq. 10) is the *population* standard
+// deviation (divide by n, not n-1) of residual CPU; `stddev_population`
+// matches that definition exactly.  The evaluation additionally reports
+// means over 30 repetitions and a Pearson correlation between objective
+// value and simulated experiment time (Section 5.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hmn::util {
+
+/// Arithmetic mean; 0.0 for an empty range.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population variance (divide by n); 0.0 for n < 1.
+[[nodiscard]] double variance_population(std::span<const double> xs);
+
+/// Population standard deviation (divide by n) — Eq. 10's dispersion.
+[[nodiscard]] double stddev_population(std::span<const double> xs);
+
+/// Sample standard deviation (divide by n-1); 0.0 for n < 2.
+[[nodiscard]] double stddev_sample(std::span<const double> xs);
+
+/// Pearson product-moment correlation coefficient; 0.0 when either series
+/// is constant or the series lengths differ / are < 2.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Minimum / maximum; 0.0 for an empty range.
+[[nodiscard]] double min_value(std::span<const double> xs);
+[[nodiscard]] double max_value(std::span<const double> xs);
+
+/// p-th percentile (0 <= p <= 100) by linear interpolation on the sorted
+/// copy of the data; 0.0 for an empty range.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Percentile bootstrap confidence interval for the mean: resamples `xs`
+/// with replacement `resamples` times (deterministic in `seed`) and
+/// returns the [ (1-level)/2, 1-(1-level)/2 ] percentiles of the resampled
+/// means.  Used by the report layer to attach uncertainty to table cells
+/// without distributional assumptions.  Degenerate inputs (n < 2) return
+/// [mean, mean].
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(std::span<const double> xs,
+                                                   double level = 0.95,
+                                                   std::size_t resamples = 1000,
+                                                   std::uint64_t seed = 1);
+
+/// Paired bootstrap: confidence interval for mean(xs - ys) over paired
+/// samples (same instance mapped by two heuristics).  Excludes-zero tests
+/// whether one heuristic is reliably better.  Series must be equal length.
+[[nodiscard]] ConfidenceInterval bootstrap_paired_diff_ci(
+    std::span<const double> xs, std::span<const double> ys,
+    double level = 0.95, std::size_t resamples = 1000, std::uint64_t seed = 1);
+
+/// Streaming accumulator (Welford) for mean/variance without storing the
+/// samples.  Used by the experiment runner to aggregate repetitions.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance_population() const;
+  [[nodiscard]] double stddev_population() const;
+  [[nodiscard]] double variance_sample() const;
+  [[nodiscard]] double stddev_sample() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hmn::util

@@ -1,0 +1,38 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// The bench binaries regenerate the paper's Tables 2 and 3; this renderer
+// prints them in an aligned monospace layout matching the paper's row/column
+// structure, and can also emit CSV for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hmn::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next row (the paper separates the
+  /// high-level and low-level workload blocks this way).
+  void add_separator();
+
+  /// Aligned monospace rendering with a header rule.
+  [[nodiscard]] std::string to_string() const;
+  /// RFC-4180-ish CSV (no quoting of embedded commas needed for our cells).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with `prec` digits after the point, trimming a bare
+  /// trailing ".0...0" like the paper's tables do.
+  static std::string fmt(double v, int prec = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace hmn::util

@@ -1,0 +1,58 @@
+// Fixed-size thread pool and a deterministic parallel_for built on it.
+//
+// The experiment grid (scenario x repetition x heuristic) is embarrassingly
+// parallel: each cell derives its own RNG seed, so results are identical
+// whether the grid runs on 1 or N threads.  The pool uses a single mutex-
+// protected deque — mapping a cell costs milliseconds-to-seconds, so queue
+// contention is negligible and a work-stealing scheduler would be
+// complexity without payoff.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hmn::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task.  Tasks must not throw (the library reports failures as
+  /// values); an escaping exception terminates, by design.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across `threads` workers (0 = hardware
+/// concurrency), blocking until all iterations complete.  Iterations are
+/// claimed from a shared atomic counter in chunks of `chunk`, so long and
+/// short iterations interleave without a static partition imbalance.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0, std::size_t chunk = 1);
+
+}  // namespace hmn::util

@@ -1,0 +1,20 @@
+#include "workload/host_generator.h"
+
+namespace hmn::workload {
+
+std::vector<model::HostCapacity> generate_hosts(std::size_t count,
+                                                const HostProfile& profile,
+                                                util::Rng& rng) {
+  std::vector<model::HostCapacity> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({
+        .proc_mips = rng.uniform(profile.proc_mips.lo, profile.proc_mips.hi),
+        .mem_mb = rng.uniform(profile.mem_mb.lo, profile.mem_mb.hi),
+        .stor_gb = rng.uniform(profile.stor_gb.lo, profile.stor_gb.hi),
+    });
+  }
+  return out;
+}
+
+}  // namespace hmn::workload

@@ -1,0 +1,17 @@
+// Random heterogeneous host capacities (Section 5.1: "resources of each of
+// the 40 hosts in the cluster were randomly generated").
+#pragma once
+
+#include <vector>
+
+#include "model/resources.h"
+#include "util/rng.h"
+#include "workload/presets.h"
+
+namespace hmn::workload {
+
+/// Draws `count` host capacities from the uniform ranges of `profile`.
+[[nodiscard]] std::vector<model::HostCapacity> generate_hosts(
+    std::size_t count, const HostProfile& profile, util::Rng& rng);
+
+}  // namespace hmn::workload

@@ -1,0 +1,37 @@
+#include "workload/presets.h"
+
+namespace hmn::workload {
+
+HostProfile paper_host_profile() {
+  return {
+      .proc_mips = {1000.0, 3000.0},
+      .mem_mb = {1.0 * model::kGB_in_MB, 3.0 * model::kGB_in_MB},
+      .stor_gb = {1.0 * model::kTB_in_GB, 3.0 * model::kTB_in_GB},
+  };
+}
+
+model::LinkProps paper_link_props() {
+  return {.bandwidth_mbps = 1.0 * model::kGbps_in_Mbps, .latency_ms = 5.0};
+}
+
+GuestProfile high_level_profile() {
+  return {
+      .proc_mips = {50.0, 100.0},
+      .mem_mb = {128.0, 256.0},
+      .stor_gb = {100.0, 200.0},
+      .link_bw_mbps = {0.5, 1.0},
+      .link_lat_ms = {30.0, 60.0},
+  };
+}
+
+GuestProfile low_level_profile() {
+  return {
+      .proc_mips = {19.0, 38.0},
+      .mem_mb = {19.0, 38.0},
+      .stor_gb = {19.0, 38.0},
+      .link_bw_mbps = {87.0 / model::kMbps_in_kbps, 175.0 / model::kMbps_in_kbps},
+      .link_lat_ms = {30.0, 60.0},
+  };
+}
+
+}  // namespace hmn::workload

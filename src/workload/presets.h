@@ -1,0 +1,62 @@
+// The paper's experiment setup (Table 1) as named parameter presets.
+//
+//   * Physical: 40 heterogeneous hosts (memory U[1,3] GB, storage
+//     U[1,3] TB, CPU U[1000,3000] MIPS) on 1 Gbps / 5 ms links, arranged
+//     as a 2-D torus or a switched cluster of cascaded 64-port switches.
+//   * High-level workload (grid/cloud application testing, ratios up to
+//     10:1): guests U[128,256] MB / U[100,200] GB / U[50,100] MIPS, links
+//     U[0.5,1] Mbps with U[30,60] ms latency bounds, density 0.015-0.025.
+//   * Low-level workload (P2P protocol testing, ratios 20:1-50:1): guests
+//     U[19,38] MB / U[19,38] GB / U[19,38] MIPS, links U[87,175] kbps with
+//     U[30,60] ms latency bounds, density 0.01.
+#pragma once
+
+#include <cstdint>
+
+#include "model/resources.h"
+
+namespace hmn::workload {
+
+/// Closed interval for a uniformly distributed quantity.
+struct Range {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Distributions for one host's capacities.
+struct HostProfile {
+  Range proc_mips;
+  Range mem_mb;
+  Range stor_gb;
+};
+
+/// Distributions for one guest and its links.
+struct GuestProfile {
+  Range proc_mips;
+  Range mem_mb;
+  Range stor_gb;
+  Range link_bw_mbps;
+  Range link_lat_ms;
+};
+
+/// Table 1, physical environment column.
+[[nodiscard]] HostProfile paper_host_profile();
+
+/// Uniform physical link of the paper's clusters: 1 Gbps, 5 ms.
+[[nodiscard]] model::LinkProps paper_link_props();
+
+/// Table 1, high-level workload column.
+[[nodiscard]] GuestProfile high_level_profile();
+
+/// Table 1, low-level workload column.
+[[nodiscard]] GuestProfile low_level_profile();
+
+/// Number of hosts in the paper's clusters.
+inline constexpr std::size_t kPaperHostCount = 40;
+/// 2-D torus factorization used for the 40-host cluster.
+inline constexpr std::size_t kPaperTorusRows = 8;
+inline constexpr std::size_t kPaperTorusCols = 5;
+/// Port count of the cascaded switches.
+inline constexpr std::size_t kPaperSwitchPorts = 64;
+
+}  // namespace hmn::workload

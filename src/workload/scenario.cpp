@@ -1,0 +1,64 @@
+#include "workload/scenario.h"
+
+#include <cmath>
+
+#include "topology/topologies.h"
+#include "util/table.h"
+#include "workload/host_generator.h"
+#include "workload/venv_generator.h"
+
+namespace hmn::workload {
+
+std::string Scenario::label() const {
+  return util::Table::fmt(ratio, 1) + ":1 " + util::Table::fmt(density, 3);
+}
+
+std::size_t Scenario::guest_count(std::size_t hosts) const {
+  return static_cast<std::size_t>(
+      std::llround(ratio * static_cast<double>(hosts)));
+}
+
+std::vector<Scenario> paper_scenarios() {
+  std::vector<Scenario> out;
+  // High-level block: the paper's tables iterate density-major
+  // (2.5:1..10:1 within each density).
+  for (const double density : {0.015, 0.02, 0.025}) {
+    for (const double ratio : {2.5, 5.0, 7.5, 10.0}) {
+      out.push_back({ratio, density, WorkloadKind::kHighLevel});
+    }
+  }
+  for (const double ratio : {20.0, 30.0, 40.0, 50.0}) {
+    out.push_back({ratio, 0.01, WorkloadKind::kLowLevel});
+  }
+  return out;
+}
+
+model::PhysicalCluster make_paper_cluster(ClusterKind kind,
+                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto caps = generate_hosts(kPaperHostCount, paper_host_profile(), rng);
+  topology::Topology topo =
+      kind == ClusterKind::kTorus2D
+          ? topology::torus_2d(kPaperTorusRows, kPaperTorusCols)
+          : topology::switched(kPaperHostCount, kPaperSwitchPorts);
+  return model::PhysicalCluster::build(std::move(topo), std::move(caps),
+                                       paper_link_props());
+}
+
+model::VirtualEnvironment make_scenario_venv(
+    const Scenario& scenario, const model::PhysicalCluster& cluster,
+    std::uint64_t seed) {
+  util::Rng rng(seed);
+  VenvGenOptions opts;
+  opts.guest_count = scenario.guest_count(cluster.host_count());
+  opts.density = scenario.density;
+  opts.profile = scenario.workload == WorkloadKind::kHighLevel
+                     ? high_level_profile()
+                     : low_level_profile();
+  opts.profile.proc_mips.lo *= scenario.vproc_scale;
+  opts.profile.proc_mips.hi *= scenario.vproc_scale;
+  opts.normalize_to = &cluster;
+  return generate_venv(opts, rng);
+}
+
+}  // namespace hmn::workload

@@ -1,0 +1,72 @@
+#include "workload/venv_generator.h"
+
+#include <algorithm>
+
+#include "topology/topologies.h"
+
+namespace hmn::workload {
+
+model::VirtualEnvironment generate_venv(const VenvGenOptions& opts,
+                                        util::Rng& rng) {
+  model::VirtualEnvironment venv;
+
+  // Draw guest resources.
+  std::vector<model::GuestRequirements> reqs;
+  reqs.reserve(opts.guest_count);
+  for (std::size_t i = 0; i < opts.guest_count; ++i) {
+    reqs.push_back({
+        .proc_mips =
+            rng.uniform(opts.profile.proc_mips.lo, opts.profile.proc_mips.hi),
+        .mem_mb = rng.uniform(opts.profile.mem_mb.lo, opts.profile.mem_mb.hi),
+        .stor_gb =
+            rng.uniform(opts.profile.stor_gb.lo, opts.profile.stor_gb.hi),
+    });
+  }
+
+  // Feasibility normalization against the target cluster (see header).
+  if (opts.normalize_to != nullptr && !reqs.empty()) {
+    double cap_mem = 0.0, cap_stor = 0.0;
+    for (const NodeId h : opts.normalize_to->hosts()) {
+      cap_mem += opts.normalize_to->capacity(h).mem_mb;
+      cap_stor += opts.normalize_to->capacity(h).stor_gb;
+    }
+    double dem_mem = 0.0, dem_stor = 0.0;
+    for (const auto& r : reqs) {
+      dem_mem += r.mem_mb;
+      dem_stor += r.stor_gb;
+    }
+    const double mem_scale =
+        dem_mem > 0.0
+            ? std::min(1.0, opts.capacity_fraction * cap_mem / dem_mem)
+            : 1.0;
+    const double stor_scale =
+        dem_stor > 0.0
+            ? std::min(1.0, opts.capacity_fraction * cap_stor / dem_stor)
+            : 1.0;
+    if (mem_scale < 1.0 || stor_scale < 1.0) {
+      for (auto& r : reqs) {
+        r.mem_mb *= mem_scale;
+        r.stor_gb *= stor_scale;
+      }
+    }
+  }
+
+  for (const auto& r : reqs) venv.add_guest(r);
+
+  // Connected topology with the requested density; demands drawn per link.
+  const graph::Graph shape =
+      topology::random_connected_graph(opts.guest_count, opts.density, rng);
+  for (std::size_t e = 0; e < shape.edge_count(); ++e) {
+    const auto ep = shape.endpoints(EdgeId{static_cast<EdgeId::underlying_type>(e)});
+    venv.add_link(GuestId{ep.a.value()}, GuestId{ep.b.value()},
+                  {
+                      .bandwidth_mbps = rng.uniform(opts.profile.link_bw_mbps.lo,
+                                                    opts.profile.link_bw_mbps.hi),
+                      .max_latency_ms = rng.uniform(opts.profile.link_lat_ms.lo,
+                                                    opts.profile.link_lat_ms.hi),
+                  });
+  }
+  return venv;
+}
+
+}  // namespace hmn::workload

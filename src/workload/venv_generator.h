@@ -1,0 +1,42 @@
+// Random virtual-environment generator (Section 5.1): takes a guest count
+// and a graph density, produces a *connected* virtual topology with
+// uniformly drawn guest resources and link demands.
+//
+// Feasibility normalization: the paper's high-level 10:1 scenario puts mean
+// aggregate guest memory at ~96% of mean aggregate host memory, yet reports
+// almost no hosting failures (5 of 480 across all scenarios), implying the
+// authors' generator produced instances that fit.  When a target cluster is
+// supplied, this generator optionally rescales guest memory/storage so that
+// aggregate demand stays below `capacity_fraction` of the cluster's
+// aggregate capacity, preserving the paper's failure profile.  The scaling
+// is uniform across guests, so relative heterogeneity is untouched.  See
+// EXPERIMENTS.md for the full rationale.
+#pragma once
+
+#include <optional>
+
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+#include "util/rng.h"
+#include "workload/presets.h"
+
+namespace hmn::workload {
+
+struct VenvGenOptions {
+  std::size_t guest_count = 0;
+  double density = 0.0;
+  GuestProfile profile;
+  /// When set, guest memory/storage are rescaled so aggregate demand does
+  /// not exceed capacity_fraction of this cluster's aggregate capacity.
+  const model::PhysicalCluster* normalize_to = nullptr;
+  /// 0.8 keeps first-fit hosting failures rare (the paper reports 5 of
+  /// 480), while still leaving the 10:1 scenario memory-bound enough that
+  /// the Migration stage has no headroom (Table 2's HMN/RA convergence).
+  double capacity_fraction = 0.8;
+};
+
+/// Generates a connected virtual environment.  Deterministic in `rng`.
+[[nodiscard]] model::VirtualEnvironment generate_venv(
+    const VenvGenOptions& opts, util::Rng& rng);
+
+}  // namespace hmn::workload

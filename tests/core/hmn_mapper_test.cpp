@@ -1,0 +1,156 @@
+// Tests for the composed HMN mapper.
+#include <gtest/gtest.h>
+
+#include "core/hmn_mapper.h"
+#include "core/objective.h"
+#include "core/validator.h"
+#include "testing/fixtures.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using core::HmnMapper;
+using core::HmnOptions;
+using core::MapErrorCode;
+
+TEST(HmnMapper, NameReflectsConfiguration) {
+  EXPECT_EQ(HmnMapper().name(), "HMN");
+  HmnOptions no_mig;
+  no_mig.enable_migration = false;
+  EXPECT_EQ(HmnMapper(no_mig).name(), "HN");
+  HmnOptions named;
+  named.display_name = "custom";
+  EXPECT_EQ(HmnMapper(named).name(), "custom");
+}
+
+TEST(HmnMapper, EmptyClusterIsInvalidInput) {
+  const model::PhysicalCluster cluster;
+  const model::VirtualEnvironment venv;
+  const auto out = HmnMapper().map(cluster, venv, 1);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, MapErrorCode::kInvalidInput);
+}
+
+TEST(HmnMapper, EmptyVenvMapsTrivially) {
+  const auto cluster = line_cluster(2);
+  const model::VirtualEnvironment venv;
+  const auto out = HmnMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.mapping->guest_host.empty());
+  EXPECT_EQ(out.stats.links_routed, 0u);
+}
+
+TEST(HmnMapper, HostingFailurePropagates) {
+  const auto cluster = line_cluster(2, {1000, 100, 100});
+  auto venv = chain_venv(2, {10, 500, 10});
+  const auto out = HmnMapper().map(cluster, venv, 1);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, MapErrorCode::kHostingFailed);
+  EXPECT_FALSE(out.detail.empty());
+}
+
+TEST(HmnMapper, NetworkingFailurePropagates) {
+  // Two guests too large to co-locate, connected by an unroutable link
+  // (latency bound below one hop).
+  const auto cluster = line_cluster(2, {1000, 1000, 1000});
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 700, 10});
+  const GuestId b = venv.add_guest({10, 700, 10});
+  venv.add_link(a, b, {1.0, 2.0});  // 2 ms < 5 ms per hop
+  const auto out = HmnMapper().map(cluster, venv, 1);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, MapErrorCode::kNetworkingFailed);
+}
+
+TEST(HmnMapper, StatsTimingsConsistent) {
+  const auto cluster = line_cluster(4);
+  auto venv = chain_venv(12);
+  const auto out = HmnMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GE(out.stats.total_seconds, 0.0);
+  EXPECT_LE(out.stats.hosting_seconds + out.stats.migration_seconds +
+                out.stats.networking_seconds,
+            out.stats.total_seconds + 0.05);
+}
+
+TEST(HmnMapper, LinksRoutedCountsOnlyInterHost) {
+  const auto cluster = line_cluster(2, {1000, 400, 4096});
+  // 4 guests of 192 MB: two per host at most; the chain forces some links
+  // across hosts and keeps some within.
+  auto venv = chain_venv(4, {75, 192, 10});
+  const auto out = HmnMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(out.ok()) << out.detail;
+  EXPECT_EQ(out.stats.links_routed,
+            out.mapping->inter_host_link_count(venv));
+  EXPECT_LT(out.stats.links_routed, venv.link_count());
+}
+
+TEST(HmnMapper, DeterministicForSameSeed) {
+  const auto cluster = line_cluster(4);
+  auto venv = chain_venv(16);
+  const auto o1 = HmnMapper().map(cluster, venv, 5);
+  const auto o2 = HmnMapper().map(cluster, venv, 5);
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(o1.mapping->guest_host, o2.mapping->guest_host);
+  EXPECT_EQ(o1.mapping->link_paths, o2.mapping->link_paths);
+}
+
+TEST(HmnMapper, MigrationNeverWorsensObjective) {
+  HmnOptions no_mig;
+  no_mig.enable_migration = false;
+  const HmnMapper with_migration;
+  const HmnMapper without_migration(no_mig);
+
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto cluster = workload::make_paper_cluster(
+        workload::ClusterKind::kSwitched, seed);
+    workload::Scenario sc{2.5, 0.02, workload::WorkloadKind::kHighLevel};
+    const auto venv = workload::make_scenario_venv(sc, cluster, seed + 100);
+    const auto a = with_migration.map(cluster, venv, seed);
+    const auto b = without_migration.map(cluster, venv, seed);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    const double with_lbf =
+        core::load_balance_factor(cluster, venv, *a.mapping);
+    const double without_lbf =
+        core::load_balance_factor(cluster, venv, *b.mapping);
+    EXPECT_LE(with_lbf, without_lbf + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(HmnMapper, MigrationCountReported) {
+  // Heavily skewed CPU capacities force migrations after affinity hosting.
+  auto cluster = line_cluster({{3000, 4096, 4096}, {2000, 4096, 4096},
+                               {1000, 4096, 4096}});
+  auto venv = chain_venv(9, {300, 64, 64});
+  const auto out = HmnMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out.stats.migrations, 0u);
+}
+
+TEST(HmnMapper, ValidOnPaperScenarios) {
+  // Integration sweep: every paper scenario on both clusters, one rep,
+  // validated against Eqs. 1-9.
+  const HmnMapper mapper;
+  const auto scenarios = workload::paper_scenarios();
+  for (const auto kind : {workload::ClusterKind::kTorus2D,
+                          workload::ClusterKind::kSwitched}) {
+    const auto cluster = workload::make_paper_cluster(kind, 77);
+    for (std::size_t s = 0; s < scenarios.size(); s += 5) {
+      const auto venv =
+          workload::make_scenario_venv(scenarios[s], cluster, 1234 + s);
+      const auto out = mapper.map(cluster, venv, 42);
+      ASSERT_TRUE(out.ok())
+          << scenarios[s].label() << " on " << to_string(kind) << ": "
+          << out.detail;
+      const auto report = core::validate_mapping(cluster, venv, *out.mapping);
+      EXPECT_TRUE(report.ok())
+          << scenarios[s].label() << ": " << report.summary();
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,299 @@
+// Tests for the Hosting stage (Section 4.1).
+#include <gtest/gtest.h>
+
+#include "core/hosting.h"
+#include "core/networking.h"
+#include "core/residual.h"
+#include "testing/fixtures.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using core::HostingOptions;
+using core::LinkOrder;
+using core::ResidualState;
+using core::ordered_links;
+using core::run_hosting;
+using model::VirtualEnvironment;
+
+TEST(OrderedLinks, DescendingBandwidth) {
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  const GuestId c = venv.add_guest({});
+  venv.add_link(a, b, {1.0, 60});   // link 0
+  venv.add_link(b, c, {5.0, 60});   // link 1
+  venv.add_link(a, c, {3.0, 60});   // link 2
+  const auto order =
+      ordered_links(venv, LinkOrder::kBandwidthDescending, 0);
+  EXPECT_EQ(order, (std::vector<VirtLinkId>{vl(1), vl(2), vl(0)}));
+}
+
+TEST(OrderedLinks, AscendingBandwidth) {
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  venv.add_link(a, b, {5.0, 60});
+  venv.add_link(a, b, {1.0, 60});
+  const auto order = ordered_links(venv, LinkOrder::kBandwidthAscending, 0);
+  EXPECT_EQ(order, (std::vector<VirtLinkId>{vl(1), vl(0)}));
+}
+
+TEST(OrderedLinks, TiesKeepInsertionOrder) {
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  venv.add_link(a, b, {2.0, 60});
+  venv.add_link(a, b, {2.0, 60});
+  venv.add_link(a, b, {2.0, 60});
+  const auto order =
+      ordered_links(venv, LinkOrder::kBandwidthDescending, 0);
+  EXPECT_EQ(order, (std::vector<VirtLinkId>{vl(0), vl(1), vl(2)}));
+}
+
+TEST(OrderedLinks, RandomIsSeededPermutation) {
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  for (int i = 0; i < 20; ++i) venv.add_link(a, b, {1.0, 60});
+  const auto o1 = ordered_links(venv, LinkOrder::kRandom, 7);
+  const auto o2 = ordered_links(venv, LinkOrder::kRandom, 7);
+  const auto o3 = ordered_links(venv, LinkOrder::kRandom, 8);
+  EXPECT_EQ(o1, o2);
+  EXPECT_NE(o1, o3);
+  auto sorted = o1;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], vl(static_cast<unsigned>(i)));
+  }
+}
+
+TEST(Hosting, CoLocatesLinkedGuestsWhenTheyFit) {
+  const auto cluster = line_cluster(3);
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 100, 100});
+  const GuestId b = venv.add_guest({10, 100, 100});
+  venv.add_link(a, b, {1.0, 60});
+  ResidualState st(cluster);
+  const auto r = run_hosting(venv, st);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.guest_host[a.index()], r.guest_host[b.index()]);
+}
+
+TEST(Hosting, SplitsWhenPairDoesNotFitTogether) {
+  // Each guest needs 3000 MB; hosts hold 4096 MB: one fits, two do not.
+  const auto cluster = line_cluster(3);
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({20, 3000, 100});
+  const GuestId b = venv.add_guest({10, 3000, 100});
+  venv.add_link(a, b, {1.0, 60});
+  ResidualState st(cluster);
+  const auto r = run_hosting(venv, st);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_NE(r.guest_host[a.index()], r.guest_host[b.index()]);
+}
+
+TEST(Hosting, MostCpuIntensiveGuestPlacedFirstOnSplit) {
+  // Hosts with distinct CPU: 2000 and 1000.  When the pair must split, the
+  // more CPU-hungry guest takes the first (highest-CPU) host.
+  auto cluster = line_cluster({{2000, 4096, 4096}, {1000, 4096, 4096}});
+  VirtualEnvironment venv;
+  const GuestId weak = venv.add_guest({10, 3000, 100});
+  const GuestId strong = venv.add_guest({500, 3000, 100});
+  venv.add_link(weak, strong, {1.0, 60});
+  ResidualState st(cluster);
+  const auto r = run_hosting(venv, st);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.guest_host[strong.index()], n(0));
+  EXPECT_EQ(r.guest_host[weak.index()], n(1));
+}
+
+TEST(Hosting, UnassignedEndpointJoinsPeerHost) {
+  const auto cluster = line_cluster(3);
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 100, 100});
+  const GuestId b = venv.add_guest({10, 100, 100});
+  const GuestId c = venv.add_guest({10, 100, 100});
+  venv.add_link(a, b, {5.0, 60});  // processed first
+  venv.add_link(b, c, {1.0, 60});  // c joins b's host
+  ResidualState st(cluster);
+  const auto r = run_hosting(venv, st);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.guest_host[c.index()], r.guest_host[b.index()]);
+}
+
+TEST(Hosting, PeerHostFullFallsBackToFirstFitting) {
+  // Host memory 4096; a+b consume 4000, so c (200 MB) cannot join them.
+  const auto cluster = line_cluster(2);
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 2000, 100});
+  const GuestId b = venv.add_guest({10, 2000, 100});
+  const GuestId c = venv.add_guest({10, 200, 100});
+  venv.add_link(a, b, {5.0, 60});
+  venv.add_link(b, c, {1.0, 60});
+  ResidualState st(cluster);
+  const auto r = run_hosting(venv, st);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.guest_host[a.index()], r.guest_host[b.index()]);
+  EXPECT_NE(r.guest_host[c.index()], r.guest_host[b.index()]);
+}
+
+TEST(Hosting, HighestResidualCpuHostChosenFirst) {
+  auto cluster = line_cluster({{500, 4096, 4096}, {3000, 4096, 4096},
+                               {1000, 4096, 4096}});
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 100, 100});
+  const GuestId b = venv.add_guest({10, 100, 100});
+  venv.add_link(a, b, {1.0, 60});
+  ResidualState st(cluster);
+  const auto r = run_hosting(venv, st);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.guest_host[a.index()], n(1));  // the 3000-MIPS host
+}
+
+TEST(Hosting, IsolatedGuestsStillPlaced) {
+  const auto cluster = line_cluster(2);
+  VirtualEnvironment venv;
+  venv.add_guest({10, 100, 100});  // no links at all
+  venv.add_guest({10, 100, 100});
+  ResidualState st(cluster);
+  const auto r = run_hosting(venv, st);
+  ASSERT_TRUE(r.ok) << r.detail;
+  for (const NodeId h : r.guest_host) EXPECT_TRUE(h.valid());
+}
+
+TEST(Hosting, FailsWhenGuestFitsNowhere) {
+  const auto cluster = line_cluster(2, {1000, 100, 100});
+  VirtualEnvironment venv;
+  venv.add_guest({10, 500, 10});  // needs 500 MB; hosts have 100
+  ResidualState st(cluster);
+  const auto r = run_hosting(venv, st);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.detail.empty());
+}
+
+TEST(Hosting, FailsWhenAggregateExceeded) {
+  const auto cluster = line_cluster(2, {1000, 1000, 1000});
+  model::VirtualEnvironment venv = chain_venv(4, {10, 600, 10});
+  ResidualState st(cluster);
+  const auto r = run_hosting(venv, st);  // 4 x 600 MB > 2 x 1000 MB
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Hosting, EmptyVenvSucceedsTrivially) {
+  const auto cluster = line_cluster(2);
+  VirtualEnvironment venv;
+  ResidualState st(cluster);
+  const auto r = run_hosting(venv, st);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.guest_host.empty());
+}
+
+TEST(Hosting, SelfLoopLinkPlacesSingleGuest) {
+  const auto cluster = line_cluster(2);
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 100, 100});
+  venv.add_link(a, a, {1.0, 60});
+  ResidualState st(cluster);
+  const auto r = run_hosting(venv, st);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_TRUE(r.guest_host[a.index()].valid());
+}
+
+TEST(Hosting, BalanceOnlyIgnoresAffinity) {
+  // Two heavy-linked guests; memory allows co-location but balance-only
+  // hosting spreads them (two equal hosts: second guest goes to the less
+  // loaded one).
+  const auto cluster = line_cluster(2);
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({100, 100, 100});
+  const GuestId b = venv.add_guest({100, 100, 100});
+  venv.add_link(a, b, {9.0, 60.0});
+  ResidualState st(cluster);
+  HostingOptions opts;
+  opts.policy = core::HostingPolicy::kBalanceOnly;
+  const auto r = run_hosting(venv, st, opts);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_NE(r.guest_host[a.index()], r.guest_host[b.index()]);
+  // Affinity hosting co-locates the same pair.
+  ResidualState st2(cluster);
+  const auto r2 = run_hosting(venv, st2);
+  ASSERT_TRUE(r2.ok);
+  EXPECT_EQ(r2.guest_host[a.index()], r2.guest_host[b.index()]);
+}
+
+TEST(Hosting, BalanceOnlyStillRespectsCapacity) {
+  const auto cluster = line_cluster(2, {1000, 300, 4096});
+  auto venv = chain_venv(4, {10, 200, 10});
+  ResidualState st(cluster);
+  HostingOptions opts;
+  opts.policy = core::HostingPolicy::kBalanceOnly;
+  const auto r = run_hosting(venv, st, opts);  // 4 x 200 MB > 2 x 300 MB
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Hosting, AffinityMapsOverCapacityLinks) {
+  // Section 5.2's claim: a virtual link demanding *more bandwidth than any
+  // physical link offers* is mappable by affinity hosting (the endpoints
+  // co-locate; the link lives inside the host), while link-blind placement
+  // leaves it on the fabric where no path can carry it.
+  const auto cluster = line_cluster(2, {1000, 4096, 4096}, {1000.0, 5.0});
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({100, 100, 100});
+  const GuestId b = venv.add_guest({100, 100, 100});
+  venv.add_link(a, b, {2500.0, 60.0});  // 2.5x the physical capacity
+
+  // Affinity: hosting co-locates, networking sees no inter-host links.
+  {
+    ResidualState st(cluster);
+    const auto hosted = run_hosting(venv, st);
+    ASSERT_TRUE(hosted.ok);
+    const auto routed = core::run_networking(venv, st, hosted.guest_host);
+    ASSERT_TRUE(routed.ok) << routed.detail;
+    EXPECT_EQ(routed.links_routed, 0u);
+  }
+  // Balance-only: guests split; the 2.5 Gbps link cannot be routed.
+  {
+    ResidualState st(cluster);
+    HostingOptions opts;
+    opts.policy = core::HostingPolicy::kBalanceOnly;
+    const auto hosted = run_hosting(venv, st, opts);
+    ASSERT_TRUE(hosted.ok);
+    ASSERT_NE(hosted.guest_host[a.index()], hosted.guest_host[b.index()]);
+    const auto routed = core::run_networking(venv, st, hosted.guest_host);
+    EXPECT_FALSE(routed.ok);
+  }
+}
+
+TEST(Hosting, ResidualStateReflectsAllPlacements) {
+  const auto cluster = line_cluster(2);
+  auto venv = chain_venv(4, {100, 500, 200});
+  ResidualState st(cluster);
+  const auto r = run_hosting(venv, st);
+  ASSERT_TRUE(r.ok) << r.detail;
+  double placed_mem = 0.0;
+  for (const NodeId h : cluster.hosts()) {
+    placed_mem += 4096.0 - st.residual_mem(h);
+  }
+  EXPECT_DOUBLE_EQ(placed_mem, 2000.0);
+}
+
+TEST(Hosting, HighBandwidthPairsGetPriorityForCoLocation) {
+  // Memory allows only one pair per host.  The high-bw pair is processed
+  // first and must be co-located; the low-bw pair lands wherever remains.
+  const auto cluster = line_cluster(2, {1000, 1000, 4096});
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 450, 100});
+  const GuestId b = venv.add_guest({10, 450, 100});
+  const GuestId c = venv.add_guest({10, 450, 100});
+  const GuestId d = venv.add_guest({10, 450, 100});
+  venv.add_link(c, d, {9.0, 60});  // heavy: co-locate first
+  venv.add_link(a, b, {1.0, 60});
+  ResidualState st(cluster);
+  const auto r = run_hosting(venv, st);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.guest_host[c.index()], r.guest_host[d.index()]);
+}
+
+}  // namespace

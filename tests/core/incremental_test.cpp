@@ -1,0 +1,237 @@
+// Tests for incremental mapping extension (core/incremental.h).
+#include <gtest/gtest.h>
+
+#include "core/hmn_mapper.h"
+#include "core/incremental.h"
+#include "core/objective.h"
+#include "core/validator.h"
+#include "testing/fixtures.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using core::extend_mapping;
+
+TEST(ExtendMapping, NoGrowthReturnsBaseUnchanged) {
+  const auto cluster = line_cluster(3);
+  auto venv = chain_venv(5);
+  const auto base = core::HmnMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(base.ok());
+  const auto out = extend_mapping(cluster, venv, *base.mapping);
+  ASSERT_TRUE(out.ok()) << out.detail;
+  EXPECT_EQ(out.mapping->guest_host, base.mapping->guest_host);
+  EXPECT_EQ(out.mapping->link_paths, base.mapping->link_paths);
+  EXPECT_EQ(out.stats.links_routed, 0u);
+}
+
+TEST(ExtendMapping, PreservesExistingPlacements) {
+  const auto cluster = line_cluster(4);
+  auto venv = chain_venv(6);
+  const auto base = core::HmnMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(base.ok());
+
+  // Grow: two new guests, one linked to guest 0, one linking the new pair.
+  const GuestId g6 = venv.add_guest({75, 192, 150});
+  const GuestId g7 = venv.add_guest({75, 192, 150});
+  venv.add_link(GuestId{0}, g6, {2.0, 60.0});
+  venv.add_link(g6, g7, {1.0, 60.0});
+
+  const auto out = extend_mapping(cluster, venv, *base.mapping);
+  ASSERT_TRUE(out.ok()) << out.detail;
+  // Old guests and paths untouched.
+  for (std::size_t g = 0; g < base.mapping->guest_host.size(); ++g) {
+    EXPECT_EQ(out.mapping->guest_host[g], base.mapping->guest_host[g]);
+  }
+  for (std::size_t l = 0; l < base.mapping->link_paths.size(); ++l) {
+    EXPECT_EQ(out.mapping->link_paths[l], base.mapping->link_paths[l]);
+  }
+  // Whole grown mapping valid.
+  EXPECT_TRUE(core::validate_mapping(cluster, venv, *out.mapping).ok());
+}
+
+TEST(ExtendMapping, NewGuestJoinsHeaviestNeighborWhenFitting) {
+  const auto cluster = line_cluster(3);
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 100, 100});
+  const GuestId b = venv.add_guest({10, 100, 100});
+  venv.add_link(a, b, {1.0, 60.0});
+  const auto base = core::HmnMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(base.ok());
+
+  const GuestId c = venv.add_guest({10, 100, 100});
+  venv.add_link(c, a, {5.0, 60.0});
+  const auto out = extend_mapping(cluster, venv, *base.mapping);
+  ASSERT_TRUE(out.ok()) << out.detail;
+  EXPECT_EQ(out.mapping->guest_host[c.index()],
+            out.mapping->guest_host[a.index()]);
+}
+
+TEST(ExtendMapping, NewGuestSpillsWhenNeighborHostFull) {
+  // Host memory only fits two guests; the third must land elsewhere and
+  // its link must be routed.  Zero-CPU guests keep the Migration stage from
+  // splitting the co-located pair for balance.
+  const auto cluster = line_cluster(2, {1000, 250, 4096});
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({0, 100, 10});
+  const GuestId b = venv.add_guest({0, 100, 10});
+  venv.add_link(a, b, {1.0, 60.0});
+  const auto base = core::HmnMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base.mapping->guest_host[a.index()],
+            base.mapping->guest_host[b.index()]);
+
+  const GuestId c = venv.add_guest({0, 100, 10});
+  venv.add_link(c, a, {2.0, 60.0});
+  const auto out = extend_mapping(cluster, venv, *base.mapping);
+  ASSERT_TRUE(out.ok()) << out.detail;
+  EXPECT_NE(out.mapping->guest_host[c.index()],
+            out.mapping->guest_host[a.index()]);
+  EXPECT_FALSE(out.mapping->link_paths[1].empty());
+  EXPECT_EQ(out.stats.links_routed, 1u);
+  EXPECT_TRUE(core::validate_mapping(cluster, venv, *out.mapping).ok());
+}
+
+TEST(ExtendMapping, FailsWhenNewGuestFitsNowhere) {
+  const auto cluster = line_cluster(2, {1000, 250, 4096});
+  auto venv = chain_venv(2, {10, 100, 10});
+  const auto base = core::HmnMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(base.ok());
+  venv.add_guest({10, 5000, 10});  // cannot fit anywhere
+  const auto out = extend_mapping(cluster, venv, *base.mapping);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, core::MapErrorCode::kHostingFailed);
+}
+
+TEST(ExtendMapping, FailsWhenNewLinkUnroutable) {
+  const auto cluster = line_cluster(2, {1000, 250, 4096});
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 200, 10});
+  const GuestId b = venv.add_guest({10, 200, 10});
+  venv.add_link(a, b, {1.0, 60.0});
+  const auto base = core::HmnMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(base.ok());
+  // Guests a/b ended up on different hosts (memory 250 < 400 combined).
+  ASSERT_NE(base.mapping->guest_host[a.index()],
+            base.mapping->guest_host[b.index()]);
+  // A new link with an impossible latency bound between them.
+  venv.add_link(a, b, {1.0, 1.0});  // 1 ms < 5 ms per hop
+  const auto out = extend_mapping(cluster, venv, *base.mapping);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, core::MapErrorCode::kNetworkingFailed);
+}
+
+TEST(ExtendMapping, BaseLargerThanGrownRejected) {
+  const auto cluster = line_cluster(2);
+  auto venv = chain_venv(2);
+  core::Mapping fat;
+  fat.guest_host.assign(5, n(0));
+  fat.link_paths.assign(1, {});
+  const auto out = extend_mapping(cluster, venv, fat);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, core::MapErrorCode::kInvalidInput);
+}
+
+TEST(ExtendMapping, RespectsResidualBandwidth) {
+  // Base mapping consumes most of the single physical link; the new link's
+  // demand must be routed within what remains or fail.
+  const auto cluster = line_cluster(2, {1000, 250, 4096}, {10.0, 5.0});
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 200, 10});
+  const GuestId b = venv.add_guest({10, 200, 10});
+  venv.add_link(a, b, {8.0, 60.0});
+  const auto base = core::HmnMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(base.ok());
+  venv.add_link(a, b, {5.0, 60.0});  // 8 + 5 > 10: must fail
+  const auto out = extend_mapping(cluster, venv, *base.mapping);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, core::MapErrorCode::kNetworkingFailed);
+}
+
+TEST(ExtendMapping, GrowingPaperScenarioStaysValid) {
+  // Start from a mapped 2.5:1 instance and grow it by 25% in waves,
+  // validating after each extension.
+  const auto cluster = workload::make_paper_cluster(
+      workload::ClusterKind::kTorus2D, 61);
+  const workload::Scenario sc{2.5, 0.02, workload::WorkloadKind::kHighLevel};
+  auto venv = workload::make_scenario_venv(sc, cluster, 62);
+  auto current = core::HmnMapper().map(cluster, venv, 63);
+  ASSERT_TRUE(current.ok());
+
+  util::Rng rng(64);
+  for (int wave = 0; wave < 3; ++wave) {
+    const std::size_t old_count = venv.guest_count();
+    for (int i = 0; i < 10; ++i) {
+      const GuestId g = venv.add_guest(
+          {rng.uniform(50, 100), rng.uniform(128, 256), rng.uniform(100, 200)});
+      // Attach to a random existing guest so the graph stays connected.
+      const GuestId peer{static_cast<GuestId::underlying_type>(
+          rng.index(old_count))};
+      venv.add_link(g, peer, {rng.uniform(0.5, 1.0), rng.uniform(30, 60)});
+    }
+    const auto grown = core::extend_mapping(cluster, venv, *current.mapping);
+    ASSERT_TRUE(grown.ok()) << "wave " << wave << ": " << grown.detail;
+    ASSERT_TRUE(core::validate_mapping(cluster, venv, *grown.mapping).ok())
+        << "wave " << wave;
+    current.mapping = grown.mapping;
+  }
+}
+
+TEST(MigrationPolicy, BestImprovementAtLeastAsBalanced) {
+  // The exhaustive policy can only end at an equal or lower factor.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto cluster = workload::make_paper_cluster(
+        workload::ClusterKind::kSwitched, seed);
+    const workload::Scenario sc{20.0, 0.01, workload::WorkloadKind::kLowLevel};
+    const auto venv = workload::make_scenario_venv(sc, cluster, seed + 9);
+
+    core::HmnOptions paper;
+    core::HmnOptions best;
+    best.migration.victim = core::VictimPolicy::kBestImprovement;
+    const auto a = core::HmnMapper(paper).map(cluster, venv, seed);
+    const auto b = core::HmnMapper(best).map(cluster, venv, seed);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_LE(core::load_balance_factor(cluster, venv, *b.mapping),
+              core::load_balance_factor(cluster, venv, *a.mapping) + 1e-9)
+        << "seed " << seed;
+    EXPECT_TRUE(core::validate_mapping(cluster, venv, *b.mapping).ok());
+  }
+}
+
+TEST(MigrationPolicy, BestImprovementFindsMovePaperRuleMisses) {
+  // Host 0 holds two guests: a tiny one with zero co-located bandwidth
+  // (the paper's victim) and a large one.  Moving the tiny one improves
+  // nothing; moving the large one balances.  The paper rule stalls, the
+  // exhaustive rule proceeds.
+  const auto cluster = line_cluster(2, {1000, 4096, 4096});
+  model::VirtualEnvironment venv;
+  const GuestId big = venv.add_guest({600, 100, 100});
+  const GuestId big2 = venv.add_guest({300, 100, 100});
+  const GuestId tiny = venv.add_guest({10, 100, 100});
+  venv.add_link(big, big2, {9.0, 60.0});  // big pair colocated by bw
+  std::vector<NodeId> placement{n(0), n(0), n(0)};
+
+  auto run = [&](core::VictimPolicy policy) {
+    core::ResidualState st(cluster);
+    for (const GuestId g : {big, big2, tiny}) st.place(venv.guest(g), n(0));
+    auto hosts = placement;
+    core::MigrationOptions opts;
+    opts.victim = policy;
+    return std::pair{core::run_migration(venv, st, hosts, opts), hosts};
+  };
+
+  const auto [paper_result, paper_hosts] =
+      run(core::VictimPolicy::kMinColocatedBandwidth);
+  const auto [best_result, best_hosts] =
+      run(core::VictimPolicy::kBestImprovement);
+  // The paper's victim (tiny, zero co-located bw) cannot improve the
+  // factor: residuals {90, 1000} -> moving 10 MIPS barely changes it...
+  // actually moving tiny to host 1 gives {100, 990}, a small improvement,
+  // so the paper rule does move it, then stalls.  The exhaustive rule
+  // reaches a strictly better final factor by moving a big guest.
+  EXPECT_LT(best_result.final_lbf, paper_result.final_lbf);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Direct unit tests for the Mapping value type's helpers.
+#include <gtest/gtest.h>
+
+#include "core/mapping.h"
+#include "testing/fixtures.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using core::Mapping;
+
+struct MappingFixture : testing::Test {
+  model::VirtualEnvironment venv;
+  Mapping m;
+
+  void SetUp() override {
+    const GuestId a = venv.add_guest({});
+    const GuestId b = venv.add_guest({});
+    const GuestId c = venv.add_guest({});
+    venv.add_link(a, b, {});  // link 0
+    venv.add_link(b, c, {});  // link 1
+    m.guest_host = {n(0), n(0), n(2)};
+    m.link_paths = {{}, {EdgeId{0}, EdgeId{1}}};
+  }
+};
+
+TEST_F(MappingFixture, HostOfAndPathOf) {
+  EXPECT_EQ(m.host_of(g(0)), n(0));
+  EXPECT_EQ(m.host_of(g(2)), n(2));
+  EXPECT_TRUE(m.path_of(vl(0)).empty());
+  EXPECT_EQ(m.path_of(vl(1)).size(), 2u);
+}
+
+TEST_F(MappingFixture, Colocated) {
+  EXPECT_TRUE(m.colocated(venv, vl(0)));
+  EXPECT_FALSE(m.colocated(venv, vl(1)));
+}
+
+TEST_F(MappingFixture, GuestsPerNode) {
+  const auto groups = m.guests_per_node(4);
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0], (std::vector<GuestId>{g(0), g(1)}));
+  EXPECT_TRUE(groups[1].empty());
+  EXPECT_EQ(groups[2], std::vector<GuestId>{g(2)});
+  EXPECT_TRUE(groups[3].empty());
+}
+
+TEST_F(MappingFixture, GuestsPerNodeSkipsUnmapped) {
+  m.guest_host[1] = NodeId::invalid();
+  const auto groups = m.guests_per_node(4);
+  EXPECT_EQ(groups[0], std::vector<GuestId>{g(0)});
+}
+
+TEST_F(MappingFixture, InterHostLinkCount) {
+  EXPECT_EQ(m.inter_host_link_count(venv), 1u);
+  m.guest_host = {n(0), n(0), n(0)};
+  EXPECT_EQ(m.inter_host_link_count(venv), 0u);
+  m.guest_host = {n(0), n(1), n(2)};
+  EXPECT_EQ(m.inter_host_link_count(venv), 2u);
+}
+
+TEST(MappingEmpty, TrivialHelpers) {
+  const model::VirtualEnvironment venv;
+  const Mapping m;
+  EXPECT_EQ(m.inter_host_link_count(venv), 0u);
+  EXPECT_TRUE(m.guests_per_node(3)[0].empty());
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Tests for the Migration stage (Section 4.2).
+#include <gtest/gtest.h>
+
+#include "core/migration.h"
+#include "core/objective.h"
+#include "testing/fixtures.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using core::MigrationOptions;
+using core::ResidualState;
+using core::run_migration;
+using model::VirtualEnvironment;
+
+TEST(Migration, MovesGuestFromLoadedToIdleHost) {
+  const auto cluster = line_cluster(2, {1000, 4096, 4096});
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({400, 100, 100});
+  const GuestId b = venv.add_guest({400, 100, 100});
+  std::vector<NodeId> placement{n(0), n(0)};  // both on host 0
+  ResidualState st(cluster);
+  st.place(venv.guest(a), n(0));
+  st.place(venv.guest(b), n(0));
+
+  const auto r = run_migration(venv, st, placement);
+  EXPECT_EQ(r.migrations, 1u);
+  EXPECT_LT(r.final_lbf, r.initial_lbf);
+  EXPECT_DOUBLE_EQ(r.final_lbf, 0.0);  // 400/400 split is perfectly balanced
+  EXPECT_NE(placement[a.index()], placement[b.index()]);
+}
+
+TEST(Migration, NoMoveWhenAlreadyBalanced) {
+  const auto cluster = line_cluster(2, {1000, 4096, 4096});
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({400, 100, 100});
+  const GuestId b = venv.add_guest({400, 100, 100});
+  std::vector<NodeId> placement{n(0), n(1)};
+  ResidualState st(cluster);
+  st.place(venv.guest(a), n(0));
+  st.place(venv.guest(b), n(1));
+
+  const auto r = run_migration(venv, st, placement);
+  EXPECT_EQ(r.migrations, 0u);
+  EXPECT_DOUBLE_EQ(r.final_lbf, r.initial_lbf);
+}
+
+TEST(Migration, RespectsMemoryConstraint) {
+  // Target host has no memory headroom: the balancing move is impossible.
+  const auto cluster = line_cluster({{1000, 4096, 4096}, {1000, 50, 4096}});
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({400, 100, 100});
+  const GuestId b = venv.add_guest({400, 100, 100});
+  std::vector<NodeId> placement{n(0), n(0)};
+  ResidualState st(cluster);
+  st.place(venv.guest(a), n(0));
+  st.place(venv.guest(b), n(0));
+
+  const auto r = run_migration(venv, st, placement);
+  EXPECT_EQ(r.migrations, 0u);
+  EXPECT_EQ(placement[a.index()], n(0));
+  EXPECT_EQ(placement[b.index()], n(0));
+}
+
+TEST(Migration, PicksGuestWithSmallestColocatedBandwidth) {
+  // Guests a,b form a heavy pair on host 0; guest c (no colocated links)
+  // should be the one migrated.
+  const auto cluster = line_cluster(2, {1000, 4096, 4096});
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({200, 100, 100});
+  const GuestId b = venv.add_guest({200, 100, 100});
+  const GuestId c = venv.add_guest({200, 100, 100});
+  venv.add_link(a, b, {10.0, 60.0});
+  std::vector<NodeId> placement{n(0), n(0), n(0)};
+  ResidualState st(cluster);
+  for (const GuestId g : {a, b, c}) st.place(venv.guest(g), n(0));
+
+  const auto r = run_migration(venv, st, placement);
+  EXPECT_GE(r.migrations, 1u);
+  EXPECT_EQ(placement[a.index()], n(0));
+  EXPECT_EQ(placement[b.index()], n(0));
+  EXPECT_EQ(placement[c.index()], n(1));
+}
+
+TEST(Migration, IteratesUntilNoImprovement) {
+  // Four identical guests on one of four hosts: full balancing takes three
+  // consecutive migrations.
+  const auto cluster = line_cluster(4, {1000, 4096, 4096});
+  VirtualEnvironment venv;
+  std::vector<GuestId> gs;
+  for (int i = 0; i < 4; ++i) gs.push_back(venv.add_guest({300, 100, 100}));
+  std::vector<NodeId> placement(4, n(0));
+  ResidualState st(cluster);
+  for (const GuestId g : gs) st.place(venv.guest(g), n(0));
+
+  const auto r = run_migration(venv, st, placement);
+  EXPECT_EQ(r.migrations, 3u);
+  EXPECT_DOUBLE_EQ(r.final_lbf, 0.0);
+  std::set<NodeId> used(placement.begin(), placement.end());
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(Migration, MaxMigrationsCapRespected) {
+  const auto cluster = line_cluster(4, {1000, 4096, 4096});
+  VirtualEnvironment venv;
+  for (int i = 0; i < 4; ++i) venv.add_guest({300, 100, 100});
+  std::vector<NodeId> placement(4, n(0));
+  ResidualState st(cluster);
+  for (unsigned i = 0; i < 4; ++i) st.place(venv.guest(g(i)), n(0));
+
+  MigrationOptions opts;
+  opts.max_migrations = 1;
+  const auto r = run_migration(venv, st, placement, opts);
+  EXPECT_EQ(r.migrations, 1u);
+}
+
+TEST(Migration, SingleHostClusterNoop) {
+  const auto cluster = line_cluster(1);
+  VirtualEnvironment venv;
+  venv.add_guest({100, 100, 100});
+  std::vector<NodeId> placement{n(0)};
+  ResidualState st(cluster);
+  st.place(venv.guest(g(0)), n(0));
+  const auto r = run_migration(venv, st, placement);
+  EXPECT_EQ(r.migrations, 0u);
+}
+
+TEST(Migration, EmptyPlacementNoop) {
+  const auto cluster = line_cluster(3);
+  VirtualEnvironment venv;
+  std::vector<NodeId> placement;
+  ResidualState st(cluster);
+  const auto r = run_migration(venv, st, placement);
+  EXPECT_EQ(r.migrations, 0u);
+  EXPECT_DOUBLE_EQ(r.initial_lbf, r.final_lbf);
+}
+
+TEST(Migration, NeverIncreasesLoadBalanceFactor) {
+  // Property over random instances: the stage's objective is monotone.
+  hmn::util::Rng rng(321);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t hosts = 3 + rng.index(5);
+    std::vector<model::HostCapacity> caps;
+    for (std::size_t i = 0; i < hosts; ++i) {
+      caps.push_back({rng.uniform(500, 3000), 4096, 4096});
+    }
+    const auto cluster = line_cluster(std::move(caps));
+    VirtualEnvironment venv;
+    const std::size_t guests = 5 + rng.index(15);
+    std::vector<NodeId> placement;
+    ResidualState st(cluster);
+    for (std::size_t i = 0; i < guests; ++i) {
+      const GuestId id = venv.add_guest({rng.uniform(10, 400), 64, 64});
+      const NodeId host = cluster.hosts()[rng.index(hosts)];
+      st.place(venv.guest(id), host);
+      placement.push_back(host);
+    }
+    const auto r = run_migration(venv, st, placement);
+    EXPECT_LE(r.final_lbf, r.initial_lbf + 1e-9) << "trial " << trial;
+    // The reported final factor matches the state.
+    EXPECT_NEAR(r.final_lbf, core::load_balance_factor(st), 1e-9);
+  }
+}
+
+TEST(Migration, StateAndPlacementStayConsistent) {
+  const auto cluster = line_cluster(3, {1000, 4096, 4096});
+  auto venv = chain_venv(6, {200, 100, 100}, {1.0, 60.0});
+  std::vector<NodeId> placement(6, n(0));
+  ResidualState st(cluster);
+  for (unsigned i = 0; i < 6; ++i) st.place(venv.guest(g(i)), n(0));
+
+  (void)run_migration(venv, st, placement);
+  // Rebuild residuals from scratch; they must agree with the mutated state.
+  core::Mapping m;
+  m.guest_host = placement;
+  m.link_paths.assign(venv.link_count(), {});
+  const ResidualState fresh(cluster, venv, m);
+  for (const NodeId h : cluster.hosts()) {
+    EXPECT_NEAR(fresh.residual_proc(h), st.residual_proc(h), 1e-9);
+    EXPECT_NEAR(fresh.residual_mem(h), st.residual_mem(h), 1e-9);
+  }
+}
+
+}  // namespace

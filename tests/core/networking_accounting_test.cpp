@@ -1,0 +1,62 @@
+// Bandwidth-accounting invariant: after a successful Networking run, the
+// residual state's per-edge deduction must equal an independent recount of
+// the virtual bandwidth routed over that edge — the bookkeeping the
+// validator's Eq. 9 check and every later stage (extension, repair,
+// tenancy) rely on.
+#include <gtest/gtest.h>
+
+#include "core/hosting.h"
+#include "core/networking.h"
+#include "core/residual.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace hmn;
+
+class NetworkingAccounting : public testing::TestWithParam<int> {};
+
+TEST_P(NetworkingAccounting, ResidualMatchesRecount) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto kind = GetParam() % 2 == 0 ? workload::ClusterKind::kTorus2D
+                                        : workload::ClusterKind::kSwitched;
+  const auto cluster = workload::make_paper_cluster(kind, seed);
+  const workload::Scenario sc{5.0, 0.02, workload::WorkloadKind::kHighLevel};
+  const auto venv = workload::make_scenario_venv(sc, cluster, seed + 1);
+
+  core::ResidualState state(cluster);
+  const auto hosted = core::run_hosting(venv, state);
+  ASSERT_TRUE(hosted.ok) << hosted.detail;
+  const auto routed = core::run_networking(venv, state, hosted.guest_host);
+  ASSERT_TRUE(routed.ok) << routed.detail;
+
+  // Independent recount of per-edge virtual bandwidth.
+  std::vector<double> used(cluster.link_count(), 0.0);
+  for (std::size_t l = 0; l < venv.link_count(); ++l) {
+    const auto id = VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)};
+    for (const EdgeId e : routed.link_paths[l]) {
+      used[e.index()] += venv.link(id).bandwidth_mbps;
+    }
+  }
+  for (std::size_t e = 0; e < cluster.link_count(); ++e) {
+    const auto id = EdgeId{static_cast<EdgeId::underlying_type>(e)};
+    const double deducted =
+        cluster.link(id).bandwidth_mbps - state.residual_bw(id);
+    EXPECT_NEAR(deducted, used[e], 1e-6) << "edge " << e;
+    EXPECT_GE(state.residual_bw(id), -1e-6);
+  }
+
+  // Releasing every reservation restores the pristine state exactly.
+  for (std::size_t l = 0; l < venv.link_count(); ++l) {
+    const auto id = VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)};
+    state.release_bw(routed.link_paths[l], venv.link(id).bandwidth_mbps);
+  }
+  for (std::size_t e = 0; e < cluster.link_count(); ++e) {
+    const auto id = EdgeId{static_cast<EdgeId::underlying_type>(e)};
+    EXPECT_NEAR(state.residual_bw(id), cluster.link(id).bandwidth_mbps, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkingAccounting, testing::Range(1, 9));
+
+}  // namespace

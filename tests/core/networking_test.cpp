@@ -1,0 +1,298 @@
+// Tests for the Networking stage (Section 4.3).
+#include <gtest/gtest.h>
+
+#include "core/networking.h"
+#include "testing/fixtures.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using core::NetworkingOptions;
+using core::PathAlgorithm;
+using core::ResidualState;
+using core::run_networking;
+using model::VirtualEnvironment;
+
+TEST(Networking, IntraHostLinksGetEmptyPaths) {
+  const auto cluster = line_cluster(2);
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  venv.add_link(a, b, {10.0, 60.0});
+  ResidualState st(cluster);
+  const std::vector<NodeId> placement{n(0), n(0)};
+  const auto r = run_networking(venv, st, placement);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_TRUE(r.link_paths[0].empty());
+  EXPECT_EQ(r.links_routed, 0u);
+  EXPECT_DOUBLE_EQ(st.residual_bw(EdgeId{0}), 1000.0);  // nothing reserved
+}
+
+TEST(Networking, RoutesInterHostLink) {
+  const auto cluster = line_cluster(3);
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  venv.add_link(a, b, {10.0, 60.0});
+  ResidualState st(cluster);
+  const std::vector<NodeId> placement{n(0), n(2)};
+  const auto r = run_networking(venv, st, placement);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.link_paths[0].size(), 2u);
+  EXPECT_EQ(r.links_routed, 1u);
+  EXPECT_DOUBLE_EQ(st.residual_bw(EdgeId{0}), 990.0);
+  EXPECT_DOUBLE_EQ(st.residual_bw(EdgeId{1}), 990.0);
+}
+
+TEST(Networking, FailsWhenLatencyUnreachable) {
+  // 3 hops x 5 ms = 15 ms; demand allows only 10 ms.
+  const auto cluster = line_cluster(4);
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  venv.add_link(a, b, {1.0, 10.0});
+  ResidualState st(cluster);
+  const std::vector<NodeId> placement{n(0), n(3)};
+  const auto r = run_networking(venv, st, placement);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.detail.empty());
+}
+
+TEST(Networking, FailsWhenBandwidthExhausted) {
+  // Physical capacity 15 Mbps; two links of 10 Mbps cannot share one edge.
+  const auto cluster = line_cluster(2, {1000, 4096, 4096}, {15.0, 5.0});
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  const GuestId c = venv.add_guest({});
+  const GuestId d = venv.add_guest({});
+  venv.add_link(a, b, {10.0, 60.0});
+  venv.add_link(c, d, {10.0, 60.0});
+  ResidualState st(cluster);
+  const std::vector<NodeId> placement{n(0), n(1), n(0), n(1)};
+  const auto r = run_networking(venv, st, placement);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Networking, BandwidthSharingWithinCapacity) {
+  const auto cluster = line_cluster(2, {1000, 4096, 4096}, {25.0, 5.0});
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  const GuestId c = venv.add_guest({});
+  const GuestId d = venv.add_guest({});
+  venv.add_link(a, b, {10.0, 60.0});
+  venv.add_link(c, d, {10.0, 60.0});
+  ResidualState st(cluster);
+  const std::vector<NodeId> placement{n(0), n(1), n(0), n(1)};
+  const auto r = run_networking(venv, st, placement);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_DOUBLE_EQ(st.residual_bw(EdgeId{0}), 5.0);
+  EXPECT_EQ(r.links_routed, 2u);
+}
+
+TEST(Networking, AStarSpreadsLoadAcrossRing) {
+  // Ring of 4: two disjoint 2-hop routes between opposite corners.  With
+  // bottleneck-maximizing A*Prune the second link must avoid the first
+  // link's (now narrower) side.
+  const auto cluster = ring_cluster(4, {1000, 4096, 4096}, {100.0, 5.0});
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  const GuestId c = venv.add_guest({});
+  const GuestId d = venv.add_guest({});
+  venv.add_link(a, b, {60.0, 60.0});
+  venv.add_link(c, d, {60.0, 60.0});
+  ResidualState st(cluster);
+  const std::vector<NodeId> placement{n(0), n(2), n(0), n(2)};
+  const auto r = run_networking(venv, st, placement);
+  ASSERT_TRUE(r.ok) << r.detail;
+  // Both routes placed, necessarily on disjoint sides (each side carries at
+  // most one 60 Mbps link on 100 Mbps edges).
+  for (std::size_t e = 0; e < cluster.link_count(); ++e) {
+    EXPECT_GE(st.residual_bw(EdgeId{static_cast<EdgeId::underlying_type>(e)}),
+              0.0);
+  }
+  std::set<EdgeId> first(r.link_paths[0].begin(), r.link_paths[0].end());
+  for (const EdgeId e : r.link_paths[1]) {
+    EXPECT_FALSE(first.contains(e)) << "routes share edge " << e.value();
+  }
+}
+
+TEST(Networking, DescendingOrderRoutesHeaviestFirst) {
+  // One wide path and one narrow path; the heavy link must claim the wide
+  // one.  Ring of 4 with asymmetric capacities.
+  auto topo = topology::ring(4);
+  std::vector<model::HostCapacity> caps(4, {1000, 4096, 4096});
+  // Edges in ring order: (0,1), (1,2), (2,3), (3,0).
+  std::vector<model::LinkProps> links{{100.0, 5.0}, {100.0, 5.0},
+                                      {30.0, 5.0}, {30.0, 5.0}};
+  const auto cluster = model::PhysicalCluster::build(std::move(topo),
+                                                     std::move(caps),
+                                                     std::move(links));
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  venv.add_link(a, b, {50.0, 60.0});  // only fits the 100-Mbps side
+  venv.add_link(a, b, {20.0, 60.0});
+  ResidualState st(cluster);
+  const std::vector<NodeId> placement{n(0), n(2)};
+  const auto r = run_networking(venv, st, placement);
+  ASSERT_TRUE(r.ok) << r.detail;
+  // The heavy link goes 0-1-2 (wide side).
+  EXPECT_EQ(r.link_paths[0], (graph::Path{EdgeId{0}, EdgeId{1}}));
+}
+
+TEST(Networking, PrunedDfsFindsFeasibleWhereNaiveMayNot) {
+  // Line of 5 hosts, tight latency: the only feasible path is direct.  The
+  // pruned DFS always finds it; the naive DFS on a line also finds it (no
+  // wrong turns possible), so both succeed here — this guards the pruned
+  // variant's correctness.
+  const auto cluster = line_cluster(5);
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  venv.add_link(a, b, {1.0, 20.0});
+  ResidualState st(cluster);
+  const std::vector<NodeId> placement{n(0), n(4)};
+  NetworkingOptions opts;
+  opts.algorithm = PathAlgorithm::kDfsPruned;
+  const auto r = run_networking(venv, st, placement, opts);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.link_paths[0].size(), 4u);
+}
+
+TEST(Networking, NaiveDfsRejectsConstraintViolatingPath) {
+  // Naive DFS on a line finds the unique path; with an impossible latency
+  // bound the stage must fail (the post-check rejects it).
+  const auto cluster = line_cluster(4);
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  venv.add_link(a, b, {1.0, 10.0});  // needs 15 ms
+  ResidualState st(cluster);
+  const std::vector<NodeId> placement{n(0), n(3)};
+  NetworkingOptions opts;
+  opts.algorithm = PathAlgorithm::kDfsNaive;
+  const auto r = run_networking(venv, st, placement, opts);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Networking, SwitchedClusterRoutesThroughSwitch) {
+  auto topo = topology::switched(4, 64);
+  std::vector<model::HostCapacity> caps(4, {1000, 4096, 4096});
+  const auto cluster = model::PhysicalCluster::build(
+      std::move(topo), std::move(caps), model::LinkProps{1000.0, 5.0});
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  venv.add_link(a, b, {1.0, 60.0});
+  ResidualState st(cluster);
+  const std::vector<NodeId> placement{n(0), n(3)};
+  const auto r = run_networking(venv, st, placement);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.link_paths[0].size(), 2u);  // host-switch-host
+}
+
+TEST(Networking, MinLatencyPicksFastestFeasiblePath) {
+  // Ring of 4 with one slow side: min-latency takes the fast side even
+  // though both are feasible.
+  auto topo = topology::ring(4);
+  std::vector<model::HostCapacity> caps(4, {1000, 4096, 4096});
+  // Edges: (0,1) (1,2) (2,3) (3,0); make the 0-1-2 side slow.
+  std::vector<model::LinkProps> links{{100.0, 20.0}, {100.0, 20.0},
+                                      {100.0, 5.0}, {100.0, 5.0}};
+  const auto cluster = model::PhysicalCluster::build(std::move(topo),
+                                                     std::move(caps),
+                                                     std::move(links));
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  venv.add_link(a, b, {1.0, 60.0});
+  ResidualState st(cluster);
+  NetworkingOptions opts;
+  opts.algorithm = PathAlgorithm::kMinLatency;
+  const auto r = run_networking(venv, st, {n(0), n(2)}, opts);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.link_paths[0], (graph::Path{EdgeId{3}, EdgeId{2}}));
+}
+
+TEST(Networking, MinLatencyRespectsBandwidthFilter) {
+  // The fast side lacks bandwidth for the demand; min-latency must route
+  // around it.
+  auto topo = topology::ring(4);
+  std::vector<model::HostCapacity> caps(4, {1000, 4096, 4096});
+  std::vector<model::LinkProps> links{{100.0, 20.0}, {100.0, 20.0},
+                                      {5.0, 5.0}, {5.0, 5.0}};
+  const auto cluster = model::PhysicalCluster::build(std::move(topo),
+                                                     std::move(caps),
+                                                     std::move(links));
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  venv.add_link(a, b, {50.0, 60.0});  // too wide for the 5 Mbps side
+  ResidualState st(cluster);
+  NetworkingOptions opts;
+  opts.algorithm = PathAlgorithm::kMinLatency;
+  const auto r = run_networking(venv, st, {n(0), n(2)}, opts);
+  ASSERT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.link_paths[0], (graph::Path{EdgeId{0}, EdgeId{1}}));
+}
+
+TEST(Networking, MinLatencyFailsWhenBoundUnreachable) {
+  const auto cluster = line_cluster(4);  // 3 hops x 5 ms
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  venv.add_link(a, b, {1.0, 10.0});
+  ResidualState st(cluster);
+  NetworkingOptions opts;
+  opts.algorithm = PathAlgorithm::kMinLatency;
+  const auto r = run_networking(venv, st, {n(0), n(3)}, opts);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Networking, MinLatencySpendsBottleneckGreedily) {
+  // Two links over a ring where one side is both fastest and narrow:
+  // min-latency stacks both on it (succeeding only if capacity allows),
+  // while A*Prune splits them.  With capacity for exactly one, the second
+  // min-latency link is forced to the slow side anyway — but the *first*
+  // link's choice shows the greed: A*Prune picks the wide slow side for
+  // neither... simply verify both algorithms succeed and A*Prune's worst
+  // residual edge is no tighter than min-latency's.
+  const auto cluster = ring_cluster(4, {1000, 4096, 4096}, {100.0, 5.0});
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  venv.add_link(a, b, {60.0, 60.0});
+  venv.add_link(a, b, {30.0, 60.0});
+  const std::vector<NodeId> placement{n(0), n(2)};
+
+  auto worst_residual = [&](PathAlgorithm algo) {
+    ResidualState st(cluster);
+    NetworkingOptions opts;
+    opts.algorithm = algo;
+    const auto r = run_networking(venv, st, placement, opts);
+    EXPECT_TRUE(r.ok) << r.detail;
+    double worst = 1e18;
+    for (std::size_t e = 0; e < cluster.link_count(); ++e) {
+      worst = std::min(worst, st.residual_bw(EdgeId{
+          static_cast<EdgeId::underlying_type>(e)}));
+    }
+    return worst;
+  };
+  EXPECT_GE(worst_residual(PathAlgorithm::kAStarPrune),
+            worst_residual(PathAlgorithm::kMinLatency));
+}
+
+TEST(Networking, EmptyVenvTrivialSuccess) {
+  const auto cluster = line_cluster(2);
+  VirtualEnvironment venv;
+  ResidualState st(cluster);
+  const auto r = run_networking(venv, st, {});
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.links_routed, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Tests for the load-balance factor (Eqs. 10-12) and its incremental
+// what-if variant used by the Migration stage.
+#include <gtest/gtest.h>
+
+#include "core/objective.h"
+#include "topology/topologies.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace hmn;
+using core::Mapping;
+using core::ResidualState;
+using core::load_balance_factor;
+using core::load_balance_factor_if_moved;
+using model::HostCapacity;
+using model::LinkProps;
+using model::PhysicalCluster;
+using model::VirtualEnvironment;
+
+NodeId n(unsigned v) { return NodeId{v}; }
+
+TEST(Objective, PerfectBalanceIsZero) {
+  const std::vector<double> rproc{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(load_balance_factor(rproc), 0.0);
+}
+
+TEST(Objective, PopulationStddevSemantics) {
+  // {2, 4}: population stddev 1 (not the sample value sqrt(2)).
+  const std::vector<double> rproc{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(load_balance_factor(rproc), 1.0);
+}
+
+TEST(Objective, NegativeResidualsHandled) {
+  const std::vector<double> rproc{-10.0, 10.0};
+  EXPECT_DOUBLE_EQ(load_balance_factor(rproc), 10.0);
+}
+
+TEST(Objective, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(load_balance_factor(std::vector<double>{}), 0.0);
+}
+
+TEST(Objective, FromResidualState) {
+  auto topo = topology::line(2);
+  std::vector<HostCapacity> caps{{1000, 9999, 9999}, {3000, 9999, 9999}};
+  const auto c = PhysicalCluster::build(std::move(topo), caps,
+                                        LinkProps{100, 1});
+  ResidualState st(c);
+  EXPECT_DOUBLE_EQ(load_balance_factor(st), 1000.0);  // {1000,3000}
+  st.place({2000, 1, 1}, n(1));
+  EXPECT_DOUBLE_EQ(load_balance_factor(st), 0.0);  // {1000,1000}
+}
+
+TEST(Objective, FromMappingRecomputesEq11) {
+  auto topo = topology::line(2);
+  std::vector<HostCapacity> caps{{1000, 9999, 9999}, {3000, 9999, 9999}};
+  const auto c = PhysicalCluster::build(std::move(topo), caps,
+                                        LinkProps{100, 1});
+  VirtualEnvironment venv;
+  venv.add_guest({500, 1, 1});
+  venv.add_guest({1500, 1, 1});
+  Mapping m;
+  m.guest_host = {n(0), n(1)};  // residuals {500, 1500}
+  m.link_paths = {};
+  EXPECT_DOUBLE_EQ(load_balance_factor(c, venv, m), 500.0);
+  m.guest_host = {n(1), n(1)};  // residuals {1000, 1000}
+  EXPECT_DOUBLE_EQ(load_balance_factor(c, venv, m), 0.0);
+}
+
+TEST(Objective, SwitchesExcludedFromFactor) {
+  auto topo = topology::star(2);  // node 2 is a switch
+  std::vector<HostCapacity> caps{{1000, 9999, 9999}, {1000, 9999, 9999}};
+  const auto c = PhysicalCluster::build(std::move(topo), caps,
+                                        LinkProps{100, 1});
+  const ResidualState st(c);
+  // If the zero-capacity switch were counted, the stddev would be ~471.
+  EXPECT_DOUBLE_EQ(load_balance_factor(st), 0.0);
+}
+
+TEST(Objective, IfMovedMatchesRecomputation) {
+  hmn::util::Rng rng(15);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> rproc(10);
+    for (auto& x : rproc) x = rng.uniform(-500, 3000);
+    const auto from = rng.index(10);
+    auto to = rng.index(10);
+    const double vproc = rng.uniform(1, 500);
+
+    const double incremental =
+        load_balance_factor_if_moved(rproc, from, to, vproc);
+    auto moved = rproc;
+    moved[from] += vproc;
+    moved[to] -= vproc;
+    EXPECT_NEAR(incremental, load_balance_factor(moved), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Objective, IfMovedToSameHostIsIdentity) {
+  const std::vector<double> rproc{100.0, 200.0, 300.0};
+  EXPECT_NEAR(load_balance_factor_if_moved(rproc, 1, 1, 50.0),
+              load_balance_factor(rproc), 1e-12);
+}
+
+TEST(Objective, MovingTowardBalanceReducesFactor) {
+  const std::vector<double> rproc{0.0, 1000.0};  // host 0 loaded
+  // Moving 500 MIPS of guest from host 0 to host 1 balances perfectly.
+  EXPECT_DOUBLE_EQ(load_balance_factor_if_moved(rproc, 0, 1, 500.0), 0.0);
+  // Moving in the wrong direction makes it worse.
+  EXPECT_GT(load_balance_factor_if_moved(rproc, 1, 0, 500.0),
+            load_balance_factor(rproc));
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Failure-injection tests: kill a host, repair the mapping, verify the
+// result avoids the corpse and still satisfies every constraint.
+#include <gtest/gtest.h>
+
+#include "core/hmn_mapper.h"
+#include "core/repair.h"
+#include "core/validator.h"
+#include "testing/fixtures.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using core::mapping_avoids_node;
+using core::repair_mapping;
+using core::RepairStats;
+
+TEST(Repair, AvoidanceCheckerDetectsGuestsAndPaths) {
+  const auto cluster = line_cluster(3);
+  core::Mapping m;
+  m.guest_host = {n(0), n(2)};
+  m.link_paths = {{EdgeId{0}, EdgeId{1}}};  // passes through node 1
+  EXPECT_FALSE(mapping_avoids_node(cluster, m, n(0)));  // guest on it
+  EXPECT_FALSE(mapping_avoids_node(cluster, m, n(1)));  // path through it
+  core::Mapping colocated;
+  colocated.guest_host = {n(0), n(0)};
+  colocated.link_paths = {{}};
+  EXPECT_TRUE(mapping_avoids_node(cluster, colocated, n(1)));
+  EXPECT_TRUE(mapping_avoids_node(cluster, colocated, n(2)));
+}
+
+TEST(Repair, MovesEvictedGuestAndReroutes) {
+  // Ring of 4, guests on hosts 0 and 2, path through 1.  Kill host 1: the
+  // path must re-route the other way; guests stay.
+  const auto cluster = ring_cluster(4);
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 100, 100});
+  const GuestId b = venv.add_guest({10, 100, 100});
+  venv.add_link(a, b, {1.0, 60.0});
+  core::Mapping m;
+  m.guest_host = {n(0), n(2)};
+  m.link_paths = {{EdgeId{0}, EdgeId{1}}};  // 0-1-2
+
+  RepairStats stats;
+  const auto out = repair_mapping(cluster, venv, m, n(1), &stats);
+  ASSERT_TRUE(out.ok()) << out.detail;
+  EXPECT_EQ(stats.guests_moved, 0u);
+  EXPECT_EQ(stats.links_rerouted, 1u);
+  EXPECT_TRUE(mapping_avoids_node(cluster, *out.mapping, n(1)));
+  EXPECT_TRUE(core::validate_mapping(cluster, venv, *out.mapping).ok());
+  // Untouched placements.
+  EXPECT_EQ(out.mapping->guest_host[a.index()], n(0));
+  EXPECT_EQ(out.mapping->guest_host[b.index()], n(2));
+}
+
+TEST(Repair, EvictsGuestsFromFailedHost) {
+  const auto cluster = ring_cluster(4);
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 100, 100});
+  const GuestId b = venv.add_guest({10, 100, 100});
+  venv.add_link(a, b, {1.0, 60.0});
+  core::Mapping m;
+  m.guest_host = {n(1), n(2)};
+  m.link_paths = {{EdgeId{1}}};  // edge (1,2)
+
+  RepairStats stats;
+  const auto out = repair_mapping(cluster, venv, m, n(1), &stats);
+  ASSERT_TRUE(out.ok()) << out.detail;
+  EXPECT_EQ(stats.guests_moved, 1u);
+  EXPECT_NE(out.mapping->guest_host[a.index()], n(1));
+  EXPECT_TRUE(mapping_avoids_node(cluster, *out.mapping, n(1)));
+  EXPECT_TRUE(core::validate_mapping(cluster, venv, *out.mapping).ok());
+}
+
+TEST(Repair, RefugeeJoinsAffinityNeighbor) {
+  // Evicted guest has a heavy link to a survivor with room: it co-locates.
+  const auto cluster = ring_cluster(4);
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 100, 100});
+  const GuestId b = venv.add_guest({10, 100, 100});
+  venv.add_link(a, b, {9.0, 60.0});
+  core::Mapping m;
+  m.guest_host = {n(1), n(3)};
+  m.link_paths = {{EdgeId{1}, EdgeId{2}}};  // 1-2-3
+
+  const auto out = repair_mapping(cluster, venv, m, n(1));
+  ASSERT_TRUE(out.ok()) << out.detail;
+  EXPECT_EQ(out.mapping->guest_host[a.index()], n(3));
+  EXPECT_TRUE(out.mapping->link_paths[0].empty());  // now intra-host
+}
+
+TEST(Repair, FailsWhenNoSurvivorFits) {
+  const auto cluster = line_cluster({{1000, 4096, 4096}, {1000, 50, 4096}});
+  model::VirtualEnvironment venv;
+  venv.add_guest({10, 100, 100});
+  core::Mapping m;
+  m.guest_host = {n(0)};
+  m.link_paths = {};
+  const auto out = repair_mapping(cluster, venv, m, n(0));
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, core::MapErrorCode::kHostingFailed);
+}
+
+TEST(Repair, FailsWhenSurvivingFabricCannotRoute) {
+  // Line 0-1-2: killing the middle host disconnects the ends.
+  const auto cluster = line_cluster(3);
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 100, 100});
+  const GuestId b = venv.add_guest({10, 100, 100});
+  venv.add_link(a, b, {1.0, 60.0});
+  core::Mapping m;
+  m.guest_host = {n(0), n(2)};
+  m.link_paths = {{EdgeId{0}, EdgeId{1}}};
+  // Big guests so the refugees cannot just co-locate... here no guest is
+  // evicted (failure is mid-path) but re-routing 0->2 without node 1 is
+  // impossible on a line.
+  const auto out = repair_mapping(cluster, venv, m, n(1));
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, core::MapErrorCode::kNetworkingFailed);
+}
+
+TEST(Repair, InvalidHostRejected) {
+  const auto cluster = line_cluster(2);
+  const model::VirtualEnvironment venv;
+  core::Mapping m;
+  EXPECT_EQ(repair_mapping(cluster, venv, m, NodeId::invalid()).error,
+            core::MapErrorCode::kInvalidInput);
+  EXPECT_EQ(repair_mapping(cluster, venv, m, n(99)).error,
+            core::MapErrorCode::kInvalidInput);
+}
+
+class RepairSweep : public testing::TestWithParam<int> {};
+
+TEST_P(RepairSweep, PaperInstanceSurvivesAnyHostFailure) {
+  // Map a paper-scale instance, then kill each of several hosts in turn;
+  // every successful repair must avoid the corpse, keep every untouched
+  // placement, and satisfy the validator.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto cluster = workload::make_paper_cluster(
+      workload::ClusterKind::kTorus2D, seed);
+  const workload::Scenario sc{5.0, 0.02, workload::WorkloadKind::kHighLevel};
+  const auto venv = workload::make_scenario_venv(sc, cluster, seed + 1);
+  const auto base = core::HmnMapper().map(cluster, venv, seed);
+  ASSERT_TRUE(base.ok());
+
+  for (unsigned h = 0; h < 40; h += 7) {
+    RepairStats stats;
+    const auto out =
+        repair_mapping(cluster, venv, *base.mapping, n(h), &stats);
+    ASSERT_TRUE(out.ok()) << "host " << h << ": " << out.detail;
+    EXPECT_TRUE(mapping_avoids_node(cluster, *out.mapping, n(h)));
+    EXPECT_TRUE(core::validate_mapping(cluster, venv, *out.mapping).ok())
+        << "host " << h;
+    // Guests not on the failed host are untouched.
+    for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+      if (base.mapping->guest_host[g] != n(h)) {
+        EXPECT_EQ(out.mapping->guest_host[g], base.mapping->guest_host[g]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairSweep, testing::Range(100, 104));
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests for residual-capacity bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/residual.h"
+#include "topology/topologies.h"
+
+namespace {
+
+using namespace hmn;
+using core::Mapping;
+using core::ResidualState;
+using model::GuestRequirements;
+using model::HostCapacity;
+using model::LinkProps;
+using model::PhysicalCluster;
+using model::VirtualEnvironment;
+
+NodeId n(unsigned v) { return NodeId{v}; }
+
+PhysicalCluster two_host_cluster() {
+  auto topo = topology::line(2);
+  std::vector<HostCapacity> caps{{1000, 1024, 512}, {2000, 2048, 1024}};
+  return PhysicalCluster::build(std::move(topo), std::move(caps),
+                                LinkProps{100.0, 5.0});
+}
+
+TEST(ResidualState, InitialResidualsEqualCapacity) {
+  const auto c = two_host_cluster();
+  const ResidualState st(c);
+  EXPECT_DOUBLE_EQ(st.residual_proc(n(0)), 1000.0);
+  EXPECT_DOUBLE_EQ(st.residual_mem(n(1)), 2048.0);
+  EXPECT_DOUBLE_EQ(st.residual_stor(n(0)), 512.0);
+  EXPECT_DOUBLE_EQ(st.residual_bw(EdgeId{0}), 100.0);
+}
+
+TEST(ResidualState, FitsChecksMemAndStorOnly) {
+  const auto c = two_host_cluster();
+  const ResidualState st(c);
+  // CPU demand above capacity is *not* a constraint.
+  EXPECT_TRUE(st.fits({99999.0, 100.0, 100.0}, n(0)));
+  EXPECT_FALSE(st.fits({1.0, 2000.0, 1.0}, n(0)));   // memory
+  EXPECT_FALSE(st.fits({1.0, 1.0, 600.0}, n(0)));    // storage
+  EXPECT_TRUE(st.fits({1.0, 1024.0, 512.0}, n(0)));  // exact fit
+}
+
+TEST(ResidualState, FitsBothIsAggregate) {
+  const auto c = two_host_cluster();
+  const ResidualState st(c);
+  const GuestRequirements half{1, 512, 256};
+  EXPECT_TRUE(st.fits_both(half, half, n(0)));
+  const GuestRequirements big{1, 700, 1};
+  EXPECT_FALSE(st.fits_both(big, big, n(0)));  // 1400 > 1024 combined
+  EXPECT_TRUE(st.fits(big, n(0)));             // though one alone fits
+}
+
+TEST(ResidualState, PlaceAndRemoveRoundTrip) {
+  const auto c = two_host_cluster();
+  ResidualState st(c);
+  const GuestRequirements req{100, 256, 64};
+  st.place(req, n(0));
+  EXPECT_DOUBLE_EQ(st.residual_proc(n(0)), 900.0);
+  EXPECT_DOUBLE_EQ(st.residual_mem(n(0)), 768.0);
+  EXPECT_DOUBLE_EQ(st.residual_stor(n(0)), 448.0);
+  st.remove(req, n(0));
+  EXPECT_DOUBLE_EQ(st.residual_proc(n(0)), 1000.0);
+  EXPECT_DOUBLE_EQ(st.residual_mem(n(0)), 1024.0);
+}
+
+TEST(ResidualState, CpuMayGoNegative) {
+  const auto c = two_host_cluster();
+  ResidualState st(c);
+  st.place({1500.0, 10.0, 10.0}, n(0));
+  EXPECT_DOUBLE_EQ(st.residual_proc(n(0)), -500.0);
+}
+
+TEST(ResidualState, ResidualProcOfHostsOrder) {
+  const auto c = two_host_cluster();
+  ResidualState st(c);
+  st.place({100, 1, 1}, n(1));
+  const auto rproc = st.residual_proc_of_hosts();
+  ASSERT_EQ(rproc.size(), 2u);
+  EXPECT_DOUBLE_EQ(rproc[0], 1000.0);
+  EXPECT_DOUBLE_EQ(rproc[1], 1900.0);
+}
+
+TEST(ResidualState, BandwidthReserveRelease) {
+  const auto c = two_host_cluster();
+  ResidualState st(c);
+  const graph::Path path{EdgeId{0}};
+  st.reserve_bw(path, 30.0);
+  EXPECT_DOUBLE_EQ(st.residual_bw(EdgeId{0}), 70.0);
+  st.reserve_bw(path, 70.0);
+  EXPECT_DOUBLE_EQ(st.residual_bw(EdgeId{0}), 0.0);
+  st.release_bw(path, 100.0);
+  EXPECT_DOUBLE_EQ(st.residual_bw(EdgeId{0}), 100.0);
+}
+
+TEST(ResidualState, RebuildFromMapping) {
+  const auto c = two_host_cluster();
+  VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({100, 256, 64});
+  const GuestId b = venv.add_guest({200, 512, 128});
+  venv.add_link(a, b, {25.0, 100.0});
+
+  Mapping m;
+  m.guest_host = {n(0), n(1)};
+  m.link_paths = {{EdgeId{0}}};
+
+  const ResidualState st(c, venv, m);
+  EXPECT_DOUBLE_EQ(st.residual_proc(n(0)), 900.0);
+  EXPECT_DOUBLE_EQ(st.residual_proc(n(1)), 1800.0);
+  EXPECT_DOUBLE_EQ(st.residual_mem(n(1)), 1536.0);
+  EXPECT_DOUBLE_EQ(st.residual_bw(EdgeId{0}), 75.0);
+}
+
+TEST(ResidualState, SwitchNodesHaveZeroResiduals) {
+  auto topo = topology::star(2);
+  std::vector<HostCapacity> caps(2, {1000, 1000, 1000});
+  const auto c = PhysicalCluster::build(std::move(topo), caps,
+                                        LinkProps{100, 1});
+  const ResidualState st(c);
+  EXPECT_DOUBLE_EQ(st.residual_proc(n(2)), 0.0);
+  EXPECT_DOUBLE_EQ(st.residual_mem(n(2)), 0.0);
+}
+
+}  // namespace

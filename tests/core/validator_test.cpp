@@ -1,0 +1,229 @@
+// Tests for the independent mapping validator (Eqs. 1-9).
+#include <gtest/gtest.h>
+
+#include "core/validator.h"
+#include "testing/fixtures.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using core::ConstraintId;
+using core::Mapping;
+using core::validate_mapping;
+using model::VirtualEnvironment;
+
+bool has_violation(const core::ValidationReport& report, ConstraintId id) {
+  for (const auto& v : report.violations) {
+    if (v.constraint == id) return true;
+  }
+  return false;
+}
+
+struct ValidatorFixture : testing::Test {
+  model::PhysicalCluster cluster = line_cluster(3, {1000, 1000, 1000},
+                                                {100.0, 5.0});
+  VirtualEnvironment venv;
+  GuestId a, b;
+  VirtLinkId ab;
+
+  void SetUp() override {
+    a = venv.add_guest({100, 400, 400});
+    b = venv.add_guest({100, 400, 400});
+    ab = venv.add_link(a, b, {50.0, 20.0});
+  }
+
+  Mapping valid_mapping() const {
+    Mapping m;
+    m.guest_host = {n(0), n(1)};
+    m.link_paths = {{EdgeId{0}}};
+    return m;
+  }
+};
+
+TEST_F(ValidatorFixture, ValidMappingPasses) {
+  const auto report = validate_mapping(cluster, venv, valid_mapping());
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.summary(), "valid");
+}
+
+TEST_F(ValidatorFixture, WrongGuestCountRejected) {
+  Mapping m = valid_mapping();
+  m.guest_host.pop_back();
+  const auto report = validate_mapping(cluster, venv, m);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_violation(report, ConstraintId::kGuestMappedOnce));
+}
+
+TEST_F(ValidatorFixture, UnmappedGuestRejected) {
+  Mapping m = valid_mapping();
+  m.guest_host[1] = NodeId::invalid();
+  const auto report = validate_mapping(cluster, venv, m);
+  EXPECT_TRUE(has_violation(report, ConstraintId::kGuestMappedOnce));
+}
+
+TEST_F(ValidatorFixture, WrongPathCountRejected) {
+  Mapping m = valid_mapping();
+  m.link_paths.clear();
+  const auto report = validate_mapping(cluster, venv, m);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(ValidatorFixture, MemoryOvercommitDetected) {
+  // Both guests (400 MB each) on a 1000-MB host is fine; tripling the
+  // guest memory breaks Eq. 2.
+  VirtualEnvironment fat;
+  const GuestId x = fat.add_guest({1, 600, 1});
+  const GuestId y = fat.add_guest({1, 600, 1});
+  fat.add_link(x, y, {1.0, 60.0});
+  Mapping m;
+  m.guest_host = {n(0), n(0)};
+  m.link_paths = {{}};
+  const auto report = validate_mapping(cluster, fat, m);
+  EXPECT_TRUE(has_violation(report, ConstraintId::kMemoryCapacity));
+  EXPECT_FALSE(has_violation(report, ConstraintId::kStorageCapacity));
+}
+
+TEST_F(ValidatorFixture, StorageOvercommitDetected) {
+  VirtualEnvironment fat;
+  const GuestId x = fat.add_guest({1, 1, 800});
+  const GuestId y = fat.add_guest({1, 1, 800});
+  fat.add_link(x, y, {1.0, 60.0});
+  Mapping m;
+  m.guest_host = {n(0), n(0)};
+  m.link_paths = {{}};
+  const auto report = validate_mapping(cluster, fat, m);
+  EXPECT_TRUE(has_violation(report, ConstraintId::kStorageCapacity));
+}
+
+TEST_F(ValidatorFixture, CpuOvercommitIsNotAViolation) {
+  VirtualEnvironment hungry;
+  const GuestId x = hungry.add_guest({5000, 1, 1});  // 5x the host CPU
+  const GuestId y = hungry.add_guest({5000, 1, 1});
+  hungry.add_link(x, y, {1.0, 60.0});
+  Mapping m;
+  m.guest_host = {n(0), n(0)};
+  m.link_paths = {{}};
+  EXPECT_TRUE(validate_mapping(cluster, hungry, m).ok());
+}
+
+TEST_F(ValidatorFixture, ColocatedWithNonEmptyPathRejected) {
+  Mapping m;
+  m.guest_host = {n(0), n(0)};
+  m.link_paths = {{EdgeId{0}}};
+  const auto report = validate_mapping(cluster, venv, m);
+  EXPECT_TRUE(has_violation(report, ConstraintId::kPathEndpoints));
+}
+
+TEST_F(ValidatorFixture, SeparatedWithEmptyPathRejected) {
+  Mapping m;
+  m.guest_host = {n(0), n(1)};
+  m.link_paths = {{}};
+  const auto report = validate_mapping(cluster, venv, m);
+  EXPECT_TRUE(has_violation(report, ConstraintId::kPathEndpoints));
+}
+
+TEST_F(ValidatorFixture, PathToWrongHostRejected) {
+  Mapping m;
+  m.guest_host = {n(0), n(2)};
+  m.link_paths = {{EdgeId{0}}};  // reaches node 1, not node 2
+  const auto report = validate_mapping(cluster, venv, m);
+  EXPECT_TRUE(has_violation(report, ConstraintId::kPathChains));
+}
+
+TEST_F(ValidatorFixture, ReversedPathAccepted) {
+  // Links are undirected: a path expressed from the destination's side is
+  // still valid.
+  Mapping m;
+  m.guest_host = {n(0), n(2)};
+  m.link_paths = {{EdgeId{1}, EdgeId{0}}};  // 2->1->0 orientation
+  EXPECT_TRUE(validate_mapping(cluster, venv, m).ok());
+}
+
+TEST_F(ValidatorFixture, LatencyViolationDetected) {
+  // Demand allows 20 ms = 4 hops of 5 ms; use a longer venv bound instead:
+  // place endpoints 2 hops apart but set bound to 5 ms (one hop).
+  VirtualEnvironment tight;
+  const GuestId x = tight.add_guest({1, 1, 1});
+  const GuestId y = tight.add_guest({1, 1, 1});
+  tight.add_link(x, y, {1.0, 5.0});
+  Mapping m;
+  m.guest_host = {n(0), n(2)};
+  m.link_paths = {{EdgeId{0}, EdgeId{1}}};  // 10 ms > 5 ms
+  const auto report = validate_mapping(cluster, tight, m);
+  EXPECT_TRUE(has_violation(report, ConstraintId::kLatencyBound));
+}
+
+TEST_F(ValidatorFixture, AggregateBandwidthViolationDetected) {
+  // Three 50-Mbps links through one 100-Mbps edge.
+  VirtualEnvironment heavy;
+  std::vector<GuestId> gs;
+  for (int i = 0; i < 6; ++i) gs.push_back(heavy.add_guest({1, 1, 1}));
+  for (int i = 0; i < 3; ++i) {
+    heavy.add_link(gs[static_cast<std::size_t>(2 * i)],
+                   gs[static_cast<std::size_t>(2 * i + 1)], {50.0, 60.0});
+  }
+  Mapping m;
+  m.guest_host = {n(0), n(1), n(0), n(1), n(0), n(1)};
+  m.link_paths = {{EdgeId{0}}, {EdgeId{0}}, {EdgeId{0}}};
+  const auto report = validate_mapping(cluster, heavy, m);
+  EXPECT_TRUE(has_violation(report, ConstraintId::kBandwidthCapacity));
+  // Exactly at capacity (two links) passes.
+  m.link_paths = {{EdgeId{0}}, {EdgeId{0}}, {EdgeId{1}, EdgeId{0}}};
+  // Third path is invalid anyway (wrong chain); rebuild as two links only.
+  VirtualEnvironment two;
+  std::vector<GuestId> g2;
+  for (int i = 0; i < 4; ++i) g2.push_back(two.add_guest({1, 1, 1}));
+  two.add_link(g2[0], g2[1], {50.0, 60.0});
+  two.add_link(g2[2], g2[3], {50.0, 60.0});
+  Mapping m2;
+  m2.guest_host = {n(0), n(1), n(0), n(1)};
+  m2.link_paths = {{EdgeId{0}}, {EdgeId{0}}};
+  EXPECT_TRUE(validate_mapping(cluster, two, m2).ok());
+}
+
+TEST_F(ValidatorFixture, GuestOnSwitchRejected) {
+  auto topo = topology::star(2);
+  std::vector<model::HostCapacity> caps(2, {1000, 1000, 1000});
+  const auto star_cluster = model::PhysicalCluster::build(
+      std::move(topo), std::move(caps), model::LinkProps{100, 5});
+  VirtualEnvironment v;
+  const GuestId x = v.add_guest({1, 1, 1});
+  (void)x;
+  Mapping m;
+  m.guest_host = {n(2)};  // the switch
+  m.link_paths = {};
+  const auto report = validate_mapping(star_cluster, v, m);
+  EXPECT_TRUE(has_violation(report, ConstraintId::kGuestOnHostNode));
+}
+
+TEST_F(ValidatorFixture, LoopPathRejected) {
+  // Ring cluster: a path that circles and revisits a node.
+  const auto ring = ring_cluster(4, {1000, 1000, 1000}, {100.0, 5.0});
+  VirtualEnvironment v;
+  const GuestId x = v.add_guest({1, 1, 1});
+  const GuestId y = v.add_guest({1, 1, 1});
+  v.add_link(x, y, {1.0, 100.0});
+  Mapping m;
+  m.guest_host = {n(0), n(1)};
+  // Edges of ring(4): (0,1) (1,2) (2,3) (3,0).  Path 0->1->2->3->0->1
+  // revisits 0 and 1.
+  m.link_paths = {{EdgeId{0}, EdgeId{1}, EdgeId{2}, EdgeId{3}, EdgeId{0}}};
+  const auto report = validate_mapping(ring, v, m);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(ValidatorFixture, MultipleViolationsAllCollected) {
+  VirtualEnvironment v;
+  const GuestId x = v.add_guest({1, 5000, 5000});  // overcommits both
+  const GuestId y = v.add_guest({1, 5000, 5000});
+  v.add_link(x, y, {1.0, 60.0});
+  Mapping m;
+  m.guest_host = {n(0), n(0)};
+  m.link_paths = {{}};
+  const auto report = validate_mapping(cluster, v, m);
+  EXPECT_GE(report.violations.size(), 2u);
+  EXPECT_NE(report.summary().find("violation"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Tests for the non-committing what-if planning queries.
+#include <gtest/gtest.h>
+
+#include "core/hmn_mapper.h"
+#include "core/incremental.h"
+#include "core/what_if.h"
+#include "testing/fixtures.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using core::hosts_fitting_guest;
+using core::link_route_available;
+
+struct WhatIfFixture : testing::Test {
+  model::PhysicalCluster cluster =
+      line_cluster({{3000, 1000, 4096}, {1000, 1000, 4096},
+                    {2000, 300, 4096}});
+  model::VirtualEnvironment venv;
+  core::Mapping mapping;
+
+  void SetUp() override {
+    const GuestId a = venv.add_guest({100, 400, 100});
+    const GuestId b = venv.add_guest({100, 400, 100});
+    venv.add_link(a, b, {500.0, 60.0});
+    mapping.guest_host = {n(0), n(1)};
+    mapping.link_paths = {{EdgeId{0}}};
+  }
+};
+
+TEST_F(WhatIfFixture, FittingHostsSortedByResidualCpu) {
+  // Residual mem: host0 600, host1 600, host2 300; a 500-MB guest fits on
+  // hosts 0 and 1 only; host0 has more residual CPU (2900 vs 900).
+  const auto fitting =
+      hosts_fitting_guest(cluster, venv, mapping, {10, 500, 10});
+  EXPECT_EQ(fitting, (std::vector<NodeId>{n(0), n(1)}));
+}
+
+TEST_F(WhatIfFixture, NoHostFitsOversizedGuest) {
+  EXPECT_TRUE(
+      hosts_fitting_guest(cluster, venv, mapping, {10, 5000, 10}).empty());
+}
+
+TEST_F(WhatIfFixture, QueriesDoNotMutateAnything) {
+  const auto before = mapping.guest_host;
+  (void)hosts_fitting_guest(cluster, venv, mapping, {10, 100, 10});
+  (void)link_route_available(cluster, venv, mapping, GuestId{0}, GuestId{1},
+                             {100.0, 60.0});
+  EXPECT_EQ(mapping.guest_host, before);
+}
+
+TEST_F(WhatIfFixture, ColocatedLinkIsFree) {
+  mapping.guest_host = {n(0), n(0)};
+  mapping.link_paths = {{}};
+  const auto route = link_route_available(cluster, venv, mapping, GuestId{0},
+                                          GuestId{1}, {99999.0, 0.1});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_TRUE(route->empty());
+}
+
+TEST_F(WhatIfFixture, RouteRespectsResidualBandwidth) {
+  // The existing link reserves 500 of the 1000 Mbps on edge 0; a new
+  // 400-Mbps demand fits, a 600-Mbps demand does not.
+  EXPECT_TRUE(link_route_available(cluster, venv, mapping, GuestId{0},
+                                   GuestId{1}, {400.0, 60.0})
+                  .has_value());
+  EXPECT_FALSE(link_route_available(cluster, venv, mapping, GuestId{0},
+                                    GuestId{1}, {600.0, 60.0})
+                   .has_value());
+}
+
+TEST_F(WhatIfFixture, RouteRespectsLatencyBound) {
+  mapping.guest_host = {n(0), n(2)};
+  mapping.link_paths = {{EdgeId{0}, EdgeId{1}}};
+  EXPECT_TRUE(link_route_available(cluster, venv, mapping, GuestId{0},
+                                   GuestId{1}, {1.0, 10.0})
+                  .has_value());  // 2 hops x 5 ms = 10 ms exactly
+  EXPECT_FALSE(link_route_available(cluster, venv, mapping, GuestId{0},
+                                    GuestId{1}, {1.0, 9.0})
+                   .has_value());
+}
+
+TEST_F(WhatIfFixture, UnmappedGuestYieldsNoRoute) {
+  mapping.guest_host[1] = NodeId::invalid();
+  EXPECT_FALSE(link_route_available(cluster, venv, mapping, GuestId{0},
+                                    GuestId{1}, {1.0, 60.0})
+                   .has_value());
+}
+
+TEST(WhatIfConsistency, PositiveQueryMeansExtendSucceeds) {
+  // If the what-if says a guest fits and its link routes, extending the
+  // environment by exactly that guest+link must succeed.
+  const auto cluster = line_cluster(3);
+  auto venv = chain_venv(6);
+  auto base = core::HmnMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(base.ok());
+
+  const model::GuestRequirements req{75, 192, 150};
+  const auto fitting =
+      hosts_fitting_guest(cluster, venv, *base.mapping, req);
+  ASSERT_FALSE(fitting.empty());
+
+  const GuestId g = venv.add_guest(req);
+  venv.add_link(GuestId{0}, g, {0.75, 45.0});
+  const auto grown = core::extend_mapping(cluster, venv, *base.mapping);
+  EXPECT_TRUE(grown.ok()) << grown.detail;
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// Tests for the experiment framework: grid runner, aggregation, reports.
+#include <gtest/gtest.h>
+
+#include "baselines/composite_mappers.h"
+#include "core/hmn_mapper.h"
+#include "expfw/aggregate.h"
+#include "expfw/report.h"
+#include "expfw/runner.h"
+
+namespace {
+
+using namespace hmn;
+using expfw::GridSpec;
+using expfw::GridSummary;
+using expfw::RunRecord;
+using expfw::run_grid;
+using expfw::summarize;
+using workload::ClusterKind;
+using workload::Scenario;
+using workload::WorkloadKind;
+
+GridSpec tiny_spec() {
+  GridSpec spec;
+  spec.scenarios = {Scenario{2.5, 0.02, WorkloadKind::kHighLevel}};
+  spec.clusters = {ClusterKind::kSwitched};
+  spec.repetitions = 3;
+  spec.threads = 2;
+  return spec;
+}
+
+TEST(Runner, ProducesOneRecordPerCell) {
+  const core::HmnMapper hmn_mapper;
+  const auto records = run_grid(tiny_spec(), {&hmn_mapper});
+  ASSERT_EQ(records.size(), 3u);  // 1 scenario x 1 cluster x 3 reps
+  for (const RunRecord& r : records) {
+    EXPECT_EQ(r.mapper, "HMN");
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.guests, 100u);
+    EXPECT_GT(r.objective, 0.0);
+    EXPECT_GE(r.stats.total_seconds, 0.0);
+    EXPECT_LT(r.experiment_seconds, 0.0);  // simulation disabled
+  }
+}
+
+TEST(Runner, DeterministicAcrossThreadCounts) {
+  const core::HmnMapper hmn_mapper;
+  auto spec1 = tiny_spec();
+  spec1.threads = 1;
+  auto spec4 = tiny_spec();
+  spec4.threads = 4;
+  const auto r1 = run_grid(spec1, {&hmn_mapper});
+  const auto r4 = run_grid(spec4, {&hmn_mapper});
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1[i].objective, r4[i].objective);
+    EXPECT_EQ(r1[i].repetition, r4[i].repetition);
+  }
+}
+
+TEST(Runner, SimulateExperimentFillsSeconds) {
+  const core::HmnMapper hmn_mapper;
+  auto spec = tiny_spec();
+  spec.repetitions = 1;
+  spec.simulate_experiment = true;
+  const auto records = run_grid(spec, {&hmn_mapper});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_GT(records[0].experiment_seconds, 0.0);
+}
+
+TEST(Runner, MultipleMappersShareInstances) {
+  const core::HmnMapper a;
+  core::HmnOptions named;
+  named.display_name = "HMN2";
+  const core::HmnMapper b(named);
+  const auto records = run_grid(tiny_spec(), {&a, &b});
+  ASSERT_EQ(records.size(), 6u);
+  // Identical mappers on the same instance produce identical objectives.
+  for (std::size_t i = 0; i < records.size(); i += 2) {
+    EXPECT_DOUBLE_EQ(records[i].objective, records[i + 1].objective);
+  }
+}
+
+TEST(Aggregate, CountsFailuresAndRuns) {
+  GridSummary summary;
+  RunRecord ok;
+  ok.scenario_index = 0;
+  ok.cluster = ClusterKind::kTorus2D;
+  ok.mapper = "X";
+  ok.ok = true;
+  ok.objective = 10.0;
+  ok.stats.total_seconds = 1.0;
+  RunRecord fail = ok;
+  fail.ok = false;
+  summary.add(ok);
+  summary.add(ok);
+  summary.add(fail);
+  const auto& cell = summary.cell(0, ClusterKind::kTorus2D, "X");
+  EXPECT_EQ(cell.runs, 3u);
+  EXPECT_EQ(cell.failures, 1u);
+  EXPECT_EQ(cell.objective.count(), 2u);
+  EXPECT_DOUBLE_EQ(cell.objective.mean(), 10.0);
+}
+
+TEST(Aggregate, MissingCellIsEmpty) {
+  const GridSummary summary;
+  const auto& cell = summary.cell(5, ClusterKind::kSwitched, "nope");
+  EXPECT_EQ(cell.runs, 0u);
+  EXPECT_EQ(cell.objective.count(), 0u);
+}
+
+TEST(Aggregate, TotalFailuresSumsAcrossScenarios) {
+  GridSummary summary;
+  for (std::size_t s = 0; s < 3; ++s) {
+    RunRecord r;
+    r.scenario_index = s;
+    r.cluster = ClusterKind::kTorus2D;
+    r.mapper = "X";
+    r.ok = false;
+    summary.add(r);
+  }
+  EXPECT_EQ(summary.total_failures(ClusterKind::kTorus2D, "X"), 3u);
+  EXPECT_EQ(summary.total_failures(ClusterKind::kSwitched, "X"), 0u);
+}
+
+TEST(Report, ObjectiveTableShapeMatchesPaper) {
+  const core::HmnMapper hmn_mapper;
+  GridSpec spec = tiny_spec();
+  spec.scenarios = {Scenario{2.5, 0.015, WorkloadKind::kHighLevel},
+                    Scenario{20.0, 0.01, WorkloadKind::kLowLevel}};
+  spec.clusters = {ClusterKind::kTorus2D, ClusterKind::kSwitched};
+  spec.repetitions = 2;
+  const auto summary = summarize(run_grid(spec, {&hmn_mapper}));
+  const auto table = expfw::render_objective_table(
+      spec.scenarios, spec.clusters, {"HMN"}, summary);
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("2-D Torus HMN"), std::string::npos);
+  EXPECT_NE(s.find("Switched HMN"), std::string::npos);
+  EXPECT_NE(s.find("2.5:1 0.015"), std::string::npos);
+  EXPECT_NE(s.find("20:1 0.01"), std::string::npos);
+  EXPECT_NE(s.find("Failures"), std::string::npos);
+}
+
+TEST(Report, FailedCellsPrintDash) {
+  GridSummary summary;
+  RunRecord fail;
+  fail.scenario_index = 0;
+  fail.cluster = ClusterKind::kTorus2D;
+  fail.mapper = "X";
+  fail.ok = false;
+  summary.add(fail);
+  const std::vector<Scenario> scenarios{
+      Scenario{2.5, 0.015, WorkloadKind::kHighLevel}};
+  const auto table = expfw::render_objective_table(
+      scenarios, {ClusterKind::kTorus2D}, {"X"}, summary);
+  // The data row shows "-" and the failure row shows 1.
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("2.5:1 0.015,-"), std::string::npos);
+  EXPECT_NE(csv.find("Failures,1"), std::string::npos);
+}
+
+TEST(Report, TimeTableHasMeans) {
+  const core::HmnMapper hmn_mapper;
+  const GridSpec spec = tiny_spec();
+  const auto summary = summarize(run_grid(spec, {&hmn_mapper}));
+  const auto table = expfw::render_time_table(spec.scenarios, spec.clusters,
+                                              {"HMN"}, summary);
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_NE(table.to_string().find("2.5:1 0.02"), std::string::npos);
+}
+
+TEST(Report, Figure1SeriesSortedByLinks) {
+  const core::HmnMapper hmn_mapper;
+  GridSpec spec;
+  spec.scenarios = {Scenario{5.0, 0.02, WorkloadKind::kHighLevel},
+                    Scenario{2.5, 0.02, WorkloadKind::kHighLevel}};
+  spec.clusters = {ClusterKind::kTorus2D};
+  spec.repetitions = 2;
+  const auto summary = summarize(run_grid(spec, {&hmn_mapper}));
+  const auto pts = expfw::figure1_series(spec.scenarios,
+                                         ClusterKind::kTorus2D, "HMN",
+                                         summary);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_LE(pts[0].x, pts[1].x);
+  const std::string rendered =
+      expfw::render_series(pts, "links", "map time (s)");
+  EXPECT_NE(rendered.find("links"), std::string::npos);
+  EXPECT_NE(rendered.find('#'), std::string::npos);
+}
+
+TEST(Report, Figure1SkipsAllFailedCells) {
+  GridSummary summary;
+  RunRecord fail;
+  fail.scenario_index = 0;
+  fail.cluster = ClusterKind::kTorus2D;
+  fail.mapper = "X";
+  fail.ok = false;
+  summary.add(fail);
+  const std::vector<Scenario> scenarios{
+      Scenario{2.5, 0.015, WorkloadKind::kHighLevel}};
+  EXPECT_TRUE(expfw::figure1_series(scenarios, ClusterKind::kTorus2D, "X",
+                                    summary)
+                  .empty());
+}
+
+}  // namespace

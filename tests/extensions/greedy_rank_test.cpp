@@ -1,0 +1,98 @@
+// Tests for the greedy node-ranking VNE mapper.
+#include <gtest/gtest.h>
+
+#include "core/hmn_mapper.h"
+#include "core/objective.h"
+#include "core/validator.h"
+#include "extensions/greedy_rank_mapper.h"
+#include "extensions/min_hosts_mapper.h"
+#include "testing/fixtures.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using extensions::GreedyRankMapper;
+
+TEST(GreedyRank, Name) {
+  EXPECT_EQ(GreedyRankMapper().name(), "GreedyRank");
+}
+
+TEST(GreedyRank, EmptyClusterInvalid) {
+  const model::PhysicalCluster cluster;
+  const model::VirtualEnvironment venv;
+  EXPECT_EQ(GreedyRankMapper().map(cluster, venv, 1).error,
+            core::MapErrorCode::kInvalidInput);
+}
+
+TEST(GreedyRank, HeaviestGuestGetsBestHost) {
+  // Hosts differ in CPU; with one guest, it must go to the top-ranked
+  // (highest CPU x bandwidth) host.
+  auto cluster = line_cluster({{500, 4096, 4096}, {3000, 4096, 4096},
+                               {1000, 4096, 4096}});
+  model::VirtualEnvironment venv;
+  const GuestId g = venv.add_guest({100, 100, 100});
+  const auto out = GreedyRankMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(out.ok()) << out.detail;
+  // Host 1 (3000 MIPS, middle of the line = two incident links) wins.
+  EXPECT_EQ(out.mapping->guest_host[g.index()], n(1));
+}
+
+TEST(GreedyRank, FailsWhenGuestFitsNowhere) {
+  const auto cluster = line_cluster(2, {1000, 100, 100});
+  auto venv = chain_venv(1, {10, 500, 10});
+  const auto out = GreedyRankMapper().map(cluster, venv, 1);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, core::MapErrorCode::kHostingFailed);
+}
+
+TEST(GreedyRank, ValidOnPaperScenarios) {
+  const GreedyRankMapper mapper;
+  for (const auto kind : {workload::ClusterKind::kTorus2D,
+                          workload::ClusterKind::kSwitched}) {
+    const auto cluster = workload::make_paper_cluster(kind, 33);
+    for (const double ratio : {2.5, 20.0}) {
+      const workload::Scenario sc{
+          ratio, ratio > 10 ? 0.01 : 0.02,
+          ratio > 10 ? workload::WorkloadKind::kLowLevel
+                     : workload::WorkloadKind::kHighLevel};
+      const auto venv = workload::make_scenario_venv(sc, cluster, 34);
+      const auto out = mapper.map(cluster, venv, 35);
+      ASSERT_TRUE(out.ok()) << sc.label() << ": " << out.detail;
+      EXPECT_TRUE(core::validate_mapping(cluster, venv, *out.mapping).ok())
+          << sc.label();
+    }
+  }
+}
+
+TEST(GreedyRank, DeterministicIgnoringSeed) {
+  const auto cluster = workload::make_paper_cluster(
+      workload::ClusterKind::kSwitched, 36);
+  const workload::Scenario sc{5.0, 0.02, workload::WorkloadKind::kHighLevel};
+  const auto venv = workload::make_scenario_venv(sc, cluster, 37);
+  const GreedyRankMapper mapper;
+  const auto a = mapper.map(cluster, venv, 1);
+  const auto b = mapper.map(cluster, venv, 999);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.mapping->guest_host, b.mapping->guest_host);
+}
+
+TEST(GreedyRank, SpreadsLoadBetterThanConsolidation) {
+  // Greedy ranking chases the highest-availability host each step, so its
+  // balance must land far closer to HMN's than to the deliberately
+  // consolidating MinHosts mapper's.
+  const auto cluster = workload::make_paper_cluster(
+      workload::ClusterKind::kSwitched, 38);
+  const workload::Scenario sc{5.0, 0.02, workload::WorkloadKind::kHighLevel};
+  const auto venv = workload::make_scenario_venv(sc, cluster, 39);
+  const auto greedy = GreedyRankMapper().map(cluster, venv, 1);
+  const auto packed = extensions::MinHostsMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(packed.ok());
+  EXPECT_LT(core::load_balance_factor(cluster, venv, *greedy.mapping),
+            core::load_balance_factor(cluster, venv, *packed.mapping));
+}
+
+}  // namespace

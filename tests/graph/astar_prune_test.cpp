@@ -1,0 +1,398 @@
+// Tests for the modified 1-constrained A*Prune (Algorithm 1) and the
+// general K-shortest-paths A*Prune, including brute-force cross-checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "graph/astar_prune.h"
+#include "topology/topologies.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hmn;
+using graph::AStarPruneOptions;
+using graph::ConstrainedPath;
+using graph::Graph;
+using graph::astar_prune_bottleneck;
+using graph::astar_prune_ksp;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+NodeId n(unsigned v) { return NodeId{v}; }
+
+struct TestNet {
+  Graph g;
+  std::vector<double> bw;
+  std::vector<double> lat;
+
+  explicit TestNet(std::size_t nodes) : g(nodes) {}
+  EdgeId edge(unsigned a, unsigned b, double bandwidth, double latency) {
+    const EdgeId e = g.add_edge(n(a), n(b));
+    bw.push_back(bandwidth);
+    lat.push_back(latency);
+    return e;
+  }
+  auto bw_fn() const {
+    return [this](EdgeId e) { return bw[e.index()]; };
+  }
+  auto lat_fn() const {
+    return [this](EdgeId e) { return lat[e.index()]; };
+  }
+  std::optional<ConstrainedPath> route(unsigned a, unsigned b, double demand,
+                                       double max_lat,
+                                       AStarPruneOptions opts = {}) const {
+    return astar_prune_bottleneck(g, n(a), n(b), demand, max_lat, bw_fn(),
+                                  lat_fn(), opts);
+  }
+};
+
+/// Exhaustive enumeration of simple paths: the ground truth the heuristic
+/// search is checked against on small graphs.
+struct BruteForce {
+  const TestNet& net;
+  double demand, max_lat;
+  double best_bottleneck = -1.0;
+  bool feasible = false;
+
+  void run(NodeId from, NodeId to) {
+    std::vector<bool> visited(net.g.node_count(), false);
+    visited[from.index()] = true;
+    rec(from, to, visited, kInf, 0.0);
+  }
+  void rec(NodeId u, NodeId to, std::vector<bool>& visited, double bneck,
+           double lat_acc) {
+    if (u == to) {
+      feasible = true;
+      best_bottleneck = std::max(best_bottleneck, bneck);
+      return;
+    }
+    for (const auto& adj : net.g.neighbors(u)) {
+      if (visited[adj.neighbor.index()]) continue;
+      const double b = net.bw[adj.edge.index()];
+      const double l = net.lat[adj.edge.index()];
+      if (b < demand || lat_acc + l > max_lat) continue;
+      visited[adj.neighbor.index()] = true;
+      rec(adj.neighbor, to, visited, std::min(bneck, b), lat_acc + l);
+      visited[adj.neighbor.index()] = false;
+    }
+  }
+};
+
+TEST(AStarPrune, SameNodeIsEmptyPath) {
+  TestNet net(2);
+  net.edge(0, 1, 10, 1);
+  const auto p = net.route(0, 0, 5, 100);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->edges.empty());
+  EXPECT_EQ(p->bottleneck_bw, kInf);
+  EXPECT_DOUBLE_EQ(p->total_latency, 0.0);
+}
+
+TEST(AStarPrune, DirectEdge) {
+  TestNet net(2);
+  net.edge(0, 1, 10, 5);
+  const auto p = net.route(0, 1, 5, 10);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(p->bottleneck_bw, 10.0);
+  EXPECT_DOUBLE_EQ(p->total_latency, 5.0);
+}
+
+TEST(AStarPrune, PrefersWiderPathWithinLatency) {
+  TestNet net(3);
+  net.edge(0, 1, 2, 1);   // narrow direct
+  net.edge(0, 2, 10, 1);  // wide detour
+  net.edge(2, 1, 10, 1);
+  const auto p = net.route(0, 1, 1, 10);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(p->bottleneck_bw, 10.0);
+}
+
+TEST(AStarPrune, LatencyForbidsWideDetour) {
+  TestNet net(3);
+  net.edge(0, 1, 2, 1);    // narrow direct, fast
+  net.edge(0, 2, 10, 6);   // wide detour, slow
+  net.edge(2, 1, 10, 6);
+  const auto p = net.route(0, 1, 1, 5);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(p->bottleneck_bw, 2.0);
+}
+
+TEST(AStarPrune, BandwidthDemandPrunesEdges) {
+  TestNet net(3);
+  net.edge(0, 1, 2, 1);
+  net.edge(0, 2, 10, 1);
+  net.edge(2, 1, 10, 1);
+  // Demand 5 kills the direct edge even though it is latency-optimal.
+  const auto p = net.route(0, 1, 5, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->edges.size(), 2u);
+}
+
+TEST(AStarPrune, InfeasibleLatencyFails) {
+  TestNet net(2);
+  net.edge(0, 1, 10, 20);
+  EXPECT_FALSE(net.route(0, 1, 1, 10).has_value());
+}
+
+TEST(AStarPrune, InfeasibleBandwidthFails) {
+  TestNet net(2);
+  net.edge(0, 1, 3, 1);
+  EXPECT_FALSE(net.route(0, 1, 5, 100).has_value());
+}
+
+TEST(AStarPrune, DisconnectedFails) {
+  TestNet net(3);
+  net.edge(0, 1, 10, 1);
+  EXPECT_FALSE(net.route(0, 2, 1, 100).has_value());
+}
+
+TEST(AStarPrune, ExactLatencyBoundAccepted) {
+  TestNet net(3);
+  net.edge(0, 1, 10, 5);
+  net.edge(1, 2, 10, 5);
+  EXPECT_TRUE(net.route(0, 2, 1, 10).has_value());
+  EXPECT_FALSE(net.route(0, 2, 1, 9.999).has_value());
+}
+
+TEST(AStarPrune, ExactBandwidthDemandAccepted) {
+  TestNet net(2);
+  net.edge(0, 1, 5, 1);
+  EXPECT_TRUE(net.route(0, 1, 5.0, 10).has_value());
+}
+
+TEST(AStarPrune, ResultIsSimplePath) {
+  TestNet net(4);
+  net.edge(0, 1, 10, 1);
+  net.edge(1, 2, 10, 1);
+  net.edge(2, 3, 10, 1);
+  net.edge(0, 2, 1, 1);
+  net.edge(1, 3, 1, 1);
+  const auto p = net.route(0, 3, 5, 10);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(graph::path_is_simple(net.g, n(0), n(3), p->edges));
+}
+
+TEST(AStarPrune, PrecomputedLatencyBoundMatchesInternal) {
+  TestNet net(4);
+  net.edge(0, 1, 10, 1);
+  net.edge(1, 2, 8, 2);
+  net.edge(2, 3, 6, 3);
+  net.edge(0, 3, 4, 7);
+  const auto internal = net.route(0, 3, 1, 7);
+  const auto ar = graph::dijkstra(net.g, n(3), net.lat_fn()).dist;
+  AStarPruneOptions opts;
+  opts.lat_to_dest = &ar;
+  const auto external = net.route(0, 3, 1, 7, opts);
+  ASSERT_TRUE(internal.has_value());
+  ASSERT_TRUE(external.has_value());
+  EXPECT_EQ(internal->edges, external->edges);
+}
+
+// ---- Property sweeps against brute force on random graphs.
+
+struct SweepParam {
+  std::uint64_t seed;
+  bool prune_dominated;
+};
+
+class AStarPruneVsBruteForce
+    : public testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(AStarPruneVsBruteForce, FindsMaxBottleneckFeasiblePath) {
+  const auto [seed, prune] = GetParam();
+  hmn::util::Rng rng(static_cast<std::uint64_t>(seed) * 7919);
+  TestNet net(10);
+  net.g = topology::random_connected_graph(10, 0.3, rng);
+  for (std::size_t e = 0; e < net.g.edge_count(); ++e) {
+    net.bw.push_back(rng.uniform(1.0, 10.0));
+    net.lat.push_back(rng.uniform(0.5, 3.0));
+  }
+
+  AStarPruneOptions opts;
+  opts.prune_dominated = prune;
+  for (unsigned from = 0; from < 10; ++from) {
+    for (unsigned to = 0; to < 10; ++to) {
+      if (from == to) continue;
+      const double demand = rng.uniform(0.0, 8.0);
+      const double max_lat = rng.uniform(1.0, 8.0);
+      BruteForce ref{net, demand, max_lat};
+      ref.run(n(from), n(to));
+      const auto p = net.route(from, to, demand, max_lat, opts);
+      ASSERT_EQ(p.has_value(), ref.feasible)
+          << from << "->" << to << " demand=" << demand
+          << " max_lat=" << max_lat;
+      if (p.has_value()) {
+        // Optimal bottleneck, and internally consistent metrics.
+        EXPECT_NEAR(p->bottleneck_bw, ref.best_bottleneck, 1e-9);
+        EXPECT_TRUE(graph::path_is_simple(net.g, n(from), n(to), p->edges));
+        double lat = 0.0, bneck = kInf;
+        for (const EdgeId e : p->edges) {
+          lat += net.lat[e.index()];
+          bneck = std::min(bneck, net.bw[e.index()]);
+        }
+        EXPECT_NEAR(lat, p->total_latency, 1e-9);
+        EXPECT_NEAR(bneck, p->bottleneck_bw, 1e-9);
+        EXPECT_LE(lat, max_lat + 1e-9);
+        EXPECT_GE(bneck, demand - 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AStarPruneVsBruteForce,
+                         testing::Combine(testing::Range(1, 9),
+                                          testing::Bool()));
+
+// Dominance pruning must not change results (exactness of the Pareto
+// label store).
+TEST(AStarPrune, DominancePruningPreservesOptimum) {
+  hmn::util::Rng rng(4242);
+  for (int trial = 0; trial < 30; ++trial) {
+    TestNet net(12);
+    net.g = topology::random_connected_graph(12, 0.25, rng);
+    for (std::size_t e = 0; e < net.g.edge_count(); ++e) {
+      net.bw.push_back(rng.uniform(1.0, 10.0));
+      net.lat.push_back(rng.uniform(0.5, 3.0));
+    }
+    AStarPruneOptions with, without;
+    with.prune_dominated = true;
+    without.prune_dominated = false;
+    const double demand = rng.uniform(0.0, 5.0);
+    const double max_lat = rng.uniform(2.0, 9.0);
+    const auto a = net.route(0, 11, demand, max_lat, with);
+    const auto b = net.route(0, 11, demand, max_lat, without);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "trial " << trial;
+    if (a.has_value()) {
+      EXPECT_NEAR(a->bottleneck_bw, b->bottleneck_bw, 1e-9);
+    }
+  }
+}
+
+// ---- General K-shortest-paths A*Prune.
+
+TEST(AStarPruneKsp, EnumeratesInLengthOrder) {
+  TestNet net(4);
+  net.edge(0, 1, 1, 1);  // lengths: 0-1-3 = 3, 0-2-3 = 5, 0-1-2-3? no edge
+  net.edge(1, 3, 1, 2);
+  net.edge(0, 2, 1, 2);
+  net.edge(2, 3, 1, 3);
+  const auto paths =
+      astar_prune_ksp(net.g, n(0), n(3), 5, net.lat_fn(), {});
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[0].total_latency, 3.0);
+  EXPECT_DOUBLE_EQ(paths[1].total_latency, 5.0);
+}
+
+TEST(AStarPruneKsp, KZeroEmpty) {
+  TestNet net(2);
+  net.edge(0, 1, 1, 1);
+  EXPECT_TRUE(astar_prune_ksp(net.g, n(0), n(1), 0, net.lat_fn(), {}).empty());
+}
+
+TEST(AStarPruneKsp, SameNodeTrivialPath) {
+  TestNet net(1);
+  const auto paths = astar_prune_ksp(net.g, n(0), n(0), 3, net.lat_fn(), {});
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].edges.empty());
+}
+
+TEST(AStarPruneKsp, ConstraintPrunesPaths) {
+  TestNet net(3);
+  net.edge(0, 1, 1, 1);
+  net.edge(1, 2, 1, 1);
+  net.edge(0, 2, 1, 5);
+  // Additive constraint: "cost" of 1 per edge, bounded at 1 -> only the
+  // direct (single-edge) path qualifies, despite larger length.
+  graph::AdditiveConstraint cost;
+  cost.weight.assign(net.g.edge_count(), 1.0);
+  cost.bound = 1.0;
+  const auto paths =
+      astar_prune_ksp(net.g, n(0), n(2), 5, net.lat_fn(), {cost});
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].edges.size(), 1u);
+}
+
+TEST(AStarPruneKsp, MatchesBruteForceEnumeration) {
+  // Property: on random graphs, the K shortest constrained paths match an
+  // exhaustive enumeration of all simple paths, sorted by length, after
+  // filtering by the additive constraint.
+  hmn::util::Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    TestNet net(8);
+    net.g = topology::random_connected_graph(8, 0.35, rng);
+    std::vector<double> cost(net.g.edge_count());
+    for (std::size_t e = 0; e < net.g.edge_count(); ++e) {
+      net.bw.push_back(1.0);
+      net.lat.push_back(rng.uniform(0.5, 3.0));
+      cost[e] = rng.uniform(0.1, 2.0);
+    }
+    graph::AdditiveConstraint constraint{cost, rng.uniform(2.0, 6.0)};
+
+    // Brute force: every simple 0->7 path whose cost fits, lengths sorted.
+    std::vector<double> lengths;
+    std::vector<bool> visited(8, false);
+    auto rec = [&](auto&& self, NodeId u, double len, double acc) -> void {
+      if (u == n(7)) {
+        lengths.push_back(len);
+        return;
+      }
+      for (const auto& adj : net.g.neighbors(u)) {
+        if (visited[adj.neighbor.index()]) continue;
+        const double nacc = acc + cost[adj.edge.index()];
+        if (nacc > constraint.bound) continue;
+        visited[adj.neighbor.index()] = true;
+        self(self, adj.neighbor, len + net.lat[adj.edge.index()], nacc);
+        visited[adj.neighbor.index()] = false;
+      }
+    };
+    visited[0] = true;
+    rec(rec, n(0), 0.0, 0.0);
+    std::sort(lengths.begin(), lengths.end());
+
+    const std::size_t k = std::min<std::size_t>(6, lengths.size() + 1);
+    const auto paths =
+        astar_prune_ksp(net.g, n(0), n(7), k, net.lat_fn(), {constraint});
+    ASSERT_EQ(paths.size(), std::min(k, lengths.size())) << "trial " << trial;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      EXPECT_NEAR(paths[i].total_latency, lengths[i], 1e-9)
+          << "trial " << trial << " path " << i;
+      // Constraint really holds on the returned edges.
+      double acc = 0.0;
+      for (const EdgeId e : paths[i].edges) acc += cost[e.index()];
+      EXPECT_LE(acc, constraint.bound + 1e-9);
+    }
+  }
+}
+
+TEST(AStarPruneKsp, AllPathsSimpleAndSorted) {
+  hmn::util::Rng rng(99);
+  TestNet net(9);
+  net.g = topology::random_connected_graph(9, 0.4, rng);
+  for (std::size_t e = 0; e < net.g.edge_count(); ++e) {
+    net.bw.push_back(1.0);
+    net.lat.push_back(rng.uniform(0.5, 2.0));
+  }
+  const auto paths =
+      astar_prune_ksp(net.g, n(0), n(8), 10, net.lat_fn(), {});
+  ASSERT_FALSE(paths.empty());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_TRUE(graph::path_is_simple(net.g, n(0), n(8), paths[i].edges));
+    if (i > 0) {
+      EXPECT_GE(paths[i].total_latency, paths[i - 1].total_latency);
+    }
+  }
+  // Distinct paths.
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i].edges, paths[j].edges);
+    }
+  }
+}
+
+}  // namespace

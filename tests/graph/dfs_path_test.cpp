@@ -1,0 +1,214 @@
+// Tests for the constrained and naive DFS path searches (the baselines'
+// path-mapping algorithms).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/dfs_path.h"
+#include "topology/topologies.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hmn;
+using graph::DfsOptions;
+using graph::Graph;
+using graph::dfs_find_path;
+using graph::dfs_first_path;
+
+NodeId n(unsigned v) { return NodeId{v}; }
+
+struct TestNet {
+  Graph g;
+  std::vector<double> bw;
+  std::vector<double> lat;
+
+  explicit TestNet(std::size_t nodes) : g(nodes) {}
+  void edge(unsigned a, unsigned b, double bandwidth, double latency) {
+    g.add_edge(n(a), n(b));
+    bw.push_back(bandwidth);
+    lat.push_back(latency);
+  }
+  auto bw_fn() const {
+    return [this](EdgeId e) { return bw[e.index()]; };
+  }
+  auto lat_fn() const {
+    return [this](EdgeId e) { return lat[e.index()]; };
+  }
+};
+
+TEST(DfsFindPath, SameNodeEmptyPath) {
+  TestNet net(1);
+  const auto p =
+      dfs_find_path(net.g, n(0), n(0), 1, 10, net.bw_fn(), net.lat_fn());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->edges.empty());
+}
+
+TEST(DfsFindPath, FindsFeasiblePath) {
+  TestNet net(3);
+  net.edge(0, 1, 10, 1);
+  net.edge(1, 2, 10, 1);
+  const auto p =
+      dfs_find_path(net.g, n(0), n(2), 5, 10, net.bw_fn(), net.lat_fn());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(p->total_latency, 2.0);
+  EXPECT_DOUBLE_EQ(p->bottleneck_bw, 10.0);
+}
+
+TEST(DfsFindPath, BacktracksAroundBandwidthHole) {
+  TestNet net(4);
+  net.edge(0, 1, 1, 1);   // too narrow for demand 5
+  net.edge(1, 3, 10, 1);
+  net.edge(0, 2, 10, 1);
+  net.edge(2, 3, 10, 1);
+  const auto p =
+      dfs_find_path(net.g, n(0), n(3), 5, 10, net.bw_fn(), net.lat_fn());
+  ASSERT_TRUE(p.has_value());
+  for (const EdgeId e : p->edges) EXPECT_GE(net.bw[e.index()], 5.0);
+}
+
+TEST(DfsFindPath, LatencyPruningForcesShortRoute) {
+  TestNet net(4);
+  net.edge(0, 1, 10, 6);  // 0-1-3 costs 12 > bound
+  net.edge(1, 3, 10, 6);
+  net.edge(0, 2, 10, 2);  // 0-2-3 costs 4
+  net.edge(2, 3, 10, 2);
+  const auto p =
+      dfs_find_path(net.g, n(0), n(3), 1, 5, net.bw_fn(), net.lat_fn());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_LE(p->total_latency, 5.0);
+}
+
+TEST(DfsFindPath, InfeasibleReturnsNullopt) {
+  TestNet net(2);
+  net.edge(0, 1, 1, 1);
+  EXPECT_FALSE(dfs_find_path(net.g, n(0), n(1), 5, 10, net.bw_fn(),
+                             net.lat_fn()).has_value());
+  EXPECT_FALSE(dfs_find_path(net.g, n(0), n(1), 0.5, 0.5, net.bw_fn(),
+                             net.lat_fn()).has_value());
+}
+
+TEST(DfsFindPath, ExpansionBudgetTruncates) {
+  // A long chain: with a 1-expansion budget the search cannot reach the
+  // far end.
+  TestNet net(10);
+  for (unsigned i = 0; i + 1 < 10; ++i) net.edge(i, i + 1, 10, 1);
+  DfsOptions opts;
+  opts.max_expansions = 1;
+  EXPECT_FALSE(dfs_find_path(net.g, n(0), n(9), 1, 100, net.bw_fn(),
+                             net.lat_fn(), opts).has_value());
+  opts.max_expansions = 0;  // unlimited
+  EXPECT_TRUE(dfs_find_path(net.g, n(0), n(9), 1, 100, net.bw_fn(),
+                            net.lat_fn(), opts).has_value());
+}
+
+TEST(DfsFindPath, RandomizedStillFeasible) {
+  hmn::util::Rng rng(7);
+  TestNet net(8);
+  net.g = topology::random_connected_graph(8, 0.4, rng);
+  for (std::size_t e = 0; e < net.g.edge_count(); ++e) {
+    net.bw.push_back(rng.uniform(1, 10));
+    net.lat.push_back(rng.uniform(0.5, 2));
+  }
+  DfsOptions opts;
+  opts.rng = &rng;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto p = dfs_find_path(net.g, n(0), n(7), 0.5, 20.0, net.bw_fn(),
+                                 net.lat_fn(), opts);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(graph::path_is_simple(net.g, n(0), n(7), p->edges));
+    EXPECT_LE(p->total_latency, 20.0);
+    EXPECT_GE(p->bottleneck_bw, 0.5);
+  }
+}
+
+TEST(DfsFirstPath, FindsAPathIgnoringConstraints) {
+  TestNet net(3);
+  net.edge(0, 1, 0.1, 100);  // violates nothing during a naive search
+  net.edge(1, 2, 0.1, 100);
+  const auto p = dfs_first_path(net.g, n(0), n(2), net.bw_fn(), net.lat_fn());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(p->total_latency, 200.0);
+  EXPECT_DOUBLE_EQ(p->bottleneck_bw, 0.1);
+}
+
+TEST(DfsFirstPath, SameNodeEmpty) {
+  TestNet net(1);
+  const auto p = dfs_first_path(net.g, n(0), n(0), net.bw_fn(), net.lat_fn());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->edges.empty());
+}
+
+TEST(DfsFirstPath, DisconnectedFails) {
+  TestNet net(2);
+  EXPECT_FALSE(
+      dfs_first_path(net.g, n(0), n(1), net.bw_fn(), net.lat_fn()).has_value());
+}
+
+TEST(DfsFirstPath, SimplePathAlways) {
+  hmn::util::Rng rng(31);
+  TestNet net(12);
+  net.g = topology::random_connected_graph(12, 0.3, rng);
+  net.bw.assign(net.g.edge_count(), 1.0);
+  net.lat.assign(net.g.edge_count(), 1.0);
+  DfsOptions opts;
+  opts.rng = &rng;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto p =
+        dfs_first_path(net.g, n(0), n(11), net.bw_fn(), net.lat_fn(), opts);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(graph::path_is_simple(net.g, n(0), n(11), p->edges));
+  }
+}
+
+TEST(DfsFirstPath, StarTopologyAlwaysTwoHops) {
+  // On a star (every wrong host is a dead end), the first path found is the
+  // direct 2-hop route — the mechanism that makes the paper's DFS baseline
+  // succeed on switched clusters.
+  const auto topo = topology::star(10);
+  std::vector<double> bw(topo.graph.edge_count(), 1.0);
+  std::vector<double> lat(topo.graph.edge_count(), 1.0);
+  auto bw_fn = [&](EdgeId e) { return bw[e.index()]; };
+  auto lat_fn = [&](EdgeId e) { return lat[e.index()]; };
+  hmn::util::Rng rng(5);
+  DfsOptions opts;
+  opts.rng = &rng;
+  for (unsigned a = 0; a < 10; ++a) {
+    for (unsigned b = 0; b < 10; ++b) {
+      if (a == b) continue;
+      const auto p =
+          dfs_first_path(topo.graph, n(a), n(b), bw_fn, lat_fn, opts);
+      ASSERT_TRUE(p.has_value());
+      EXPECT_EQ(p->edges.size(), 2u);
+    }
+  }
+}
+
+TEST(DfsFirstPath, TorusWandersBeyondShortest) {
+  // On a torus the naive first path is usually much longer than the
+  // shortest path — the mechanism behind the paper's torus failures.
+  const auto topo = topology::torus_2d(5, 8);
+  std::vector<double> bw(topo.graph.edge_count(), 1.0);
+  std::vector<double> lat(topo.graph.edge_count(), 1.0);
+  auto bw_fn = [&](EdgeId e) { return bw[e.index()]; };
+  auto lat_fn = [&](EdgeId e) { return lat[e.index()]; };
+  hmn::util::Rng rng(17);
+  DfsOptions opts;
+  opts.rng = &rng;
+  double total_len = 0.0;
+  constexpr int kTrials = 100;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto p =
+        dfs_first_path(topo.graph, n(0), n(22), bw_fn, lat_fn, opts);
+    ASSERT_TRUE(p.has_value());
+    total_len += static_cast<double>(p->edges.size());
+  }
+  // Shortest path 0 -> 22 is a handful of hops; the naive DFS average
+  // should be far above it.
+  EXPECT_GT(total_len / kTrials, 8.0);
+}
+
+}  // namespace

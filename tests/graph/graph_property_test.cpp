@@ -1,0 +1,100 @@
+// Property sweeps over the graph container and helpers on random graphs.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+#include "topology/topologies.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hmn;
+using graph::Graph;
+
+class GraphProperty : public testing::TestWithParam<int> {
+ protected:
+  Graph random_graph(util::Rng& rng, std::size_t n, double density) {
+    return topology::random_connected_graph(n, density, rng);
+  }
+};
+
+TEST_P(GraphProperty, AdjacencyIsSymmetric) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31);
+  const Graph g = random_graph(rng, 20, 0.2);
+  for (std::size_t v = 0; v < g.node_count(); ++v) {
+    const auto node = NodeId{static_cast<NodeId::underlying_type>(v)};
+    for (const graph::Adjacency& adj : g.neighbors(node)) {
+      // The neighbor must list us back through the same edge.
+      bool found = false;
+      for (const graph::Adjacency& back : g.neighbors(adj.neighbor)) {
+        found |= back.edge == adj.edge && back.neighbor == node;
+      }
+      EXPECT_TRUE(found) << "edge " << adj.edge.value();
+    }
+  }
+}
+
+TEST_P(GraphProperty, DegreeSumEqualsTwiceEdges) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 37);
+  const Graph g = random_graph(rng, 25, 0.15);
+  std::size_t degree_sum = 0;
+  for (std::size_t v = 0; v < g.node_count(); ++v) {
+    degree_sum += g.degree(NodeId{static_cast<NodeId::underlying_type>(v)});
+  }
+  EXPECT_EQ(degree_sum, 2 * g.edge_count());
+}
+
+TEST_P(GraphProperty, ComponentCountMatchesUnionFind) {
+  // Cross-check the BFS component count against a union-find built from
+  // the edge list, on a deliberately disconnected graph.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 41);
+  Graph g(30);
+  for (int e = 0; e < 25; ++e) {
+    g.add_edge(NodeId{static_cast<NodeId::underlying_type>(rng.index(30))},
+               NodeId{static_cast<NodeId::underlying_type>(rng.index(30))});
+  }
+  std::vector<std::size_t> parent(30);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const auto ep = g.endpoints(EdgeId{static_cast<EdgeId::underlying_type>(e)});
+    parent[find(ep.a.index())] = find(ep.b.index());
+  }
+  std::set<std::size_t> roots;
+  for (std::size_t v = 0; v < 30; ++v) roots.insert(find(v));
+  EXPECT_EQ(g.component_count(), roots.size());
+  EXPECT_EQ(g.connected(), roots.size() <= 1);
+}
+
+TEST_P(GraphProperty, DijkstraPathsRoundTripThroughHelpers) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 43);
+  const Graph g = random_graph(rng, 18, 0.25);
+  std::vector<double> w(g.edge_count());
+  for (auto& x : w) x = rng.uniform(0.5, 4.0);
+  const auto sp = graph::dijkstra(g, NodeId{0},
+                                  [&](EdgeId e) { return w[e.index()]; });
+  for (unsigned t = 1; t < 18; ++t) {
+    const auto target = NodeId{t};
+    const auto path = graph::extract_path(g, sp, NodeId{0}, target);
+    // path_nodes starts at the origin and ends at the target...
+    const auto nodes = graph::path_nodes(g, NodeId{0}, path);
+    EXPECT_EQ(nodes.front(), NodeId{0});
+    EXPECT_EQ(nodes.back(), target);
+    EXPECT_EQ(nodes.size(), path.size() + 1);
+    // ...and the walk is simple.
+    EXPECT_TRUE(graph::path_is_simple(g, NodeId{0}, target, path));
+    // Node list has no duplicates (simplicity double-check).
+    std::set<NodeId> unique(nodes.begin(), nodes.end());
+    EXPECT_EQ(unique.size(), nodes.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphProperty, testing::Range(1, 9));
+
+}  // namespace

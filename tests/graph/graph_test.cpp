@@ -1,0 +1,191 @@
+// Tests for the core graph container and path helpers.
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "topology/topologies.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hmn;
+using graph::Graph;
+
+NodeId n(unsigned v) { return NodeId{v}; }
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.connected());  // vacuously
+  EXPECT_EQ(g.component_count(), 0u);
+}
+
+TEST(Graph, AddNodesSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), n(0));
+  EXPECT_EQ(g.add_node(), n(1));
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(Graph, PreallocatedNodes) {
+  Graph g(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.add_node(), n(5));
+}
+
+TEST(Graph, AddEdgeUpdatesBothAdjacencies) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(n(0), n(2));
+  EXPECT_EQ(g.edge_count(), 1u);
+  ASSERT_EQ(g.neighbors(n(0)).size(), 1u);
+  EXPECT_EQ(g.neighbors(n(0))[0].neighbor, n(2));
+  EXPECT_EQ(g.neighbors(n(0))[0].edge, e);
+  ASSERT_EQ(g.neighbors(n(2)).size(), 1u);
+  EXPECT_EQ(g.neighbors(n(2))[0].neighbor, n(0));
+  EXPECT_TRUE(g.neighbors(n(1)).empty());
+}
+
+TEST(Graph, EndpointsAndOther) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(n(0), n(1));
+  const auto ep = g.endpoints(e);
+  EXPECT_EQ(ep.a, n(0));
+  EXPECT_EQ(ep.b, n(1));
+  EXPECT_EQ(ep.other(n(0)), n(1));
+  EXPECT_EQ(ep.other(n(1)), n(0));
+}
+
+TEST(Graph, FindEdge) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(n(0), n(1));
+  EXPECT_EQ(g.find_edge(n(0), n(1)), e);
+  EXPECT_EQ(g.find_edge(n(1), n(0)), e);
+  EXPECT_FALSE(g.find_edge(n(0), n(2)).valid());
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g(2);
+  const EdgeId e1 = g.add_edge(n(0), n(1));
+  const EdgeId e2 = g.add_edge(n(0), n(1));
+  EXPECT_NE(e1, e2);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(n(0)), 2u);
+}
+
+TEST(Graph, SelfLoopSingleAdjacencyEntry) {
+  Graph g(1);
+  g.add_edge(n(0), n(0));
+  EXPECT_EQ(g.degree(n(0)), 1u);
+}
+
+TEST(Graph, ConnectivityAndComponents) {
+  Graph g(4);
+  g.add_edge(n(0), n(1));
+  g.add_edge(n(2), n(3));
+  EXPECT_FALSE(g.connected());
+  EXPECT_EQ(g.component_count(), 2u);
+  g.add_edge(n(1), n(2));
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.component_count(), 1u);
+}
+
+TEST(Graph, DensityComplete) {
+  Graph g(4);
+  for (unsigned i = 0; i < 4; ++i) {
+    for (unsigned j = i + 1; j < 4; ++j) g.add_edge(n(i), n(j));
+  }
+  EXPECT_DOUBLE_EQ(g.density(), 1.0);
+}
+
+TEST(Graph, DensityDegenerate) {
+  EXPECT_DOUBLE_EQ(Graph(0).density(), 0.0);
+  EXPECT_DOUBLE_EQ(Graph(1).density(), 0.0);
+}
+
+TEST(PathHelpers, PathNodesWalksEdges) {
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(n(0), n(1));
+  const EdgeId e12 = g.add_edge(n(1), n(2));
+  const EdgeId e23 = g.add_edge(n(2), n(3));
+  const auto nodes = graph::path_nodes(g, n(0), {e01, e12, e23});
+  EXPECT_EQ(nodes, (std::vector<NodeId>{n(0), n(1), n(2), n(3)}));
+}
+
+TEST(PathHelpers, EmptyPathIsOriginOnly) {
+  Graph g(1);
+  const auto nodes = graph::path_nodes(g, n(0), {});
+  EXPECT_EQ(nodes, std::vector<NodeId>{n(0)});
+}
+
+TEST(PathHelpers, SimplePathAccepted) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(n(0), n(1));
+  const EdgeId e12 = g.add_edge(n(1), n(2));
+  EXPECT_TRUE(graph::path_is_simple(g, n(0), n(2), {e01, e12}));
+}
+
+TEST(PathHelpers, WrongDestinationRejected) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(n(0), n(1));
+  EXPECT_FALSE(graph::path_is_simple(g, n(0), n(2), {e01}));
+}
+
+TEST(PathHelpers, NonChainingRejected) {
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(n(0), n(1));
+  const EdgeId e23 = g.add_edge(n(2), n(3));
+  EXPECT_FALSE(graph::path_is_simple(g, n(0), n(3), {e01, e23}));
+}
+
+TEST(PathHelpers, LoopRejected) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(n(0), n(1));
+  const EdgeId e12 = g.add_edge(n(1), n(2));
+  const EdgeId e20 = g.add_edge(n(2), n(0));
+  const EdgeId e01b = g.add_edge(n(0), n(1));
+  // 0-1-2-0-1: revisits nodes 0 and 1.
+  EXPECT_FALSE(graph::path_is_simple(g, n(0), n(1), {e01, e12, e20, e01b}));
+}
+
+TEST(PathHelpers, EmptyPathSimpleIffSameNode) {
+  Graph g(2);
+  EXPECT_TRUE(graph::path_is_simple(g, n(0), n(0), {}));
+  EXPECT_FALSE(graph::path_is_simple(g, n(0), n(1), {}));
+}
+
+// ---- Property sweep: random connected graphs are what they claim to be.
+
+class RandomGraphProperty : public testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(RandomGraphProperty, ConnectedWithRequestedDensity) {
+  const auto [nodes, density] = GetParam();
+  hmn::util::Rng rng(static_cast<std::uint64_t>(nodes * 1000) +
+                     static_cast<std::uint64_t>(density * 1e4));
+  const Graph g = topology::random_connected_graph(
+      static_cast<std::size_t>(nodes), density, rng);
+  EXPECT_EQ(g.node_count(), static_cast<std::size_t>(nodes));
+  EXPECT_TRUE(g.connected());
+  const double max_edges = nodes * (nodes - 1) / 2.0;
+  const double target = density * max_edges;
+  const double tree_edges = nodes - 1.0;
+  // Density is met exactly when it exceeds the spanning tree's edge count;
+  // otherwise the tree is the sparsest connected graph.
+  const double expected = std::max(target, tree_edges);
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, 1.0);
+  // No duplicate edges or self-loops.
+  std::set<std::pair<unsigned, unsigned>> seen;
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    auto ep = g.endpoints(EdgeId{static_cast<EdgeId::underlying_type>(e)});
+    const std::pair<unsigned, unsigned> key{std::min(ep.a.value(), ep.b.value()),
+                                            std::max(ep.a.value(), ep.b.value())};
+    EXPECT_NE(ep.a, ep.b);
+    EXPECT_TRUE(seen.insert(key).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomGraphProperty,
+    testing::Combine(testing::Values(2, 10, 40, 100, 400),
+                     testing::Values(0.01, 0.015, 0.025, 0.1, 0.5)));
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Cross-module property suite: every mapper in the library, on randomized
+// instances spanning topologies and workloads, must either fail with a
+// typed error or produce a mapping that satisfies every formal constraint
+// (Eqs. 1-9) under the independent validator — plus mapper-specific
+// invariants (objective consistency, stage accounting).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/composite_mappers.h"
+#include "core/hmn_mapper.h"
+#include "core/objective.h"
+#include "core/validator.h"
+#include "extensions/greedy_rank_mapper.h"
+#include "extensions/min_hosts_mapper.h"
+#include "workload/host_generator.h"
+#include "workload/scenario.h"
+#include "workload/venv_generator.h"
+
+namespace {
+
+using namespace hmn;
+
+enum class MapperKind { kHmn, kHmnNoMigration, kR, kRA, kHS, kMinHosts, kGreedyRank };
+
+const char* kind_name(MapperKind k) {
+  switch (k) {
+    case MapperKind::kHmn: return "HMN";
+    case MapperKind::kHmnNoMigration: return "HN";
+    case MapperKind::kR: return "R";
+    case MapperKind::kRA: return "RA";
+    case MapperKind::kHS: return "HS";
+    case MapperKind::kMinHosts: return "MinHosts";
+    case MapperKind::kGreedyRank: return "GreedyRank";
+  }
+  return "?";
+}
+
+core::MapperPtr make_mapper(MapperKind k) {
+  baselines::BaselineOptions opts;
+  opts.max_tries = 30;
+  switch (k) {
+    case MapperKind::kHmn:
+      return std::make_unique<core::HmnMapper>();
+    case MapperKind::kHmnNoMigration: {
+      core::HmnOptions h;
+      h.enable_migration = false;
+      return std::make_unique<core::HmnMapper>(h);
+    }
+    case MapperKind::kR:
+      return std::make_unique<baselines::RandomDfsMapper>(opts);
+    case MapperKind::kRA:
+      return std::make_unique<baselines::RandomAStarMapper>(opts);
+    case MapperKind::kHS:
+      return std::make_unique<baselines::HostingSearchMapper>(opts);
+    case MapperKind::kMinHosts:
+      return std::make_unique<extensions::MinHostsMapper>();
+    case MapperKind::kGreedyRank:
+      return std::make_unique<extensions::GreedyRankMapper>();
+  }
+  return nullptr;
+}
+
+enum class TopoKind { kTorus, kSwitched, kRing, kHypercube, kRandom };
+
+topology::Topology make_topology(TopoKind k, util::Rng& rng) {
+  switch (k) {
+    case TopoKind::kTorus: return topology::torus_2d(4, 4);
+    case TopoKind::kSwitched: return topology::switched(16, 8);
+    case TopoKind::kRing: return topology::ring(16);
+    case TopoKind::kHypercube: return topology::hypercube(4);
+    case TopoKind::kRandom: return topology::random_cluster(16, 0.25, rng);
+  }
+  return {};
+}
+
+const char* topo_name(TopoKind k) {
+  switch (k) {
+    case TopoKind::kTorus: return "torus";
+    case TopoKind::kSwitched: return "switched";
+    case TopoKind::kRing: return "ring";
+    case TopoKind::kHypercube: return "hypercube";
+    case TopoKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+using Param = std::tuple<MapperKind, TopoKind, int>;
+
+class MapperValidity : public testing::TestWithParam<Param> {};
+
+TEST_P(MapperValidity, OutcomeIsValidOrTypedFailure) {
+  const auto [mapper_kind, topo_kind, seed_int] = GetParam();
+  const auto seed = static_cast<std::uint64_t>(seed_int);
+  util::Rng rng(util::derive_seed(777, seed));
+
+  auto topo = make_topology(topo_kind, rng);
+  const std::size_t hosts = topo.host_count();
+  auto caps = workload::generate_hosts(
+      hosts, workload::paper_host_profile(), rng);
+  const auto cluster = model::PhysicalCluster::build(
+      std::move(topo), std::move(caps), workload::paper_link_props());
+
+  workload::VenvGenOptions vopts;
+  vopts.guest_count = hosts * (1 + rng.index(6));  // 1:1 to 6:1
+  vopts.density = rng.uniform(0.01, 0.1);
+  vopts.profile = rng.chance(0.5) ? workload::high_level_profile()
+                                  : workload::low_level_profile();
+  vopts.normalize_to = &cluster;
+  const auto venv = workload::generate_venv(vopts, rng);
+
+  const auto mapper = make_mapper(mapper_kind);
+  const auto out = mapper->map(cluster, venv, seed);
+
+  if (!out.ok()) {
+    // Failure must be typed and explained; partial results absent.
+    EXPECT_NE(out.error, core::MapErrorCode::kNone)
+        << kind_name(mapper_kind) << " on " << topo_name(topo_kind);
+    EXPECT_FALSE(out.detail.empty());
+    return;
+  }
+
+  // Validity under the independent checker.
+  const auto report = core::validate_mapping(cluster, venv, *out.mapping);
+  ASSERT_TRUE(report.ok())
+      << kind_name(mapper_kind) << " on " << topo_name(topo_kind) << " seed "
+      << seed << ":\n"
+      << report.summary();
+
+  // Structural invariants.
+  EXPECT_EQ(out.mapping->guest_host.size(), venv.guest_count());
+  EXPECT_EQ(out.mapping->link_paths.size(), venv.link_count());
+  EXPECT_EQ(out.stats.links_routed,
+            out.mapping->inter_host_link_count(venv));
+  EXPECT_GE(core::load_balance_factor(cluster, venv, *out.mapping), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MapperValidity,
+    testing::Combine(testing::Values(MapperKind::kHmn,
+                                     MapperKind::kHmnNoMigration,
+                                     MapperKind::kR, MapperKind::kRA,
+                                     MapperKind::kHS, MapperKind::kMinHosts,
+                                     MapperKind::kGreedyRank),
+                     testing::Values(TopoKind::kTorus, TopoKind::kSwitched,
+                                     TopoKind::kRing, TopoKind::kHypercube,
+                                     TopoKind::kRandom),
+                     testing::Range(1, 4)),
+    [](const testing::TestParamInfo<Param>& param_info) {
+      return std::string(kind_name(std::get<0>(param_info.param))) + "_" +
+             topo_name(std::get<1>(param_info.param)) + "_s" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+// The A*Prune-based mappers must succeed on every paper scenario instance
+// that the generator normalizes for feasibility (the paper's near-zero
+// failure counts for HMN and RA).
+class PaperScenarioSolvability
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PaperScenarioSolvability, HmnAndRaSolveNormalizedInstances) {
+  const auto [scenario_idx, cluster_kind] = GetParam();
+  const auto scenarios = workload::paper_scenarios();
+  const auto& scenario = scenarios[static_cast<std::size_t>(scenario_idx)];
+  const auto kind = cluster_kind == 0 ? workload::ClusterKind::kTorus2D
+                                      : workload::ClusterKind::kSwitched;
+  const auto cluster = workload::make_paper_cluster(kind, 4040);
+  const auto venv = workload::make_scenario_venv(scenario, cluster, 5050);
+
+  const core::HmnMapper hmn_mapper;
+  const auto out = hmn_mapper.map(cluster, venv, 1);
+  ASSERT_TRUE(out.ok()) << scenario.label() << ": " << out.detail;
+  EXPECT_TRUE(core::validate_mapping(cluster, venv, *out.mapping).ok());
+
+  baselines::BaselineOptions opts;
+  opts.max_tries = 50;
+  const baselines::RandomAStarMapper ra(opts);
+  const auto out_ra = ra.map(cluster, venv, 2);
+  ASSERT_TRUE(out_ra.ok()) << scenario.label() << ": " << out_ra.detail;
+  EXPECT_TRUE(core::validate_mapping(cluster, venv, *out_ra.mapping).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, PaperScenarioSolvability,
+                         testing::Combine(testing::Range(0, 16),
+                                          testing::Range(0, 2)));
+
+}  // namespace

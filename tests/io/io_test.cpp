@@ -1,0 +1,116 @@
+// Tests for DOT and JSON serialization.
+#include <gtest/gtest.h>
+
+#include "core/hmn_mapper.h"
+#include "io/dot.h"
+#include "io/json.h"
+#include "testing/fixtures.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+
+struct IoFixture : testing::Test {
+  model::PhysicalCluster cluster =
+      model::PhysicalCluster::build(topology::star(2),
+                                    {{1000, 1024, 512}, {2000, 2048, 1024}},
+                                    model::LinkProps{100.0, 5.0});
+  model::VirtualEnvironment venv;
+  core::Mapping mapping;
+
+  void SetUp() override {
+    const GuestId a = venv.add_guest({75, 192, 150});
+    const GuestId b = venv.add_guest({50, 128, 100});
+    venv.add_link(a, b, {0.75, 45.0});
+    mapping.guest_host = {n(0), n(1)};
+    mapping.link_paths = {{EdgeId{0}, EdgeId{1}}};
+  }
+};
+
+TEST_F(IoFixture, ClusterDotHasNodesAndEdges) {
+  const std::string dot = io::to_dot(cluster);
+  EXPECT_NE(dot.find("graph cluster {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 [shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("n2 [shape=diamond"), std::string::npos);  // switch
+  EXPECT_NE(dot.find("n0 -- n2"), std::string::npos);
+  EXPECT_NE(dot.find("100Mbps/5ms"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST_F(IoFixture, VenvDotHasGuestsAndLinks) {
+  const std::string dot = io::to_dot(venv);
+  EXPECT_NE(dot.find("g0"), std::string::npos);
+  EXPECT_NE(dot.find("g0 -- g1"), std::string::npos);
+  EXPECT_NE(dot.find("0.75"), std::string::npos);
+}
+
+TEST_F(IoFixture, MappingDotGroupsGuestsByHost) {
+  const std::string dot = io::to_dot(cluster, venv, mapping);
+  EXPECT_NE(dot.find("subgraph cluster_h0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_h1"), std::string::npos);
+  EXPECT_NE(dot.find("1 vlinks"), std::string::npos);
+}
+
+TEST_F(IoFixture, ClusterJsonWellFormedFields) {
+  const std::string j = io::to_json(cluster);
+  EXPECT_NE(j.find("\"role\":\"host\""), std::string::npos);
+  EXPECT_NE(j.find("\"role\":\"switch\""), std::string::npos);
+  EXPECT_NE(j.find("\"proc_mips\":1000"), std::string::npos);
+  EXPECT_NE(j.find("\"bw_mbps\":100"), std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+TEST_F(IoFixture, VenvJsonHasGuestsAndLinks) {
+  const std::string j = io::to_json(venv);
+  EXPECT_NE(j.find("\"vproc_mips\":75"), std::string::npos);
+  EXPECT_NE(j.find("\"vbw_mbps\":0.75"), std::string::npos);
+  EXPECT_NE(j.find("\"src\":0"), std::string::npos);
+}
+
+TEST_F(IoFixture, MappingJsonRoundStructure) {
+  const std::string j = io::to_json(mapping);
+  EXPECT_EQ(j, "{\"guest_host\":[0,1],\"link_paths\":[[0,1]]}");
+}
+
+TEST_F(IoFixture, OutcomeJsonSuccess) {
+  core::MapOutcome out;
+  out.mapping = mapping;
+  out.stats.links_routed = 1;
+  const std::string j = io::to_json(out);
+  EXPECT_NE(j.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(j.find("\"links_routed\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"mapping\":{"), std::string::npos);
+}
+
+TEST_F(IoFixture, OutcomeJsonFailure) {
+  const auto out = core::MapOutcome::failure(
+      core::MapErrorCode::kHostingFailed, "detail \"quoted\"");
+  const std::string j = io::to_json(out);
+  EXPECT_NE(j.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(j.find("hosting failed"), std::string::npos);
+  EXPECT_NE(j.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(j.find("\"mapping\""), std::string::npos);
+}
+
+TEST_F(IoFixture, RecordsJsonIsArray) {
+  std::vector<expfw::RunRecord> records(2);
+  records[0].mapper = "HMN";
+  records[0].ok = true;
+  records[0].objective = 42.5;
+  records[1].mapper = "R";
+  records[1].ok = false;
+  const std::string j = io::to_json(records);
+  EXPECT_EQ(j.front(), '[');
+  EXPECT_EQ(j.back(), ']');
+  EXPECT_NE(j.find("\"mapper\":\"HMN\""), std::string::npos);
+  EXPECT_NE(j.find("\"objective\":42.5"), std::string::npos);
+  EXPECT_NE(j.find("\"ok\":false"), std::string::npos);
+}
+
+TEST_F(IoFixture, EmptyRecordsIsEmptyArray) {
+  EXPECT_EQ(io::to_json(std::vector<expfw::RunRecord>{}), "[]");
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Tests for the mapping loader and its round-trip with the writer.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/hmn_mapper.h"
+#include "core/validator.h"
+#include "io/json.h"
+#include "io/spec.h"
+#include "testing/fixtures.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+
+TEST(MappingLoader, RoundTripsBareMapping) {
+  core::Mapping m;
+  m.guest_host = {n(0), n(3), n(1)};
+  m.link_paths = {{EdgeId{0}, EdgeId{2}}, {}};
+  auto loaded_or = io::load_mapping_json(io::to_json(m));
+  ASSERT_TRUE(std::holds_alternative<core::Mapping>(loaded_or))
+      << std::get<io::SpecError>(loaded_or).message;
+  const auto& loaded = std::get<core::Mapping>(loaded_or);
+  EXPECT_EQ(loaded.guest_host, m.guest_host);
+  EXPECT_EQ(loaded.link_paths, m.link_paths);
+}
+
+TEST(MappingLoader, AcceptsWrappedOutcome) {
+  const auto cluster = line_cluster(3);
+  auto venv = chain_venv(5);
+  const auto out = core::HmnMapper().map(cluster, venv, 1);
+  ASSERT_TRUE(out.ok());
+  auto loaded_or = io::load_mapping_json(io::to_json(out));
+  ASSERT_TRUE(std::holds_alternative<core::Mapping>(loaded_or))
+      << std::get<io::SpecError>(loaded_or).message;
+  const auto& loaded = std::get<core::Mapping>(loaded_or);
+  EXPECT_EQ(loaded.guest_host, out.mapping->guest_host);
+  EXPECT_EQ(loaded.link_paths, out.mapping->link_paths);
+  // The reloaded mapping still validates against the instance.
+  EXPECT_TRUE(core::validate_mapping(cluster, venv, loaded).ok());
+}
+
+TEST(MappingLoader, FullInstanceRoundTripThroughFiles) {
+  const auto cluster = workload::make_paper_cluster(
+      workload::ClusterKind::kSwitched, 71);
+  const workload::Scenario sc{2.5, 0.02, workload::WorkloadKind::kHighLevel};
+  const auto venv = workload::make_scenario_venv(sc, cluster, 72);
+  const auto out = core::HmnMapper().map(cluster, venv, 73);
+  ASSERT_TRUE(out.ok());
+
+  const std::string dir = testing::TempDir();
+  {
+    std::ofstream(dir + "/c.json") << io::to_json(cluster);
+    std::ofstream(dir + "/v.json") << io::to_json(venv);
+    std::ofstream(dir + "/m.json") << io::to_json(*out.mapping);
+  }
+  auto c = io::load_cluster_file(dir + "/c.json");
+  auto v = io::load_venv_file(dir + "/v.json");
+  auto m = io::load_mapping_file(dir + "/m.json");
+  ASSERT_TRUE(std::holds_alternative<model::PhysicalCluster>(c));
+  ASSERT_TRUE(std::holds_alternative<model::VirtualEnvironment>(v));
+  ASSERT_TRUE(std::holds_alternative<core::Mapping>(m));
+  EXPECT_TRUE(core::validate_mapping(std::get<model::PhysicalCluster>(c),
+                                     std::get<model::VirtualEnvironment>(v),
+                                     std::get<core::Mapping>(m))
+                  .ok());
+}
+
+TEST(MappingLoader, RejectsMalformed) {
+  auto is_err = [](auto&& v) {
+    return std::holds_alternative<io::SpecError>(v);
+  };
+  EXPECT_TRUE(is_err(io::load_mapping_json("{")));
+  EXPECT_TRUE(is_err(io::load_mapping_json("{}")));
+  EXPECT_TRUE(is_err(io::load_mapping_json(R"({"guest_host":[0]})")));
+  EXPECT_TRUE(is_err(io::load_mapping_json(
+      R"({"guest_host":["a"],"link_paths":[]})")));
+  EXPECT_TRUE(is_err(io::load_mapping_json(
+      R"({"guest_host":[-1],"link_paths":[]})")));
+  EXPECT_TRUE(is_err(io::load_mapping_json(
+      R"({"guest_host":[0],"link_paths":[0]})")));
+  EXPECT_TRUE(is_err(io::load_mapping_json(
+      R"({"guest_host":[0],"link_paths":[["x"]]})")));
+  EXPECT_TRUE(is_err(io::load_mapping_file("/no/such/file.json")));
+}
+
+TEST(MappingLoader, LoadedGarbageFailsValidationNotLoading) {
+  // Shape-valid but semantically wrong mappings load fine and are caught
+  // by the validator — the intended division of labor.
+  const auto cluster = line_cluster(2);
+  auto venv = chain_venv(2);
+  auto loaded_or = io::load_mapping_json(
+      R"({"guest_host":[0,99],"link_paths":[[]]})");
+  ASSERT_TRUE(std::holds_alternative<core::Mapping>(loaded_or));
+  EXPECT_FALSE(core::validate_mapping(cluster, venv,
+                                      std::get<core::Mapping>(loaded_or))
+                   .ok());
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Tests for the evaluation-suite JSON loader and the mapper registry.
+#include <gtest/gtest.h>
+
+#include "extensions/mapper_registry.h"
+#include "io/suite.h"
+
+namespace {
+
+using namespace hmn;
+using extensions::known_mapper_names;
+using extensions::make_named_mapper;
+using io::load_suite_json;
+using io::SpecError;
+using io::SuiteSpec;
+
+SuiteSpec ok(std::string_view text) {
+  auto result = load_suite_json(text);
+  EXPECT_TRUE(std::holds_alternative<SuiteSpec>(result))
+      << std::get<SpecError>(result).message;
+  return std::get<SuiteSpec>(std::move(result));
+}
+
+bool fails(std::string_view text) {
+  return std::holds_alternative<SpecError>(load_suite_json(text));
+}
+
+TEST(SuiteLoader, MinimalSuiteGetsPaperDefaults) {
+  const auto suite = ok(
+      R"({"scenarios":[{"ratio":2.5,"density":0.02,"workload":"high"}]})");
+  EXPECT_EQ(suite.grid.repetitions, 30u);
+  EXPECT_EQ(suite.grid.master_seed, 20090922u);
+  EXPECT_EQ(suite.grid.clusters.size(), 2u);
+  EXPECT_EQ(suite.mapper_names,
+            (std::vector<std::string>{"hmn", "r", "ra", "hs"}));
+  ASSERT_EQ(suite.grid.scenarios.size(), 1u);
+  EXPECT_DOUBLE_EQ(suite.grid.scenarios[0].ratio, 2.5);
+  EXPECT_EQ(suite.grid.scenarios[0].workload,
+            workload::WorkloadKind::kHighLevel);
+  EXPECT_DOUBLE_EQ(suite.grid.scenarios[0].vproc_scale, 1.0);
+}
+
+TEST(SuiteLoader, FullSuiteParsed) {
+  const auto suite = ok(R"({
+    "repetitions": 5, "seed": 7,
+    "clusters": ["switched"],
+    "mappers": ["hmn", "minhosts"],
+    "scenarios": [
+      {"ratio": 20, "density": 0.01, "workload": "low", "vproc_scale": 6}
+    ]
+  })");
+  EXPECT_EQ(suite.grid.repetitions, 5u);
+  EXPECT_EQ(suite.grid.master_seed, 7u);
+  ASSERT_EQ(suite.grid.clusters.size(), 1u);
+  EXPECT_EQ(suite.grid.clusters[0], workload::ClusterKind::kSwitched);
+  EXPECT_EQ(suite.mapper_names,
+            (std::vector<std::string>{"hmn", "minhosts"}));
+  EXPECT_EQ(suite.grid.scenarios[0].workload,
+            workload::WorkloadKind::kLowLevel);
+  EXPECT_DOUBLE_EQ(suite.grid.scenarios[0].vproc_scale, 6.0);
+}
+
+TEST(SuiteLoader, RejectsMalformed) {
+  EXPECT_TRUE(fails("[]"));
+  EXPECT_TRUE(fails("{}"));  // no scenarios
+  EXPECT_TRUE(fails(R"({"scenarios":[]})"));
+  EXPECT_TRUE(fails(R"({"scenarios":[{"density":0.02,"workload":"high"}]})"));
+  EXPECT_TRUE(fails(R"({"scenarios":[{"ratio":2,"density":0.02}]})"));
+  EXPECT_TRUE(
+      fails(R"({"scenarios":[{"ratio":2,"density":0.02,"workload":"mid"}]})"));
+  EXPECT_TRUE(fails(
+      R"({"clusters":["mesh"],)"
+      R"("scenarios":[{"ratio":2,"density":0.02,"workload":"high"}]})"));
+  EXPECT_TRUE(fails(
+      R"({"repetitions":0,)"
+      R"("scenarios":[{"ratio":2,"density":0.02,"workload":"high"}]})"));
+}
+
+TEST(MapperRegistry, AllKnownNamesConstruct) {
+  for (const auto& name : known_mapper_names()) {
+    const auto mapper = make_named_mapper(name);
+    ASSERT_NE(mapper, nullptr) << name;
+    EXPECT_FALSE(mapper->name().empty());
+  }
+}
+
+TEST(MapperRegistry, NamesMatchTableColumns) {
+  EXPECT_EQ(make_named_mapper("hmn")->name(), "HMN");
+  EXPECT_EQ(make_named_mapper("hn")->name(), "HN");
+  EXPECT_EQ(make_named_mapper("r")->name(), "R");
+  EXPECT_EQ(make_named_mapper("ra")->name(), "RA");
+  EXPECT_EQ(make_named_mapper("hs")->name(), "HS");
+  EXPECT_EQ(make_named_mapper("minhosts")->name(), "MinHosts");
+  EXPECT_EQ(make_named_mapper("greedyrank")->name(), "GreedyRank");
+}
+
+TEST(MapperRegistry, UnknownNameIsNull) {
+  EXPECT_EQ(make_named_mapper("HMN"), nullptr);  // case-sensitive
+  EXPECT_EQ(make_named_mapper("bogus"), nullptr);
+  EXPECT_EQ(make_named_mapper(""), nullptr);
+}
+
+}  // namespace

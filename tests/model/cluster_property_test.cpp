@@ -1,0 +1,102 @@
+// Property sweep: PhysicalCluster invariants across every topology builder.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "model/physical_cluster.h"
+#include "topology/topologies.h"
+#include "util/rng.h"
+#include "workload/host_generator.h"
+#include "workload/presets.h"
+
+namespace {
+
+using namespace hmn;
+
+struct Builder {
+  const char* name;
+  std::function<topology::Topology(util::Rng&)> build;
+};
+
+std::vector<Builder> builders() {
+  return {
+      {"torus_2d", [](util::Rng&) { return topology::torus_2d(4, 5); }},
+      {"torus_3d", [](util::Rng&) { return topology::torus_3d(3, 3, 2); }},
+      {"mesh_2d", [](util::Rng&) { return topology::mesh_2d(4, 5); }},
+      {"switched", [](util::Rng&) { return topology::switched(20, 8); }},
+      {"switch_tree",
+       [](util::Rng&) { return topology::switch_tree(12, 3, 2); }},
+      {"ring", [](util::Rng&) { return topology::ring(12); }},
+      {"line", [](util::Rng&) { return topology::line(12); }},
+      {"star", [](util::Rng&) { return topology::star(12); }},
+      {"full_mesh", [](util::Rng&) { return topology::full_mesh(8); }},
+      {"hypercube", [](util::Rng&) { return topology::hypercube(4); }},
+      {"fat_tree", [](util::Rng&) { return topology::fat_tree(4); }},
+      {"dragonfly", [](util::Rng&) { return topology::dragonfly(3, 4); }},
+      {"random",
+       [](util::Rng& rng) { return topology::random_cluster(15, 0.3, rng); }},
+  };
+}
+
+TEST(ClusterProperty, EveryBuilderYieldsConsistentCluster) {
+  util::Rng rng(404);
+  for (const Builder& builder : builders()) {
+    auto topo = builder.build(rng);
+    const std::size_t hosts = topo.host_count();
+    const std::size_t nodes = topo.graph.node_count();
+    const std::size_t edges = topo.graph.edge_count();
+    ASSERT_GT(hosts, 0u) << builder.name;
+    EXPECT_TRUE(topo.graph.connected()) << builder.name;
+    EXPECT_EQ(topo.role.size(), nodes) << builder.name;
+
+    auto caps = workload::generate_hosts(
+        hosts, workload::paper_host_profile(), rng);
+    const auto cluster = model::PhysicalCluster::build(
+        std::move(topo), caps, model::LinkProps{1000.0, 5.0});
+
+    // Host enumeration is consistent with roles and capacities.
+    EXPECT_EQ(cluster.host_count(), hosts) << builder.name;
+    EXPECT_EQ(cluster.node_count(), nodes) << builder.name;
+    EXPECT_EQ(cluster.link_count(), edges) << builder.name;
+    std::size_t idx = 0;
+    double total = 0.0;
+    for (const NodeId h : cluster.hosts()) {
+      EXPECT_TRUE(cluster.is_host(h)) << builder.name;
+      EXPECT_DOUBLE_EQ(cluster.capacity(h).proc_mips, caps[idx].proc_mips)
+          << builder.name << " host " << idx;
+      total += cluster.capacity(h).proc_mips;
+      ++idx;
+    }
+    EXPECT_DOUBLE_EQ(cluster.total_proc_mips(), total) << builder.name;
+    // Switches carry no capacity.
+    for (std::size_t v = 0; v < cluster.node_count(); ++v) {
+      const auto node = NodeId{static_cast<NodeId::underlying_type>(v)};
+      if (!cluster.is_host(node)) {
+        EXPECT_DOUBLE_EQ(cluster.capacity(node).mem_mb, 0.0) << builder.name;
+      }
+    }
+    // Every link got the uniform properties.
+    for (std::size_t e = 0; e < cluster.link_count(); ++e) {
+      const auto edge = EdgeId{static_cast<EdgeId::underlying_type>(e)};
+      EXPECT_DOUBLE_EQ(cluster.link(edge).bandwidth_mbps, 1000.0)
+          << builder.name;
+    }
+  }
+}
+
+TEST(ClusterProperty, VmmOverheadAppliesToHostsOnly) {
+  util::Rng rng(405);
+  for (const Builder& builder : builders()) {
+    auto topo = builder.build(rng);
+    const std::size_t hosts = topo.host_count();
+    std::vector<model::HostCapacity> caps(hosts, {2000.0, 2048.0, 1024.0});
+    auto cluster = model::PhysicalCluster::build(
+        std::move(topo), caps, model::LinkProps{1000.0, 5.0});
+    cluster.deduct_vmm_overhead({100.0, 256.0, 16.0});
+    for (const NodeId h : cluster.hosts()) {
+      EXPECT_DOUBLE_EQ(cluster.capacity(h).mem_mb, 1792.0) << builder.name;
+    }
+  }
+}
+
+}  // namespace

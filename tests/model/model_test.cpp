@@ -1,0 +1,190 @@
+// Tests for the domain model: resources, physical cluster, virtual
+// environment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+#include "topology/topologies.h"
+
+namespace {
+
+using namespace hmn;
+using model::GuestRequirements;
+using model::HostCapacity;
+using model::LinkProps;
+using model::PhysicalCluster;
+using model::VirtualEnvironment;
+using model::VirtualLinkDemand;
+
+NodeId n(unsigned v) { return NodeId{v}; }
+
+TEST(Resources, MinusClampsAtZero) {
+  const HostCapacity cap{100.0, 50.0, 10.0};
+  const HostCapacity big{200.0, 10.0, 5.0};
+  const HostCapacity r = cap.minus(big);
+  EXPECT_DOUBLE_EQ(r.proc_mips, 0.0);
+  EXPECT_DOUBLE_EQ(r.mem_mb, 40.0);
+  EXPECT_DOUBLE_EQ(r.stor_gb, 5.0);
+}
+
+TEST(Resources, UnitConstants) {
+  EXPECT_DOUBLE_EQ(model::kGB_in_MB, 1024.0);
+  EXPECT_DOUBLE_EQ(model::kTB_in_GB, 1024.0);
+  EXPECT_DOUBLE_EQ(model::kGbps_in_Mbps, 1000.0);
+}
+
+PhysicalCluster small_cluster() {
+  auto topo = topology::star(3);  // 3 hosts + 1 switch
+  std::vector<HostCapacity> caps{{1000, 1024, 512},
+                                 {2000, 2048, 1024},
+                                 {3000, 3072, 2048}};
+  return PhysicalCluster::build(std::move(topo), std::move(caps),
+                                LinkProps{1000.0, 5.0});
+}
+
+TEST(PhysicalCluster, BuildBasics) {
+  const auto c = small_cluster();
+  EXPECT_EQ(c.node_count(), 4u);
+  EXPECT_EQ(c.host_count(), 3u);
+  EXPECT_EQ(c.link_count(), 3u);
+  EXPECT_TRUE(c.is_host(n(0)));
+  EXPECT_FALSE(c.is_host(n(3)));
+  EXPECT_DOUBLE_EQ(c.capacity(n(1)).proc_mips, 2000.0);
+  EXPECT_DOUBLE_EQ(c.capacity(n(3)).proc_mips, 0.0);  // switch
+  EXPECT_DOUBLE_EQ(c.link(EdgeId{0}).bandwidth_mbps, 1000.0);
+  EXPECT_DOUBLE_EQ(c.link(EdgeId{0}).latency_ms, 5.0);
+}
+
+TEST(PhysicalCluster, HostsEnumeration) {
+  const auto c = small_cluster();
+  ASSERT_EQ(c.hosts().size(), 3u);
+  EXPECT_EQ(c.hosts()[0], n(0));
+  EXPECT_EQ(c.hosts()[2], n(2));
+}
+
+TEST(PhysicalCluster, TotalProc) {
+  EXPECT_DOUBLE_EQ(small_cluster().total_proc_mips(), 6000.0);
+}
+
+TEST(PhysicalCluster, CapacityCountMismatchThrows) {
+  auto topo = topology::star(3);
+  std::vector<HostCapacity> caps(2);
+  EXPECT_THROW(
+      PhysicalCluster::build(std::move(topo), caps, LinkProps{1, 1}),
+      std::invalid_argument);
+}
+
+TEST(PhysicalCluster, LinkPropsCountMismatchThrows) {
+  auto topo = topology::star(3);
+  std::vector<HostCapacity> caps(3);
+  std::vector<LinkProps> links(1);
+  EXPECT_THROW(PhysicalCluster::build(std::move(topo), caps, links),
+               std::invalid_argument);
+}
+
+TEST(PhysicalCluster, PerLinkProps) {
+  auto topo = topology::line(2);
+  std::vector<HostCapacity> caps(2, {1000, 1000, 1000});
+  std::vector<LinkProps> links{{123.0, 4.5}};
+  const auto c = PhysicalCluster::build(std::move(topo), caps, links);
+  EXPECT_DOUBLE_EQ(c.link(EdgeId{0}).bandwidth_mbps, 123.0);
+  EXPECT_DOUBLE_EQ(c.link(EdgeId{0}).latency_ms, 4.5);
+}
+
+TEST(PhysicalCluster, VmmOverheadDeduction) {
+  auto c = small_cluster();
+  c.deduct_vmm_overhead({100.0, 256.0, 8.0});
+  EXPECT_DOUBLE_EQ(c.capacity(n(0)).proc_mips, 900.0);
+  EXPECT_DOUBLE_EQ(c.capacity(n(0)).mem_mb, 768.0);
+  EXPECT_DOUBLE_EQ(c.capacity(n(0)).stor_gb, 504.0);
+  // Switches are untouched (they had zero anyway).
+  EXPECT_DOUBLE_EQ(c.capacity(n(3)).proc_mips, 0.0);
+}
+
+TEST(PhysicalCluster, VmmOverheadCannotGoNegative) {
+  auto c = small_cluster();
+  c.deduct_vmm_overhead({99999.0, 99999.0, 99999.0});
+  for (const NodeId h : c.hosts()) {
+    EXPECT_DOUBLE_EQ(c.capacity(h).proc_mips, 0.0);
+    EXPECT_DOUBLE_EQ(c.capacity(h).mem_mb, 0.0);
+  }
+}
+
+TEST(PhysicalCluster, FailNodeZeroesCapacityAndKillsLinks) {
+  auto c = small_cluster();
+  c.fail_node(n(1));
+  EXPECT_DOUBLE_EQ(c.capacity(n(1)).proc_mips, 0.0);
+  EXPECT_DOUBLE_EQ(c.capacity(n(1)).mem_mb, 0.0);
+  // Host 1's uplink (edge 1 in the star) is dead; others untouched.
+  const EdgeId dead = c.graph().find_edge(n(1), n(3));
+  EXPECT_DOUBLE_EQ(c.link(dead).bandwidth_mbps, 0.0);
+  EXPECT_TRUE(std::isinf(c.link(dead).latency_ms));
+  const EdgeId alive = c.graph().find_edge(n(0), n(3));
+  EXPECT_DOUBLE_EQ(c.link(alive).bandwidth_mbps, 1000.0);
+  // Topology is structurally unchanged.
+  EXPECT_EQ(c.link_count(), 3u);
+  EXPECT_EQ(c.host_count(), 3u);
+}
+
+TEST(VirtualEnvironment, AddGuestsAndLinks) {
+  VirtualEnvironment v;
+  const GuestId a = v.add_guest({75, 192, 150});
+  const GuestId b = v.add_guest({50, 128, 100});
+  EXPECT_EQ(v.guest_count(), 2u);
+  EXPECT_DOUBLE_EQ(v.guest(a).proc_mips, 75.0);
+  EXPECT_DOUBLE_EQ(v.guest(b).mem_mb, 128.0);
+
+  const VirtLinkId l = v.add_link(a, b, {0.75, 45.0});
+  EXPECT_EQ(v.link_count(), 1u);
+  EXPECT_DOUBLE_EQ(v.link(l).bandwidth_mbps, 0.75);
+  const auto ep = v.endpoints(l);
+  EXPECT_EQ(ep.src, a);
+  EXPECT_EQ(ep.dst, b);
+  EXPECT_EQ(ep.other(a), b);
+  EXPECT_EQ(ep.other(b), a);
+}
+
+TEST(VirtualEnvironment, LinksOf) {
+  VirtualEnvironment v;
+  const GuestId a = v.add_guest({});
+  const GuestId b = v.add_guest({});
+  const GuestId c = v.add_guest({});
+  const VirtLinkId ab = v.add_link(a, b, {});
+  const VirtLinkId ac = v.add_link(a, c, {});
+  const auto links_a = v.links_of(a);
+  EXPECT_EQ(links_a.size(), 2u);
+  EXPECT_EQ(links_a[0], ab);
+  EXPECT_EQ(links_a[1], ac);
+  EXPECT_EQ(v.links_of(b).size(), 1u);
+}
+
+TEST(VirtualEnvironment, Totals) {
+  VirtualEnvironment v;
+  v.add_guest({10, 100, 1000});
+  v.add_guest({20, 200, 2000});
+  EXPECT_DOUBLE_EQ(v.total_vproc_mips(), 30.0);
+  EXPECT_DOUBLE_EQ(v.total_vmem_mb(), 300.0);
+  EXPECT_DOUBLE_EQ(v.total_vstor_gb(), 3000.0);
+}
+
+TEST(VirtualEnvironment, EmptyTotalsZero) {
+  const VirtualEnvironment v;
+  EXPECT_DOUBLE_EQ(v.total_vproc_mips(), 0.0);
+  EXPECT_EQ(v.guest_count(), 0u);
+  EXPECT_EQ(v.link_count(), 0u);
+}
+
+TEST(VirtualEnvironment, GraphMirrorsStructure) {
+  VirtualEnvironment v;
+  const GuestId a = v.add_guest({});
+  const GuestId b = v.add_guest({});
+  v.add_link(a, b, {});
+  EXPECT_EQ(v.graph().node_count(), 2u);
+  EXPECT_EQ(v.graph().edge_count(), 1u);
+  EXPECT_TRUE(v.graph().connected());
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Tests for the deployment-time estimator.
+#include <gtest/gtest.h>
+
+#include "core/hmn_mapper.h"
+#include "sim/deployment.h"
+#include "testing/fixtures.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using sim::DeploymentSpec;
+using sim::estimate_deployment;
+
+TEST(Deployment, EmptyVenvIsZero) {
+  const auto cluster = line_cluster(2);
+  const model::VirtualEnvironment venv;
+  core::Mapping m;
+  const auto r = estimate_deployment(cluster, venv, m);
+  EXPECT_DOUBLE_EQ(r.total_seconds, 0.0);
+  EXPECT_EQ(r.bytes_moved_gb, 0u);
+}
+
+TEST(Deployment, LocalGuestsOnlyBoot) {
+  // All guests on the repository host: no transfer, only boots.
+  const auto cluster = line_cluster(2);
+  model::VirtualEnvironment venv;
+  venv.add_guest({10, 100, 100});
+  venv.add_guest({10, 100, 100});
+  core::Mapping m;
+  m.guest_host = {n(0), n(0)};
+  m.link_paths = {};
+  DeploymentSpec spec;
+  spec.repository = n(0);
+  spec.boot_seconds = 30.0;
+  const auto r = estimate_deployment(cluster, venv, m, spec);
+  EXPECT_DOUBLE_EQ(r.total_seconds, 60.0);
+  EXPECT_DOUBLE_EQ(r.transfer_seconds, 0.0);
+}
+
+TEST(Deployment, TransferTimeMatchesVolumeOverBandwidth) {
+  // One remote guest, 1 GB image over a 1000 Mbps edge:
+  // 8192 Mb / 1000 Mbps = 8.192 s, plus one boot.
+  const auto cluster = line_cluster(2, {1000, 4096, 4096}, {1000.0, 5.0});
+  model::VirtualEnvironment venv;
+  venv.add_guest({10, 100, 100});
+  core::Mapping m;
+  m.guest_host = {n(1)};
+  m.link_paths = {};
+  DeploymentSpec spec;
+  spec.repository = n(0);
+  spec.base_image_gb = 1.0;
+  spec.boot_seconds = 10.0;
+  const auto r = estimate_deployment(cluster, venv, m, spec);
+  EXPECT_NEAR(r.transfer_seconds, 8.192, 1e-9);
+  EXPECT_NEAR(r.total_seconds, 18.192, 1e-9);
+  EXPECT_EQ(r.bytes_moved_gb, 1u);
+}
+
+TEST(Deployment, SharedEdgeSplitsBandwidth) {
+  // Line 0-1-2: both hosts 1 and 2 pull through edge (0,1), so each gets
+  // half of it; host 2's path bottleneck is 500 Mbps.
+  const auto cluster = line_cluster(3, {1000, 4096, 4096}, {1000.0, 5.0});
+  model::VirtualEnvironment venv;
+  venv.add_guest({10, 100, 100});
+  venv.add_guest({10, 100, 100});
+  core::Mapping m;
+  m.guest_host = {n(1), n(2)};
+  m.link_paths = {};
+  DeploymentSpec spec;
+  spec.repository = n(0);
+  spec.base_image_gb = 1.0;
+  spec.boot_seconds = 0.0;
+  const auto r = estimate_deployment(cluster, venv, m, spec);
+  // Host 2: 8192 Mb at 500 Mbps = 16.384 s (the makespan).
+  EXPECT_NEAR(r.total_seconds, 16.384, 1e-9);
+}
+
+TEST(Deployment, ImageScalesWithStorage) {
+  const auto cluster = line_cluster(2, {1000, 4096, 4096}, {1000.0, 5.0});
+  model::VirtualEnvironment venv;
+  venv.add_guest({10, 100, 200});  // 200 GB storage
+  core::Mapping m;
+  m.guest_host = {n(1)};
+  m.link_paths = {};
+  DeploymentSpec spec;
+  spec.repository = n(0);
+  spec.base_image_gb = 1.0;
+  spec.image_fraction_of_storage = 0.01;  // +2 GB
+  spec.boot_seconds = 0.0;
+  const auto r = estimate_deployment(cluster, venv, m, spec);
+  EXPECT_EQ(r.bytes_moved_gb, 3u);
+  EXPECT_NEAR(r.transfer_seconds, 3.0 * 8192.0 / 1000.0, 1e-9);
+}
+
+TEST(Deployment, DefaultRepositoryIsFirstHost) {
+  const auto cluster = line_cluster(2);
+  model::VirtualEnvironment venv;
+  venv.add_guest({10, 100, 100});
+  core::Mapping m;
+  m.guest_host = {n(0)};  // on default repo: zero transfer
+  m.link_paths = {};
+  const auto r = estimate_deployment(cluster, venv, m);
+  EXPECT_DOUBLE_EQ(r.transfer_seconds, 0.0);
+}
+
+TEST(Deployment, FirstGuestSkipsAlreadyDeployed) {
+  const auto cluster = line_cluster(2, {1000, 4096, 4096}, {1000.0, 5.0});
+  model::VirtualEnvironment venv;
+  venv.add_guest({10, 100, 100});
+  venv.add_guest({10, 100, 100});
+  core::Mapping m;
+  m.guest_host = {n(1), n(1)};
+  m.link_paths = {};
+  DeploymentSpec spec;
+  spec.repository = n(0);
+  spec.base_image_gb = 1.0;
+  spec.boot_seconds = 10.0;
+
+  const auto full = estimate_deployment(cluster, venv, m, spec);
+  spec.first_guest = 1;  // guest 0 already deployed
+  const auto incremental = estimate_deployment(cluster, venv, m, spec);
+  EXPECT_EQ(full.bytes_moved_gb, 2u);
+  EXPECT_EQ(incremental.bytes_moved_gb, 1u);
+  EXPECT_LT(incremental.total_seconds, full.total_seconds);
+  // Exactly one transfer + one boot.
+  EXPECT_NEAR(incremental.total_seconds, 8.192 + 10.0, 1e-9);
+
+  spec.first_guest = 2;  // everything deployed: nothing to do
+  const auto noop = estimate_deployment(cluster, venv, m, spec);
+  EXPECT_DOUBLE_EQ(noop.total_seconds, 0.0);
+}
+
+TEST(Deployment, BootOnlyGuestsStillCounted) {
+  // Zero-size images (pre-staged) still cost boots.
+  const auto cluster = line_cluster(2);
+  model::VirtualEnvironment venv;
+  venv.add_guest({10, 100, 100});
+  core::Mapping m;
+  m.guest_host = {n(1)};
+  m.link_paths = {};
+  DeploymentSpec spec;
+  spec.repository = n(0);
+  spec.base_image_gb = 0.0;
+  spec.boot_seconds = 25.0;
+  const auto r = estimate_deployment(cluster, venv, m, spec);
+  EXPECT_DOUBLE_EQ(r.total_seconds, 25.0);
+}
+
+TEST(Deployment, PaperScaleDeploymentDwarfsMappingTime) {
+  // The paper's Section 5.2 argument: deployment time exceeds mapping
+  // time.  2000 slim guests on the torus: mapping ~0.1 s, deployment
+  // (0.5 GB images + 20 s boots) is minutes.
+  const auto cluster = workload::make_paper_cluster(
+      workload::ClusterKind::kTorus2D, 91);
+  const workload::Scenario sc{50.0, 0.01, workload::WorkloadKind::kLowLevel};
+  const auto venv = workload::make_scenario_venv(sc, cluster, 92);
+  const auto out = core::HmnMapper().map(cluster, venv, 93);
+  ASSERT_TRUE(out.ok());
+  const auto r = estimate_deployment(cluster, venv, *out.mapping);
+  EXPECT_GT(r.total_seconds, 100.0 * out.stats.total_seconds);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Stress and ordering tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using hmn::sim::Engine;
+using hmn::sim::EventQueue;
+
+TEST(EngineStress, HundredThousandRandomEventsExecuteInOrder) {
+  Engine engine;
+  hmn::util::Rng rng(55);
+  constexpr int kEvents = 100000;
+  int executed = 0;
+  double last_time = -1.0;
+  for (int i = 0; i < kEvents; ++i) {
+    engine.schedule(rng.uniform(0.0, 1000.0), [&] {
+      EXPECT_GE(engine.now(), last_time);
+      last_time = engine.now();
+      ++executed;
+    });
+  }
+  engine.run();
+  EXPECT_EQ(executed, kEvents);
+  EXPECT_EQ(engine.events_processed(), static_cast<std::uint64_t>(kEvents));
+}
+
+TEST(EngineStress, CascadedSchedulingChain) {
+  // Each event schedules the next; a deep chain must neither overflow nor
+  // drift the clock.
+  Engine engine;
+  constexpr int kDepth = 50000;
+  int count = 0;
+  std::function<void()> step = [&] {
+    if (++count < kDepth) engine.schedule(0.001, step);
+  };
+  engine.schedule(0.001, step);
+  const double end = engine.run();
+  EXPECT_EQ(count, kDepth);
+  EXPECT_NEAR(end, kDepth * 0.001, 1e-6);
+}
+
+TEST(EngineStress, SimultaneousEventsFifoAtScale) {
+  EventQueue q;
+  constexpr int kN = 10000;
+  std::vector<int> order;
+  order.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    q.push(7.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i) << "FIFO broken at " << i;
+  }
+}
+
+TEST(EngineStress, InterleavedHorizonRuns) {
+  // Alternating run(horizon) calls must process each event exactly once.
+  Engine engine;
+  hmn::util::Rng rng(77);
+  int executed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    engine.schedule(rng.uniform(0.0, 100.0), [&] { ++executed; });
+  }
+  for (double horizon = 10.0; horizon <= 100.0; horizon += 10.0) {
+    engine.run(horizon);
+  }
+  EXPECT_EQ(executed, 1000);
+}
+
+TEST(EngineStress, EventsScheduledDuringRunWithinHorizonExecute) {
+  Engine engine;
+  int late = 0;
+  engine.schedule(1.0, [&] {
+    engine.schedule(2.0, [&] { ++late; });  // fires at t=3
+  });
+  engine.run(5.0);
+  EXPECT_EQ(late, 1);
+
+  Engine engine2;
+  int beyond = 0;
+  engine2.schedule(1.0, [&] {
+    engine2.schedule(10.0, [&] { ++beyond; });  // t=11 > horizon
+  });
+  engine2.run(5.0);
+  EXPECT_EQ(beyond, 0);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for the master-worker application simulator.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/master_worker.h"
+#include "testing/fixtures.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using sim::MasterWorkerSpec;
+using sim::run_master_worker;
+
+struct FarmFixture : testing::Test {
+  model::PhysicalCluster cluster = line_cluster(3, {1000, 4096, 4096});
+  model::VirtualEnvironment venv;
+  core::Mapping m;
+
+  /// Master (guest 0) with `workers` workers, all colocated with it unless
+  /// placed elsewhere later.
+  void build(std::size_t workers, double worker_mips = 100.0) {
+    const GuestId master = venv.add_guest({50, 64, 64});
+    for (std::size_t i = 0; i < workers; ++i) {
+      const GuestId w = venv.add_guest({worker_mips, 64, 64});
+      venv.add_link(master, w, {10.0, 60.0});
+    }
+    m.guest_host.assign(venv.guest_count(), n(0));
+    m.link_paths.assign(venv.link_count(), {});
+  }
+
+  static MasterWorkerSpec spec(std::size_t tasks) {
+    MasterWorkerSpec s;
+    s.tasks = tasks;
+    s.task_seconds = 1.0;
+    s.jitter_fraction = 0.0;
+    s.task_kb = 0.0;  // pure-compute farm unless a test says otherwise
+    s.result_kb = 0.0;
+    return s;
+  }
+};
+
+TEST_F(FarmFixture, EmptyVenvInstant) {
+  const model::VirtualEnvironment empty;
+  const auto r = run_master_worker(cluster, empty, core::Mapping{});
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, 0.0);
+}
+
+TEST_F(FarmFixture, NoWorkersInstant) {
+  venv.add_guest({50, 64, 64});
+  m.guest_host = {n(0)};
+  const auto r = run_master_worker(cluster, venv, m, spec(10));
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, 0.0);
+  EXPECT_EQ(r.workers, 0u);
+  EXPECT_EQ(r.tasks_completed, 0u);
+}
+
+TEST_F(FarmFixture, AllTasksComplete) {
+  build(4);
+  const auto r = run_master_worker(cluster, venv, m, spec(13));
+  EXPECT_EQ(r.tasks_completed, 13u);
+  EXPECT_EQ(r.workers, 4u);
+  EXPECT_EQ(std::accumulate(r.tasks_per_worker.begin(),
+                            r.tasks_per_worker.end(), std::size_t{0}),
+            13u);
+}
+
+TEST_F(FarmFixture, DefaultTaskCountIsFourPerWorker) {
+  build(3);
+  MasterWorkerSpec s = spec(0);
+  const auto r = run_master_worker(cluster, venv, m, s);
+  EXPECT_EQ(r.tasks_completed, 12u);
+}
+
+TEST_F(FarmFixture, PerfectFarmMakespan) {
+  // 4 identical colocated workers, 8 unit tasks, no transfers/jitter:
+  // exactly two rounds.
+  build(4);
+  const auto r = run_master_worker(cluster, venv, m, spec(8));
+  EXPECT_NEAR(r.makespan_seconds, 2.0, 1e-9);
+  for (const std::size_t t : r.tasks_per_worker) EXPECT_EQ(t, 2u);
+}
+
+TEST_F(FarmFixture, OversubscribedWorkersStretchMakespan) {
+  // Same farm but crammed with CPU demand 4x capacity: 4 workers x 100
+  // MIPS + master on a 1000-MIPS host is fine; instead pile the workers
+  // onto a tiny host by giving them big demand.
+  build(4, 1000.0);  // 4 x 1000 + 50 > 1000: heavy oversubscription
+  const auto balanced_like = run_master_worker(cluster, venv, m, spec(8));
+  EXPECT_GT(balanced_like.makespan_seconds, 2.0 * 2.0);
+}
+
+TEST_F(FarmFixture, FasterWorkersCompleteMoreTasks) {
+  // Two workers; one on an oversubscribed host runs at half speed.
+  const GuestId master = venv.add_guest({50, 64, 64});
+  const GuestId fast = venv.add_guest({100, 64, 64});
+  const GuestId slow = venv.add_guest({2000, 64, 64});  // 2x host capacity
+  venv.add_link(master, fast, {10.0, 60.0});
+  venv.add_link(master, slow, {10.0, 60.0});
+  m.guest_host = {n(0), n(1), n(2)};
+  m.link_paths = {{EdgeId{0}}, {EdgeId{0}, EdgeId{1}}};
+  auto s = spec(12);
+  const auto r = run_master_worker(cluster, venv, m, s);
+  EXPECT_EQ(r.tasks_completed, 12u);
+  EXPECT_GT(r.tasks_per_worker[0], r.tasks_per_worker[1]);
+}
+
+TEST_F(FarmFixture, TransferTimeCountsForRemoteWorkers) {
+  const GuestId master = venv.add_guest({50, 64, 64});
+  const GuestId worker = venv.add_guest({100, 64, 64});
+  venv.add_link(master, worker, {1.0, 60.0});  // 1 Mbps virtual link
+  m.guest_host = {n(0), n(1)};
+  m.link_paths = {{EdgeId{0}}};
+  MasterWorkerSpec s = spec(1);
+  s.task_kb = 100.0;
+  s.result_kb = 100.0;
+  const auto r = run_master_worker(cluster, venv, m, s);
+  // 1 task: send (5 ms + 800 kbit / 1000 kbps) + compute 1 s + reply same.
+  const double transfer = 0.005 + 0.8;
+  EXPECT_NEAR(r.makespan_seconds, 1.0 + 2 * transfer, 1e-9);
+}
+
+TEST_F(FarmFixture, DeterministicWithJitter) {
+  build(5);
+  MasterWorkerSpec s = spec(20);
+  s.jitter_fraction = 0.3;
+  s.seed = 99;
+  const auto a = run_master_worker(cluster, venv, m, s);
+  const auto b = run_master_worker(cluster, venv, m, s);
+  EXPECT_DOUBLE_EQ(a.makespan_seconds, b.makespan_seconds);
+  EXPECT_EQ(a.tasks_per_worker, b.tasks_per_worker);
+}
+
+}  // namespace

@@ -1,0 +1,295 @@
+// Tests for the discrete-event engine, CPU/network models, and the
+// emulation-experiment simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu_model.h"
+#include "sim/engine.h"
+#include "sim/event_queue.h"
+#include "sim/experiment.h"
+#include "sim/network_model.h"
+#include "testing/fixtures.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+
+TEST(EventQueue, PopsInTimeOrder) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto fn = q.pop();
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsHead) {
+  sim::EventQueue q;
+  q.push(5.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(Engine, ClockAdvancesMonotonically) {
+  sim::Engine e;
+  std::vector<double> stamps;
+  e.schedule(2.0, [&] { stamps.push_back(e.now()); });
+  e.schedule(1.0, [&] {
+    stamps.push_back(e.now());
+    e.schedule(0.5, [&] { stamps.push_back(e.now()); });
+  });
+  const double end = e.run();
+  EXPECT_EQ(stamps, (std::vector<double>{1.0, 1.5, 2.0}));
+  EXPECT_DOUBLE_EQ(end, 2.0);
+  EXPECT_EQ(e.events_processed(), 3u);
+}
+
+TEST(Engine, HorizonStopsExecution) {
+  sim::Engine e;
+  int ran = 0;
+  e.schedule(1.0, [&] { ++ran; });
+  e.schedule(10.0, [&] { ++ran; });
+  e.run(5.0);
+  EXPECT_EQ(ran, 1);
+  // Remaining event still fires when run again with a larger horizon.
+  e.run(20.0);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Engine, ScheduleAtAbsoluteTime) {
+  sim::Engine e;
+  double seen = -1.0;
+  e.schedule_at(4.0, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 4.0);
+}
+
+TEST(Engine, EmptyRunReturnsZero) {
+  sim::Engine e;
+  EXPECT_DOUBLE_EQ(e.run(), 0.0);
+}
+
+// ---- CPU model.
+
+TEST(CpuModel, UndersubscribedGuestsGetFullRate) {
+  const auto cluster = line_cluster(2, {1000, 4096, 4096});
+  model::VirtualEnvironment venv;
+  venv.add_guest({300, 64, 64});
+  venv.add_guest({400, 64, 64});
+  core::Mapping m;
+  m.guest_host = {n(0), n(0)};  // 700 <= 1000
+  m.link_paths = {};
+  const auto rate = sim::effective_guest_mips(cluster, venv, m);
+  EXPECT_DOUBLE_EQ(rate[0], 300.0);
+  EXPECT_DOUBLE_EQ(rate[1], 400.0);
+}
+
+TEST(CpuModel, OversubscriptionScalesProportionally) {
+  const auto cluster = line_cluster(2, {1000, 4096, 4096});
+  model::VirtualEnvironment venv;
+  venv.add_guest({1500, 64, 64});
+  venv.add_guest({500, 64, 64});
+  core::Mapping m;
+  m.guest_host = {n(0), n(0)};  // demand 2000 on 1000 MIPS: half rate
+  m.link_paths = {};
+  const auto rate = sim::effective_guest_mips(cluster, venv, m);
+  EXPECT_DOUBLE_EQ(rate[0], 750.0);
+  EXPECT_DOUBLE_EQ(rate[1], 250.0);
+}
+
+TEST(CpuModel, HostLoadFactors) {
+  const auto cluster = line_cluster(2, {1000, 4096, 4096});
+  model::VirtualEnvironment venv;
+  venv.add_guest({500, 64, 64});
+  venv.add_guest({2000, 64, 64});
+  core::Mapping m;
+  m.guest_host = {n(0), n(1)};
+  m.link_paths = {};
+  const auto load = sim::host_cpu_load(cluster, venv, m);
+  EXPECT_DOUBLE_EQ(load[0], 0.5);
+  EXPECT_DOUBLE_EQ(load[1], 2.0);
+}
+
+// ---- Network model.
+
+TEST(NetworkModel, TransferTimeLatencyPlusSerialization) {
+  const auto cluster = line_cluster(3, {1000, 4096, 4096}, {100.0, 5.0});
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  const VirtLinkId l = venv.add_link(a, b, {10.0, 60.0});
+  core::Mapping m;
+  m.guest_host = {n(0), n(2)};
+  m.link_paths = {{EdgeId{0}, EdgeId{1}}};
+  const sim::NetworkModel net(cluster, venv, m);
+  EXPECT_DOUBLE_EQ(net.path_latency_ms(l), 10.0);
+  // 100 kB over 10 Mbps: 800 kbit / 10000 kbit/s = 0.08 s; plus 0.01 s.
+  EXPECT_NEAR(net.transfer_seconds(l, 100.0), 0.09, 1e-12);
+}
+
+TEST(NetworkModel, ColocatedIsNearInstant) {
+  const auto cluster = line_cluster(2);
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({});
+  const GuestId b = venv.add_guest({});
+  const VirtLinkId l = venv.add_link(a, b, {0.001, 60.0});  // tiny vbw
+  core::Mapping m;
+  m.guest_host = {n(0), n(0)};
+  m.link_paths = {{}};
+  const sim::NetworkModel net(cluster, venv, m);
+  EXPECT_DOUBLE_EQ(net.path_latency_ms(l), 0.0);
+  EXPECT_LT(net.transfer_seconds(l, 100.0), 1e-3);  // VMM-internal speed
+}
+
+// ---- Experiment simulator.
+
+struct ExperimentFixture : testing::Test {
+  model::PhysicalCluster cluster = line_cluster(2, {1000, 4096, 4096});
+
+  static sim::ExperimentSpec spec(std::size_t iters = 3) {
+    sim::ExperimentSpec s;
+    s.iterations = iters;
+    s.compute_seconds = 1.0;
+    s.jitter_fraction = 0.0;
+    s.message_kb = 8.0;
+    s.seed = 7;
+    return s;
+  }
+};
+
+TEST_F(ExperimentFixture, EmptyVenvZeroMakespan) {
+  model::VirtualEnvironment venv;
+  core::Mapping m;
+  const auto r = sim::run_experiment(cluster, venv, m, spec());
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, 0.0);
+  EXPECT_EQ(r.messages_delivered, 0u);
+}
+
+TEST_F(ExperimentFixture, LoneGuestComputesExactly) {
+  model::VirtualEnvironment venv;
+  venv.add_guest({100, 64, 64});
+  core::Mapping m;
+  m.guest_host = {n(0)};
+  m.link_paths = {};
+  const auto r = sim::run_experiment(cluster, venv, m, spec(4));
+  // No contention, no jitter: 4 iterations x 1 s.
+  EXPECT_NEAR(r.makespan_seconds, 4.0, 1e-9);
+  EXPECT_EQ(r.messages_delivered, 0u);
+}
+
+TEST_F(ExperimentFixture, OversubscriptionStretchesMakespan) {
+  model::VirtualEnvironment venv;
+  for (int i = 0; i < 4; ++i) venv.add_guest({500, 64, 64});
+  core::Mapping balanced;
+  balanced.guest_host = {n(0), n(0), n(1), n(1)};  // 1000 per host: exact
+  balanced.link_paths = {};
+  core::Mapping skewed;
+  skewed.guest_host = {n(0), n(0), n(0), n(0)};  // 2000 on host 0: 2x slow
+  skewed.link_paths = {};
+  const auto r_bal = sim::run_experiment(cluster, venv, balanced, spec());
+  const auto r_skew = sim::run_experiment(cluster, venv, skewed, spec());
+  EXPECT_NEAR(r_bal.makespan_seconds, 3.0, 1e-9);
+  EXPECT_NEAR(r_skew.makespan_seconds, 6.0, 1e-9);
+}
+
+TEST_F(ExperimentFixture, NeighborsExchangeMessages) {
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({100, 64, 64});
+  const GuestId b = venv.add_guest({100, 64, 64});
+  venv.add_link(a, b, {10.0, 60.0});
+  core::Mapping m;
+  m.guest_host = {n(0), n(1)};
+  m.link_paths = {{EdgeId{0}}};
+  const auto r = sim::run_experiment(cluster, venv, m, spec(2));
+  // 2 guests x 2 iterations x 1 message each way.
+  EXPECT_EQ(r.messages_delivered, 4u);
+  // Makespan = iterations x (compute + transfer).
+  const double transfer = 0.005 + 8.0 * 8.0 / (10.0 * 1e3);
+  EXPECT_NEAR(r.makespan_seconds, 2.0 * (1.0 + transfer), 1e-9);
+  EXPECT_GT(r.events_processed, 0u);
+}
+
+TEST_F(ExperimentFixture, BspBarrierWaitsForSlowNeighbor) {
+  // A fast guest linked to a slow (oversubscribed) one finishes at the slow
+  // guest's pace.
+  model::VirtualEnvironment venv;
+  const GuestId fast = venv.add_guest({100, 64, 64});
+  const GuestId slow1 = venv.add_guest({800, 64, 64});
+  venv.add_guest({800, 64, 64});  // second co-located CPU hog
+  venv.add_link(fast, slow1, {10.0, 60.0});
+  core::Mapping m;
+  m.guest_host = {n(0), n(1), n(1)};  // host 1 oversubscribed 1.6x
+  m.link_paths = {{EdgeId{0}}, {}};
+  m.link_paths.resize(venv.link_count());
+  const auto r = sim::run_experiment(cluster, venv, m, spec(1));
+  EXPECT_GT(r.makespan_seconds, 1.5);  // fast guest alone would take ~1 s
+}
+
+
+TEST_F(ExperimentFixture, DeterministicForSameSeed) {
+  auto venv = chain_venv(6, {300, 64, 64}, {1.0, 60.0});
+  core::Mapping m;
+  m.guest_host = {n(0), n(0), n(0), n(1), n(1), n(1)};
+  m.link_paths.assign(venv.link_count(), {});
+  m.link_paths[2] = {EdgeId{0}};  // the 2-3 link crosses hosts
+  auto s = spec();
+  s.jitter_fraction = 0.3;
+  const auto r1 = sim::run_experiment(cluster, venv, m, s);
+  const auto r2 = sim::run_experiment(cluster, venv, m, s);
+  EXPECT_DOUBLE_EQ(r1.makespan_seconds, r2.makespan_seconds);
+  EXPECT_EQ(r1.events_processed, r2.events_processed);
+}
+
+TEST_F(ExperimentFixture, StragglerIsOnOversubscribedHost) {
+  model::VirtualEnvironment venv;
+  const GuestId fast = venv.add_guest({100, 64, 64});
+  const GuestId slow1 = venv.add_guest({900, 64, 64});
+  const GuestId slow2 = venv.add_guest({900, 64, 64});
+  (void)fast;
+  (void)slow1;
+  core::Mapping m;
+  m.guest_host = {n(0), n(1), n(1)};  // host 1 at 1.8x capacity
+  m.link_paths = {};
+  const auto r = sim::run_experiment(cluster, venv, m, spec(2));
+  ASSERT_EQ(r.guest_finish_seconds.size(), 3u);
+  const GuestId worst = sim::straggler(r);
+  EXPECT_EQ(m.guest_host[worst.index()], n(1));
+  EXPECT_DOUBLE_EQ(r.guest_finish_seconds[worst.index()],
+                   r.makespan_seconds);
+  (void)slow2;
+}
+
+TEST_F(ExperimentFixture, StragglerOfEmptyResultInvalid) {
+  EXPECT_FALSE(sim::straggler(sim::ExperimentResult{}).valid());
+}
+
+TEST_F(ExperimentFixture, MeanGuestTimeBelowMakespan) {
+  auto venv = chain_venv(5, {200, 64, 64}, {1.0, 60.0});
+  core::Mapping m;
+  m.guest_host.assign(5, n(0));
+  m.link_paths.assign(venv.link_count(), {});
+  auto s = spec();
+  s.jitter_fraction = 0.4;
+  const auto r = sim::run_experiment(cluster, venv, m, s);
+  EXPECT_GT(r.mean_guest_seconds, 0.0);
+  EXPECT_LE(r.mean_guest_seconds, r.makespan_seconds + 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,42 @@
+// End-to-end smoke test: HMN maps a small virtual environment onto a torus
+// and the result satisfies every formal constraint.
+#include <gtest/gtest.h>
+
+#include "core/hmn_mapper.h"
+#include "core/objective.h"
+#include "core/validator.h"
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+#include "topology/topologies.h"
+
+namespace {
+
+using namespace hmn;
+
+TEST(Smoke, HmnMapsSmallTorus) {
+  auto topo = topology::torus_2d(3, 3);
+  std::vector<model::HostCapacity> caps(9, {2000.0, 2048.0, 2048.0});
+  auto cluster = model::PhysicalCluster::build(
+      std::move(topo), caps, model::LinkProps{1000.0, 5.0});
+
+  model::VirtualEnvironment venv;
+  std::vector<GuestId> guests;
+  for (int i = 0; i < 20; ++i) {
+    guests.push_back(venv.add_guest({75.0, 192.0, 150.0}));
+  }
+  for (int i = 1; i < 20; ++i) {
+    venv.add_link(guests[static_cast<std::size_t>(i - 1)],
+                  guests[static_cast<std::size_t>(i)],
+                  {0.75, 45.0});
+  }
+
+  core::HmnMapper mapper;
+  const auto outcome = mapper.map(cluster, venv, 42);
+  ASSERT_TRUE(outcome.ok()) << outcome.detail;
+
+  const auto report = core::validate_mapping(cluster, venv, *outcome.mapping);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GE(core::load_balance_factor(cluster, venv, *outcome.mapping), 0.0);
+}
+
+}  // namespace

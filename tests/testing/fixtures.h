@@ -1,0 +1,57 @@
+// Shared builders for core-layer tests: tiny clusters and virtual
+// environments with hand-checkable numbers.
+#pragma once
+
+#include <vector>
+
+#include "model/physical_cluster.h"
+#include "model/virtual_environment.h"
+#include "topology/topologies.h"
+
+namespace hmn::test {
+
+inline NodeId n(unsigned v) { return NodeId{v}; }
+inline GuestId g(unsigned v) { return GuestId{v}; }
+inline VirtLinkId vl(unsigned v) { return VirtLinkId{v}; }
+
+/// Line of `count` hosts with identical capacities and uniform links.
+inline model::PhysicalCluster line_cluster(
+    std::size_t count, model::HostCapacity cap = {1000, 4096, 4096},
+    model::LinkProps link = {1000.0, 5.0}) {
+  return model::PhysicalCluster::build(
+      topology::line(count), std::vector<model::HostCapacity>(count, cap),
+      link);
+}
+
+/// Line of hosts with explicit capacities.
+inline model::PhysicalCluster line_cluster(
+    std::vector<model::HostCapacity> caps,
+    model::LinkProps link = {1000.0, 5.0}) {
+  const std::size_t count = caps.size();
+  return model::PhysicalCluster::build(topology::line(count), std::move(caps),
+                                       link);
+}
+
+/// Ring cluster with identical capacities.
+inline model::PhysicalCluster ring_cluster(
+    std::size_t count, model::HostCapacity cap = {1000, 4096, 4096},
+    model::LinkProps link = {1000.0, 5.0}) {
+  return model::PhysicalCluster::build(
+      topology::ring(count), std::vector<model::HostCapacity>(count, cap),
+      link);
+}
+
+/// A chain virtual environment: guests 0-1-2-...-k.
+inline model::VirtualEnvironment chain_venv(
+    std::size_t guests, model::GuestRequirements req = {75, 192, 150},
+    model::VirtualLinkDemand demand = {1.0, 60.0}) {
+  model::VirtualEnvironment venv;
+  std::vector<GuestId> ids;
+  for (std::size_t i = 0; i < guests; ++i) ids.push_back(venv.add_guest(req));
+  for (std::size_t i = 1; i < guests; ++i) {
+    venv.add_link(ids[i - 1], ids[i], demand);
+  }
+  return venv;
+}
+
+}  // namespace hmn::test

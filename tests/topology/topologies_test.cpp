@@ -1,0 +1,202 @@
+// Tests for the topology builders.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/dijkstra.h"
+#include "topology/topologies.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hmn;
+using topology::NodeRole;
+using topology::Topology;
+
+NodeId n(unsigned v) { return NodeId{v}; }
+
+void expect_no_duplicate_edges(const graph::Graph& g) {
+  std::set<std::pair<unsigned, unsigned>> seen;
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const auto ep = g.endpoints(EdgeId{static_cast<EdgeId::underlying_type>(e)});
+    EXPECT_NE(ep.a, ep.b) << "self loop at edge " << e;
+    const std::pair<unsigned, unsigned> key{std::min(ep.a.value(), ep.b.value()),
+                                            std::max(ep.a.value(), ep.b.value())};
+    EXPECT_TRUE(seen.insert(key).second)
+        << "duplicate edge " << key.first << "-" << key.second;
+  }
+}
+
+TEST(Torus, PaperShape8x5) {
+  const Topology t = topology::torus_2d(8, 5);
+  EXPECT_EQ(t.host_count(), 40u);
+  EXPECT_EQ(t.switch_count(), 0u);
+  // 2-D torus: 2 * rows * cols edges when both dims > 2.
+  EXPECT_EQ(t.graph.edge_count(), 80u);
+  EXPECT_TRUE(t.graph.connected());
+  expect_no_duplicate_edges(t.graph);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(t.graph.degree(n(static_cast<unsigned>(i))), 4u);
+  }
+}
+
+TEST(Torus, DegenerateDimensions) {
+  const Topology line_like = topology::torus_2d(1, 5);
+  EXPECT_TRUE(line_like.graph.connected());
+  expect_no_duplicate_edges(line_like.graph);
+
+  const Topology two_by_two = topology::torus_2d(2, 2);
+  EXPECT_TRUE(two_by_two.graph.connected());
+  expect_no_duplicate_edges(two_by_two.graph);
+  EXPECT_EQ(two_by_two.graph.edge_count(), 4u);
+
+  const Topology single = topology::torus_2d(1, 1);
+  EXPECT_EQ(single.graph.node_count(), 1u);
+  EXPECT_EQ(single.graph.edge_count(), 0u);
+}
+
+TEST(Torus, DiameterOfPaperCluster) {
+  const Topology t = topology::torus_2d(8, 5);
+  auto unit = [](EdgeId) { return 1.0; };
+  double diameter = 0.0;
+  for (unsigned v = 0; v < 40; ++v) {
+    const auto sp = graph::dijkstra(t.graph, n(v), unit);
+    for (unsigned u = 0; u < 40; ++u) diameter = std::max(diameter, sp.dist[u]);
+  }
+  EXPECT_DOUBLE_EQ(diameter, 6.0);  // 8/2 + 5/2 (integer halves) = 4 + 2
+}
+
+TEST(Switched, SingleSwitchWhenHostsFit) {
+  const Topology t = topology::switched(40, 64);
+  EXPECT_EQ(t.host_count(), 40u);
+  EXPECT_EQ(t.switch_count(), 1u);
+  EXPECT_EQ(t.graph.edge_count(), 40u);
+  EXPECT_TRUE(t.graph.connected());
+  // Every host has degree 1 (its uplink).
+  for (const NodeId h : t.host_nodes()) EXPECT_EQ(t.graph.degree(h), 1u);
+}
+
+TEST(Switched, CascadesWhenPortsExhausted) {
+  const Topology t = topology::switched(100, 64);
+  EXPECT_EQ(t.host_count(), 100u);
+  EXPECT_EQ(t.switch_count(), 2u);
+  EXPECT_TRUE(t.graph.connected());
+  // Switch port usage must respect the port budget.
+  for (std::size_t i = 0; i < t.role.size(); ++i) {
+    if (t.role[i] == NodeRole::kSwitch) {
+      EXPECT_LE(t.graph.degree(n(static_cast<unsigned>(i))), 64u);
+    }
+  }
+}
+
+TEST(Switched, LongCascade) {
+  const Topology t = topology::switched(20, 3);  // tiny switches: many hops
+  EXPECT_EQ(t.host_count(), 20u);
+  EXPECT_GE(t.switch_count(), 10u);
+  EXPECT_TRUE(t.graph.connected());
+  for (std::size_t i = 0; i < t.role.size(); ++i) {
+    if (t.role[i] == NodeRole::kSwitch) {
+      EXPECT_LE(t.graph.degree(n(static_cast<unsigned>(i))), 3u);
+    }
+  }
+}
+
+TEST(Switched, PathsGoThroughSwitches) {
+  const Topology t = topology::switched(40, 64);
+  auto unit = [](EdgeId) { return 1.0; };
+  const auto sp = graph::dijkstra(t.graph, n(0), unit);
+  for (unsigned v = 1; v < 40; ++v) EXPECT_DOUBLE_EQ(sp.dist[v], 2.0);
+}
+
+TEST(Ring, ShapeAndDegrees) {
+  const Topology t = topology::ring(6);
+  EXPECT_EQ(t.graph.edge_count(), 6u);
+  EXPECT_TRUE(t.graph.connected());
+  for (unsigned i = 0; i < 6; ++i) EXPECT_EQ(t.graph.degree(n(i)), 2u);
+  expect_no_duplicate_edges(t.graph);
+}
+
+TEST(Ring, TwoNodesSingleEdge) {
+  const Topology t = topology::ring(2);
+  EXPECT_EQ(t.graph.edge_count(), 1u);
+  expect_no_duplicate_edges(t.graph);
+}
+
+TEST(Line, Shape) {
+  const Topology t = topology::line(5);
+  EXPECT_EQ(t.graph.edge_count(), 4u);
+  EXPECT_TRUE(t.graph.connected());
+  EXPECT_EQ(t.graph.degree(n(0)), 1u);
+  EXPECT_EQ(t.graph.degree(n(2)), 2u);
+}
+
+TEST(Star, HubIsSwitch) {
+  const Topology t = topology::star(7);
+  EXPECT_EQ(t.host_count(), 7u);
+  EXPECT_EQ(t.switch_count(), 1u);
+  EXPECT_EQ(t.graph.degree(n(7)), 7u);  // the hub
+  EXPECT_TRUE(t.graph.connected());
+}
+
+TEST(FullMesh, Complete) {
+  const Topology t = topology::full_mesh(5);
+  EXPECT_EQ(t.graph.edge_count(), 10u);
+  EXPECT_DOUBLE_EQ(t.graph.density(), 1.0);
+}
+
+TEST(Hypercube, ShapeAndDegrees) {
+  const Topology t = topology::hypercube(3);
+  EXPECT_EQ(t.graph.node_count(), 8u);
+  EXPECT_EQ(t.graph.edge_count(), 12u);  // d * 2^(d-1)
+  EXPECT_TRUE(t.graph.connected());
+  for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(t.graph.degree(n(i)), 3u);
+  expect_no_duplicate_edges(t.graph);
+}
+
+TEST(Hypercube, DimensionZeroIsSingleNode) {
+  const Topology t = topology::hypercube(0);
+  EXPECT_EQ(t.graph.node_count(), 1u);
+  EXPECT_EQ(t.graph.edge_count(), 0u);
+}
+
+TEST(FatTree, K4Shape) {
+  const Topology t = topology::fat_tree(4);
+  EXPECT_EQ(t.host_count(), 16u);   // k^3/4
+  EXPECT_EQ(t.switch_count(), 20u); // 4 core + 4 pods * 4 switches
+  EXPECT_TRUE(t.graph.connected());
+  // Hosts have degree 1; every switch has degree k.
+  for (std::size_t i = 0; i < t.role.size(); ++i) {
+    const auto node = n(static_cast<unsigned>(i));
+    if (t.role[i] == NodeRole::kHost) {
+      EXPECT_EQ(t.graph.degree(node), 1u);
+    } else {
+      EXPECT_EQ(t.graph.degree(node), 4u);
+    }
+  }
+}
+
+TEST(FatTree, K2Minimal) {
+  const Topology t = topology::fat_tree(2);
+  EXPECT_EQ(t.host_count(), 2u);
+  EXPECT_TRUE(t.graph.connected());
+}
+
+TEST(RandomCluster, AllHostsConnected) {
+  hmn::util::Rng rng(3);
+  const Topology t = topology::random_cluster(25, 0.2, rng);
+  EXPECT_EQ(t.host_count(), 25u);
+  EXPECT_EQ(t.switch_count(), 0u);
+  EXPECT_TRUE(t.graph.connected());
+}
+
+TEST(HostNodes, EnumeratesInOrder) {
+  const Topology t = topology::star(3);
+  const auto hosts = t.host_nodes();
+  ASSERT_EQ(hosts.size(), 3u);
+  EXPECT_EQ(hosts[0], n(0));
+  EXPECT_EQ(hosts[2], n(2));
+  EXPECT_TRUE(t.is_host(n(0)));
+  EXPECT_FALSE(t.is_host(n(3)));
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Tests for the bootstrap confidence intervals.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using hmn::util::bootstrap_mean_ci;
+using hmn::util::bootstrap_paired_diff_ci;
+
+TEST(Bootstrap, DegenerateInputsCollapseToPointEstimate) {
+  const std::vector<double> empty;
+  const auto ci0 = bootstrap_mean_ci(empty);
+  EXPECT_DOUBLE_EQ(ci0.lo, 0.0);
+  EXPECT_DOUBLE_EQ(ci0.hi, 0.0);
+
+  const std::vector<double> one{5.0};
+  const auto ci1 = bootstrap_mean_ci(one);
+  EXPECT_DOUBLE_EQ(ci1.lo, 5.0);
+  EXPECT_DOUBLE_EQ(ci1.hi, 5.0);
+}
+
+TEST(Bootstrap, ConstantDataZeroWidth) {
+  const std::vector<double> xs(50, 3.0);
+  const auto ci = bootstrap_mean_ci(xs);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}
+
+TEST(Bootstrap, IntervalBracketsTrueMean) {
+  hmn::util::Rng rng(12);
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = rng.normal(10.0, 2.0);
+  const auto ci = bootstrap_mean_ci(xs, 0.95, 2000, 7);
+  EXPECT_LT(ci.lo, 10.0 + 0.5);
+  EXPECT_GT(ci.hi, 10.0 - 0.5);
+  EXPECT_LT(ci.lo, ci.hi);
+  // Width roughly 2 * 1.96 * sigma/sqrt(n) ~ 0.55.
+  EXPECT_NEAR(ci.hi - ci.lo, 0.55, 0.25);
+}
+
+TEST(Bootstrap, HigherLevelWiderInterval) {
+  hmn::util::Rng rng(13);
+  std::vector<double> xs(100);
+  for (auto& x : xs) x = rng.uniform(0, 10);
+  const auto narrow = bootstrap_mean_ci(xs, 0.80, 2000, 3);
+  const auto wide = bootstrap_mean_ci(xs, 0.99, 2000, 3);
+  EXPECT_LT(narrow.hi - narrow.lo, wide.hi - wide.lo);
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  hmn::util::Rng rng(14);
+  std::vector<double> xs(60);
+  for (auto& x : xs) x = rng.normal(0, 1);
+  const auto a = bootstrap_mean_ci(xs, 0.95, 500, 42);
+  const auto b = bootstrap_mean_ci(xs, 0.95, 500, 42);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, PairedDiffDetectsConsistentGap) {
+  // ys = xs + 1 everywhere: the diff CI must tightly bracket -1 and
+  // exclude zero.
+  hmn::util::Rng rng(15);
+  std::vector<double> xs(100), ys(100);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.uniform(0, 100);
+    ys[i] = xs[i] + 1.0;
+  }
+  const auto ci = bootstrap_paired_diff_ci(xs, ys);
+  EXPECT_NEAR(ci.lo, -1.0, 1e-9);
+  EXPECT_NEAR(ci.hi, -1.0, 1e-9);
+}
+
+TEST(Bootstrap, PairedDiffNoGapIncludesZero) {
+  // Symmetric noise around equality: the CI should straddle zero.
+  hmn::util::Rng rng(16);
+  std::vector<double> xs(300), ys(300);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double base = rng.uniform(0, 100);
+    xs[i] = base + rng.normal(0, 1);
+    ys[i] = base + rng.normal(0, 1);
+  }
+  const auto ci = bootstrap_paired_diff_ci(xs, ys, 0.95, 2000, 5);
+  EXPECT_LT(ci.lo, 0.0);
+  EXPECT_GT(ci.hi, 0.0);
+}
+
+TEST(Bootstrap, PairedDiffLengthMismatchIsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{1, 2};
+  const auto ci = bootstrap_paired_diff_ci(xs, ys);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Unit and statistical tests for the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace {
+
+using hmn::util::Rng;
+using hmn::util::derive_seed;
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next()) << "diverged at draw " << i;
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);  // 64-bit collisions are essentially impossible
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(99);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.5, 7.25);
+    ASSERT_GE(x, -3.5);
+    ASSERT_LT(x, 7.25);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.uniform(4.0, 4.0), 4.0);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.uniform_int(-2, 2);
+    ASSERT_GE(x, -2);
+    ASSERT_LE(x, 2);
+    saw_lo |= (x == -2);
+    saw_hi |= (x == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntUnbiasedSmallRange) {
+  Rng rng(17);
+  std::array<int, 5> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+  }
+  for (const int c : counts) {
+    // Each bucket expects kN/5 = 20000; 4 sigma ~ +-536.
+    EXPECT_NEAR(c, kN / 5, 600);
+  }
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(23);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(31);
+  constexpr int kN = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(43);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto sorted = v;
+  rng.shuffle(v.begin(), v.end());
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));  // 1/100! chance
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleEmptyAndSingle) {
+  Rng rng(1);
+  std::vector<int> empty;
+  rng.shuffle(empty.begin(), empty.end());
+  std::vector<int> one{5};
+  rng.shuffle(one.begin(), one.end());
+  EXPECT_EQ(one[0], 5);
+}
+
+TEST(Rng, ShuffleUniformFirstElement) {
+  // Over many shuffles of {0,1,2,3}, each value should land in slot 0
+  // about a quarter of the time.
+  Rng rng(61);
+  std::array<int, 4> counts{};
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    std::array<int, 4> v{0, 1, 2, 3};
+    rng.shuffle(v.begin(), v.end());
+    ++counts[static_cast<std::size_t>(v[0])];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, kN / 4, 400);
+}
+
+TEST(DeriveSeed, DistinctCellsDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t a = 0; a < 20; ++a) {
+    for (std::uint64_t b = 0; b < 20; ++b) {
+      seeds.insert(derive_seed(42, a, b));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 400u);
+}
+
+TEST(DeriveSeed, DependsOnEveryArgument) {
+  const auto base = derive_seed(1, 2, 3, 4);
+  EXPECT_NE(base, derive_seed(9, 2, 3, 4));
+  EXPECT_NE(base, derive_seed(1, 9, 3, 4));
+  EXPECT_NE(base, derive_seed(1, 2, 9, 4));
+  EXPECT_NE(base, derive_seed(1, 2, 3, 9));
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(derive_seed(7, 8, 9), derive_seed(7, 8, 9));
+}
+
+TEST(DeriveSeed, ArgumentOrderMatters) {
+  EXPECT_NE(derive_seed(1, 2, 3), derive_seed(1, 3, 2));
+}
+
+}  // namespace

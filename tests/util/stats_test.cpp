@@ -1,0 +1,169 @@
+// Tests for the statistics helpers, including the exact population-stddev
+// semantics the objective function (Eq. 10) relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace hmn::util;
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanSingle) {
+  const std::vector<double> xs{7.5};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.5);
+}
+
+TEST(Stats, PopulationVarianceDividesByN) {
+  // Var of {2, 4} about mean 3: ((1)+(1))/2 = 1 (population), 2 (sample).
+  const std::vector<double> xs{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(variance_population(xs), 1.0);
+  EXPECT_DOUBLE_EQ(stddev_population(xs), 1.0);
+  EXPECT_DOUBLE_EQ(stddev_sample(xs), std::sqrt(2.0));
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  const std::vector<double> xs{5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev_population(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_sample(xs), 0.0);
+}
+
+TEST(Stats, StddevSingleElement) {
+  const std::vector<double> xs{3.0};
+  EXPECT_DOUBLE_EQ(stddev_population(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_sample(xs), 0.0);  // n-1 undefined -> 0 by contract
+}
+
+TEST(Stats, KnownStddev) {
+  // {2,4,4,4,5,5,7,9}: classic example with population stddev exactly 2.
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stddev_population(xs), 2.0);
+}
+
+TEST(Stats, PearsonPerfectPositive) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{10, 20, 30, 40, 50};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectNegative) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{4, 4, 4};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonMismatchedLengthsIsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{1, 2};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonIndependentNearZero) {
+  hmn::util::Rng rng(77);
+  std::vector<double> xs(5000), ys(5000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.uniform01();
+    ys[i] = rng.uniform01();
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.05);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+  EXPECT_DOUBLE_EQ(min_value({}), 0.0);
+  EXPECT_DOUBLE_EQ(max_value({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+}
+
+TEST(Stats, PercentileClampsP) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 200), 2.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  hmn::util::Rng rng(13);
+  std::vector<double> xs(1000);
+  RunningStats rs;
+  for (auto& x : xs) {
+    x = rng.uniform(-10, 10);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev_population(), stddev_population(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev_sample(), stddev_sample(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_value(xs));
+}
+
+TEST(RunningStats, EmptyIsZeroes) {
+  const RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev_population(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  hmn::util::Rng rng(29);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 1.5);
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 700; ++i) {
+    const double x = rng.normal(-1.0, 4.0);
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance_population(), all.variance_population(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // empty lhs: adopt rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for the table renderer, CSV writer, and strong ids.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/csv.h"
+#include "util/ids.h"
+#include "util/table.h"
+
+namespace {
+
+using hmn::util::CsvWriter;
+using hmn::util::Table;
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("| 1 "), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, PadsToWidestCell) {
+  Table t({"x"});
+  t.add_row({"wide-cell"});
+  t.add_row({"y"});
+  std::istringstream in(t.to_string());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(Table, ShortRowsPaddedWithEmptyCells) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NE(t.to_string().find("| 1 "), std::string::npos);
+}
+
+TEST(Table, SeparatorProducesRule) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // header rule + top + separator + bottom = 4 rules
+  std::size_t rules = 0, pos = 0;
+  while ((pos = s.find("|-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, CsvSkipsSeparators) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_separator();
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, FmtTrimsTrailingZeros) {
+  EXPECT_EQ(Table::fmt(2.50, 2), "2.5");
+  EXPECT_EQ(Table::fmt(2.00, 2), "2");
+  EXPECT_EQ(Table::fmt(0.125, 3), "0.125");
+  EXPECT_EQ(Table::fmt(1234.0, 0), "1234");
+}
+
+TEST(Table, FmtRounds) {
+  EXPECT_EQ(Table::fmt(1.005, 1), "1");
+  EXPECT_EQ(Table::fmt(2.46, 1), "2.5");
+}
+
+TEST(Csv, WritesRowsAndEscapes) {
+  const std::string path = testing::TempDir() + "/hmn_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.row({"plain", "with,comma", "with\"quote"});
+    csv.row({CsvWriter::num(1.5)});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,\"with,comma\",\"with\"\"quote\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, NumRoundTripsPrecisely) {
+  const double v = 0.1234567890123456789;
+  EXPECT_DOUBLE_EQ(std::stod(CsvWriter::num(v)), v);
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<hmn::HostId, hmn::GuestId>);
+  static_assert(!std::is_same_v<hmn::NodeId, hmn::EdgeId>);
+  SUCCEED();
+}
+
+TEST(Ids, DefaultIsInvalid) {
+  hmn::NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, hmn::NodeId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  const hmn::GuestId g{42};
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.value(), 42u);
+  EXPECT_EQ(g.index(), 42u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(hmn::NodeId{1}, hmn::NodeId{2});
+  EXPECT_EQ(hmn::NodeId{3}, hmn::NodeId{3});
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<hmn::NodeId> set;
+  set.insert(hmn::NodeId{1});
+  set.insert(hmn::NodeId{1});
+  set.insert(hmn::NodeId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace

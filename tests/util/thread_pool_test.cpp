@@ -1,0 +1,104 @@
+// Concurrency tests for ThreadPool and parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace {
+
+using hmn::util::ThreadPool;
+using hmn::util::parallel_for;
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, ThreadCountHonored) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GT(pool.thread_count(), 0u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(kN, [&](std::size_t i) { visits[i].fetch_add(1); }, 8);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  bool touched = false;
+  parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+               1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));  // sequential order
+}
+
+TEST(ParallelFor, ChunkedClaimCoversAll) {
+  constexpr std::size_t kN = 1003;  // not a multiple of the chunk size
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(kN, [&](std::size_t i) { visits[i].fetch_add(1); }, 4, 64);
+  int total = 0;
+  for (auto& v : visits) total += v.load();
+  EXPECT_EQ(total, static_cast<int>(kN));
+}
+
+TEST(ParallelFor, ResultIndependentOfThreadCount) {
+  // Deterministic per-index computation must aggregate identically at any
+  // parallelism level.
+  constexpr std::size_t kN = 4096;
+  auto run = [&](std::size_t threads) {
+    std::vector<double> out(kN);
+    parallel_for(kN, [&](std::size_t i) {
+      out[i] = static_cast<double>(i * i) * 0.5;
+    }, threads);
+    return std::accumulate(out.begin(), out.end(), 0.0);
+  };
+  const double serial = run(1);
+  EXPECT_DOUBLE_EQ(run(2), serial);
+  EXPECT_DOUBLE_EQ(run(8), serial);
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for(3, [&](std::size_t i) { visits[i].fetch_add(1); }, 16);
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+}  // namespace

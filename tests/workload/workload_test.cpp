@@ -1,0 +1,228 @@
+// Tests for the workload presets, generators, and scenario factories
+// (Table 1 and Section 5.1).
+#include <gtest/gtest.h>
+
+#include "workload/host_generator.h"
+#include "workload/presets.h"
+#include "workload/scenario.h"
+#include "workload/venv_generator.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::workload;
+
+TEST(Presets, PaperHostProfileMatchesTable1) {
+  const HostProfile p = paper_host_profile();
+  EXPECT_DOUBLE_EQ(p.proc_mips.lo, 1000.0);
+  EXPECT_DOUBLE_EQ(p.proc_mips.hi, 3000.0);
+  EXPECT_DOUBLE_EQ(p.mem_mb.lo, 1024.0);
+  EXPECT_DOUBLE_EQ(p.mem_mb.hi, 3072.0);
+  EXPECT_DOUBLE_EQ(p.stor_gb.lo, 1024.0);
+  EXPECT_DOUBLE_EQ(p.stor_gb.hi, 3072.0);
+}
+
+TEST(Presets, PaperLinkPropsMatchesTable1) {
+  const auto l = paper_link_props();
+  EXPECT_DOUBLE_EQ(l.bandwidth_mbps, 1000.0);
+  EXPECT_DOUBLE_EQ(l.latency_ms, 5.0);
+}
+
+TEST(Presets, HighLevelProfileMatchesTable1) {
+  const GuestProfile p = high_level_profile();
+  EXPECT_DOUBLE_EQ(p.mem_mb.lo, 128.0);
+  EXPECT_DOUBLE_EQ(p.mem_mb.hi, 256.0);
+  EXPECT_DOUBLE_EQ(p.stor_gb.lo, 100.0);
+  EXPECT_DOUBLE_EQ(p.stor_gb.hi, 200.0);
+  EXPECT_DOUBLE_EQ(p.proc_mips.lo, 50.0);
+  EXPECT_DOUBLE_EQ(p.proc_mips.hi, 100.0);
+  EXPECT_DOUBLE_EQ(p.link_bw_mbps.lo, 0.5);
+  EXPECT_DOUBLE_EQ(p.link_bw_mbps.hi, 1.0);
+  EXPECT_DOUBLE_EQ(p.link_lat_ms.lo, 30.0);
+  EXPECT_DOUBLE_EQ(p.link_lat_ms.hi, 60.0);
+}
+
+TEST(Presets, LowLevelProfileMatchesTable1) {
+  const GuestProfile p = low_level_profile();
+  EXPECT_DOUBLE_EQ(p.mem_mb.lo, 19.0);
+  EXPECT_DOUBLE_EQ(p.mem_mb.hi, 38.0);
+  EXPECT_DOUBLE_EQ(p.proc_mips.lo, 19.0);
+  EXPECT_DOUBLE_EQ(p.proc_mips.hi, 38.0);
+  EXPECT_NEAR(p.link_bw_mbps.lo, 0.087, 1e-12);
+  EXPECT_NEAR(p.link_bw_mbps.hi, 0.175, 1e-12);
+}
+
+TEST(HostGenerator, DrawsWithinRanges) {
+  util::Rng rng(1);
+  const auto hosts = generate_hosts(200, paper_host_profile(), rng);
+  ASSERT_EQ(hosts.size(), 200u);
+  for (const auto& h : hosts) {
+    EXPECT_GE(h.proc_mips, 1000.0);
+    EXPECT_LE(h.proc_mips, 3000.0);
+    EXPECT_GE(h.mem_mb, 1024.0);
+    EXPECT_LE(h.mem_mb, 3072.0);
+    EXPECT_GE(h.stor_gb, 1024.0);
+    EXPECT_LE(h.stor_gb, 3072.0);
+  }
+}
+
+TEST(HostGenerator, Heterogeneous) {
+  util::Rng rng(2);
+  const auto hosts = generate_hosts(10, paper_host_profile(), rng);
+  bool varied = false;
+  for (std::size_t i = 1; i < hosts.size(); ++i) {
+    varied |= hosts[i].proc_mips != hosts[0].proc_mips;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(VenvGenerator, GuestAndLinkRangesRespected) {
+  util::Rng rng(3);
+  VenvGenOptions opts;
+  opts.guest_count = 150;
+  opts.density = 0.05;
+  opts.profile = high_level_profile();
+  const auto venv = generate_venv(opts, rng);
+  EXPECT_EQ(venv.guest_count(), 150u);
+  EXPECT_TRUE(venv.graph().connected());
+  for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+    const auto& req = venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)});
+    EXPECT_GE(req.mem_mb, 128.0);
+    EXPECT_LE(req.mem_mb, 256.0);
+    EXPECT_GE(req.proc_mips, 50.0);
+    EXPECT_LE(req.proc_mips, 100.0);
+  }
+  for (std::size_t l = 0; l < venv.link_count(); ++l) {
+    const auto& d = venv.link(VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)});
+    EXPECT_GE(d.bandwidth_mbps, 0.5);
+    EXPECT_LE(d.bandwidth_mbps, 1.0);
+    EXPECT_GE(d.max_latency_ms, 30.0);
+    EXPECT_LE(d.max_latency_ms, 60.0);
+  }
+}
+
+TEST(VenvGenerator, DensityHonoredAboveTreeFloor) {
+  util::Rng rng(4);
+  VenvGenOptions opts;
+  opts.guest_count = 100;
+  opts.density = 0.10;  // 495 edges, well above the 99-edge tree
+  opts.profile = low_level_profile();
+  const auto venv = generate_venv(opts, rng);
+  EXPECT_NEAR(static_cast<double>(venv.link_count()), 495.0, 1.0);
+}
+
+TEST(VenvGenerator, NormalizationCapsAggregateDemand) {
+  const auto cluster = make_paper_cluster(ClusterKind::kSwitched, 5);
+  double cap_mem = 0.0;
+  for (const NodeId h : cluster.hosts()) cap_mem += cluster.capacity(h).mem_mb;
+
+  util::Rng rng(6);
+  VenvGenOptions opts;
+  opts.guest_count = 400;  // 10:1, where raw Table 1 demand is ~96%
+  opts.density = 0.015;
+  opts.profile = high_level_profile();
+  opts.normalize_to = &cluster;
+  opts.capacity_fraction = 0.8;
+  const auto venv = generate_venv(opts, rng);
+  EXPECT_LE(venv.total_vmem_mb(), 0.8 * cap_mem + 1.0);
+}
+
+TEST(VenvGenerator, NormalizationIsNoopWhenDemandLow) {
+  const auto cluster = make_paper_cluster(ClusterKind::kSwitched, 5);
+  util::Rng rng(7);
+  VenvGenOptions opts;
+  opts.guest_count = 40;  // 1:1 — far below capacity
+  opts.density = 0.05;
+  opts.profile = high_level_profile();
+  opts.normalize_to = &cluster;
+  const auto venv = generate_venv(opts, rng);
+  for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+    // No scaling: raw Table 1 range preserved.
+    EXPECT_GE(venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)}).mem_mb, 128.0);
+  }
+}
+
+TEST(VenvGenerator, DeterministicForSameRngSeed) {
+  VenvGenOptions opts;
+  opts.guest_count = 50;
+  opts.density = 0.05;
+  opts.profile = high_level_profile();
+  util::Rng r1(9), r2(9);
+  const auto v1 = generate_venv(opts, r1);
+  const auto v2 = generate_venv(opts, r2);
+  ASSERT_EQ(v1.guest_count(), v2.guest_count());
+  ASSERT_EQ(v1.link_count(), v2.link_count());
+  for (std::size_t g = 0; g < v1.guest_count(); ++g) {
+    const auto id = GuestId{static_cast<GuestId::underlying_type>(g)};
+    EXPECT_DOUBLE_EQ(v1.guest(id).mem_mb, v2.guest(id).mem_mb);
+  }
+}
+
+TEST(Scenario, LabelFormat) {
+  const Scenario s{2.5, 0.015, WorkloadKind::kHighLevel};
+  EXPECT_EQ(s.label(), "2.5:1 0.015");
+  const Scenario t{20.0, 0.01, WorkloadKind::kLowLevel};
+  EXPECT_EQ(t.label(), "20:1 0.01");
+}
+
+TEST(Scenario, GuestCountScalesWithHosts) {
+  const Scenario s{2.5, 0.015, WorkloadKind::kHighLevel};
+  EXPECT_EQ(s.guest_count(40), 100u);
+  const Scenario t{50.0, 0.01, WorkloadKind::kLowLevel};
+  EXPECT_EQ(t.guest_count(40), 2000u);
+}
+
+TEST(Scenario, PaperGridHas16Rows) {
+  const auto scenarios = paper_scenarios();
+  ASSERT_EQ(scenarios.size(), 16u);
+  // First block: high-level, density-major.
+  EXPECT_EQ(scenarios[0].label(), "2.5:1 0.015");
+  EXPECT_EQ(scenarios[3].label(), "10:1 0.015");
+  EXPECT_EQ(scenarios[4].label(), "2.5:1 0.02");
+  EXPECT_EQ(scenarios[11].label(), "10:1 0.025");
+  // Low-level block.
+  EXPECT_EQ(scenarios[12].label(), "20:1 0.01");
+  EXPECT_EQ(scenarios[15].label(), "50:1 0.01");
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(scenarios[i].workload, WorkloadKind::kHighLevel);
+  }
+  for (std::size_t i = 12; i < 16; ++i) {
+    EXPECT_EQ(scenarios[i].workload, WorkloadKind::kLowLevel);
+  }
+}
+
+TEST(Scenario, PaperClusterShapes) {
+  const auto torus = make_paper_cluster(ClusterKind::kTorus2D, 1);
+  EXPECT_EQ(torus.host_count(), 40u);
+  EXPECT_EQ(torus.node_count(), 40u);
+  EXPECT_EQ(torus.link_count(), 80u);
+
+  const auto switched = make_paper_cluster(ClusterKind::kSwitched, 1);
+  EXPECT_EQ(switched.host_count(), 40u);
+  EXPECT_EQ(switched.node_count(), 41u);  // one 64-port switch
+  EXPECT_EQ(switched.link_count(), 40u);
+}
+
+TEST(Scenario, SameSeedSameHostsAcrossTopologies) {
+  // Section 5.1: both clusters are built from the same set of hosts.
+  const auto torus = make_paper_cluster(ClusterKind::kTorus2D, 31);
+  const auto switched = make_paper_cluster(ClusterKind::kSwitched, 31);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const auto nh = NodeId{static_cast<NodeId::underlying_type>(i)};
+    EXPECT_DOUBLE_EQ(torus.capacity(nh).proc_mips,
+                     switched.capacity(nh).proc_mips);
+    EXPECT_DOUBLE_EQ(torus.capacity(nh).mem_mb, switched.capacity(nh).mem_mb);
+  }
+}
+
+TEST(Scenario, VenvMatchesScenarioShape) {
+  const auto cluster = make_paper_cluster(ClusterKind::kTorus2D, 3);
+  const Scenario s{5.0, 0.02, WorkloadKind::kHighLevel};
+  const auto venv = make_scenario_venv(s, cluster, 4);
+  EXPECT_EQ(venv.guest_count(), 200u);
+  EXPECT_TRUE(venv.graph().connected());
+  // Density 0.02 of C(200,2) = 398 links; the spanning-tree floor is 199.
+  EXPECT_NEAR(static_cast<double>(venv.link_count()), 398.0, 1.0);
+}
+
+}  // namespace

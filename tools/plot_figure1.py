@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Plot Figure 1 (HMN mapping time vs. virtual links mapped) from the CSV
+that bench_figure1 writes to bench_out/figure1_hmn_torus.csv.
+
+Usage:
+    python3 tools/plot_figure1.py [bench_out/figure1_hmn_torus.csv] [out.svg]
+
+Requires matplotlib; falls back to an ASCII rendering when it is missing
+(the bench binary already prints one, so this is just a convenience).
+"""
+import csv
+import sys
+
+
+def load(path):
+    rows = []
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            rows.append((float(row["links_mapped_mean"]),
+                         float(row["map_seconds_mean"]),
+                         float(row["map_seconds_stddev"]),
+                         row["scenario"]))
+    rows.sort()
+    return rows
+
+
+def ascii_plot(rows):
+    peak = max(m for _, m, _, _ in rows) or 1.0
+    for x, mean, std, label in rows:
+        bar = "#" * max(1, round(mean / peak * 50))
+        print(f"{x:9.0f} |{bar} {mean:.4f}s ±{std:.4f} ({label})")
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_out/figure1_hmn_torus.csv"
+    out = sys.argv[2] if len(sys.argv) > 2 else "figure1.svg"
+    rows = load(path)
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; ASCII rendering:")
+        ascii_plot(rows)
+        return
+    xs = [r[0] for r in rows]
+    means = [r[1] for r in rows]
+    stds = [r[2] for r in rows]
+    fig, ax = plt.subplots(figsize=(7, 4))
+    ax.errorbar(xs, means, yerr=stds, marker="o", capsize=3)
+    ax.set_xlabel("virtual links mapped")
+    ax.set_ylabel("HMN mapping time (s)")
+    ax.set_title("Figure 1 — HMN execution time vs. links mapped (torus)")
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()
