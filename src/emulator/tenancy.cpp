@@ -1,6 +1,9 @@
 #include "emulator/tenancy.h"
 
 #include <algorithm>
+#include <set>
+
+#include "core/incremental.h"
 
 namespace hmn::emulator {
 
@@ -17,25 +20,34 @@ TenancyManager::TenancyManager(model::PhysicalCluster cluster,
 }
 
 void TenancyManager::apply(const Tenant& tenant, double sign) {
-  for (std::size_t g = 0; g < tenant.venv.guest_count(); ++g) {
+  apply_mapping(tenant.venv, tenant.mapping, sign);
+}
+
+void TenancyManager::apply_mapping(const model::VirtualEnvironment& venv,
+                                   const core::Mapping& mapping, double sign) {
+  for (std::size_t g = 0; g < venv.guest_count(); ++g) {
     const auto& req =
-        tenant.venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)});
-    const std::size_t h = tenant.mapping.guest_host[g].index();
+        venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)});
+    const std::size_t h = mapping.guest_host[g].index();
     used_proc_[h] += sign * req.proc_mips;
     used_mem_[h] += sign * req.mem_mb;
     used_stor_[h] += sign * req.stor_gb;
   }
-  for (std::size_t l = 0; l < tenant.venv.link_count(); ++l) {
+  for (std::size_t l = 0; l < venv.link_count(); ++l) {
     const double bw =
-        tenant.venv.link(VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)})
+        venv.link(VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)})
             .bandwidth_mbps;
-    for (const EdgeId e : tenant.mapping.link_paths[l]) {
+    for (const EdgeId e : mapping.link_paths[l]) {
       used_bw_[e.index()] += sign * bw;
     }
   }
 }
 
 model::PhysicalCluster TenancyManager::residual_cluster() const {
+  return residual_view();
+}
+
+model::PhysicalCluster TenancyManager::residual_view() const {
   topology::Topology topo = cluster_.topology();  // copy
   std::vector<model::HostCapacity> caps;
   caps.reserve(cluster_.host_count());
@@ -88,6 +100,125 @@ bool TenancyManager::release(TenantId id) {
   apply(it->second, -1.0);
   tenants_.erase(it);
   return true;
+}
+
+TenancyManager::GrowthResult TenancyManager::grow(
+    TenantId id, model::VirtualEnvironment grown, std::uint64_t seed) {
+  GrowthResult result;
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    result.error = core::MapErrorCode::kInvalidInput;
+    result.detail = "unknown tenant";
+    return result;
+  }
+  Tenant& tenant = it->second;
+  if (grown.guest_count() < tenant.venv.guest_count() ||
+      grown.link_count() < tenant.venv.link_count()) {
+    result.error = core::MapErrorCode::kInvalidInput;
+    result.detail = "grown environment is smaller than the running one";
+    return result;
+  }
+
+  // The view excludes this tenant's own reservations: extend_mapping (and
+  // the full-remap fallback) re-account the tenant against it from scratch.
+  apply(tenant, -1.0);
+  const model::PhysicalCluster view = residual_view();
+  core::MapOutcome outcome = core::extend_mapping(view, grown, tenant.mapping);
+  bool fell_back = false;
+  if (!outcome.ok()) {
+    outcome = pool_.first_success(view, grown, seed);
+    fell_back = true;
+  }
+  if (!outcome.ok()) {
+    apply(tenant, +1.0);  // restore: the tenant keeps running unchanged
+    result.error = outcome.error;
+    result.detail = std::move(outcome.detail);
+    return result;
+  }
+  tenant.venv = std::move(grown);
+  tenant.mapping = std::move(*outcome.mapping);
+  apply(tenant, +1.0);
+  result.ok = true;
+  result.used_full_remap = fell_back;
+  return result;
+}
+
+bool TenancyManager::update_mappings(
+    const std::vector<std::pair<TenantId, core::Mapping>>& updates) {
+  std::set<TenantId> seen;
+  for (const auto& [id, mapping] : updates) {
+    const auto it = tenants_.find(id);
+    if (it == tenants_.end() || !seen.insert(id).second) return false;
+    const Tenant& tenant = it->second;
+    if (mapping.guest_host.size() != tenant.venv.guest_count() ||
+        mapping.link_paths.size() != tenant.venv.link_count()) {
+      return false;
+    }
+    for (const NodeId h : mapping.guest_host) {
+      if (!h.valid() || !cluster_.is_host(h)) return false;
+    }
+  }
+
+  // Install, then verify the aggregate; roll back wholesale on violation.
+  std::vector<core::Mapping> previous;
+  previous.reserve(updates.size());
+  for (const auto& [id, mapping] : updates) {
+    Tenant& tenant = tenants_.at(id);
+    previous.push_back(std::move(tenant.mapping));
+    apply_mapping(tenant.venv, previous.back(), -1.0);
+    tenant.mapping = mapping;
+    apply_mapping(tenant.venv, tenant.mapping, +1.0);
+  }
+
+  bool feasible = true;
+  for (const NodeId h : cluster_.hosts()) {
+    const auto& cap = cluster_.capacity(h);
+    const std::size_t i = h.index();
+    const double eps_mem = 1e-6 * (1.0 + cap.mem_mb);
+    const double eps_stor = 1e-6 * (1.0 + cap.stor_gb);
+    if (used_mem_[i] > cap.mem_mb + eps_mem ||
+        used_stor_[i] > cap.stor_gb + eps_stor) {
+      feasible = false;
+      break;
+    }
+  }
+  if (feasible) {
+    for (std::size_t e = 0; e < cluster_.link_count(); ++e) {
+      const double cap =
+          cluster_.link(EdgeId{static_cast<EdgeId::underlying_type>(e)})
+              .bandwidth_mbps;
+      if (used_bw_[e] > cap + 1e-6 * (1.0 + cap)) {
+        feasible = false;
+        break;
+      }
+    }
+  }
+  if (!feasible) {
+    for (std::size_t k = updates.size(); k-- > 0;) {
+      Tenant& tenant = tenants_.at(updates[k].first);
+      apply_mapping(tenant.venv, tenant.mapping, -1.0);
+      tenant.mapping = std::move(previous[k]);
+      apply_mapping(tenant.venv, tenant.mapping, +1.0);
+    }
+    return false;
+  }
+  return true;
+}
+
+std::vector<TenantId> TenancyManager::tenant_ids() const {
+  std::vector<TenantId> ids;
+  ids.reserve(tenants_.size());
+  for (const auto& [id, tenant] : tenants_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<double> TenancyManager::residual_host_proc() const {
+  std::vector<double> rproc;
+  rproc.reserve(cluster_.host_count());
+  for (const NodeId h : cluster_.hosts()) {
+    rproc.push_back(cluster_.capacity(h).proc_mips - used_proc_[h.index()]);
+  }
+  return rproc;
 }
 
 const Tenant* TenancyManager::tenant(TenantId id) const {

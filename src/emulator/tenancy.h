@@ -16,13 +16,18 @@
 //
 // Admission is deliberately conservative: a tenant that cannot be mapped
 // within the current residual is rejected rather than triggering
-// migrations of running tenants.
+// migrations of running tenants.  The orchestrator layer
+// (src/orchestrator) composes the two mutating extensions below — grow()
+// and update_mappings() — into churn-driven growth and background
+// defragmentation on top of that conservative core.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/map_result.h"
 #include "extensions/heuristic_pool.h"
@@ -76,7 +81,33 @@ class TenancyManager {
   /// Releases a tenant's resources.  False if the id is unknown.
   bool release(TenantId id);
 
+  /// Grows a running tenant to `grown` (its current venv plus appended
+  /// guests/links; existing ids unchanged).  Tries core::extend_mapping
+  /// first — existing guests keep their hosts — and, when the increment
+  /// does not fit the residual, falls back to a full remap of the grown
+  /// environment through the admission pool (the tenant's guests may all
+  /// move, but no *other* tenant is disturbed).  On failure the tenant is
+  /// left exactly as it was.
+  struct GrowthResult {
+    bool ok = false;
+    bool used_full_remap = false;
+    core::MapErrorCode error = core::MapErrorCode::kNone;
+    std::string detail;
+  };
+  GrowthResult grow(TenantId id, model::VirtualEnvironment grown,
+                    std::uint64_t seed);
+
+  /// Atomically replaces the mappings of the listed tenants (the commit
+  /// step of a defragmentation pass).  Every new mapping must cover its
+  /// tenant's current venv; the aggregate reservation after the swap must
+  /// respect every host's memory/storage and every link's bandwidth.  On
+  /// any violation nothing changes and false is returned.
+  bool update_mappings(
+      const std::vector<std::pair<TenantId, core::Mapping>>& updates);
+
   [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
+  /// Ids of all running tenants in ascending order.
+  [[nodiscard]] std::vector<TenantId> tenant_ids() const;
   /// nullptr when unknown.
   [[nodiscard]] const Tenant* tenant(TenantId id) const;
   [[nodiscard]] const model::PhysicalCluster& cluster() const {
@@ -86,6 +117,11 @@ class TenancyManager {
   /// The cluster as the *next* tenant would see it: host capacities and
   /// link bandwidths minus all current reservations.
   [[nodiscard]] model::PhysicalCluster residual_cluster() const;
+
+  /// Unclamped residual CPU per host in cluster().hosts() order — the
+  /// vector the cluster-wide load-balance factor (Eq. 10) is computed
+  /// over.  May contain negative entries: CPU is not a hard constraint.
+  [[nodiscard]] std::vector<double> residual_host_proc() const;
 
   [[nodiscard]] TenancyUtilization utilization() const;
 
@@ -102,6 +138,11 @@ class TenancyManager {
   std::vector<double> used_bw_;
 
   void apply(const Tenant& tenant, double sign);
+  void apply_mapping(const model::VirtualEnvironment& venv,
+                     const core::Mapping& mapping, double sign);
+  /// Residual view built from the current `used_*` arrays (shared by
+  /// residual_cluster() and grow()'s exclude-one view).
+  [[nodiscard]] model::PhysicalCluster residual_view() const;
 };
 
 }  // namespace hmn::emulator

@@ -1,0 +1,195 @@
+#include "io/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/json_parser.h"
+
+namespace hmn::io {
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_range(std::ostringstream& out, const char* name,
+                 const workload::Range& r) {
+  out << '"' << name << "\":[" << num(r.lo) << ',' << num(r.hi) << ']';
+}
+
+TraceParseError err(std::size_t line, std::string message) {
+  return {std::move(message), line};
+}
+
+/// Reads a [lo,hi] member into `range`; false on shape mismatch.
+bool read_range(const JsonValue& profile, const char* name,
+                workload::Range& range) {
+  const JsonValue* v = profile.find(name);
+  if (v == nullptr || !v->is_array() || v->as_array().size() != 2 ||
+      !v->as_array()[0].is_number() || !v->as_array()[1].is_number()) {
+    return false;
+  }
+  range.lo = v->as_array()[0].as_number();
+  range.hi = v->as_array()[1].as_number();
+  return true;
+}
+
+bool read_seed(const JsonValue& obj, std::uint64_t& seed) {
+  const JsonValue* v = obj.find("seed");
+  if (v == nullptr || !v->is_string()) return false;
+  seed = std::strtoull(v->as_string().c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+std::string write_trace(const workload::ChurnTrace& trace) {
+  std::ostringstream out;
+  out << "{\"type\":\"churn-trace\",\"version\":1,\"profile\":{";
+  write_range(out, "proc_mips", trace.profile.proc_mips);
+  out << ',';
+  write_range(out, "mem_mb", trace.profile.mem_mb);
+  out << ',';
+  write_range(out, "stor_gb", trace.profile.stor_gb);
+  out << ',';
+  write_range(out, "link_bw_mbps", trace.profile.link_bw_mbps);
+  out << ',';
+  write_range(out, "link_lat_ms", trace.profile.link_lat_ms);
+  out << "}}\n";
+
+  for (const workload::TenantEvent& ev : trace.events) {
+    out << "{\"t\":" << num(ev.time) << ",\"ev\":\""
+        << workload::to_string(ev.kind) << "\",\"tenant\":" << ev.tenant;
+    switch (ev.kind) {
+      case workload::EventKind::kArrive:
+        out << ",\"guests\":" << ev.guest_count
+            << ",\"density\":" << num(ev.density) << ",\"seed\":\"" << ev.seed
+            << '"';
+        break;
+      case workload::EventKind::kGrow:
+        out << ",\"add_guests\":" << ev.add_guests
+            << ",\"add_links\":" << ev.add_links << ",\"seed\":\"" << ev.seed
+            << '"';
+        break;
+      case workload::EventKind::kDepart:
+        break;
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+std::variant<workload::ChurnTrace, TraceParseError> read_trace(
+    std::string_view text) {
+  workload::ChurnTrace trace;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    auto parsed = parse_json(line);
+    if (std::holds_alternative<JsonParseError>(parsed)) {
+      return err(line_no, std::get<JsonParseError>(parsed).message);
+    }
+    const JsonValue& obj = std::get<JsonValue>(parsed);
+    if (!obj.is_object()) return err(line_no, "expected a JSON object");
+
+    if (!saw_header) {
+      const JsonValue* type = obj.find("type");
+      if (type == nullptr || !type->is_string() ||
+          type->as_string() != "churn-trace") {
+        return err(line_no, "missing churn-trace header");
+      }
+      const JsonValue* profile = obj.find("profile");
+      if (profile == nullptr || !profile->is_object() ||
+          !read_range(*profile, "proc_mips", trace.profile.proc_mips) ||
+          !read_range(*profile, "mem_mb", trace.profile.mem_mb) ||
+          !read_range(*profile, "stor_gb", trace.profile.stor_gb) ||
+          !read_range(*profile, "link_bw_mbps", trace.profile.link_bw_mbps) ||
+          !read_range(*profile, "link_lat_ms", trace.profile.link_lat_ms)) {
+        return err(line_no, "malformed profile in header");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    workload::TenantEvent ev;
+    const JsonValue* t = obj.find("t");
+    const JsonValue* kind = obj.find("ev");
+    const JsonValue* tenant = obj.find("tenant");
+    if (t == nullptr || !t->is_number() || kind == nullptr ||
+        !kind->is_string() || tenant == nullptr || !tenant->is_number()) {
+      return err(line_no, "event line needs t, ev, tenant");
+    }
+    ev.time = t->as_number();
+    ev.tenant = static_cast<std::uint32_t>(tenant->as_number());
+    const std::string& k = kind->as_string();
+    if (k == "arrive") {
+      ev.kind = workload::EventKind::kArrive;
+      ev.guest_count =
+          static_cast<std::size_t>(obj.number_or("guests", 0.0));
+      ev.density = obj.number_or("density", 0.0);
+      if (!read_seed(obj, ev.seed)) {
+        return err(line_no, "arrive event needs a string seed");
+      }
+    } else if (k == "grow") {
+      ev.kind = workload::EventKind::kGrow;
+      ev.add_guests =
+          static_cast<std::size_t>(obj.number_or("add_guests", 0.0));
+      ev.add_links =
+          static_cast<std::size_t>(obj.number_or("add_links", 0.0));
+      if (!read_seed(obj, ev.seed)) {
+        return err(line_no, "grow event needs a string seed");
+      }
+    } else if (k == "depart") {
+      ev.kind = workload::EventKind::kDepart;
+    } else {
+      return err(line_no, "unknown event kind '" + k + "'");
+    }
+    trace.events.push_back(ev);
+  }
+  if (!saw_header) return err(0, "empty trace: no header line");
+  return trace;
+}
+
+workload::ChurnTrace read_trace_or_throw(std::string_view text) {
+  auto parsed = read_trace(text);
+  if (std::holds_alternative<TraceParseError>(parsed)) {
+    const auto& e = std::get<TraceParseError>(parsed);
+    throw std::runtime_error("trace parse error at line " +
+                             std::to_string(e.line) + ": " + e.message);
+  }
+  return std::get<workload::ChurnTrace>(std::move(parsed));
+}
+
+bool save_trace(const std::filesystem::path& path,
+                const workload::ChurnTrace& trace) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << write_trace(trace);
+  return static_cast<bool>(out);
+}
+
+std::optional<workload::ChurnTrace> load_trace(
+    const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = read_trace(buf.str());
+  if (std::holds_alternative<TraceParseError>(parsed)) return std::nullopt;
+  return std::get<workload::ChurnTrace>(std::move(parsed));
+}
+
+}  // namespace hmn::io

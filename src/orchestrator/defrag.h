@@ -1,0 +1,56 @@
+// Background defragmentation of a multi-tenant cluster.
+//
+// Tenant departures carve random holes into the placement; over time the
+// cluster drifts toward a state where aggregate capacity is plentiful but
+// no single host can take the next tenant's largest guest (classic bin
+// fragmentation), and physical links carry detours routed around
+// since-departed traffic.  A defrag pass treats the *aggregate* placement
+// — every guest of every tenant — as one environment and
+//
+//   1. runs the paper's Migration stage (core::run_migration) on it,
+//      reducing the cluster-wide load-balance factor (Eq. 10) subject to
+//      memory/storage fits, and
+//   2. re-routes every inter-host virtual link from scratch in descending
+//      bandwidth order (the Networking stage's global order, which a
+//      sequence of independent per-tenant admissions cannot achieve).
+//
+// The pass is transactional: the new placement is committed through
+// TenancyManager::update_mappings only when every link routes; otherwise
+// nothing changes.  Schaffrath et al. (PAPERS.md) show migration-aware
+// re-embedding is the lever for efficiency under churn — this is that
+// lever built from the paper's own stages.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/migration.h"
+#include "emulator/tenancy.h"
+
+namespace hmn::orchestrator {
+
+struct DefragOptions {
+  core::MigrationOptions migration{
+      .victim = core::VictimPolicy::kBestImprovement};
+  /// Re-route all virtual links globally after the moves.  Disabling this
+  /// also disables guest moves (a moved guest's links must be re-routed),
+  /// turning the pass into a no-op — exposed for ablations.
+  bool reroute_links = true;
+};
+
+struct DefragResult {
+  bool committed = false;
+  std::size_t migrations = 0;       // guests moved by the Migration stage
+  std::size_t links_rerouted = 0;   // inter-host links routed afresh
+  double lbf_before = 0.0;          // Eq. 10 over all hosts, pre-pass
+  double lbf_after = 0.0;           // post-pass (== before when !committed)
+  std::string detail;               // why the pass did not commit
+};
+
+/// Runs one defragmentation pass over every tenant of `mgr`.  Running
+/// tenants are never *lost*: on any infeasibility the pass aborts and the
+/// manager is untouched.
+[[nodiscard]] DefragResult run_defrag(emulator::TenancyManager& mgr,
+                                      const DefragOptions& opts = {});
+
+}  // namespace hmn::orchestrator

@@ -1,0 +1,247 @@
+#include "orchestrator/orchestrator.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "core/objective.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace hmn::orchestrator {
+namespace {
+
+std::uint64_t fnv1a(const std::vector<NodeId>& hosts) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const NodeId n : hosts) {
+    h ^= n.value();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string tenant_name(std::uint32_t key) {
+  return "t" + std::to_string(key);
+}
+
+}  // namespace
+
+double OrchestratorReport::acceptance_rate() const {
+  if (arrivals == 0) return 0.0;
+  return static_cast<double>(admitted_immediately + admitted_from_queue) /
+         static_cast<double>(arrivals);
+}
+
+double OrchestratorReport::mean_queue_wait() const {
+  return util::mean(queue_waits);
+}
+
+double OrchestratorReport::latency_percentile_us(double p) const {
+  return util::percentile(decision_latencies_us, p);
+}
+
+std::string OrchestratorReport::decision_signature() const {
+  std::ostringstream out;
+  char buf[128];
+  for (const EventDecision& d : decisions) {
+    std::snprintf(buf, sizeof(buf), "%.17g|%d|%u|%d|%d|%016" PRIx64 ";",
+                  d.time, static_cast<int>(d.kind), d.tenant,
+                  static_cast<int>(d.decision), static_cast<int>(d.error),
+                  d.placement_hash);
+    out << buf;
+  }
+  return out.str();
+}
+
+Orchestrator::Orchestrator(model::PhysicalCluster cluster,
+                           workload::GuestProfile profile,
+                           OrchestratorOptions opts)
+    : Orchestrator(std::move(cluster), profile, extensions::default_pool(),
+                   opts) {}
+
+Orchestrator::Orchestrator(model::PhysicalCluster cluster,
+                           workload::GuestProfile profile,
+                           extensions::HeuristicPool pool,
+                           OrchestratorOptions opts)
+    : mgr_(std::move(cluster), std::move(pool)),
+      profile_(profile),
+      opts_(opts),
+      queue_(opts.retry_max_attempts, opts.max_queue) {}
+
+std::uint64_t Orchestrator::placement_hash(emulator::TenantId id) const {
+  const emulator::Tenant* tenant = mgr_.tenant(id);
+  return tenant == nullptr ? 0 : fnv1a(tenant->mapping.guest_host);
+}
+
+void Orchestrator::record(EventDecision decision) {
+  report_.decision_latencies_us.push_back(decision.latency_us);
+  report_.decisions.push_back(std::move(decision));
+}
+
+void Orchestrator::sample(double time) {
+  const emulator::TenancyUtilization u = mgr_.utilization();
+  UtilizationSample s;
+  s.time = time;
+  s.mem_fraction = u.mem_fraction;
+  s.lbf = core::load_balance_factor(mgr_.residual_host_proc());
+  s.live_tenants = live_.size();
+  s.queued = queue_.size();
+  report_.timeline.push_back(s);
+}
+
+void Orchestrator::maybe_defrag() {
+  const std::size_t k = opts_.defrag_every_departures;
+  if (k == 0 || departures_ % k != 0) return;
+  const util::Timer timer;
+  const DefragResult pass = run_defrag(mgr_, opts_.defrag);
+  report_.defrag.total_seconds += timer.elapsed_seconds();
+  ++report_.defrag.passes;
+  if (pass.committed) {
+    ++report_.defrag.committed;
+    report_.defrag.migrations += pass.migrations;
+    report_.defrag.lbf_reduction += pass.lbf_before - pass.lbf_after;
+  }
+}
+
+void Orchestrator::drain_queue(double now) {
+  std::unordered_map<std::uint32_t, double> latencies;
+  auto outcome = queue_.drain([&](PendingTenant& entry) {
+    const util::Timer timer;
+    // Each attempt gets a fresh derived seed: a randomized fallback mapper
+    // retrying with the arrival seed would fail identically forever.
+    const auto result =
+        mgr_.admit(entry.name, entry.venv,
+                   util::derive_seed(entry.seed, entry.attempts));
+    latencies[entry.key] = timer.elapsed_us();
+    if (!result.ok()) return false;
+    live_[entry.key] = *result.tenant;
+    return true;
+  });
+
+  for (const PendingTenant& entry : outcome.admitted) {
+    EventDecision d;
+    d.time = now;
+    d.kind = workload::EventKind::kArrive;
+    d.tenant = entry.key;
+    d.decision = Decision::kAdmittedFromQueue;
+    d.queue_wait = now - entry.enqueued_at;
+    d.latency_us = latencies[entry.key];
+    d.placement_hash = placement_hash(live_.at(entry.key));
+    ++report_.admitted_from_queue;
+    report_.queue_waits.push_back(d.queue_wait);
+    record(d);
+  }
+  for (const PendingTenant& entry : outcome.dropped) {
+    EventDecision d;
+    d.time = now;
+    d.kind = workload::EventKind::kArrive;
+    d.tenant = entry.key;
+    d.decision = Decision::kDropped;
+    d.error = core::MapErrorCode::kTriesExhausted;
+    d.queue_wait = now - entry.enqueued_at;
+    d.latency_us = latencies[entry.key];
+    ++report_.dropped;
+    record(d);
+  }
+}
+
+EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
+  const util::Timer timer;
+  EventDecision d;
+  d.time = ev.time;
+  d.kind = ev.kind;
+  d.tenant = ev.tenant;
+  bool freed_capacity = false;
+
+  switch (ev.kind) {
+    case workload::EventKind::kArrive: {
+      ++report_.arrivals;
+      model::VirtualEnvironment venv = workload::make_event_venv(profile_, ev);
+      const auto result =
+          mgr_.admit(tenant_name(ev.tenant), venv, ev.seed);
+      if (result.ok()) {
+        live_[ev.tenant] = *result.tenant;
+        d.decision = Decision::kAdmitted;
+        d.placement_hash = placement_hash(*result.tenant);
+        ++report_.admitted_immediately;
+      } else {
+        d.error = result.error;
+        if (queue_.full()) {
+          d.decision = Decision::kRejected;
+          ++report_.rejected;
+        } else {
+          d.decision = Decision::kQueued;
+          PendingTenant pending;
+          pending.key = ev.tenant;
+          pending.name = tenant_name(ev.tenant);
+          pending.venv = std::move(venv);
+          pending.seed = ev.seed;
+          pending.enqueued_at = ev.time;
+          pending.attempts = 1;  // the arrival itself
+          queue_.push(std::move(pending));
+        }
+      }
+      break;
+    }
+    case workload::EventKind::kGrow: {
+      const auto it = live_.find(ev.tenant);
+      if (it == live_.end()) {
+        d.decision = Decision::kNoOp;
+        break;
+      }
+      ++report_.growths;
+      const emulator::Tenant* tenant = mgr_.tenant(it->second);
+      model::VirtualEnvironment grown =
+          workload::apply_growth(tenant->venv, profile_, ev);
+      const auto result = mgr_.grow(it->second, std::move(grown), ev.seed);
+      if (result.ok) {
+        d.decision = result.used_full_remap ? Decision::kGrownByRemap
+                                            : Decision::kGrown;
+        d.placement_hash = placement_hash(it->second);
+        ++(result.used_full_remap ? report_.grown_by_remap
+                                  : report_.grown_in_place);
+      } else {
+        d.decision = Decision::kGrowthRejected;
+        d.error = result.error;
+        ++report_.growth_rejected;
+      }
+      break;
+    }
+    case workload::EventKind::kDepart: {
+      const auto it = live_.find(ev.tenant);
+      if (it != live_.end()) {
+        mgr_.release(it->second);
+        live_.erase(it);
+        d.decision = Decision::kDeparted;
+        ++departures_;
+        freed_capacity = true;
+      } else if (auto entry = queue_.erase(ev.tenant)) {
+        d.decision = Decision::kAbandoned;
+        d.queue_wait = ev.time - entry->enqueued_at;
+        ++report_.abandoned;
+      } else {
+        d.decision = Decision::kNoOp;
+      }
+      break;
+    }
+  }
+
+  d.latency_us = timer.elapsed_us();
+  record(d);
+  if (freed_capacity) {
+    maybe_defrag();
+    drain_queue(ev.time);
+  }
+  sample(ev.time);
+  return d;
+}
+
+const OrchestratorReport& Orchestrator::run(const workload::ChurnTrace& trace) {
+  for (const workload::TenantEvent& ev : trace.events) handle(ev);
+  return report_;
+}
+
+}  // namespace hmn::orchestrator

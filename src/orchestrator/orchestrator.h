@@ -1,0 +1,182 @@
+// The online control plane: an event-driven orchestrator for a
+// continuously shared emulation testbed.
+//
+// The paper's mapper answers one question — "where does this virtual
+// environment go?" — for a single tester on an idle cluster.  The
+// Orchestrator asks it continuously: it consumes a time-ordered stream of
+// tenant events (workload::ChurnGenerator or a recorded trace) against one
+// shared cluster and emits a decision per event:
+//
+//   ARRIVE  admission through the TenancyManager's heuristic pool; a
+//           tenant that does not fit is parked in the deferred-retry
+//           queue rather than lost;
+//   GROW    in-place extension via core::extend_mapping, falling back to
+//           a full remap of that tenant when the increment does not fit;
+//   DEPART  release, then — capacity just freed — an optional background
+//           defragmentation pass (orchestrator::run_defrag) and a drain
+//           of the retry queue in FIFO order.
+//
+// Every mapping decision is seeded from the event stream, so a recorded
+// trace replays to bit-identical decisions and placements; only the
+// wall-clock decision latencies differ between runs.  The report carries
+// the longitudinal series a capacity planner wants: acceptance rate,
+// time-in-queue, utilization-over-time, and decision-latency percentiles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/map_result.h"
+#include "emulator/tenancy.h"
+#include "extensions/heuristic_pool.h"
+#include "orchestrator/defrag.h"
+#include "orchestrator/retry_queue.h"
+#include "workload/churn.h"
+
+namespace hmn::orchestrator {
+
+enum class Decision : std::uint8_t {
+  kAdmitted,           // ARRIVE mapped immediately
+  kQueued,             // ARRIVE rejected, parked for retry
+  kRejected,           // ARRIVE rejected with the queue full
+  kAdmittedFromQueue,  // backfill admission after a departure
+  kDropped,            // left the queue after exhausting retry attempts
+  kAbandoned,          // departed while still queued (never admitted)
+  kGrown,              // GROW absorbed in place by extend_mapping
+  kGrownByRemap,       // GROW needed a full remap of the tenant
+  kGrowthRejected,     // GROW infeasible; tenant keeps its old size
+  kDeparted,           // DEPART of a running tenant
+  kNoOp,               // event for an unknown/finished tenant
+};
+
+[[nodiscard]] constexpr const char* to_string(Decision d) {
+  switch (d) {
+    case Decision::kAdmitted: return "admitted";
+    case Decision::kQueued: return "queued";
+    case Decision::kRejected: return "rejected";
+    case Decision::kAdmittedFromQueue: return "admitted-from-queue";
+    case Decision::kDropped: return "dropped";
+    case Decision::kAbandoned: return "abandoned";
+    case Decision::kGrown: return "grown";
+    case Decision::kGrownByRemap: return "grown-by-remap";
+    case Decision::kGrowthRejected: return "growth-rejected";
+    case Decision::kDeparted: return "departed";
+    case Decision::kNoOp: return "no-op";
+  }
+  return "?";
+}
+
+/// One decision record.  `placement_hash` fingerprints the admitted/moved
+/// tenant's guest placement (FNV-1a over host ids; 0 when no placement
+/// resulted) so replay equality checks cover *where* guests landed, not
+/// just whether they did.
+struct EventDecision {
+  double time = 0.0;
+  workload::EventKind kind = workload::EventKind::kArrive;
+  std::uint32_t tenant = 0;
+  Decision decision = Decision::kNoOp;
+  core::MapErrorCode error = core::MapErrorCode::kNone;
+  double queue_wait = 0.0;    // backfill/abandon/drop: time spent queued
+  double latency_us = 0.0;    // wall-clock decision latency (not replayed)
+  std::uint64_t placement_hash = 0;
+};
+
+/// Cluster state sampled after every event.
+struct UtilizationSample {
+  double time = 0.0;
+  double mem_fraction = 0.0;
+  double lbf = 0.0;  // Eq. 10 across all hosts, all tenants
+  std::size_t live_tenants = 0;
+  std::size_t queued = 0;
+};
+
+struct DefragSummary {
+  std::size_t passes = 0;      // passes attempted
+  std::size_t committed = 0;   // passes that changed the placement
+  std::size_t migrations = 0;  // guests moved, total
+  double lbf_reduction = 0.0;  // sum of (before - after) over committed
+  double total_seconds = 0.0;  // wall clock spent defragmenting
+};
+
+struct OrchestratorReport {
+  std::vector<EventDecision> decisions;
+  std::vector<UtilizationSample> timeline;
+  DefragSummary defrag;
+
+  std::size_t arrivals = 0;
+  std::size_t admitted_immediately = 0;
+  std::size_t admitted_from_queue = 0;
+  std::size_t rejected = 0;   // queue-full rejections
+  std::size_t dropped = 0;    // retry attempts exhausted
+  std::size_t abandoned = 0;  // departed while queued
+  std::size_t growths = 0;
+  std::size_t grown_in_place = 0;
+  std::size_t grown_by_remap = 0;
+  std::size_t growth_rejected = 0;
+
+  std::vector<double> queue_waits;            // of backfill admissions
+  std::vector<double> decision_latencies_us;  // one per decision
+
+  /// Fraction of arrivals eventually admitted (immediately or backfilled).
+  [[nodiscard]] double acceptance_rate() const;
+  [[nodiscard]] double mean_queue_wait() const;
+  [[nodiscard]] double latency_percentile_us(double p) const;
+
+  /// Canonical string over (time, kind, tenant, decision, error,
+  /// placement_hash) of every decision — two runs replayed the same
+  /// workload identically iff their signatures match.  Latencies are
+  /// deliberately excluded.
+  [[nodiscard]] std::string decision_signature() const;
+};
+
+struct OrchestratorOptions {
+  /// Run a defrag pass after every k-th departure (0 = never).
+  std::size_t defrag_every_departures = 1;
+  DefragOptions defrag;
+  /// Retry-queue policy (see RetryQueue).
+  std::size_t retry_max_attempts = 8;
+  std::size_t max_queue = 0;
+};
+
+class Orchestrator {
+ public:
+  /// Uses the default admission pool (HMN, RA fallback).
+  Orchestrator(model::PhysicalCluster cluster, workload::GuestProfile profile,
+               OrchestratorOptions opts = {});
+  Orchestrator(model::PhysicalCluster cluster, workload::GuestProfile profile,
+               extensions::HeuristicPool pool, OrchestratorOptions opts = {});
+
+  /// Feeds one event; returns the primary decision.  Secondary decisions a
+  /// departure triggers (backfill admissions, drops) are appended to the
+  /// report only.  Events must be fed in non-decreasing time order.
+  EventDecision handle(const workload::TenantEvent& ev);
+
+  /// Convenience: feeds every event of a trace built with this
+  /// orchestrator's profile.  One trace per orchestrator — construct a
+  /// fresh instance to replay.
+  const OrchestratorReport& run(const workload::ChurnTrace& trace);
+
+  [[nodiscard]] const emulator::TenancyManager& tenancy() const {
+    return mgr_;
+  }
+  [[nodiscard]] const OrchestratorReport& report() const { return report_; }
+
+ private:
+  void drain_queue(double now);
+  void maybe_defrag();
+  void sample(double time);
+  void record(EventDecision decision);
+  [[nodiscard]] std::uint64_t placement_hash(emulator::TenantId id) const;
+
+  emulator::TenancyManager mgr_;
+  workload::GuestProfile profile_;
+  OrchestratorOptions opts_;
+  RetryQueue queue_;
+  std::map<std::uint32_t, emulator::TenantId> live_;  // churn key -> tenant
+  std::size_t departures_ = 0;
+  OrchestratorReport report_;
+};
+
+}  // namespace hmn::orchestrator

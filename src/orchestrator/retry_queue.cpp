@@ -1,0 +1,23 @@
+#include "orchestrator/retry_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hmn::orchestrator {
+
+void RetryQueue::push(PendingTenant tenant) {
+  assert(!full());
+  entries_.push_back(std::move(tenant));
+}
+
+std::optional<PendingTenant> RetryQueue::erase(std::uint32_t key) {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [key](const PendingTenant& t) { return t.key == key; });
+  if (it == entries_.end()) return std::nullopt;
+  PendingTenant out = std::move(*it);
+  entries_.erase(it);
+  return out;
+}
+
+}  // namespace hmn::orchestrator

@@ -1,0 +1,87 @@
+// Deferred-retry (backfill) queue for rejected tenants.
+//
+// A tenant that does not fit at arrival is not necessarily lost: the next
+// departure (or a defragmentation pass) may free exactly the capacity it
+// needs.  The queue holds rejected tenants in FIFO order and re-attempts
+// them when the orchestrator signals that capacity changed.  FIFO keeps
+// the policy fair and the replay deterministic; a per-tenant attempt cap
+// bounds the work a hopeless giant can consume before it is dropped.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/virtual_environment.h"
+
+namespace hmn::orchestrator {
+
+/// A tenant waiting for admission.
+struct PendingTenant {
+  std::uint32_t key = 0;  // ChurnGenerator tenant key
+  std::string name;
+  model::VirtualEnvironment venv;
+  std::uint64_t seed = 0;     // admission seed (attempts derive from it)
+  double enqueued_at = 0.0;   // event time of the original rejection
+  std::size_t attempts = 0;   // admission attempts so far (includes arrival)
+};
+
+class RetryQueue {
+ public:
+  /// max_attempts: drop a tenant after this many failed admissions
+  /// (0 = never drop).  max_size: reject instead of enqueue when the queue
+  /// is this long (0 = unbounded).
+  explicit RetryQueue(std::size_t max_attempts = 0, std::size_t max_size = 0)
+      : max_attempts_(max_attempts), max_size_(max_size) {}
+
+  [[nodiscard]] bool full() const {
+    return max_size_ != 0 && entries_.size() >= max_size_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Enqueues a rejected tenant.  Precondition: !full().
+  void push(PendingTenant tenant);
+
+  /// Removes a tenant that departed before ever being admitted.  Returns
+  /// the entry when present (for time-in-queue accounting).
+  [[nodiscard]] std::optional<PendingTenant> erase(std::uint32_t key);
+
+  struct DrainResult {
+    std::vector<PendingTenant> admitted;  // entries `try_admit` accepted
+    std::vector<PendingTenant> dropped;   // entries past max_attempts
+  };
+
+  /// Re-attempts every queued tenant in FIFO order.  `try_admit` is called
+  /// with the entry (attempts already incremented) and returns whether the
+  /// tenant was admitted; admitted and attempt-exhausted entries leave the
+  /// queue, the rest stay in order.
+  template <typename TryAdmit>
+  DrainResult drain(TryAdmit&& try_admit) {
+    DrainResult result;
+    std::deque<PendingTenant> keep;
+    while (!entries_.empty()) {
+      PendingTenant entry = std::move(entries_.front());
+      entries_.pop_front();
+      ++entry.attempts;
+      if (try_admit(entry)) {
+        result.admitted.push_back(std::move(entry));
+      } else if (max_attempts_ != 0 && entry.attempts >= max_attempts_) {
+        result.dropped.push_back(std::move(entry));
+      } else {
+        keep.push_back(std::move(entry));
+      }
+    }
+    entries_ = std::move(keep);
+    return result;
+  }
+
+ private:
+  std::size_t max_attempts_;
+  std::size_t max_size_;
+  std::deque<PendingTenant> entries_;
+};
+
+}  // namespace hmn::orchestrator

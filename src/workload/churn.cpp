@@ -1,0 +1,157 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "workload/venv_generator.h"
+
+namespace hmn::workload {
+namespace {
+
+/// Exponential variate with the given mean.  log1p(-u) is finite for
+/// u in [0, 1), which uniform01() guarantees.
+double exponential(util::Rng& rng, double mean) {
+  return -mean * std::log1p(-rng.uniform01());
+}
+
+double lifetime_draw(util::Rng& rng, const ChurnOptions& opts) {
+  if (opts.lifetime == LifetimeDistribution::kExponential) {
+    return exponential(rng, opts.mean_lifetime);
+  }
+  // Pareto with shape alpha and the scale that yields mean_lifetime:
+  // E[X] = xm * alpha / (alpha - 1)  =>  xm = mean * (alpha - 1) / alpha.
+  const double alpha = std::max(1.0 + 1e-9, opts.pareto_alpha);
+  const double xm = opts.mean_lifetime * (alpha - 1.0) / alpha;
+  return xm * std::pow(1.0 - rng.uniform01(), -1.0 / alpha);
+}
+
+int kind_rank(EventKind k) {
+  switch (k) {
+    case EventKind::kArrive: return 0;
+    case EventKind::kGrow: return 1;
+    case EventKind::kDepart: return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+ChurnTrace generate_churn(const ChurnOptions& opts, std::uint64_t seed) {
+  ChurnTrace trace;
+  trace.profile = opts.profile;
+  util::Rng rng(seed);
+
+  double now = 0.0;
+  std::uint32_t key = 0;
+  while (true) {
+    now += exponential(rng, 1.0 / std::max(1e-12, opts.arrival_rate));
+    if (now >= opts.horizon) break;
+
+    TenantEvent arrive;
+    arrive.time = now;
+    arrive.kind = EventKind::kArrive;
+    arrive.tenant = key;
+    arrive.guest_count = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(opts.min_guests),
+        static_cast<std::int64_t>(std::max(opts.min_guests, opts.max_guests))));
+    arrive.density = opts.density;
+    arrive.seed = util::derive_seed(seed, key, 1);
+    trace.events.push_back(arrive);
+
+    const double life = lifetime_draw(rng, opts);
+
+    if (rng.chance(opts.grow_probability) && opts.max_grow_guests > 0) {
+      TenantEvent grow;
+      grow.time = now + rng.uniform01() * life;
+      grow.kind = EventKind::kGrow;
+      grow.tenant = key;
+      grow.add_guests = static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(opts.max_grow_guests)));
+      grow.add_links = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(grow.add_guests)));
+      grow.seed = util::derive_seed(seed, key, 2);
+      trace.events.push_back(grow);
+    }
+
+    TenantEvent depart;
+    depart.time = now + life;
+    depart.kind = EventKind::kDepart;
+    depart.tenant = key;
+    trace.events.push_back(depart);
+
+    ++key;
+  }
+
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const TenantEvent& a, const TenantEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.tenant != b.tenant) return a.tenant < b.tenant;
+                     return kind_rank(a.kind) < kind_rank(b.kind);
+                   });
+  return trace;
+}
+
+model::VirtualEnvironment make_event_venv(const GuestProfile& profile,
+                                          const TenantEvent& ev) {
+  VenvGenOptions opts;
+  opts.guest_count = ev.guest_count;
+  opts.density = ev.density;
+  opts.profile = profile;
+  util::Rng rng(ev.seed);
+  return generate_venv(opts, rng);
+}
+
+model::VirtualEnvironment apply_growth(const model::VirtualEnvironment& base,
+                                       const GuestProfile& profile,
+                                       const TenantEvent& ev) {
+  model::VirtualEnvironment grown;
+  for (std::size_t g = 0; g < base.guest_count(); ++g) {
+    grown.add_guest(
+        base.guest(GuestId{static_cast<GuestId::underlying_type>(g)}));
+  }
+  for (std::size_t l = 0; l < base.link_count(); ++l) {
+    const auto id = VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)};
+    const auto ep = base.endpoints(id);
+    grown.add_link(ep.src, ep.dst, base.link(id));
+  }
+
+  util::Rng rng(ev.seed);
+  auto draw_guest = [&] {
+    return model::GuestRequirements{
+        rng.uniform(profile.proc_mips.lo, profile.proc_mips.hi),
+        rng.uniform(profile.mem_mb.lo, profile.mem_mb.hi),
+        rng.uniform(profile.stor_gb.lo, profile.stor_gb.hi)};
+  };
+  auto draw_demand = [&] {
+    return model::VirtualLinkDemand{
+        rng.uniform(profile.link_bw_mbps.lo, profile.link_bw_mbps.hi),
+        rng.uniform(profile.link_lat_ms.lo, profile.link_lat_ms.hi)};
+  };
+
+  // Each new guest attaches to a uniformly chosen predecessor, so the
+  // grown graph stays connected whenever the base was.
+  for (std::size_t i = 0; i < ev.add_guests; ++i) {
+    if (grown.guest_count() == 0) {
+      grown.add_guest(draw_guest());
+      continue;
+    }
+    const GuestId anchor{static_cast<GuestId::underlying_type>(
+        rng.index(grown.guest_count()))};
+    const GuestId fresh = grown.add_guest(draw_guest());
+    grown.add_link(anchor, fresh, draw_demand());
+  }
+  for (std::size_t i = 0; i < ev.add_links && grown.guest_count() >= 2; ++i) {
+    const GuestId a{
+        static_cast<GuestId::underlying_type>(rng.index(grown.guest_count()))};
+    GuestId b = a;
+    while (b == a) {
+      b = GuestId{static_cast<GuestId::underlying_type>(
+          rng.index(grown.guest_count()))};
+    }
+    grown.add_link(a, b, draw_demand());
+  }
+  return grown;
+}
+
+}  // namespace hmn::workload

@@ -1,0 +1,112 @@
+// Tenant churn: the workload of an *online* testbed.
+//
+// The paper maps one virtual environment onto an idle cluster; a
+// production service instead sees testers arrive, grow their experiments,
+// and depart continuously.  The ChurnGenerator turns that regime into a
+// deterministic, time-ordered event stream:
+//
+//   * ARRIVE — Poisson arrivals (exponential inter-arrival times at
+//     `arrival_rate`) of tenants whose virtual environments are drawn from
+//     an existing GuestProfile preset;
+//   * GROW   — with probability `grow_probability` a tenant emits one
+//     mid-life growth event adding guests and links;
+//   * DEPART — lifetimes are exponential or Pareto (heavy-tailed sessions:
+//     most testers leave quickly, a few camp on the cluster).
+//
+// Every event carries the *parameters* of the randomness, not its outcome:
+// an ARRIVE holds (guest_count, density, seed) and the venv is
+// re-materialized on consumption via make_event_venv, so a recorded trace
+// (io/trace.h) replays byte-for-byte identical workloads on any machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/virtual_environment.h"
+#include "workload/presets.h"
+
+namespace hmn::workload {
+
+enum class EventKind : std::uint8_t { kArrive, kGrow, kDepart };
+
+[[nodiscard]] constexpr const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kArrive: return "arrive";
+    case EventKind::kGrow: return "grow";
+    case EventKind::kDepart: return "depart";
+  }
+  return "?";
+}
+
+/// One tenant life-cycle event.  Fields beyond (time, kind, tenant) are
+/// meaningful only for the kinds noted.
+struct TenantEvent {
+  double time = 0.0;
+  EventKind kind = EventKind::kArrive;
+  std::uint32_t tenant = 0;  // generator-assigned key, unique per arrival
+
+  std::size_t guest_count = 0;  // kArrive: venv size
+  double density = 0.0;         // kArrive: virtual-graph density
+  std::size_t add_guests = 0;   // kGrow: guests appended
+  std::size_t add_links = 0;    // kGrow: extra links beyond attachment
+  std::uint64_t seed = 0;       // kArrive/kGrow: stream seed for the draw
+
+  friend bool operator==(const TenantEvent&, const TenantEvent&) = default;
+};
+
+enum class LifetimeDistribution : std::uint8_t { kExponential, kPareto };
+
+struct ChurnOptions {
+  /// Tenant arrivals per unit time (Poisson process).
+  double arrival_rate = 1.0;
+  /// Arrivals are drawn in [0, horizon); departures may fall beyond it so
+  /// the cluster always drains.
+  double horizon = 100.0;
+  double mean_lifetime = 10.0;
+  LifetimeDistribution lifetime = LifetimeDistribution::kExponential;
+  /// Pareto shape (> 1 so the mean exists); scale is derived from
+  /// mean_lifetime.
+  double pareto_alpha = 2.5;
+
+  /// Tenant venv sizing: guest count U[min,max], fixed density, resources
+  /// from `profile`.
+  std::size_t min_guests = 4;
+  std::size_t max_guests = 10;
+  double density = 0.2;
+  GuestProfile profile;
+
+  /// Chance a tenant emits one GROW event at a uniform point of its life.
+  double grow_probability = 0.2;
+  /// GROW adds U[1,max_grow_guests] guests and U[0,add_guests] extra links.
+  std::size_t max_grow_guests = 4;
+};
+
+/// A reproducible churn workload: the event stream plus the guest profile
+/// every venv in it is drawn from (recorded in the trace header).
+struct ChurnTrace {
+  GuestProfile profile;
+  std::vector<TenantEvent> events;
+};
+
+/// Generates the event stream.  Deterministic: identical (opts, seed) give
+/// identical traces.  Events are sorted by time; ties break by tenant key
+/// and then ARRIVE < GROW < DEPART, so a zero-lifetime tenant still
+/// arrives before it departs.
+[[nodiscard]] ChurnTrace generate_churn(const ChurnOptions& opts,
+                                        std::uint64_t seed);
+
+/// Materializes the virtual environment of an ARRIVE event.  Deterministic
+/// in (profile, event.seed).
+[[nodiscard]] model::VirtualEnvironment make_event_venv(
+    const GuestProfile& profile, const TenantEvent& ev);
+
+/// Applies a GROW event to a tenant's current environment: appends
+/// `add_guests` guests (each attached to a uniformly chosen existing guest,
+/// keeping the venv connected) and `add_links` extra links between distinct
+/// random guests.  Existing guest/link ids are unchanged, as
+/// core::extend_mapping requires.
+[[nodiscard]] model::VirtualEnvironment apply_growth(
+    const model::VirtualEnvironment& base, const GuestProfile& profile,
+    const TenantEvent& ev);
+
+}  // namespace hmn::workload

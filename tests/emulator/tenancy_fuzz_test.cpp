@@ -1,0 +1,178 @@
+// Randomized interleavings of admit / release / grow / defrag against the
+// TenancyManager, checking the conservation invariants the orchestrator
+// relies on: residual capacity stays within [0, pristine], aggregate
+// utilization fractions stay sane, and releasing everything restores the
+// cluster exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/validator.h"
+#include "emulator/tenancy.h"
+#include "orchestrator/defrag.h"
+#include "testing/fixtures.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using emulator::TenancyManager;
+using emulator::TenantId;
+
+model::VirtualEnvironment random_venv(util::Rng& rng) {
+  model::VirtualEnvironment venv;
+  const std::size_t guests = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  std::vector<GuestId> ids;
+  for (std::size_t i = 0; i < guests; ++i) {
+    ids.push_back(venv.add_guest({rng.uniform(50.0, 400.0),
+                                  rng.uniform(256.0, 1536.0),
+                                  rng.uniform(20.0, 200.0)}));
+  }
+  for (std::size_t i = 1; i < guests; ++i) {
+    venv.add_link(ids[i - 1], ids[i],
+                  {rng.uniform(1.0, 20.0), rng.uniform(40.0, 120.0)});
+  }
+  return venv;
+}
+
+void check_invariants(const TenancyManager& mgr) {
+  const model::PhysicalCluster residual = mgr.residual_cluster();
+  const model::PhysicalCluster& pristine = mgr.cluster();
+  for (const NodeId h : pristine.hosts()) {
+    const auto& left = residual.capacity(h);
+    const auto& cap = pristine.capacity(h);
+    // residual_cluster() clamps at zero; the upper bound is the real check:
+    // releases may never hand back more than was taken.
+    EXPECT_GE(left.mem_mb, 0.0);
+    EXPECT_LE(left.mem_mb, cap.mem_mb + 1e-6);
+    EXPECT_GE(left.stor_gb, 0.0);
+    EXPECT_LE(left.stor_gb, cap.stor_gb + 1e-6);
+    EXPECT_GE(left.proc_mips, 0.0);
+    EXPECT_LE(left.proc_mips, cap.proc_mips + 1e-6);
+  }
+  for (std::size_t e = 0; e < pristine.link_count(); ++e) {
+    const auto id = EdgeId{static_cast<EdgeId::underlying_type>(e)};
+    EXPECT_GE(residual.link(id).bandwidth_mbps, 0.0);
+    EXPECT_LE(residual.link(id).bandwidth_mbps,
+              pristine.link(id).bandwidth_mbps + 1e-6);
+  }
+  const auto u = mgr.utilization();
+  EXPECT_GE(u.mem_fraction, 0.0);
+  EXPECT_LE(u.mem_fraction, 1.0 + 1e-9);
+  EXPECT_LE(u.stor_fraction, 1.0 + 1e-9);
+  EXPECT_LE(u.peak_link_fraction, 1.0 + 1e-6);
+}
+
+void expect_pristine(const TenancyManager& mgr) {
+  ASSERT_EQ(mgr.tenant_count(), 0u);
+  const model::PhysicalCluster residual = mgr.residual_cluster();
+  const model::PhysicalCluster& pristine = mgr.cluster();
+  for (const NodeId h : pristine.hosts()) {
+    EXPECT_NEAR(residual.capacity(h).proc_mips,
+                pristine.capacity(h).proc_mips, 1e-6);
+    EXPECT_NEAR(residual.capacity(h).mem_mb, pristine.capacity(h).mem_mb,
+                1e-6);
+    EXPECT_NEAR(residual.capacity(h).stor_gb, pristine.capacity(h).stor_gb,
+                1e-6);
+  }
+  for (std::size_t e = 0; e < pristine.link_count(); ++e) {
+    const auto id = EdgeId{static_cast<EdgeId::underlying_type>(e)};
+    EXPECT_NEAR(residual.link(id).bandwidth_mbps,
+                pristine.link(id).bandwidth_mbps, 1e-6);
+  }
+  const auto u = mgr.utilization();
+  EXPECT_NEAR(u.mem_fraction, 0.0, 1e-12);
+  EXPECT_NEAR(u.peak_link_fraction, 0.0, 1e-12);
+  EXPECT_EQ(u.guests, 0u);
+}
+
+TEST(TenancyFuzz, RandomInterleavingsKeepResidualConsistent) {
+  for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    TenancyManager mgr(ring_cluster(5, {2000, 8192, 8192}));
+    util::Rng rng(seed);
+    std::vector<TenantId> live;
+    std::size_t admitted = 0, rejected = 0, released = 0;
+
+    for (int op = 0; op < 120; ++op) {
+      const double dice = rng.uniform01();
+      if (dice < 0.55 || live.empty()) {
+        const auto result =
+            mgr.admit("f" + std::to_string(op), random_venv(rng),
+                      util::derive_seed(seed, static_cast<std::uint64_t>(op)));
+        if (result.ok()) {
+          live.push_back(*result.tenant);
+          ++admitted;
+        } else {
+          ++rejected;
+        }
+      } else if (dice < 0.85) {
+        const std::size_t pick = rng.index(live.size());
+        ASSERT_TRUE(mgr.release(live[pick]));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        ++released;
+      } else if (dice < 0.95) {
+        const std::size_t pick = rng.index(live.size());
+        const emulator::Tenant* tenant = mgr.tenant(live[pick]);
+        ASSERT_NE(tenant, nullptr);
+        model::VirtualEnvironment grown = tenant->venv;
+        const GuestId added = grown.add_guest(
+            {rng.uniform(50.0, 300.0), rng.uniform(256.0, 1024.0), 50.0});
+        grown.add_link(GuestId{0}, added, {rng.uniform(1.0, 10.0), 60.0});
+        // Either outcome is fine; the invariants must hold regardless.
+        (void)mgr.grow(live[pick], std::move(grown),
+                       util::derive_seed(seed, static_cast<std::uint64_t>(op),
+                                         7));
+      } else {
+        const auto pass = orchestrator::run_defrag(mgr);
+        if (pass.committed) {
+          EXPECT_LE(pass.lbf_after, pass.lbf_before + 1e-9);
+        }
+      }
+      check_invariants(mgr);
+    }
+    // The run must have exercised all three outcomes to mean anything.
+    EXPECT_GT(admitted, 0u);
+    EXPECT_GT(released, 0u);
+
+    // Every mapping still validates against the full cluster per-tenant
+    // before teardown (aggregate feasibility is checked above).
+    for (const TenantId id : mgr.tenant_ids()) {
+      const emulator::Tenant* tenant = mgr.tenant(id);
+      EXPECT_TRUE(
+          core::validate_mapping(mgr.cluster(), tenant->venv, tenant->mapping)
+              .ok());
+    }
+
+    // Full release restores the pristine cluster.
+    for (const TenantId id : mgr.tenant_ids()) {
+      EXPECT_TRUE(mgr.release(id));
+    }
+    expect_pristine(mgr);
+  }
+}
+
+TEST(TenancyFuzz, ReleaseInRandomOrderRestoresPristine) {
+  TenancyManager mgr(line_cluster(4, {1500, 6144, 6144}));
+  util::Rng rng(99);
+  std::vector<TenantId> live;
+  for (int i = 0; i < 20; ++i) {
+    const auto result = mgr.admit("r" + std::to_string(i), random_venv(rng),
+                                  util::derive_seed(99, static_cast<std::uint64_t>(i)));
+    if (result.ok()) live.push_back(*result.tenant);
+  }
+  ASSERT_GT(live.size(), 2u);
+  rng.shuffle(live.begin(), live.end());
+  for (const TenantId id : live) {
+    ASSERT_TRUE(mgr.release(id));
+    check_invariants(mgr);
+  }
+  expect_pristine(mgr);
+  // Double release reports failure and changes nothing.
+  EXPECT_FALSE(mgr.release(live.front()));
+  expect_pristine(mgr);
+}
+
+}  // namespace

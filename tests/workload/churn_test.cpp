@@ -1,0 +1,136 @@
+// Tests for the churn generator: determinism, stream well-formedness, and
+// the event-venv materialization helpers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/churn.h"
+
+namespace {
+
+using namespace hmn;
+using workload::ChurnOptions;
+using workload::EventKind;
+using workload::TenantEvent;
+
+ChurnOptions small_options() {
+  ChurnOptions opts;
+  opts.arrival_rate = 0.5;
+  opts.horizon = 60.0;
+  opts.mean_lifetime = 12.0;
+  opts.min_guests = 3;
+  opts.max_guests = 6;
+  opts.density = 0.25;
+  opts.profile = workload::high_level_profile();
+  opts.grow_probability = 0.5;
+  opts.max_grow_guests = 3;
+  return opts;
+}
+
+TEST(Churn, IdenticalSeedsGiveIdenticalStreams) {
+  const auto a = workload::generate_churn(small_options(), 42);
+  const auto b = workload::generate_churn(small_options(), 42);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i], b.events[i]) << "event " << i;
+  }
+}
+
+TEST(Churn, DifferentSeedsDiverge) {
+  const auto a = workload::generate_churn(small_options(), 42);
+  const auto b = workload::generate_churn(small_options(), 43);
+  EXPECT_NE(a.events, b.events);
+}
+
+TEST(Churn, StreamIsSortedAndLifecycleConsistent) {
+  for (const auto lifetime : {workload::LifetimeDistribution::kExponential,
+                              workload::LifetimeDistribution::kPareto}) {
+    ChurnOptions opts = small_options();
+    opts.lifetime = lifetime;
+    const auto trace = workload::generate_churn(opts, 7);
+    ASSERT_FALSE(trace.events.empty());
+
+    double prev = 0.0;
+    std::map<std::uint32_t, double> arrived, departed;
+    std::map<std::uint32_t, std::size_t> grows;
+    for (const TenantEvent& ev : trace.events) {
+      EXPECT_GE(ev.time, prev);
+      prev = ev.time;
+      switch (ev.kind) {
+        case EventKind::kArrive:
+          EXPECT_FALSE(arrived.count(ev.tenant)) << "duplicate arrival";
+          EXPECT_GE(ev.guest_count, opts.min_guests);
+          EXPECT_LE(ev.guest_count, opts.max_guests);
+          arrived[ev.tenant] = ev.time;
+          break;
+        case EventKind::kGrow:
+          EXPECT_TRUE(arrived.count(ev.tenant));
+          EXPECT_FALSE(departed.count(ev.tenant));
+          EXPECT_GE(ev.add_guests, 1u);
+          ++grows[ev.tenant];
+          break;
+        case EventKind::kDepart:
+          EXPECT_TRUE(arrived.count(ev.tenant));
+          EXPECT_FALSE(departed.count(ev.tenant)) << "duplicate departure";
+          EXPECT_GE(ev.time, arrived[ev.tenant]);
+          departed[ev.tenant] = ev.time;
+          break;
+      }
+    }
+    EXPECT_EQ(arrived.size(), departed.size())
+        << "every tenant departs, even past the horizon";
+    for (const auto& [tenant, n] : grows) EXPECT_LE(n, 1u);
+  }
+}
+
+TEST(Churn, EventVenvIsDeterministic) {
+  const auto trace = workload::generate_churn(small_options(), 11);
+  for (const TenantEvent& ev : trace.events) {
+    if (ev.kind != EventKind::kArrive) continue;
+    const auto a = workload::make_event_venv(trace.profile, ev);
+    const auto b = workload::make_event_venv(trace.profile, ev);
+    ASSERT_EQ(a.guest_count(), ev.guest_count);
+    ASSERT_EQ(a.guest_count(), b.guest_count());
+    ASSERT_EQ(a.link_count(), b.link_count());
+    for (std::size_t g = 0; g < a.guest_count(); ++g) {
+      const auto id = GuestId{static_cast<GuestId::underlying_type>(g)};
+      EXPECT_DOUBLE_EQ(a.guest(id).mem_mb, b.guest(id).mem_mb);
+      EXPECT_DOUBLE_EQ(a.guest(id).proc_mips, b.guest(id).proc_mips);
+    }
+  }
+}
+
+TEST(Churn, ApplyGrowthPreservesBaseAndConnectsNewGuests) {
+  const auto profile = workload::high_level_profile();
+  model::VirtualEnvironment base;
+  const GuestId a = base.add_guest({75, 192, 150});
+  const GuestId b = base.add_guest({80, 200, 160});
+  base.add_link(a, b, {0.8, 45.0});
+
+  TenantEvent ev;
+  ev.kind = EventKind::kGrow;
+  ev.add_guests = 3;
+  ev.add_links = 2;
+  ev.seed = 99;
+  const auto grown = workload::apply_growth(base, profile, ev);
+  EXPECT_EQ(grown.guest_count(), 5u);
+  // Base links first and unchanged, then one attachment per new guest,
+  // then the extra links.
+  EXPECT_EQ(grown.link_count(), 1u + 3u + 2u);
+  EXPECT_DOUBLE_EQ(grown.guest(a).mem_mb, 192.0);
+  EXPECT_DOUBLE_EQ(grown.guest(b).mem_mb, 200.0);
+  EXPECT_DOUBLE_EQ(grown.link(VirtLinkId{0}).bandwidth_mbps, 0.8);
+  // New guests are reachable: each has at least one incident link.
+  for (std::size_t g = 2; g < grown.guest_count(); ++g) {
+    EXPECT_FALSE(
+        grown.links_of(GuestId{static_cast<GuestId::underlying_type>(g)})
+            .empty());
+  }
+  // Deterministic in the event seed.
+  const auto again = workload::apply_growth(base, profile, ev);
+  EXPECT_EQ(again.guest_count(), grown.guest_count());
+  EXPECT_DOUBLE_EQ(again.guest(GuestId{3}).mem_mb,
+                   grown.guest(GuestId{3}).mem_mb);
+}
+
+}  // namespace
