@@ -1,0 +1,237 @@
+// E13 — availability under substrate failures (extension; the paper's
+// motivation for emulation is that real testbeds misbehave, Section 1).
+//
+// The E12 churn workload runs against the paper's switched cluster while
+// hosts and links fail and recover as independent alternating-renewal
+// processes (exponential MTTF/MTTR, workload::generate_failures).  Two
+// policies react to every failure:
+//
+//   repair        the Healer's transactional surgery: re-route around dead
+//                 links, re-place only the guests of dead hosts, keep
+//                 tenants whose links cannot route in the Degraded state,
+//                 park true evictions with exponential backoff;
+//   drop-readmit  the literature's baseline: evict every impacted tenant
+//                 wholesale and re-admit it from scratch.
+//
+// Why repair wins on a switched cluster: every host hangs off the fabric
+// by few links, so a link failure leaves guests healthy but paths
+// unroutable — repair keeps the tenant Degraded (experiment state intact,
+// zero tenant-minutes lost) where drop-readmit evicts it into a cluster
+// already at capacity and usually cannot put it back.
+//
+// Reported per (host-MTTF, policy) cell: tenant-minutes lost (absence
+// windows of evicted tenants), degraded-minutes (retained but dark),
+// in-place heals / degradations / evictions / re-admissions / drops, and
+// healing latency p50/p99.  Exits nonzero if any invariant-auditor
+// violation appears, if replaying a recorded failure trace diverges, or if
+// healing retains fewer tenant-minutes than drop-and-readmit on any seed
+// base.  `--smoke` runs a reduced grid with the same checks for CI.
+#include "bench_common.h"
+
+#include <string_view>
+
+#include "io/trace.h"
+#include "orchestrator/orchestrator.h"
+#include "util/stats.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace hmn;
+
+extensions::HeuristicPool hmn_pool() {
+  extensions::HeuristicPool pool;
+  pool.add(std::make_unique<core::HmnMapper>());
+  return pool;
+}
+
+double total_cluster_mem(const model::PhysicalCluster& cluster) {
+  double total = 0.0;
+  for (const NodeId h : cluster.hosts()) total += cluster.capacity(h).mem_mb;
+  return total;
+}
+
+workload::ChurnOptions churn_options(double load, double horizon,
+                                     const model::PhysicalCluster& cluster) {
+  workload::ChurnOptions opts;
+  opts.horizon = horizon;
+  opts.mean_lifetime = 10.0;
+  opts.lifetime = workload::LifetimeDistribution::kPareto;
+  opts.min_guests = 4;
+  opts.max_guests = 10;
+  opts.density = 0.2;
+  opts.profile = workload::high_level_profile();
+  opts.profile.mem_mb = {512.0, 1536.0};  // host-scale VMs, as in E11/E12
+  opts.grow_probability = 0.1;
+  opts.max_grow_guests = 2;
+
+  const double mean_guests =
+      0.5 * static_cast<double>(opts.min_guests + opts.max_guests);
+  const double mean_tenant_mem =
+      mean_guests * 0.5 * (opts.profile.mem_mb.lo + opts.profile.mem_mb.hi);
+  opts.arrival_rate = load * total_cluster_mem(cluster) /
+                      (opts.mean_lifetime * mean_tenant_mem);
+  return opts;
+}
+
+workload::ChurnTrace make_failure_trace(const model::PhysicalCluster& cluster,
+                                        double load, double horizon,
+                                        double host_mttf, double link_mttf,
+                                        std::uint64_t seed) {
+  const auto copts = churn_options(load, horizon, cluster);
+  workload::ChurnTrace trace =
+      workload::generate_churn(copts, util::derive_seed(seed, 1));
+  workload::FailureOptions fo;
+  fo.horizon = horizon;
+  fo.host_mttf = host_mttf;
+  fo.host_mttr = 4.0;
+  fo.link_mttf = link_mttf;
+  fo.link_mttr = 4.0;
+  workload::merge_events(
+      trace, workload::generate_failures(fo, cluster, util::derive_seed(seed, 2)));
+  return trace;
+}
+
+orchestrator::OrchestratorOptions policy_options(orchestrator::HealPolicy p) {
+  orchestrator::OrchestratorOptions opts;
+  opts.healer.policy = p;
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hmn::bench;
+  const bool smoke = argc > 1 && std::string_view(argv[1]) == "--smoke";
+
+  const std::size_t bases =
+      smoke ? 2 : std::max<std::size_t>(5, bench_reps() / 6);
+  const double horizon = smoke ? 50.0 : 80.0;
+  const double load = 0.95;
+  const double link_mttf = 60.0;
+  std::vector<double> mttfs = smoke ? std::vector<double>{60.0}
+                                    : std::vector<double>{30.0, 60.0, 120.0};
+
+  std::printf("availability under host/link failures, paper switched "
+              "cluster, %zu seed bases%s\n\n",
+              bases, smoke ? " (smoke)" : "");
+
+  util::Table table({"host mttf", "policy", "lost t-min", "degraded t-min",
+                     "healed", "degraded", "parked", "readmit", "dropped",
+                     "heal p50 us", "heal p99 us"});
+
+  // Per-base tenant-minutes lost, summed over the MTTF sweep: the win
+  // criterion is per seed base, not just on the mean.
+  std::vector<double> lost_repair(bases, 0.0);
+  std::vector<double> lost_drop(bases, 0.0);
+  std::size_t violations = 0;
+
+  const orchestrator::HealPolicy policies[] = {
+      orchestrator::HealPolicy::kRepair,
+      orchestrator::HealPolicy::kDropReadmit};
+  for (std::size_t mi = 0; mi < mttfs.size(); ++mi) {
+    for (const auto policy : policies) {
+      const bool repair = policy == orchestrator::HealPolicy::kRepair;
+      util::RunningStats lost, degraded_min, healed, degraded, parked,
+          readmitted, dropped, p50, p99;
+      for (std::size_t base = 0; base < bases; ++base) {
+        const auto seed = util::derive_seed(env_seed(), 43, mi, base);
+        const auto cluster = workload::make_paper_cluster(
+            workload::ClusterKind::kSwitched, seed);
+        const auto trace = make_failure_trace(cluster, load, horizon,
+                                              mttfs[mi], link_mttf, seed);
+        orchestrator::Orchestrator orch(cluster, trace.profile, hmn_pool(),
+                                        policy_options(policy));
+        const auto& report = orch.run(trace);
+
+        lost.add(report.tenant_minutes_lost);
+        degraded_min.add(report.degraded_minutes);
+        healed.add(static_cast<double>(report.healed + report.restored));
+        degraded.add(static_cast<double>(report.degraded));
+        parked.add(static_cast<double>(report.parked));
+        readmitted.add(static_cast<double>(report.readmitted));
+        dropped.add(static_cast<double>(report.heal_dropped));
+        p50.add(util::percentile(report.heal_latencies_us, 50.0));
+        p99.add(util::percentile(report.heal_latencies_us, 99.0));
+        violations += report.invariant_violations.size();
+        for (const std::string& v : report.invariant_violations) {
+          std::printf("INVARIANT VIOLATION [mttf %.0f %s base %zu] %s\n",
+                      mttfs[mi], repair ? "repair" : "drop", base, v.c_str());
+        }
+        (repair ? lost_repair : lost_drop)[base] +=
+            report.tenant_minutes_lost;
+      }
+      table.add_row({util::Table::fmt(mttfs[mi], 0),
+                     repair ? "repair" : "drop-readmit",
+                     util::Table::fmt(lost.mean(), 1),
+                     util::Table::fmt(degraded_min.mean(), 1),
+                     util::Table::fmt(healed.mean(), 1),
+                     util::Table::fmt(degraded.mean(), 1),
+                     util::Table::fmt(parked.mean(), 1),
+                     util::Table::fmt(readmitted.mean(), 1),
+                     util::Table::fmt(dropped.mean(), 1),
+                     util::Table::fmt(p50.mean(), 0),
+                     util::Table::fmt(p99.mean(), 0)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  write_file(out_dir() / "availability.csv", table.to_csv());
+
+  // Determinism: a failure-laden trace must record -> JSONL -> replay to
+  // bit-identical decisions (healing included).
+  bool replay_ok = true;
+  {
+    const auto seed = util::derive_seed(env_seed(), 44);
+    const auto cluster =
+        workload::make_paper_cluster(workload::ClusterKind::kSwitched, seed);
+    const auto trace = make_failure_trace(cluster, load, horizon, mttfs[0],
+                                          link_mttf, seed);
+    const auto opts = policy_options(orchestrator::HealPolicy::kRepair);
+    orchestrator::Orchestrator first(cluster, trace.profile, hmn_pool(), opts);
+    orchestrator::Orchestrator second(cluster, trace.profile, hmn_pool(),
+                                      opts);
+    const std::string sig = first.run(trace).decision_signature();
+    const bool rerun_ok = second.run(trace).decision_signature() == sig;
+
+    const auto reloaded = io::read_trace_or_throw(io::write_trace(trace));
+    orchestrator::Orchestrator replayed(cluster, reloaded.profile, hmn_pool(),
+                                        opts);
+    replay_ok = rerun_ok &&
+                replayed.run(reloaded).decision_signature() == sig;
+    std::printf("\ndeterminism: fresh re-run %s, JSONL record/replay %s "
+                "(%zu decisions, %zu heal records)\n",
+                rerun_ok ? "identical" : "DIVERGED",
+                replay_ok ? "identical" : "DIVERGED",
+                first.report().decisions.size(),
+                first.report().heal_latencies_us.size());
+  }
+
+  // Healing must retain at least as many tenant-minutes as drop-and-readmit
+  // on EVERY seed base, and strictly more in aggregate.
+  bool wins = true;
+  double total_repair = 0.0, total_drop = 0.0;
+  for (std::size_t base = 0; base < bases; ++base) {
+    total_repair += lost_repair[base];
+    total_drop += lost_drop[base];
+    if (lost_repair[base] > lost_drop[base] + 1e-9) {
+      wins = false;
+      std::printf("seed base %zu: repair lost %.2f t-min vs drop %.2f — "
+                  "healing LOST\n",
+                  base, lost_repair[base], lost_drop[base]);
+    }
+  }
+  if (total_drop > 0.0 && !(total_repair < total_drop)) wins = false;
+
+  std::printf("\nMeasured finding: over the MTTF sweep, transactional "
+              "healing loses %.1f tenant-minutes total where "
+              "drop-and-readmit loses %.1f; on the switched fabric a dead "
+              "access link strands paths, not guests, so repair keeps the "
+              "tenant (Degraded at worst) while the baseline evicts into a "
+              "full cluster.\n",
+              total_repair, total_drop);
+  std::printf("checks: invariant violations %zu, replay %s, per-base win "
+              "%s\n",
+              violations, replay_ok ? "ok" : "FAILED",
+              wins ? "ok" : "FAILED");
+  return (violations == 0 && replay_ok && wins) ? 0 : 1;
+}

@@ -1,6 +1,8 @@
 #include "core/repair.h"
 
 #include <algorithm>
+#include <limits>
+#include <string>
 #include <unordered_map>
 
 #include "core/residual.h"
@@ -11,7 +13,6 @@
 namespace hmn::core {
 namespace {
 
-/// Edges touching the failed node are dead.
 bool edge_touches(const graph::Graph& g, EdgeId e, NodeId node) {
   const auto ep = g.endpoints(e);
   return ep.a == node || ep.b == node;
@@ -33,21 +34,48 @@ bool mapping_avoids_node(const model::PhysicalCluster& cluster,
   return true;
 }
 
+bool mapping_avoids_edge(const Mapping& mapping, EdgeId edge) {
+  for (const auto& path : mapping.link_paths) {
+    for (const EdgeId e : path) {
+      if (e == edge) return false;
+    }
+  }
+  return true;
+}
+
 MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
                           const model::VirtualEnvironment& venv,
-                          const Mapping& mapping, NodeId failed_host,
+                          const Mapping& mapping, const RepairOptions& opts,
                           RepairStats* stats) {
   const util::Timer total;
-  if (!failed_host.valid() || failed_host.index() >= cluster.node_count()) {
-    return MapOutcome::failure(MapErrorCode::kInvalidInput,
-                               "failed host out of range");
-  }
   const graph::Graph& g = cluster.graph();
+
+  // --- Dead-element masks.  An edge incident to a dead node is dead too.
+  std::vector<bool> node_dead(cluster.node_count(), false);
+  std::vector<bool> edge_dead(cluster.link_count(), false);
+  for (const NodeId n : opts.failed.nodes) {
+    if (!n.valid() || n.index() >= cluster.node_count()) {
+      return MapOutcome::failure(MapErrorCode::kInvalidInput,
+                                 "failed host out of range");
+    }
+    node_dead[n.index()] = true;
+    for (const graph::Adjacency& adj : g.neighbors(n)) {
+      edge_dead[adj.edge.index()] = true;
+    }
+  }
+  for (const EdgeId e : opts.failed.links) {
+    if (!e.valid() || e.index() >= cluster.link_count()) {
+      return MapOutcome::failure(MapErrorCode::kInvalidInput,
+                                 "failed link out of range");
+    }
+    edge_dead[e.index()] = true;
+  }
 
   // --- Identify the damage.
   std::vector<GuestId> evicted;
   for (std::size_t gi = 0; gi < mapping.guest_host.size(); ++gi) {
-    if (mapping.guest_host[gi] == failed_host) {
+    const NodeId h = mapping.guest_host[gi];
+    if (h.valid() && node_dead[h.index()]) {
       evicted.push_back(GuestId{static_cast<GuestId::underlying_type>(gi)});
     }
   }
@@ -55,13 +83,22 @@ MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
   for (std::size_t li = 0; li < venv.link_count(); ++li) {
     const auto id = VirtLinkId{static_cast<VirtLinkId::underlying_type>(li)};
     const auto ep = venv.endpoints(id);
-    if (mapping.guest_host[ep.src.index()] == failed_host ||
-        mapping.guest_host[ep.dst.index()] == failed_host) {
+    const NodeId hs = mapping.guest_host[ep.src.index()];
+    const NodeId hd = mapping.guest_host[ep.dst.index()];
+    if ((hs.valid() && node_dead[hs.index()]) ||
+        (hd.valid() && node_dead[hd.index()])) {
       link_affected[li] = true;
       continue;
     }
+    // A dark link (empty path between distinct surviving hosts) is damage
+    // from an earlier degraded repair — re-attempt it, which makes repair
+    // idempotent and lets recoveries heal degraded tenants.
+    if (mapping.link_paths[li].empty()) {
+      link_affected[li] = hs != hd;
+      continue;
+    }
     for (const EdgeId e : mapping.link_paths[li]) {
-      if (edge_touches(g, e, failed_host)) {
+      if (edge_dead[e.index()]) {
         link_affected[li] = true;
         break;
       }
@@ -73,11 +110,12 @@ MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
   ResidualState state(cluster);
   for (std::size_t gi = 0; gi < mapping.guest_host.size(); ++gi) {
     const NodeId h = mapping.guest_host[gi];
-    if (h == failed_host) {
+    if (!h.valid() || node_dead[h.index()]) {
       repaired.guest_host[gi] = NodeId::invalid();
       continue;
     }
-    state.place(venv.guest(GuestId{static_cast<GuestId::underlying_type>(gi)}), h);
+    state.place(venv.guest(GuestId{static_cast<GuestId::underlying_type>(gi)}),
+                h);
   }
   for (std::size_t li = 0; li < venv.link_count(); ++li) {
     if (link_affected[li]) {
@@ -91,8 +129,7 @@ MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
   }
 
   // --- Re-place evicted guests: strongest surviving-neighbor affinity
-  // first, then the most-available-CPU host that fits; never the failed
-  // host.
+  // first, then the most-available-CPU host that fits; never a dead host.
   auto placed = [&](GuestId guest) {
     return repaired.guest_host[guest.index()].valid();
   };
@@ -112,12 +149,12 @@ MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
   for (const GuestId guest : evicted) {
     const auto& req = venv.guest(guest);
     NodeId target = strongest_neighbor_host(guest);
-    if (!target.valid() || target == failed_host ||
+    if (!target.valid() || node_dead[target.index()] ||
         !state.fits(req, target)) {
       target = NodeId::invalid();
       double best_proc = 0.0;
       for (const NodeId h : cluster.hosts()) {
-        if (h == failed_host || !state.fits(req, h)) continue;
+        if (node_dead[h.index()] || !state.fits(req, h)) continue;
         if (!target.valid() || state.residual_proc(h) > best_proc) {
           target = h;
           best_proc = state.residual_proc(h);
@@ -140,7 +177,8 @@ MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
   std::vector<VirtLinkId> to_route;
   for (std::size_t li = 0; li < venv.link_count(); ++li) {
     if (link_affected[li]) {
-      to_route.push_back(VirtLinkId{static_cast<VirtLinkId::underlying_type>(li)});
+      to_route.push_back(
+          VirtLinkId{static_cast<VirtLinkId::underlying_type>(li)});
     }
   }
   std::stable_sort(to_route.begin(), to_route.end(),
@@ -150,12 +188,11 @@ MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
                    });
 
   auto residual_bw = [&](EdgeId e) {
-    return edge_touches(g, e, failed_host) ? 0.0 : state.residual_bw(e);
+    return edge_dead[e.index()] ? 0.0 : state.residual_bw(e);
   };
   auto latency = [&](EdgeId e) {
-    return edge_touches(g, e, failed_host)
-               ? std::numeric_limits<double>::infinity()
-               : cluster.link(e).latency_ms;
+    return edge_dead[e.index()] ? std::numeric_limits<double>::infinity()
+                                : cluster.link(e).latency_ms;
   };
   std::unordered_map<NodeId, std::vector<double>> ar_cache;
   auto ar_for = [&](NodeId dest) -> const std::vector<double>& {
@@ -168,6 +205,7 @@ MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
   };
 
   std::size_t rerouted = 0;
+  std::vector<VirtLinkId> dark;
   for (const VirtLinkId l : to_route) {
     const auto ep = venv.endpoints(l);
     const NodeId s = repaired.guest_host[ep.src.index()];
@@ -180,6 +218,10 @@ MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
         g, s, d, demand.bandwidth_mbps, demand.max_latency_ms, residual_bw,
         latency, ap);
     if (!path.has_value()) {
+      if (opts.allow_dark_links) {
+        dark.push_back(l);  // path stays empty; no bandwidth reserved
+        continue;
+      }
       MapOutcome out = MapOutcome::failure(
           MapErrorCode::kNetworkingFailed,
           "no surviving path for virtual link " + std::to_string(l.value()));
@@ -194,12 +236,22 @@ MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
   if (stats != nullptr) {
     stats->guests_moved = evicted.size();
     stats->links_rerouted = rerouted;
+    stats->dark_links = dark;
   }
   MapOutcome out;
   out.mapping = std::move(repaired);
   out.stats.links_routed = rerouted;
   out.stats.total_seconds = total.elapsed_seconds();
   return out;
+}
+
+MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
+                          const model::VirtualEnvironment& venv,
+                          const Mapping& mapping, NodeId failed_host,
+                          RepairStats* stats) {
+  RepairOptions opts;
+  opts.failed.nodes.push_back(failed_host);
+  return repair_mapping(cluster, venv, mapping, opts, stats);
 }
 
 }  // namespace hmn::core

@@ -1,6 +1,7 @@
 #include "emulator/tenancy.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "core/incremental.h"
@@ -17,6 +18,8 @@ TenancyManager::TenancyManager(model::PhysicalCluster cluster,
   used_mem_.assign(cluster_.node_count(), 0.0);
   used_stor_.assign(cluster_.node_count(), 0.0);
   used_bw_.assign(cluster_.link_count(), 0.0);
+  node_down_.assign(cluster_.node_count(), false);
+  edge_down_.assign(cluster_.link_count(), false);
 }
 
 void TenancyManager::apply(const Tenant& tenant, double sign) {
@@ -47,30 +50,112 @@ model::PhysicalCluster TenancyManager::residual_cluster() const {
   return residual_view();
 }
 
-model::PhysicalCluster TenancyManager::residual_view() const {
+model::PhysicalCluster TenancyManager::residual_cluster_excluding(
+    TenantId id) const {
+  const auto it = tenants_.find(id);
+  return residual_view(it == tenants_.end() ? nullptr : &it->second);
+}
+
+bool TenancyManager::edge_masked(EdgeId e) const {
+  if (edge_down_[e.index()]) return true;
+  const auto ep = cluster_.graph().endpoints(e);
+  return node_down_[ep.a.index()] || node_down_[ep.b.index()];
+}
+
+model::PhysicalCluster TenancyManager::residual_view(
+    const Tenant* exclude) const {
+  // Hand the excluded tenant's reservations back into local copies; the
+  // member arrays stay untouched (this is a const view).
+  std::vector<double> proc = used_proc_;
+  std::vector<double> mem = used_mem_;
+  std::vector<double> stor = used_stor_;
+  std::vector<double> bw = used_bw_;
+  if (exclude != nullptr) {
+    const auto& venv = exclude->venv;
+    for (std::size_t g = 0; g < venv.guest_count(); ++g) {
+      const auto& req =
+          venv.guest(GuestId{static_cast<GuestId::underlying_type>(g)});
+      const std::size_t h = exclude->mapping.guest_host[g].index();
+      proc[h] -= req.proc_mips;
+      mem[h] -= req.mem_mb;
+      stor[h] -= req.stor_gb;
+    }
+    for (std::size_t l = 0; l < venv.link_count(); ++l) {
+      const double demand =
+          venv.link(VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)})
+              .bandwidth_mbps;
+      for (const EdgeId e : exclude->mapping.link_paths[l]) {
+        bw[e.index()] -= demand;
+      }
+    }
+  }
+
   topology::Topology topo = cluster_.topology();  // copy
   std::vector<model::HostCapacity> caps;
   caps.reserve(cluster_.host_count());
   for (const NodeId h : cluster_.hosts()) {
+    if (node_down_[h.index()]) {
+      caps.push_back({});  // a dead host offers nothing
+      continue;
+    }
     const auto& cap = cluster_.capacity(h);
     caps.push_back({
         // Residual CPU may be negative (not a constraint); the mapper only
         // uses it as the balancing metric, so clamp for sanity.
-        std::max(0.0, cap.proc_mips - used_proc_[h.index()]),
-        std::max(0.0, cap.mem_mb - used_mem_[h.index()]),
-        std::max(0.0, cap.stor_gb - used_stor_[h.index()]),
+        std::max(0.0, cap.proc_mips - proc[h.index()]),
+        std::max(0.0, cap.mem_mb - mem[h.index()]),
+        std::max(0.0, cap.stor_gb - stor[h.index()]),
     });
   }
   std::vector<model::LinkProps> links;
   links.reserve(cluster_.link_count());
   for (std::size_t e = 0; e < cluster_.link_count(); ++e) {
     const auto id = EdgeId{static_cast<EdgeId::underlying_type>(e)};
-    links.push_back({std::max(0.0, cluster_.link(id).bandwidth_mbps -
-                                       used_bw_[e]),
-                     cluster_.link(id).latency_ms});
+    if (edge_masked(id)) {
+      links.push_back({0.0, std::numeric_limits<double>::infinity()});
+      continue;
+    }
+    links.push_back(
+        {std::max(0.0, cluster_.link(id).bandwidth_mbps - bw[e]),
+         cluster_.link(id).latency_ms});
   }
   return model::PhysicalCluster::build(std::move(topo), std::move(caps),
                                        std::move(links));
+}
+
+void TenancyManager::set_node_down(NodeId node, bool down) {
+  if (node_down_[node.index()] == down) return;
+  node_down_[node.index()] = down;
+  if (down) {
+    ++down_count_;
+  } else {
+    --down_count_;
+  }
+}
+
+void TenancyManager::set_link_down(EdgeId edge, bool down) {
+  if (edge_down_[edge.index()] == down) return;
+  edge_down_[edge.index()] = down;
+  if (down) {
+    ++down_count_;
+  } else {
+    --down_count_;
+  }
+}
+
+core::FailureSet TenancyManager::failed_elements() const {
+  core::FailureSet failed;
+  for (std::size_t n = 0; n < node_down_.size(); ++n) {
+    if (node_down_[n]) {
+      failed.nodes.push_back(NodeId{static_cast<NodeId::underlying_type>(n)});
+    }
+  }
+  for (std::size_t e = 0; e < edge_down_.size(); ++e) {
+    if (edge_down_[e]) {
+      failed.links.push_back(EdgeId{static_cast<EdgeId::underlying_type>(e)});
+    }
+  }
+  return failed;
 }
 
 TenancyManager::AdmissionResult TenancyManager::admit(
@@ -156,6 +241,12 @@ bool TenancyManager::update_mappings(
     }
     for (const NodeId h : mapping.guest_host) {
       if (!h.valid() || !cluster_.is_host(h)) return false;
+      if (node_down_[h.index()]) return false;  // never commit onto a corpse
+    }
+    for (const auto& path : mapping.link_paths) {
+      for (const EdgeId e : path) {
+        if (edge_masked(e)) return false;
+      }
     }
   }
 

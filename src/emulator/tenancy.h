@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/map_result.h"
+#include "core/repair.h"
 #include "extensions/heuristic_pool.h"
 #include "model/physical_cluster.h"
 #include "model/virtual_environment.h"
@@ -115,8 +116,33 @@ class TenancyManager {
   }
 
   /// The cluster as the *next* tenant would see it: host capacities and
-  /// link bandwidths minus all current reservations.
+  /// link bandwidths minus all current reservations.  Failed elements
+  /// (below) appear with zero capacity / zero bandwidth, so admission,
+  /// growth, and defragmentation naturally avoid them.
   [[nodiscard]] model::PhysicalCluster residual_cluster() const;
+
+  /// Like residual_cluster() but with tenant `id`'s own reservations
+  /// returned — the view a repair of that tenant maps against.
+  [[nodiscard]] model::PhysicalCluster residual_cluster_excluding(
+      TenantId id) const;
+
+  /// Failure masking: a down node loses its capacity and every incident
+  /// link in all residual views; a down link loses its bandwidth.  The
+  /// orchestrator's healer drives these from HOST_FAIL/LINK_FAIL events.
+  /// Marking an element down does NOT touch committed mappings — healing
+  /// them is the caller's job (update_mappings rejects any new mapping
+  /// that lands on a down element).
+  void set_node_down(NodeId node, bool down);
+  void set_link_down(EdgeId edge, bool down);
+  [[nodiscard]] bool is_node_down(NodeId node) const {
+    return node_down_[node.index()];
+  }
+  [[nodiscard]] bool is_link_down(EdgeId edge) const {
+    return edge_down_[edge.index()];
+  }
+  [[nodiscard]] bool has_failed_elements() const { return down_count_ > 0; }
+  /// The current failure set in repair_mapping's shape (ascending ids).
+  [[nodiscard]] core::FailureSet failed_elements() const;
 
   /// Unclamped residual CPU per host in cluster().hosts() order — the
   /// vector the cluster-wide load-balance factor (Eq. 10) is computed
@@ -137,12 +163,22 @@ class TenancyManager {
   std::vector<double> used_stor_;
   std::vector<double> used_bw_;
 
+  // Failure masks, per cluster node / edge.
+  std::vector<bool> node_down_;
+  std::vector<bool> edge_down_;
+  std::size_t down_count_ = 0;
+
+  /// Down directly, or incident to a down node.
+  [[nodiscard]] bool edge_masked(EdgeId e) const;
+
   void apply(const Tenant& tenant, double sign);
   void apply_mapping(const model::VirtualEnvironment& venv,
                      const core::Mapping& mapping, double sign);
-  /// Residual view built from the current `used_*` arrays (shared by
-  /// residual_cluster() and grow()'s exclude-one view).
-  [[nodiscard]] model::PhysicalCluster residual_view() const;
+  /// Residual view built from the current `used_*` arrays, minus failure
+  /// masks; with `exclude` non-null that tenant's reservations are handed
+  /// back (shared by residual_cluster() and the exclude-one views).
+  [[nodiscard]] model::PhysicalCluster residual_view(
+      const Tenant* exclude = nullptr) const;
 };
 
 }  // namespace hmn::emulator

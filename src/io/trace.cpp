@@ -1,10 +1,14 @@
 #include "io/trace.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "io/json_parser.h"
 
@@ -26,7 +30,9 @@ TraceParseError err(std::size_t line, std::string message) {
   return {std::move(message), line};
 }
 
-/// Reads a [lo,hi] member into `range`; false on shape mismatch.
+/// Reads a [lo,hi] member into `range`; false on shape mismatch or a
+/// non-finite / inverted range (a NaN capacity would poison every fit
+/// check downstream).
 bool read_range(const JsonValue& profile, const char* name,
                 workload::Range& range) {
   const JsonValue* v = profile.find(name);
@@ -34,15 +40,56 @@ bool read_range(const JsonValue& profile, const char* name,
       !v->as_array()[0].is_number() || !v->as_array()[1].is_number()) {
     return false;
   }
-  range.lo = v->as_array()[0].as_number();
-  range.hi = v->as_array()[1].as_number();
+  const double lo = v->as_array()[0].as_number();
+  const double hi = v->as_array()[1].as_number();
+  if (!std::isfinite(lo) || !std::isfinite(hi) || lo > hi) return false;
+  range.lo = lo;
+  range.hi = hi;
   return true;
 }
 
-bool read_seed(const JsonValue& obj, std::uint64_t& seed) {
+/// Reads a required member holding a non-negative 32-bit integer (an id or
+/// a count).  Rejects missing/NaN/infinite/fractional/overflowing values
+/// with a descriptive reason — a 1e300 guest count must not become a
+/// silently wrapped size_t.
+bool read_u32(const JsonValue& obj, const char* name, std::uint32_t& out,
+              std::string& why) {
+  const JsonValue* v = obj.find(name);
+  if (v == nullptr || !v->is_number()) {
+    why = std::string("missing or non-numeric '") + name + "'";
+    return false;
+  }
+  const double d = v->as_number();
+  if (!std::isfinite(d) || d < 0.0 || d != std::floor(d) ||
+      d > static_cast<double>(std::numeric_limits<std::uint32_t>::max())) {
+    why = std::string("'") + name + "' must be an integer in [0, 2^32)";
+    return false;
+  }
+  out = static_cast<std::uint32_t>(d);
+  return true;
+}
+
+/// 64-bit seeds travel as decimal strings; anything else (empty, signs,
+/// trailing garbage, > 2^64-1) is rejected rather than strtoull-truncated.
+bool read_seed(const JsonValue& obj, std::uint64_t& seed, std::string& why) {
   const JsonValue* v = obj.find("seed");
-  if (v == nullptr || !v->is_string()) return false;
-  seed = std::strtoull(v->as_string().c_str(), nullptr, 10);
+  if (v == nullptr || !v->is_string()) {
+    why = "needs a string seed";
+    return false;
+  }
+  const std::string& s = v->as_string();
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    why = "seed must be a decimal digit string";
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) {
+    why = "seed overflows 64 bits";
+    return false;
+  }
+  seed = parsed;
   return true;
 }
 
@@ -50,7 +97,7 @@ bool read_seed(const JsonValue& obj, std::uint64_t& seed) {
 
 std::string write_trace(const workload::ChurnTrace& trace) {
   std::ostringstream out;
-  out << "{\"type\":\"churn-trace\",\"version\":1,\"profile\":{";
+  out << "{\"type\":\"churn-trace\",\"version\":2,\"profile\":{";
   write_range(out, "proc_mips", trace.profile.proc_mips);
   out << ',';
   write_range(out, "mem_mb", trace.profile.mem_mb);
@@ -64,7 +111,12 @@ std::string write_trace(const workload::ChurnTrace& trace) {
 
   for (const workload::TenantEvent& ev : trace.events) {
     out << "{\"t\":" << num(ev.time) << ",\"ev\":\""
-        << workload::to_string(ev.kind) << "\",\"tenant\":" << ev.tenant;
+        << workload::to_string(ev.kind) << '"';
+    if (workload::is_failure_event(ev.kind)) {
+      out << ",\"element\":" << ev.element << "}\n";
+      continue;
+    }
+    out << ",\"tenant\":" << ev.tenant;
     switch (ev.kind) {
       case workload::EventKind::kArrive:
         out << ",\"guests\":" << ev.guest_count
@@ -76,7 +128,7 @@ std::string write_trace(const workload::ChurnTrace& trace) {
             << ",\"add_links\":" << ev.add_links << ",\"seed\":\"" << ev.seed
             << '"';
         break;
-      case workload::EventKind::kDepart:
+      default:
         break;
     }
     out << "}\n";
@@ -90,6 +142,7 @@ std::variant<workload::ChurnTrace, TraceParseError> read_trace(
   bool saw_header = false;
   std::size_t line_no = 0;
   std::size_t pos = 0;
+  std::unordered_set<std::uint32_t> arrived;  // tenant keys seen arriving
   while (pos <= text.size()) {
     const std::size_t nl = text.find('\n', pos);
     const std::string_view line =
@@ -100,7 +153,9 @@ std::variant<workload::ChurnTrace, TraceParseError> read_trace(
 
     auto parsed = parse_json(line);
     if (std::holds_alternative<JsonParseError>(parsed)) {
-      return err(line_no, std::get<JsonParseError>(parsed).message);
+      const auto& e = std::get<JsonParseError>(parsed);
+      return err(line_no, e.message + " (line offset " +
+                              std::to_string(e.offset) + ")");
     }
     const JsonValue& obj = std::get<JsonValue>(parsed);
     if (!obj.is_object()) return err(line_no, "expected a JSON object");
@@ -127,30 +182,63 @@ std::variant<workload::ChurnTrace, TraceParseError> read_trace(
     workload::TenantEvent ev;
     const JsonValue* t = obj.find("t");
     const JsonValue* kind = obj.find("ev");
-    const JsonValue* tenant = obj.find("tenant");
     if (t == nullptr || !t->is_number() || kind == nullptr ||
-        !kind->is_string() || tenant == nullptr || !tenant->is_number()) {
-      return err(line_no, "event line needs t, ev, tenant");
+        !kind->is_string()) {
+      return err(line_no, "event line needs t and ev");
     }
     ev.time = t->as_number();
-    ev.tenant = static_cast<std::uint32_t>(tenant->as_number());
+    if (!std::isfinite(ev.time) || ev.time < 0.0) {
+      return err(line_no, "event time must be finite and non-negative");
+    }
     const std::string& k = kind->as_string();
+    std::string why;
+    if (k == "host-fail" || k == "link-fail" || k == "host-recover" ||
+        k == "link-recover") {
+      ev.kind = k == "host-fail"      ? workload::EventKind::kHostFail
+                : k == "link-fail"    ? workload::EventKind::kLinkFail
+                : k == "host-recover" ? workload::EventKind::kHostRecover
+                                      : workload::EventKind::kLinkRecover;
+      if (!read_u32(obj, "element", ev.element, why)) {
+        return err(line_no, k + " event: " + why);
+      }
+      trace.events.push_back(ev);
+      continue;
+    }
+    if (!read_u32(obj, "tenant", ev.tenant, why)) {
+      return err(line_no, k + " event: " + why);
+    }
     if (k == "arrive") {
       ev.kind = workload::EventKind::kArrive;
-      ev.guest_count =
-          static_cast<std::size_t>(obj.number_or("guests", 0.0));
-      ev.density = obj.number_or("density", 0.0);
-      if (!read_seed(obj, ev.seed)) {
-        return err(line_no, "arrive event needs a string seed");
+      std::uint32_t guests = 0;
+      if (!read_u32(obj, "guests", guests, why)) {
+        return err(line_no, "arrive event: " + why);
+      }
+      ev.guest_count = guests;
+      const JsonValue* density = obj.find("density");
+      if (density == nullptr || !density->is_number() ||
+          !std::isfinite(density->as_number()) ||
+          density->as_number() < 0.0 || density->as_number() > 1.0) {
+        return err(line_no, "arrive event: density must be in [0, 1]");
+      }
+      ev.density = density->as_number();
+      if (!read_seed(obj, ev.seed, why)) {
+        return err(line_no, "arrive event: " + why);
+      }
+      if (!arrived.insert(ev.tenant).second) {
+        return err(line_no, "duplicate arrive for tenant " +
+                                std::to_string(ev.tenant));
       }
     } else if (k == "grow") {
       ev.kind = workload::EventKind::kGrow;
-      ev.add_guests =
-          static_cast<std::size_t>(obj.number_or("add_guests", 0.0));
-      ev.add_links =
-          static_cast<std::size_t>(obj.number_or("add_links", 0.0));
-      if (!read_seed(obj, ev.seed)) {
-        return err(line_no, "grow event needs a string seed");
+      std::uint32_t add_guests = 0, add_links = 0;
+      if (!read_u32(obj, "add_guests", add_guests, why) ||
+          !read_u32(obj, "add_links", add_links, why)) {
+        return err(line_no, "grow event: " + why);
+      }
+      ev.add_guests = add_guests;
+      ev.add_links = add_links;
+      if (!read_seed(obj, ev.seed, why)) {
+        return err(line_no, "grow event: " + why);
       }
     } else if (k == "depart") {
       ev.kind = workload::EventKind::kDepart;

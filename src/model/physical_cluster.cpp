@@ -52,6 +52,11 @@ void PhysicalCluster::fail_node(NodeId node) {
   }
 }
 
+void PhysicalCluster::fail_link(EdgeId edge) {
+  links_[edge.index()].bandwidth_mbps = 0.0;
+  links_[edge.index()].latency_ms = std::numeric_limits<double>::infinity();
+}
+
 double PhysicalCluster::total_proc_mips() const {
   double sum = 0.0;
   for (const NodeId h : hosts_) sum += capacity_[h.index()].proc_mips;

@@ -43,6 +43,10 @@ class PhysicalCluster {
   /// The topology itself is unchanged (ids remain stable).
   void fail_node(NodeId node);
 
+  /// Marks a single physical link as failed (zero bandwidth, infinite
+  /// latency); both endpoints keep their capacity.
+  void fail_link(EdgeId edge);
+
   [[nodiscard]] const graph::Graph& graph() const { return topo_.graph; }
   [[nodiscard]] const topology::Topology& topology() const { return topo_; }
 

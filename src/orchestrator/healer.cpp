@@ -1,0 +1,346 @@
+#include "orchestrator/healer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/repair.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace hmn::orchestrator {
+namespace {
+
+/// Re-admission seeds are derived from a fixed base, not the arrival seed:
+/// healing must replay identically whether or not the tenant was ever
+/// queued for admission.
+constexpr std::uint64_t kHealSeedBase = 0x48EA15EEDULL;
+
+}  // namespace
+
+double Healer::backoff_delay(std::size_t failed_attempts) const {
+  const double factor = std::pow(
+      opts_.backoff_factor, static_cast<double>(failed_attempts) - 1.0);
+  return std::min(opts_.backoff_max, opts_.backoff_base * factor);
+}
+
+void Healer::evict_and_park(emulator::TenancyManager& mgr, LiveMap& live,
+                            std::uint32_t key, double now) {
+  const emulator::TenantId id = live.at(key);
+  const emulator::Tenant* tenant = mgr.tenant(id);
+  ParkedTenant parked;
+  parked.key = key;
+  parked.name = tenant->name;
+  parked.venv = tenant->venv;
+  parked.parked_at = now;
+  parked.attempts = 0;
+  parked.next_attempt = now;  // eligible at the next capacity change
+  degraded_.erase(key);
+  mgr.release(id);
+  live.erase(key);
+  parked_.push_back(std::move(parked));
+}
+
+std::optional<HealRecord> Healer::heal_one(emulator::TenancyManager& mgr,
+                                           LiveMap& live, std::uint32_t key,
+                                           double now) {
+  const auto it = live.find(key);
+  if (it == live.end()) return std::nullopt;
+  const emulator::TenantId id = it->second;
+  const emulator::Tenant* tenant = mgr.tenant(id);
+  if (tenant == nullptr) return std::nullopt;
+
+  const util::Timer timer;
+  HealRecord r;
+  r.key = key;
+
+  if (opts_.policy == HealPolicy::kDropReadmit) {
+    // Baseline: the whole tenant is evicted and re-admitted from scratch.
+    std::string name = tenant->name;
+    model::VirtualEnvironment venv = tenant->venv;
+    mgr.release(id);
+    live.erase(it);
+    const auto res =
+        mgr.admit(name, venv, util::derive_seed(kHealSeedBase, key, 0));
+    if (res.ok()) {
+      live[key] = *res.tenant;
+      r.action = HealAction::kHealed;
+      r.guests_moved = venv.guest_count();
+    } else {
+      r.action = HealAction::kParked;
+      r.error = res.error;
+      ParkedTenant parked;
+      parked.key = key;
+      parked.name = std::move(name);
+      parked.venv = std::move(venv);
+      parked.parked_at = now;
+      parked.next_attempt = now;
+      parked_.push_back(std::move(parked));
+    }
+    r.latency_us = timer.elapsed_us();
+    return r;
+  }
+
+  const bool was_degraded = degraded_.count(key) != 0;
+  core::RepairOptions ro;
+  ro.failed = mgr.failed_elements();
+  ro.allow_dark_links = true;
+  core::RepairStats rs;
+  const model::PhysicalCluster view = mgr.residual_cluster_excluding(id);
+  core::MapOutcome outcome =
+      core::repair_mapping(view, tenant->venv, tenant->mapping, ro, &rs);
+  if (outcome.ok() && mgr.update_mappings({{id, *outcome.mapping}})) {
+    r.guests_moved = rs.guests_moved;
+    r.links_rerouted = rs.links_rerouted;
+    r.dark_links = rs.dark_links.size();
+    if (rs.dark_links.empty()) {
+      degraded_.erase(key);
+      r.action = was_degraded ? HealAction::kRestored : HealAction::kHealed;
+    } else {
+      degraded_[key] = std::move(rs.dark_links);
+      r.action = HealAction::kDegraded;
+    }
+  } else {
+    // Hosting cannot be repaired (or the commit was refused): evict the
+    // tenant and park it for re-admission.
+    r.action = HealAction::kParked;
+    r.error = outcome.ok() ? core::MapErrorCode::kInvalidInput : outcome.error;
+    evict_and_park(mgr, live, key, now);
+  }
+  r.latency_us = timer.elapsed_us();
+  return r;
+}
+
+std::vector<HealRecord> Healer::heal_degraded(emulator::TenancyManager& mgr,
+                                              LiveMap& live, double now) {
+  std::vector<HealRecord> out;
+  std::vector<std::uint32_t> keys;
+  keys.reserve(degraded_.size());
+  for (const auto& [key, dark] : degraded_) keys.push_back(key);
+  for (const std::uint32_t key : keys) {
+    auto r = heal_one(mgr, live, key, now);
+    // A tenant that merely *stays* Degraded is not an event; Restored and
+    // Parked transitions are.
+    if (r.has_value() && r->action != HealAction::kDegraded) {
+      out.push_back(std::move(*r));
+    }
+  }
+  return out;
+}
+
+std::vector<HealRecord> Healer::retry_parked(emulator::TenancyManager& mgr,
+                                             LiveMap& live, double now) {
+  std::vector<HealRecord> out;
+  std::deque<ParkedTenant> keep;
+  while (!parked_.empty()) {
+    ParkedTenant entry = std::move(parked_.front());
+    parked_.pop_front();
+    if (entry.next_attempt > now) {
+      keep.push_back(std::move(entry));
+      continue;
+    }
+    const util::Timer timer;
+    ++entry.attempts;
+    const auto res = mgr.admit(
+        entry.name, entry.venv,
+        util::derive_seed(kHealSeedBase, entry.key, entry.attempts));
+    HealRecord r;
+    r.key = entry.key;
+    if (res.ok()) {
+      live[entry.key] = *res.tenant;
+      r.action = HealAction::kReadmitted;
+      r.outage = now - entry.parked_at;
+      r.latency_us = timer.elapsed_us();
+      out.push_back(r);
+      continue;
+    }
+    r.error = res.error;
+    if (opts_.max_heal_attempts != 0 &&
+        entry.attempts >= opts_.max_heal_attempts) {
+      r.action = HealAction::kDropped;
+      r.outage = now - entry.parked_at;
+      r.latency_us = timer.elapsed_us();
+      out.push_back(r);
+      continue;
+    }
+    entry.next_attempt = now + backoff_delay(entry.attempts);
+    keep.push_back(std::move(entry));
+  }
+  parked_ = std::move(keep);
+  return out;
+}
+
+std::vector<HealRecord> Healer::on_capacity_freed(
+    emulator::TenancyManager& mgr, LiveMap& live, double now) {
+  std::vector<HealRecord> records = heal_degraded(mgr, live, now);
+  std::vector<HealRecord> readmissions = retry_parked(mgr, live, now);
+  records.insert(records.end(),
+                 std::make_move_iterator(readmissions.begin()),
+                 std::make_move_iterator(readmissions.end()));
+  return records;
+}
+
+std::vector<HealRecord> Healer::on_event(emulator::TenancyManager& mgr,
+                                         LiveMap& live,
+                                         const workload::TenantEvent& ev) {
+  const model::PhysicalCluster& cluster = mgr.cluster();
+  switch (ev.kind) {
+    case workload::EventKind::kHostFail: {
+      if (ev.element >= cluster.node_count()) return {};
+      const NodeId node{ev.element};
+      mgr.set_node_down(node, true);
+      std::vector<std::uint32_t> impacted;
+      for (const auto& [key, id] : live) {
+        const emulator::Tenant* t = mgr.tenant(id);
+        if (t != nullptr &&
+            !core::mapping_avoids_node(cluster, t->mapping, node)) {
+          impacted.push_back(key);
+        }
+      }
+      std::vector<HealRecord> records;
+      for (const std::uint32_t key : impacted) {
+        if (auto r = heal_one(mgr, live, key, ev.time)) {
+          records.push_back(std::move(*r));
+        }
+      }
+      return records;
+    }
+    case workload::EventKind::kLinkFail: {
+      if (ev.element >= cluster.link_count()) return {};
+      const EdgeId edge{ev.element};
+      mgr.set_link_down(edge, true);
+      std::vector<std::uint32_t> impacted;
+      for (const auto& [key, id] : live) {
+        const emulator::Tenant* t = mgr.tenant(id);
+        if (t != nullptr && !core::mapping_avoids_edge(t->mapping, edge)) {
+          impacted.push_back(key);
+        }
+      }
+      std::vector<HealRecord> records;
+      for (const std::uint32_t key : impacted) {
+        if (auto r = heal_one(mgr, live, key, ev.time)) {
+          records.push_back(std::move(*r));
+        }
+      }
+      return records;
+    }
+    case workload::EventKind::kHostRecover: {
+      if (ev.element >= cluster.node_count()) return {};
+      mgr.set_node_down(NodeId{ev.element}, false);
+      return on_capacity_freed(mgr, live, ev.time);
+    }
+    case workload::EventKind::kLinkRecover: {
+      if (ev.element >= cluster.link_count()) return {};
+      mgr.set_link_down(EdgeId{ev.element}, false);
+      return on_capacity_freed(mgr, live, ev.time);
+    }
+    default:
+      return {};
+  }
+}
+
+std::optional<double> Healer::abandon_parked(std::uint32_t key, double now) {
+  const auto it = std::find_if(
+      parked_.begin(), parked_.end(),
+      [key](const ParkedTenant& p) { return p.key == key; });
+  if (it == parked_.end()) return std::nullopt;
+  const double outage = now - it->parked_at;
+  parked_.erase(it);
+  return outage;
+}
+
+std::vector<std::string> Healer::audit(const emulator::TenancyManager& mgr,
+                                       const LiveMap& live) const {
+  std::vector<std::string> violations;
+  const model::PhysicalCluster& cluster = mgr.cluster();
+  const graph::Graph& g = cluster.graph();
+  auto edge_dead = [&](EdgeId e) {
+    const auto ep = g.endpoints(e);
+    return mgr.is_link_down(e) || mgr.is_node_down(ep.a) ||
+           mgr.is_node_down(ep.b);
+  };
+
+  // Aggregates recomputed from scratch; the manager's incremental
+  // bookkeeping is exactly what this pass refuses to trust.
+  std::vector<double> mem(cluster.node_count(), 0.0);
+  std::vector<double> stor(cluster.node_count(), 0.0);
+  std::vector<double> bw(cluster.link_count(), 0.0);
+
+  for (const auto& [key, id] : live) {
+    const emulator::Tenant* t = mgr.tenant(id);
+    const std::string who = "tenant " + std::to_string(key);
+    if (t == nullptr) {
+      violations.push_back(who + ": live but unknown to the manager");
+      continue;
+    }
+    for (std::size_t gi = 0; gi < t->venv.guest_count(); ++gi) {
+      const NodeId h = t->mapping.guest_host[gi];
+      if (!h.valid() || !cluster.is_host(h)) {
+        violations.push_back(who + ": guest " + std::to_string(gi) +
+                             " has no valid host");
+        continue;
+      }
+      if (mgr.is_node_down(h)) {
+        violations.push_back(who + ": guest " + std::to_string(gi) +
+                             " placed on failed host " +
+                             std::to_string(h.value()));
+      }
+      const auto& req =
+          t->venv.guest(GuestId{static_cast<GuestId::underlying_type>(gi)});
+      mem[h.index()] += req.mem_mb;
+      stor[h.index()] += req.stor_gb;
+    }
+    const auto dit = degraded_.find(key);
+    for (std::size_t li = 0; li < t->venv.link_count(); ++li) {
+      const auto lid = VirtLinkId{static_cast<VirtLinkId::underlying_type>(li)};
+      const auto ep = t->venv.endpoints(lid);
+      const auto& path = t->mapping.link_paths[li];
+      if (path.empty()) {
+        const NodeId hs = t->mapping.guest_host[ep.src.index()];
+        const NodeId hd = t->mapping.guest_host[ep.dst.index()];
+        const bool declared_dark =
+            dit != degraded_.end() &&
+            std::find(dit->second.begin(), dit->second.end(), lid) !=
+                dit->second.end();
+        if (hs != hd && !declared_dark) {
+          violations.push_back(who + ": link " + std::to_string(li) +
+                               " is inter-host yet unrouted and not a "
+                               "declared dark link");
+        }
+        continue;
+      }
+      const double demand = t->venv.link(lid).bandwidth_mbps;
+      for (const EdgeId e : path) {
+        if (edge_dead(e)) {
+          violations.push_back(who + ": link " + std::to_string(li) +
+                               " routed through failed element (edge " +
+                               std::to_string(e.value()) + ")");
+        }
+        bw[e.index()] += demand;
+      }
+    }
+  }
+
+  for (const NodeId h : cluster.hosts()) {
+    const auto& cap = cluster.capacity(h);
+    if (mem[h.index()] > cap.mem_mb + 1e-6 * (1.0 + cap.mem_mb)) {
+      violations.push_back("node " + std::to_string(h.value()) +
+                           ": negative residual memory");
+    }
+    if (stor[h.index()] > cap.stor_gb + 1e-6 * (1.0 + cap.stor_gb)) {
+      violations.push_back("node " + std::to_string(h.value()) +
+                           ": negative residual storage");
+    }
+  }
+  for (std::size_t e = 0; e < cluster.link_count(); ++e) {
+    const auto id = EdgeId{static_cast<EdgeId::underlying_type>(e)};
+    const double cap = cluster.link(id).bandwidth_mbps;
+    if (bw[e] > cap + 1e-6 * (1.0 + cap)) {
+      violations.push_back("edge " + std::to_string(e) +
+                           ": negative residual bandwidth");
+    }
+  }
+  return violations;
+}
+
+}  // namespace hmn::orchestrator

@@ -69,7 +69,8 @@ Orchestrator::Orchestrator(model::PhysicalCluster cluster,
     : mgr_(std::move(cluster), std::move(pool)),
       profile_(profile),
       opts_(opts),
-      queue_(opts.retry_max_attempts, opts.max_queue) {}
+      queue_(opts.retry_max_attempts, opts.max_queue),
+      healer_(opts.healer) {}
 
 std::uint64_t Orchestrator::placement_hash(emulator::TenantId id) const {
   const emulator::Tenant* tenant = mgr_.tenant(id);
@@ -93,6 +94,10 @@ void Orchestrator::sample(double time) {
 }
 
 void Orchestrator::maybe_defrag() {
+  // Defrag rebuilds residuals from the unmasked cluster and re-routes every
+  // link from scratch; while elements are down or tenants run dark links it
+  // would either abort or silently fight the healer — suppress it.
+  if (mgr_.has_failed_elements() || healer_.degraded_count() > 0) return;
   const std::size_t k = opts_.defrag_every_departures;
   if (k == 0 || departures_ % k != 0) return;
   const util::Timer timer;
@@ -148,6 +153,77 @@ void Orchestrator::drain_queue(double now) {
   }
 }
 
+void Orchestrator::close_degraded_window(std::uint32_t key, double now) {
+  const auto it = degraded_since_.find(key);
+  if (it == degraded_since_.end()) return;
+  report_.degraded_minutes += now - it->second;
+  degraded_since_.erase(it);
+}
+
+void Orchestrator::record_heals(const std::vector<HealRecord>& records,
+                                double now, workload::EventKind kind) {
+  for (const HealRecord& r : records) {
+    EventDecision d;
+    d.time = now;
+    d.kind = kind;
+    d.tenant = r.key;
+    d.error = r.error;
+    d.latency_us = r.latency_us;
+    switch (r.action) {
+      case HealAction::kHealed:
+        d.decision = Decision::kHealed;
+        ++report_.healed;
+        break;
+      case HealAction::kDegraded:
+        d.decision = Decision::kDegraded;
+        ++report_.degraded;
+        degraded_since_.try_emplace(r.key, now);
+        break;
+      case HealAction::kRestored:
+        d.decision = Decision::kRestored;
+        ++report_.restored;
+        close_degraded_window(r.key, now);
+        break;
+      case HealAction::kParked:
+        d.decision = Decision::kParked;
+        ++report_.parked;
+        close_degraded_window(r.key, now);
+        break;
+      case HealAction::kReadmitted:
+        d.decision = Decision::kReadmitted;
+        ++report_.readmitted;
+        d.queue_wait = r.outage;
+        report_.tenant_minutes_lost += r.outage;
+        break;
+      case HealAction::kDropped:
+        d.decision = Decision::kHealDropped;
+        ++report_.heal_dropped;
+        d.queue_wait = r.outage;
+        // The loss keeps accruing until the tenant's own DEPART event.
+        lost_since_[r.key] = now - r.outage;
+        break;
+    }
+    const auto lit = live_.find(r.key);
+    if (lit != live_.end() && r.action != HealAction::kParked &&
+        r.action != HealAction::kDropped) {
+      d.placement_hash = placement_hash(lit->second);
+    }
+    if (r.action == HealAction::kHealed || r.action == HealAction::kDegraded ||
+        r.action == HealAction::kRestored) {
+      report_.heal_latencies_us.push_back(r.latency_us);
+    }
+    record(d);
+  }
+}
+
+void Orchestrator::run_audit(double now) {
+  if (!opts_.audit_invariants) return;
+  for (std::string& v : healer_.audit(mgr_, live_)) {
+    report_.invariant_violations.push_back(std::to_string(now) + ": " +
+                                           std::move(v));
+  }
+}
+
 EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
   const util::Timer timer;
   EventDecision d;
@@ -155,6 +231,8 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
   d.kind = ev.kind;
   d.tenant = ev.tenant;
   bool freed_capacity = false;
+  bool recovered = false;
+  std::vector<HealRecord> heals;
 
   switch (ev.kind) {
     case workload::EventKind::kArrive: {
@@ -169,19 +247,18 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
         ++report_.admitted_immediately;
       } else {
         d.error = result.error;
-        if (queue_.full()) {
+        PendingTenant pending;
+        pending.key = ev.tenant;
+        pending.name = tenant_name(ev.tenant);
+        pending.venv = std::move(venv);
+        pending.seed = ev.seed;
+        pending.enqueued_at = ev.time;
+        pending.attempts = 1;  // the arrival itself
+        if (queue_.push(std::move(pending))) {
+          d.decision = Decision::kQueued;
+        } else {
           d.decision = Decision::kRejected;
           ++report_.rejected;
-        } else {
-          d.decision = Decision::kQueued;
-          PendingTenant pending;
-          pending.key = ev.tenant;
-          pending.name = tenant_name(ev.tenant);
-          pending.venv = std::move(venv);
-          pending.seed = ev.seed;
-          pending.enqueued_at = ev.time;
-          pending.attempts = 1;  // the arrival itself
-          queue_.push(std::move(pending));
         }
       }
       break;
@@ -213,6 +290,8 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
     case workload::EventKind::kDepart: {
       const auto it = live_.find(ev.tenant);
       if (it != live_.end()) {
+        close_degraded_window(ev.tenant, ev.time);
+        healer_.forget(ev.tenant);
         mgr_.release(it->second);
         live_.erase(it);
         d.decision = Decision::kDeparted;
@@ -222,19 +301,65 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
         d.decision = Decision::kAbandoned;
         d.queue_wait = ev.time - entry->enqueued_at;
         ++report_.abandoned;
+      } else if (auto outage = healer_.abandon_parked(ev.tenant, ev.time)) {
+        // Departed while evicted: the whole parked window is lost time.
+        d.decision = Decision::kAbandoned;
+        d.queue_wait = *outage;
+        report_.tenant_minutes_lost += *outage;
+        ++report_.abandoned;
+      } else if (const auto lost = lost_since_.find(ev.tenant);
+                 lost != lost_since_.end()) {
+        report_.tenant_minutes_lost += ev.time - lost->second;
+        lost_since_.erase(lost);
+        d.decision = Decision::kNoOp;
       } else {
         d.decision = Decision::kNoOp;
       }
+      break;
+    }
+    case workload::EventKind::kHostFail:
+    case workload::EventKind::kLinkFail:
+    case workload::EventKind::kHostRecover:
+    case workload::EventKind::kLinkRecover: {
+      d.tenant = ev.element;  // the signature covers *which* element
+      switch (ev.kind) {
+        case workload::EventKind::kHostFail:
+          d.decision = Decision::kHostFailed;
+          ++report_.host_failures;
+          break;
+        case workload::EventKind::kLinkFail:
+          d.decision = Decision::kLinkFailed;
+          ++report_.link_failures;
+          break;
+        case workload::EventKind::kHostRecover:
+          d.decision = Decision::kHostRecovered;
+          ++report_.recoveries;
+          recovered = true;
+          break;
+        default:
+          d.decision = Decision::kLinkRecovered;
+          ++report_.recoveries;
+          recovered = true;
+          break;
+      }
+      heals = healer_.on_event(mgr_, live_, ev);
       break;
     }
   }
 
   d.latency_us = timer.elapsed_us();
   record(d);
+  record_heals(heals, ev.time, ev.kind);
   if (freed_capacity) {
+    // Capacity just freed: re-heal Degraded tenants and retry the healing
+    // queue before the ordinary defrag + admission backfill.
+    record_heals(healer_.on_capacity_freed(mgr_, live_, ev.time), ev.time,
+                 ev.kind);
     maybe_defrag();
     drain_queue(ev.time);
   }
+  if (recovered) drain_queue(ev.time);
+  run_audit(ev.time);
   sample(ev.time);
   return d;
 }

@@ -15,6 +15,13 @@
 //   DEPART  release, then — capacity just freed — an optional background
 //           defragmentation pass (orchestrator::run_defrag) and a drain
 //           of the retry queue in FIFO order.
+//   *_FAIL / *_RECOVER
+//           substrate failures are applied to the shared cluster and
+//           handed to the Healer (orchestrator/healer.h): impacted
+//           tenants are repaired in place, kept Degraded, or evicted
+//           into a backoff healing queue; recoveries re-heal Degraded
+//           tenants and re-admit parked ones.  An independent invariant
+//           auditor runs after every event.
 //
 // Every mapping decision is seeded from the event stream, so a recorded
 // trace replays to bit-identical decisions and placements; only the
@@ -32,6 +39,7 @@
 #include "emulator/tenancy.h"
 #include "extensions/heuristic_pool.h"
 #include "orchestrator/defrag.h"
+#include "orchestrator/healer.h"
 #include "orchestrator/retry_queue.h"
 #include "workload/churn.h"
 
@@ -49,6 +57,17 @@ enum class Decision : std::uint8_t {
   kGrowthRejected,     // GROW infeasible; tenant keeps its old size
   kDeparted,           // DEPART of a running tenant
   kNoOp,               // event for an unknown/finished tenant
+
+  kHostFailed,     // HOST_FAIL applied to the cluster
+  kLinkFailed,     // LINK_FAIL applied to the cluster
+  kHostRecovered,  // HOST_RECOVER applied to the cluster
+  kLinkRecovered,  // LINK_RECOVER applied to the cluster
+  kHealed,         // tenant fully repaired in place
+  kDegraded,       // tenant kept with >= 1 dark link
+  kRestored,       // previously Degraded tenant fully routed again
+  kParked,         // tenant evicted into the healing queue
+  kReadmitted,     // parked tenant re-admitted
+  kHealDropped,    // healing budget exhausted; tenant lost
 };
 
 [[nodiscard]] constexpr const char* to_string(Decision d) {
@@ -64,6 +83,16 @@ enum class Decision : std::uint8_t {
     case Decision::kGrowthRejected: return "growth-rejected";
     case Decision::kDeparted: return "departed";
     case Decision::kNoOp: return "no-op";
+    case Decision::kHostFailed: return "host-failed";
+    case Decision::kLinkFailed: return "link-failed";
+    case Decision::kHostRecovered: return "host-recovered";
+    case Decision::kLinkRecovered: return "link-recovered";
+    case Decision::kHealed: return "healed";
+    case Decision::kDegraded: return "degraded";
+    case Decision::kRestored: return "restored";
+    case Decision::kParked: return "parked";
+    case Decision::kReadmitted: return "readmitted";
+    case Decision::kHealDropped: return "heal-dropped";
   }
   return "?";
 }
@@ -71,7 +100,8 @@ enum class Decision : std::uint8_t {
 /// One decision record.  `placement_hash` fingerprints the admitted/moved
 /// tenant's guest placement (FNV-1a over host ids; 0 when no placement
 /// resulted) so replay equality checks cover *where* guests landed, not
-/// just whether they did.
+/// just whether they did.  For failure/recovery events `tenant` carries
+/// the failed element id instead of a tenant key.
 struct EventDecision {
   double time = 0.0;
   workload::EventKind kind = workload::EventKind::kArrive;
@@ -116,8 +146,28 @@ struct OrchestratorReport {
   std::size_t grown_by_remap = 0;
   std::size_t growth_rejected = 0;
 
+  // Failure / healing accounting.
+  std::size_t host_failures = 0;
+  std::size_t link_failures = 0;
+  std::size_t recoveries = 0;
+  std::size_t healed = 0;          // in-place repairs that fully routed
+  std::size_t degraded = 0;        // transitions into Degraded
+  std::size_t restored = 0;        // Degraded -> fully routed
+  std::size_t parked = 0;          // evictions into the healing queue
+  std::size_t readmitted = 0;      // parked tenants admitted again
+  std::size_t heal_dropped = 0;    // healing budget exhausted
+  /// Event time running tenants spent evicted (parked/dropped windows,
+  /// closed at re-admission or departure).
+  double tenant_minutes_lost = 0.0;
+  /// Event time tenants spent in the Degraded state.
+  double degraded_minutes = 0.0;
+  /// One message per invariant-auditor violation ("<time>: <what>");
+  /// empty on a healthy run.
+  std::vector<std::string> invariant_violations;
+
   std::vector<double> queue_waits;            // of backfill admissions
   std::vector<double> decision_latencies_us;  // one per decision
+  std::vector<double> heal_latencies_us;      // per in-place heal attempt
 
   /// Fraction of arrivals eventually admitted (immediately or backfilled).
   [[nodiscard]] double acceptance_rate() const;
@@ -138,6 +188,12 @@ struct OrchestratorOptions {
   /// Retry-queue policy (see RetryQueue).
   std::size_t retry_max_attempts = 8;
   std::size_t max_queue = 0;
+  /// Healing policy and backoff (see Healer).
+  HealerOptions healer;
+  /// Run the independent invariant auditor after every event, appending
+  /// violations to the report.  Cheap on bench-scale clusters; disable
+  /// for large production sweeps.
+  bool audit_invariants = true;
 };
 
 class Orchestrator {
@@ -161,6 +217,7 @@ class Orchestrator {
   [[nodiscard]] const emulator::TenancyManager& tenancy() const {
     return mgr_;
   }
+  [[nodiscard]] const Healer& healer() const { return healer_; }
   [[nodiscard]] const OrchestratorReport& report() const { return report_; }
 
  private:
@@ -168,13 +225,20 @@ class Orchestrator {
   void maybe_defrag();
   void sample(double time);
   void record(EventDecision decision);
+  void record_heals(const std::vector<HealRecord>& records, double now,
+                    workload::EventKind kind);
+  void close_degraded_window(std::uint32_t key, double now);
+  void run_audit(double now);
   [[nodiscard]] std::uint64_t placement_hash(emulator::TenantId id) const;
 
   emulator::TenancyManager mgr_;
   workload::GuestProfile profile_;
   OrchestratorOptions opts_;
   RetryQueue queue_;
+  Healer healer_;
   std::map<std::uint32_t, emulator::TenantId> live_;  // churn key -> tenant
+  std::map<std::uint32_t, double> degraded_since_;    // key -> entry time
+  std::map<std::uint32_t, double> lost_since_;        // dropped key -> park time
   std::size_t departures_ = 0;
   OrchestratorReport report_;
 };

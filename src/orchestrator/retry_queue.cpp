@@ -1,13 +1,13 @@
 #include "orchestrator/retry_queue.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace hmn::orchestrator {
 
-void RetryQueue::push(PendingTenant tenant) {
-  assert(!full());
+bool RetryQueue::push(PendingTenant tenant) {
+  if (full()) return false;
   entries_.push_back(std::move(tenant));
+  return true;
 }
 
 std::optional<PendingTenant> RetryQueue::erase(std::uint32_t key) {

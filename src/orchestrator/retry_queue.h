@@ -42,8 +42,10 @@ class RetryQueue {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
 
-  /// Enqueues a rejected tenant.  Precondition: !full().
-  void push(PendingTenant tenant);
+  /// Enqueues a rejected tenant.  Returns false — and leaves the queue
+  /// unchanged — when the queue is full, so an over-full queue rejects
+  /// deterministically instead of silently growing.
+  [[nodiscard]] bool push(PendingTenant tenant);
 
   /// Removes a tenant that departed before ever being admitted.  Returns
   /// the entry when present (for time-in-queue accounting).

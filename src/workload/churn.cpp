@@ -31,11 +31,24 @@ int kind_rank(EventKind k) {
     case EventKind::kArrive: return 0;
     case EventKind::kGrow: return 1;
     case EventKind::kDepart: return 2;
+    // Failures rank before their recoveries so a zero repair time still
+    // fails before it recovers.
+    case EventKind::kHostFail: return 3;
+    case EventKind::kLinkFail: return 4;
+    case EventKind::kHostRecover: return 5;
+    case EventKind::kLinkRecover: return 6;
   }
-  return 3;
+  return 7;
 }
 
 }  // namespace
+
+bool event_before(const TenantEvent& a, const TenantEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.tenant != b.tenant) return a.tenant < b.tenant;
+  if (a.kind != b.kind) return kind_rank(a.kind) < kind_rank(b.kind);
+  return a.element < b.element;
+}
 
 ChurnTrace generate_churn(const ChurnOptions& opts, std::uint64_t seed) {
   ChurnTrace trace;
@@ -83,13 +96,59 @@ ChurnTrace generate_churn(const ChurnOptions& opts, std::uint64_t seed) {
     ++key;
   }
 
-  std::stable_sort(trace.events.begin(), trace.events.end(),
-                   [](const TenantEvent& a, const TenantEvent& b) {
-                     if (a.time != b.time) return a.time < b.time;
-                     if (a.tenant != b.tenant) return a.tenant < b.tenant;
-                     return kind_rank(a.kind) < kind_rank(b.kind);
-                   });
+  std::stable_sort(trace.events.begin(), trace.events.end(), event_before);
   return trace;
+}
+
+std::vector<TenantEvent> generate_failures(const FailureOptions& opts,
+                                           const model::PhysicalCluster& cluster,
+                                           std::uint64_t seed) {
+  std::vector<TenantEvent> events;
+  // One alternating up/down renewal process per element, each on its own
+  // derived stream so the draw for element e never depends on how many
+  // other elements exist.
+  auto renewal = [&](double mttf, double mttr, EventKind fail,
+                     EventKind recover, std::uint32_t element,
+                     std::uint64_t stream) {
+    if (mttf <= 0.0) return;
+    util::Rng rng(stream);
+    double now = 0.0;
+    while (true) {
+      now += exponential(rng, mttf);
+      if (now >= opts.horizon) break;
+      TenantEvent down;
+      down.time = now;
+      down.kind = fail;
+      down.element = element;
+      events.push_back(down);
+      now += exponential(rng, std::max(1e-9, mttr));
+      TenantEvent up;
+      up.time = now;
+      up.kind = recover;
+      up.element = element;
+      events.push_back(up);  // always emitted: the substrate drains too
+      if (now >= opts.horizon) break;
+    }
+  };
+  for (const NodeId h : cluster.hosts()) {
+    renewal(opts.host_mttf, opts.host_mttr, EventKind::kHostFail,
+            EventKind::kHostRecover, h.value(),
+            util::derive_seed(seed, 1, h.value()));
+  }
+  for (std::size_t e = 0; e < cluster.link_count(); ++e) {
+    renewal(opts.link_mttf, opts.link_mttr, EventKind::kLinkFail,
+            EventKind::kLinkRecover, static_cast<std::uint32_t>(e),
+            util::derive_seed(seed, 2, e));
+  }
+  std::stable_sort(events.begin(), events.end(), event_before);
+  return events;
+}
+
+void merge_events(ChurnTrace& trace, std::vector<TenantEvent> extra) {
+  trace.events.insert(trace.events.end(),
+                      std::make_move_iterator(extra.begin()),
+                      std::make_move_iterator(extra.end()));
+  std::stable_sort(trace.events.begin(), trace.events.end(), event_before);
 }
 
 model::VirtualEnvironment make_event_venv(const GuestProfile& profile,

@@ -13,6 +13,15 @@
 //   * DEPART — lifetimes are exponential or Pareto (heavy-tailed sessions:
 //     most testers leave quickly, a few camp on the cluster).
 //
+// The *substrate* misbehaves too (the paper's motivation for emulation is
+// precisely that real testbeds fail); generate_failures overlays a second
+// stream onto the same timeline:
+//
+//   * HOST_FAIL / LINK_FAIL — a physical element dies; every element is an
+//     independent alternating-renewal process with exponential time-to-
+//     failure (MTTF) and time-to-repair (MTTR);
+//   * HOST_RECOVER / LINK_RECOVER — the element returns to service.
+//
 // Every event carries the *parameters* of the randomness, not its outcome:
 // an ARRIVE holds (guest_count, density, seed) and the venv is
 // re-materialized on consumption via make_event_venv, so a recorded trace
@@ -22,24 +31,42 @@
 #include <cstdint>
 #include <vector>
 
+#include "model/physical_cluster.h"
 #include "model/virtual_environment.h"
 #include "workload/presets.h"
 
 namespace hmn::workload {
 
-enum class EventKind : std::uint8_t { kArrive, kGrow, kDepart };
+enum class EventKind : std::uint8_t {
+  kArrive,
+  kGrow,
+  kDepart,
+  kHostFail,
+  kLinkFail,
+  kHostRecover,
+  kLinkRecover,
+};
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) {
   switch (k) {
     case EventKind::kArrive: return "arrive";
     case EventKind::kGrow: return "grow";
     case EventKind::kDepart: return "depart";
+    case EventKind::kHostFail: return "host-fail";
+    case EventKind::kLinkFail: return "link-fail";
+    case EventKind::kHostRecover: return "host-recover";
+    case EventKind::kLinkRecover: return "link-recover";
   }
   return "?";
 }
 
-/// One tenant life-cycle event.  Fields beyond (time, kind, tenant) are
-/// meaningful only for the kinds noted.
+[[nodiscard]] constexpr bool is_failure_event(EventKind k) {
+  return k == EventKind::kHostFail || k == EventKind::kLinkFail ||
+         k == EventKind::kHostRecover || k == EventKind::kLinkRecover;
+}
+
+/// One tenant life-cycle or substrate event.  Fields beyond (time, kind)
+/// are meaningful only for the kinds noted.
 struct TenantEvent {
   double time = 0.0;
   EventKind kind = EventKind::kArrive;
@@ -50,9 +77,16 @@ struct TenantEvent {
   std::size_t add_guests = 0;   // kGrow: guests appended
   std::size_t add_links = 0;    // kGrow: extra links beyond attachment
   std::uint64_t seed = 0;       // kArrive/kGrow: stream seed for the draw
+  std::uint32_t element = 0;    // k*Fail/k*Recover: node / edge id
 
   friend bool operator==(const TenantEvent&, const TenantEvent&) = default;
 };
+
+/// Canonical event order: time, then tenant key, then a fixed kind rank
+/// (ARRIVE < GROW < DEPART, failures before their recoveries), then the
+/// failed element.  Shared by the churn generator and merge_events so that
+/// any composition of streams is reproducible.
+[[nodiscard]] bool event_before(const TenantEvent& a, const TenantEvent& b);
 
 enum class LifetimeDistribution : std::uint8_t { kExponential, kPareto };
 
@@ -94,6 +128,32 @@ struct ChurnTrace {
 /// arrives before it departs.
 [[nodiscard]] ChurnTrace generate_churn(const ChurnOptions& opts,
                                         std::uint64_t seed);
+
+/// Substrate failure process (exponential MTTF/MTTR per element).  An MTTF
+/// of zero disables that element class.
+struct FailureOptions {
+  /// Failures are drawn in [0, horizon); the matching recovery is always
+  /// emitted, possibly beyond it, so the substrate eventually heals.
+  double horizon = 100.0;
+  double host_mttf = 0.0;  // mean up-time of each host node
+  double host_mttr = 5.0;  // mean repair time of a failed host
+  double link_mttf = 0.0;  // mean up-time of each physical link
+  double link_mttr = 5.0;
+};
+
+/// Draws the HOST_FAIL / LINK_FAIL / *_RECOVER stream for `cluster`'s
+/// elements.  Host failures hit host-role nodes only (a dead switch is a
+/// cluster-wide outage, not a per-tenant healing problem); link failures
+/// may hit any physical edge.  Deterministic: element e of each class
+/// draws from its own derive_seed(seed, class, e) stream, so streams for
+/// different clusters of the same size are comparable.
+[[nodiscard]] std::vector<TenantEvent> generate_failures(
+    const FailureOptions& opts, const model::PhysicalCluster& cluster,
+    std::uint64_t seed);
+
+/// Merges extra events (typically a failure stream) into a trace, keeping
+/// the canonical event_before order.
+void merge_events(ChurnTrace& trace, std::vector<TenantEvent> extra);
 
 /// Materializes the virtual environment of an ARRIVE event.  Deterministic
 /// in (profile, event.seed).

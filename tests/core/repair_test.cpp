@@ -163,4 +163,140 @@ TEST_P(RepairSweep, PaperInstanceSurvivesAnyHostFailure) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RepairSweep, testing::Range(100, 104));
 
+// --- FailureSet-based repair: link failures, dark links, transit-only ---
+
+TEST(Repair, LinkFailureReroutesWithoutEviction) {
+  // Ring of 4, path 0-1-2 over edges {0,1}.  Kill edge 0: the path must go
+  // the long way round (0-3-2) and no guest may move.
+  const auto cluster = ring_cluster(4);
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 100, 100});
+  const GuestId b = venv.add_guest({10, 100, 100});
+  venv.add_link(a, b, {1.0, 60.0});
+  core::Mapping m;
+  m.guest_host = {n(0), n(2)};
+  m.link_paths = {{EdgeId{0}, EdgeId{1}}};
+  EXPECT_FALSE(core::mapping_avoids_edge(m, EdgeId{0}));
+
+  core::RepairOptions opts;
+  opts.failed.links = {EdgeId{0}};
+  RepairStats stats;
+  const auto out = repair_mapping(cluster, venv, m, opts, &stats);
+  ASSERT_TRUE(out.ok()) << out.detail;
+  EXPECT_EQ(stats.guests_moved, 0u);
+  EXPECT_EQ(stats.links_rerouted, 1u);
+  EXPECT_TRUE(stats.dark_links.empty());
+  EXPECT_TRUE(core::mapping_avoids_edge(*out.mapping, EdgeId{0}));
+  EXPECT_EQ(out.mapping->guest_host, m.guest_host);
+  EXPECT_TRUE(core::validate_mapping(cluster, venv, *out.mapping).ok());
+}
+
+TEST(Repair, TransitOnlyHostFailureViaFailureSet) {
+  // The failed host carries a transit path but no guests: repair must
+  // re-route without evicting anyone.
+  const auto cluster = ring_cluster(4);
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 100, 100});
+  const GuestId b = venv.add_guest({10, 100, 100});
+  venv.add_link(a, b, {1.0, 60.0});
+  core::Mapping m;
+  m.guest_host = {n(0), n(2)};
+  m.link_paths = {{EdgeId{0}, EdgeId{1}}};  // transits host 1
+
+  core::RepairOptions opts;
+  opts.failed.nodes = {n(1)};
+  RepairStats stats;
+  const auto out = repair_mapping(cluster, venv, m, opts, &stats);
+  ASSERT_TRUE(out.ok()) << out.detail;
+  EXPECT_EQ(stats.guests_moved, 0u);
+  EXPECT_EQ(stats.links_rerouted, 1u);
+  EXPECT_TRUE(mapping_avoids_node(cluster, *out.mapping, n(1)));
+}
+
+TEST(Repair, UnroutableLinkGoesDarkOnlyWhenAllowed) {
+  // Line 0-1-2 with guests on the ends: killing edge (0,1) strands host 0,
+  // so the virtual link cannot route.  Without dark links that is a clean
+  // kNetworkingFailed; with them the link is returned dark (empty path).
+  const auto cluster = line_cluster(3);
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 100, 100});
+  const GuestId b = venv.add_guest({10, 100, 100});
+  venv.add_link(a, b, {1.0, 60.0});
+  core::Mapping m;
+  m.guest_host = {n(0), n(2)};
+  m.link_paths = {{EdgeId{0}, EdgeId{1}}};
+
+  core::RepairOptions strict;
+  strict.failed.links = {EdgeId{0}};
+  const auto refused = repair_mapping(cluster, venv, m, strict);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error, core::MapErrorCode::kNetworkingFailed);
+
+  core::RepairOptions lenient = strict;
+  lenient.allow_dark_links = true;
+  RepairStats stats;
+  const auto out = repair_mapping(cluster, venv, m, lenient, &stats);
+  ASSERT_TRUE(out.ok()) << out.detail;
+  ASSERT_EQ(stats.dark_links.size(), 1u);
+  EXPECT_EQ(stats.dark_links[0], vl(0));
+  EXPECT_TRUE(out.mapping->link_paths[0].empty());
+
+  // Once the failure clears, the dark link counts as damage: a repair with
+  // no failed elements routes it again.
+  RepairStats healed;
+  const auto rerouted =
+      repair_mapping(cluster, venv, *out.mapping, core::RepairOptions{},
+                     &healed);
+  ASSERT_TRUE(rerouted.ok()) << rerouted.detail;
+  EXPECT_EQ(healed.links_rerouted, 1u);
+  EXPECT_TRUE(healed.dark_links.empty());
+  EXPECT_FALSE(rerouted.mapping->link_paths[0].empty());
+  EXPECT_TRUE(core::validate_mapping(cluster, venv, *rerouted.mapping).ok());
+}
+
+TEST(Repair, CapacityExhaustionFailsCleanlyViaFailureSet) {
+  // The only survivor has 50 MB of memory: eviction cannot re-place the
+  // guest and must fall back with kHostingFailed, not a partial mapping.
+  const auto cluster = line_cluster({{1000, 4096, 4096}, {1000, 50, 4096}});
+  model::VirtualEnvironment venv;
+  venv.add_guest({10, 100, 100});
+  core::Mapping m;
+  m.guest_host = {n(0)};
+  m.link_paths = {};
+  core::RepairOptions opts;
+  opts.failed.nodes = {n(0)};
+  opts.allow_dark_links = true;  // dark links never excuse a homeless guest
+  const auto out = repair_mapping(cluster, venv, m, opts);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, core::MapErrorCode::kHostingFailed);
+}
+
+TEST(Repair, AvoidanceCheckersHandleIntraHostLinks) {
+  // Co-located guests have an empty (intra-host) path: it transits no node
+  // and no edge, so only the hosting node itself is "touched".
+  const auto cluster = line_cluster(3);
+  core::Mapping m;
+  m.guest_host = {n(1), n(1)};
+  m.link_paths = {{}};
+  EXPECT_FALSE(mapping_avoids_node(cluster, m, n(1)));
+  EXPECT_TRUE(mapping_avoids_node(cluster, m, n(0)));
+  EXPECT_TRUE(mapping_avoids_node(cluster, m, n(2)));
+  EXPECT_TRUE(core::mapping_avoids_edge(m, EdgeId{0}));
+  EXPECT_TRUE(core::mapping_avoids_edge(m, EdgeId{1}));
+}
+
+TEST(Repair, OutOfRangeFailedElementsRejected) {
+  const auto cluster = line_cluster(2);
+  const model::VirtualEnvironment venv;
+  core::Mapping m;
+  core::RepairOptions bad_node;
+  bad_node.failed.nodes = {n(99)};
+  EXPECT_EQ(repair_mapping(cluster, venv, m, bad_node).error,
+            core::MapErrorCode::kInvalidInput);
+  core::RepairOptions bad_link;
+  bad_link.failed.links = {EdgeId{99}};
+  EXPECT_EQ(repair_mapping(cluster, venv, m, bad_link).error,
+            core::MapErrorCode::kInvalidInput);
+}
+
 }  // namespace

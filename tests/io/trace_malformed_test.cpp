@@ -1,0 +1,159 @@
+// Malformed-input corpus for the trace parser: every line here must come
+// back as a descriptive TraceParseError carrying the offending line (and,
+// for JSON-level damage, the byte offset) — never UB, never a silently
+// wrapped number.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "io/trace.h"
+#include "testing/fixtures.h"
+#include "workload/churn.h"
+
+namespace {
+
+using namespace hmn;
+
+std::string header() {
+  return io::write_trace({workload::high_level_profile(), {}});
+}
+
+/// Parses `text`, requires a parse error, and returns it for inspection.
+io::TraceParseError must_fail(const std::string& text) {
+  auto parsed = io::read_trace(text);
+  if (!std::holds_alternative<io::TraceParseError>(parsed)) {
+    ADD_FAILURE() << "expected a parse error for: " << text;
+    return {};
+  }
+  return std::get<io::TraceParseError>(std::move(parsed));
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(TraceMalformed, SeedOverflowing64BitsIsRejected) {
+  // 2^64 exactly: strtoull would saturate silently without the ERANGE check.
+  const auto e = must_fail(
+      header() +
+      "{\"t\":0,\"ev\":\"arrive\",\"tenant\":1,\"guests\":4,"
+      "\"density\":0.5,\"seed\":\"18446744073709551616\"}");
+  EXPECT_EQ(e.line, 2u);
+  EXPECT_TRUE(contains(e.message, "overflows 64 bits")) << e.message;
+}
+
+TEST(TraceMalformed, SeedWithNonDigitsIsRejected) {
+  for (const char* seed : {"-1", "0x10", "12 34", ""}) {
+    const auto e = must_fail(
+        header() +
+        "{\"t\":0,\"ev\":\"arrive\",\"tenant\":1,\"guests\":4,"
+        "\"density\":0.5,\"seed\":\"" + std::string(seed) + "\"}");
+    EXPECT_EQ(e.line, 2u) << seed;
+    EXPECT_TRUE(contains(e.message, "decimal digit string")) << e.message;
+  }
+}
+
+TEST(TraceMalformed, NegativeAndNonFiniteTimesAreRejected) {
+  const auto neg = must_fail(header() +
+                             "{\"t\":-0.5,\"ev\":\"depart\",\"tenant\":1}");
+  EXPECT_EQ(neg.line, 2u);
+  EXPECT_TRUE(contains(neg.message, "finite and non-negative"))
+      << neg.message;
+  // 1e999 overflows double to infinity; a bare NaN is not JSON at all.
+  // Both must fail on line 2, whichever layer catches them.
+  EXPECT_EQ(
+      must_fail(header() + "{\"t\":1e999,\"ev\":\"depart\",\"tenant\":1}")
+          .line,
+      2u);
+  EXPECT_EQ(
+      must_fail(header() + "{\"t\":nan,\"ev\":\"depart\",\"tenant\":1}").line,
+      2u);
+}
+
+TEST(TraceMalformed, CountOverflowIsRejectedNotWrapped) {
+  // 2^32, a fraction, a negative, and an astronomically large double: all
+  // must fail the integer-in-[0, 2^32) gate, none may wrap to a size_t.
+  for (const char* guests : {"4294967296", "2.5", "-3", "1e300"}) {
+    const auto e = must_fail(
+        header() +
+        "{\"t\":0,\"ev\":\"arrive\",\"tenant\":1,\"guests\":" +
+        std::string(guests) + ",\"density\":0.5,\"seed\":\"7\"}");
+    EXPECT_EQ(e.line, 2u) << guests;
+    EXPECT_TRUE(contains(e.message, "[0, 2^32)")) << e.message;
+  }
+}
+
+TEST(TraceMalformed, DuplicateTenantArrivalIsRejected) {
+  const std::string arrive =
+      "{\"t\":0,\"ev\":\"arrive\",\"tenant\":5,\"guests\":4,"
+      "\"density\":0.5,\"seed\":\"7\"}";
+  const auto e = must_fail(header() + arrive + "\n" + arrive);
+  EXPECT_EQ(e.line, 3u);
+  EXPECT_TRUE(contains(e.message, "duplicate arrive for tenant 5"))
+      << e.message;
+}
+
+TEST(TraceMalformed, TruncatedLineReportsLineAndOffset) {
+  // A line cut mid-token, as if the recording process died: the JSON error
+  // surfaces with the line number and the byte offset inside it.
+  const auto e = must_fail(header() + "{\"t\":0.5,\"ev\":\"arr");
+  EXPECT_EQ(e.line, 2u);
+  EXPECT_TRUE(contains(e.message, "line offset")) << e.message;
+}
+
+TEST(TraceMalformed, FailureEventNeedsSaneElement) {
+  const auto missing =
+      must_fail(header() + "{\"t\":1,\"ev\":\"host-fail\"}");
+  EXPECT_EQ(missing.line, 2u);
+  EXPECT_TRUE(contains(missing.message, "element")) << missing.message;
+  for (const char* element : {"-1", "1.5", "4294967296", "\"zero\""}) {
+    const auto e = must_fail(header() +
+                             "{\"t\":1,\"ev\":\"link-fail\",\"element\":" +
+                             std::string(element) + "}");
+    EXPECT_EQ(e.line, 2u) << element;
+  }
+}
+
+TEST(TraceMalformed, DensityOutsideUnitIntervalIsRejected) {
+  for (const char* density : {"1.5", "-0.2"}) {
+    const auto e = must_fail(
+        header() +
+        "{\"t\":0,\"ev\":\"arrive\",\"tenant\":1,\"guests\":4,"
+        "\"density\":" + std::string(density) + ",\"seed\":\"7\"}");
+    EXPECT_EQ(e.line, 2u) << density;
+    EXPECT_TRUE(contains(e.message, "density")) << e.message;
+  }
+  // An overflowing density dies at the JSON layer; still line 2, not UB.
+  EXPECT_EQ(must_fail(header() +
+                      "{\"t\":0,\"ev\":\"arrive\",\"tenant\":1,\"guests\":4,"
+                      "\"density\":1e999,\"seed\":\"7\"}")
+                .line,
+            2u);
+}
+
+TEST(TraceMalformed, FailureEventsRoundTripByteIdentical) {
+  // The healthy-path counterpart: a merged churn + failure stream survives
+  // write -> read -> write byte-for-byte (version 2 format).
+  workload::ChurnOptions copts;
+  copts.arrival_rate = 0.6;
+  copts.horizon = 25.0;
+  copts.profile = workload::high_level_profile();
+  workload::ChurnTrace trace = workload::generate_churn(copts, 404);
+
+  workload::FailureOptions fopts;
+  fopts.horizon = copts.horizon;
+  fopts.host_mttf = 10.0;
+  fopts.link_mttf = 8.0;
+  workload::merge_events(
+      trace,
+      workload::generate_failures(fopts, hmn::test::line_cluster(4), 405));
+
+  const std::string once = io::write_trace(trace);
+  EXPECT_TRUE(contains(once, "\"version\":2"));
+  const auto parsed = io::read_trace_or_throw(once);
+  EXPECT_EQ(parsed.events, trace.events);
+  EXPECT_EQ(io::write_trace(parsed), once);
+}
+
+}  // namespace

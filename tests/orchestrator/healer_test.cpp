@@ -1,0 +1,290 @@
+// Tests for the Healer: transactional repair after host/link failures,
+// Degraded tenancy, the parked queue with exponential backoff, the
+// independent invariant auditor, and failure-laden replay determinism.
+#include <gtest/gtest.h>
+
+#include "core/repair.h"
+#include "core/validator.h"
+#include "io/trace.h"
+#include "orchestrator/healer.h"
+#include "orchestrator/orchestrator.h"
+#include "testing/fixtures.h"
+#include "util/rng.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using orchestrator::HealAction;
+using orchestrator::Healer;
+using orchestrator::HealerOptions;
+using workload::EventKind;
+using workload::TenantEvent;
+
+TenantEvent element_event(EventKind kind, double t, std::uint32_t element) {
+  TenantEvent ev;
+  ev.time = t;
+  ev.kind = kind;
+  ev.element = element;
+  return ev;
+}
+
+/// Two linked guests of `mem_mb` each.
+model::VirtualEnvironment pair_venv(double mem_mb) {
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, mem_mb, 100});
+  const GuestId b = venv.add_guest({10, mem_mb, 100});
+  venv.add_link(a, b, {1.0, 60.0});
+  return venv;
+}
+
+model::VirtualEnvironment solo_venv(double mem_mb) {
+  model::VirtualEnvironment venv;
+  venv.add_guest({10, mem_mb, 100});
+  return venv;
+}
+
+TEST(HealerTest, HostFailureHealsByMovingGuests) {
+  emulator::TenancyManager mgr(line_cluster(3, {1000, 4096, 4096}));
+  const auto admitted = mgr.admit("t7", pair_venv(1500.0), 1);
+  ASSERT_TRUE(admitted.ok()) << admitted.detail;
+  Healer::LiveMap live{{7, *admitted.tenant}};
+  Healer healer;
+
+  const NodeId victim = mgr.tenant(*admitted.tenant)->mapping.guest_host[0];
+  const auto records = healer.on_event(
+      mgr, live, element_event(EventKind::kHostFail, 1.0, victim.value()));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, HealAction::kHealed);
+  EXPECT_GE(records[0].guests_moved, 1u);
+  EXPECT_EQ(records[0].dark_links, 0u);
+
+  ASSERT_EQ(live.count(7), 1u);
+  const auto* tenant = mgr.tenant(live.at(7));
+  EXPECT_TRUE(
+      core::mapping_avoids_node(mgr.cluster(), tenant->mapping, victim));
+  EXPECT_TRUE(
+      core::validate_mapping(mgr.cluster(), tenant->venv, tenant->mapping)
+          .ok());
+  EXPECT_TRUE(healer.audit(mgr, live).empty());
+  EXPECT_TRUE(mgr.has_failed_elements());
+
+  // Recovery clears the mask; nothing is degraded or parked, so no records.
+  EXPECT_TRUE(healer
+                  .on_event(mgr, live,
+                            element_event(EventKind::kHostRecover, 2.0,
+                                          victim.value()))
+                  .empty());
+  EXPECT_FALSE(mgr.has_failed_elements());
+}
+
+TEST(HealerTest, UnroutableLinkDegradesThenRestores) {
+  // Two hosts joined by one edge: the tenant spans both, and when the only
+  // edge dies its link cannot re-route.  Guests survive; the link goes dark.
+  emulator::TenancyManager mgr(line_cluster(2, {1000, 4096, 4096}));
+  const auto admitted = mgr.admit("t3", pair_venv(3000.0), 1);
+  ASSERT_TRUE(admitted.ok()) << admitted.detail;
+  Healer::LiveMap live{{3, *admitted.tenant}};
+  Healer healer;
+
+  auto records =
+      healer.on_event(mgr, live, element_event(EventKind::kLinkFail, 1.0, 0));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, HealAction::kDegraded);
+  EXPECT_EQ(records[0].dark_links, 1u);
+  EXPECT_TRUE(healer.is_degraded(3));
+  EXPECT_EQ(healer.degraded_count(), 1u);
+  EXPECT_TRUE(mgr.tenant(live.at(3))->mapping.link_paths[0].empty());
+  // The dark link is declared, so the independent audit stays clean.
+  EXPECT_TRUE(healer.audit(mgr, live).empty());
+
+  // The edge comes back: the opportunistic re-heal routes the link again.
+  records = healer.on_event(mgr, live,
+                            element_event(EventKind::kLinkRecover, 5.0, 0));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, HealAction::kRestored);
+  EXPECT_EQ(healer.degraded_count(), 0u);
+  const auto* tenant = mgr.tenant(live.at(3));
+  EXPECT_FALSE(tenant->mapping.link_paths[0].empty());
+  EXPECT_TRUE(
+      core::validate_mapping(mgr.cluster(), tenant->venv, tenant->mapping)
+          .ok());
+  EXPECT_TRUE(healer.audit(mgr, live).empty());
+}
+
+TEST(HealerTest, EvictionParksThenReadmitsOnRecovery) {
+  // Each host fits one 3000 MB guest; when one host dies its tenant cannot
+  // be re-placed and is parked, then re-admitted once the host returns.
+  emulator::TenancyManager mgr(line_cluster(2, {1000, 4096, 4096}));
+  const auto a = mgr.admit("a", solo_venv(3000.0), 1);
+  const auto b = mgr.admit("b", solo_venv(3000.0), 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Healer::LiveMap live{{1, *a.tenant}, {2, *b.tenant}};
+  Healer healer;
+
+  const NodeId victim = mgr.tenant(*b.tenant)->mapping.guest_host[0];
+  auto records = healer.on_event(
+      mgr, live, element_event(EventKind::kHostFail, 1.0, victim.value()));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, HealAction::kParked);
+  EXPECT_NE(records[0].error, core::MapErrorCode::kNone);
+  EXPECT_EQ(live.count(2), 0u);
+  EXPECT_EQ(healer.parked_count(), 1u);
+  EXPECT_TRUE(healer.audit(mgr, live).empty());
+
+  records = healer.on_event(
+      mgr, live, element_event(EventKind::kHostRecover, 3.0, victim.value()));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, HealAction::kReadmitted);
+  EXPECT_DOUBLE_EQ(records[0].outage, 2.0);
+  EXPECT_EQ(live.count(2), 1u);
+  EXPECT_EQ(healer.parked_count(), 0u);
+  EXPECT_TRUE(healer.audit(mgr, live).empty());
+}
+
+TEST(HealerTest, BackoffGatesRetriesAndBudgetDrops) {
+  HealerOptions opts;
+  opts.max_heal_attempts = 2;
+  opts.backoff_base = 1.0;
+  opts.backoff_factor = 2.0;
+  emulator::TenancyManager mgr(line_cluster(2, {1000, 4096, 4096}));
+  const auto a = mgr.admit("a", solo_venv(3000.0), 1);
+  const auto b = mgr.admit("b", solo_venv(3000.0), 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Healer::LiveMap live{{1, *a.tenant}, {2, *b.tenant}};
+  Healer healer(opts);
+
+  const NodeId victim = mgr.tenant(*b.tenant)->mapping.guest_host[0];
+  (void)healer.on_event(
+      mgr, live, element_event(EventKind::kHostFail, 1.0, victim.value()));
+  ASSERT_EQ(healer.parked_count(), 1u);
+
+  // The host stays down.  Attempt 1 fails silently and arms the backoff
+  // gate at t=3 (2 + base*factor^0); a poll before the gate is a no-op.
+  EXPECT_TRUE(healer.on_capacity_freed(mgr, live, 2.0).empty());
+  EXPECT_TRUE(healer.on_capacity_freed(mgr, live, 2.5).empty());
+  EXPECT_EQ(healer.parked_count(), 1u);
+
+  // Attempt 2 exhausts the budget: the tenant is dropped with its outage.
+  const auto records = healer.on_capacity_freed(mgr, live, 4.0);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, HealAction::kDropped);
+  EXPECT_DOUBLE_EQ(records[0].outage, 3.0);
+  EXPECT_EQ(healer.parked_count(), 0u);
+}
+
+TEST(HealerTest, AbandonParkedReturnsOutage) {
+  emulator::TenancyManager mgr(line_cluster(2, {1000, 4096, 4096}));
+  const auto a = mgr.admit("a", solo_venv(3000.0), 1);
+  const auto b = mgr.admit("b", solo_venv(3000.0), 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Healer::LiveMap live{{1, *a.tenant}, {2, *b.tenant}};
+  Healer healer;
+  const NodeId victim = mgr.tenant(*b.tenant)->mapping.guest_host[0];
+  (void)healer.on_event(
+      mgr, live, element_event(EventKind::kHostFail, 1.0, victim.value()));
+  ASSERT_EQ(healer.parked_count(), 1u);
+
+  EXPECT_FALSE(healer.abandon_parked(99, 5.0).has_value());
+  const auto outage = healer.abandon_parked(2, 5.0);
+  ASSERT_TRUE(outage.has_value());
+  EXPECT_DOUBLE_EQ(*outage, 4.0);
+  EXPECT_EQ(healer.parked_count(), 0u);
+}
+
+TEST(HealerTest, AuditCatchesUnhealedFailure) {
+  // Flip a mask behind the Healer's back: the auditor must flag the guest
+  // stranded on the failed host (and any path over its edges) even though
+  // the manager's own bookkeeping is untouched.
+  emulator::TenancyManager mgr(line_cluster(2, {1000, 4096, 4096}));
+  const auto admitted = mgr.admit("t", pair_venv(3000.0), 1);
+  ASSERT_TRUE(admitted.ok());
+  Healer::LiveMap live{{0, *admitted.tenant}};
+  Healer healer;
+  EXPECT_TRUE(healer.audit(mgr, live).empty());
+
+  mgr.set_node_down(mgr.tenant(*admitted.tenant)->mapping.guest_host[0],
+                    true);
+  EXPECT_FALSE(healer.audit(mgr, live).empty());
+}
+
+TEST(HealerTest, OutOfRangeElementIsIgnored) {
+  emulator::TenancyManager mgr(line_cluster(2));
+  Healer::LiveMap live;
+  Healer healer;
+  EXPECT_TRUE(
+      healer.on_event(mgr, live, element_event(EventKind::kHostFail, 1.0, 99))
+          .empty());
+  EXPECT_TRUE(
+      healer.on_event(mgr, live, element_event(EventKind::kLinkFail, 1.0, 99))
+          .empty());
+  EXPECT_FALSE(mgr.has_failed_elements());
+}
+
+/// Churn + failures on the paper's switched cluster.
+workload::ChurnTrace failure_trace(const model::PhysicalCluster& cluster,
+                                   std::uint64_t seed) {
+  workload::ChurnOptions opts;
+  opts.arrival_rate = 0.5;
+  opts.horizon = 40.0;
+  opts.mean_lifetime = 12.0;
+  opts.min_guests = 4;
+  opts.max_guests = 8;
+  opts.density = 0.2;
+  opts.profile = workload::high_level_profile();
+  opts.profile.mem_mb = {512.0, 1536.0};
+  workload::ChurnTrace trace =
+      workload::generate_churn(opts, util::derive_seed(seed, 1));
+  workload::FailureOptions fopts;
+  fopts.horizon = opts.horizon;
+  fopts.host_mttf = 25.0;
+  fopts.host_mttr = 4.0;
+  fopts.link_mttf = 20.0;
+  fopts.link_mttr = 4.0;
+  workload::merge_events(
+      trace,
+      workload::generate_failures(fopts, cluster, util::derive_seed(seed, 2)));
+  return trace;
+}
+
+TEST(OrchestratorFailureTest, FailureLadenReplayIsDeterministicAndAudited) {
+  const auto cluster =
+      workload::make_paper_cluster(workload::ClusterKind::kSwitched, 11);
+  const auto trace = failure_trace(cluster, 20090922);
+
+  orchestrator::Orchestrator first(cluster, trace.profile);
+  orchestrator::Orchestrator second(cluster, trace.profile);
+  const std::string sig = first.run(trace).decision_signature();
+  EXPECT_EQ(second.run(trace).decision_signature(), sig);
+
+  const auto& report = first.report();
+  EXPECT_GT(report.host_failures + report.link_failures, 0u);
+  EXPECT_GT(report.recoveries, 0u);
+  EXPECT_TRUE(report.invariant_violations.empty())
+      << report.invariant_violations.front();
+  EXPECT_GE(report.tenant_minutes_lost, 0.0);
+  EXPECT_GE(report.degraded_minutes, 0.0);
+
+  // Record -> JSONL -> replay, failures included.
+  const auto reloaded = io::read_trace_or_throw(io::write_trace(trace));
+  orchestrator::Orchestrator replayed(cluster, reloaded.profile);
+  EXPECT_EQ(replayed.run(reloaded).decision_signature(), sig);
+}
+
+TEST(OrchestratorFailureTest, DropReadmitPolicyIsDeterministicAndAudited) {
+  const auto cluster =
+      workload::make_paper_cluster(workload::ClusterKind::kSwitched, 11);
+  const auto trace = failure_trace(cluster, 31337);
+  orchestrator::OrchestratorOptions opts;
+  opts.healer.policy = orchestrator::HealPolicy::kDropReadmit;
+
+  orchestrator::Orchestrator first(cluster, trace.profile, opts);
+  orchestrator::Orchestrator second(cluster, trace.profile, opts);
+  const std::string sig = first.run(trace).decision_signature();
+  EXPECT_EQ(second.run(trace).decision_signature(), sig);
+  EXPECT_TRUE(first.report().invariant_violations.empty())
+      << first.report().invariant_violations.front();
+}
+
+}  // namespace

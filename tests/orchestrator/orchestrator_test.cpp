@@ -75,9 +75,15 @@ TEST(RetryQueueTest, FifoDrainDropAndErase) {
   PendingTenant b;
   b.key = 2;
   b.attempts = 2;
-  queue.push(a);
-  queue.push(b);
+  EXPECT_TRUE(queue.push(a));
+  EXPECT_TRUE(queue.push(b));
   EXPECT_TRUE(queue.full());
+  // A full queue refuses instead of asserting: the caller turns this into
+  // a kRejected decision.
+  PendingTenant overflow;
+  overflow.key = 3;
+  EXPECT_FALSE(queue.push(overflow));
+  EXPECT_EQ(queue.size(), 2u);
 
   // Admit nobody: b reaches 3 attempts and is dropped, a stays.
   auto r = queue.drain([](const PendingTenant&) { return false; });
@@ -98,8 +104,8 @@ TEST(RetryQueueTest, FifoDrainDropAndErase) {
   c.key = 7;
   PendingTenant d;
   d.key = 8;
-  queue.push(c);
-  queue.push(d);
+  EXPECT_TRUE(queue.push(c));
+  EXPECT_TRUE(queue.push(d));
   std::vector<std::uint32_t> offered;
   (void)queue.drain([&](const PendingTenant& t) {
     offered.push_back(t.key);

@@ -4,6 +4,7 @@
 
 #include <map>
 
+#include "testing/fixtures.h"
 #include "workload/churn.h"
 
 namespace {
@@ -75,6 +76,8 @@ TEST(Churn, StreamIsSortedAndLifecycleConsistent) {
           EXPECT_GE(ev.time, arrived[ev.tenant]);
           departed[ev.tenant] = ev.time;
           break;
+        default:
+          FAIL() << "generate_churn emitted a failure event";
       }
     }
     EXPECT_EQ(arrived.size(), departed.size())
@@ -131,6 +134,92 @@ TEST(Churn, ApplyGrowthPreservesBaseAndConnectsNewGuests) {
   EXPECT_EQ(again.guest_count(), grown.guest_count());
   EXPECT_DOUBLE_EQ(again.guest(GuestId{3}).mem_mb,
                    grown.guest(GuestId{3}).mem_mb);
+}
+
+// --- Failure streams (alternating-renewal fault injection) ---
+
+workload::FailureOptions failure_options() {
+  workload::FailureOptions opts;
+  opts.horizon = 50.0;
+  opts.host_mttf = 20.0;
+  opts.host_mttr = 3.0;
+  opts.link_mttf = 15.0;
+  opts.link_mttr = 3.0;
+  return opts;
+}
+
+TEST(Failures, StreamIsDeterministicPerSeed) {
+  const auto cluster = hmn::test::line_cluster(4);
+  const auto a = workload::generate_failures(failure_options(), cluster, 9);
+  const auto b = workload::generate_failures(failure_options(), cluster, 9);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, workload::generate_failures(failure_options(), cluster, 10));
+}
+
+TEST(Failures, EveryElementAlternatesFailRecover) {
+  // Per element the stream must be FAIL, RECOVER, FAIL, RECOVER, ... with
+  // strictly increasing times, ending on a RECOVER — a failure past the
+  // horizon still emits its recovery so no element is left dead forever.
+  const auto cluster = hmn::test::line_cluster(4);
+  const auto events =
+      workload::generate_failures(failure_options(), cluster, 17);
+  std::map<std::pair<bool, std::uint32_t>, int> pending;  // (is_host, id)
+  std::map<std::pair<bool, std::uint32_t>, double> last_time;
+  for (const TenantEvent& ev : events) {
+    ASSERT_TRUE(workload::is_failure_event(ev.kind));
+    const bool is_host = ev.kind == EventKind::kHostFail ||
+                         ev.kind == EventKind::kHostRecover;
+    const bool is_fail =
+        ev.kind == EventKind::kHostFail || ev.kind == EventKind::kLinkFail;
+    if (is_host) {
+      EXPECT_LT(ev.element, cluster.node_count());
+    } else {
+      EXPECT_LT(ev.element, cluster.link_count());
+    }
+    const auto key = std::make_pair(is_host, ev.element);
+    EXPECT_EQ(pending[key], is_fail ? 0 : 1)
+        << "element " << ev.element << " did not alternate";
+    pending[key] += is_fail ? 1 : -1;
+    if (last_time.count(key)) {
+      EXPECT_GE(ev.time, last_time[key]);
+    }
+    last_time[key] = ev.time;
+    EXPECT_GE(ev.time, 0.0);
+  }
+  for (const auto& [key, open] : pending) {
+    EXPECT_EQ(open, 0) << "unrecovered element " << key.second;
+  }
+}
+
+TEST(Failures, ZeroMttfDisablesAClass) {
+  const auto cluster = hmn::test::line_cluster(4);
+  workload::FailureOptions opts = failure_options();
+  opts.host_mttf = 0.0;
+  for (const TenantEvent& ev :
+       workload::generate_failures(opts, cluster, 21)) {
+    EXPECT_TRUE(ev.kind == EventKind::kLinkFail ||
+                ev.kind == EventKind::kLinkRecover);
+  }
+  opts.link_mttf = 0.0;
+  EXPECT_TRUE(workload::generate_failures(opts, cluster, 21).empty());
+}
+
+TEST(Failures, MergeEventsKeepsCanonicalOrder) {
+  const auto cluster = hmn::test::line_cluster(4);
+  workload::ChurnTrace trace = workload::generate_churn(small_options(), 3);
+  const std::size_t churn_events = trace.events.size();
+  auto failures = workload::generate_failures(failure_options(), cluster, 4);
+  const std::size_t failure_events = failures.size();
+  ASSERT_GT(failure_events, 0u);
+
+  workload::merge_events(trace, std::move(failures));
+  EXPECT_EQ(trace.events.size(), churn_events + failure_events);
+  for (std::size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_FALSE(
+        workload::event_before(trace.events[i], trace.events[i - 1]))
+        << "event " << i << " out of canonical order";
+  }
 }
 
 }  // namespace
