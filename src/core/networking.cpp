@@ -1,7 +1,6 @@
 #include "core/networking.h"
 
 #include <limits>
-#include <unordered_map>
 
 #include "graph/astar_prune.h"
 #include "graph/dfs_path.h"
@@ -24,14 +23,22 @@ NetworkingResult run_networking(const model::VirtualEnvironment& venv,
 
   // Physical latencies never change during the stage, so the Dijkstra
   // latency-to-destination arrays (Algorithm 1's ar[]) are computed once
-  // per distinct destination host and reused across virtual links.
-  std::unordered_map<NodeId, std::vector<double>> ar_cache;
+  // per distinct destination host and reused across virtual links.  The
+  // cache is a flat vector indexed by destination node id (an empty slot
+  // means "not computed yet"): destination lookup is the innermost
+  // per-virtual-link operation, and hashing NodeIds dominated the stage on
+  // large fabrics.  One Dijkstra result/heap scratch is shared by every run
+  // in the stage so the per-link allocation churn disappears.
+  std::vector<std::vector<double>> ar_cache(g.node_count());
+  graph::ShortestPaths sp_scratch;
+  graph::DijkstraScratch heap_scratch;
   auto ar_for = [&](NodeId dest) -> const std::vector<double>& {
-    auto it = ar_cache.find(dest);
-    if (it == ar_cache.end()) {
-      it = ar_cache.emplace(dest, graph::dijkstra(g, dest, latency).dist).first;
+    std::vector<double>& slot = ar_cache[dest.index()];
+    if (slot.empty()) {
+      graph::dijkstra_into(g, dest, latency, sp_scratch, heap_scratch);
+      slot = sp_scratch.dist;
     }
-    return it->second;
+    return slot;
   };
 
   util::Rng dfs_rng(opts.shuffle_seed);
@@ -62,7 +69,8 @@ NetworkingResult run_networking(const model::VirtualEnvironment& venv,
                      ? cluster.link(e).latency_ms
                      : std::numeric_limits<double>::infinity();
         };
-        const auto sp = graph::dijkstra(g, s, filtered);
+        graph::dijkstra_into(g, s, filtered, sp_scratch, heap_scratch);
+        const auto& sp = sp_scratch;
         if (sp.reachable(d) &&
             sp.dist[d.index()] <= demand.max_latency_ms) {
           graph::ConstrainedPath cp;

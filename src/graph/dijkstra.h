@@ -6,9 +6,11 @@
 // used to prune paths that can no longer meet the latency constraint.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -29,26 +31,38 @@ struct ShortestPaths {
   }
 };
 
-/// Runs Dijkstra from `source`.  `weight(EdgeId) -> double` must be
-/// non-negative; edges may be skipped by returning +infinity.
+/// Reusable heap storage for `dijkstra_into`.  The Networking stage runs one
+/// Dijkstra per distinct destination host; a long-lived scratch keeps the
+/// heap's allocation (and the ShortestPaths arrays passed alongside it) warm
+/// across runs instead of reallocating per virtual link.
+struct DijkstraScratch {
+  std::vector<std::pair<double, NodeId>> heap;
+};
+
+/// Runs Dijkstra from `source` into caller-owned result/scratch buffers.
+/// `weight(EdgeId) -> double` must be non-negative; edges may be skipped by
+/// returning +infinity.  Reusing `out` and `scratch` across calls avoids the
+/// per-call allocation of the returning overload below; results are
+/// identical (the heap uses the same comparator and push/pop order).
 template <typename WeightFn>
-[[nodiscard]] ShortestPaths dijkstra(const Graph& g, NodeId source,
-                                     WeightFn&& weight) {
+void dijkstra_into(const Graph& g, NodeId source, WeightFn&& weight,
+                   ShortestPaths& out, DijkstraScratch& scratch) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  ShortestPaths out;
   out.dist.assign(g.node_count(), kInf);
   out.parent_edge.assign(g.node_count(), EdgeId::invalid());
   assert(source.index() < g.node_count());
 
   using Entry = std::pair<double, NodeId>;
   auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
-  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  auto& heap = scratch.heap;
+  heap.clear();
 
   out.dist[source.index()] = 0.0;
-  heap.push({0.0, source});
+  heap.push_back({0.0, source});
   while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
+    const auto [d, u] = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    heap.pop_back();
     if (d > out.dist[u.index()]) continue;  // stale entry
     for (const Adjacency& adj : g.neighbors(u)) {
       const double w = weight(adj.edge);
@@ -58,10 +72,21 @@ template <typename WeightFn>
       if (nd < out.dist[adj.neighbor.index()]) {
         out.dist[adj.neighbor.index()] = nd;
         out.parent_edge[adj.neighbor.index()] = adj.edge;
-        heap.push({nd, adj.neighbor});
+        heap.push_back({nd, adj.neighbor});
+        std::push_heap(heap.begin(), heap.end(), cmp);
       }
     }
   }
+}
+
+/// Runs Dijkstra from `source`.  Allocating convenience wrapper over
+/// `dijkstra_into`.
+template <typename WeightFn>
+[[nodiscard]] ShortestPaths dijkstra(const Graph& g, NodeId source,
+                                     WeightFn&& weight) {
+  ShortestPaths out;
+  DijkstraScratch scratch;
+  dijkstra_into(g, source, weight, out, scratch);
   return out;
 }
 

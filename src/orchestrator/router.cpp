@@ -1,0 +1,271 @@
+#include "orchestrator/router.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace hmn::orchestrator {
+
+struct PlacementRouter::ShardState {
+  std::size_t index = 0;
+  const topology::ClusterShard* shard = nullptr;  // owned by partition_
+  emulator::TenancyManager mgr;
+  std::mutex mutex;
+  double headroom = 0.0;
+
+  ShardState(std::size_t i, const topology::ClusterShard& sh,
+             extensions::HeuristicPool pool)
+      : index(i), shard(&sh), mgr(sh.cluster, std::move(pool)) {}
+};
+
+namespace {
+
+/// FNV-1a over the guest placement translated to parent-fabric host ids —
+/// the same fingerprint the orchestrator logs, so sharded and flat runs
+/// hash comparably.
+std::uint64_t parent_placement_hash(const topology::ClusterShard& shard,
+                                    const std::vector<NodeId>& local_hosts) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const NodeId local : local_hosts) {
+    h ^= shard.parent_node(local).value();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+PlacementRouter::~PlacementRouter() = default;
+
+PlacementRouter::PlacementRouter(const model::PhysicalCluster& fabric,
+                                 RouterOptions opts)
+    : PlacementRouter(fabric, opts,
+                      [] { return extensions::default_pool(); }) {}
+
+PlacementRouter::PlacementRouter(const model::PhysicalCluster& fabric,
+                                 RouterOptions opts,
+                                 const PoolFactory& make_pool)
+    : opts_(opts),
+      partition_(topology::partition_cluster(
+          fabric, opts.shards == 0 ? 1 : opts.shards)),
+      latency_(opts.latency_histogram_upper_us,
+               opts.latency_histogram_buckets) {
+  shards_.reserve(partition_.shard_count());
+  for (std::size_t s = 0; s < partition_.shard_count(); ++s) {
+    shards_.push_back(
+        std::make_unique<ShardState>(s, partition_.shards[s], make_pool()));
+    refresh_headroom(s);
+  }
+  if (opts_.threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(opts_.threads);
+  }
+}
+
+const emulator::TenancyManager& PlacementRouter::shard_manager(
+    std::size_t s) const {
+  return shards_[s]->mgr;
+}
+
+const topology::ClusterShard& PlacementRouter::shard(std::size_t s) const {
+  return partition_.shards[s];
+}
+
+std::size_t PlacementRouter::tenant_count() const {
+  std::size_t total = 0;
+  for (const auto& st : shards_) total += st->mgr.tenant_count();
+  return total;
+}
+
+double PlacementRouter::headroom(std::size_t s) const {
+  return shards_[s]->headroom;
+}
+
+void PlacementRouter::refresh_headroom(std::size_t s) {
+  ShardState& st = *shards_[s];
+  std::lock_guard lock(st.mutex);
+  double sum = 0.0;
+  for (const double r : st.mgr.residual_host_proc()) sum += r;
+  st.headroom = sum;
+}
+
+std::vector<std::size_t> PlacementRouter::try_order(
+    const std::vector<double>& headroom_snapshot, std::uint64_t seed) const {
+  const std::size_t k = shards_.size();
+  auto better = [&](std::size_t a, std::size_t b) {
+    if (headroom_snapshot[a] != headroom_snapshot[b]) {
+      return headroom_snapshot[a] > headroom_snapshot[b];
+    }
+    return a < b;  // deterministic tie-break
+  };
+
+  util::Rng rng(seed);
+  const std::size_t probes =
+      std::min(std::max<std::size_t>(1, opts_.probe_choices), k);
+  std::vector<std::size_t> order;
+  order.reserve(opts_.exhaustive_fallback ? k : probes);
+  while (order.size() < probes) {
+    const std::size_t c = rng.index(k);
+    if (std::find(order.begin(), order.end(), c) == order.end()) {
+      order.push_back(c);
+    }
+  }
+  // The P2C winner leads; losing probes follow, still by score.
+  std::sort(order.begin(), order.end(), better);
+  if (opts_.exhaustive_fallback) {
+    std::vector<std::size_t> rest;
+    rest.reserve(k - probes);
+    for (std::size_t s = 0; s < k; ++s) {
+      if (std::find(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(
+                                       probes),
+                    s) == order.begin() + static_cast<std::ptrdiff_t>(probes)) {
+        rest.push_back(s);
+      }
+    }
+    std::sort(rest.begin(), rest.end(), better);
+    order.insert(order.end(), rest.begin(), rest.end());
+  }
+  return order;
+}
+
+std::vector<RouterDecision> PlacementRouter::admit_batch(
+    const std::vector<AdmissionRequest>& batch, std::uint64_t batch_seed) {
+  const std::size_t n = batch.size();
+  std::vector<RouterDecision> decisions(n);
+  if (n == 0) return decisions;
+
+  // Headroom snapshot and per-request try-orders, resolved serially before
+  // any admission: the scores every request routes on are those at batch
+  // start, independent of intra-batch completion order.
+  std::vector<double> snapshot(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    snapshot[s] = shards_[s]->headroom;
+  }
+
+  std::vector<std::vector<std::size_t>> order(n);
+  std::vector<emulator::TenantId> admitted_id(n);
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    decisions[i].key = batch[i].key;
+    if (placements_.count(batch[i].key) != 0 ||
+        std::any_of(batch.begin(),
+                    batch.begin() + static_cast<std::ptrdiff_t>(i),
+                    [&](const AdmissionRequest& r) {
+                      return r.key == batch[i].key;
+                    })) {
+      decisions[i].error = core::MapErrorCode::kInvalidInput;  // dup key
+      continue;
+    }
+    order[i] = try_order(snapshot, util::derive_seed(batch_seed, i));
+    pending.push_back(i);
+  }
+
+  const std::size_t max_attempts =
+      pending.empty() ? 0 : order[pending.front()].size();
+  for (std::size_t attempt = 0;
+       attempt < max_attempts && !pending.empty(); ++attempt) {
+    // Round r: every still-pending request goes to its r-th choice.
+    // Groups are built by one ascending scan, so each shard sees its
+    // requests in request order — the property that makes the decision
+    // log independent of the thread count.
+    std::vector<std::vector<std::size_t>> per_shard(shards_.size());
+    for (const std::size_t i : pending) {
+      per_shard[order[i][attempt]].push_back(i);
+    }
+
+    auto run_shard = [&](std::size_t s) {
+      const auto& list = per_shard[s];
+      if (list.empty()) return;
+      ShardState& st = *shards_[s];
+      std::lock_guard lock(st.mutex);
+      for (const std::size_t i : list) {
+        const AdmissionRequest& req = batch[i];
+        util::Timer timer;
+        auto res = st.mgr.admit("t" + std::to_string(req.key), req.venv,
+                                util::derive_seed(req.seed, s));
+        decisions[i].latency_us += timer.elapsed_us();
+        decisions[i].attempts = static_cast<std::uint32_t>(attempt + 1);
+        if (res.ok()) {
+          decisions[i].admitted = true;
+          decisions[i].shard = static_cast<std::int32_t>(s);
+          admitted_id[i] = *res.tenant;
+          decisions[i].placement_hash = parent_placement_hash(
+              *st.shard, st.mgr.tenant(*res.tenant)->mapping.guest_host);
+        } else {
+          decisions[i].error = res.error;
+        }
+      }
+    };
+
+    if (pool_ != nullptr) {
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (per_shard[s].empty()) continue;
+        pool_->submit([&run_shard, s] { run_shard(s); });
+      }
+      pool_->wait_idle();
+    } else {
+      for (std::size_t s = 0; s < shards_.size(); ++s) run_shard(s);
+    }
+
+    std::vector<std::size_t> still;
+    still.reserve(pending.size());
+    for (const std::size_t i : pending) {
+      if (!decisions[i].admitted) still.push_back(i);
+    }
+    pending = std::move(still);
+  }
+
+  // Serial epilogue: registry, log, latency accounting, fresh headroom.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (decisions[i].admitted) {
+      placements_[batch[i].key] = {static_cast<std::size_t>(decisions[i].shard),
+                                   admitted_id[i]};
+    }
+    latency_.add(decisions[i].latency_us);
+    log_.push_back(decisions[i]);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) refresh_headroom(s);
+  return decisions;
+}
+
+RouterDecision PlacementRouter::admit(AdmissionRequest request,
+                                      std::uint64_t batch_seed) {
+  std::vector<AdmissionRequest> batch;
+  batch.push_back(std::move(request));
+  return admit_batch(batch, batch_seed).front();
+}
+
+bool PlacementRouter::release(std::uint32_t key) {
+  const auto it = placements_.find(key);
+  if (it == placements_.end()) return false;
+  const std::size_t s = it->second.shard;
+  {
+    ShardState& st = *shards_[s];
+    std::lock_guard lock(st.mutex);
+    st.mgr.release(it->second.tenant);
+  }
+  refresh_headroom(s);
+  placements_.erase(it);
+  return true;
+}
+
+std::string PlacementRouter::decision_signature() const {
+  std::ostringstream out;
+  char buf[96];
+  for (const RouterDecision& d : log_) {
+    std::snprintf(buf, sizeof(buf), "%u|%d|%d|%u|%d|%016" PRIx64 ";", d.key,
+                  d.admitted ? 1 : 0, d.shard, d.attempts,
+                  static_cast<int>(d.error), d.placement_hash);
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace hmn::orchestrator

@@ -1,0 +1,269 @@
+#include "topology/partition.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace hmn::topology {
+namespace {
+
+constexpr std::size_t kUnassigned = std::numeric_limits<std::size_t>::max();
+
+NodeId nid(std::size_t i) {
+  return NodeId{static_cast<NodeId::underlying_type>(i)};
+}
+
+EdgeId eid(std::size_t i) {
+  return EdgeId{static_cast<EdgeId::underlying_type>(i)};
+}
+
+/// Rack units: the indivisible groups the partitioner works over.
+struct Units {
+  std::vector<std::size_t> unit_of_node;        // parent node -> unit
+  std::vector<std::vector<std::size_t>> nodes;  // unit -> parent node indices
+  std::vector<double> cpu;                      // unit -> aggregate host CPU
+  std::vector<std::size_t> hosts;               // unit -> host count
+  std::vector<std::set<std::size_t>> adj;       // unit adjacency (dedup)
+};
+
+Units contract_units(const model::PhysicalCluster& parent) {
+  const graph::Graph& g = parent.graph();
+  const std::size_t n = g.node_count();
+  Units u;
+  u.unit_of_node.assign(n, kUnassigned);
+
+  // Switches seed units in ascending node order; each host follows its
+  // lowest-id adjacent switch.  Hosts without an adjacent switch (host-only
+  // fabrics, or hosts cabled directly) become their own unit.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!parent.is_host(nid(i))) {
+      u.unit_of_node[i] = u.nodes.size();
+      u.nodes.push_back({i});
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!parent.is_host(nid(i))) continue;
+    std::size_t best_switch = kUnassigned;
+    for (const graph::Adjacency& adj : g.neighbors(nid(i))) {
+      const std::size_t v = adj.neighbor.index();
+      if (!parent.is_host(adj.neighbor) && v < best_switch) best_switch = v;
+    }
+    if (best_switch != kUnassigned) {
+      const std::size_t unit = u.unit_of_node[best_switch];
+      u.unit_of_node[i] = unit;
+      u.nodes[unit].push_back(i);
+    } else {
+      u.unit_of_node[i] = u.nodes.size();
+      u.nodes.push_back({i});
+    }
+  }
+
+  u.cpu.assign(u.nodes.size(), 0.0);
+  u.hosts.assign(u.nodes.size(), 0);
+  for (const NodeId h : parent.hosts()) {
+    const std::size_t unit = u.unit_of_node[h.index()];
+    u.cpu[unit] += parent.capacity(h).proc_mips;
+    u.hosts[unit] += 1;
+  }
+
+  u.adj.assign(u.nodes.size(), {});
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const auto ep = g.endpoints(eid(e));
+    const std::size_t a = u.unit_of_node[ep.a.index()];
+    const std::size_t b = u.unit_of_node[ep.b.index()];
+    if (a == b) continue;
+    u.adj[a].insert(b);
+    u.adj[b].insert(a);
+  }
+  return u;
+}
+
+}  // namespace
+
+ClusterPartition partition_cluster(const model::PhysicalCluster& parent,
+                                   std::size_t k) {
+  ClusterPartition out;
+  const graph::Graph& g = parent.graph();
+  const std::size_t n = g.node_count();
+  if (n == 0) return out;
+
+  const Units units = contract_units(parent);
+  const std::size_t unit_count = units.nodes.size();
+  k = std::clamp<std::size_t>(k, 1, unit_count);
+
+  // Greedy balanced accretion: grow one shard at a time by absorbing the
+  // lowest-id frontier unit until the shard holds an equal share of the
+  // CPU still unassigned.  Growing only through the frontier keeps every
+  // shard connected; when a shard walls itself in (the unassigned region
+  // disconnected), the shard simply closes and the next seed starts a new
+  // one — any surplus beyond k is merged away below.
+  double remaining_cpu = 0.0;
+  for (const double c : units.cpu) remaining_cpu += c;
+
+  std::vector<std::size_t> shard_of_unit(unit_count, kUnassigned);
+  std::vector<std::vector<std::size_t>> shard_units;
+  std::size_t assigned = 0;
+  std::size_t next_seed = 0;
+  while (assigned < unit_count) {
+    const std::size_t shards_left =
+        k > shard_units.size() ? k - shard_units.size() : 1;
+    const double quota = remaining_cpu / static_cast<double>(shards_left);
+    while (shard_of_unit[next_seed] != kUnassigned) ++next_seed;
+
+    const std::size_t s = shard_units.size();
+    shard_units.emplace_back();
+    std::set<std::size_t> frontier{next_seed};
+    double cpu = 0.0;
+    while (!frontier.empty()) {
+      const std::size_t unit = *frontier.begin();
+      frontier.erase(frontier.begin());
+      if (shard_of_unit[unit] != kUnassigned) continue;
+      shard_of_unit[unit] = s;
+      shard_units[s].push_back(unit);
+      cpu += units.cpu[unit];
+      remaining_cpu -= units.cpu[unit];
+      ++assigned;
+      if (cpu >= quota && shard_units.size() < k && assigned < unit_count) {
+        break;
+      }
+      for (const std::size_t v : units.adj[unit]) {
+        if (shard_of_unit[v] == kUnassigned) frontier.insert(v);
+      }
+    }
+  }
+
+  // Merge passes.  merge(a <- b): every unit of b joins a; valid only for
+  // adjacent shards, so the union stays connected.
+  auto shard_cpu = [&](std::size_t s) {
+    double c = 0.0;
+    for (const std::size_t unit : shard_units[s]) c += units.cpu[unit];
+    return c;
+  };
+  auto shard_hosts = [&](std::size_t s) {
+    std::size_t h = 0;
+    for (const std::size_t unit : shard_units[s]) h += units.hosts[unit];
+    return h;
+  };
+  auto neighbors_of_shard = [&](std::size_t s) {
+    std::set<std::size_t> res;
+    for (const std::size_t unit : shard_units[s]) {
+      for (const std::size_t v : units.adj[unit]) {
+        const std::size_t other = shard_of_unit[v];
+        if (other != s) res.insert(other);
+      }
+    }
+    return res;
+  };
+  auto merge_into = [&](std::size_t into, std::size_t from) {
+    for (const std::size_t unit : shard_units[from]) {
+      shard_of_unit[unit] = into;
+    }
+    auto& dst = shard_units[into];
+    dst.insert(dst.end(), shard_units[from].begin(), shard_units[from].end());
+    shard_units.erase(shard_units.begin() +
+                      static_cast<std::ptrdiff_t>(from));
+    for (auto& owner : shard_of_unit) {
+      if (owner > from && owner != kUnassigned) --owner;
+    }
+  };
+
+  // (a) fold surplus shards (disconnection fallout) into their lightest
+  // neighbor; (b) fold host-less shards (pure switch groups) into a
+  // neighbor so every shard can run guests.  Both loops are deterministic:
+  // lowest candidate shard first, lightest-then-lowest neighbor as target.
+  auto lightest_neighbor = [&](std::size_t s) {
+    std::size_t best = kUnassigned;
+    double best_cpu = 0.0;
+    for (const std::size_t nb : neighbors_of_shard(s)) {
+      const double c = shard_cpu(nb);
+      if (best == kUnassigned || c < best_cpu ||
+          (c == best_cpu && nb < best)) {
+        best = nb;
+        best_cpu = c;
+      }
+    }
+    return best;
+  };
+  while (shard_units.size() > k) {
+    // Lightest shard (lowest index on ties) is the merge candidate.
+    std::size_t victim = 0;
+    for (std::size_t s = 1; s < shard_units.size(); ++s) {
+      if (shard_cpu(s) < shard_cpu(victim)) victim = s;
+    }
+    const std::size_t target = lightest_neighbor(victim);
+    if (target == kUnassigned) break;  // isolated component: keep it
+    merge_into(target, victim);
+  }
+  for (std::size_t s = 0; s < shard_units.size() && shard_units.size() > 1;) {
+    if (shard_hosts(s) > 0) {
+      ++s;
+      continue;
+    }
+    const std::size_t target = lightest_neighbor(s);
+    if (target == kUnassigned) {
+      ++s;  // isolated switch island: nothing can absorb it
+      continue;
+    }
+    merge_into(target, s);
+    s = 0;  // indices shifted; rescan
+  }
+
+  // Materialize shards.  Local node ids ascend in parent order, so the
+  // shard's host order is the parent's host order restricted to the shard.
+  const std::size_t shard_count = shard_units.size();
+  out.shard_of_node.assign(n, 0);
+  out.local_node.assign(n, NodeId::invalid());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.shard_of_node[i] = shard_of_unit[units.unit_of_node[i]];
+  }
+
+  out.shards.resize(shard_count);
+  std::vector<std::vector<std::size_t>> shard_nodes(shard_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    shard_nodes[out.shard_of_node[i]].push_back(i);
+  }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    ClusterShard& shard = out.shards[s];
+    Topology topo;
+    topo.graph = graph::Graph(shard_nodes[s].size());
+    topo.role.reserve(shard_nodes[s].size());
+    shard.to_parent_node.reserve(shard_nodes[s].size());
+    for (const std::size_t i : shard_nodes[s]) {
+      out.local_node[i] = nid(shard.to_parent_node.size());
+      shard.to_parent_node.push_back(nid(i));
+      topo.role.push_back(parent.topology().role[i]);
+    }
+
+    std::vector<model::LinkProps> links;
+    for (std::size_t e = 0; e < g.edge_count(); ++e) {
+      const auto ep = g.endpoints(eid(e));
+      if (out.shard_of_node[ep.a.index()] != s ||
+          out.shard_of_node[ep.b.index()] != s) {
+        continue;
+      }
+      topo.graph.add_edge(out.local_node[ep.a.index()],
+                          out.local_node[ep.b.index()]);
+      shard.to_parent_edge.push_back(eid(e));
+      links.push_back(parent.link(eid(e)));
+    }
+
+    std::vector<model::HostCapacity> caps;
+    for (const std::size_t i : shard_nodes[s]) {
+      if (!parent.is_host(nid(i))) continue;
+      caps.push_back(parent.capacity(nid(i)));
+      shard.total_proc_mips += parent.capacity(nid(i)).proc_mips;
+    }
+    shard.cluster = model::PhysicalCluster::build(
+        std::move(topo), std::move(caps), std::move(links));
+  }
+
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const auto ep = g.endpoints(eid(e));
+    if (out.shard_of_node[ep.a.index()] != out.shard_of_node[ep.b.index()]) {
+      out.cut_edges.push_back(eid(e));
+    }
+  }
+  return out;
+}
+
+}  // namespace hmn::topology

@@ -1,0 +1,77 @@
+// Fabric partitioning for sharded placement.
+//
+// A single flat TenancyManager admits each tenant against the *whole*
+// cluster; bench E10 shows the Networking stage growing superlinearly with
+// fabric size, so online admission latency cannot stay flat as the host
+// count grows.  `partition_cluster` cuts a fabric into k shards along
+// switch/rack boundaries — each shard a connected induced subcluster with
+// its own PhysicalCluster plus id remap tables back to the parent fabric —
+// so a placement router (orchestrator/router.h) can confine every tenant to
+// one shard and admit independent arrivals in parallel.  This follows the
+// decomposition argument of the VNet-embedding literature (see PAPERS.md):
+// confining a request to a substrate partition trades a little placement
+// freedom for per-request work that no longer scales with the full fabric.
+//
+// Partition rule:
+//   * the fabric is first contracted into indivisible *rack units*: every
+//     switch together with the hosts attached to it (a host adjacent to
+//     several switches follows its lowest-id switch); in a host-only fabric
+//     (torus, mesh, ...) every host is its own unit;
+//   * units are grown into shards by breadth-first accretion, always
+//     absorbing the lowest-id frontier unit, until the shard's aggregate
+//     host CPU reaches an equal share of the remaining capacity — so shards
+//     are balanced by CPU, not by node count, on heterogeneous hosts;
+//   * a shard that ends up host-less (pure switches) is merged into an
+//     adjacent shard, so every shard can run guests.
+//
+// The decomposition is deterministic: identical fabrics give identical
+// partitions, independent of thread count or allocation order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/physical_cluster.h"
+
+namespace hmn::topology {
+
+/// One shard: a connected induced subcluster plus remap tables back to the
+/// parent fabric.  Local ids are dense and ascend in parent-id order, so
+/// `to_parent_node` / `to_parent_edge` are strictly increasing.
+struct ClusterShard {
+  model::PhysicalCluster cluster;
+  std::vector<NodeId> to_parent_node;  // local node id -> parent node id
+  std::vector<EdgeId> to_parent_edge;  // local edge id -> parent edge id
+  /// Aggregate host CPU of the shard (the balance weight).
+  double total_proc_mips = 0.0;
+
+  [[nodiscard]] NodeId parent_node(NodeId local) const {
+    return to_parent_node[local.index()];
+  }
+  [[nodiscard]] EdgeId parent_edge(EdgeId local) const {
+    return to_parent_edge[local.index()];
+  }
+};
+
+struct ClusterPartition {
+  std::vector<ClusterShard> shards;
+  /// parent node id -> owning shard (every parent node lands in exactly one
+  /// shard).
+  std::vector<std::size_t> shard_of_node;
+  /// parent node id -> local node id within its owning shard.
+  std::vector<NodeId> local_node;
+  /// Parent edges whose endpoints fall in different shards; they appear in
+  /// no shard's cluster (a sharded router never routes across them).
+  std::vector<EdgeId> cut_edges;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards.size(); }
+};
+
+/// Cuts `parent` into at most `k` shards (k is clamped to [1, rack units];
+/// fewer shards may result when host-less shards are merged away).  Each
+/// shard's cluster is a connected induced subcluster of a connected parent.
+/// Capacities and link properties are copied verbatim from the parent.
+[[nodiscard]] ClusterPartition partition_cluster(
+    const model::PhysicalCluster& parent, std::size_t k);
+
+}  // namespace hmn::topology

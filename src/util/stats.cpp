@@ -123,6 +123,74 @@ ConfidenceInterval bootstrap_paired_diff_ci(std::span<const double> xs,
   return bootstrap_ci_impl(xs, ys, level, resamples, seed);
 }
 
+LatencyHistogram::LatencyHistogram(double upper, std::size_t buckets)
+    : upper_(upper > 0.0 ? upper : 1.0),
+      width_(upper_ / static_cast<double>(buckets > 0 ? buckets : 1)),
+      counts_((buckets > 0 ? buckets : 1) + 1, 0) {}
+
+void LatencyHistogram::add(double x) {
+  if (x < 0.0) x = 0.0;
+  std::size_t b;
+  if (x >= upper_) {
+    b = counts_.size() - 1;  // overflow bucket
+  } else {
+    b = static_cast<std::size_t>(x / width_);
+    if (b >= counts_.size() - 1) b = counts_.size() - 2;  // fp edge
+  }
+  ++counts_[b];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < counts_.size() && b < other.counts_.size();
+       ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  // The extreme ranks are the observed extremes exactly; mid-bucket
+  // interpolation would otherwise pull them toward the bucket center.
+  if (rank <= 0.0) return min_;
+  if (rank >= static_cast<double>(count_ - 1)) return max_;
+  std::size_t cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double first = static_cast<double>(cum);
+    const double last = static_cast<double>(cum + counts_[b] - 1);
+    if (rank <= last + 1e-12) {
+      const double lo = width_ * static_cast<double>(b);
+      const double hi =
+          b + 1 == counts_.size() ? std::max(max_, upper_) : lo + width_;
+      // Samples assumed evenly spread across the bucket span: the j-th of
+      // m sits at (j + 0.5) / m.
+      const double frac =
+          (rank - first + 0.5) / static_cast<double>(counts_[b]);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
+    }
+    cum += counts_[b];
+  }
+  return max_;
+}
+
 void RunningStats::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

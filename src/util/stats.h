@@ -62,6 +62,39 @@ struct ConfidenceInterval {
     std::span<const double> xs, std::span<const double> ys,
     double level = 0.95, std::size_t resamples = 1000, std::uint64_t seed = 1);
 
+/// Fixed-bucket histogram for nonnegative latency-style samples: `buckets`
+/// uniform buckets cover [0, upper); anything larger lands in one overflow
+/// bucket.  Memory stays O(buckets) regardless of sample count, so routers
+/// and orchestrators can keep one per decision stream without retaining raw
+/// latencies.  percentile() spreads each bucket's samples evenly across its
+/// span and clamps to the exact observed [min, max] — single-sample and
+/// 0th/100th-percentile queries are exact, interior ones accurate to a
+/// bucket width.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(double upper, std::size_t buckets = 64);
+
+  void add(double x);
+  /// Accumulates another histogram of the same shape (same upper bound and
+  /// bucket count — the caller's responsibility).
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+  /// p-th percentile (clamped to [0, 100]); 0.0 for an empty histogram.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  double upper_ = 0.0;
+  double width_ = 0.0;
+  std::vector<std::size_t> counts_;  // `buckets` regular + 1 overflow
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 /// Streaming accumulator (Welford) for mean/variance without storing the
 /// samples.  Used by the experiment runner to aggregate repetitions.
 class RunningStats {

@@ -1,0 +1,198 @@
+// Tests for fabric partitioning (topology::partition_cluster): shard
+// connectivity, coverage, CPU balance, remap-table consistency, edge
+// accounting, determinism, and the degenerate k values.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "model/physical_cluster.h"
+#include "topology/partition.h"
+#include "topology/topologies.h"
+
+namespace {
+
+using namespace hmn;
+using topology::ClusterPartition;
+using topology::ClusterShard;
+using topology::partition_cluster;
+
+model::PhysicalCluster uniform_cluster(topology::Topology topo,
+                                       double proc_mips = 1000.0) {
+  const std::size_t hosts = topo.host_count();
+  return model::PhysicalCluster::build(
+      std::move(topo),
+      std::vector<model::HostCapacity>(hosts, {proc_mips, 4096, 4096}),
+      model::LinkProps{1000.0, 5.0});
+}
+
+/// Structural invariants every partition must satisfy, regardless of the
+/// fabric or k: full node coverage, consistent remap tables in both
+/// directions, connected induced shards, and exact edge accounting
+/// (every parent edge is either inside exactly one shard or cut).
+void check_invariants(const model::PhysicalCluster& parent,
+                      const ClusterPartition& part) {
+  const graph::Graph& g = parent.graph();
+  ASSERT_EQ(part.shard_of_node.size(), g.node_count());
+  ASSERT_EQ(part.local_node.size(), g.node_count());
+  ASSERT_GE(part.shard_count(), 1u);
+
+  // Node coverage and round-trip remap.
+  std::size_t nodes_total = 0;
+  for (std::size_t s = 0; s < part.shard_count(); ++s) {
+    const ClusterShard& shard = part.shards[s];
+    ASSERT_EQ(shard.to_parent_node.size(), shard.cluster.node_count());
+    nodes_total += shard.cluster.node_count();
+    for (std::size_t l = 0; l < shard.to_parent_node.size(); ++l) {
+      const NodeId local{static_cast<unsigned>(l)};
+      const NodeId parent_id = shard.parent_node(local);
+      EXPECT_EQ(part.shard_of_node[parent_id.index()], s);
+      EXPECT_EQ(part.local_node[parent_id.index()], local);
+      // Roles and capacities copied verbatim.
+      EXPECT_EQ(shard.cluster.is_host(local), parent.is_host(parent_id));
+      EXPECT_EQ(shard.cluster.capacity(local).proc_mips,
+                parent.capacity(parent_id).proc_mips);
+    }
+    // Remap table strictly increasing => local order mirrors parent order.
+    for (std::size_t l = 1; l < shard.to_parent_node.size(); ++l) {
+      EXPECT_LT(shard.to_parent_node[l - 1].value(),
+                shard.to_parent_node[l].value());
+    }
+    EXPECT_TRUE(shard.cluster.graph().connected());
+  }
+  EXPECT_EQ(nodes_total, g.node_count());
+
+  // Edge accounting: shard-internal edges + cut edges == parent edges, and
+  // each internal edge joins the same endpoints as its parent edge.
+  std::size_t edges_total = part.cut_edges.size();
+  for (const ClusterShard& shard : part.shards) {
+    ASSERT_EQ(shard.to_parent_edge.size(), shard.cluster.link_count());
+    edges_total += shard.cluster.link_count();
+    for (std::size_t e = 0; e < shard.cluster.link_count(); ++e) {
+      const EdgeId local{static_cast<unsigned>(e)};
+      const auto lep = shard.cluster.graph().endpoints(local);
+      const auto pep = g.endpoints(shard.parent_edge(local));
+      EXPECT_EQ(shard.parent_node(lep.a), pep.a);
+      EXPECT_EQ(shard.parent_node(lep.b), pep.b);
+      EXPECT_EQ(shard.cluster.link(local).bandwidth_mbps,
+                parent.link(shard.parent_edge(local)).bandwidth_mbps);
+    }
+  }
+  EXPECT_EQ(edges_total, g.edge_count());
+  for (const EdgeId e : part.cut_edges) {
+    const auto ep = g.endpoints(e);
+    EXPECT_NE(part.shard_of_node[ep.a.index()],
+              part.shard_of_node[ep.b.index()]);
+  }
+}
+
+TEST(PartitionTest, HostOnlyTorusSplitsBalanced) {
+  const auto parent = uniform_cluster(topology::torus_2d(8, 5));
+  const ClusterPartition part = partition_cluster(parent, 4);
+  check_invariants(parent, part);
+  EXPECT_EQ(part.shard_count(), 4u);
+
+  std::size_t hosts_total = 0;
+  for (const ClusterShard& shard : part.shards) {
+    hosts_total += shard.cluster.host_count();
+    EXPECT_GT(shard.cluster.host_count(), 0u);
+    // Uniform hosts: every shard within 2x of the perfect 10-host share.
+    EXPECT_GE(shard.cluster.host_count(), 5u);
+    EXPECT_LE(shard.cluster.host_count(), 20u);
+    EXPECT_DOUBLE_EQ(
+        shard.total_proc_mips,
+        1000.0 * static_cast<double>(shard.cluster.host_count()));
+  }
+  EXPECT_EQ(hosts_total, 40u);
+  EXPECT_FALSE(part.cut_edges.empty());
+}
+
+TEST(PartitionTest, SwitchTreeCutsAlongRackBoundaries) {
+  // 64 hosts under 8-wide leaf switches: rack units are indivisible, so
+  // every leaf switch must land in the same shard as all its hosts.
+  const auto parent = uniform_cluster(topology::switch_tree(64, 8, 4));
+  const ClusterPartition part = partition_cluster(parent, 4);
+  check_invariants(parent, part);
+  EXPECT_GE(part.shard_count(), 2u);
+  EXPECT_LE(part.shard_count(), 4u);
+
+  const graph::Graph& g = parent.graph();
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const NodeId node{static_cast<unsigned>(i)};
+    if (!parent.is_host(node)) continue;
+    for (const graph::Adjacency& adj : g.neighbors(node)) {
+      if (parent.is_host(adj.neighbor)) continue;
+      // A host and its only uplink switch are never separated.
+      EXPECT_EQ(part.shard_of_node[i],
+                part.shard_of_node[adj.neighbor.index()]);
+    }
+  }
+  // Every shard can run guests.
+  for (const ClusterShard& shard : part.shards) {
+    EXPECT_GT(shard.cluster.host_count(), 0u);
+  }
+}
+
+TEST(PartitionTest, KOneIsIdentityShard) {
+  const auto parent = uniform_cluster(topology::switch_tree(32, 8, 4));
+  const ClusterPartition part = partition_cluster(parent, 1);
+  check_invariants(parent, part);
+  ASSERT_EQ(part.shard_count(), 1u);
+  EXPECT_EQ(part.shards[0].cluster.node_count(), parent.node_count());
+  EXPECT_EQ(part.shards[0].cluster.link_count(), parent.link_count());
+  EXPECT_EQ(part.shards[0].cluster.host_count(), parent.host_count());
+  EXPECT_TRUE(part.cut_edges.empty());
+}
+
+TEST(PartitionTest, KBeyondUnitCountIsClamped) {
+  // A star has exactly one rack unit (the switch owns every host): any k
+  // collapses to a single shard.
+  const auto star = uniform_cluster(topology::star(6));
+  const ClusterPartition star_part = partition_cluster(star, 16);
+  check_invariants(star, star_part);
+  EXPECT_EQ(star_part.shard_count(), 1u);
+
+  // A host-only ring of 6 has six units; k=100 clamps to at most 6 shards.
+  const auto ring = uniform_cluster(topology::ring(6));
+  const ClusterPartition ring_part = partition_cluster(ring, 100);
+  check_invariants(ring, ring_part);
+  EXPECT_LE(ring_part.shard_count(), 6u);
+  EXPECT_GE(ring_part.shard_count(), 2u);
+}
+
+TEST(PartitionTest, HeterogeneousHostsBalanceByCpuNotCount) {
+  // 16 hosts on a line: the first four are 8x beefier than the rest.  A
+  // CPU-balanced cut puts far fewer of the beefy hosts in their shard.
+  std::vector<model::HostCapacity> caps;
+  for (std::size_t i = 0; i < 16; ++i) {
+    caps.push_back({i < 4 ? 8000.0 : 1000.0, 4096, 4096});
+  }
+  const auto parent = model::PhysicalCluster::build(
+      topology::line(16), std::move(caps), model::LinkProps{1000.0, 5.0});
+  const ClusterPartition part = partition_cluster(parent, 2);
+  check_invariants(parent, part);
+  ASSERT_EQ(part.shard_count(), 2u);
+  const double total = 4 * 8000.0 + 12 * 1000.0;
+  for (const ClusterShard& shard : part.shards) {
+    // Within one beefy host of the even split.
+    EXPECT_NEAR(shard.total_proc_mips, total / 2.0, 8000.0);
+  }
+  EXPECT_NE(part.shards[0].cluster.host_count(),
+            part.shards[1].cluster.host_count());
+}
+
+TEST(PartitionTest, DeterministicAcrossCalls) {
+  const auto parent = uniform_cluster(topology::switch_tree(96, 8, 4));
+  const ClusterPartition a = partition_cluster(parent, 6);
+  const ClusterPartition b = partition_cluster(parent, 6);
+  ASSERT_EQ(a.shard_count(), b.shard_count());
+  EXPECT_EQ(a.shard_of_node, b.shard_of_node);
+  EXPECT_EQ(a.cut_edges, b.cut_edges);
+  for (std::size_t s = 0; s < a.shard_count(); ++s) {
+    EXPECT_EQ(a.shards[s].to_parent_node, b.shards[s].to_parent_node);
+    EXPECT_EQ(a.shards[s].to_parent_edge, b.shards[s].to_parent_edge);
+  }
+}
+
+}  // namespace

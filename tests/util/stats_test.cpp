@@ -153,6 +153,79 @@ TEST(RunningStats, MergeEqualsSequential) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(LatencyHistogram, EmptyIsZeroes) {
+  const LatencyHistogram h(1000.0, 10);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleIsExactEverywhere) {
+  LatencyHistogram h(1000.0, 10);
+  h.add(137.5);
+  EXPECT_EQ(h.count(), 1u);
+  // min/max clamping makes every percentile of one sample exact, even
+  // though the sample sits mid-bucket.
+  EXPECT_DOUBLE_EQ(h.percentile(0), 137.5);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 137.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 137.5);
+}
+
+TEST(LatencyHistogram, InterpolatedPercentilesTrackExact) {
+  // 1000 uniform samples over [0, 1000) with 100 buckets: histogram
+  // percentiles must match the exact ones to within one bucket width.
+  hmn::util::Rng rng(99);
+  LatencyHistogram h(1000.0, 100);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) {
+    x = rng.uniform(0.0, 1000.0);
+    h.add(x);
+  }
+  const double bucket_width = 1000.0 / 100.0;
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    EXPECT_NEAR(h.percentile(p), percentile(xs, p), bucket_width)
+        << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(0), min_value(xs));
+  EXPECT_DOUBLE_EQ(h.percentile(100), max_value(xs));
+}
+
+TEST(LatencyHistogram, OverflowBucketUsesObservedMax) {
+  LatencyHistogram h(100.0, 10);
+  h.add(50.0);
+  h.add(5000.0);  // beyond upper: overflow bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.max(), 5000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 5000.0);
+  // Negative samples clamp to zero rather than underflowing a bucket.
+  h.add(-3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+}
+
+TEST(LatencyHistogram, MergeEqualsSequential) {
+  hmn::util::Rng rng(7);
+  LatencyHistogram a(500.0, 50), b(500.0, 50), all(500.0, 50);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(0.0, 600.0);  // some overflow
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  for (const double p : {10.0, 50.0, 95.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p));
+  }
+  // Merging an empty histogram is a no-op.
+  const double p50 = a.percentile(50);
+  a.merge(LatencyHistogram(500.0, 50));
+  EXPECT_DOUBLE_EQ(a.percentile(50), p50);
+}
+
 TEST(RunningStats, MergeWithEmptySides) {
   RunningStats a, b;
   a.add(1.0);
