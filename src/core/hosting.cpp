@@ -22,6 +22,7 @@ class HostList {
     std::sort(hosts_.begin(), hosts_.end(), [&](NodeId a, NodeId b) {
       const double ra = state_->residual_proc(a);
       const double rb = state_->residual_proc(b);
+      // hmn-lint: allow(float-eq, comparator tie-break; an epsilon here would break strict weak ordering)
       if (ra != rb) return ra > rb;
       return a < b;
     });

@@ -146,6 +146,7 @@ MapOutcome extend_mapping(const model::PhysicalCluster& cluster,
     const graph::Graph& g = cluster.graph();
     auto residual_bw = [&](EdgeId e) { return state.residual_bw(e); };
     auto latency = [&](EdgeId e) { return cluster.link(e).latency_ms; };
+    // hmn-lint: allow(unordered-iter, per-destination A* bound cache; keyed find/emplace only and never iterated — results are consumed in virtual-link order)
     std::unordered_map<NodeId, std::vector<double>> ar_cache;
     auto ar_for = [&](NodeId dest) -> const std::vector<double>& {
       auto it = ar_cache.find(dest);

@@ -85,6 +85,7 @@ MigrationResult run_migration(const model::VirtualEnvironment& venv,
       for (const GuestId g : guests_on[origin]) {
         const double s = colocated_bandwidth(venv, guest_host, g);
         if (s < best_sum ||
+            // hmn-lint: allow(float-eq, deterministic victim tie-break on exact equal sums; epsilon would make the winner order-dependent)
             (s == best_sum && (!victim.valid() || g < victim))) {
           best_sum = s;
           victim = g;

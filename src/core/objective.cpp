@@ -39,6 +39,7 @@ double load_balance_factor_if_moved(std::span<const double> rproc,
                                     std::size_t from, std::size_t to,
                                     double vproc) {
   const auto n = static_cast<double>(rproc.size());
+  // hmn-lint: allow(float-eq, n is an exact integer cast from size(); the only zero is a true empty span)
   if (n == 0.0) return 0.0;
   double sum = 0.0;
   double sumsq = 0.0;

@@ -194,6 +194,7 @@ MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
     return edge_dead[e.index()] ? std::numeric_limits<double>::infinity()
                                 : cluster.link(e).latency_ms;
   };
+  // hmn-lint: allow(unordered-iter, per-destination A* bound cache; keyed find/emplace only and never iterated — results are consumed in virtual-link order)
   std::unordered_map<NodeId, std::vector<double>> ar_cache;
   auto ar_for = [&](NodeId dest) -> const std::vector<double>& {
     auto it = ar_cache.find(dest);

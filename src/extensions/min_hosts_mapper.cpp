@@ -27,6 +27,7 @@ core::MapOutcome MinHostsMapper::map(const model::PhysicalCluster& cluster,
   std::sort(bins.begin(), bins.end(), [&](NodeId a, NodeId b) {
     const double ma = cluster.capacity(a).mem_mb;
     const double mb = cluster.capacity(b).mem_mb;
+    // hmn-lint: allow(float-eq, comparator tie-break; an epsilon here would break strict weak ordering)
     if (ma != mb) return ma > mb;
     return a < b;
   });
@@ -40,6 +41,7 @@ core::MapOutcome MinHostsMapper::map(const model::PhysicalCluster& cluster,
   std::sort(order.begin(), order.end(), [&](GuestId a, GuestId b) {
     const double ma = venv.guest(a).mem_mb;
     const double mb = venv.guest(b).mem_mb;
+    // hmn-lint: allow(float-eq, comparator tie-break; an epsilon here would break strict weak ordering)
     if (ma != mb) return ma > mb;
     return a < b;
   });

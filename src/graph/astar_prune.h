@@ -59,6 +59,7 @@ struct Frontier {
   // Max-heap by bottleneck; ties broken toward lower latency so that, among
   // equally wide paths, shorter ones surface first (deterministic result).
   bool operator<(const Frontier& o) const {
+    // hmn-lint: allow(float-eq, heap comparator tie-break; an epsilon here would break strict weak ordering)
     if (bottleneck != o.bottleneck) return bottleneck < o.bottleneck;
     return latency > o.latency;
   }
@@ -275,6 +276,7 @@ template <typename LenFn>
       if (!feasible) continue;
       const double nlen = best.len + length(adj.edge);
       const double bound = len_bound.dist[adj.neighbor.index()];
+      // hmn-lint: allow(float-eq, infinity is an exact unreachable sentinel, not a computed value)
       if (bound == std::numeric_limits<double>::infinity()) continue;
       arena.push_back({adj.edge, adj.neighbor, best.chain});
       set.push({nlen + bound, nlen, std::move(acc),

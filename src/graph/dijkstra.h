@@ -67,6 +67,7 @@ void dijkstra_into(const Graph& g, NodeId source, WeightFn&& weight,
     for (const Adjacency& adj : g.neighbors(u)) {
       const double w = weight(adj.edge);
       assert(!(w < 0.0));
+      // hmn-lint: allow(float-eq, kInf is an exact pruned-edge sentinel, not a computed value)
       if (w == kInf) continue;
       const double nd = d + w;
       if (nd < out.dist[adj.neighbor.index()]) {

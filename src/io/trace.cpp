@@ -60,6 +60,7 @@ bool read_u32(const JsonValue& obj, const char* name, std::uint32_t& out,
     return false;
   }
   const double d = v->as_number();
+  // hmn-lint: allow(float-eq, exact integrality check; floor(d) == d iff d is a whole number)
   if (!std::isfinite(d) || d < 0.0 || d != std::floor(d) ||
       d > static_cast<double>(std::numeric_limits<std::uint32_t>::max())) {
     why = std::string("'") + name + "' must be an integer in [0, 2^32)";

@@ -2,8 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <map>
 #include <sstream>
-#include <unordered_map>
 #include <utility>
 
 #include "core/objective.h"
@@ -112,7 +112,10 @@ void Orchestrator::maybe_defrag() {
 }
 
 void Orchestrator::drain_queue(double now) {
-  std::unordered_map<std::uint32_t, double> latencies;
+  // Ordered map: this sits on the decision path (latencies key the records
+  // below), and hmn-lint bans unordered containers here outright — the
+  // handful of keys per drain makes the tree overhead unmeasurable.
+  std::map<std::uint32_t, double> latencies;
   auto outcome = queue_.drain([&](PendingTenant& entry) {
     const util::Timer timer;
     // Each attempt gets a fresh derived seed: a randomized fallback mapper

@@ -43,6 +43,7 @@ DeploymentResult estimate_deployment(const model::PhysicalCluster& cluster,
   // each physical edge; an edge's bandwidth is split equally among them.
   std::vector<std::size_t> users(cluster.link_count(), 0);
   for (const NodeId h : cluster.hosts()) {
+    // hmn-lint: allow(float-eq, zero is an exact never-written sentinel in volume_gb, not a computed value)
     if (h == repo || volume_gb[h.index()] == 0.0) continue;
     if (!sp.reachable(h)) continue;
     for (const EdgeId e : graph::extract_path(cluster.graph(), sp, repo, h)) {
@@ -58,6 +59,7 @@ DeploymentResult estimate_deployment(const model::PhysicalCluster& cluster,
     for (std::size_t g = 0; g < venv.guest_count(); ++g) {
       if (deployed_now(g) && mapping.guest_host[g] == h) ++guests_here;
     }
+    // hmn-lint: allow(float-eq, zero is an exact never-written sentinel in volume_gb, not a computed value)
     if (guests_here == 0 && volume_gb[h.index()] == 0.0) continue;
     double transfer = 0.0;
     if (h != repo && volume_gb[h.index()] > 0.0) {

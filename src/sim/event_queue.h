@@ -38,6 +38,7 @@ class EventQueue {
     std::shared_ptr<EventFn> fn;
 
     bool operator>(const Entry& o) const {
+      // hmn-lint: allow(float-eq, heap comparator tie-break; an epsilon here would break strict weak ordering)
       if (time != o.time) return time > o.time;
       return seq > o.seq;
     }

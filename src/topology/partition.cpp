@@ -177,6 +177,7 @@ ClusterPartition partition_cluster(const model::PhysicalCluster& parent,
     for (const std::size_t nb : neighbors_of_shard(s)) {
       const double c = shard_cpu(nb);
       if (best == kUnassigned || c < best_cpu ||
+          // hmn-lint: allow(float-eq, deterministic shard tie-break on exact equal CPU; epsilon would make the winner order-dependent)
           (c == best_cpu && nb < best)) {
         best = nb;
         best_cpu = c;

@@ -46,6 +46,7 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
     sxx += dx * dx;
     syy += dy * dy;
   }
+  // hmn-lint: allow(float-eq, degenerate-variance guard; only an exactly-constant series sums to exact zero)
   if (sxx == 0.0 || syy == 0.0) return 0.0;
   return sxy / std::sqrt(sxx * syy);
 }

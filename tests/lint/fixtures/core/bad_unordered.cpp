@@ -1,0 +1,27 @@
+// Fixture: every unordered-iter shape the linter must catch in a
+// decision-affecting module (the `core/` path segment opts this file in).
+// Not compiled — consumed by lint_tests as analyzer input.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using Index = std::unordered_map<int, double>;  // alias decl (finding)
+
+struct State {
+  std::unordered_map<int, std::string> names;  // member decl (finding)
+};
+
+int count_all(const State& s) {
+  int n = 0;
+  for (const auto& [key, value] : s.names) {  // range-for (finding)
+    n += static_cast<int>(value.size()) + key;
+  }
+  std::unordered_set<int> seen;  // local decl (finding)
+  auto it = seen.begin();        // iterator traversal (finding)
+  (void)it;
+  Index idx;  // alias-typed decl (finding)
+  for (auto b = std::begin(idx); b != std::end(idx); ++b) {  // (finding)
+    n += b->first;
+  }
+  return n;
+}

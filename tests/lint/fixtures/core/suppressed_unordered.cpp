@@ -1,0 +1,11 @@
+// Fixture: correctly suppressed unordered-iter sites — the analyzer must
+// report them as suppressed, not clean and not failing.
+#include <unordered_map>
+
+double lookup_only(int key) {
+  // hmn-lint: allow(unordered-iter, lookup-only cache; never iterated)
+  std::unordered_map<int, double> cache;
+  cache.emplace(key, 1.0);
+  const auto it = cache.find(key);
+  return it == cache.end() ? 0.0 : it->second;
+}

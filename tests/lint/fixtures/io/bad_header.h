@@ -1,0 +1,12 @@
+// Fixture: header without #pragma once and with a namespace-scope
+// `using namespace` — both header-hygiene findings.
+#include <string>
+
+using namespace std;  // finding
+
+namespace fixture {
+using namespace std::literals;  // finding (namespace scope)
+
+inline string greet() { return "hi"; }
+
+}  // namespace fixture

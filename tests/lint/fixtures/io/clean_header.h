@@ -1,0 +1,14 @@
+// Fixture: hygienic header — pragma once present, `using namespace`
+// confined to a function body.  Must lint clean.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+inline std::string label() {
+  using namespace std::string_literals;  // function scope: allowed
+  return "ok"s;
+}
+
+}  // namespace fixture

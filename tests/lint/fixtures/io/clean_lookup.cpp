@@ -1,0 +1,14 @@
+// Fixture: lookup-only unordered use outside a decision-affecting module —
+// must produce zero findings without any suppression.
+#include <unordered_set>
+
+bool seen_before(int key) {
+  static std::unordered_set<int> seen;
+  return !seen.insert(key).second;
+}
+
+int sum_to(int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) total += i;  // classic for: ordered
+  return total;
+}

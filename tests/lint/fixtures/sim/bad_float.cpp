@@ -1,0 +1,19 @@
+// Fixture: raw floating-point equality shapes.
+bool literal_rhs(double x) { return x == 0.5; }     // finding
+bool literal_lhs(double x) { return 1.0 != x; }     // finding
+
+bool tracked_var(double tol) {
+  double accum = tol * 2.0;
+  return accum == tol;  // finding (both operands tracked doubles)
+}
+
+bool pointer_guard(const double* p) {
+  return p == nullptr;  // no finding: nullptr wins over the name heuristic
+}
+
+bool int_compare(int a, int b) { return a == b; }  // no finding
+
+bool suppressed_sentinel(double w) {
+  // hmn-lint: allow(float-eq, exact sentinel; never computed)
+  return w == 0.0;  // suppressed
+}

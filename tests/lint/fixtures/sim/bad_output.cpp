@@ -1,0 +1,12 @@
+// Fixture: raw output in library code.
+#include <cstdio>
+#include <iostream>
+
+void noisy(int n) {
+  std::cout << "n = " << n << '\n';  // finding
+  printf("n = %d\n", n);             // finding
+  std::puts("done");                 // finding
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", n);  // no finding: buffer format
+  (void)buf;
+}

@@ -1,0 +1,22 @@
+// Fixture: every raw-random shape outside src/util.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned nondeterministic_seed() {
+  std::random_device rd;                           // finding
+  std::mt19937 gen(rd());                          // finding
+  std::srand(static_cast<unsigned>(time(nullptr)));  // two findings
+  const int r = rand();                            // finding
+  const auto now = std::chrono::system_clock::now();  // finding
+  (void)now;
+  return gen() + static_cast<unsigned>(r);
+}
+
+struct Sampler {
+  int rand_calls = 0;
+  int rand() { return ++rand_calls; }  // declaring rand(): finding (by design)
+};
+
+int member_ok(Sampler& s) { return s.rand(); }  // member call: no finding

@@ -1,0 +1,12 @@
+// Fixture: suppression misuse — each annotation below is itself a finding.
+// hmn-lint: allow(no-such-rule, whatever)
+int a = 1;
+
+// hmn-lint: allow(float-eq)
+bool missing_reason(double x) { return x == 0.25; }
+
+// hmn-lint: allow(raw-output, nothing on this line ever prints)
+int unused_suppression = 2;
+
+// hmn-lint: this marker has no allow clause
+int b = 3;

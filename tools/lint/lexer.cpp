@@ -1,0 +1,290 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace hmn::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+bool is_hex_digit(char c) {
+  return std::isxdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Maximal-munch operator table, longest first.  Three-char operators that
+/// matter lexically (<<=, >>=, ..., ->*) are listed so that two-char
+/// prefixes are not split off them incorrectly.
+constexpr std::string_view kPunct3[] = {"<<=", ">>=", "...", "->*"};
+constexpr std::string_view kPunct2[] = {"::", "->", "==", "!=", "<=", ">=",
+                                        "&&", "||", "<<", ">>", "+=", "-=",
+                                        "*=", "/=", "%=", "&=", "|=", "^=",
+                                        "++", "--", ".*"};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) step();
+    result_.line_count = line_;
+    return std::move(result_);
+  }
+
+ private:
+  char peek(std::size_t off = 0) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+      code_on_line_ = false;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void advance_n(std::size_t n) {
+    for (std::size_t i = 0; i < n && pos_ < src_.size(); ++i) advance();
+  }
+
+  void emit(TokenKind kind, std::size_t start, std::size_t start_line,
+            std::size_t start_col, bool is_float = false) {
+    Token t;
+    t.kind = kind;
+    t.text = src_.substr(start, pos_ - start);
+    t.line = start_line;
+    t.col = start_col;
+    t.is_float = is_float;
+    result_.tokens.push_back(t);
+    code_on_line_ = true;
+  }
+
+  void step() {
+    const char c = peek();
+    if (c == '\\' && peek(1) == '\n') {  // stray line continuation
+      advance_n(2);
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance();
+      return;
+    }
+    if (c == '/' && peek(1) == '/') {
+      lex_line_comment();
+      return;
+    }
+    if (c == '/' && peek(1) == '*') {
+      lex_block_comment();
+      return;
+    }
+    if (c == '#' && !code_on_line_) {
+      lex_preprocessor();
+      return;
+    }
+    if (c == 'R' && peek(1) == '"') {
+      lex_raw_string();
+      return;
+    }
+    if (c == '"') {
+      lex_string('"', TokenKind::kString);
+      return;
+    }
+    if (c == '\'' && !is_digit_separator_context()) {
+      lex_string('\'', TokenKind::kCharLiteral);
+      return;
+    }
+    if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+      lex_number();
+      return;
+    }
+    if (is_ident_start(c)) {
+      lex_identifier();
+      return;
+    }
+    lex_punct();
+  }
+
+  /// A single-quote directly between alnum chars inside a number has already
+  /// been consumed by lex_number; this guard only matters if a quote follows
+  /// an identifier/number token boundary, which real code never does — keep
+  /// the check trivially false-safe.
+  bool is_digit_separator_context() const { return false; }
+
+  void lex_line_comment() {
+    const std::size_t start = pos_;
+    const std::size_t start_line = line_;
+    const std::size_t start_col = col_;
+    const bool own = !code_on_line_;
+    while (pos_ < src_.size() && peek() != '\n') {
+      if (peek() == '\\' && peek(1) == '\n') advance();  // continued comment
+      advance();
+    }
+    result_.comments.push_back(
+        {src_.substr(start, pos_ - start), start_line, start_col, own});
+  }
+
+  void lex_block_comment() {
+    const std::size_t start = pos_;
+    const std::size_t start_line = line_;
+    const std::size_t start_col = col_;
+    const bool own = !code_on_line_;
+    advance_n(2);
+    while (pos_ < src_.size() && !(peek() == '*' && peek(1) == '/')) advance();
+    advance_n(2);
+    result_.comments.push_back(
+        {src_.substr(start, pos_ - start), start_line, start_col, own});
+  }
+
+  void lex_preprocessor() {
+    const std::size_t start = pos_;
+    const std::size_t start_line = line_;
+    const std::size_t start_col = col_;
+    while (pos_ < src_.size() && peek() != '\n') {
+      if (peek() == '\\' && peek(1) == '\n') {
+        advance_n(2);
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '/') break;  // trailing comment
+      if (peek() == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      advance();
+    }
+    emit(TokenKind::kPreprocessor, start, start_line, start_col);
+    // Directives never leave trailing code on the line.
+    code_on_line_ = false;
+  }
+
+  void lex_raw_string() {
+    const std::size_t start = pos_;
+    const std::size_t start_line = line_;
+    const std::size_t start_col = col_;
+    advance_n(2);  // R"
+    std::string delim;
+    while (pos_ < src_.size() && peek() != '(') {
+      delim.push_back(peek());
+      advance();
+    }
+    advance();  // (
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < src_.size() &&
+           src_.compare(pos_, closer.size(), closer) != 0) {
+      advance();
+    }
+    advance_n(closer.size());
+    emit(TokenKind::kString, start, start_line, start_col);
+  }
+
+  void lex_string(char quote, TokenKind kind) {
+    const std::size_t start = pos_;
+    const std::size_t start_line = line_;
+    const std::size_t start_col = col_;
+    advance();  // opening quote
+    while (pos_ < src_.size() && peek() != quote && peek() != '\n') {
+      if (peek() == '\\') advance();
+      advance();
+    }
+    if (pos_ < src_.size() && peek() == quote) advance();
+    emit(kind, start, start_line, start_col);
+  }
+
+  void lex_number() {
+    const std::size_t start = pos_;
+    const std::size_t start_line = line_;
+    const std::size_t start_col = col_;
+    bool is_float = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      advance_n(2);
+      while (is_hex_digit(peek()) || peek() == '\'') advance();
+      if (peek() == '.' || peek() == 'p' || peek() == 'P') {  // hex float
+        is_float = true;
+        while (is_hex_digit(peek()) || peek() == '.' || peek() == 'p' ||
+               peek() == 'P' || peek() == '+' || peek() == '-') {
+          advance();
+        }
+      }
+    } else if (peek() == '0' && (peek(1) == 'b' || peek(1) == 'B')) {
+      advance_n(2);
+      while (peek() == '0' || peek() == '1' || peek() == '\'') advance();
+    } else {
+      while (is_digit(peek()) || peek() == '\'') advance();
+      if (peek() == '.' && peek(1) != '.') {  // not the ... operator
+        is_float = true;
+        advance();
+        while (is_digit(peek()) || peek() == '\'') advance();
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        if (is_digit(peek(1)) ||
+            ((peek(1) == '+' || peek(1) == '-') && is_digit(peek(2)))) {
+          is_float = true;
+          advance();
+          if (peek() == '+' || peek() == '-') advance();
+          while (is_digit(peek())) advance();
+        }
+      }
+    }
+    // Suffixes: f/F forces float; u/U/l/L/z/Z leave integers integral.
+    while (is_ident_char(peek())) {
+      if (peek() == 'f' || peek() == 'F') is_float = true;
+      advance();
+    }
+    emit(TokenKind::kNumber, start, start_line, start_col, is_float);
+  }
+
+  void lex_identifier() {
+    const std::size_t start = pos_;
+    const std::size_t start_line = line_;
+    const std::size_t start_col = col_;
+    while (is_ident_char(peek())) advance();
+    emit(TokenKind::kIdentifier, start, start_line, start_col);
+  }
+
+  void lex_punct() {
+    const std::size_t start = pos_;
+    const std::size_t start_line = line_;
+    const std::size_t start_col = col_;
+    for (const std::string_view op : kPunct3) {
+      if (src_.compare(pos_, op.size(), op) == 0) {
+        advance_n(op.size());
+        emit(TokenKind::kPunct, start, start_line, start_col);
+        return;
+      }
+    }
+    for (const std::string_view op : kPunct2) {
+      if (src_.compare(pos_, op.size(), op) == 0) {
+        advance_n(op.size());
+        emit(TokenKind::kPunct, start, start_line, start_col);
+        return;
+      }
+    }
+    advance();
+    emit(TokenKind::kPunct, start, start_line, start_col);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+  bool code_on_line_ = false;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace hmn::lint

@@ -1,0 +1,55 @@
+// A minimal C++ tokenizer for hmn-lint.
+//
+// The linter's rules are lexical: they match token patterns (identifiers,
+// punctuation, literals) rather than a parsed AST, so the lexer only has to
+// be exact about the things that confuse naive grep-style tools — comments,
+// string/char literals, raw strings, preprocessor lines, multi-char
+// punctuation, and float-vs-integer literals.  It never allocates copies of
+// the source: tokens are string_views into the buffer handed to lex().
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hmn::lint {
+
+enum class TokenKind : unsigned char {
+  kIdentifier,    // foo, unordered_map, int
+  kNumber,        // 42, 0xff, 1.5e3 (is_float distinguishes)
+  kString,        // "...", R"(...)" — value excludes quotes
+  kCharLiteral,   // 'x'
+  kPunct,         // one token per maximal operator: == != :: -> <= ...
+  kPreprocessor,  // one token per directive line (continuations folded)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string_view text;   // exact source spelling (directives: full line)
+  std::size_t line = 0;    // 1-based
+  std::size_t col = 0;     // 1-based byte column
+  bool is_float = false;   // kNumber only: has '.', exponent, or f/F suffix
+};
+
+/// Comments are lexed out-of-band: rules scan code tokens without tripping
+/// over commented-out code, and the suppression engine scans comments alone.
+struct Comment {
+  std::string_view text;  // includes the // or /* */ delimiters
+  std::size_t line = 0;   // line the comment starts on
+  std::size_t col = 0;
+  bool own_line = false;  // no code token precedes it on its start line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::size_t line_count = 0;
+};
+
+/// Tokenizes `source`.  Never fails: unterminated constructs are closed at
+/// end-of-file (the linter must degrade gracefully on code it half
+/// understands, not crash).  The returned views alias `source`.
+[[nodiscard]] LexResult lex(std::string_view source);
+
+}  // namespace hmn::lint

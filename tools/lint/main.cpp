@@ -1,0 +1,220 @@
+// hmn-lint — determinism & hygiene static analyzer for the HMN codebase.
+//
+//   hmn-lint [options] <file-or-dir>...
+//
+//   --json <path>            write the machine-readable report
+//   --baseline <path>        subtract a recorded baseline before failing
+//   --write-baseline <path>  record current unsuppressed findings and exit 0
+//   --root <path>            strip this prefix from reported paths (module
+//                            classification always uses the full path)
+//   --show-suppressed        print suppressed findings too
+//   --list-rules             print rule names and exit
+//
+// Exit codes: 0 clean, 1 unsuppressed findings remain, 2 usage/IO error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report.h"
+#include "rules.h"
+
+namespace fs = std::filesystem;
+using hmn::lint::Baseline;
+using hmn::lint::Finding;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> inputs;
+  std::string json_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string root;
+  bool show_suppressed = false;
+  bool list_rules = false;
+};
+
+int usage(std::ostream& out, int code) {
+  out << "usage: hmn-lint [--json FILE] [--baseline FILE] "
+         "[--write-baseline FILE]\n"
+         "                [--root DIR] [--show-suppressed] [--list-rules] "
+         "PATH...\n";
+  return code;
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](std::string& into) {
+      if (i + 1 >= argc) return false;
+      into = argv[++i];
+      return true;
+    };
+    if (arg == "--json") {
+      if (!value(opts.json_path)) return false;
+    } else if (arg == "--baseline") {
+      if (!value(opts.baseline_path)) return false;
+    } else if (arg == "--write-baseline") {
+      if (!value(opts.write_baseline_path)) return false;
+    } else if (arg == "--root") {
+      if (!value(opts.root)) return false;
+    } else if (arg == "--show-suppressed") {
+      opts.show_suppressed = true;
+    } else if (arg == "--list-rules") {
+      opts.list_rules = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else {
+      opts.inputs.push_back(arg);
+    }
+  }
+  return opts.list_rules || !opts.inputs.empty();
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" ||
+         ext == ".hpp" || ext == ".hh";
+}
+
+/// Deterministic expansion: directories walk in sorted order so runs (and
+/// reports, and baselines) are byte-stable across filesystems.
+std::vector<fs::path> expand_inputs(const std::vector<std::string>& inputs,
+                                    std::string& error) {
+  std::vector<fs::path> files;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    const fs::file_status st = fs::status(input, ec);
+    if (ec || st.type() == fs::file_type::not_found) {
+      error = "no such path: " + input;
+      return {};
+    }
+    if (fs::is_directory(st)) {
+      for (const auto& entry : fs::recursive_directory_iterator(input)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else {
+      files.push_back(input);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::string display_path(const fs::path& p, const std::string& root) {
+  std::string s = p.generic_string();
+  if (!root.empty()) {
+    std::string prefix = fs::path(root).generic_string();
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    if (s.compare(0, prefix.size(), prefix) == 0) s = s.substr(prefix.size());
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return usage(std::cerr, 2);
+  if (opts.list_rules) {
+    for (const std::string& r : hmn::lint::rule_names()) {
+      std::cout << r << '\n';
+    }
+    return 0;
+  }
+
+  std::string error;
+  const std::vector<fs::path> files = expand_inputs(opts.inputs, error);
+  if (!error.empty()) {
+    std::cerr << "hmn-lint: " << error << '\n';
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "hmn-lint: cannot read " << file << '\n';
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string source = buf.str();
+    // Classification sees the real path; the report sees the trimmed one.
+    const hmn::lint::FileContext ctx =
+        hmn::lint::classify_path(file.generic_string());
+    std::vector<Finding> file_findings = hmn::lint::analyze_source(
+        display_path(file, opts.root), source, ctx);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+
+  if (!opts.write_baseline_path.empty()) {
+    std::ofstream out(opts.write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "hmn-lint: cannot write " << opts.write_baseline_path
+                << '\n';
+      return 2;
+    }
+    out << hmn::lint::write_baseline(findings);
+    std::size_t live = 0;
+    for (const Finding& f : findings) {
+      if (!f.suppressed) ++live;
+    }
+    std::cout << "hmn-lint: baselined " << live << " finding(s) to "
+              << opts.write_baseline_path << '\n';
+    return 0;
+  }
+
+  Baseline baseline;
+  if (!opts.baseline_path.empty()) {
+    std::ifstream in(opts.baseline_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in || !hmn::lint::load_baseline(buf.str(), baseline)) {
+      std::cerr << "hmn-lint: malformed baseline " << opts.baseline_path
+                << '\n';
+      return 2;
+    }
+  }
+
+  std::vector<Finding> active;
+  std::size_t baselined = 0;
+  for (Finding& f : findings) {
+    if (!f.suppressed && baseline.absorb(f)) {
+      ++baselined;
+      continue;
+    }
+    active.push_back(std::move(f));
+  }
+
+  hmn::lint::print_text(std::cout, active, opts.show_suppressed);
+  if (!opts.json_path.empty()) {
+    std::ofstream out(opts.json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "hmn-lint: cannot write " << opts.json_path << '\n';
+      return 2;
+    }
+    out << hmn::lint::to_json(active);
+  }
+
+  std::size_t unsuppressed = 0;
+  std::size_t suppressed = 0;
+  for (const Finding& f : active) {
+    (f.suppressed ? suppressed : unsuppressed)++;
+  }
+  std::cout << "hmn-lint: " << files.size() << " file(s), " << unsuppressed
+            << " finding(s), " << suppressed << " suppressed";
+  if (baselined > 0) std::cout << ", " << baselined << " baselined";
+  std::cout << '\n';
+  return unsuppressed == 0 ? 0 : 1;
+}

@@ -1,0 +1,239 @@
+#include "report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace hmn::lint {
+namespace {
+
+std::string baseline_key(const Finding& f) {
+  return f.file + "\x1f" + f.rule + "\x1f" + f.message;
+}
+
+/// Minimal scanner for the baseline format: a JSON array of objects with
+/// "file"/"rule"/"message" string fields.  Accepts exactly what
+/// write_baseline emits; anything structurally surprising fails the load.
+class BaselineParser {
+ public:
+  explicit BaselineParser(std::string_view text) : text_(text) {}
+
+  bool parse(Baseline& out) {
+    skip_ws();
+    if (!expect('{')) return false;
+    if (!expect_key("entries")) return false;
+    if (!expect('[')) return false;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return finish();
+    }
+    while (true) {
+      std::string file;
+      std::string rule;
+      std::string message;
+      if (!expect('{')) return false;
+      for (int k = 0; k < 3; ++k) {
+        std::string key;
+        std::string value;
+        if (!parse_string(key) || !expect(':') || !parse_string(value)) {
+          return false;
+        }
+        if (key == "file") {
+          file = value;
+        } else if (key == "rule") {
+          rule = value;
+        } else if (key == "message") {
+          message = value;
+        } else {
+          return false;
+        }
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          skip_ws();
+        }
+      }
+      if (!expect('}')) return false;
+      out.keys.push_back(file + "\x1f" + rule + "\x1f" + message);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (!expect(']')) return false;
+    return finish();
+  }
+
+ private:
+  bool finish() {
+    skip_ws();
+    return expect('}');
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool expect_key(std::string_view key) {
+    std::string got;
+    if (!parse_string(got) || got != key) return false;
+    return expect(':');
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (peek() != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'u': {
+            // Only \u001f (the key separator) is ever emitted.
+            if (pos_ + 4 > text_.size()) return false;
+            const std::string_view hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            c = static_cast<char>(std::stoi(std::string(hex), nullptr, 16));
+            break;
+          }
+          default: return false;
+        }
+      }
+      out.push_back(c);
+    }
+    if (peek() != '"') return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void print_text(std::ostream& out, const std::vector<Finding>& findings,
+                bool show_suppressed) {
+  for (const Finding& f : findings) {
+    if (f.suppressed && !show_suppressed) continue;
+    out << f.file << ':' << f.line << ':' << f.col << ": " << f.rule << ": "
+        << f.message;
+    if (f.suppressed) out << " [suppressed: " << f.suppression_reason << ']';
+    out << '\n';
+  }
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::size_t unsuppressed = 0;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) ++unsuppressed;
+  }
+  std::ostringstream out;
+  out << "{\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"col\": " << f.col
+        << ", \"rule\": \"" << json_escape(f.rule) << "\", \"message\": \""
+        << json_escape(f.message) << "\", \"suppressed\": "
+        << (f.suppressed ? "true" : "false");
+    if (f.suppressed) {
+      out << ", \"reason\": \"" << json_escape(f.suppression_reason) << '"';
+    }
+    out << '}';
+  }
+  out << (first ? "" : "\n  ") << "],\n"
+      << "  \"total\": " << findings.size() << ",\n"
+      << "  \"unsuppressed\": " << unsuppressed << "\n}\n";
+  return out.str();
+}
+
+std::string write_baseline(const std::vector<Finding>& findings) {
+  std::vector<const Finding*> live;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) live.push_back(&f);
+  }
+  std::sort(live.begin(), live.end(), [](const Finding* a, const Finding* b) {
+    return baseline_key(*a) < baseline_key(*b);
+  });
+  std::ostringstream out;
+  out << "{\"entries\": [";
+  bool first = true;
+  for (const Finding* f : live) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "  {\"file\": \"" << json_escape(f->file) << "\", \"rule\": \""
+        << json_escape(f->rule) << "\", \"message\": \""
+        << json_escape(f->message) << "\"}";
+  }
+  out << (first ? "" : "\n") << "]}\n";
+  return out.str();
+}
+
+bool Baseline::absorb(const Finding& f) {
+  const std::string key = baseline_key(f);
+  const auto it = std::find(keys.begin(), keys.end(), key);
+  if (it == keys.end()) return false;
+  keys.erase(it);
+  return true;
+}
+
+bool load_baseline(std::string_view text, Baseline& out) {
+  out.keys.clear();
+  BaselineParser parser(text);
+  if (!parser.parse(out)) return false;
+  std::sort(out.keys.begin(), out.keys.end());
+  return true;
+}
+
+}  // namespace hmn::lint

@@ -1,0 +1,50 @@
+// Finding output and baseline handling for hmn-lint.
+//
+// Text findings print as `file:line:col: rule: message` (the exact shape
+// compilers use, so editors and CI log scrapers pick them up for free).
+// The JSON report is a stable machine-readable mirror, and the baseline is
+// a JSON subset of it: a recorded set of (file, rule, message) triples a
+// later run subtracts before failing — the incremental-adoption ratchet.
+// Line numbers are deliberately not part of the baseline key; unrelated
+// edits above a grandfathered finding must not resurrect it.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules.h"
+
+namespace hmn::lint {
+
+/// `file:line:col: rule: message` (+ reason for suppressed findings).
+void print_text(std::ostream& out, const std::vector<Finding>& findings,
+                bool show_suppressed);
+
+/// Full machine-readable report: every finding with its suppression state,
+/// plus summary counts.
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+/// Serializes unsuppressed findings as a baseline document.
+[[nodiscard]] std::string write_baseline(const std::vector<Finding>& findings);
+
+struct Baseline {
+  /// Sorted (file, rule, message) keys; duplicates preserved so two
+  /// identical findings need two baseline entries.
+  std::vector<std::string> keys;
+
+  /// True (and consumes one key occurrence) if the finding is
+  /// grandfathered.  Call at most once per finding.
+  [[nodiscard]] bool absorb(const Finding& f);
+};
+
+/// Parses a baseline document produced by write_baseline.  Returns false on
+/// malformed input (the caller should treat that as a hard error — a silent
+/// empty baseline would un-grandfather everything).
+[[nodiscard]] bool load_baseline(std::string_view text, Baseline& out);
+
+/// JSON string escaping, exposed for tests.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace hmn::lint

@@ -1,0 +1,86 @@
+// hmn-lint rule engine: determinism & hygiene rules for the HMN codebase.
+//
+// Rules (see DESIGN.md §"Static analysis" for the full rationale):
+//
+//   unordered-iter   R1  Iterating a hash container observes a pointer- and
+//                        seed-dependent order; on a decision path that order
+//                        leaks into placements, logs, and hashes.  Any
+//                        iteration over an unordered_{map,set,multimap,
+//                        multiset} variable anywhere in src/ is flagged, and
+//                        merely *declaring* one inside a decision-affecting
+//                        module (orchestrator, core, workload, topology)
+//                        requires a suppression proving the container is
+//                        lookup-only or canonicalized before commit/log/hash.
+//   raw-random       R2  rand(), srand(), std::random_device, std::mt19937,
+//                        wall-clock seeding (time(), system_clock, ...)
+//                        outside src/util.  All randomness must flow through
+//                        the seedable util::Rng / util::Timer facades.
+//   float-eq         R3  Raw == / != where an operand is a floating literal
+//                        or a variable declared double/float in the same
+//                        file.  Exact comparisons are occasionally right
+//                        (sentinel zeros) — prove it with a suppression.
+//   raw-output       R4  std::cout / printf / fprintf / puts in library
+//                        code; output goes through the CSV/table writers or
+//                        caller-supplied streams.
+//   header-hygiene   R5  Headers must open with #pragma once and must not
+//                        `using namespace` at namespace scope.
+//
+// Suppression syntax, on the finding's line or alone on the line above:
+//
+//   // hmn-lint: allow(<rule>, <reason>)
+//
+// The reason is mandatory: a suppression is a reviewed claim ("lookup-only,
+// never iterated"), not a mute button.  Unknown rule names and reason-less
+// suppressions are themselves findings (bad-suppression), and suppressions
+// that no longer match anything are reported as unused-suppression so stale
+// annotations cannot rot in place.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+
+namespace hmn::lint {
+
+struct Finding {
+  std::string file;     // as given to the analyzer (normally repo-relative)
+  std::size_t line = 0;
+  std::size_t col = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+  std::string suppression_reason;  // set iff suppressed
+};
+
+/// Where a file sits in the project layout; drives per-module rule scoping.
+struct FileContext {
+  bool is_header = false;          // .h / .hpp
+  bool is_decision_module = false; // orchestrator/, core/, workload/, topology/
+  bool is_util_module = false;     // util/ — the sanctioned randomness home
+};
+
+/// Derives the context from a path: extension for is_header, path segments
+/// for the module flags ("core" anywhere in the directory chain counts, so
+/// test fixtures can opt in by mirroring the layout).
+[[nodiscard]] FileContext classify_path(std::string_view path);
+
+/// All rule names, in report order.  bad-suppression / unused-suppression
+/// are meta-rules emitted by the suppression engine itself.
+[[nodiscard]] const std::vector<std::string>& rule_names();
+[[nodiscard]] bool is_known_rule(std::string_view rule);
+
+/// Runs every rule over one translation unit.  `file` is used verbatim in
+/// findings; `ctx` scopes the per-module rules.  Pure function of its
+/// arguments — no filesystem access, no global state.
+[[nodiscard]] std::vector<Finding> analyze_source(std::string file,
+                                                  std::string_view source,
+                                                  const FileContext& ctx);
+
+/// Convenience: classify_path + analyze_source.
+[[nodiscard]] std::vector<Finding> analyze_source(std::string file,
+                                                  std::string_view source);
+
+}  // namespace hmn::lint
