@@ -219,13 +219,19 @@ MapOutcome repair_mapping(const model::PhysicalCluster& cluster,
         g, s, d, demand.bandwidth_mbps, demand.max_latency_ms, residual_bw,
         latency, ap);
     if (!path.has_value()) {
-      if (opts.allow_dark_links) {
+      // Degraded SLA: only *best-effort* links may go dark.  A critical
+      // link with no surviving path fails the repair outright, whatever
+      // allow_dark_links says — the tenant declared it cannot run without
+      // this link, so the caller must evict (or fully remap), not degrade.
+      if (opts.allow_dark_links && !demand.critical) {
         dark.push_back(l);  // path stays empty; no bandwidth reserved
         continue;
       }
       MapOutcome out = MapOutcome::failure(
           MapErrorCode::kNetworkingFailed,
-          "no surviving path for virtual link " + std::to_string(l.value()));
+          std::string("no surviving path for ") +
+              (demand.critical ? "critical " : "") + "virtual link " +
+              std::to_string(l.value()));
       out.stats.total_seconds = total.elapsed_seconds();
       return out;
     }

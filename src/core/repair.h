@@ -14,11 +14,14 @@
 //   * every other guest and path is untouched.
 //
 // A failed *link* alone never evicts a guest: only its transit paths are
-// re-routed.  With `allow_dark_links`, a link that cannot be re-routed is
-// left with an empty ("dark") path instead of failing the whole repair —
-// the degraded-tenancy mode the orchestrator's healer builds on.  Dark
-// links reserve no bandwidth and are re-attempted by any later repair over
-// the same mapping (an empty inter-host path counts as damage).
+// re-routed.  With `allow_dark_links`, a *best-effort* link that cannot be
+// re-routed is left with an empty ("dark") path instead of failing the
+// whole repair — the degraded-tenancy mode the orchestrator's healer
+// builds on.  Dark links reserve no bandwidth and are re-attempted by any
+// later repair over the same mapping (an empty inter-host path counts as
+// damage).  A virtual link whose demand is flagged `critical` never goes
+// dark: if it cannot be re-routed the repair fails with kNetworkingFailed
+// even under allow_dark_links, and the caller must evict or fully remap.
 //
 // The repaired mapping satisfies all of Eqs. 1-9 *and* avoids every failed
 // element entirely (no guest on a dead host, no path through a dead node
@@ -45,10 +48,11 @@ struct FailureSet {
 
 struct RepairOptions {
   FailureSet failed;
-  /// When true, a surviving inter-host link whose path cannot be re-routed
-  /// is left dark (empty path, no bandwidth reserved) and reported in
-  /// RepairStats::dark_links instead of failing the repair with
-  /// kNetworkingFailed.  Hosting failures still fail the repair.
+  /// When true, a surviving *best-effort* inter-host link whose path
+  /// cannot be re-routed is left dark (empty path, no bandwidth reserved)
+  /// and reported in RepairStats::dark_links instead of failing the repair
+  /// with kNetworkingFailed.  Links whose demand is `critical`, and all
+  /// hosting failures, still fail the repair.
   bool allow_dark_links = false;
 };
 

@@ -62,8 +62,8 @@ bool TenancyManager::edge_masked(EdgeId e) const {
   return node_down_[ep.a.index()] || node_down_[ep.b.index()];
 }
 
-model::PhysicalCluster TenancyManager::residual_view(
-    const Tenant* exclude) const {
+model::PhysicalCluster TenancyManager::residual_view(const Tenant* exclude,
+                                                     bool biased) const {
   // Hand the excluded tenant's reservations back into local copies; the
   // member arrays stay untouched (this is a const view).
   std::vector<double> proc = used_proc_;
@@ -99,12 +99,22 @@ model::PhysicalCluster TenancyManager::residual_view(
       continue;
     }
     const auto& cap = cluster_.capacity(h);
+    // The biased (admission) view differs from the raw residual in two
+    // ways: a headroom fraction of mem/stor is withheld so healing has
+    // spare room, and residual CPU is scaled by the host's availability
+    // weight so Hosting's most-CPU ordering prefers reliable hosts.  Both
+    // knobs default to no-ops, keeping the views byte-identical until the
+    // orchestrator observes a failure.
+    const double keep = biased ? 1.0 - admission_headroom_ : 1.0;
+    const double weight =
+        biased && h.index() < host_weights_.size() ? host_weights_[h.index()]
+                                                   : 1.0;
     caps.push_back({
         // Residual CPU may be negative (not a constraint); the mapper only
         // uses it as the balancing metric, so clamp for sanity.
-        std::max(0.0, cap.proc_mips - proc[h.index()]),
-        std::max(0.0, cap.mem_mb - mem[h.index()]),
-        std::max(0.0, cap.stor_gb - stor[h.index()]),
+        std::max(0.0, cap.proc_mips - proc[h.index()]) * weight,
+        std::max(0.0, cap.mem_mb * keep - mem[h.index()]),
+        std::max(0.0, cap.stor_gb * keep - stor[h.index()]),
     });
   }
   std::vector<model::LinkProps> links;
@@ -159,9 +169,11 @@ core::FailureSet TenancyManager::failed_elements() const {
 }
 
 TenancyManager::AdmissionResult TenancyManager::admit(
-    std::string name, model::VirtualEnvironment venv, std::uint64_t seed) {
+    std::string name, model::VirtualEnvironment venv, std::uint64_t seed,
+    bool reserve_headroom) {
   AdmissionResult result;
-  const model::PhysicalCluster view = residual_cluster();
+  const model::PhysicalCluster view =
+      residual_view(nullptr, /*biased=*/reserve_headroom);
   core::MapOutcome outcome = pool_.first_success(view, venv, seed);
   if (!outcome.ok()) {
     result.error = outcome.error;
@@ -294,6 +306,15 @@ bool TenancyManager::update_mappings(
     return false;
   }
   return true;
+}
+
+void TenancyManager::set_host_weights(std::vector<double> weights) {
+  host_weights_ = std::move(weights);
+  for (double& w : host_weights_) w = std::clamp(w, 1e-3, 1.0);
+}
+
+void TenancyManager::set_admission_headroom(double fraction) {
+  admission_headroom_ = std::clamp(fraction, 0.0, 0.9);
 }
 
 std::vector<TenantId> TenancyManager::tenant_ids() const {

@@ -76,8 +76,13 @@ class TenancyManager {
 
     [[nodiscard]] bool ok() const { return tenant.has_value(); }
   };
+  /// `reserve_headroom` selects the *admission* view: new tenants map
+  /// against capacities shrunk by the configured spare-capacity headroom
+  /// and biased by per-host availability weights (below), so healing has
+  /// somewhere to land.  Healer re-admissions pass false — a refugee
+  /// re-placement may use every surviving byte.
   AdmissionResult admit(std::string name, model::VirtualEnvironment venv,
-                        std::uint64_t seed);
+                        std::uint64_t seed, bool reserve_headroom = true);
 
   /// Releases a tenant's resources.  False if the id is unknown.
   bool release(TenantId id);
@@ -144,6 +149,25 @@ class TenancyManager {
   /// The current failure set in repair_mapping's shape (ascending ids).
   [[nodiscard]] core::FailureSet failed_elements() const;
 
+  /// Availability-aware admission bias (ROADMAP: repair-aware admission).
+  /// `weights` holds one multiplier in (0, 1] per cluster *node* (indexed
+  /// by node id; empty disables the bias).  The admission view scales each
+  /// host's residual CPU by its weight, steering Hosting's
+  /// most-available-CPU ordering away from historically flaky hosts
+  /// without ever making a feasible placement infeasible (CPU is not a
+  /// hard constraint).  All-1.0 weights reproduce the unbiased view
+  /// byte-for-byte.
+  void set_host_weights(std::vector<double> weights);
+
+  /// Fraction of every host's memory/storage withheld from *new-tenant*
+  /// admissions (0 disables).  Growth, healing, and defragmentation see
+  /// the full capacity — the reserve exists precisely so repairs have
+  /// spare room.
+  void set_admission_headroom(double fraction);
+  [[nodiscard]] double admission_headroom() const {
+    return admission_headroom_;
+  }
+
   /// Unclamped residual CPU per host in cluster().hosts() order — the
   /// vector the cluster-wide load-balance factor (Eq. 10) is computed
   /// over.  May contain negative entries: CPU is not a hard constraint.
@@ -168,6 +192,10 @@ class TenancyManager {
   std::vector<bool> edge_down_;
   std::size_t down_count_ = 0;
 
+  // Availability-aware admission bias (empty / 0.0 when disabled).
+  std::vector<double> host_weights_;
+  double admission_headroom_ = 0.0;
+
   /// Down directly, or incident to a down node.
   [[nodiscard]] bool edge_masked(EdgeId e) const;
 
@@ -176,9 +204,11 @@ class TenancyManager {
                      const core::Mapping& mapping, double sign);
   /// Residual view built from the current `used_*` arrays, minus failure
   /// masks; with `exclude` non-null that tenant's reservations are handed
-  /// back (shared by residual_cluster() and the exclude-one views).
+  /// back (shared by residual_cluster() and the exclude-one views).  With
+  /// `biased` the availability weights and admission headroom are applied
+  /// — the view a *new* tenant maps against.
   [[nodiscard]] model::PhysicalCluster residual_view(
-      const Tenant* exclude = nullptr) const;
+      const Tenant* exclude = nullptr, bool biased = false) const;
 };
 
 }  // namespace hmn::emulator

@@ -94,11 +94,48 @@ bool read_seed(const JsonValue& obj, std::uint64_t& seed, std::string& why) {
   return true;
 }
 
+/// Reads an optional blast-group member array ("hosts"/"links"): every
+/// entry a u32, strictly ascending (sorted, duplicate-free).  Descriptive
+/// reasons carry the offending member offset within the array.
+bool read_group(const JsonValue& obj, const char* name,
+                std::vector<std::uint32_t>& out, std::string& why) {
+  const JsonValue* v = obj.find(name);
+  if (v == nullptr || !v->is_array()) {
+    why = std::string("truncated blast group: missing or non-array '") + name +
+          "'";
+    return false;
+  }
+  const auto& arr = v->as_array();
+  out.clear();
+  out.reserve(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const JsonValue& m = arr[i];
+    const double d = m.is_number() ? m.as_number() : -1.0;
+    // hmn-lint: allow(float-eq, exact integrality check; floor(d) == d iff d is a whole number)
+    const bool whole = m.is_number() && std::isfinite(d) && d == std::floor(d);
+    if (!whole || d < 0.0 ||
+        d > static_cast<double>(std::numeric_limits<std::uint32_t>::max())) {
+      why = std::string("'") + name + "' member at offset " +
+            std::to_string(i) + " must be an integer in [0, 2^32)";
+      return false;
+    }
+    const auto id = static_cast<std::uint32_t>(d);
+    if (!out.empty() && id <= out.back()) {
+      why = std::string("duplicate or unsorted member ") + std::to_string(id) +
+            " in '" + name + "' at offset " + std::to_string(i);
+      return false;
+    }
+    out.push_back(id);
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string write_trace(const workload::ChurnTrace& trace) {
   std::ostringstream out;
-  out << "{\"type\":\"churn-trace\",\"version\":2,\"profile\":{";
+  out << "{\"type\":\"churn-trace\",\"version\":3,\"mttf_dist\":\""
+      << workload::to_string(trace.mttf_dist) << "\",\"profile\":{";
   write_range(out, "proc_mips", trace.profile.proc_mips);
   out << ',';
   write_range(out, "mem_mb", trace.profile.mem_mb);
@@ -108,11 +145,28 @@ std::string write_trace(const workload::ChurnTrace& trace) {
   write_range(out, "link_bw_mbps", trace.profile.link_bw_mbps);
   out << ',';
   write_range(out, "link_lat_ms", trace.profile.link_lat_ms);
+  out << ",\"critical_link_fraction\":"
+      << num(trace.profile.critical_link_fraction);
   out << "}}\n";
 
   for (const workload::TenantEvent& ev : trace.events) {
     out << "{\"t\":" << num(ev.time) << ",\"ev\":\""
         << workload::to_string(ev.kind) << '"';
+    if (ev.kind == workload::EventKind::kBlastFail ||
+        ev.kind == workload::EventKind::kBlastRecover) {
+      out << ",\"element\":" << ev.element << ",\"hosts\":[";
+      for (std::size_t i = 0; i < ev.group_hosts.size(); ++i) {
+        if (i != 0) out << ',';
+        out << ev.group_hosts[i];
+      }
+      out << "],\"links\":[";
+      for (std::size_t i = 0; i < ev.group_links.size(); ++i) {
+        if (i != 0) out << ',';
+        out << ev.group_links[i];
+      }
+      out << "]}\n";
+      continue;
+    }
     if (workload::is_failure_event(ev.kind)) {
       out << ",\"element\":" << ev.element << "}\n";
       continue;
@@ -167,6 +221,16 @@ std::variant<workload::ChurnTrace, TraceParseError> read_trace(
           type->as_string() != "churn-trace") {
         return err(line_no, "missing churn-trace header");
       }
+      std::uint32_t version = 0;
+      std::string vwhy;
+      if (!read_u32(obj, "version", version, vwhy)) {
+        return err(line_no, "header: " + vwhy);
+      }
+      if (version < 1 || version > 3) {
+        return err(line_no, "unsupported trace version " +
+                                std::to_string(version) +
+                                " (this reader handles 1-3)");
+      }
       const JsonValue* profile = obj.find("profile");
       if (profile == nullptr || !profile->is_object() ||
           !read_range(*profile, "proc_mips", trace.profile.proc_mips) ||
@@ -175,6 +239,32 @@ std::variant<workload::ChurnTrace, TraceParseError> read_trace(
           !read_range(*profile, "link_bw_mbps", trace.profile.link_bw_mbps) ||
           !read_range(*profile, "link_lat_ms", trace.profile.link_lat_ms)) {
         return err(line_no, "malformed profile in header");
+      }
+      // v3 additions, optional with backward-compatible defaults so v1/v2
+      // traces keep parsing; when present they must be well-formed.
+      if (const JsonValue* dist = obj.find("mttf_dist"); dist != nullptr) {
+        if (!dist->is_string()) {
+          return err(line_no, "header: mttf_dist must be a string");
+        }
+        const std::string& tag = dist->as_string();
+        if (tag == "exponential") {
+          trace.mttf_dist = workload::MttfDistribution::kExponential;
+        } else if (tag == "weibull") {
+          trace.mttf_dist = workload::MttfDistribution::kWeibull;
+        } else if (tag == "lognormal") {
+          trace.mttf_dist = workload::MttfDistribution::kLognormal;
+        } else {
+          return err(line_no, "header: unknown mttf_dist tag '" + tag + "'");
+        }
+      }
+      if (const JsonValue* frac = profile->find("critical_link_fraction");
+          frac != nullptr) {
+        if (!frac->is_number() || !std::isfinite(frac->as_number()) ||
+            frac->as_number() < 0.0 || frac->as_number() > 1.0) {
+          return err(line_no,
+                     "header: critical_link_fraction must be in [0, 1]");
+        }
+        trace.profile.critical_link_fraction = frac->as_number();
       }
       saw_header = true;
       continue;
@@ -193,6 +283,17 @@ std::variant<workload::ChurnTrace, TraceParseError> read_trace(
     }
     const std::string& k = kind->as_string();
     std::string why;
+    if (k == "blast-fail" || k == "blast-recover") {
+      ev.kind = k == "blast-fail" ? workload::EventKind::kBlastFail
+                                  : workload::EventKind::kBlastRecover;
+      if (!read_u32(obj, "element", ev.element, why) ||
+          !read_group(obj, "hosts", ev.group_hosts, why) ||
+          !read_group(obj, "links", ev.group_links, why)) {
+        return err(line_no, k + " event: " + why);
+      }
+      trace.events.push_back(std::move(ev));
+      continue;
+    }
     if (k == "host-fail" || k == "link-fail" || k == "host-recover" ||
         k == "link-recover") {
       ev.kind = k == "host-fail"      ? workload::EventKind::kHostFail

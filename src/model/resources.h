@@ -45,10 +45,14 @@ struct LinkProps {
   double latency_ms = 0.0;
 };
 
-/// Demands of a virtual link (vbw, vlat).
+/// Demands of a virtual link (vbw, vlat).  `critical` is the tenant's SLA
+/// declaration: a critical link must stay routable or the tenant cannot
+/// run (the healer evicts); a best-effort link may go dark during repair
+/// (Degraded tenancy) without forcing eviction.
 struct VirtualLinkDemand {
   double bandwidth_mbps = 0.0;
   double max_latency_ms = 0.0;
+  bool critical = false;
 };
 
 }  // namespace hmn::model

@@ -60,8 +60,11 @@ std::optional<HealRecord> Healer::heal_one(emulator::TenancyManager& mgr,
     model::VirtualEnvironment venv = tenant->venv;
     mgr.release(id);
     live.erase(it);
-    const auto res =
-        mgr.admit(name, venv, util::derive_seed(kHealSeedBase, key, 0));
+    // reserve_headroom=false: refugees may use the healing reserve — that
+    // is exactly what admission withheld it for.
+    const auto res = mgr.admit(name, venv,
+                               util::derive_seed(kHealSeedBase, key, 0),
+                               /*reserve_headroom=*/false);
     if (res.ok()) {
       live[key] = *res.tenant;
       r.action = HealAction::kHealed;
@@ -143,7 +146,8 @@ std::vector<HealRecord> Healer::retry_parked(emulator::TenancyManager& mgr,
     ++entry.attempts;
     const auto res = mgr.admit(
         entry.name, entry.venv,
-        util::derive_seed(kHealSeedBase, entry.key, entry.attempts));
+        util::derive_seed(kHealSeedBase, entry.key, entry.attempts),
+        /*reserve_headroom=*/false);
     HealRecord r;
     r.key = entry.key;
     if (res.ok()) {
@@ -223,6 +227,59 @@ std::vector<HealRecord> Healer::on_event(emulator::TenancyManager& mgr,
         }
       }
       return records;
+    }
+    case workload::EventKind::kBlastFail: {
+      if (ev.element >= cluster.node_count()) return {};
+      // A correlated group is one transaction: every mask flips *before*
+      // any tenant is healed, or a repair mid-group would route around one
+      // corpse straight through the next; the per-event invariant audit
+      // then runs once for the whole group, not once per element.
+      mgr.set_node_down(NodeId{ev.element}, true);
+      for (const std::uint32_t h : ev.group_hosts) {
+        if (h < cluster.node_count()) mgr.set_node_down(NodeId{h}, true);
+      }
+      for (const std::uint32_t l : ev.group_links) {
+        if (l < cluster.link_count()) mgr.set_link_down(EdgeId{l}, true);
+      }
+      // Union impacted set: each tenant touched by *any* group member is
+      // repaired exactly once, against the full failure set.
+      std::vector<std::uint32_t> impacted;
+      for (const auto& [key, id] : live) {
+        const emulator::Tenant* t = mgr.tenant(id);
+        if (t == nullptr) continue;
+        bool hit =
+            !core::mapping_avoids_node(cluster, t->mapping, NodeId{ev.element});
+        for (std::size_t i = 0; !hit && i < ev.group_hosts.size(); ++i) {
+          if (ev.group_hosts[i] >= cluster.node_count()) continue;
+          hit = !core::mapping_avoids_node(cluster, t->mapping,
+                                           NodeId{ev.group_hosts[i]});
+        }
+        for (std::size_t i = 0; !hit && i < ev.group_links.size(); ++i) {
+          if (ev.group_links[i] >= cluster.link_count()) continue;
+          hit = !core::mapping_avoids_edge(t->mapping,
+                                           EdgeId{ev.group_links[i]});
+        }
+        if (hit) impacted.push_back(key);
+      }
+      std::vector<HealRecord> records;
+      for (const std::uint32_t key : impacted) {
+        if (auto r = heal_one(mgr, live, key, ev.time)) {
+          records.push_back(std::move(*r));
+        }
+      }
+      return records;
+    }
+    case workload::EventKind::kBlastRecover: {
+      if (ev.element >= cluster.node_count()) return {};
+      mgr.set_node_down(NodeId{ev.element}, false);
+      for (const std::uint32_t h : ev.group_hosts) {
+        if (h < cluster.node_count()) mgr.set_node_down(NodeId{h}, false);
+      }
+      for (const std::uint32_t l : ev.group_links) {
+        if (l < cluster.link_count()) mgr.set_link_down(EdgeId{l}, false);
+      }
+      // One opportunistic pass for the whole restored subtree.
+      return on_capacity_freed(mgr, live, ev.time);
     }
     case workload::EventKind::kHostRecover: {
       if (ev.element >= cluster.node_count()) return {};

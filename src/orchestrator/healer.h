@@ -11,11 +11,20 @@
 //     core::repair_mapping against its own exclude-one residual view,
 //     committing via TenancyManager::update_mappings — commit-or-rollback,
 //     so a tenant is never half-healed;
-//   * a tenant whose guests all survive but whose links cannot be
-//     re-routed stays admitted in an explicit **Degraded** state: the
-//     unroutable links go dark (empty path, no bandwidth reserved) and are
-//     re-attempted opportunistically on every recovery and departure until
-//     the tenant is Restored;
+//   * a BLAST_FAIL (correlated group: a switch plus its attached subtree)
+//     is one transaction: every member mask flips before any healing
+//     starts, each impacted tenant is repaired exactly once against the
+//     full group, and the orchestrator's invariant audit runs once per
+//     group, not once per element.  Group recovery clears all member masks
+//     at once (last-writer-wins against any overlapping per-element
+//     stream) before a single opportunistic re-heal pass;
+//   * a tenant whose guests all survive but whose *best-effort* links
+//     cannot be re-routed stays admitted in an explicit **Degraded**
+//     state: the unroutable links go dark (empty path, no bandwidth
+//     reserved) and are re-attempted opportunistically on every recovery
+//     and departure until the tenant is Restored.  A `critical` virtual
+//     link never goes dark — if it cannot be re-routed the repair fails
+//     and the tenant is evicted and parked (degraded-SLA scheduling);
 //   * a tenant whose guests cannot be re-hosted is evicted and **parked**
 //     in a healing queue with exponential backoff and a bounded attempt
 //     budget; re-admission attempts run on recoveries/departures, and a

@@ -70,7 +70,53 @@ Orchestrator::Orchestrator(model::PhysicalCluster cluster,
       profile_(profile),
       opts_(opts),
       queue_(opts.retry_max_attempts, opts.max_queue),
-      healer_(opts.healer) {}
+      healer_(opts.healer),
+      avail_(mgr_.cluster().node_count(), mgr_.cluster().link_count(),
+             opts.availability) {}
+
+void Orchestrator::observe_failure_event(const workload::TenantEvent& ev) {
+  switch (ev.kind) {
+    case workload::EventKind::kHostFail:
+      avail_.on_node_fail(ev.element, ev.time);
+      break;
+    case workload::EventKind::kHostRecover:
+      avail_.on_node_recover(ev.element, ev.time);
+      break;
+    case workload::EventKind::kLinkFail:
+      avail_.on_link_fail(ev.element, ev.time);
+      break;
+    case workload::EventKind::kLinkRecover:
+      avail_.on_link_recover(ev.element, ev.time);
+      break;
+    case workload::EventKind::kBlastFail:
+      avail_.on_node_fail(ev.element, ev.time);
+      for (const std::uint32_t h : ev.group_hosts) {
+        avail_.on_node_fail(h, ev.time);
+      }
+      for (const std::uint32_t l : ev.group_links) {
+        avail_.on_link_fail(l, ev.time);
+      }
+      break;
+    case workload::EventKind::kBlastRecover:
+      avail_.on_node_recover(ev.element, ev.time);
+      for (const std::uint32_t h : ev.group_hosts) {
+        avail_.on_node_recover(h, ev.time);
+      }
+      for (const std::uint32_t l : ev.group_links) {
+        avail_.on_link_recover(l, ev.time);
+      }
+      break;
+    default:
+      return;
+  }
+  // Install the bias only once the tracker has history — before the first
+  // failure nothing is set, so an aware failure-free run stays
+  // byte-identical to a blind one (the E15 tie gate).
+  if (opts_.availability_aware && avail_.has_history()) {
+    mgr_.set_host_weights(avail_.node_weights());
+    mgr_.set_admission_headroom(opts_.spare_headroom);
+  }
+}
 
 std::uint64_t Orchestrator::placement_hash(emulator::TenantId id) const {
   const emulator::Tenant* tenant = mgr_.tenant(id);
@@ -323,7 +369,9 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
     case workload::EventKind::kHostFail:
     case workload::EventKind::kLinkFail:
     case workload::EventKind::kHostRecover:
-    case workload::EventKind::kLinkRecover: {
+    case workload::EventKind::kLinkRecover:
+    case workload::EventKind::kBlastFail:
+    case workload::EventKind::kBlastRecover: {
       d.tenant = ev.element;  // the signature covers *which* element
       switch (ev.kind) {
         case workload::EventKind::kHostFail:
@@ -334,8 +382,17 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
           d.decision = Decision::kLinkFailed;
           ++report_.link_failures;
           break;
+        case workload::EventKind::kBlastFail:
+          d.decision = Decision::kBlastFailed;
+          ++report_.blast_failures;
+          break;
         case workload::EventKind::kHostRecover:
           d.decision = Decision::kHostRecovered;
+          ++report_.recoveries;
+          recovered = true;
+          break;
+        case workload::EventKind::kBlastRecover:
+          d.decision = Decision::kBlastRecovered;
           ++report_.recoveries;
           recovered = true;
           break;
@@ -345,6 +402,7 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
           recovered = true;
           break;
       }
+      observe_failure_event(ev);
       heals = healer_.on_event(mgr_, live_, ev);
       break;
     }

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "availability/availability_tracker.h"
 #include "core/map_result.h"
 #include "emulator/tenancy.h"
 #include "extensions/heuristic_pool.h"
@@ -68,6 +69,9 @@ enum class Decision : std::uint8_t {
   kParked,         // tenant evicted into the healing queue
   kReadmitted,     // parked tenant re-admitted
   kHealDropped,    // healing budget exhausted; tenant lost
+
+  kBlastFailed,     // BLAST_FAIL: a correlated group went dark
+  kBlastRecovered,  // BLAST_RECOVER: the group returned to service
 };
 
 [[nodiscard]] constexpr const char* to_string(Decision d) {
@@ -93,6 +97,8 @@ enum class Decision : std::uint8_t {
     case Decision::kParked: return "parked";
     case Decision::kReadmitted: return "readmitted";
     case Decision::kHealDropped: return "heal-dropped";
+    case Decision::kBlastFailed: return "blast-failed";
+    case Decision::kBlastRecovered: return "blast-recovered";
   }
   return "?";
 }
@@ -149,6 +155,7 @@ struct OrchestratorReport {
   // Failure / healing accounting.
   std::size_t host_failures = 0;
   std::size_t link_failures = 0;
+  std::size_t blast_failures = 0;  // correlated groups, counted once each
   std::size_t recoveries = 0;
   std::size_t healed = 0;          // in-place repairs that fully routed
   std::size_t degraded = 0;        // transitions into Degraded
@@ -194,6 +201,18 @@ struct OrchestratorOptions {
   /// violations to the report.  Cheap on bench-scale clusters; disable
   /// for large production sweeps.
   bool audit_invariants = true;
+
+  /// Availability-aware admission (ROADMAP: repair-aware admission).  When
+  /// true, the orchestrator keeps a per-element EWMA AvailabilityTracker
+  /// from the observed failure stream, scales each host's admission weight
+  /// by its availability, and withholds `spare_headroom` of every host's
+  /// memory/storage from new-tenant admissions so healing has somewhere to
+  /// land.  Strictly invisible until the first failure: the bias is only
+  /// installed once the tracker has history, so a failure-free run is
+  /// byte-identical to availability_aware = false.
+  bool availability_aware = false;
+  double spare_headroom = 0.1;
+  availability::AvailabilityOptions availability;
 };
 
 class Orchestrator {
@@ -219,8 +238,12 @@ class Orchestrator {
   }
   [[nodiscard]] const Healer& healer() const { return healer_; }
   [[nodiscard]] const OrchestratorReport& report() const { return report_; }
+  [[nodiscard]] const availability::AvailabilityTracker& availability() const {
+    return avail_;
+  }
 
  private:
+  void observe_failure_event(const workload::TenantEvent& ev);
   void drain_queue(double now);
   void maybe_defrag();
   void sample(double time);
@@ -236,6 +259,7 @@ class Orchestrator {
   OrchestratorOptions opts_;
   RetryQueue queue_;
   Healer healer_;
+  availability::AvailabilityTracker avail_;
   std::map<std::uint32_t, emulator::TenantId> live_;  // churn key -> tenant
   std::map<std::uint32_t, double> degraded_since_;    // key -> entry time
   std::map<std::uint32_t, double> lost_since_;        // dropped key -> park time

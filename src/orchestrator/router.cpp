@@ -87,6 +87,18 @@ double PlacementRouter::headroom(std::size_t s) const {
   return shards_[s]->headroom;
 }
 
+double PlacementRouter::shard_availability(std::size_t s) const {
+  if (avail_ == nullptr || !avail_->has_history()) return 1.0;
+  const topology::ClusterShard& sh = partition_.shards[s];
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const NodeId local : sh.cluster.hosts()) {
+    sum += avail_->node_availability(sh.parent_node(local).value());
+    ++count;
+  }
+  return count == 0 ? 1.0 : sum / static_cast<double>(count);
+}
+
 void PlacementRouter::refresh_headroom(std::size_t s) {
   ShardState& st = *shards_[s];
   std::lock_guard lock(st.mutex);
@@ -142,10 +154,12 @@ std::vector<RouterDecision> PlacementRouter::admit_batch(
 
   // Headroom snapshot and per-request try-orders, resolved serially before
   // any admission: the scores every request routes on are those at batch
-  // start, independent of intra-batch completion order.
+  // start, independent of intra-batch completion order.  The availability
+  // multiplier is 1.0 everywhere until a failure has been observed, so a
+  // failure-free biased run scores — and routes — identically to blind.
   std::vector<double> snapshot(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    snapshot[s] = shards_[s]->headroom;
+    snapshot[s] = shards_[s]->headroom * shard_availability(s);
   }
 
   std::vector<std::vector<std::size_t>> order(n);

@@ -14,7 +14,11 @@
 // admits into the probe with the most headroom (deterministic tie-break on
 // shard index), and on rejection falls back through the remaining shards in
 // score order.  P2C keeps shards balanced without a global scan per
-// request while staying fully deterministic.
+// request while staying fully deterministic.  With set_availability() the
+// score becomes headroom × mean host availability of the shard, steering
+// new tenants away from blast-scarred racks; the tracker reports 1.0
+// everywhere until the first failure, so a failure-free run routes
+// byte-identically with or without the bias.
 //
 // Determinism under parallelism: admit_batch resolves each request's full
 // shard try-order up front from a headroom snapshot taken at batch start,
@@ -33,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "availability/availability_tracker.h"
 #include "core/map_result.h"
 #include "emulator/tenancy.h"
 #include "extensions/heuristic_pool.h"
@@ -117,6 +122,17 @@ class PlacementRouter {
   /// Current residual-CPU headroom of a shard (the P2C score).
   [[nodiscard]] double headroom(std::size_t s) const;
 
+  /// Installs an availability view (non-owning; caller keeps it alive and
+  /// updated).  Subsequent batches score each shard as headroom × mean
+  /// availability of its hosts in the parent fabric.  nullptr — and a
+  /// tracker with no failure history — leave routing byte-identical to the
+  /// unbiased router.
+  void set_availability(const availability::AvailabilityTracker* tracker) {
+    avail_ = tracker;
+  }
+  /// The multiplier set_availability applies to shard `s` right now.
+  [[nodiscard]] double shard_availability(std::size_t s) const;
+
   [[nodiscard]] const std::vector<RouterDecision>& decision_log() const {
     return log_;
   }
@@ -142,6 +158,7 @@ class PlacementRouter {
   topology::ClusterPartition partition_;
   std::vector<std::unique_ptr<ShardState>> shards_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when threads <= 1
+  const availability::AvailabilityTracker* avail_ = nullptr;
 
   struct Placement {
     std::size_t shard = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/rng.h"
 #include "workload/venv_generator.h"
@@ -31,14 +32,19 @@ int kind_rank(EventKind k) {
     case EventKind::kArrive: return 0;
     case EventKind::kGrow: return 1;
     case EventKind::kDepart: return 2;
-    // Failures rank before their recoveries so a zero repair time still
-    // fails before it recovers.
-    case EventKind::kHostFail: return 3;
-    case EventKind::kLinkFail: return 4;
-    case EventKind::kHostRecover: return 5;
-    case EventKind::kLinkRecover: return 6;
+    // Recoveries rank before failures: when a repair lands at the exact
+    // instant of the element's *next* failure, the recovery belongs to the
+    // earlier renewal interval and must apply first, or the stale recover
+    // would resurrect the freshly dead element.  Generators keep a recover
+    // strictly after its own fail, so the within-pair order is never a tie.
+    case EventKind::kHostRecover: return 3;
+    case EventKind::kLinkRecover: return 4;
+    case EventKind::kBlastRecover: return 5;
+    case EventKind::kHostFail: return 6;
+    case EventKind::kLinkFail: return 7;
+    case EventKind::kBlastFail: return 8;
   }
-  return 7;
+  return 9;
 }
 
 }  // namespace
@@ -100,6 +106,48 @@ ChurnTrace generate_churn(const ChurnOptions& opts, std::uint64_t seed) {
   return trace;
 }
 
+namespace {
+
+/// Mean-preserving time-to-failure draw.  Whatever the shape, the returned
+/// variate has expectation `mean`, so sweeps over distributions compare
+/// like against like.  The exponential path consumes exactly the same RNG
+/// stream as before the shapes existed, keeping old seeds byte-stable.
+double mttf_draw(util::Rng& rng, double mean, const FailureOptions& opts) {
+  switch (opts.mttf_dist) {
+    case MttfDistribution::kExponential:
+      return exponential(rng, mean);
+    case MttfDistribution::kWeibull: {
+      // E[X] = λ Γ(1 + 1/k)  =>  λ = mean / Γ(1 + 1/k); inverse CDF is
+      // λ(-ln(1-u))^{1/k}.
+      const double k = std::max(1e-3, opts.weibull_shape);
+      const double lambda = mean / std::tgamma(1.0 + 1.0 / k);
+      return lambda * std::pow(-std::log1p(-rng.uniform01()), 1.0 / k);
+    }
+    case MttfDistribution::kLognormal: {
+      // E[X] = exp(μ + σ²/2)  =>  μ = ln(mean) - σ²/2.
+      const double sigma = std::max(0.0, opts.lognormal_sigma);
+      const double mu = std::log(mean) - 0.5 * sigma * sigma;
+      return std::exp(mu + sigma * rng.normal());
+    }
+  }
+  return exponential(rng, mean);
+}
+
+/// Advances `now` by an exponential repair draw, then nudges it so the
+/// recovery lands *strictly* after the failure at `fail_time`.  Without the
+/// nudge a denormal-small repair draw leaves now == fail_time, and since
+/// the canonical order puts recoveries first the pair would apply as
+/// recover-then-fail — killing the element until the next renewal.
+double repair_time(util::Rng& rng, double fail_time, double mttr) {
+  double t = fail_time + exponential(rng, std::max(1e-9, mttr));
+  if (t <= fail_time) {
+    t = std::nextafter(fail_time, std::numeric_limits<double>::infinity());
+  }
+  return t;
+}
+
+}  // namespace
+
 std::vector<TenantEvent> generate_failures(const FailureOptions& opts,
                                            const model::PhysicalCluster& cluster,
                                            std::uint64_t seed) {
@@ -114,14 +162,14 @@ std::vector<TenantEvent> generate_failures(const FailureOptions& opts,
     util::Rng rng(stream);
     double now = 0.0;
     while (true) {
-      now += exponential(rng, mttf);
+      now += mttf_draw(rng, mttf, opts);
       if (now >= opts.horizon) break;
       TenantEvent down;
       down.time = now;
       down.kind = fail;
       down.element = element;
       events.push_back(down);
-      now += exponential(rng, std::max(1e-9, mttr));
+      now = repair_time(rng, now, mttr);
       TenantEvent up;
       up.time = now;
       up.kind = recover;
@@ -139,6 +187,55 @@ std::vector<TenantEvent> generate_failures(const FailureOptions& opts,
     renewal(opts.link_mttf, opts.link_mttr, EventKind::kLinkFail,
             EventKind::kLinkRecover, static_cast<std::uint32_t>(e),
             util::derive_seed(seed, 2, e));
+  }
+
+  // Correlated blasts: each switch is its own renewal process; the group
+  // (adjacent hosts, every link incident to the switch or those hosts) is
+  // computed once per switch and stamped on both the fail and the recover
+  // so consumers and replayers apply it atomically without bookkeeping.
+  if (opts.blast_mttf > 0.0) {
+    const graph::Graph& g = cluster.graph();
+    for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+      const NodeId node{static_cast<NodeId::underlying_type>(n)};
+      if (cluster.is_host(node)) continue;
+      std::vector<std::uint32_t> hosts;
+      std::vector<std::uint32_t> links;
+      for (const graph::Adjacency& adj : g.neighbors(node)) {
+        links.push_back(adj.edge.value());
+        if (!cluster.is_host(adj.neighbor)) continue;
+        hosts.push_back(adj.neighbor.value());
+        for (const graph::Adjacency& leaf : g.neighbors(adj.neighbor)) {
+          links.push_back(leaf.edge.value());
+        }
+      }
+      std::sort(hosts.begin(), hosts.end());
+      hosts.erase(std::unique(hosts.begin(), hosts.end()), hosts.end());
+      std::sort(links.begin(), links.end());
+      links.erase(std::unique(links.begin(), links.end()), links.end());
+
+      util::Rng rng(util::derive_seed(seed, 3, n));
+      double now = 0.0;
+      while (true) {
+        now += mttf_draw(rng, opts.blast_mttf, opts);
+        if (now >= opts.horizon) break;
+        TenantEvent down;
+        down.time = now;
+        down.kind = EventKind::kBlastFail;
+        down.element = node.value();
+        down.group_hosts = hosts;
+        down.group_links = links;
+        events.push_back(down);
+        now = repair_time(rng, now, opts.blast_mttr);
+        TenantEvent up;
+        up.time = now;
+        up.kind = EventKind::kBlastRecover;
+        up.element = node.value();
+        up.group_hosts = hosts;
+        up.group_links = links;
+        events.push_back(up);
+        if (now >= opts.horizon) break;
+      }
+    }
   }
   std::stable_sort(events.begin(), events.end(), event_before);
   return events;
@@ -183,9 +280,13 @@ model::VirtualEnvironment apply_growth(const model::VirtualEnvironment& base,
         rng.uniform(profile.stor_gb.lo, profile.stor_gb.hi)};
   };
   auto draw_demand = [&] {
+    // Same zero-fraction short-circuit as generate_venv: legacy profiles
+    // must not consume an extra draw per link.
     return model::VirtualLinkDemand{
         rng.uniform(profile.link_bw_mbps.lo, profile.link_bw_mbps.hi),
-        rng.uniform(profile.link_lat_ms.lo, profile.link_lat_ms.hi)};
+        rng.uniform(profile.link_lat_ms.lo, profile.link_lat_ms.hi),
+        profile.critical_link_fraction > 0.0 &&
+            rng.chance(profile.critical_link_fraction)};
   };
 
   // Each new guest attaches to a uniformly chosen predecessor, so the

@@ -18,9 +18,15 @@
 // stream onto the same timeline:
 //
 //   * HOST_FAIL / LINK_FAIL — a physical element dies; every element is an
-//     independent alternating-renewal process with exponential time-to-
-//     failure (MTTF) and time-to-repair (MTTR);
-//   * HOST_RECOVER / LINK_RECOVER — the element returns to service.
+//     independent alternating-renewal process with configurable time-to-
+//     failure (exponential, Weibull, or lognormal MTTF) and exponential
+//     time-to-repair (MTTR);
+//   * HOST_RECOVER / LINK_RECOVER — the element returns to service;
+//   * BLAST_FAIL / BLAST_RECOVER — a *correlated* outage: a switch dies and
+//     takes its attached subtree (adjacent hosts plus every incident link)
+//     down atomically, as in a ToR death or rack power loss.  The whole
+//     group travels in one event (member lists on the event itself) so
+//     consumers can apply it as a single transactional batch.
 //
 // Every event carries the *parameters* of the randomness, not its outcome:
 // an ARRIVE holds (guest_count, density, seed) and the venv is
@@ -45,6 +51,8 @@ enum class EventKind : std::uint8_t {
   kLinkFail,
   kHostRecover,
   kLinkRecover,
+  kBlastFail,
+  kBlastRecover,
 };
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) {
@@ -56,13 +64,21 @@ enum class EventKind : std::uint8_t {
     case EventKind::kLinkFail: return "link-fail";
     case EventKind::kHostRecover: return "host-recover";
     case EventKind::kLinkRecover: return "link-recover";
+    case EventKind::kBlastFail: return "blast-fail";
+    case EventKind::kBlastRecover: return "blast-recover";
   }
   return "?";
 }
 
 [[nodiscard]] constexpr bool is_failure_event(EventKind k) {
   return k == EventKind::kHostFail || k == EventKind::kLinkFail ||
-         k == EventKind::kHostRecover || k == EventKind::kLinkRecover;
+         k == EventKind::kHostRecover || k == EventKind::kLinkRecover ||
+         k == EventKind::kBlastFail || k == EventKind::kBlastRecover;
+}
+
+[[nodiscard]] constexpr bool is_recover_event(EventKind k) {
+  return k == EventKind::kHostRecover || k == EventKind::kLinkRecover ||
+         k == EventKind::kBlastRecover;
 }
 
 /// One tenant life-cycle or substrate event.  Fields beyond (time, kind)
@@ -78,17 +94,49 @@ struct TenantEvent {
   std::size_t add_links = 0;    // kGrow: extra links beyond attachment
   std::uint64_t seed = 0;       // kArrive/kGrow: stream seed for the draw
   std::uint32_t element = 0;    // k*Fail/k*Recover: node / edge id
+                                // (kBlast*: the dead switch)
+
+  /// kBlastFail/kBlastRecover only: the correlated group — every host node
+  /// and physical edge that dies with the switch.  Sorted ascending, no
+  /// duplicates; the recover event carries the identical lists so replay
+  /// can restore the group without bookkeeping.
+  std::vector<std::uint32_t> group_hosts;
+  std::vector<std::uint32_t> group_links;
 
   friend bool operator==(const TenantEvent&, const TenantEvent&) = default;
 };
 
 /// Canonical event order: time, then tenant key, then a fixed kind rank
-/// (ARRIVE < GROW < DEPART, failures before their recoveries), then the
-/// failed element.  Shared by the churn generator and merge_events so that
-/// any composition of streams is reproducible.
+/// (ARRIVE < GROW < DEPART, recoveries before failures), then the failed
+/// element.  Shared by the churn generator and merge_events so that any
+/// composition of streams is reproducible.  Recover-before-fail matters
+/// when a repair completes at the exact instant the *next* failure of the
+/// same element strikes (a degenerate MTTR≈0 stream): processing the fail
+/// first would let the stale recover resurrect a freshly dead element.
+/// Generators guarantee a recover is strictly after its own fail, so the
+/// tie can only be against a *different* renewal interval.
 [[nodiscard]] bool event_before(const TenantEvent& a, const TenantEvent& b);
 
 enum class LifetimeDistribution : std::uint8_t { kExponential, kPareto };
+
+/// Shape of the time-to-failure draw.  All three are mean-preserving: the
+/// MTTF option is always the *mean* up-time, whatever the shape.  Repair
+/// times stay exponential — MTTR distributions are far less consequential
+/// for placement than the failure clustering the shapes model.
+enum class MttfDistribution : std::uint8_t {
+  kExponential,  // memoryless (the PR-2 baseline)
+  kWeibull,      // shape > 1: wear-out (hazard grows with up-time)
+  kLognormal,    // heavy right tail: most elements rock-solid, a few flaky
+};
+
+[[nodiscard]] constexpr const char* to_string(MttfDistribution d) {
+  switch (d) {
+    case MttfDistribution::kExponential: return "exponential";
+    case MttfDistribution::kWeibull: return "weibull";
+    case MttfDistribution::kLognormal: return "lognormal";
+  }
+  return "?";
+}
 
 struct ChurnOptions {
   /// Tenant arrivals per unit time (Poisson process).
@@ -116,9 +164,13 @@ struct ChurnOptions {
 };
 
 /// A reproducible churn workload: the event stream plus the guest profile
-/// every venv in it is drawn from (recorded in the trace header).
+/// every venv in it is drawn from (recorded in the trace header).  The
+/// MTTF distribution tag is provenance metadata: failure events in the
+/// stream are fully materialized, so replay never re-draws from it, but
+/// the trace header records which shape produced them.
 struct ChurnTrace {
   GuestProfile profile;
+  MttfDistribution mttf_dist = MttfDistribution::kExponential;
   std::vector<TenantEvent> events;
 };
 
@@ -129,7 +181,7 @@ struct ChurnTrace {
 [[nodiscard]] ChurnTrace generate_churn(const ChurnOptions& opts,
                                         std::uint64_t seed);
 
-/// Substrate failure process (exponential MTTF/MTTR per element).  An MTTF
+/// Substrate failure process (per-element alternating renewal).  An MTTF
 /// of zero disables that element class.
 struct FailureOptions {
   /// Failures are drawn in [0, horizon); the matching recovery is always
@@ -139,14 +191,26 @@ struct FailureOptions {
   double host_mttr = 5.0;  // mean repair time of a failed host
   double link_mttf = 0.0;  // mean up-time of each physical link
   double link_mttr = 5.0;
+  /// Correlated blast-radius events: each *switch* is its own renewal
+  /// process; when it fails it takes its adjacent hosts and every incident
+  /// link down in one grouped event.  Zero disables blasts.
+  double blast_mttf = 0.0;  // mean up-time of each switch subtree
+  double blast_mttr = 10.0;
+
+  /// Up-time shape shared by all element classes (host, link, blast).
+  MttfDistribution mttf_dist = MttfDistribution::kExponential;
+  double weibull_shape = 1.5;    // k > 0; k = 1 degenerates to exponential
+  double lognormal_sigma = 0.5;  // σ of ln X; mean is preserved via μ
 };
 
-/// Draws the HOST_FAIL / LINK_FAIL / *_RECOVER stream for `cluster`'s
-/// elements.  Host failures hit host-role nodes only (a dead switch is a
-/// cluster-wide outage, not a per-tenant healing problem); link failures
-/// may hit any physical edge.  Deterministic: element e of each class
-/// draws from its own derive_seed(seed, class, e) stream, so streams for
-/// different clusters of the same size are comparable.
+/// Draws the HOST_FAIL / LINK_FAIL / BLAST_FAIL / *_RECOVER stream for
+/// `cluster`'s elements.  Host failures hit host-role nodes only; link
+/// failures may hit any physical edge; blast failures hit switch-role
+/// nodes and carry the switch's attached subtree (adjacent hosts, incident
+/// links) as a correlated group.  Deterministic: element e of each class
+/// draws from its own derive_seed(seed, class, e) stream (class 1 = hosts,
+/// 2 = links, 3 = blasts), so streams for different clusters of the same
+/// size are comparable and enabling one class never perturbs another.
 [[nodiscard]] std::vector<TenantEvent> generate_failures(
     const FailureOptions& opts, const model::PhysicalCluster& cluster,
     std::uint64_t seed);

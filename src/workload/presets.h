@@ -37,6 +37,11 @@ struct GuestProfile {
   Range stor_gb;
   Range link_bw_mbps;
   Range link_lat_ms;
+  /// Fraction of a tenant's virtual links marked `critical` (must stay
+  /// routable; the rest are best-effort and may go dark during healing).
+  /// Zero — the default, and every pre-v3 trace — draws nothing from the
+  /// RNG, so legacy streams replay byte-identically.
+  double critical_link_fraction = 0.0;
 };
 
 /// Table 1, physical environment column.

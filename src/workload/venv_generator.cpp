@@ -58,12 +58,17 @@ model::VirtualEnvironment generate_venv(const VenvGenOptions& opts,
       topology::random_connected_graph(opts.guest_count, opts.density, rng);
   for (std::size_t e = 0; e < shape.edge_count(); ++e) {
     const auto ep = shape.endpoints(EdgeId{static_cast<EdgeId::underlying_type>(e)});
+    // The critical draw is short-circuited on fraction == 0 so profiles
+    // that never heard of SLAs (every pre-v3 trace) consume exactly the
+    // same RNG stream as before the flag existed.
     venv.add_link(GuestId{ep.a.value()}, GuestId{ep.b.value()},
                   {
                       .bandwidth_mbps = rng.uniform(opts.profile.link_bw_mbps.lo,
                                                     opts.profile.link_bw_mbps.hi),
                       .max_latency_ms = rng.uniform(opts.profile.link_lat_ms.lo,
                                                     opts.profile.link_lat_ms.hi),
+                      .critical = opts.profile.critical_link_fraction > 0.0 &&
+                                  rng.chance(opts.profile.critical_link_fraction),
                   });
   }
   return venv;

@@ -254,6 +254,28 @@ TEST(Repair, UnroutableLinkGoesDarkOnlyWhenAllowed) {
   EXPECT_TRUE(core::validate_mapping(cluster, venv, *rerouted.mapping).ok());
 }
 
+TEST(Repair, CriticalLinkNeverGoesDark) {
+  // Same stranding as above, but the virtual link carries the critical
+  // SLA flag: allow_dark_links must NOT excuse it — the repair fails and
+  // the caller has to evict (degraded-SLA scheduling).
+  const auto cluster = line_cluster(3);
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 100, 100});
+  const GuestId b = venv.add_guest({10, 100, 100});
+  venv.add_link(a, b, {1.0, 60.0, /*critical=*/true});
+  core::Mapping m;
+  m.guest_host = {n(0), n(2)};
+  m.link_paths = {{EdgeId{0}, EdgeId{1}}};
+
+  core::RepairOptions lenient;
+  lenient.failed.links = {EdgeId{0}};
+  lenient.allow_dark_links = true;
+  const auto out = repair_mapping(cluster, venv, m, lenient);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, core::MapErrorCode::kNetworkingFailed);
+  EXPECT_NE(out.detail.find("critical"), std::string::npos) << out.detail;
+}
+
 TEST(Repair, CapacityExhaustionFailsCleanlyViaFailureSet) {
   // The only survivor has 50 MB of memory: eviction cannot re-place the
   // guest and must fall back with kHostingFailed, not a partial mapping.

@@ -9,9 +9,11 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "io/trace.h"
 #include "orchestrator/orchestrator.h"
+#include "topology/topologies.h"
 #include "workload/churn.h"
 #include "workload/scenario.h"
 
@@ -94,6 +96,61 @@ TEST(DeterminismRegression, ReplayThroughTraceFormatMatchesLiveRun) {
       hmn::io::read_trace_or_throw(hmn::io::write_trace(trace));
   Orchestrator replayed(cluster, reloaded.profile);
   EXPECT_EQ(run_fingerprint(replayed.run(reloaded)), fp_live);
+}
+
+/// A blast-laden trace over a racked fabric: correlated switch failures
+/// (Weibull up-times) layered on churn, with availability-aware admission
+/// exercised end to end.
+hmn::workload::ChurnTrace churn_with_blasts(
+    const hmn::model::PhysicalCluster& cluster, std::uint64_t seed) {
+  hmn::workload::ChurnOptions opts;
+  opts.arrival_rate = 0.6;
+  opts.horizon = 70.0;
+  opts.mean_lifetime = 15.0;
+  opts.profile = hmn::workload::high_level_profile();
+  opts.profile.mem_mb = {512.0, 1024.0};
+  hmn::workload::ChurnTrace trace = hmn::workload::generate_churn(opts, seed);
+
+  hmn::workload::FailureOptions fopts;
+  fopts.horizon = 70.0;
+  fopts.blast_mttf = 30.0;
+  fopts.blast_mttr = 5.0;
+  fopts.mttf_dist = hmn::workload::MttfDistribution::kWeibull;
+  trace.mttf_dist = fopts.mttf_dist;
+  hmn::workload::merge_events(
+      trace, hmn::workload::generate_failures(fopts, cluster, seed ^ 0xb1a57));
+  return trace;
+}
+
+TEST(DeterminismRegression, CorrelatedBlastRunsAreByteIdentical) {
+  // The grouped-healing path (one transactional batch per blast, single
+  // audit) plus the availability tracker and biased admission all sit on
+  // the decision path here; any unordered iteration in them diffs the
+  // fingerprint.
+  const auto cluster = hmn::model::PhysicalCluster::build(
+      hmn::topology::switch_tree(24, 6, 4),
+      std::vector<hmn::model::HostCapacity>(24, {1000, 4096, 4096}),
+      hmn::model::LinkProps{1000.0, 5.0});
+  const auto trace = churn_with_blasts(cluster, 0xb1a57ed5u);
+
+  hmn::orchestrator::OrchestratorOptions opts;
+  opts.availability_aware = true;
+  opts.spare_headroom = 0.1;
+  Orchestrator first(cluster, trace.profile, opts);
+  Orchestrator second(cluster, trace.profile, opts);
+  const std::string fp_first = run_fingerprint(first.run(trace));
+  EXPECT_EQ(fp_first, run_fingerprint(second.run(trace)));
+
+  EXPECT_GT(first.report().blast_failures, 0u);
+  EXPECT_TRUE(first.report().invariant_violations.empty());
+
+  // And the v3 record/replay loop reproduces the live decisions: blast
+  // group lists, the MTTF tag, and the profile all survive serialization.
+  const auto reloaded =
+      hmn::io::read_trace_or_throw(hmn::io::write_trace(trace));
+  ASSERT_EQ(reloaded.mttf_dist, hmn::workload::MttfDistribution::kWeibull);
+  Orchestrator replayed(cluster, reloaded.profile, opts);
+  EXPECT_EQ(run_fingerprint(replayed.run(reloaded)), fp_first);
 }
 
 TEST(DeterminismRegression, TraceGenerationItselfIsByteStable) {

@@ -134,7 +134,7 @@ TEST(TraceMalformed, DensityOutsideUnitIntervalIsRejected) {
 
 TEST(TraceMalformed, FailureEventsRoundTripByteIdentical) {
   // The healthy-path counterpart: a merged churn + failure stream survives
-  // write -> read -> write byte-for-byte (version 2 format).
+  // write -> read -> write byte-for-byte (current v3 format).
   workload::ChurnOptions copts;
   copts.arrival_rate = 0.6;
   copts.horizon = 25.0;
@@ -150,9 +150,113 @@ TEST(TraceMalformed, FailureEventsRoundTripByteIdentical) {
       workload::generate_failures(fopts, hmn::test::line_cluster(4), 405));
 
   const std::string once = io::write_trace(trace);
-  EXPECT_TRUE(contains(once, "\"version\":2"));
+  EXPECT_TRUE(contains(once, "\"version\":3"));
   const auto parsed = io::read_trace_or_throw(once);
   EXPECT_EQ(parsed.events, trace.events);
+  EXPECT_EQ(io::write_trace(parsed), once);
+}
+
+// --- v3 fuzz corpus: blast groups and header tags ------------------------
+
+std::string blast_line(const std::string& hosts, const std::string& links) {
+  return "{\"t\":1,\"ev\":\"blast-fail\",\"element\":9" +
+         (hosts.empty() ? std::string() : ",\"hosts\":" + hosts) +
+         (links.empty() ? std::string() : ",\"links\":" + links) + "}";
+}
+
+TEST(TraceMalformed, TruncatedBlastGroupIsRejected) {
+  // A blast line without both member arrays is a truncated group, and the
+  // reason names the missing array.
+  const auto no_hosts = must_fail(header() + blast_line("", "[0,1]"));
+  EXPECT_EQ(no_hosts.line, 2u);
+  EXPECT_TRUE(contains(no_hosts.message, "truncated blast group"))
+      << no_hosts.message;
+  EXPECT_TRUE(contains(no_hosts.message, "'hosts'")) << no_hosts.message;
+
+  const auto no_links = must_fail(header() + blast_line("[2,3]", ""));
+  EXPECT_EQ(no_links.line, 2u);
+  EXPECT_TRUE(contains(no_links.message, "'links'")) << no_links.message;
+
+  // Non-array member lists count as truncation too.
+  const auto scalar = must_fail(header() + blast_line("7", "[0]"));
+  EXPECT_TRUE(contains(scalar.message, "truncated blast group"))
+      << scalar.message;
+}
+
+TEST(TraceMalformed, DuplicateOrUnsortedBlastMemberIsRejected) {
+  const auto dup = must_fail(header() + blast_line("[2,2]", "[0]"));
+  EXPECT_EQ(dup.line, 2u);
+  EXPECT_TRUE(contains(dup.message, "duplicate or unsorted member 2"))
+      << dup.message;
+  EXPECT_TRUE(contains(dup.message, "offset 1")) << dup.message;
+
+  const auto unsorted = must_fail(header() + blast_line("[0]", "[5,1]"));
+  EXPECT_TRUE(contains(unsorted.message, "duplicate or unsorted member 1"))
+      << unsorted.message;
+  EXPECT_TRUE(contains(unsorted.message, "'links'")) << unsorted.message;
+}
+
+TEST(TraceMalformed, NonIntegerBlastMemberIsRejected) {
+  for (const char* hosts : {"[1.5]", "[-1]", "[4294967296]", "[\"x\"]"}) {
+    const auto e =
+        must_fail(header() + blast_line(std::string(hosts), "[0]"));
+    EXPECT_EQ(e.line, 2u) << hosts;
+    EXPECT_TRUE(contains(e.message, "integer in [0, 2^32)")) << e.message;
+  }
+}
+
+TEST(TraceMalformed, UnknownMttfDistTagIsRejected) {
+  std::string h = header();
+  const auto pos = h.find("exponential");
+  ASSERT_NE(pos, std::string::npos);
+  h.replace(pos, std::string("exponential").size(), "gamma");
+  const auto e = must_fail(h);
+  EXPECT_EQ(e.line, 1u);
+  EXPECT_TRUE(contains(e.message, "unknown mttf_dist tag 'gamma'"))
+      << e.message;
+}
+
+TEST(TraceMalformed, UnsupportedVersionIsRejected) {
+  std::string h = header();
+  const auto pos = h.find("\"version\":3");
+  ASSERT_NE(pos, std::string::npos);
+  h.replace(pos, std::string("\"version\":3").size(), "\"version\":4");
+  const auto e = must_fail(h);
+  EXPECT_EQ(e.line, 1u);
+  EXPECT_TRUE(contains(e.message, "unsupported trace version 4"))
+      << e.message;
+  EXPECT_TRUE(contains(e.message, "1-3")) << e.message;
+}
+
+TEST(TraceMalformed, BlastStreamRoundTripsByteIdentical) {
+  // Healthy v3 path: a blast-laden trace with a non-default MTTF tag and
+  // critical-link fraction survives write -> read -> write bytewise.
+  workload::ChurnOptions copts;
+  copts.arrival_rate = 0.5;
+  copts.horizon = 30.0;
+  copts.profile = workload::high_level_profile();
+  copts.profile.critical_link_fraction = 0.4;
+  workload::ChurnTrace trace = workload::generate_churn(copts, 512);
+  trace.mttf_dist = workload::MttfDistribution::kLognormal;
+
+  const auto cluster = model::PhysicalCluster::build(
+      topology::star(4),
+      std::vector<model::HostCapacity>(4, {1000, 4096, 4096}), {1000.0, 5.0});
+  workload::FailureOptions fopts;
+  fopts.horizon = copts.horizon;
+  fopts.blast_mttf = 10.0;
+  fopts.mttf_dist = workload::MttfDistribution::kLognormal;
+  workload::merge_events(trace,
+                         workload::generate_failures(fopts, cluster, 513));
+
+  const std::string once = io::write_trace(trace);
+  EXPECT_TRUE(contains(once, "\"mttf_dist\":\"lognormal\""));
+  EXPECT_TRUE(contains(once, "\"critical_link_fraction\":0.4"));
+  EXPECT_TRUE(contains(once, "blast-fail"));
+  const auto parsed = io::read_trace_or_throw(once);
+  EXPECT_EQ(parsed.events, trace.events);
+  EXPECT_EQ(parsed.mttf_dist, trace.mttf_dist);
+  EXPECT_EQ(parsed.profile.critical_link_fraction, 0.4);
   EXPECT_EQ(io::write_trace(parsed), once);
 }
 

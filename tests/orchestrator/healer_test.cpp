@@ -113,6 +113,100 @@ TEST(HealerTest, UnroutableLinkDegradesThenRestores) {
   EXPECT_TRUE(healer.audit(mgr, live).empty());
 }
 
+TEST(HealerTest, CriticalLinkEvictsInsteadOfGoingDark) {
+  // The best-effort twin of this scenario (UnroutableLinkDegradesThen-
+  // Restores) keeps the tenant Degraded.  With the link marked critical
+  // the repair must fail instead, so the healer evicts and parks.
+  emulator::TenancyManager mgr(line_cluster(2, {1000, 4096, 4096}));
+  model::VirtualEnvironment venv;
+  const GuestId a = venv.add_guest({10, 3000.0, 100});
+  const GuestId b = venv.add_guest({10, 3000.0, 100});
+  venv.add_link(a, b, {1.0, 60.0, /*critical=*/true});
+  const auto admitted = mgr.admit("t5", venv, 1);
+  ASSERT_TRUE(admitted.ok()) << admitted.detail;
+  Healer::LiveMap live{{5, *admitted.tenant}};
+  Healer healer;
+
+  const auto records =
+      healer.on_event(mgr, live, element_event(EventKind::kLinkFail, 1.0, 0));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, HealAction::kParked);
+  EXPECT_FALSE(healer.is_degraded(5));
+  EXPECT_EQ(healer.parked_count(), 1u);
+  EXPECT_EQ(live.count(5), 0u);
+  EXPECT_TRUE(healer.audit(mgr, live).empty());
+
+  // Recovery re-admits the parked tenant, links fully routed.
+  const auto back = healer.on_event(
+      mgr, live, element_event(EventKind::kLinkRecover, 3.0, 0));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].action, HealAction::kReadmitted);
+  EXPECT_EQ(live.count(5), 1u);
+  EXPECT_FALSE(mgr.tenant(live.at(5))->mapping.link_paths[0].empty());
+}
+
+TEST(HealerTest, BlastGroupHealsAsOneTransaction) {
+  // Two racks of two hosts (switch_tree(4, 2, 2)); a blast kills one leaf
+  // switch with its two hosts and every incident link at once.  All masks
+  // must flip before any healing, every impacted tenant is handled exactly
+  // once, nothing may land back on a group member, and the single recover
+  // restores the whole group.
+  const auto cluster = model::PhysicalCluster::build(
+      topology::switch_tree(4, 2, 2),
+      std::vector<model::HostCapacity>(4, {1000, 4096, 4096}), {1000.0, 5.0});
+  emulator::TenancyManager mgr(cluster);
+  Healer::LiveMap live;
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    const auto admitted =
+        mgr.admit("t" + std::to_string(k), pair_venv(1500.0), k + 1);
+    ASSERT_TRUE(admitted.ok()) << admitted.detail;
+    live[k] = *admitted.tenant;
+  }
+
+  // Take a real generated blast so the group lists match the topology.
+  workload::FailureOptions fo;
+  fo.horizon = 200.0;
+  fo.blast_mttf = 50.0;
+  std::vector<TenantEvent> blasts;
+  for (const TenantEvent& ev :
+       workload::generate_failures(fo, cluster, 11)) {
+    if (ev.group_hosts.size() == 2) blasts.push_back(ev);  // a leaf switch
+    if (blasts.size() == 2) break;                         // fail + recover
+  }
+  ASSERT_EQ(blasts.size(), 2u);
+  ASSERT_EQ(blasts[0].kind, EventKind::kBlastFail);
+  ASSERT_EQ(blasts[1].kind, EventKind::kBlastRecover);
+
+  Healer healer;
+  TenantEvent fail = blasts[0];
+  fail.time = 1.0;
+  healer.on_event(mgr, live, fail);
+  EXPECT_TRUE(mgr.has_failed_elements());
+  // Whatever survived, no committed mapping touches any group member, and
+  // the independent audit is clean after the one-shot group application.
+  for (const auto& [key, id] : live) {
+    const auto* tenant = mgr.tenant(id);
+    EXPECT_TRUE(core::mapping_avoids_node(mgr.cluster(), tenant->mapping,
+                                          NodeId{fail.element}));
+    for (const std::uint32_t h : fail.group_hosts) {
+      EXPECT_TRUE(core::mapping_avoids_node(mgr.cluster(), tenant->mapping,
+                                            NodeId{h}));
+    }
+    for (const std::uint32_t l : fail.group_links) {
+      EXPECT_TRUE(core::mapping_avoids_edge(tenant->mapping, EdgeId{l}));
+    }
+  }
+  EXPECT_TRUE(healer.audit(mgr, live).empty());
+
+  // One recover clears every member mask and re-heals opportunistically.
+  TenantEvent recover = blasts[1];
+  recover.time = 5.0;
+  healer.on_event(mgr, live, recover);
+  EXPECT_FALSE(mgr.has_failed_elements());
+  EXPECT_TRUE(healer.audit(mgr, live).empty());
+  EXPECT_EQ(healer.degraded_count(), 0u);
+}
+
 TEST(HealerTest, EvictionParksThenReadmitsOnRecovery) {
   // Each host fits one 3000 MB guest; when one host dies its tenant cannot
   // be re-placed and is parked, then re-admitted once the host returns.

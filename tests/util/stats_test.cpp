@@ -226,6 +226,28 @@ TEST(LatencyHistogram, MergeEqualsSequential) {
   EXPECT_DOUBLE_EQ(a.percentile(50), p50);
 }
 
+TEST(LatencyHistogram, MergeIntoEmptyAdoptsOtherExtremes) {
+  // Regression: an empty *this* must take the other side's min/max rather
+  // than fold them against its zero-initialized sentinels (which would
+  // pin min() to 0 and could report max() below the true maximum).
+  LatencyHistogram target(500.0, 50), source(500.0, 50);
+  source.add(120.0);
+  source.add(340.0);
+  target.merge(source);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.min(), 120.0);
+  EXPECT_DOUBLE_EQ(target.max(), 340.0);
+  EXPECT_DOUBLE_EQ(target.percentile(0.0), 120.0);
+  EXPECT_DOUBLE_EQ(target.percentile(100.0), 340.0);
+
+  // And the merged-into histogram keeps behaving for further merges.
+  LatencyHistogram low(500.0, 50);
+  low.add(5.0);
+  target.merge(low);
+  EXPECT_DOUBLE_EQ(target.min(), 5.0);
+  EXPECT_DOUBLE_EQ(target.max(), 340.0);
+}
+
 TEST(RunningStats, MergeWithEmptySides) {
   RunningStats a, b;
   a.add(1.0);

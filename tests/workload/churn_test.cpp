@@ -2,7 +2,10 @@
 // the event-venv materialization helpers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "testing/fixtures.h"
 #include "workload/churn.h"
@@ -190,6 +193,139 @@ TEST(Failures, EveryElementAlternatesFailRecover) {
   for (const auto& [key, open] : pending) {
     EXPECT_EQ(open, 0) << "unrecovered element " << key.second;
   }
+}
+
+TEST(Failures, SameInstantRecoverSortsBeforeFail) {
+  // Regression for the event_before tie-break: when a repair of one
+  // renewal interval completes at the exact instant the next failure of
+  // the same element strikes, the recover must be processed first —
+  // otherwise the stale recover would resurrect the freshly dead element.
+  TenantEvent recover;
+  recover.time = 12.5;
+  recover.kind = EventKind::kHostRecover;
+  recover.element = 3;
+  TenantEvent fail = recover;
+  fail.kind = EventKind::kHostFail;
+  EXPECT_TRUE(workload::event_before(recover, fail));
+  EXPECT_FALSE(workload::event_before(fail, recover));
+
+  recover.kind = EventKind::kLinkRecover;
+  fail.kind = EventKind::kLinkFail;
+  EXPECT_TRUE(workload::event_before(recover, fail));
+  EXPECT_FALSE(workload::event_before(fail, recover));
+
+  recover.kind = EventKind::kBlastRecover;
+  fail.kind = EventKind::kBlastFail;
+  EXPECT_TRUE(workload::event_before(recover, fail));
+  EXPECT_FALSE(workload::event_before(fail, recover));
+}
+
+TEST(Failures, AlternationHoldsUnderEveryMttfDistribution) {
+  // Property: whatever the up-time shape, each element's stream is
+  // strictly FAIL, RECOVER, FAIL, ... with nondecreasing times and every
+  // fail matched by a recover.
+  const auto cluster = hmn::test::line_cluster(4);
+  for (const auto dist : {workload::MttfDistribution::kExponential,
+                          workload::MttfDistribution::kWeibull,
+                          workload::MttfDistribution::kLognormal}) {
+    workload::FailureOptions opts = failure_options();
+    opts.mttf_dist = dist;
+    const auto events = workload::generate_failures(opts, cluster, 29);
+    ASSERT_FALSE(events.empty()) << workload::to_string(dist);
+    std::map<std::pair<bool, std::uint32_t>, int> pending;
+    std::map<std::pair<bool, std::uint32_t>, double> last_time;
+    for (const TenantEvent& ev : events) {
+      const bool is_host = ev.kind == EventKind::kHostFail ||
+                           ev.kind == EventKind::kHostRecover;
+      const bool is_fail =
+          ev.kind == EventKind::kHostFail || ev.kind == EventKind::kLinkFail;
+      const auto key = std::make_pair(is_host, ev.element);
+      EXPECT_EQ(pending[key], is_fail ? 0 : 1)
+          << workload::to_string(dist) << " element " << ev.element;
+      pending[key] += is_fail ? 1 : -1;
+      if (last_time.count(key)) EXPECT_GE(ev.time, last_time[key]);
+      last_time[key] = ev.time;
+    }
+    for (const auto& [key, open] : pending) {
+      EXPECT_EQ(open, 0) << workload::to_string(dist) << " unrecovered "
+                         << key.second;
+    }
+  }
+}
+
+TEST(Failures, DistributionsProduceDistinctStreamsExponentialUnchanged) {
+  // Switching the shape must change the draw, and the exponential path
+  // must consume the RNG stream exactly as the pre-distribution generator
+  // did (old seeds stay byte-stable): an options struct that never touches
+  // mttf_dist equals one that sets kExponential explicitly.
+  const auto cluster = hmn::test::line_cluster(4);
+  workload::FailureOptions exp_opts = failure_options();
+  workload::FailureOptions weibull_opts = failure_options();
+  weibull_opts.mttf_dist = workload::MttfDistribution::kWeibull;
+  workload::FailureOptions lognorm_opts = failure_options();
+  lognorm_opts.mttf_dist = workload::MttfDistribution::kLognormal;
+
+  const auto e = workload::generate_failures(exp_opts, cluster, 31);
+  const auto w = workload::generate_failures(weibull_opts, cluster, 31);
+  const auto l = workload::generate_failures(lognorm_opts, cluster, 31);
+  EXPECT_NE(e, w);
+  EXPECT_NE(e, l);
+  EXPECT_NE(w, l);
+
+  workload::FailureOptions explicit_exp = failure_options();
+  explicit_exp.mttf_dist = workload::MttfDistribution::kExponential;
+  EXPECT_EQ(e, workload::generate_failures(explicit_exp, cluster, 31));
+}
+
+TEST(Failures, BlastEventsCarrySortedGroupsAndAlternate) {
+  // A star cluster: 5 hosts hanging off one switch.  Blast events must
+  // target the switch, carry every adjacent host and incident link sorted
+  // and duplicate-free, and the recover must repeat its fail's group.
+  const auto cluster = model::PhysicalCluster::build(
+      topology::star(5),
+      std::vector<model::HostCapacity>(5, {1000, 4096, 4096}),
+      {1000.0, 5.0});
+  workload::FailureOptions opts;
+  opts.horizon = 80.0;
+  opts.blast_mttf = 20.0;
+  opts.blast_mttr = 4.0;
+  const auto events = workload::generate_failures(opts, cluster, 37);
+  ASSERT_FALSE(events.empty());
+
+  int open = 0;
+  std::vector<std::uint32_t> open_hosts, open_links;
+  for (const TenantEvent& ev : events) {
+    ASSERT_TRUE(ev.kind == EventKind::kBlastFail ||
+                ev.kind == EventKind::kBlastRecover);
+    EXPECT_FALSE(cluster.is_host(NodeId{ev.element}))
+        << "blast element must be a switch";
+    EXPECT_FALSE(ev.group_hosts.empty());
+    EXPECT_FALSE(ev.group_links.empty());
+    EXPECT_TRUE(std::is_sorted(ev.group_hosts.begin(), ev.group_hosts.end()));
+    EXPECT_TRUE(std::is_sorted(ev.group_links.begin(), ev.group_links.end()));
+    EXPECT_EQ(std::adjacent_find(ev.group_hosts.begin(), ev.group_hosts.end()),
+              ev.group_hosts.end());
+    EXPECT_EQ(std::adjacent_find(ev.group_links.begin(), ev.group_links.end()),
+              ev.group_links.end());
+    for (const std::uint32_t h : ev.group_hosts) {
+      EXPECT_TRUE(cluster.is_host(NodeId{h}));
+    }
+    for (const std::uint32_t l : ev.group_links) {
+      EXPECT_LT(l, cluster.link_count());
+    }
+    if (ev.kind == EventKind::kBlastFail) {
+      EXPECT_EQ(open, 0);
+      open = 1;
+      open_hosts = ev.group_hosts;
+      open_links = ev.group_links;
+    } else {
+      EXPECT_EQ(open, 1);
+      open = 0;
+      EXPECT_EQ(ev.group_hosts, open_hosts);
+      EXPECT_EQ(ev.group_links, open_links);
+    }
+  }
+  EXPECT_EQ(open, 0) << "a blast was never recovered";
 }
 
 TEST(Failures, ZeroMttfDisablesAClass) {

@@ -58,7 +58,8 @@ struct Finding {
 /// Where a file sits in the project layout; drives per-module rule scoping.
 struct FileContext {
   bool is_header = false;          // .h / .hpp
-  bool is_decision_module = false; // orchestrator/, core/, workload/, topology/
+  bool is_decision_module = false; // orchestrator/, core/, workload/,
+                                   //   topology/, availability/
   bool is_util_module = false;     // util/ — the sanctioned randomness home
 };
 
