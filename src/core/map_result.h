@@ -47,6 +47,7 @@ struct MapStats {
   std::size_t migrations = 0;     // reassignments performed by stage 2
   std::size_t links_routed = 0;   // inter-host virtual links actually routed
   std::size_t tries = 0;          // attempts used by randomized mappers
+  std::size_t levels_used = 0;    // multilevel pyramid depth (0 = flat solve)
 };
 
 struct MapOutcome {

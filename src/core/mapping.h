@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.h"
@@ -61,5 +62,23 @@ struct Mapping {
     return n;
   }
 };
+
+/// FNV-1a over the complete mapping value (every guest's host, every
+/// path's length and edges).  Two mappings are byte-identical iff their
+/// fingerprints match — the determinism gates (bench_multilevel, the
+/// regression harness) compare these across repeated runs.
+[[nodiscard]] inline std::uint64_t fingerprint(const Mapping& m) {
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const NodeId host : m.guest_host) mix(host.value());
+  for (const graph::Path& path : m.link_paths) {
+    mix(path.size());
+    for (const EdgeId e : path) mix(e.value());
+  }
+  return h;
+}
 
 }  // namespace hmn::core

@@ -11,6 +11,10 @@ void HeuristicPool::add(core::MapperPtr mapper) {
   mappers_.push_back(std::move(mapper));
 }
 
+void HeuristicPool::add_front(core::MapperPtr mapper) {
+  mappers_.insert(mappers_.begin(), std::move(mapper));
+}
+
 core::MapOutcome HeuristicPool::first_success(
     const model::PhysicalCluster& cluster,
     const model::VirtualEnvironment& venv, std::uint64_t seed) const {

@@ -21,6 +21,11 @@ class HeuristicPool {
   /// Adds a mapper to the pool (order defines first_success priority).
   void add(core::MapperPtr mapper);
 
+  /// Prepends a mapper, giving it the highest first_success priority.  The
+  /// placement router uses this to front a large shard's pool with the
+  /// multilevel mapper while keeping the flat chain as the fallback.
+  void add_front(core::MapperPtr mapper);
+
   [[nodiscard]] std::size_t size() const { return mappers_.size(); }
   [[nodiscard]] const core::Mapper& at(std::size_t i) const {
     return *mappers_[i];

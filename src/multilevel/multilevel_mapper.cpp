@@ -1,0 +1,375 @@
+#include "multilevel/multilevel_mapper.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/validator.h"
+#include "util/timer.h"
+
+namespace hmn::multilevel {
+namespace {
+
+GuestId gid(std::size_t i) {
+  return GuestId{static_cast<GuestId::underlying_type>(i)};
+}
+
+VirtLinkId lid(std::size_t i) {
+  return VirtLinkId{static_cast<VirtLinkId::underlying_type>(i)};
+}
+
+/// The full-venv mapping at one physical level, in that level's node and
+/// edge ids.
+struct LevelMapping {
+  std::vector<NodeId> guest_host;
+  std::vector<graph::Path> link_paths;
+};
+
+/// Routes every venv link over the subcluster induced by `region_nodes`,
+/// writing level-local paths into `m.link_paths` on success.
+bool route_region(const model::PhysicalCluster& fine,
+                  const std::vector<NodeId>& region_nodes,
+                  const model::VirtualEnvironment& venv,
+                  const std::vector<NodeId>& fine_guest_host,
+                  const core::NetworkingOptions& net_opts, LevelMapping& m) {
+  const topology::SubCluster sub =
+      topology::induced_subcluster(fine, region_nodes);
+  std::vector<NodeId> local_of(fine.graph().node_count(), NodeId::invalid());
+  for (std::size_t i = 0; i < sub.to_parent_node.size(); ++i) {
+    local_of[sub.to_parent_node[i].index()] =
+        NodeId{static_cast<NodeId::underlying_type>(i)};
+  }
+  std::vector<NodeId> local_gh(fine_guest_host.size());
+  for (std::size_t g = 0; g < fine_guest_host.size(); ++g) {
+    local_gh[g] = local_of[fine_guest_host[g].index()];
+    if (!local_gh[g].valid()) return false;  // guest outside the region
+  }
+  core::ResidualState state(sub.cluster);
+  core::NetworkingResult routed =
+      core::run_networking(venv, state, local_gh, net_opts);
+  if (!routed.ok) return false;
+  m.link_paths.assign(venv.link_count(), {});
+  for (std::size_t l = 0; l < venv.link_count(); ++l) {
+    graph::Path& path = m.link_paths[l];
+    path.reserve(routed.link_paths[l].size());
+    for (const EdgeId e : routed.link_paths[l]) {
+      path.push_back(sub.to_parent_edge[e.index()]);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+MultilevelMapper::MultilevelMapper(MultilevelOptions opts)
+    : MultilevelMapper(std::move(opts), nullptr) {}
+
+MultilevelMapper::MultilevelMapper(
+    MultilevelOptions opts, std::shared_ptr<const PhysicalHierarchy> hierarchy)
+    : opts_(std::move(opts)),
+      hierarchy_(std::move(hierarchy)),
+      flat_(opts_.flat) {}
+
+std::string MultilevelMapper::name() const {
+  return opts_.display_name.empty() ? "ML" : opts_.display_name;
+}
+
+core::MapOutcome MultilevelMapper::map(const model::PhysicalCluster& cluster,
+                                       const model::VirtualEnvironment& venv,
+                                       std::uint64_t seed) const {
+  if (cluster.host_count() == 0) {
+    return core::MapOutcome::failure(core::MapErrorCode::kInvalidInput,
+                                     "cluster has no hosts");
+  }
+  if (cluster.host_count() < opts_.min_hosts) {
+    return flat_.map(cluster, venv, seed);
+  }
+  const util::Timer total;
+  auto notify = [&](const char* stage, std::size_t level, std::size_t nodes,
+                    std::size_t guests) {
+    if (opts_.observer) opts_.observer({stage, level, nodes, guests});
+  };
+  auto fallback = [&](const char* stage_level) {
+    if (opts_.observer) {
+      opts_.observer({std::string("fallback: ") + stage_level, 0,
+                      cluster.graph().node_count(), venv.guest_count()});
+    }
+    core::MapOutcome o = flat_.map(cluster, venv, seed);
+    o.stats.levels_used = 0;
+    if (!o.ok()) {
+      o.detail += " (after multilevel ";
+      o.detail += stage_level;
+      o.detail += " fallback)";
+    }
+    return o;
+  };
+
+  // Structural pyramid: reuse the shared one when it matches this cluster.
+  PhysicalHierarchy local;
+  const PhysicalHierarchy* hier = nullptr;
+  if (hierarchy_ != nullptr && hierarchy_->compatible(cluster)) {
+    hier = hierarchy_.get();
+  } else {
+    local = build_hierarchy(cluster, opts_.phys);
+    hier = &local;
+  }
+  if (hier->contractions.empty()) return flat_.map(cluster, venv, seed);
+  const std::vector<model::PhysicalCluster> levels =
+      materialize_levels(cluster, *hier);
+  notify("hierarchy", hier->contractions.size(),
+         levels.back().graph().node_count(), venv.guest_count());
+
+  const VirtualHierarchy vh = coarsen_virtual(venv, opts_.virt);
+  const model::VirtualEnvironment& top_venv = vh.coarsest(venv);
+  notify("coarsen-virtual", hier->contractions.size(),
+         levels.back().graph().node_count(), top_venv.guest_count());
+
+  core::MapOutcome outcome;
+  outcome.stats.levels_used = hier->level_count();
+
+  // Stage options mirror HmnMapper's seed plumbing; the defaults are the
+  // paper's deterministic bandwidth-descending orders.
+  core::HostingOptions hosting_opts = opts_.flat.hosting;
+  if (hosting_opts.order == core::LinkOrder::kRandom) {
+    hosting_opts.shuffle_seed = seed;
+  }
+  core::NetworkingOptions net_opts = opts_.flat.networking;
+  if (net_opts.order == core::LinkOrder::kRandom) {
+    net_opts.shuffle_seed = seed;
+  }
+
+  // ---- Coarse solve: the HMN stages on the smallest level. ----
+  const model::PhysicalCluster& top = levels.back();
+  util::Timer stage;
+  core::ResidualState top_state(top);
+  core::HostingResult hosted = core::run_hosting(top_venv, top_state,
+                                                 hosting_opts);
+  outcome.stats.hosting_seconds += stage.elapsed_seconds();
+  if (!hosted.ok) return fallback("coarse hosting");
+  if (opts_.flat.enable_migration) {
+    stage.restart();
+    const core::MigrationResult migrated = core::run_migration(
+        top_venv, top_state, hosted.guest_host, opts_.flat.migration);
+    outcome.stats.migration_seconds += stage.elapsed_seconds();
+    outcome.stats.migrations += migrated.migrations;
+  }
+  stage.restart();
+  core::NetworkingResult routed =
+      core::run_networking(top_venv, top_state, hosted.guest_host, net_opts);
+  outcome.stats.networking_seconds += stage.elapsed_seconds();
+  if (!routed.ok) return fallback("coarse networking");
+  notify("coarse-solve", hier->contractions.size(),
+         top.graph().node_count(), top_venv.guest_count());
+
+  // ---- Exact virtual uncoarsening (still on the coarsest cluster). ----
+  LevelMapping m;
+  m.guest_host = std::move(hosted.guest_host);
+  m.link_paths = std::move(routed.link_paths);
+  for (auto it = vh.levels.rbegin(); it != vh.levels.rend(); ++it) {
+    m.guest_host = project_guest_host(*it, m.guest_host);
+    m.link_paths = project_link_paths(*it, m.link_paths);
+  }
+  if (opts_.validate_levels) {
+    const auto report = core::validate_mapping(
+        top, venv, {m.guest_host, m.link_paths});
+    if (!report.ok()) return fallback("coarsest-level validation");
+  }
+
+  // ---- Physical descent: project one level at a time and refine. ----
+  for (std::size_t k = hier->contractions.size(); k >= 1; --k) {
+    const model::PhysicalCluster& fine = k == 1 ? cluster : levels[k - 2];
+    const model::PhysicalCluster& coarse = levels[k - 1];
+    const topology::Contraction& c = hier->contractions[k - 1];
+
+    // Guests per occupied coarse node (coarse node id == group id).
+    std::vector<std::vector<GuestId>> by_group(c.group_count());
+    for (std::size_t g = 0; g < m.guest_host.size(); ++g) {
+      by_group[m.guest_host[g].index()].push_back(gid(g));
+    }
+    // Region of interest at this level: the groups that hold guests plus
+    // every group a coarse path runs through (the refinement frontier).
+    std::vector<char> in_region(c.group_count(), 0);
+    for (std::size_t grp = 0; grp < c.group_count(); ++grp) {
+      if (!by_group[grp].empty()) in_region[grp] = 1;
+    }
+    for (std::size_t l = 0; l < venv.link_count(); ++l) {
+      if (m.link_paths[l].empty()) continue;
+      const NodeId origin = m.guest_host[venv.endpoints(lid(l)).src.index()];
+      for (const NodeId n :
+           graph::path_nodes(coarse.graph(), origin, m.link_paths[l])) {
+        in_region[n.index()] = 1;
+      }
+    }
+
+    // Expand each occupied super-node: Hosting + Migration restricted to
+    // the group's member subcluster.  The coarse solve admitted the group
+    // on *aggregate* capacity, but Eqs. 2-3 are per-host, so the group's
+    // individual hosts may not carry the bin-packing; in that case widen
+    // the region by BFS over the group adjacency (radius 1 may add only a
+    // bare switch group; radius 2 reaches the sibling racks behind it),
+    // staying local.  Guests no radius can place are collected and hosted
+    // together in one whole-level pass at the end.  Guests an earlier
+    // retry already placed inside a region are charged into the residual
+    // state, so capacity is never double-booked across groups.
+    std::vector<NodeId> fine_gh(venv.guest_count(), NodeId::invalid());
+
+    // Hosts `guests` (with their induced internal links) on the subcluster
+    // of `region`, charging prior placements; writes fine_gh on success.
+    auto try_host = [&](const std::vector<GuestId>& guests,
+                        const std::vector<NodeId>& region) {
+      model::VirtualEnvironment sub_venv;
+      std::vector<std::size_t> local_guest(venv.guest_count(), 0);
+      std::vector<char> in_set(venv.guest_count(), 0);
+      for (std::size_t i = 0; i < guests.size(); ++i) {
+        local_guest[guests[i].index()] = i;
+        in_set[guests[i].index()] = 1;
+        (void)sub_venv.add_guest(venv.guest(guests[i]));
+      }
+      for (std::size_t l = 0; l < venv.link_count(); ++l) {
+        const auto ep = venv.endpoints(lid(l));
+        if (!in_set[ep.src.index()] || !in_set[ep.dst.index()]) continue;
+        (void)sub_venv.add_link(gid(local_guest[ep.src.index()]),
+                                gid(local_guest[ep.dst.index()]),
+                                venv.link(lid(l)));
+      }
+      const topology::SubCluster sub =
+          topology::induced_subcluster(fine, region);
+      std::vector<NodeId> local_of(fine.graph().node_count(),
+                                   NodeId::invalid());
+      for (std::size_t i = 0; i < sub.to_parent_node.size(); ++i) {
+        local_of[sub.to_parent_node[i].index()] =
+            NodeId{static_cast<NodeId::underlying_type>(i)};
+      }
+      stage.restart();
+      core::ResidualState st(sub.cluster);
+      for (std::size_t g = 0; g < fine_gh.size(); ++g) {
+        if (!fine_gh[g].valid()) continue;
+        const NodeId at = local_of[fine_gh[g].index()];
+        if (at.valid()) st.place(venv.guest(gid(g)), at);
+      }
+      core::HostingResult sub_hosted = core::run_hosting(sub_venv, st,
+                                                         hosting_opts);
+      outcome.stats.hosting_seconds += stage.elapsed_seconds();
+      if (!sub_hosted.ok) return false;
+      if (opts_.flat.enable_migration) {
+        stage.restart();
+        const core::MigrationResult migrated = core::run_migration(
+            sub_venv, st, sub_hosted.guest_host, opts_.flat.migration);
+        outcome.stats.migration_seconds += stage.elapsed_seconds();
+        outcome.stats.migrations += migrated.migrations;
+      }
+      for (std::size_t i = 0; i < guests.size(); ++i) {
+        fine_gh[guests[i].index()] =
+            sub.to_parent_node[sub_hosted.guest_host[i].index()];
+      }
+      return true;
+    };
+
+    constexpr std::size_t kMaxRadius = 3;
+    std::vector<GuestId> spilled;
+    for (std::size_t grp = 0; grp < c.group_count(); ++grp) {
+      if (by_group[grp].empty()) continue;
+      std::vector<char> in_set(c.group_count(), 0);
+      std::vector<std::size_t> frontier = {grp};
+      in_set[grp] = 1;
+      std::vector<NodeId> region = c.members[grp];
+      bool placed = false;
+      for (std::size_t radius = 0; radius <= kMaxRadius; ++radius) {
+        if (radius > 0) {
+          std::vector<std::size_t> next;
+          for (const std::size_t g : frontier) {
+            for (const std::size_t nb : c.adjacency[g]) {
+              if (in_set[nb]) continue;
+              in_set[nb] = 1;
+              next.push_back(nb);
+              region.insert(region.end(), c.members[nb].begin(),
+                            c.members[nb].end());
+            }
+          }
+          if (next.empty()) break;  // whole component already covered
+          std::sort(next.begin(), next.end());
+          std::sort(region.begin(), region.end());
+          frontier = std::move(next);
+        }
+        if (try_host(by_group[grp], region)) {
+          for (std::size_t g = 0; g < c.group_count(); ++g) {
+            if (in_set[g]) in_region[g] = 1;
+          }
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        spilled.insert(spilled.end(), by_group[grp].begin(),
+                       by_group[grp].end());
+      }
+    }
+    if (!spilled.empty()) {
+      std::vector<NodeId> whole;
+      whole.reserve(fine.graph().node_count());
+      for (std::size_t n = 0; n < fine.graph().node_count(); ++n) {
+        whole.push_back(NodeId{static_cast<NodeId::underlying_type>(n)});
+      }
+      if (!try_host(spilled, whole)) return fallback("level hosting");
+      std::fill(in_region.begin(), in_region.end(), 1);
+    }
+
+    // Re-route over the region; widen by one ring of adjacent groups, then
+    // the whole level, before giving up.
+    auto region_nodes = [&]() {
+      std::vector<NodeId> nodes;
+      for (std::size_t grp = 0; grp < c.group_count(); ++grp) {
+        if (!in_region[grp]) continue;
+        nodes.insert(nodes.end(), c.members[grp].begin(),
+                     c.members[grp].end());
+      }
+      std::sort(nodes.begin(), nodes.end());
+      return nodes;
+    };
+    stage.restart();
+    bool routed_ok = route_region(fine, region_nodes(), venv, fine_gh,
+                                  net_opts, m);
+    if (!routed_ok) {
+      std::vector<char> widened = in_region;
+      for (std::size_t grp = 0; grp < c.group_count(); ++grp) {
+        if (!in_region[grp]) continue;
+        for (const std::size_t nb : c.adjacency[grp]) widened[nb] = 1;
+      }
+      in_region = std::move(widened);
+      routed_ok = route_region(fine, region_nodes(), venv, fine_gh, net_opts,
+                               m);
+    }
+    if (!routed_ok) {
+      core::ResidualState st(fine);
+      core::NetworkingResult full =
+          core::run_networking(venv, st, fine_gh, net_opts);
+      if (full.ok) {
+        m.link_paths = std::move(full.link_paths);
+        routed_ok = true;
+      }
+    }
+    outcome.stats.networking_seconds += stage.elapsed_seconds();
+    if (!routed_ok) return fallback("level networking");
+    m.guest_host = std::move(fine_gh);
+
+    if (opts_.validate_levels) {
+      const auto report = core::validate_mapping(
+          fine, venv, {m.guest_host, m.link_paths});
+      if (!report.ok()) return fallback("level validation");
+    }
+    notify("refine", k - 1, fine.graph().node_count(), venv.guest_count());
+  }
+
+  std::size_t links_routed = 0;
+  for (const graph::Path& p : m.link_paths) {
+    if (!p.empty()) ++links_routed;
+  }
+  outcome.stats.links_routed = links_routed;
+  core::Mapping mapping;
+  mapping.guest_host = std::move(m.guest_host);
+  mapping.link_paths = std::move(m.link_paths);
+  outcome.mapping = std::move(mapping);
+  outcome.stats.total_seconds = total.elapsed_seconds();
+  return outcome;
+}
+
+}  // namespace hmn::multilevel

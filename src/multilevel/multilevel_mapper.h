@@ -1,0 +1,97 @@
+// The multilevel coarsen–map–refine mapper: a drop-in core::Mapper that
+// makes admission cost scale with the tenant and the local neighborhood it
+// lands in, not with the whole fabric.
+//
+// Pipeline (DESIGN.md §8):
+//   1. coarsen the fabric into a structural pyramid (physical_coarsener;
+//      shareable across calls) and the virtual environment into
+//      super-guests (virtual_coarsener; per call);
+//   2. coarse solve: run the paper's Hosting + Migration + Networking
+//      stages on the coarsest cluster × coarsest venv;
+//   3. expand the virtual merge history exactly (members co-locate on their
+//      super-guest's coarse node, member links inherit coarse paths);
+//   4. uncoarsen one physical level at a time: each occupied coarse node
+//      expands into its member subcluster where Hosting + Migration re-run
+//      locally (the refinement frontier) — widening to the adjacent ring
+//      and then the whole level when the group's hosts cannot carry the
+//      per-host bin-packing — then Networking re-routes over
+//      the region induced by the occupied groups plus the groups under the
+//      previous level's paths — widening once, then to the full level, if
+//      the region cannot carry the links;
+//   5. core::validate_mapping checks every level; any violation or stage
+//      failure falls back to the flat HMN mapper, so the multilevel path
+//      can only lose time, never admissions.
+//
+// Determinism: no randomness is consumed anywhere in the pipeline (stage
+// options use the paper's bandwidth-descending orders); identical inputs
+// give byte-identical mappings regardless of thread count or hierarchy
+// sharing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/hmn_mapper.h"
+#include "core/mapper.h"
+#include "multilevel/physical_coarsener.h"
+#include "multilevel/virtual_coarsener.h"
+
+namespace hmn::multilevel {
+
+/// Progress event for observers (examples/multilevel_demo): one per
+/// pipeline stage, in execution order.  Display-only — observers must not
+/// feed anything back into the decision path.
+struct LevelEvent {
+  std::string stage;       // "hierarchy", "coarsen-virtual", "coarse-solve",
+                           // "refine", or "fallback: <failed stage>"
+  std::size_t level = 0;   // physical level the event refers to (0 = base)
+  std::size_t nodes = 0;   // cluster nodes at that level
+  std::size_t guests = 0;  // venv guests in play at that stage
+};
+using LevelObserver = std::function<void(const LevelEvent&)>;
+
+struct MultilevelOptions {
+  VirtualCoarsenOptions virt;
+  PhysicalCoarsenOptions phys;
+  /// Below this host count the pyramid adds nothing over a flat solve:
+  /// delegate to the flat mapper directly.
+  std::size_t min_hosts = 256;
+  /// Validate the mapping after the coarse solve and after every
+  /// refinement level (linear cost; any violation triggers the flat
+  /// fallback instead of shipping a bad mapping).
+  bool validate_levels = true;
+  /// Stage options for the coarse solve, the per-level refinement, and the
+  /// flat fallback mapper.
+  core::HmnOptions flat;
+  /// Optional progress observer (display only).
+  LevelObserver observer;
+  /// Table name; defaults to "ML".
+  std::string display_name;
+};
+
+class MultilevelMapper final : public core::Mapper {
+ public:
+  explicit MultilevelMapper(MultilevelOptions opts = {});
+  /// Shares a prebuilt structural hierarchy (e.g. one per router shard).
+  /// Compatibility is checked per call; a mismatched cluster triggers a
+  /// local rebuild, so a shared hierarchy is a cache, never a correctness
+  /// dependency.
+  MultilevelMapper(MultilevelOptions opts,
+                   std::shared_ptr<const PhysicalHierarchy> hierarchy);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] core::MapOutcome map(const model::PhysicalCluster& cluster,
+                                     const model::VirtualEnvironment& venv,
+                                     std::uint64_t seed) const override;
+
+  [[nodiscard]] const MultilevelOptions& options() const { return opts_; }
+
+ private:
+  MultilevelOptions opts_;
+  std::shared_ptr<const PhysicalHierarchy> hierarchy_;
+  core::HmnMapper flat_;
+};
+
+}  // namespace hmn::multilevel

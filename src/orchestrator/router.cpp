@@ -59,8 +59,22 @@ PlacementRouter::PlacementRouter(const model::PhysicalCluster& fabric,
                opts.latency_histogram_buckets) {
   shards_.reserve(partition_.shard_count());
   for (std::size_t s = 0; s < partition_.shard_count(); ++s) {
-    shards_.push_back(
-        std::make_unique<ShardState>(s, partition_.shards[s], make_pool()));
+    extensions::HeuristicPool pool = make_pool();
+    const topology::ClusterShard& sh = partition_.shards[s];
+    if (opts_.multilevel_min_hosts > 0 &&
+        sh.cluster.host_count() >= opts_.multilevel_min_hosts) {
+      // Large shard: front the pool with the multilevel mapper, prebuilding
+      // the structural hierarchy once — TenancyManager hands the mapper a
+      // fresh residual-view cluster per admission, which stays compatible()
+      // with the prebuilt levels, so only capacities re-aggregate per call.
+      multilevel::MultilevelOptions mo = opts_.multilevel;
+      mo.min_hosts = opts_.multilevel_min_hosts;
+      auto hier = std::make_shared<const multilevel::PhysicalHierarchy>(
+          multilevel::build_hierarchy(sh.cluster, mo.phys));
+      pool.add_front(std::make_unique<multilevel::MultilevelMapper>(
+          std::move(mo), std::move(hier)));
+    }
+    shards_.push_back(std::make_unique<ShardState>(s, sh, std::move(pool)));
     refresh_headroom(s);
   }
   if (opts_.threads > 1) {

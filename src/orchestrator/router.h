@@ -42,6 +42,7 @@
 #include "emulator/tenancy.h"
 #include "extensions/heuristic_pool.h"
 #include "model/physical_cluster.h"
+#include "multilevel/multilevel_mapper.h"
 #include "topology/partition.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -68,6 +69,14 @@ struct RouterOptions {
   /// Bucket count / upper bound (us) of the admission-latency histogram.
   double latency_histogram_upper_us = 1e6;
   std::size_t latency_histogram_buckets = 256;
+  /// Shards with at least this many hosts get their admission pool fronted
+  /// by the multilevel coarsen–map–refine mapper (src/multilevel), with a
+  /// structural hierarchy prebuilt per shard; the regular pool remains as
+  /// the fallback chain.  0 disables multilevel delegation.
+  std::size_t multilevel_min_hosts = 0;
+  /// Tuning for the delegated multilevel mapper (its min_hosts is
+  /// overridden by multilevel_min_hosts above).
+  multilevel::MultilevelOptions multilevel;
 };
 
 /// One independent arrival handed to admit_batch.

@@ -4,6 +4,8 @@
 #include <limits>
 #include <set>
 
+#include "topology/contraction.h"
+
 namespace hmn::topology {
 namespace {
 
@@ -17,67 +19,6 @@ EdgeId eid(std::size_t i) {
   return EdgeId{static_cast<EdgeId::underlying_type>(i)};
 }
 
-/// Rack units: the indivisible groups the partitioner works over.
-struct Units {
-  std::vector<std::size_t> unit_of_node;        // parent node -> unit
-  std::vector<std::vector<std::size_t>> nodes;  // unit -> parent node indices
-  std::vector<double> cpu;                      // unit -> aggregate host CPU
-  std::vector<std::size_t> hosts;               // unit -> host count
-  std::vector<std::set<std::size_t>> adj;       // unit adjacency (dedup)
-};
-
-Units contract_units(const model::PhysicalCluster& parent) {
-  const graph::Graph& g = parent.graph();
-  const std::size_t n = g.node_count();
-  Units u;
-  u.unit_of_node.assign(n, kUnassigned);
-
-  // Switches seed units in ascending node order; each host follows its
-  // lowest-id adjacent switch.  Hosts without an adjacent switch (host-only
-  // fabrics, or hosts cabled directly) become their own unit.
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!parent.is_host(nid(i))) {
-      u.unit_of_node[i] = u.nodes.size();
-      u.nodes.push_back({i});
-    }
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!parent.is_host(nid(i))) continue;
-    std::size_t best_switch = kUnassigned;
-    for (const graph::Adjacency& adj : g.neighbors(nid(i))) {
-      const std::size_t v = adj.neighbor.index();
-      if (!parent.is_host(adj.neighbor) && v < best_switch) best_switch = v;
-    }
-    if (best_switch != kUnassigned) {
-      const std::size_t unit = u.unit_of_node[best_switch];
-      u.unit_of_node[i] = unit;
-      u.nodes[unit].push_back(i);
-    } else {
-      u.unit_of_node[i] = u.nodes.size();
-      u.nodes.push_back({i});
-    }
-  }
-
-  u.cpu.assign(u.nodes.size(), 0.0);
-  u.hosts.assign(u.nodes.size(), 0);
-  for (const NodeId h : parent.hosts()) {
-    const std::size_t unit = u.unit_of_node[h.index()];
-    u.cpu[unit] += parent.capacity(h).proc_mips;
-    u.hosts[unit] += 1;
-  }
-
-  u.adj.assign(u.nodes.size(), {});
-  for (std::size_t e = 0; e < g.edge_count(); ++e) {
-    const auto ep = g.endpoints(eid(e));
-    const std::size_t a = u.unit_of_node[ep.a.index()];
-    const std::size_t b = u.unit_of_node[ep.b.index()];
-    if (a == b) continue;
-    u.adj[a].insert(b);
-    u.adj[b].insert(a);
-  }
-  return u;
-}
-
 }  // namespace
 
 ClusterPartition partition_cluster(const model::PhysicalCluster& parent,
@@ -87,8 +28,11 @@ ClusterPartition partition_cluster(const model::PhysicalCluster& parent,
   const std::size_t n = g.node_count();
   if (n == 0) return out;
 
-  const Units units = contract_units(parent);
-  const std::size_t unit_count = units.nodes.size();
+  // Rack units come from the shared contraction machinery; the historical
+  // numbering (switches first, then switchless hosts) is preserved there,
+  // so partitions are byte-identical to the pre-Contraction implementation.
+  const Contraction units = contract_rack_units(parent);
+  const std::size_t unit_count = units.group_count();
   k = std::clamp<std::size_t>(k, 1, unit_count);
 
   // Greedy balanced accretion: grow one shard at a time by absorbing the
@@ -98,7 +42,7 @@ ClusterPartition partition_cluster(const model::PhysicalCluster& parent,
   // disconnected), the shard simply closes and the next seed starts a new
   // one — any surplus beyond k is merged away below.
   double remaining_cpu = 0.0;
-  for (const double c : units.cpu) remaining_cpu += c;
+  for (const double c : units.group_proc_mips) remaining_cpu += c;
 
   std::vector<std::size_t> shard_of_unit(unit_count, kUnassigned);
   std::vector<std::vector<std::size_t>> shard_units;
@@ -120,13 +64,13 @@ ClusterPartition partition_cluster(const model::PhysicalCluster& parent,
       if (shard_of_unit[unit] != kUnassigned) continue;
       shard_of_unit[unit] = s;
       shard_units[s].push_back(unit);
-      cpu += units.cpu[unit];
-      remaining_cpu -= units.cpu[unit];
+      cpu += units.group_proc_mips[unit];
+      remaining_cpu -= units.group_proc_mips[unit];
       ++assigned;
       if (cpu >= quota && shard_units.size() < k && assigned < unit_count) {
         break;
       }
-      for (const std::size_t v : units.adj[unit]) {
+      for (const std::size_t v : units.adjacency[unit]) {
         if (shard_of_unit[v] == kUnassigned) frontier.insert(v);
       }
     }
@@ -136,18 +80,18 @@ ClusterPartition partition_cluster(const model::PhysicalCluster& parent,
   // adjacent shards, so the union stays connected.
   auto shard_cpu = [&](std::size_t s) {
     double c = 0.0;
-    for (const std::size_t unit : shard_units[s]) c += units.cpu[unit];
+    for (const std::size_t unit : shard_units[s]) c += units.group_proc_mips[unit];
     return c;
   };
   auto shard_hosts = [&](std::size_t s) {
     std::size_t h = 0;
-    for (const std::size_t unit : shard_units[s]) h += units.hosts[unit];
+    for (const std::size_t unit : shard_units[s]) h += units.group_hosts[unit];
     return h;
   };
   auto neighbors_of_shard = [&](std::size_t s) {
     std::set<std::size_t> res;
     for (const std::size_t unit : shard_units[s]) {
-      for (const std::size_t v : units.adj[unit]) {
+      for (const std::size_t v : units.adjacency[unit]) {
         const std::size_t other = shard_of_unit[v];
         if (other != s) res.insert(other);
       }
@@ -215,7 +159,7 @@ ClusterPartition partition_cluster(const model::PhysicalCluster& parent,
   out.shard_of_node.assign(n, 0);
   out.local_node.assign(n, NodeId::invalid());
   for (std::size_t i = 0; i < n; ++i) {
-    out.shard_of_node[i] = shard_of_unit[units.unit_of_node[i]];
+    out.shard_of_node[i] = shard_of_unit[units.group_of_node[i]];
   }
 
   out.shards.resize(shard_count);
@@ -225,37 +169,19 @@ ClusterPartition partition_cluster(const model::PhysicalCluster& parent,
   }
   for (std::size_t s = 0; s < shard_count; ++s) {
     ClusterShard& shard = out.shards[s];
-    Topology topo;
-    topo.graph = graph::Graph(shard_nodes[s].size());
-    topo.role.reserve(shard_nodes[s].size());
-    shard.to_parent_node.reserve(shard_nodes[s].size());
-    for (const std::size_t i : shard_nodes[s]) {
-      out.local_node[i] = nid(shard.to_parent_node.size());
-      shard.to_parent_node.push_back(nid(i));
-      topo.role.push_back(parent.topology().role[i]);
+    std::vector<NodeId> nodes;
+    nodes.reserve(shard_nodes[s].size());
+    for (const std::size_t i : shard_nodes[s]) nodes.push_back(nid(i));
+    SubCluster sub = induced_subcluster(parent, nodes);
+    shard.cluster = std::move(sub.cluster);
+    shard.to_parent_node = std::move(sub.to_parent_node);
+    shard.to_parent_edge = std::move(sub.to_parent_edge);
+    for (std::size_t i = 0; i < shard.to_parent_node.size(); ++i) {
+      out.local_node[shard.to_parent_node[i].index()] = nid(i);
     }
-
-    std::vector<model::LinkProps> links;
-    for (std::size_t e = 0; e < g.edge_count(); ++e) {
-      const auto ep = g.endpoints(eid(e));
-      if (out.shard_of_node[ep.a.index()] != s ||
-          out.shard_of_node[ep.b.index()] != s) {
-        continue;
-      }
-      topo.graph.add_edge(out.local_node[ep.a.index()],
-                          out.local_node[ep.b.index()]);
-      shard.to_parent_edge.push_back(eid(e));
-      links.push_back(parent.link(eid(e)));
+    for (const NodeId h : shard.cluster.hosts()) {
+      shard.total_proc_mips += shard.cluster.capacity(h).proc_mips;
     }
-
-    std::vector<model::HostCapacity> caps;
-    for (const std::size_t i : shard_nodes[s]) {
-      if (!parent.is_host(nid(i))) continue;
-      caps.push_back(parent.capacity(nid(i)));
-      shard.total_proc_mips += parent.capacity(nid(i)).proc_mips;
-    }
-    shard.cluster = model::PhysicalCluster::build(
-        std::move(topo), std::move(caps), std::move(links));
   }
 
   for (std::size_t e = 0; e < g.edge_count(); ++e) {

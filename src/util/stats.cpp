@@ -148,10 +148,13 @@ void LatencyHistogram::add(double x) {
   ++count_;
 }
 
-void LatencyHistogram::merge(const LatencyHistogram& other) {
-  if (other.count_ == 0) return;
-  for (std::size_t b = 0; b < counts_.size() && b < other.counts_.size();
-       ++b) {
+bool LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (counts_.size() != other.counts_.size()) return false;
+  // Layout identity: histograms are mergeable only when built from the
+  // same constructor arguments, so the bound must match bit-for-bit.
+  if (upper_ != other.upper_) return false;
+  if (other.count_ == 0) return true;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
     counts_[b] += other.counts_[b];
   }
   if (count_ == 0) {
@@ -162,6 +165,7 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
     max_ = std::max(max_, other.max_);
   }
   count_ += other.count_;
+  return true;
 }
 
 double LatencyHistogram::percentile(double p) const {

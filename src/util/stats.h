@@ -75,9 +75,12 @@ class LatencyHistogram {
   explicit LatencyHistogram(double upper, std::size_t buckets = 64);
 
   void add(double x);
-  /// Accumulates another histogram of the same shape (same upper bound and
-  /// bucket count — the caller's responsibility).
-  void merge(const LatencyHistogram& other);
+  /// Accumulates another histogram of the same shape.  A mismatched layout
+  /// (different upper bound or bucket count) is rejected — bucket counts
+  /// from different layouts are not commensurable, and silently folding
+  /// them produced subtly wrong percentiles — leaving *this* untouched.
+  /// Returns whether the merge was applied.
+  [[nodiscard]] bool merge(const LatencyHistogram& other);
 
   [[nodiscard]] std::size_t count() const { return count_; }
   [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }

@@ -154,7 +154,7 @@ TEST(Classify, ModulesAndHeaders) {
   auto io = hmn::lint::classify_path("src/io/trace.cpp");
   EXPECT_FALSE(io.is_decision_module);
 
-  for (const char* m : {"orchestrator", "workload", "topology"}) {
+  for (const char* m : {"orchestrator", "workload", "topology", "multilevel"}) {
     EXPECT_TRUE(hmn::lint::classify_path(std::string("src/") + m + "/x.cpp")
                     .is_decision_module)
         << m;

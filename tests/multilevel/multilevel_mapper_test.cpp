@@ -1,0 +1,223 @@
+// End-to-end tests for the multilevel coarsen–map–refine mapper: validity
+// against the paper's constraints, byte-identical determinism (including
+// across hierarchy sharing and blast-failure churn), the flat fallback
+// below min_hosts, and router integration (threads=1 vs N signatures).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hmn_mapper.h"
+#include "core/validator.h"
+#include "model/physical_cluster.h"
+#include "multilevel/multilevel_mapper.h"
+#include "orchestrator/router.h"
+#include "topology/topologies.h"
+#include "util/rng.h"
+#include "workload/presets.h"
+#include "workload/venv_generator.h"
+
+namespace {
+
+using namespace hmn;
+using multilevel::MultilevelMapper;
+using multilevel::MultilevelOptions;
+
+model::PhysicalCluster make_fabric(std::size_t hosts) {
+  auto topo = topology::switch_tree(hosts, 8, 4);
+  // Short per-hop latency keeps the workload's 30-60 ms demands satisfiable
+  // across the tree diameter at every size used here.
+  return model::PhysicalCluster::build(
+      std::move(topo),
+      std::vector<model::HostCapacity>(hosts, {1000.0, 4096, 4096}),
+      model::LinkProps{1000.0, 0.5});
+}
+
+model::VirtualEnvironment make_venv(std::size_t guests, std::uint64_t seed,
+                                    const model::PhysicalCluster& fabric) {
+  util::Rng rng(seed);
+  workload::VenvGenOptions vopts;
+  vopts.guest_count = guests;
+  vopts.density = 0.2;
+  vopts.profile = workload::high_level_profile();
+  vopts.normalize_to = &fabric;
+  return workload::generate_venv(vopts, rng);
+}
+
+TEST(MultilevelMapperTest, ProducesValidMappingThroughTheLevels) {
+  const auto fabric = make_fabric(512);
+  const auto venv = make_venv(24, 7, fabric);
+
+  std::vector<std::string> stages;
+  MultilevelOptions opts;
+  opts.observer = [&stages](const multilevel::LevelEvent& e) {
+    stages.push_back(e.stage);
+  };
+  const MultilevelMapper mapper(opts);
+  const core::MapOutcome out = mapper.map(fabric, venv, 1);
+  ASSERT_TRUE(out.ok()) << out.detail;
+  // The pyramid was actually used, not the flat fallback.
+  EXPECT_GT(out.stats.levels_used, 1u);
+  EXPECT_EQ(std::count(stages.begin(), stages.end(), "coarse-solve"), 1);
+  EXPECT_EQ(std::count_if(stages.begin(), stages.end(),
+                          [](const std::string& s) {
+                            return s.rfind("fallback", 0) == 0;
+                          }),
+            0);
+
+  const auto report = core::validate_mapping(fabric, venv, *out.mapping);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(MultilevelMapperTest, ByteIdenticalAcrossRepeatedRuns) {
+  const auto fabric = make_fabric(512);
+  const auto venv = make_venv(20, 13, fabric);
+  const MultilevelMapper mapper;
+
+  const core::MapOutcome first = mapper.map(fabric, venv, 42);
+  ASSERT_TRUE(first.ok()) << first.detail;
+  const std::uint64_t fp = core::fingerprint(*first.mapping);
+  for (int run = 0; run < 2; ++run) {
+    const core::MapOutcome again = mapper.map(fabric, venv, 42);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(core::fingerprint(*again.mapping), fp);
+  }
+}
+
+TEST(MultilevelMapperTest, SharedHierarchyMatchesLocalBuild) {
+  const auto fabric = make_fabric(512);
+  const auto venv = make_venv(20, 19, fabric);
+
+  MultilevelOptions opts;
+  const MultilevelMapper local(opts);
+  auto hier = std::make_shared<const multilevel::PhysicalHierarchy>(
+      multilevel::build_hierarchy(fabric, opts.phys));
+  ASSERT_TRUE(hier->compatible(fabric));
+  const MultilevelMapper shared(opts, hier);
+
+  const core::MapOutcome a = local.map(fabric, venv, 5);
+  const core::MapOutcome b = shared.map(fabric, venv, 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(core::fingerprint(*a.mapping), core::fingerprint(*b.mapping));
+  EXPECT_EQ(a.stats.levels_used, b.stats.levels_used);
+}
+
+TEST(MultilevelMapperTest, IncompatibleSharedHierarchyIsRebuiltLocally) {
+  const auto fabric = make_fabric(512);
+  const auto venv = make_venv(20, 29, fabric);
+
+  MultilevelOptions opts;
+  // A hierarchy built over a different fabric must not poison the mapping:
+  // compatibility fails and the mapper rebuilds locally.
+  const auto other = make_fabric(256);
+  auto stale = std::make_shared<const multilevel::PhysicalHierarchy>(
+      multilevel::build_hierarchy(other, opts.phys));
+  ASSERT_FALSE(stale->compatible(fabric));
+  const MultilevelMapper mapper(opts, stale);
+
+  const core::MapOutcome out = mapper.map(fabric, venv, 5);
+  ASSERT_TRUE(out.ok()) << out.detail;
+  const auto report = core::validate_mapping(fabric, venv, *out.mapping);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(core::fingerprint(*out.mapping),
+            core::fingerprint(*MultilevelMapper(opts).map(fabric, venv, 5)
+                                   .mapping));
+}
+
+TEST(MultilevelMapperTest, DeterministicAcrossBlastFailureAndHeal) {
+  const auto fabric = make_fabric(512);
+  const auto venv = make_venv(18, 31, fabric);
+
+  MultilevelOptions opts;
+  auto hier = std::make_shared<const multilevel::PhysicalHierarchy>(
+      multilevel::build_hierarchy(fabric, opts.phys));
+  const MultilevelMapper mapper(opts, hier);
+
+  const core::MapOutcome before = mapper.map(fabric, venv, 77);
+  ASSERT_TRUE(before.ok());
+  const std::uint64_t fp = core::fingerprint(*before.mapping);
+
+  // Blast a rack: failures zero capacities but keep ids stable, so the
+  // shared structural hierarchy remains compatible and the mapper routes
+  // around the scar (or falls back — either way the mapping must be valid).
+  model::PhysicalCluster scarred = fabric;
+  scarred.fail_node(fabric.hosts()[0]);
+  scarred.fail_node(fabric.hosts()[1]);
+  scarred.fail_link(EdgeId{0});
+  ASSERT_TRUE(hier->compatible(scarred));
+  const core::MapOutcome during = mapper.map(scarred, venv, 77);
+  if (during.ok()) {
+    const auto report = core::validate_mapping(scarred, venv, *during.mapping);
+    EXPECT_TRUE(report.ok()) << report.summary();
+    // The failed hosts carry no guests.
+    for (const NodeId h : during.mapping->guest_host) {
+      EXPECT_NE(h, fabric.hosts()[0]);
+      EXPECT_NE(h, fabric.hosts()[1]);
+    }
+  }
+
+  // Healed (pristine capacities again): byte-identical to the pre-failure
+  // mapping — the intervening scarred run left no state behind.
+  const core::MapOutcome after = mapper.map(fabric, venv, 77);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(core::fingerprint(*after.mapping), fp);
+}
+
+TEST(MultilevelMapperTest, SmallClusterDelegatesToFlatHmn) {
+  const auto fabric = make_fabric(64);
+  const auto venv = make_venv(12, 41, fabric);
+
+  MultilevelOptions opts;
+  opts.min_hosts = 256;  // 64-host fabric sits below the threshold
+  const MultilevelMapper mapper(opts);
+  const core::HmnMapper flat;
+
+  const core::MapOutcome ml = mapper.map(fabric, venv, 9);
+  const core::MapOutcome hmn = flat.map(fabric, venv, 9);
+  ASSERT_TRUE(ml.ok());
+  ASSERT_TRUE(hmn.ok());
+  EXPECT_EQ(ml.stats.levels_used, 0u);
+  EXPECT_EQ(core::fingerprint(*ml.mapping), core::fingerprint(*hmn.mapping));
+}
+
+TEST(MultilevelMapperTest, RouterDelegationStaysThreadCountInvariant) {
+  const auto fabric = make_fabric(256);
+
+  std::vector<orchestrator::AdmissionRequest> requests;
+  for (std::size_t i = 0; i < 12; ++i) {
+    orchestrator::AdmissionRequest req;
+    req.key = static_cast<std::uint32_t>(i + 1);
+    req.venv = make_venv(6 + i % 5, util::derive_seed(3, i), fabric);
+    req.seed = util::derive_seed(4, i);
+    requests.push_back(std::move(req));
+  }
+
+  auto run = [&](std::size_t threads) {
+    orchestrator::RouterOptions opts;
+    opts.shards = 4;
+    opts.threads = threads;
+    // Route through the multilevel mapper on every shard: the thresholds
+    // are tuned down so even ~64-host shards build a real pyramid.
+    opts.multilevel_min_hosts = 32;
+    opts.multilevel.phys.target_nodes = 16;
+    opts.multilevel.virt.target_guests = 4;
+    orchestrator::PlacementRouter router(fabric, opts);
+    std::size_t admitted = 0;
+    for (const auto& d : router.admit_batch(requests, 99)) {
+      if (d.admitted) ++admitted;
+    }
+    return std::pair{admitted, router.decision_signature()};
+  };
+
+  const auto [admitted_serial, sig_serial] = run(1);
+  const auto [admitted_parallel, sig_parallel] = run(4);
+  EXPECT_GT(admitted_serial, 0u);
+  EXPECT_EQ(admitted_serial, admitted_parallel);
+  EXPECT_EQ(sig_serial, sig_parallel);
+}
+
+}  // namespace

@@ -213,7 +213,7 @@ TEST(LatencyHistogram, MergeEqualsSequential) {
     (i % 2 == 0 ? a : b).add(x);
     all.add(x);
   }
-  a.merge(b);
+  EXPECT_TRUE(a.merge(b));
   EXPECT_EQ(a.count(), all.count());
   EXPECT_DOUBLE_EQ(a.min(), all.min());
   EXPECT_DOUBLE_EQ(a.max(), all.max());
@@ -222,8 +222,36 @@ TEST(LatencyHistogram, MergeEqualsSequential) {
   }
   // Merging an empty histogram is a no-op.
   const double p50 = a.percentile(50);
-  a.merge(LatencyHistogram(500.0, 50));
+  EXPECT_TRUE(a.merge(LatencyHistogram(500.0, 50)));
   EXPECT_DOUBLE_EQ(a.percentile(50), p50);
+}
+
+TEST(LatencyHistogram, MergeRejectsMismatchedLayouts) {
+  // Regression: merge used to fold mismatched layouts bucket-by-bucket up
+  // to the shorter length, silently producing wrong percentiles.  It must
+  // reject any shape difference and leave the target untouched.
+  LatencyHistogram target(500.0, 50);
+  target.add(100.0);
+  target.add(400.0);
+
+  LatencyHistogram different_buckets(500.0, 25);
+  different_buckets.add(10.0);
+  EXPECT_FALSE(target.merge(different_buckets));
+
+  LatencyHistogram different_upper(1000.0, 50);
+  different_upper.add(10.0);
+  EXPECT_FALSE(target.merge(different_upper));
+
+  // Target is untouched by either rejected merge.
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.min(), 100.0);
+  EXPECT_DOUBLE_EQ(target.max(), 400.0);
+
+  // A matching layout still merges.
+  LatencyHistogram matching(500.0, 50);
+  matching.add(250.0);
+  EXPECT_TRUE(target.merge(matching));
+  EXPECT_EQ(target.count(), 3u);
 }
 
 TEST(LatencyHistogram, MergeIntoEmptyAdoptsOtherExtremes) {
@@ -233,7 +261,7 @@ TEST(LatencyHistogram, MergeIntoEmptyAdoptsOtherExtremes) {
   LatencyHistogram target(500.0, 50), source(500.0, 50);
   source.add(120.0);
   source.add(340.0);
-  target.merge(source);
+  EXPECT_TRUE(target.merge(source));
   EXPECT_EQ(target.count(), 2u);
   EXPECT_DOUBLE_EQ(target.min(), 120.0);
   EXPECT_DOUBLE_EQ(target.max(), 340.0);
@@ -243,7 +271,7 @@ TEST(LatencyHistogram, MergeIntoEmptyAdoptsOtherExtremes) {
   // And the merged-into histogram keeps behaving for further merges.
   LatencyHistogram low(500.0, 50);
   low.add(5.0);
-  target.merge(low);
+  EXPECT_TRUE(target.merge(low));
   EXPECT_DOUBLE_EQ(target.min(), 5.0);
   EXPECT_DOUBLE_EQ(target.max(), 340.0);
 }

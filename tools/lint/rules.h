@@ -8,7 +8,8 @@
 //                        iteration over an unordered_{map,set,multimap,
 //                        multiset} variable anywhere in src/ is flagged, and
 //                        merely *declaring* one inside a decision-affecting
-//                        module (orchestrator, core, workload, topology)
+//                        module (orchestrator, core, workload, topology,
+//                        availability, multilevel)
 //                        requires a suppression proving the container is
 //                        lookup-only or canonicalized before commit/log/hash.
 //   raw-random       R2  rand(), srand(), std::random_device, std::mt19937,
@@ -59,7 +60,7 @@ struct Finding {
 struct FileContext {
   bool is_header = false;          // .h / .hpp
   bool is_decision_module = false; // orchestrator/, core/, workload/,
-                                   //   topology/, availability/
+                                   //   topology/, availability/, multilevel/
   bool is_util_module = false;     // util/ — the sanctioned randomness home
 };
 
