@@ -88,6 +88,14 @@ class AvailabilityTracker {
   void on_link_fail(std::uint32_t link, double now);
   void on_link_recover(std::uint32_t link, double now);
 
+  /// Correlated-group convenience for blast/power events whose `element`
+  /// is not itself a tracker element (a power-domain id): folds every
+  /// member host and link in canonical (ascending-id) event order.
+  void on_group_fail(const std::vector<std::uint32_t>& hosts,
+                     const std::vector<std::uint32_t>& links, double now);
+  void on_group_recover(const std::vector<std::uint32_t>& hosts,
+                        const std::vector<std::uint32_t>& links, double now);
+
   [[nodiscard]] double node_availability(std::uint32_t node) const {
     return nodes_.availability(node);
   }

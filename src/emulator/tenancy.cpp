@@ -129,8 +129,13 @@ model::PhysicalCluster TenancyManager::residual_view(const Tenant* exclude,
         {std::max(0.0, cluster_.link(id).bandwidth_mbps - bw[e]),
          cluster_.link(id).latency_ms});
   }
-  return model::PhysicalCluster::build(std::move(topo), std::move(caps),
-                                       std::move(links));
+  model::PhysicalCluster view = model::PhysicalCluster::build(
+      std::move(topo), std::move(caps), std::move(links));
+  // Carry the failure-domain annotation through: mappers only ever see
+  // residual views, so without this copy the replica-spread stage would
+  // never observe the domains installed on the base cluster.
+  view.set_failure_domains(cluster_.failure_domains());
+  return view;
 }
 
 void TenancyManager::set_node_down(NodeId node, bool down) {

@@ -26,6 +26,13 @@ class HeuristicPool {
   /// multilevel mapper while keeping the flat chain as the fallback.
   void add_front(core::MapperPtr mapper);
 
+  /// Moves the mappers out, leaving the pool empty.  Lets a decorator
+  /// (extensions::replica_aware) rewrap every entry while preserving
+  /// registration order.
+  [[nodiscard]] std::vector<core::MapperPtr> release() {
+    return std::move(mappers_);
+  }
+
   [[nodiscard]] std::size_t size() const { return mappers_.size(); }
   [[nodiscard]] const core::Mapper& at(std::size_t i) const {
     return *mappers_[i];

@@ -1,6 +1,6 @@
 #include "extensions/objectives.h"
 
-#include <unordered_set>
+#include <set>
 
 #include "core/objective.h"
 
@@ -15,7 +15,7 @@ double LoadBalanceObjective::evaluate(const model::PhysicalCluster& cluster,
 double MinHostsObjective::evaluate(const model::PhysicalCluster&,
                                    const model::VirtualEnvironment&,
                                    const core::Mapping& mapping) const {
-  std::unordered_set<NodeId> used;
+  std::set<NodeId> used;
   for (const NodeId h : mapping.guest_host) used.insert(h);
   return static_cast<double>(used.size());
 }

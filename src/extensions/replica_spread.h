@@ -1,0 +1,45 @@
+// Replica anti-affinity as a mapper decorator.
+//
+// PAPERS.md (*Hardness of Virtual Network Embedding with Replica
+// Selection*) motivates tenants that declare k-of-n replica groups; the
+// value of a replica is exactly its failure independence, so co-locating
+// two replicas inside one failure domain silently voids the redundancy the
+// tenant paid for.  ReplicaSpreadMapper wraps ANY inner mapper (flat HMN,
+// RA, the multilevel pyramid) and post-processes its placement: for every
+// declared replica group it greedily moves members onto hosts that
+// minimize how many group-mates already share the destination's blast
+// domain (the switch that takes it down) and power domain (the PDU that
+// feeds it), then re-routes all virtual links over the new placement.
+//
+// The decorator is byte-invisible when it has nothing to do: a venv with
+// no replica groups, or a cluster without a FailureDomains annotation,
+// returns the inner outcome untouched.  Any failure in the spread or
+// re-route path falls back to the inner mapping — replicas degrade to the
+// base placement, never to a rejection the inner mapper didn't produce.
+#pragma once
+
+#include "core/mapper.h"
+#include "extensions/heuristic_pool.h"
+
+namespace hmn::extensions {
+
+class ReplicaSpreadMapper : public core::Mapper {
+ public:
+  explicit ReplicaSpreadMapper(core::MapperPtr inner);
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] core::MapOutcome map(const model::PhysicalCluster& cluster,
+                                     const model::VirtualEnvironment& venv,
+                                     std::uint64_t seed) const override;
+
+ private:
+  core::MapperPtr inner_;
+};
+
+/// Wraps every mapper of `pool` in a ReplicaSpreadMapper, preserving
+/// first_success order.  Venvs without replica groups map byte-identically
+/// to the unwrapped pool.
+[[nodiscard]] HeuristicPool replica_aware(HeuristicPool pool);
+
+}  // namespace hmn::extensions

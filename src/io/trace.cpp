@@ -134,7 +134,7 @@ bool read_group(const JsonValue& obj, const char* name,
 
 std::string write_trace(const workload::ChurnTrace& trace) {
   std::ostringstream out;
-  out << "{\"type\":\"churn-trace\",\"version\":3,\"mttf_dist\":\""
+  out << "{\"type\":\"churn-trace\",\"version\":4,\"mttf_dist\":\""
       << workload::to_string(trace.mttf_dist) << "\",\"profile\":{";
   write_range(out, "proc_mips", trace.profile.proc_mips);
   out << ',';
@@ -153,7 +153,9 @@ std::string write_trace(const workload::ChurnTrace& trace) {
     out << "{\"t\":" << num(ev.time) << ",\"ev\":\""
         << workload::to_string(ev.kind) << '"';
     if (ev.kind == workload::EventKind::kBlastFail ||
-        ev.kind == workload::EventKind::kBlastRecover) {
+        ev.kind == workload::EventKind::kBlastRecover ||
+        ev.kind == workload::EventKind::kPowerFail ||
+        ev.kind == workload::EventKind::kPowerRecover) {
       out << ",\"element\":" << ev.element << ",\"hosts\":[";
       for (std::size_t i = 0; i < ev.group_hosts.size(); ++i) {
         if (i != 0) out << ',';
@@ -177,6 +179,15 @@ std::string write_trace(const workload::ChurnTrace& trace) {
         out << ",\"guests\":" << ev.guest_count
             << ",\"density\":" << num(ev.density) << ",\"seed\":\"" << ev.seed
             << '"';
+        // v4 additions, written only when non-default so a tier-less,
+        // replica-less trace stays byte-identical to its v3 body.
+        if (ev.sla_tier != model::SlaTier::kStandard) {
+          out << ",\"tier\":\"" << model::to_string(ev.sla_tier) << '"';
+        }
+        if (ev.replica_n > 0) {
+          out << ",\"replica_n\":" << ev.replica_n
+              << ",\"replica_k\":" << ev.replica_k;
+        }
         break;
       case workload::EventKind::kGrow:
         out << ",\"add_guests\":" << ev.add_guests
@@ -226,10 +237,10 @@ std::variant<workload::ChurnTrace, TraceParseError> read_trace(
       if (!read_u32(obj, "version", version, vwhy)) {
         return err(line_no, "header: " + vwhy);
       }
-      if (version < 1 || version > 3) {
+      if (version < 1 || version > 4) {
         return err(line_no, "unsupported trace version " +
                                 std::to_string(version) +
-                                " (this reader handles 1-3)");
+                                " (this reader handles 1-4)");
       }
       const JsonValue* profile = obj.find("profile");
       if (profile == nullptr || !profile->is_object() ||
@@ -283,9 +294,12 @@ std::variant<workload::ChurnTrace, TraceParseError> read_trace(
     }
     const std::string& k = kind->as_string();
     std::string why;
-    if (k == "blast-fail" || k == "blast-recover") {
-      ev.kind = k == "blast-fail" ? workload::EventKind::kBlastFail
-                                  : workload::EventKind::kBlastRecover;
+    if (k == "blast-fail" || k == "blast-recover" || k == "power-fail" ||
+        k == "power-recover") {
+      ev.kind = k == "blast-fail"      ? workload::EventKind::kBlastFail
+                : k == "blast-recover" ? workload::EventKind::kBlastRecover
+                : k == "power-fail"    ? workload::EventKind::kPowerFail
+                                       : workload::EventKind::kPowerRecover;
       if (!read_u32(obj, "element", ev.element, why) ||
           !read_group(obj, "hosts", ev.group_hosts, why) ||
           !read_group(obj, "links", ev.group_links, why)) {
@@ -329,6 +343,43 @@ std::variant<workload::ChurnTrace, TraceParseError> read_trace(
       if (!arrived.insert(ev.tenant).second) {
         return err(line_no, "duplicate arrive for tenant " +
                                 std::to_string(ev.tenant));
+      }
+      // v4 additions, optional with backward-compatible defaults
+      // (standard tier, no replicas) so v1-v3 arrive lines keep parsing.
+      if (const JsonValue* tier = obj.find("tier"); tier != nullptr) {
+        if (!tier->is_string()) {
+          return err(line_no, "arrive event: tier must be a string");
+        }
+        const std::string& tag = tier->as_string();
+        if (tag == "gold") {
+          ev.sla_tier = model::SlaTier::kGold;
+        } else if (tag == "standard") {
+          ev.sla_tier = model::SlaTier::kStandard;
+        } else if (tag == "best-effort") {
+          ev.sla_tier = model::SlaTier::kBestEffort;
+        } else {
+          return err(line_no,
+                     "arrive event: unknown tier tag '" + tag + "'");
+        }
+      }
+      const bool has_n = obj.find("replica_n") != nullptr;
+      const bool has_k = obj.find("replica_k") != nullptr;
+      if (has_n != has_k) {
+        return err(line_no,
+                   "arrive event: replica_n and replica_k must appear "
+                   "together");
+      }
+      if (has_n) {
+        if (!read_u32(obj, "replica_n", ev.replica_n, why) ||
+            !read_u32(obj, "replica_k", ev.replica_k, why)) {
+          return err(line_no, "arrive event: " + why);
+        }
+        if (ev.replica_n < 2 || ev.replica_k < 1 ||
+            ev.replica_k > ev.replica_n) {
+          return err(line_no,
+                     "arrive event: replica spec needs n >= 2 and "
+                     "1 <= k <= n");
+        }
       }
     } else if (k == "grow") {
       ev.kind = workload::EventKind::kGrow;

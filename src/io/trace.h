@@ -4,17 +4,23 @@
 // format version and the guest profile every venv in the trace is drawn
 // from; each following line is one tenant event:
 //
-//   {"type":"churn-trace","version":3,"mttf_dist":"exponential","profile":{...}}
-//   {"t":0.31,"ev":"arrive","tenant":0,"guests":8,"density":0.2,"seed":"..."}
+//   {"type":"churn-trace","version":4,"mttf_dist":"exponential","profile":{...}}
+//   {"t":0.31,"ev":"arrive","tenant":0,"guests":8,"density":0.2,"seed":"...",
+//    "tier":"gold","replica_n":3,"replica_k":2}
 //   {"t":2.87,"ev":"grow","tenant":0,"add_guests":2,"add_links":1,"seed":"..."}
 //   {"t":9.75,"ev":"depart","tenant":0}
 //   {"t":4.02,"ev":"blast-fail","element":40,"hosts":[0,1,2],"links":[0,1,2,3]}
+//   {"t":6.10,"ev":"power-fail","element":1,"hosts":[1,5],"links":[0,4]}
 //
 // Format history: v1 churn only; v2 added per-element failure lines; v3
 // adds correlated blast groups (member lists on the line), the MTTF
 // distribution tag in the header, and `critical_link_fraction` in the
-// profile.  The parser accepts v1–v3 (the additions are optional with
-// backward-compatible defaults) and rejects anything else.
+// profile; v4 adds the SLA tier tag and k-of-n replica spec on arrive
+// lines (written only when non-default) and correlated power-domain
+// events, whose `element` is a *power-domain id*, not a node id.  The
+// parser accepts v1–v4 (every addition is optional with a
+// backward-compatible default, so a v3 reader's trace parses unchanged)
+// and rejects anything else.
 //
 // Seeds are 64-bit and therefore serialized as decimal *strings* — a JSON
 // number is a double and silently loses bits above 2^53.  Numbers are

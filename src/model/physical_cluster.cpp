@@ -57,6 +57,16 @@ void PhysicalCluster::fail_link(EdgeId edge) {
   links_[edge.index()].latency_ms = std::numeric_limits<double>::infinity();
 }
 
+void PhysicalCluster::set_failure_domains(FailureDomains domains) {
+  const std::size_t n = node_count();
+  if ((!domains.blast_domain.empty() && domains.blast_domain.size() != n) ||
+      (!domains.power_domain.empty() && domains.power_domain.size() != n)) {
+    throw std::invalid_argument(
+        "set_failure_domains: vectors must be empty or sized node_count()");
+  }
+  domains_ = std::move(domains);
+}
+
 double PhysicalCluster::total_proc_mips() const {
   double sum = 0.0;
   for (const NodeId h : hosts_) sum += capacity_[h.index()].proc_mips;

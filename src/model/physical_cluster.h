@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.h"
@@ -14,6 +15,23 @@
 #include "topology/topologies.h"
 
 namespace hmn::model {
+
+/// Optional failure-domain annotation: for every node, the id of the
+/// network blast group (the switch whose loss takes this node down, PR 5's
+/// correlated failures) and of the power domain (the PDU feeding it, which
+/// may span racks).  `kNone` marks nodes outside any domain (switches, or
+/// clusters built before annotation).  Mappers use this to spread replica
+/// groups anti-affinely; the annotation carries no behavior by itself.
+struct FailureDomains {
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  std::vector<std::uint32_t> blast_domain;  // per node; kNone = unassigned
+  std::vector<std::uint32_t> power_domain;  // per node; kNone = unassigned
+
+  [[nodiscard]] bool empty() const {
+    return blast_domain.empty() && power_domain.empty();
+  }
+};
 
 class PhysicalCluster {
  public:
@@ -74,11 +92,20 @@ class PhysicalCluster {
   /// Sum of host processing capacity — used by load metrics.
   [[nodiscard]] double total_proc_mips() const;
 
+  /// Installs the failure-domain annotation (vectors must be empty or sized
+  /// node_count()).  Copied through TenancyManager::residual_view so the
+  /// replica-spread mapper sees domains on every residual snapshot.
+  void set_failure_domains(FailureDomains domains);
+  [[nodiscard]] const FailureDomains& failure_domains() const {
+    return domains_;
+  }
+
  private:
   topology::Topology topo_;
   std::vector<HostCapacity> capacity_;  // per node
   std::vector<LinkProps> links_;        // per edge
   std::vector<NodeId> hosts_;
+  FailureDomains domains_;  // empty unless annotated
 };
 
 }  // namespace hmn::model

@@ -1,6 +1,8 @@
 #include "model/virtual_environment.h"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace hmn::model {
 namespace {
@@ -35,6 +37,38 @@ std::vector<VirtLinkId> VirtualEnvironment::links_of(GuestId g) const {
     out.push_back(to_vlink(adj.edge));
   }
   return out;
+}
+
+void VirtualEnvironment::add_replica_group(std::vector<GuestId> members,
+                                           std::size_t required) {
+  if (members.empty()) {
+    throw std::invalid_argument("replica group needs at least one member");
+  }
+  if (required < 1 || required > members.size()) {
+    throw std::invalid_argument("replica group quorum out of range");
+  }
+  std::sort(members.begin(), members.end(),
+            [](GuestId a, GuestId b) { return a.value() < b.value(); });
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i].index() >= guest_count()) {
+      throw std::invalid_argument("replica group member out of range");
+    }
+    if (i > 0 && members[i] == members[i - 1]) {
+      throw std::invalid_argument("replica group members must be distinct");
+    }
+    if (group_of(members[i]) != npos) {
+      throw std::invalid_argument("guest already in a replica group");
+    }
+  }
+  replica_groups_.push_back(ReplicaGroup{std::move(members), required});
+}
+
+std::size_t VirtualEnvironment::group_of(GuestId g) const {
+  for (std::size_t i = 0; i < replica_groups_.size(); ++i) {
+    const auto& m = replica_groups_[i].members;
+    if (std::find(m.begin(), m.end(), g) != m.end()) return i;
+  }
+  return npos;
 }
 
 double VirtualEnvironment::total_vproc_mips() const {

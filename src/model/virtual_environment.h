@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.h"
@@ -21,6 +22,38 @@ struct VirtualLinkEndpoints {
   GuestId dst;
 
   [[nodiscard]] GuestId other(GuestId g) const { return g == src ? dst : src; }
+};
+
+/// Tenant service level, declared at admission and honored by the
+/// orchestrator's tier-aware healing: gold tenants get first claim on the
+/// spare-capacity healing headroom and are repaired first after a failure;
+/// best-effort tenants are healed last and park first under pressure.
+/// The numeric order IS the priority order (lower heals earlier).
+enum class SlaTier : std::uint8_t {
+  kGold = 0,
+  kStandard = 1,
+  kBestEffort = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(SlaTier t) {
+  switch (t) {
+    case SlaTier::kGold: return "gold";
+    case SlaTier::kStandard: return "standard";
+    case SlaTier::kBestEffort: return "best-effort";
+  }
+  return "?";
+}
+
+/// A k-of-n replica declaration: the tenant runs `members.size()` replicas
+/// of one service and stays healthy while at least `required` of them are
+/// alive.  The mapper spreads the members anti-affinely across failure
+/// domains; the healer defers migrating a dead member while the group still
+/// meets its quorum (graceful degradation instead of emergency surgery).
+struct ReplicaGroup {
+  std::vector<GuestId> members;  // n distinct guests, ascending ids
+  std::size_t required = 1;      // k: alive members needed for health
+
+  [[nodiscard]] std::size_t size() const { return members.size(); }
 };
 
 class VirtualEnvironment {
@@ -56,10 +89,37 @@ class VirtualEnvironment {
   [[nodiscard]] double total_vmem_mb() const;
   [[nodiscard]] double total_vstor_gb() const;
 
+  /// Service tier; defaults to kStandard for every tenant that never calls
+  /// set_sla_tier, so pre-existing workloads are unaffected.
+  void set_sla_tier(SlaTier tier) { sla_tier_ = tier; }
+  [[nodiscard]] SlaTier sla_tier() const { return sla_tier_; }
+
+  /// Declares a k-of-n replica group over existing guests.  Members must be
+  /// distinct, in range, and disjoint from every previously declared group;
+  /// `required` must satisfy 1 <= required <= members.size().  Members are
+  /// stored sorted ascending.  Throws std::invalid_argument on violation.
+  void add_replica_group(std::vector<GuestId> members, std::size_t required);
+
+  [[nodiscard]] std::size_t replica_group_count() const {
+    return replica_groups_.size();
+  }
+  [[nodiscard]] const ReplicaGroup& replica_group(std::size_t i) const {
+    return replica_groups_[i];
+  }
+  [[nodiscard]] const std::vector<ReplicaGroup>& replica_groups() const {
+    return replica_groups_;
+  }
+  /// Index of the replica group containing guest g, or npos.
+  [[nodiscard]] std::size_t group_of(GuestId g) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
  private:
   graph::Graph graph_;
   std::vector<GuestRequirements> guests_;
   std::vector<VirtualLinkDemand> demands_;
+  SlaTier sla_tier_ = SlaTier::kStandard;
+  std::vector<ReplicaGroup> replica_groups_;
 };
 
 }  // namespace hmn::model

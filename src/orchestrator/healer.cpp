@@ -16,7 +16,40 @@ namespace {
 /// queued for admission.
 constexpr std::uint64_t kHealSeedBase = 0x48EA15EEDULL;
 
+/// The SlaTier enum's numeric order IS the healing priority order.
+int tier_rank(model::SlaTier t) { return static_cast<int>(t); }
+
 }  // namespace
+
+void Healer::order_by_tier(const emulator::TenancyManager& mgr,
+                           const LiveMap& live,
+                           std::vector<std::uint32_t>& keys) const {
+  if (!opts_.tier_aware) return;
+  auto tier_of = [&](std::uint32_t key) {
+    const auto it = live.find(key);
+    if (it == live.end()) return model::SlaTier::kStandard;
+    const emulator::Tenant* t = mgr.tenant(it->second);
+    return t == nullptr ? model::SlaTier::kStandard : t->venv.sla_tier();
+  };
+  std::stable_sort(keys.begin(), keys.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return tier_rank(tier_of(a)) < tier_rank(tier_of(b));
+                   });
+}
+
+std::vector<HealRecord> Healer::heal_all(emulator::TenancyManager& mgr,
+                                         LiveMap& live,
+                                         std::vector<std::uint32_t> impacted,
+                                         double now) {
+  order_by_tier(mgr, live, impacted);
+  std::vector<HealRecord> records;
+  for (const std::uint32_t key : impacted) {
+    if (auto r = heal_one(mgr, live, key, now)) {
+      records.push_back(std::move(*r));
+    }
+  }
+  return records;
+}
 
 double Healer::backoff_delay(std::size_t failed_attempts) const {
   const double factor = std::pow(
@@ -36,6 +69,7 @@ void Healer::evict_and_park(emulator::TenancyManager& mgr, LiveMap& live,
   parked.attempts = 0;
   parked.next_attempt = now;  // eligible at the next capacity change
   degraded_.erase(key);
+  deferred_.erase(key);
   mgr.release(id);
   live.erase(key);
   parked_.push_back(std::move(parked));
@@ -85,6 +119,66 @@ std::optional<HealRecord> Healer::heal_one(emulator::TenancyManager& mgr,
   }
 
   const bool was_degraded = degraded_.count(key) != 0;
+  const bool was_deferred = deferred_.count(key) != 0;
+
+  if (opts_.tier_aware && tenant->venv.replica_group_count() > 0) {
+    // Deferral check: when every piece of damage is a dead replica of a
+    // still-quorate k-of-n group (and links crossing dead elements are all
+    // incident to such replicas), the tenant is healthy by its own
+    // declaration — leave the mapping untouched, declare the corpses to
+    // the audit, and let recovery restore them for free.
+    const model::VirtualEnvironment& venv = tenant->venv;
+    std::vector<GuestId> down_replicas;
+    bool other_damage = false;
+    std::vector<bool> guest_down(venv.guest_count(), false);
+    for (std::size_t gi = 0; gi < venv.guest_count(); ++gi) {
+      const GuestId g{static_cast<GuestId::underlying_type>(gi)};
+      if (!mgr.is_node_down(tenant->mapping.guest_host[gi])) continue;
+      guest_down[gi] = true;
+      if (venv.group_of(g) == model::VirtualEnvironment::npos) {
+        other_damage = true;
+      } else {
+        down_replicas.push_back(g);
+      }
+    }
+    bool quorum_ok = true;
+    for (const model::ReplicaGroup& group : venv.replica_groups()) {
+      std::size_t alive = 0;
+      for (const GuestId m : group.members) {
+        if (!guest_down[m.index()]) ++alive;
+      }
+      if (alive < group.required) quorum_ok = false;
+    }
+    const graph::Graph& g = mgr.cluster().graph();
+    for (std::size_t li = 0; !other_damage && li < venv.link_count(); ++li) {
+      const auto lid = VirtLinkId{static_cast<VirtLinkId::underlying_type>(li)};
+      const auto& path = tenant->mapping.link_paths[li];
+      bool dead = false;
+      for (const EdgeId e : path) {
+        const auto ep = g.endpoints(e);
+        if (mgr.is_link_down(e) || mgr.is_node_down(ep.a) ||
+            mgr.is_node_down(ep.b)) {
+          dead = true;
+          break;
+        }
+      }
+      if (!dead) continue;
+      const auto ep = venv.endpoints(lid);
+      if (!guest_down[ep.src.index()] && !guest_down[ep.dst.index()]) {
+        other_damage = true;
+      }
+    }
+    if (!other_damage && quorum_ok && !down_replicas.empty()) {
+      deferred_[key] = std::move(down_replicas);
+      r.action = HealAction::kReplicaDeferred;
+      r.latency_us = timer.elapsed_us();
+      return r;
+    }
+  }
+  // Not (or no longer) deferrable: any stale deferral resolves through a
+  // real repair below.
+  deferred_.erase(key);
+
   core::RepairOptions ro;
   ro.failed = mgr.failed_elements();
   ro.allow_dark_links = true;
@@ -98,7 +192,8 @@ std::optional<HealRecord> Healer::heal_one(emulator::TenancyManager& mgr,
     r.dark_links = rs.dark_links.size();
     if (rs.dark_links.empty()) {
       degraded_.erase(key);
-      r.action = was_degraded ? HealAction::kRestored : HealAction::kHealed;
+      r.action = was_degraded || was_deferred ? HealAction::kRestored
+                                              : HealAction::kHealed;
     } else {
       degraded_[key] = std::move(rs.dark_links);
       r.action = HealAction::kDegraded;
@@ -120,11 +215,33 @@ std::vector<HealRecord> Healer::heal_degraded(emulator::TenancyManager& mgr,
   std::vector<std::uint32_t> keys;
   keys.reserve(degraded_.size());
   for (const auto& [key, dark] : degraded_) keys.push_back(key);
+  order_by_tier(mgr, live, keys);
   for (const std::uint32_t key : keys) {
     auto r = heal_one(mgr, live, key, now);
-    // A tenant that merely *stays* Degraded is not an event; Restored and
-    // Parked transitions are.
-    if (r.has_value() && r->action != HealAction::kDegraded) {
+    // A tenant that merely *stays* Degraded (or sits out as Deferred) is
+    // not an event; Restored and Parked transitions are.
+    if (r.has_value() && r->action != HealAction::kDegraded &&
+        r->action != HealAction::kReplicaDeferred) {
+      out.push_back(std::move(*r));
+    }
+  }
+  return out;
+}
+
+std::vector<HealRecord> Healer::heal_deferred(emulator::TenancyManager& mgr,
+                                              LiveMap& live, double now) {
+  std::vector<HealRecord> out;
+  std::vector<std::uint32_t> keys;
+  keys.reserve(deferred_.size());
+  for (const auto& [key, guests] : deferred_) keys.push_back(key);
+  order_by_tier(mgr, live, keys);
+  for (const std::uint32_t key : keys) {
+    // Skip tenants that also carry dark links: heal_degraded owns them.
+    if (degraded_.count(key) != 0) continue;
+    auto r = heal_one(mgr, live, key, now);
+    // Staying Deferred is not an event; a resolution (Restored, Degraded,
+    // Parked) is.
+    if (r.has_value() && r->action != HealAction::kReplicaDeferred) {
       out.push_back(std::move(*r));
     }
   }
@@ -134,6 +251,14 @@ std::vector<HealRecord> Healer::heal_degraded(emulator::TenancyManager& mgr,
 std::vector<HealRecord> Healer::retry_parked(emulator::TenancyManager& mgr,
                                              LiveMap& live, double now) {
   std::vector<HealRecord> out;
+  if (opts_.tier_aware) {
+    // Tier-major queue: gold re-admits first and therefore gets first
+    // claim on freed capacity; FIFO within a tier (stable sort).
+    std::stable_sort(parked_.begin(), parked_.end(),
+                     [](const ParkedTenant& a, const ParkedTenant& b) {
+                       return tier_rank(a.tier()) < tier_rank(b.tier());
+                     });
+  }
   std::deque<ParkedTenant> keep;
   while (!parked_.empty()) {
     ParkedTenant entry = std::move(parked_.front());
@@ -144,10 +269,15 @@ std::vector<HealRecord> Healer::retry_parked(emulator::TenancyManager& mgr,
     }
     const util::Timer timer;
     ++entry.attempts;
+    // Best-effort refugees may not eat the EWMA healing reserve — under
+    // pressure they park first and stay parked longest; gold and standard
+    // spend the reserve, which is exactly what admission withheld it for.
+    const bool spare_reserve =
+        opts_.tier_aware && entry.tier() == model::SlaTier::kBestEffort;
     const auto res = mgr.admit(
         entry.name, entry.venv,
         util::derive_seed(kHealSeedBase, entry.key, entry.attempts),
-        /*reserve_headroom=*/false);
+        /*reserve_headroom=*/spare_reserve);
     HealRecord r;
     r.key = entry.key;
     if (res.ok()) {
@@ -176,7 +306,13 @@ std::vector<HealRecord> Healer::retry_parked(emulator::TenancyManager& mgr,
 
 std::vector<HealRecord> Healer::on_capacity_freed(
     emulator::TenancyManager& mgr, LiveMap& live, double now) {
-  std::vector<HealRecord> records = heal_degraded(mgr, live, now);
+  // Deferred tenants recheck first: a recovery that revives their declared
+  // corpses restores them without consuming any of the capacity the
+  // degraded/parked passes are about to compete for.
+  std::vector<HealRecord> records = heal_deferred(mgr, live, now);
+  std::vector<HealRecord> degraded = heal_degraded(mgr, live, now);
+  records.insert(records.end(), std::make_move_iterator(degraded.begin()),
+                 std::make_move_iterator(degraded.end()));
   std::vector<HealRecord> readmissions = retry_parked(mgr, live, now);
   records.insert(records.end(),
                  std::make_move_iterator(readmissions.begin()),
@@ -201,13 +337,7 @@ std::vector<HealRecord> Healer::on_event(emulator::TenancyManager& mgr,
           impacted.push_back(key);
         }
       }
-      std::vector<HealRecord> records;
-      for (const std::uint32_t key : impacted) {
-        if (auto r = heal_one(mgr, live, key, ev.time)) {
-          records.push_back(std::move(*r));
-        }
-      }
-      return records;
+      return heal_all(mgr, live, std::move(impacted), ev.time);
     }
     case workload::EventKind::kLinkFail: {
       if (ev.element >= cluster.link_count()) return {};
@@ -220,13 +350,7 @@ std::vector<HealRecord> Healer::on_event(emulator::TenancyManager& mgr,
           impacted.push_back(key);
         }
       }
-      std::vector<HealRecord> records;
-      for (const std::uint32_t key : impacted) {
-        if (auto r = heal_one(mgr, live, key, ev.time)) {
-          records.push_back(std::move(*r));
-        }
-      }
-      return records;
+      return heal_all(mgr, live, std::move(impacted), ev.time);
     }
     case workload::EventKind::kBlastFail: {
       if (ev.element >= cluster.node_count()) return {};
@@ -261,13 +385,46 @@ std::vector<HealRecord> Healer::on_event(emulator::TenancyManager& mgr,
         }
         if (hit) impacted.push_back(key);
       }
-      std::vector<HealRecord> records;
-      for (const std::uint32_t key : impacted) {
-        if (auto r = heal_one(mgr, live, key, ev.time)) {
-          records.push_back(std::move(*r));
-        }
+      return heal_all(mgr, live, std::move(impacted), ev.time);
+    }
+    case workload::EventKind::kPowerFail: {
+      // ev.element is the power-domain id, NOT a node id: only the group
+      // member lists carry the dead elements.  Same one-transaction rule
+      // as a blast: every mask flips before any tenant is healed.
+      for (const std::uint32_t h : ev.group_hosts) {
+        if (h < cluster.node_count()) mgr.set_node_down(NodeId{h}, true);
       }
-      return records;
+      for (const std::uint32_t l : ev.group_links) {
+        if (l < cluster.link_count()) mgr.set_link_down(EdgeId{l}, true);
+      }
+      std::vector<std::uint32_t> impacted;
+      for (const auto& [key, id] : live) {
+        const emulator::Tenant* t = mgr.tenant(id);
+        if (t == nullptr) continue;
+        bool hit = false;
+        for (std::size_t i = 0; !hit && i < ev.group_hosts.size(); ++i) {
+          if (ev.group_hosts[i] >= cluster.node_count()) continue;
+          hit = !core::mapping_avoids_node(cluster, t->mapping,
+                                           NodeId{ev.group_hosts[i]});
+        }
+        for (std::size_t i = 0; !hit && i < ev.group_links.size(); ++i) {
+          if (ev.group_links[i] >= cluster.link_count()) continue;
+          hit = !core::mapping_avoids_edge(t->mapping,
+                                           EdgeId{ev.group_links[i]});
+        }
+        if (hit) impacted.push_back(key);
+      }
+      return heal_all(mgr, live, std::move(impacted), ev.time);
+    }
+    case workload::EventKind::kPowerRecover: {
+      for (const std::uint32_t h : ev.group_hosts) {
+        if (h < cluster.node_count()) mgr.set_node_down(NodeId{h}, false);
+      }
+      for (const std::uint32_t l : ev.group_links) {
+        if (l < cluster.link_count()) mgr.set_link_down(EdgeId{l}, false);
+      }
+      // One opportunistic pass for the whole restored domain.
+      return on_capacity_freed(mgr, live, ev.time);
     }
     case workload::EventKind::kBlastRecover: {
       if (ev.element >= cluster.node_count()) return {};
@@ -330,6 +487,13 @@ std::vector<std::string> Healer::audit(const emulator::TenancyManager& mgr,
       violations.push_back(who + ": live but unknown to the manager");
       continue;
     }
+    const auto defit = deferred_.find(key);
+    auto guest_deferred = [&](std::size_t gi) {
+      return defit != deferred_.end() &&
+             std::find(defit->second.begin(), defit->second.end(),
+                       GuestId{static_cast<GuestId::underlying_type>(gi)}) !=
+                 defit->second.end();
+    };
     for (std::size_t gi = 0; gi < t->venv.guest_count(); ++gi) {
       const NodeId h = t->mapping.guest_host[gi];
       if (!h.valid() || !cluster.is_host(h)) {
@@ -337,7 +501,9 @@ std::vector<std::string> Healer::audit(const emulator::TenancyManager& mgr,
                              " has no valid host");
         continue;
       }
-      if (mgr.is_node_down(h)) {
+      // A declared-dead replica of a Deferred tenant may sit on a down
+      // host: that is precisely what deferral means.
+      if (mgr.is_node_down(h) && !guest_deferred(gi)) {
         violations.push_back(who + ": guest " + std::to_string(gi) +
                              " placed on failed host " +
                              std::to_string(h.value()));
@@ -367,8 +533,12 @@ std::vector<std::string> Healer::audit(const emulator::TenancyManager& mgr,
         continue;
       }
       const double demand = t->venv.link(lid).bandwidth_mbps;
+      // A path incident to a declared-dead replica may cross dead
+      // elements — its traffic is moot until the replica returns.
+      const bool deferred_link =
+          guest_deferred(ep.src.index()) || guest_deferred(ep.dst.index());
       for (const EdgeId e : path) {
-        if (edge_dead(e)) {
+        if (edge_dead(e) && !deferred_link) {
           violations.push_back(who + ": link " + std::to_string(li) +
                                " routed through failed element (edge " +
                                std::to_string(e.value()) + ")");

@@ -67,15 +67,30 @@ struct HealerOptions {
   double backoff_base = 1.0;
   double backoff_factor = 2.0;
   double backoff_max = 32.0;
+  /// SLA-aware healing.  When set:
+  ///   * impacted tenants heal in tier order (gold, standard, best-effort;
+  ///     ascending key within a tier), so gold gets first claim on whatever
+  ///     spare capacity — including the EWMA healing headroom — survives
+  ///     the failure;
+  ///   * a tenant whose only damage is dead replicas of still-quorate
+  ///     k-of-n groups **defers** repair (kReplicaDeferred): the mapping is
+  ///     left untouched and the dead replicas are declared to the audit,
+  ///     instead of burning migration work on a tenant that is healthy by
+  ///     its own declaration;
+  ///   * parked best-effort tenants re-admit with reserve_headroom=true —
+  ///     they may not eat the healing reserve, so under pressure they park
+  ///     first and stay parked longest.
+  bool tier_aware = false;
 };
 
 enum class HealAction : std::uint8_t {
   kHealed,      // fully repaired; every link routed
   kDegraded,    // guests survive, >= 1 link dark
-  kRestored,    // a previously Degraded tenant is fully routed again
+  kRestored,    // a previously Degraded/Deferred tenant is whole again
   kParked,      // evicted; waiting in the healing queue
   kReadmitted,  // parked tenant re-admitted
   kDropped,     // healing budget exhausted; tenant is lost
+  kReplicaDeferred,  // dead replicas, quorum holds: repair deferred
 };
 
 /// One healing outcome, keyed by the churn tenant key.
@@ -98,6 +113,8 @@ struct ParkedTenant {
   double parked_at = 0.0;
   std::size_t attempts = 0;      // failed re-admissions so far
   double next_attempt = 0.0;     // backoff gate (event time)
+
+  [[nodiscard]] model::SlaTier tier() const { return venv.sla_tier(); }
 };
 
 class Healer {
@@ -121,8 +138,11 @@ class Healer {
   std::vector<HealRecord> on_capacity_freed(emulator::TenancyManager& mgr,
                                             LiveMap& live, double now);
 
-  /// A running tenant departed: drop its Degraded bookkeeping.
-  void forget(std::uint32_t key) { degraded_.erase(key); }
+  /// A running tenant departed: drop its Degraded/Deferred bookkeeping.
+  void forget(std::uint32_t key) {
+    degraded_.erase(key);
+    deferred_.erase(key);
+  }
 
   /// A parked tenant departed before re-admission; returns its outage
   /// (now - parked_at) when it was indeed parked.
@@ -139,11 +159,23 @@ class Healer {
     return degraded_;
   }
 
+  [[nodiscard]] bool is_deferred(std::uint32_t key) const {
+    return deferred_.count(key) != 0;
+  }
+  [[nodiscard]] std::size_t deferred_count() const { return deferred_.size(); }
+  /// Declared-dead replica guests per Deferred tenant, keyed by churn key.
+  [[nodiscard]] const std::map<std::uint32_t, std::vector<GuestId>>&
+  deferred() const {
+    return deferred_;
+  }
+
   /// Independent invariant audit: recomputes everything from the committed
   /// tenants and returns one message per violation (empty = healthy).
-  /// Checks: no guest on a down node, no path through a down element, an
-  /// empty inter-host path only on a recorded dark link, and aggregate
-  /// memory/storage/bandwidth within every capacity.
+  /// Checks: no guest on a down node (unless it is a declared-dead replica
+  /// of a Deferred tenant), no path through a down element (unless the
+  /// link is incident to such a replica), an empty inter-host path only on
+  /// a recorded dark link, and aggregate memory/storage/bandwidth within
+  /// every capacity.
   [[nodiscard]] std::vector<std::string> audit(
       const emulator::TenancyManager& mgr, const LiveMap& live) const;
 
@@ -156,12 +188,23 @@ class Healer {
                       std::uint32_t key, double now);
   std::vector<HealRecord> heal_degraded(emulator::TenancyManager& mgr,
                                         LiveMap& live, double now);
+  std::vector<HealRecord> heal_deferred(emulator::TenancyManager& mgr,
+                                        LiveMap& live, double now);
   std::vector<HealRecord> retry_parked(emulator::TenancyManager& mgr,
                                        LiveMap& live, double now);
+  /// Tier-order (gold first, ascending key within a tier) when tier_aware;
+  /// otherwise leaves the ascending-key order untouched.
+  void order_by_tier(const emulator::TenancyManager& mgr, const LiveMap& live,
+                     std::vector<std::uint32_t>& keys) const;
+  std::vector<HealRecord> heal_all(emulator::TenancyManager& mgr,
+                                   LiveMap& live,
+                                   std::vector<std::uint32_t> impacted,
+                                   double now);
 
   HealerOptions opts_;
   std::map<std::uint32_t, std::vector<VirtLinkId>> degraded_;
-  std::deque<ParkedTenant> parked_;  // FIFO
+  std::map<std::uint32_t, std::vector<GuestId>> deferred_;
+  std::deque<ParkedTenant> parked_;  // FIFO (tier-major when tier_aware)
 };
 
 }  // namespace hmn::orchestrator

@@ -69,7 +69,7 @@ Orchestrator::Orchestrator(model::PhysicalCluster cluster,
     : mgr_(std::move(cluster), std::move(pool)),
       profile_(profile),
       opts_(opts),
-      queue_(opts.retry_max_attempts, opts.max_queue),
+      queue_(opts.retry_max_attempts, opts.max_queue, opts.queue_policy),
       healer_(opts.healer),
       avail_(mgr_.cluster().node_count(), mgr_.cluster().link_count(),
              opts.availability) {}
@@ -106,6 +106,14 @@ void Orchestrator::observe_failure_event(const workload::TenantEvent& ev) {
         avail_.on_link_recover(l, ev.time);
       }
       break;
+    case workload::EventKind::kPowerFail:
+      // ev.element is the power-domain id, not a node id — only the group
+      // member lists name real tracker elements.
+      avail_.on_group_fail(ev.group_hosts, ev.group_links, ev.time);
+      break;
+    case workload::EventKind::kPowerRecover:
+      avail_.on_group_recover(ev.group_hosts, ev.group_links, ev.time);
+      break;
     default:
       return;
   }
@@ -141,9 +149,14 @@ void Orchestrator::sample(double time) {
 
 void Orchestrator::maybe_defrag() {
   // Defrag rebuilds residuals from the unmasked cluster and re-routes every
-  // link from scratch; while elements are down or tenants run dark links it
-  // would either abort or silently fight the healer — suppress it.
-  if (mgr_.has_failed_elements() || healer_.degraded_count() > 0) return;
+  // link from scratch; while elements are down, tenants run dark links, or
+  // replica repairs sit deferred (their mappings deliberately reference
+  // dead elements) it would either abort or silently fight the healer —
+  // suppress it.
+  if (mgr_.has_failed_elements() || healer_.degraded_count() > 0 ||
+      healer_.deferred_count() > 0) {
+    return;
+  }
   const std::size_t k = opts_.defrag_every_departures;
   if (k == 0 || departures_ % k != 0) return;
   const util::Timer timer;
@@ -202,6 +215,24 @@ void Orchestrator::drain_queue(double now) {
   }
 }
 
+void Orchestrator::add_lost(std::uint32_t key, double amount) {
+  report_.tenant_minutes_lost += amount;
+  const auto it = tier_of_.find(key);
+  const model::SlaTier tier =
+      it == tier_of_.end() ? model::SlaTier::kStandard : it->second;
+  switch (tier) {
+    case model::SlaTier::kGold:
+      report_.tenant_minutes_lost_gold += amount;
+      break;
+    case model::SlaTier::kStandard:
+      report_.tenant_minutes_lost_standard += amount;
+      break;
+    case model::SlaTier::kBestEffort:
+      report_.tenant_minutes_lost_best_effort += amount;
+      break;
+  }
+}
+
 void Orchestrator::close_degraded_window(std::uint32_t key, double now) {
   const auto it = degraded_since_.find(key);
   if (it == degraded_since_.end()) return;
@@ -242,7 +273,7 @@ void Orchestrator::record_heals(const std::vector<HealRecord>& records,
         d.decision = Decision::kReadmitted;
         ++report_.readmitted;
         d.queue_wait = r.outage;
-        report_.tenant_minutes_lost += r.outage;
+        add_lost(r.key, r.outage);
         break;
       case HealAction::kDropped:
         d.decision = Decision::kHealDropped;
@@ -250,6 +281,10 @@ void Orchestrator::record_heals(const std::vector<HealRecord>& records,
         d.queue_wait = r.outage;
         // The loss keeps accruing until the tenant's own DEPART event.
         lost_since_[r.key] = now - r.outage;
+        break;
+      case HealAction::kReplicaDeferred:
+        d.decision = Decision::kReplicaDeferred;
+        ++report_.replica_deferred;
         break;
     }
     const auto lit = live_.find(r.key);
@@ -286,6 +321,7 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
   switch (ev.kind) {
     case workload::EventKind::kArrive: {
       ++report_.arrivals;
+      tier_of_[ev.tenant] = ev.sla_tier;
       model::VirtualEnvironment venv = workload::make_event_venv(profile_, ev);
       const auto result =
           mgr_.admit(tenant_name(ev.tenant), venv, ev.seed);
@@ -354,11 +390,11 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
         // Departed while evicted: the whole parked window is lost time.
         d.decision = Decision::kAbandoned;
         d.queue_wait = *outage;
-        report_.tenant_minutes_lost += *outage;
+        add_lost(ev.tenant, *outage);
         ++report_.abandoned;
       } else if (const auto lost = lost_since_.find(ev.tenant);
                  lost != lost_since_.end()) {
-        report_.tenant_minutes_lost += ev.time - lost->second;
+        add_lost(ev.tenant, ev.time - lost->second);
         lost_since_.erase(lost);
         d.decision = Decision::kNoOp;
       } else {
@@ -371,7 +407,9 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
     case workload::EventKind::kHostRecover:
     case workload::EventKind::kLinkRecover:
     case workload::EventKind::kBlastFail:
-    case workload::EventKind::kBlastRecover: {
+    case workload::EventKind::kBlastRecover:
+    case workload::EventKind::kPowerFail:
+    case workload::EventKind::kPowerRecover: {
       d.tenant = ev.element;  // the signature covers *which* element
       switch (ev.kind) {
         case workload::EventKind::kHostFail:
@@ -386,6 +424,10 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
           d.decision = Decision::kBlastFailed;
           ++report_.blast_failures;
           break;
+        case workload::EventKind::kPowerFail:
+          d.decision = Decision::kPowerFailed;
+          ++report_.power_failures;
+          break;
         case workload::EventKind::kHostRecover:
           d.decision = Decision::kHostRecovered;
           ++report_.recoveries;
@@ -393,6 +435,11 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
           break;
         case workload::EventKind::kBlastRecover:
           d.decision = Decision::kBlastRecovered;
+          ++report_.recoveries;
+          recovered = true;
+          break;
+        case workload::EventKind::kPowerRecover:
+          d.decision = Decision::kPowerRecovered;
           ++report_.recoveries;
           recovered = true;
           break;

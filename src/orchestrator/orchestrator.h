@@ -72,6 +72,10 @@ enum class Decision : std::uint8_t {
 
   kBlastFailed,     // BLAST_FAIL: a correlated group went dark
   kBlastRecovered,  // BLAST_RECOVER: the group returned to service
+
+  kPowerFailed,      // POWER_FAIL: a power domain went dark
+  kPowerRecovered,   // POWER_RECOVER: the repair crew finished the domain
+  kReplicaDeferred,  // dead replicas, quorum holds: repair deferred
 };
 
 [[nodiscard]] constexpr const char* to_string(Decision d) {
@@ -99,6 +103,9 @@ enum class Decision : std::uint8_t {
     case Decision::kHealDropped: return "heal-dropped";
     case Decision::kBlastFailed: return "blast-failed";
     case Decision::kBlastRecovered: return "blast-recovered";
+    case Decision::kPowerFailed: return "power-failed";
+    case Decision::kPowerRecovered: return "power-recovered";
+    case Decision::kReplicaDeferred: return "replica-deferred";
   }
   return "?";
 }
@@ -156,16 +163,23 @@ struct OrchestratorReport {
   std::size_t host_failures = 0;
   std::size_t link_failures = 0;
   std::size_t blast_failures = 0;  // correlated groups, counted once each
+  std::size_t power_failures = 0;  // power domains, counted once each
   std::size_t recoveries = 0;
   std::size_t healed = 0;          // in-place repairs that fully routed
   std::size_t degraded = 0;        // transitions into Degraded
-  std::size_t restored = 0;        // Degraded -> fully routed
+  std::size_t restored = 0;        // Degraded/Deferred -> whole again
+  std::size_t replica_deferred = 0;  // repairs deferred on quorate groups
   std::size_t parked = 0;          // evictions into the healing queue
   std::size_t readmitted = 0;      // parked tenants admitted again
   std::size_t heal_dropped = 0;    // healing budget exhausted
   /// Event time running tenants spent evicted (parked/dropped windows,
   /// closed at re-admission or departure).
   double tenant_minutes_lost = 0.0;
+  /// The same loss, attributed to the departed/readmitted tenant's SLA
+  /// tier — the series the E17 gate compares across placement policies.
+  double tenant_minutes_lost_gold = 0.0;
+  double tenant_minutes_lost_standard = 0.0;
+  double tenant_minutes_lost_best_effort = 0.0;
   /// Event time tenants spent in the Degraded state.
   double degraded_minutes = 0.0;
   /// One message per invariant-auditor violation ("<time>: <what>");
@@ -195,6 +209,9 @@ struct OrchestratorOptions {
   /// Retry-queue policy (see RetryQueue).
   std::size_t retry_max_attempts = 8;
   std::size_t max_queue = 0;
+  /// Backfill drain order; every policy is deterministic and every drain
+  /// decision is logged, so any choice replays byte-identically.
+  QueuePolicy queue_policy = QueuePolicy::kFifo;
   /// Healing policy and backoff (see Healer).
   HealerOptions healer;
   /// Run the independent invariant auditor after every event, appending
@@ -253,6 +270,8 @@ class Orchestrator {
   void close_degraded_window(std::uint32_t key, double now);
   void run_audit(double now);
   [[nodiscard]] std::uint64_t placement_hash(emulator::TenantId id) const;
+  /// Accrues lost time to the total and to the tenant's tier bucket.
+  void add_lost(std::uint32_t key, double amount);
 
   emulator::TenancyManager mgr_;
   workload::GuestProfile profile_;
@@ -263,6 +282,7 @@ class Orchestrator {
   std::map<std::uint32_t, emulator::TenantId> live_;  // churn key -> tenant
   std::map<std::uint32_t, double> degraded_since_;    // key -> entry time
   std::map<std::uint32_t, double> lost_since_;        // dropped key -> park time
+  std::map<std::uint32_t, model::SlaTier> tier_of_;   // key -> declared tier
   std::size_t departures_ = 0;
   OrchestratorReport report_;
 };

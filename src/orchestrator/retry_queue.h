@@ -2,12 +2,16 @@
 //
 // A tenant that does not fit at arrival is not necessarily lost: the next
 // departure (or a defragmentation pass) may free exactly the capacity it
-// needs.  The queue holds rejected tenants in FIFO order and re-attempts
-// them when the orchestrator signals that capacity changed.  FIFO keeps
-// the policy fair and the replay deterministic; a per-tenant attempt cap
-// bounds the work a hopeless giant can consume before it is dropped.
+// needs.  The queue holds rejected tenants and re-attempts them when the
+// orchestrator signals that capacity changed.  The drain order is a
+// pluggable QueuePolicy (FIFO by default); every policy is a deterministic
+// reorder of the same entries, and the orchestrator logs each admission /
+// drop as a decision, so any policy replays byte-identically.  A
+// per-tenant attempt cap bounds the work a hopeless giant can consume
+// before it is dropped.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -17,6 +21,31 @@
 #include "model/virtual_environment.h"
 
 namespace hmn::orchestrator {
+
+/// Backfill drain order.  Admissions mutate residual capacity mid-drain,
+/// so the order is policy, not cosmetics: whoever is tried first gets
+/// first claim on freshly freed capacity.
+enum class QueuePolicy : std::uint8_t {
+  /// Arrival order — the fairness baseline.
+  kFifo,
+  /// Fewest guests first (ties: enqueue time, then key): small tenants
+  /// backfill gaps a giant cannot use, maximizing admissions per drain at
+  /// the cost of possibly starving the giant.
+  kSmallestFirst,
+  /// Longest wait first (ties: key).  Enqueue times grow monotonically, so
+  /// this refines FIFO with a deterministic key tie-break for tenants
+  /// rejected at the same event instant.
+  kLargestWaitFirst,
+};
+
+[[nodiscard]] constexpr const char* to_string(QueuePolicy p) {
+  switch (p) {
+    case QueuePolicy::kFifo: return "fifo";
+    case QueuePolicy::kSmallestFirst: return "smallest-first";
+    case QueuePolicy::kLargestWaitFirst: return "largest-wait-first";
+  }
+  return "?";
+}
 
 /// A tenant waiting for admission.
 struct PendingTenant {
@@ -33,8 +62,11 @@ class RetryQueue {
   /// max_attempts: drop a tenant after this many failed admissions
   /// (0 = never drop).  max_size: reject instead of enqueue when the queue
   /// is this long (0 = unbounded).
-  explicit RetryQueue(std::size_t max_attempts = 0, std::size_t max_size = 0)
-      : max_attempts_(max_attempts), max_size_(max_size) {}
+  explicit RetryQueue(std::size_t max_attempts = 0, std::size_t max_size = 0,
+                      QueuePolicy policy = QueuePolicy::kFifo)
+      : max_attempts_(max_attempts), max_size_(max_size), policy_(policy) {}
+
+  [[nodiscard]] QueuePolicy policy() const { return policy_; }
 
   [[nodiscard]] bool full() const {
     return max_size_ != 0 && entries_.size() >= max_size_;
@@ -56,12 +88,13 @@ class RetryQueue {
     std::vector<PendingTenant> dropped;   // entries past max_attempts
   };
 
-  /// Re-attempts every queued tenant in FIFO order.  `try_admit` is called
-  /// with the entry (attempts already incremented) and returns whether the
-  /// tenant was admitted; admitted and attempt-exhausted entries leave the
-  /// queue, the rest stay in order.
+  /// Re-attempts every queued tenant in policy order.  `try_admit` is
+  /// called with the entry (attempts already incremented) and returns
+  /// whether the tenant was admitted; admitted and attempt-exhausted
+  /// entries leave the queue, the rest stay in policy order.
   template <typename TryAdmit>
   DrainResult drain(TryAdmit&& try_admit) {
+    reorder();
     DrainResult result;
     std::deque<PendingTenant> keep;
     while (!entries_.empty()) {
@@ -81,8 +114,42 @@ class RetryQueue {
   }
 
  private:
+  /// Deterministic policy reorder applied before each drain.  Stable, so
+  /// entries the policy considers equal keep their FIFO order.
+  void reorder() {
+    switch (policy_) {
+      case QueuePolicy::kFifo:
+        return;
+      case QueuePolicy::kSmallestFirst:
+        std::stable_sort(entries_.begin(), entries_.end(),
+                         [](const PendingTenant& a, const PendingTenant& b) {
+                           if (a.venv.guest_count() != b.venv.guest_count()) {
+                             return a.venv.guest_count() <
+                                    b.venv.guest_count();
+                           }
+                           // hmn-lint: allow(float-eq, enqueue times are copied event timestamps; exact comparison is the deterministic tie-break)
+                           if (a.enqueued_at != b.enqueued_at) {
+                             return a.enqueued_at < b.enqueued_at;
+                           }
+                           return a.key < b.key;
+                         });
+        return;
+      case QueuePolicy::kLargestWaitFirst:
+        std::stable_sort(entries_.begin(), entries_.end(),
+                         [](const PendingTenant& a, const PendingTenant& b) {
+                           // hmn-lint: allow(float-eq, enqueue times are copied event timestamps; exact comparison is the deterministic tie-break)
+                           if (a.enqueued_at != b.enqueued_at) {
+                             return a.enqueued_at < b.enqueued_at;
+                           }
+                           return a.key < b.key;
+                         });
+        return;
+    }
+  }
+
   std::size_t max_attempts_;
   std::size_t max_size_;
+  QueuePolicy policy_ = QueuePolicy::kFifo;
   std::deque<PendingTenant> entries_;
 };
 

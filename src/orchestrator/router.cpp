@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "extensions/replica_spread.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -73,6 +74,13 @@ PlacementRouter::PlacementRouter(const model::PhysicalCluster& fabric,
           multilevel::build_hierarchy(sh.cluster, mo.phys));
       pool.add_front(std::make_unique<multilevel::MultilevelMapper>(
           std::move(mo), std::move(hier)));
+    }
+    if (opts_.replica_spread) {
+      // Anti-affinity post-pass over every chain entry (multilevel mapper
+      // included): spread k-of-n replica groups across the shard's failure
+      // domains.  No-op unless the shard cluster is domain-annotated and
+      // the tenant declares groups.
+      pool = extensions::replica_aware(std::move(pool));
     }
     shards_.push_back(std::make_unique<ShardState>(s, sh, std::move(pool)));
     refresh_headroom(s);

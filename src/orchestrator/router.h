@@ -77,6 +77,13 @@ struct RouterOptions {
   /// Tuning for the delegated multilevel mapper (its min_hosts is
   /// overridden by multilevel_min_hosts above).
   multilevel::MultilevelOptions multilevel;
+  /// Wrap every mapper in each shard's pool with the anti-affinity
+  /// replica-spread pass (extensions::replica_aware).  The wrapper is
+  /// byte-invisible for tenants without replica groups and clusters
+  /// without failure-domain annotation, so enabling it on a legacy
+  /// workload replays identically; it is off by default so mapper names
+  /// in shard stats stay unchanged for existing consumers.
+  bool replica_spread = false;
 };
 
 /// One independent arrival handed to admit_batch.

@@ -182,6 +182,26 @@ ClusterPartition partition_cluster(const model::PhysicalCluster& parent,
     for (const NodeId h : shard.cluster.hosts()) {
       shard.total_proc_mips += shard.cluster.capacity(h).proc_mips;
     }
+    // Failure-domain annotation is copied verbatim (like capacities): each
+    // local node keeps its parent's blast / power domain id, so per-shard
+    // replica spreading sees the same domains a flat mapper would.
+    if (!parent.failure_domains().empty()) {
+      const model::FailureDomains& pd = parent.failure_domains();
+      model::FailureDomains local;
+      const std::size_t ln = shard.to_parent_node.size();
+      local.blast_domain.resize(ln, model::FailureDomains::kNone);
+      local.power_domain.resize(ln, model::FailureDomains::kNone);
+      for (std::size_t i = 0; i < ln; ++i) {
+        const std::size_t pi = shard.to_parent_node[i].index();
+        if (pi < pd.blast_domain.size()) {
+          local.blast_domain[i] = pd.blast_domain[pi];
+        }
+        if (pi < pd.power_domain.size()) {
+          local.power_domain[i] = pd.power_domain[pi];
+        }
+      }
+      shard.cluster.set_failure_domains(std::move(local));
+    }
   }
 
   for (std::size_t e = 0; e < g.edge_count(); ++e) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/rng.h"
+#include "workload/power_domains.h"
 #include "workload/venv_generator.h"
 
 namespace hmn::workload {
@@ -40,11 +41,13 @@ int kind_rank(EventKind k) {
     case EventKind::kHostRecover: return 3;
     case EventKind::kLinkRecover: return 4;
     case EventKind::kBlastRecover: return 5;
-    case EventKind::kHostFail: return 6;
-    case EventKind::kLinkFail: return 7;
-    case EventKind::kBlastFail: return 8;
+    case EventKind::kPowerRecover: return 6;
+    case EventKind::kHostFail: return 7;
+    case EventKind::kLinkFail: return 8;
+    case EventKind::kBlastFail: return 9;
+    case EventKind::kPowerFail: return 10;
   }
-  return 9;
+  return 11;
 }
 
 }  // namespace
@@ -76,6 +79,25 @@ ChurnTrace generate_churn(const ChurnOptions& opts, std::uint64_t seed) {
         static_cast<std::int64_t>(std::max(opts.min_guests, opts.max_guests))));
     arrive.density = opts.density;
     arrive.seed = util::derive_seed(seed, key, 1);
+    // Tier and replica draws are short-circuited on their zero defaults so
+    // legacy (opts without tiers/replicas) streams consume no extra draws
+    // and replay byte-identically.
+    if (opts.gold_fraction > 0.0 || opts.best_effort_fraction > 0.0) {
+      const double u = rng.uniform01();
+      if (u < opts.gold_fraction) {
+        arrive.sla_tier = model::SlaTier::kGold;
+      } else if (u < opts.gold_fraction + opts.best_effort_fraction) {
+        arrive.sla_tier = model::SlaTier::kBestEffort;
+      }
+    }
+    if (opts.replica_probability > 0.0 && opts.replica_n >= 2 &&
+        rng.chance(opts.replica_probability)) {
+      arrive.replica_n = std::min<std::uint32_t>(
+          opts.replica_n, static_cast<std::uint32_t>(arrive.guest_count));
+      arrive.replica_k = std::clamp<std::uint32_t>(opts.replica_k, 1,
+                                                   arrive.replica_n);
+      if (arrive.replica_n < 2) arrive.replica_n = arrive.replica_k = 0;
+    }
     trace.events.push_back(arrive);
 
     const double life = lifetime_draw(rng, opts);
@@ -237,6 +259,78 @@ std::vector<TenantEvent> generate_failures(const FailureOptions& opts,
       }
     }
   }
+  // Power-domain outages with one-crew serialized repair.  Each domain's
+  // failure instants and hands-on repair durations come from its own
+  // derived stream (class 4), but a single crew works the queue: repair of
+  // the next-failed domain starts at max(its failure, crew_free), FIFO by
+  // failure time with ties broken by domain id.  A domain's next up-time
+  // starts only once its repair completes, so the per-domain renewal
+  // structure is preserved while storms stack repairs back-to-back.
+  if (opts.power_mttf > 0.0 && opts.power_domains > 0) {
+    struct DomainState {
+      util::Rng rng;
+      double next_fail = 0.0;
+      std::vector<std::uint32_t> hosts;
+      std::vector<std::uint32_t> links;
+    };
+    std::vector<DomainState> domains;
+    const graph::Graph& g = cluster.graph();
+    for (std::uint32_t d = 0; d < opts.power_domains; ++d) {
+      DomainState ds{util::Rng(util::derive_seed(seed, 4, d)), 0.0,
+                     power_domain_hosts(cluster, opts.power_domains, d),
+                     {}};
+      for (const std::uint32_t h : ds.hosts) {
+        const NodeId node{h};
+        for (const graph::Adjacency& adj : g.neighbors(node)) {
+          ds.links.push_back(adj.edge.value());
+        }
+      }
+      std::sort(ds.links.begin(), ds.links.end());
+      ds.links.erase(std::unique(ds.links.begin(), ds.links.end()),
+                     ds.links.end());
+      ds.next_fail = mttf_draw(ds.rng, opts.power_mttf, opts);
+      domains.push_back(std::move(ds));
+    }
+
+    double crew_free = 0.0;
+    while (true) {
+      // Earliest pending failure inside the horizon; ties by domain id.
+      std::size_t pick = domains.size();
+      for (std::size_t d = 0; d < domains.size(); ++d) {
+        if (domains[d].hosts.empty()) continue;
+        if (domains[d].next_fail >= opts.horizon) continue;
+        if (pick == domains.size() ||
+            domains[d].next_fail < domains[pick].next_fail) {
+          pick = d;
+        }
+      }
+      if (pick == domains.size()) break;
+      DomainState& ds = domains[pick];
+
+      TenantEvent down;
+      down.time = ds.next_fail;
+      down.kind = EventKind::kPowerFail;
+      down.element = static_cast<std::uint32_t>(pick);
+      down.group_hosts = ds.hosts;
+      down.group_links = ds.links;
+      events.push_back(down);
+
+      const double start = std::max(ds.next_fail, crew_free);
+      const double recover =
+          repair_time(ds.rng, start, opts.power_mttr);
+      crew_free = recover;
+      TenantEvent up;
+      up.time = recover;
+      up.kind = EventKind::kPowerRecover;
+      up.element = static_cast<std::uint32_t>(pick);
+      up.group_hosts = ds.hosts;
+      up.group_links = ds.links;
+      events.push_back(up);
+
+      ds.next_fail = recover + mttf_draw(ds.rng, opts.power_mttf, opts);
+    }
+  }
+
   std::stable_sort(events.begin(), events.end(), event_before);
   return events;
 }
@@ -255,7 +349,19 @@ model::VirtualEnvironment make_event_venv(const GuestProfile& profile,
   opts.density = ev.density;
   opts.profile = profile;
   util::Rng rng(ev.seed);
-  return generate_venv(opts, rng);
+  model::VirtualEnvironment venv = generate_venv(opts, rng);
+  venv.set_sla_tier(ev.sla_tier);
+  // The replica group covers the venv's first replica_n guests — a
+  // seedless structural choice, so replay needs only (replica_n,
+  // replica_k) from the event.
+  const std::uint32_t n = std::min<std::uint32_t>(
+      ev.replica_n, static_cast<std::uint32_t>(venv.guest_count()));
+  if (n >= 2 && ev.replica_k >= 1 && ev.replica_k <= n) {
+    std::vector<GuestId> members;
+    for (std::uint32_t i = 0; i < n; ++i) members.push_back(GuestId{i});
+    venv.add_replica_group(std::move(members), ev.replica_k);
+  }
+  return venv;
 }
 
 model::VirtualEnvironment apply_growth(const model::VirtualEnvironment& base,
@@ -270,6 +376,10 @@ model::VirtualEnvironment apply_growth(const model::VirtualEnvironment& base,
     const auto id = VirtLinkId{static_cast<VirtLinkId::underlying_type>(l)};
     const auto ep = base.endpoints(id);
     grown.add_link(ep.src, ep.dst, base.link(id));
+  }
+  grown.set_sla_tier(base.sla_tier());
+  for (const model::ReplicaGroup& rg : base.replica_groups()) {
+    grown.add_replica_group(rg.members, rg.required);
   }
 
   util::Rng rng(ev.seed);

@@ -53,6 +53,8 @@ enum class EventKind : std::uint8_t {
   kLinkRecover,
   kBlastFail,
   kBlastRecover,
+  kPowerFail,     // a PDU dies: its hosts (possibly across racks) go dark
+  kPowerRecover,  // the one repair crew finishes this domain
 };
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) {
@@ -66,6 +68,8 @@ enum class EventKind : std::uint8_t {
     case EventKind::kLinkRecover: return "link-recover";
     case EventKind::kBlastFail: return "blast-fail";
     case EventKind::kBlastRecover: return "blast-recover";
+    case EventKind::kPowerFail: return "power-fail";
+    case EventKind::kPowerRecover: return "power-recover";
   }
   return "?";
 }
@@ -73,12 +77,13 @@ enum class EventKind : std::uint8_t {
 [[nodiscard]] constexpr bool is_failure_event(EventKind k) {
   return k == EventKind::kHostFail || k == EventKind::kLinkFail ||
          k == EventKind::kHostRecover || k == EventKind::kLinkRecover ||
-         k == EventKind::kBlastFail || k == EventKind::kBlastRecover;
+         k == EventKind::kBlastFail || k == EventKind::kBlastRecover ||
+         k == EventKind::kPowerFail || k == EventKind::kPowerRecover;
 }
 
 [[nodiscard]] constexpr bool is_recover_event(EventKind k) {
   return k == EventKind::kHostRecover || k == EventKind::kLinkRecover ||
-         k == EventKind::kBlastRecover;
+         k == EventKind::kBlastRecover || k == EventKind::kPowerRecover;
 }
 
 /// One tenant life-cycle or substrate event.  Fields beyond (time, kind)
@@ -94,12 +99,21 @@ struct TenantEvent {
   std::size_t add_links = 0;    // kGrow: extra links beyond attachment
   std::uint64_t seed = 0;       // kArrive/kGrow: stream seed for the draw
   std::uint32_t element = 0;    // k*Fail/k*Recover: node / edge id
-                                // (kBlast*: the dead switch)
+                                // (kBlast*: the dead switch;
+                                //  kPower*: the power-domain id, NOT a node)
 
-  /// kBlastFail/kBlastRecover only: the correlated group — every host node
-  /// and physical edge that dies with the switch.  Sorted ascending, no
-  /// duplicates; the recover event carries the identical lists so replay
-  /// can restore the group without bookkeeping.
+  /// kArrive only: declared service tier and optional k-of-n replica group
+  /// (replica_n == 0 means the tenant declares none; otherwise the venv's
+  /// first replica_n guests form one group with quorum replica_k).
+  model::SlaTier sla_tier = model::SlaTier::kStandard;
+  std::uint32_t replica_n = 0;
+  std::uint32_t replica_k = 0;
+
+  /// kBlastFail/kBlastRecover and kPowerFail/kPowerRecover only: the
+  /// correlated group — every host node and physical edge that dies with
+  /// the switch (or PDU).  Sorted ascending, no duplicates; the recover
+  /// event carries the identical lists so replay can restore the group
+  /// without bookkeeping.
   std::vector<std::uint32_t> group_hosts;
   std::vector<std::uint32_t> group_links;
 
@@ -161,6 +175,19 @@ struct ChurnOptions {
   double grow_probability = 0.2;
   /// GROW adds U[1,max_grow_guests] guests and U[0,add_guests] extra links.
   std::size_t max_grow_guests = 4;
+
+  /// Chance a tenant declares one k-of-n replica group over its first
+  /// replica_n guests (clamped to the venv size).  Zero — the default —
+  /// consumes no RNG draws, so legacy streams replay byte-identically.
+  double replica_probability = 0.0;
+  std::uint32_t replica_n = 3;
+  std::uint32_t replica_k = 2;
+
+  /// Tier mix: a tenant is gold with probability gold_fraction, best-effort
+  /// with best_effort_fraction, standard otherwise.  Both zero (the
+  /// default) consumes no RNG draws.
+  double gold_fraction = 0.0;
+  double best_effort_fraction = 0.0;
 };
 
 /// A reproducible churn workload: the event stream plus the guest profile
@@ -197,20 +224,34 @@ struct FailureOptions {
   double blast_mttf = 0.0;  // mean up-time of each switch subtree
   double blast_mttr = 10.0;
 
+  /// Power-domain outages: hosts are striped across `power_domains` PDUs
+  /// (host i of cluster.hosts() feeds from PDU i % power_domains, so one
+  /// PDU spans racks — deliberately independent of the network topology).
+  /// Each domain fails on its own renewal stream, but repair is serialized
+  /// through ONE crew: a domain that fails while the crew is busy waits its
+  /// turn (FIFO by failure time, ties by domain id), so storms stack
+  /// repairs back-to-back.  Zero power_mttf disables the class.
+  double power_mttf = 0.0;  // mean up-time of each power domain
+  double power_mttr = 8.0;  // mean hands-on repair time per domain
+  std::uint32_t power_domains = 4;
+
   /// Up-time shape shared by all element classes (host, link, blast).
   MttfDistribution mttf_dist = MttfDistribution::kExponential;
   double weibull_shape = 1.5;    // k > 0; k = 1 degenerates to exponential
   double lognormal_sigma = 0.5;  // σ of ln X; mean is preserved via μ
 };
 
-/// Draws the HOST_FAIL / LINK_FAIL / BLAST_FAIL / *_RECOVER stream for
-/// `cluster`'s elements.  Host failures hit host-role nodes only; link
-/// failures may hit any physical edge; blast failures hit switch-role
-/// nodes and carry the switch's attached subtree (adjacent hosts, incident
-/// links) as a correlated group.  Deterministic: element e of each class
-/// draws from its own derive_seed(seed, class, e) stream (class 1 = hosts,
-/// 2 = links, 3 = blasts), so streams for different clusters of the same
-/// size are comparable and enabling one class never perturbs another.
+/// Draws the HOST_FAIL / LINK_FAIL / BLAST_FAIL / POWER_FAIL / *_RECOVER
+/// stream for `cluster`'s elements.  Host failures hit host-role nodes
+/// only; link failures may hit any physical edge; blast failures hit
+/// switch-role nodes and carry the switch's attached subtree (adjacent
+/// hosts, incident links) as a correlated group; power failures hit whole
+/// power domains (element = domain id) and carry the domain's hosts and
+/// their incident links.  Deterministic: element e of each class draws
+/// from its own derive_seed(seed, class, e) stream (class 1 = hosts,
+/// 2 = links, 3 = blasts, 4 = power domains), so streams for different
+/// clusters of the same size are comparable and enabling one class never
+/// perturbs another.
 [[nodiscard]] std::vector<TenantEvent> generate_failures(
     const FailureOptions& opts, const model::PhysicalCluster& cluster,
     std::uint64_t seed);

@@ -1,0 +1,54 @@
+#include "workload/power_domains.h"
+
+#include <algorithm>
+
+namespace hmn::workload {
+
+std::vector<std::uint32_t> power_domain_assignment(
+    const model::PhysicalCluster& cluster, std::uint32_t count) {
+  std::vector<std::uint32_t> domain(cluster.node_count(),
+                                    model::FailureDomains::kNone);
+  if (count == 0) return domain;
+  const std::vector<NodeId>& hosts = cluster.hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    domain[hosts[i].index()] = static_cast<std::uint32_t>(i % count);
+  }
+  return domain;
+}
+
+std::vector<std::uint32_t> power_domain_hosts(
+    const model::PhysicalCluster& cluster, std::uint32_t count,
+    std::uint32_t domain) {
+  std::vector<std::uint32_t> out;
+  if (count == 0) return out;
+  const std::vector<NodeId>& hosts = cluster.hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (i % count == domain) out.push_back(hosts[i].value());
+  }
+  // hosts() is ascending by NodeId, so `out` already is too.
+  return out;
+}
+
+model::FailureDomains derive_failure_domains(
+    const model::PhysicalCluster& cluster, std::uint32_t power_count) {
+  model::FailureDomains fd;
+  fd.power_domain = power_domain_assignment(cluster, power_count);
+  fd.blast_domain.assign(cluster.node_count(), model::FailureDomains::kNone);
+  const graph::Graph& g = cluster.graph();
+  for (const NodeId h : cluster.hosts()) {
+    std::uint32_t lowest = model::FailureDomains::kNone;
+    for (const graph::Adjacency& adj : g.neighbors(h)) {
+      if (cluster.is_host(adj.neighbor)) continue;
+      lowest = std::min(lowest, adj.neighbor.value());
+    }
+    fd.blast_domain[h.index()] = lowest;
+  }
+  return fd;
+}
+
+void annotate_failure_domains(model::PhysicalCluster& cluster,
+                              std::uint32_t power_count) {
+  cluster.set_failure_domains(derive_failure_domains(cluster, power_count));
+}
+
+}  // namespace hmn::workload

@@ -1,0 +1,43 @@
+// Power-domain modeling: which PDU feeds which host, and the derived
+// failure-domain annotation the replica-spread mapper consumes.
+//
+// Assignment is *seedless and structural*: host i of cluster.hosts() feeds
+// from PDU i % count.  Striping (rather than chunking) makes a power domain
+// deliberately cut across racks — the realistic worst case where a PDU
+// loss is NOT congruent with any network blast group, so anti-affinity has
+// to reason about both domain kinds at once.  Because the mapping is a
+// pure function of (cluster, count), the event generator
+// (workload::generate_failures) and the cluster annotation
+// (annotate_failure_domains) can never disagree about membership.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/physical_cluster.h"
+
+namespace hmn::workload {
+
+/// Per-node power-domain id: host i (in cluster.hosts() order) maps to
+/// i % count; switches get FailureDomains::kNone.  `count` == 0 yields an
+/// all-kNone vector.
+[[nodiscard]] std::vector<std::uint32_t> power_domain_assignment(
+    const model::PhysicalCluster& cluster, std::uint32_t count);
+
+/// Host *node ids* of one power domain, ascending.
+[[nodiscard]] std::vector<std::uint32_t> power_domain_hosts(
+    const model::PhysicalCluster& cluster, std::uint32_t count,
+    std::uint32_t domain);
+
+/// Full failure-domain annotation: blast domain = the lowest-id adjacent
+/// switch of each host (the switch whose blast event takes it down; hosts
+/// multi-homed to several switches use the lowest for spreading), power
+/// domain = power_domain_assignment.  Switches get kNone in both.
+[[nodiscard]] model::FailureDomains derive_failure_domains(
+    const model::PhysicalCluster& cluster, std::uint32_t power_count);
+
+/// Installs derive_failure_domains on the cluster in place.
+void annotate_failure_domains(model::PhysicalCluster& cluster,
+                              std::uint32_t power_count);
+
+}  // namespace hmn::workload

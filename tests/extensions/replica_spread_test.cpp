@@ -1,0 +1,135 @@
+// Anti-affinity replica spreading: the post-pass moves k-of-n group
+// members into distinct failure domains when it can, falls back to the
+// inner mapping when it cannot, and is byte-invisible whenever there is
+// nothing to spread.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/hmn_mapper.h"
+#include "core/validator.h"
+#include "extensions/replica_spread.h"
+#include "testing/fixtures.h"
+#include "workload/power_domains.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+
+/// Replicated venv: `n` unlinked guests in one k-of-n group.  No links, so
+/// the base HMN mapper happily packs everything onto one big host.
+model::VirtualEnvironment replica_venv(std::size_t n, std::size_t k,
+                                       double mem_mb = 256.0) {
+  model::VirtualEnvironment venv;
+  std::vector<GuestId> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(venv.add_guest({10, mem_mb, 100}));
+  }
+  venv.add_replica_group(ids, k);
+  return venv;
+}
+
+std::set<std::uint32_t> member_domains(
+    const model::PhysicalCluster& cluster, const core::Mapping& mapping,
+    const model::ReplicaGroup& group) {
+  std::set<std::uint32_t> domains;
+  const auto& pd = cluster.failure_domains().power_domain;
+  for (const GuestId m : group.members) {
+    domains.insert(pd[mapping.guest_host[m.index()].index()]);
+  }
+  return domains;
+}
+
+TEST(ReplicaSpreadTest, SpreadsGroupAcrossPowerDomains) {
+  auto cluster = line_cluster(6);
+  workload::annotate_failure_domains(cluster, 3);
+  extensions::ReplicaSpreadMapper mapper(
+      std::make_unique<core::HmnMapper>());
+
+  const auto venv = replica_venv(3, 2);
+  const auto out = mapper.map(cluster, venv, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(core::validate_mapping(cluster, venv, *out.mapping).ok());
+  // Six hosts / three power domains / three replicas: a perfect spread is
+  // always reachable, so every member must land in its own domain.
+  EXPECT_EQ(
+      member_domains(cluster, *out.mapping, venv.replica_group(0)).size(),
+      3u);
+}
+
+TEST(ReplicaSpreadTest, BeatsTheInnerMapperOnDomainCount) {
+  auto cluster = line_cluster(6);
+  workload::annotate_failure_domains(cluster, 3);
+  core::HmnMapper inner;
+  const auto venv = replica_venv(3, 2);
+  const auto base = inner.map(cluster, venv, 1);
+  ASSERT_TRUE(base.ok());
+
+  extensions::ReplicaSpreadMapper mapper(
+      std::make_unique<core::HmnMapper>());
+  const auto spread = mapper.map(cluster, venv, 1);
+  ASSERT_TRUE(spread.ok());
+  EXPECT_GE(
+      member_domains(cluster, *spread.mapping, venv.replica_group(0)).size(),
+      member_domains(cluster, *base.mapping, venv.replica_group(0)).size());
+}
+
+TEST(ReplicaSpreadTest, InvisibleWithoutAnnotationOrGroups) {
+  core::HmnMapper inner;
+  extensions::ReplicaSpreadMapper mapper(
+      std::make_unique<core::HmnMapper>());
+
+  // Un-annotated cluster: pass-through even with a replica group.
+  const auto bare = line_cluster(6);
+  const auto venv = replica_venv(3, 2);
+  EXPECT_EQ(core::fingerprint(*mapper.map(bare, venv, 5).mapping),
+            core::fingerprint(*inner.map(bare, venv, 5).mapping));
+
+  // Annotated cluster, group-less venv: pass-through too.
+  auto annotated = line_cluster(6);
+  workload::annotate_failure_domains(annotated, 3);
+  const auto plain = chain_venv(3);
+  EXPECT_EQ(core::fingerprint(*mapper.map(annotated, plain, 5).mapping),
+            core::fingerprint(*inner.map(annotated, plain, 5).mapping));
+}
+
+TEST(ReplicaSpreadTest, FallsBackWhenNothingFitsElsewhere) {
+  // One host only: no alternative placements exist, so the spread must
+  // return the inner mapping unchanged rather than failing.
+  auto cluster = line_cluster(1);
+  workload::annotate_failure_domains(cluster, 3);
+  extensions::ReplicaSpreadMapper mapper(
+      std::make_unique<core::HmnMapper>());
+  const auto venv = replica_venv(2, 1);
+  const auto out = mapper.map(cluster, venv, 3);
+  ASSERT_TRUE(out.ok());
+  for (const NodeId h : out.mapping->guest_host) {
+    EXPECT_EQ(h, cluster.hosts()[0]);
+  }
+}
+
+TEST(ReplicaSpreadTest, PoolWrapperPreservesOrderAndNames) {
+  extensions::HeuristicPool pool;
+  pool.add(std::make_unique<core::HmnMapper>());
+  const std::string inner_name = pool.at(0).name();
+  extensions::HeuristicPool wrapped =
+      extensions::replica_aware(std::move(pool));
+  ASSERT_EQ(wrapped.size(), 1u);
+  EXPECT_EQ(wrapped.at(0).name(), "replica-spread(" + inner_name + ")");
+}
+
+TEST(ReplicaSpreadTest, DeterministicAcrossRepeatedCalls) {
+  auto cluster = line_cluster(9);
+  workload::annotate_failure_domains(cluster, 3);
+  extensions::ReplicaSpreadMapper mapper(
+      std::make_unique<core::HmnMapper>());
+  const auto venv = replica_venv(3, 2);
+  const auto a = mapper.map(cluster, venv, 11);
+  const auto b = mapper.map(cluster, venv, 11);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(core::fingerprint(*a.mapping), core::fingerprint(*b.mapping));
+}
+
+}  // namespace

@@ -150,7 +150,7 @@ TEST(TraceMalformed, FailureEventsRoundTripByteIdentical) {
       workload::generate_failures(fopts, hmn::test::line_cluster(4), 405));
 
   const std::string once = io::write_trace(trace);
-  EXPECT_TRUE(contains(once, "\"version\":3"));
+  EXPECT_TRUE(contains(once, "\"version\":4"));
   const auto parsed = io::read_trace_or_throw(once);
   EXPECT_EQ(parsed.events, trace.events);
   EXPECT_EQ(io::write_trace(parsed), once);
@@ -218,14 +218,14 @@ TEST(TraceMalformed, UnknownMttfDistTagIsRejected) {
 
 TEST(TraceMalformed, UnsupportedVersionIsRejected) {
   std::string h = header();
-  const auto pos = h.find("\"version\":3");
+  const auto pos = h.find("\"version\":4");
   ASSERT_NE(pos, std::string::npos);
-  h.replace(pos, std::string("\"version\":3").size(), "\"version\":4");
+  h.replace(pos, std::string("\"version\":4").size(), "\"version\":5");
   const auto e = must_fail(h);
   EXPECT_EQ(e.line, 1u);
-  EXPECT_TRUE(contains(e.message, "unsupported trace version 4"))
+  EXPECT_TRUE(contains(e.message, "unsupported trace version 5"))
       << e.message;
-  EXPECT_TRUE(contains(e.message, "1-3")) << e.message;
+  EXPECT_TRUE(contains(e.message, "1-4")) << e.message;
 }
 
 TEST(TraceMalformed, BlastStreamRoundTripsByteIdentical) {
@@ -258,6 +258,99 @@ TEST(TraceMalformed, BlastStreamRoundTripsByteIdentical) {
   EXPECT_EQ(parsed.mttf_dist, trace.mttf_dist);
   EXPECT_EQ(parsed.profile.critical_link_fraction, 0.4);
   EXPECT_EQ(io::write_trace(parsed), once);
+}
+
+// --- v4 corpus: SLA tiers, replica specs, power-domain events ------------
+
+std::string arrive_line(const std::string& extra) {
+  return "{\"t\":0,\"ev\":\"arrive\",\"tenant\":1,\"guests\":4,"
+         "\"density\":0.5,\"seed\":\"7\"" +
+         extra + "}";
+}
+
+TEST(TraceMalformed, UnknownTierTagIsRejected) {
+  const auto e = must_fail(header() + arrive_line(",\"tier\":\"platinum\""));
+  EXPECT_EQ(e.line, 2u);
+  EXPECT_TRUE(contains(e.message, "unknown tier tag 'platinum'"))
+      << e.message;
+  // Non-string tiers are shape errors, not unknown tags.
+  const auto num = must_fail(header() + arrive_line(",\"tier\":1"));
+  EXPECT_TRUE(contains(num.message, "tier must be a string")) << num.message;
+}
+
+TEST(TraceMalformed, LoneReplicaMemberIsRejected) {
+  // replica_n and replica_k only make sense as a pair; a lone member is a
+  // truncated spec, whichever half survived.
+  for (const char* extra : {",\"replica_n\":3", ",\"replica_k\":2"}) {
+    const auto e = must_fail(header() + arrive_line(extra));
+    EXPECT_EQ(e.line, 2u) << extra;
+    EXPECT_TRUE(contains(e.message, "must appear together")) << e.message;
+  }
+}
+
+TEST(TraceMalformed, DegenerateReplicaSpecIsRejected) {
+  // n < 2 is not replication, k = 0 is vacuous, k > n is unsatisfiable.
+  for (const char* extra :
+       {",\"replica_n\":1,\"replica_k\":1", ",\"replica_n\":3,\"replica_k\":0",
+        ",\"replica_n\":2,\"replica_k\":3"}) {
+    const auto e = must_fail(header() + arrive_line(extra));
+    EXPECT_EQ(e.line, 2u) << extra;
+    EXPECT_TRUE(contains(e.message, "n >= 2 and 1 <= k <= n")) << e.message;
+  }
+}
+
+TEST(TraceMalformed, TruncatedPowerGroupIsRejected) {
+  // Power events share the blast group shape: element + both member arrays.
+  const auto e = must_fail(
+      header() + "{\"t\":1,\"ev\":\"power-fail\",\"element\":0,"
+                 "\"links\":[0]}");
+  EXPECT_EQ(e.line, 2u);
+  EXPECT_TRUE(contains(e.message, "power-fail event")) << e.message;
+  EXPECT_TRUE(contains(e.message, "'hosts'")) << e.message;
+}
+
+TEST(TraceMalformed, TierReplicaPowerStreamRoundTripsByteIdentical) {
+  // Healthy v4 path: tiers, replica specs, and one-crew power events all
+  // survive write -> read -> write bytewise.
+  workload::ChurnOptions copts;
+  copts.arrival_rate = 0.6;
+  copts.horizon = 30.0;
+  copts.profile = workload::high_level_profile();
+  copts.replica_probability = 0.5;
+  copts.gold_fraction = 0.3;
+  copts.best_effort_fraction = 0.3;
+  workload::ChurnTrace trace = workload::generate_churn(copts, 640);
+
+  const auto cluster = hmn::test::line_cluster(6);
+  workload::FailureOptions fopts;
+  fopts.horizon = copts.horizon;
+  fopts.power_mttf = 8.0;
+  fopts.power_domains = 3;
+  workload::merge_events(trace,
+                         workload::generate_failures(fopts, cluster, 641));
+
+  const std::string once = io::write_trace(trace);
+  EXPECT_TRUE(contains(once, "\"version\":4"));
+  EXPECT_TRUE(contains(once, "\"tier\":\"gold\""));
+  EXPECT_TRUE(contains(once, "\"replica_n\":"));
+  EXPECT_TRUE(contains(once, "power-fail"));
+  const auto parsed = io::read_trace_or_throw(once);
+  EXPECT_EQ(parsed.events, trace.events);
+  EXPECT_EQ(io::write_trace(parsed), once);
+}
+
+TEST(TraceMalformed, V3TraceWithoutTierOrReplicasStillParses) {
+  // The v3-reader shim in reverse: a hand-written v3 header + plain arrive
+  // line parses with standard tier and no replica spec.
+  std::string h = header();
+  const auto pos = h.find("\"version\":4");
+  ASSERT_NE(pos, std::string::npos);
+  h.replace(pos, std::string("\"version\":4").size(), "\"version\":3");
+  const auto parsed = io::read_trace_or_throw(h + arrive_line(""));
+  ASSERT_EQ(parsed.events.size(), 1u);
+  EXPECT_EQ(parsed.events[0].sla_tier, model::SlaTier::kStandard);
+  EXPECT_EQ(parsed.events[0].replica_n, 0u);
+  EXPECT_EQ(parsed.events[0].replica_k, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,73 @@
+// Validation tests for k-of-n replica groups and SLA tiers on the
+// VirtualEnvironment: member canonicalization, quorum bounds, and the
+// disjointness rule (a guest replicates in at most one group).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "model/virtual_environment.h"
+#include "testing/fixtures.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+
+TEST(ReplicaGroupTest, TierDefaultsToStandardAndRoundTrips) {
+  model::VirtualEnvironment venv;
+  EXPECT_EQ(venv.sla_tier(), model::SlaTier::kStandard);
+  venv.set_sla_tier(model::SlaTier::kGold);
+  EXPECT_EQ(venv.sla_tier(), model::SlaTier::kGold);
+  EXPECT_STREQ(model::to_string(model::SlaTier::kGold), "gold");
+  EXPECT_STREQ(model::to_string(model::SlaTier::kBestEffort), "best-effort");
+}
+
+TEST(ReplicaGroupTest, MembersAreSortedAndLookupWorks) {
+  model::VirtualEnvironment venv = chain_venv(5);
+  venv.add_replica_group({g(3), g(0), g(2)}, 2);
+  ASSERT_EQ(venv.replica_group_count(), 1u);
+  const model::ReplicaGroup& grp = venv.replica_group(0);
+  ASSERT_EQ(grp.size(), 3u);
+  EXPECT_EQ(grp.members[0], g(0));  // canonicalized ascending
+  EXPECT_EQ(grp.members[1], g(2));
+  EXPECT_EQ(grp.members[2], g(3));
+  EXPECT_EQ(grp.required, 2u);
+
+  EXPECT_EQ(venv.group_of(g(0)), 0u);
+  EXPECT_EQ(venv.group_of(g(3)), 0u);
+  EXPECT_EQ(venv.group_of(g(1)), model::VirtualEnvironment::npos);
+}
+
+TEST(ReplicaGroupTest, QuorumBoundsAreEnforced) {
+  model::VirtualEnvironment venv = chain_venv(4);
+  // required must sit in [1, size]; 0 and size+1 are both nonsense.
+  EXPECT_THROW(venv.add_replica_group({g(0), g(1)}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(venv.add_replica_group({g(0), g(1)}, 3),
+               std::invalid_argument);
+  EXPECT_THROW(venv.add_replica_group({}, 1), std::invalid_argument);
+  venv.add_replica_group({g(0), g(1)}, 2);  // k == n is legal (all-alive)
+  EXPECT_EQ(venv.replica_group(0).required, 2u);
+}
+
+TEST(ReplicaGroupTest, OutOfRangeAndDuplicateMembersAreRejected) {
+  model::VirtualEnvironment venv = chain_venv(3);
+  EXPECT_THROW(venv.add_replica_group({g(0), g(7)}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(venv.add_replica_group({g(1), g(1)}, 1),
+               std::invalid_argument);
+}
+
+TEST(ReplicaGroupTest, OverlappingGroupsAreRejected) {
+  model::VirtualEnvironment venv = chain_venv(6);
+  venv.add_replica_group({g(0), g(1), g(2)}, 2);
+  // g(2) already replicates in group 0 — a guest has one group at most.
+  EXPECT_THROW(venv.add_replica_group({g(2), g(3)}, 1),
+               std::invalid_argument);
+  // Disjoint second group is fine.
+  venv.add_replica_group({g(3), g(4)}, 1);
+  EXPECT_EQ(venv.replica_group_count(), 2u);
+  EXPECT_EQ(venv.group_of(g(4)), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,265 @@
+// Tier-aware healing with k-of-n replica groups: quorate groups defer
+// repair, quorum loss forces it, power events mask whole domains, and
+// overlapping blast + power outages heal in a deterministic order.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "orchestrator/healer.h"
+#include "testing/fixtures.h"
+#include "workload/churn.h"
+#include "workload/host_generator.h"
+#include "workload/power_domains.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using orchestrator::HealAction;
+using orchestrator::Healer;
+using orchestrator::HealerOptions;
+using workload::EventKind;
+using workload::TenantEvent;
+
+HealerOptions tier_aware_opts() {
+  HealerOptions opts;
+  opts.tier_aware = true;
+  return opts;
+}
+
+TenantEvent element_event(EventKind kind, double t, std::uint32_t element) {
+  TenantEvent ev;
+  ev.time = t;
+  ev.kind = kind;
+  ev.element = element;
+  return ev;
+}
+
+TenantEvent group_event(EventKind kind, double t, std::uint32_t element,
+                        std::vector<std::uint32_t> hosts,
+                        std::vector<std::uint32_t> links) {
+  TenantEvent ev = element_event(kind, t, element);
+  ev.group_hosts = std::move(hosts);
+  ev.group_links = std::move(links);
+  return ev;
+}
+
+/// Three heavyweight replicas (one per host) in a 2-of-3 group, linked in
+/// a chain so dead-replica links exercise the audit exemption.
+model::VirtualEnvironment replicated_venv(double mem_mb = 3000.0) {
+  model::VirtualEnvironment venv;
+  std::vector<GuestId> ids;
+  for (int i = 0; i < 3; ++i) ids.push_back(venv.add_guest({10, mem_mb, 100}));
+  venv.add_link(ids[0], ids[1], {1.0, 60.0});
+  venv.add_link(ids[1], ids[2], {1.0, 60.0});
+  venv.add_replica_group(ids, 2);
+  return venv;
+}
+
+TEST(ReplicaHealingTest, QuorateGroupDefersInsteadOfRepairing) {
+  emulator::TenancyManager mgr(line_cluster(3));
+  const auto admitted = mgr.admit("rep", replicated_venv(), 1);
+  ASSERT_TRUE(admitted.ok()) << admitted.detail;
+  Healer::LiveMap live{{5, *admitted.tenant}};
+  Healer healer(tier_aware_opts());
+
+  const core::Mapping before = mgr.tenant(*admitted.tenant)->mapping;
+  const NodeId victim = before.guest_host[0];
+  const auto records = healer.on_event(
+      mgr, live, element_event(EventKind::kHostFail, 1.0, victim.value()));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, HealAction::kReplicaDeferred);
+  EXPECT_EQ(records[0].guests_moved, 0u);
+  EXPECT_TRUE(healer.is_deferred(5));
+
+  // The mapping is untouched — the dead replica stays where it was — and
+  // the audit accepts it because the corpse is declared.
+  EXPECT_EQ(mgr.tenant(live.at(5))->mapping.guest_host, before.guest_host);
+  EXPECT_TRUE(healer.audit(mgr, live).empty()) << healer.audit(mgr, live)[0];
+
+  // Recovery restores the tenant for free: no migration ever happened.
+  const auto restored = healer.on_event(
+      mgr, live,
+      element_event(EventKind::kHostRecover, 2.0, victim.value()));
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0].action, HealAction::kRestored);
+  EXPECT_EQ(restored[0].guests_moved, 0u);
+  EXPECT_FALSE(healer.is_deferred(5));
+  EXPECT_EQ(mgr.tenant(live.at(5))->mapping.guest_host, before.guest_host);
+}
+
+TEST(ReplicaHealingTest, QuorumLossForcesRealRepair) {
+  // Five hosts: three carry one replica each, two stay empty so a
+  // two-host outage still leaves repair room.
+  emulator::TenancyManager mgr(line_cluster(5));
+  const auto admitted = mgr.admit("rep", replicated_venv(), 1);
+  ASSERT_TRUE(admitted.ok()) << admitted.detail;
+  Healer::LiveMap live{{5, *admitted.tenant}};
+  Healer healer(tier_aware_opts());
+
+  const auto& mapping = mgr.tenant(*admitted.tenant)->mapping;
+  const std::uint32_t h0 = mapping.guest_host[0].value();
+  const std::uint32_t h1 = mapping.guest_host[1].value();
+
+  // First loss: 2 of 3 alive — deferred.
+  auto records = healer.on_event(
+      mgr, live, element_event(EventKind::kHostFail, 1.0, h0));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, HealAction::kReplicaDeferred);
+
+  // Second loss: 1 of 3 alive < required 2 — the group is no longer
+  // quorate, so the healer must actually move guests now.  The tenant
+  // was deferred, so a successful repair reports it kRestored (whole
+  // again), with real migrations this time.
+  records = healer.on_event(mgr, live,
+                            element_event(EventKind::kHostFail, 2.0, h1));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, HealAction::kRestored);
+  EXPECT_GE(records[0].guests_moved, 2u);
+  EXPECT_FALSE(healer.is_deferred(5));
+  EXPECT_TRUE(healer.audit(mgr, live).empty());
+}
+
+TEST(ReplicaHealingTest, NonReplicaDamageIsNeverDeferred) {
+  emulator::TenancyManager mgr(line_cluster(5));
+  // Group {0,1,2} plus a loose guest 3 outside any group.
+  model::VirtualEnvironment venv = replicated_venv();
+  venv.add_guest({10, 3000.0, 100});
+  const auto admitted = mgr.admit("mix", venv, 1);
+  ASSERT_TRUE(admitted.ok()) << admitted.detail;
+  Healer::LiveMap live{{9, *admitted.tenant}};
+  Healer healer(tier_aware_opts());
+
+  const NodeId loose_host = mgr.tenant(*admitted.tenant)->mapping.guest_host[3];
+  const auto records = healer.on_event(
+      mgr, live,
+      element_event(EventKind::kHostFail, 1.0, loose_host.value()));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, HealAction::kHealed);
+  EXPECT_FALSE(healer.is_deferred(9));
+}
+
+TEST(ReplicaHealingTest, PowerEventMasksDomainAndDefersQuorate) {
+  // A power event's element is a DOMAIN id; only the group lists may touch
+  // masks.  Striping host % 2 downs every other host at once.
+  auto cluster = line_cluster(4);
+  workload::annotate_failure_domains(cluster, 2);
+  emulator::TenancyManager mgr(cluster);
+  const auto admitted = mgr.admit("rep", replicated_venv(), 1);
+  ASSERT_TRUE(admitted.ok()) << admitted.detail;
+  Healer::LiveMap live{{5, *admitted.tenant}};
+  Healer healer(tier_aware_opts());
+
+  const auto hosts = workload::power_domain_hosts(cluster, 2, 1);
+  const auto fail = group_event(EventKind::kPowerFail, 1.0, 1, hosts, {});
+  const auto records = healer.on_event(mgr, live, fail);
+  for (const std::uint32_t h : hosts) {
+    EXPECT_TRUE(mgr.is_node_down(NodeId{h}));
+  }
+  // Domain 1 = hosts {1, 3}; one replica sat on each of hosts 0..2, so
+  // exactly one group member died — quorate, deferred.
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, HealAction::kReplicaDeferred);
+  EXPECT_TRUE(healer.audit(mgr, live).empty());
+
+  const auto recover =
+      group_event(EventKind::kPowerRecover, 2.0, 1, hosts, {});
+  const auto restored = healer.on_event(mgr, live, recover);
+  for (const std::uint32_t h : hosts) {
+    EXPECT_FALSE(mgr.is_node_down(NodeId{h}));
+  }
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0].action, HealAction::kRestored);
+}
+
+TEST(ReplicaHealingTest, TierOrderPutsGoldFirst) {
+  // Two solo tenants on a two-host cluster; a blast downs both hosts, so
+  // both park.  tier_aware orders the records gold-first even though the
+  // best-effort tenant has the lower key.
+  emulator::TenancyManager mgr(line_cluster(2));
+  model::VirtualEnvironment best_effort;
+  best_effort.add_guest({10, 3000.0, 100});
+  best_effort.set_sla_tier(model::SlaTier::kBestEffort);
+  model::VirtualEnvironment gold;
+  gold.add_guest({10, 3000.0, 100});
+  gold.set_sla_tier(model::SlaTier::kGold);
+
+  const auto a = mgr.admit("be", best_effort, 1);
+  const auto b = mgr.admit("au", gold, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Healer::LiveMap live{{2, *a.tenant}, {10, *b.tenant}};
+  Healer healer(tier_aware_opts());
+
+  const auto records = healer.on_event(
+      mgr, live, group_event(EventKind::kBlastFail, 1.0, 0, {0, 1}, {0}));
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, 10u);  // gold first despite the higher key
+  EXPECT_EQ(records[0].action, HealAction::kParked);
+  EXPECT_EQ(records[1].key, 2u);
+  EXPECT_EQ(records[1].action, HealAction::kParked);
+}
+
+TEST(ReplicaHealingTest, OverlappingBlastAndPowerHealDeterministically) {
+  // A rack blast and a power outage with overlapping membership, then a
+  // partial recovery — the full sequence must replay byte-identically,
+  // and the audit must stay clean at every step (last-writer-wins masks).
+  util::Rng rng(3);
+  auto caps = workload::generate_hosts(8, workload::paper_host_profile(), rng);
+  auto cluster = model::PhysicalCluster::build(
+      topology::switch_tree(8, 4, 2), std::move(caps),
+      workload::paper_link_props());
+  workload::annotate_failure_domains(cluster, 2);
+
+  const auto& fd = cluster.failure_domains();
+  // Rack = every host under the lowest leaf switch; power domain 0
+  // stripes across both racks, so the two groups overlap but differ.
+  std::uint32_t leaf = model::FailureDomains::kNone;
+  for (const NodeId h : cluster.hosts()) {
+    leaf = std::min(leaf, fd.blast_domain[h.index()]);
+  }
+  std::vector<std::uint32_t> rack_hosts;
+  for (const NodeId h : cluster.hosts()) {
+    if (fd.blast_domain[h.index()] == leaf) rack_hosts.push_back(h.value());
+  }
+  const auto power_hosts = workload::power_domain_hosts(cluster, 2, 0);
+  ASSERT_NE(rack_hosts, power_hosts);
+
+  const std::vector<TenantEvent> script = {
+      group_event(EventKind::kBlastFail, 1.0, leaf, rack_hosts, {}),
+      group_event(EventKind::kPowerFail, 1.5, 0, power_hosts, {}),
+      group_event(EventKind::kBlastRecover, 2.0, leaf, rack_hosts, {}),
+      group_event(EventKind::kPowerRecover, 3.0, 0, power_hosts, {}),
+  };
+
+  auto run = [&](std::vector<std::pair<std::uint32_t, HealAction>>& out) {
+    emulator::TenancyManager mgr(cluster);
+    Healer::LiveMap live;
+    Healer healer(tier_aware_opts());
+    std::uint32_t key = 0;
+    for (const char* name : {"t0", "t1", "t2"}) {
+      const auto res = mgr.admit(name, replicated_venv(1200.0), 7 + key);
+      ASSERT_TRUE(res.ok()) << res.detail;
+      live[key++] = *res.tenant;
+    }
+    for (const TenantEvent& ev : script) {
+      for (const auto& r : healer.on_event(mgr, live, ev)) {
+        out.emplace_back(r.key, r.action);
+      }
+      const auto violations = healer.audit(mgr, live);
+      EXPECT_TRUE(violations.empty())
+          << "after t=" << ev.time << ": " << violations[0];
+    }
+    // Every mask cleared: nothing may stay degraded, deferred, or parked.
+    EXPECT_FALSE(mgr.has_failed_elements());
+    EXPECT_EQ(healer.deferred_count(), 0u);
+    EXPECT_EQ(live.size(), 3u);
+  };
+
+  std::vector<std::pair<std::uint32_t, HealAction>> first, second;
+  run(first);
+  run(second);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace

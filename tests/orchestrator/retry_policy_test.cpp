@@ -1,0 +1,95 @@
+// Backfill queue policies: FIFO baseline, smallest-first, and
+// largest-wait-first must each drain in their documented deterministic
+// order.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "orchestrator/retry_queue.h"
+#include "testing/fixtures.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using orchestrator::PendingTenant;
+using orchestrator::QueuePolicy;
+using orchestrator::RetryQueue;
+
+PendingTenant pending(std::uint32_t key, std::size_t guests,
+                      double enqueued_at) {
+  PendingTenant t;
+  t.key = key;
+  t.name = "t" + std::to_string(key);
+  t.venv = chain_venv(guests);
+  t.enqueued_at = enqueued_at;
+  return t;
+}
+
+/// Drains rejecting everything and returns the keys in attempt order.
+std::vector<std::uint32_t> drain_order(RetryQueue& queue) {
+  std::vector<std::uint32_t> order;
+  (void)queue.drain([&](const PendingTenant& t) {
+    order.push_back(t.key);
+    return false;
+  });
+  return order;
+}
+
+TEST(RetryPolicyTest, FifoIsTheDefaultAndKeepsArrivalOrder) {
+  RetryQueue queue;
+  EXPECT_EQ(queue.policy(), QueuePolicy::kFifo);
+  ASSERT_TRUE(queue.push(pending(3, 8, 1.0)));
+  ASSERT_TRUE(queue.push(pending(1, 2, 2.0)));
+  ASSERT_TRUE(queue.push(pending(2, 5, 3.0)));
+  EXPECT_EQ(drain_order(queue), (std::vector<std::uint32_t>{3, 1, 2}));
+  // Rejected entries stay in FIFO order for the next drain.
+  EXPECT_EQ(drain_order(queue), (std::vector<std::uint32_t>{3, 1, 2}));
+}
+
+TEST(RetryPolicyTest, SmallestFirstOrdersByGuestCount) {
+  RetryQueue queue(0, 0, QueuePolicy::kSmallestFirst);
+  ASSERT_TRUE(queue.push(pending(3, 8, 1.0)));
+  ASSERT_TRUE(queue.push(pending(1, 2, 2.0)));
+  ASSERT_TRUE(queue.push(pending(2, 5, 3.0)));
+  EXPECT_EQ(drain_order(queue), (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(RetryPolicyTest, SmallestFirstBreaksTiesByWaitThenKey) {
+  RetryQueue queue(0, 0, QueuePolicy::kSmallestFirst);
+  ASSERT_TRUE(queue.push(pending(9, 4, 5.0)));  // same size, later enqueue
+  ASSERT_TRUE(queue.push(pending(4, 4, 2.0)));
+  ASSERT_TRUE(queue.push(pending(7, 4, 2.0)));  // ties 4 on time: key wins
+  EXPECT_EQ(drain_order(queue), (std::vector<std::uint32_t>{4, 7, 9}));
+}
+
+TEST(RetryPolicyTest, LargestWaitFirstRefinesFifoWithKeyTieBreak) {
+  RetryQueue queue(0, 0, QueuePolicy::kLargestWaitFirst);
+  // Same-instant rejections pushed in reverse key order: FIFO would keep
+  // 5, 2, 8; largest-wait-first canonicalizes the tie on key.
+  ASSERT_TRUE(queue.push(pending(5, 3, 4.0)));
+  ASSERT_TRUE(queue.push(pending(2, 3, 4.0)));
+  ASSERT_TRUE(queue.push(pending(8, 3, 4.0)));
+  ASSERT_TRUE(queue.push(pending(1, 3, 9.0)));  // shorter wait drains last
+  EXPECT_EQ(drain_order(queue), (std::vector<std::uint32_t>{2, 5, 8, 1}));
+}
+
+TEST(RetryPolicyTest, AdmissionsAndCapsStillApplyUnderPolicies) {
+  RetryQueue queue(2, 0, QueuePolicy::kSmallestFirst);
+  ASSERT_TRUE(queue.push(pending(1, 6, 1.0)));
+  ASSERT_TRUE(queue.push(pending(2, 2, 1.0)));
+  // First drain admits the small tenant, leaves the big one (attempt 1).
+  auto result = queue.drain(
+      [](const PendingTenant& t) { return t.venv.guest_count() <= 3; });
+  ASSERT_EQ(result.admitted.size(), 1u);
+  EXPECT_EQ(result.admitted[0].key, 2u);
+  EXPECT_TRUE(result.dropped.empty());
+  EXPECT_EQ(queue.size(), 1u);
+  // Second rejection exhausts max_attempts = 2: the big tenant drops.
+  result = queue.drain([](const PendingTenant&) { return false; });
+  ASSERT_EQ(result.dropped.size(), 1u);
+  EXPECT_EQ(result.dropped[0].key, 1u);
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Power-domain striping, failure-domain derivation, and the one-crew
+// serialized repair of correlated power outages.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/physical_cluster.h"
+#include "testing/fixtures.h"
+#include "workload/churn.h"
+#include "workload/host_generator.h"
+#include "workload/power_domains.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+
+model::PhysicalCluster racked_cluster() {
+  return model::PhysicalCluster::build(
+      topology::switch_tree(8, 4, 2),
+      std::vector<model::HostCapacity>(8, {1000, 4096, 4096}),
+      {1000.0, 5.0});
+}
+
+TEST(PowerDomainsTest, StripingCutsAcrossHostOrder) {
+  const auto cluster = racked_cluster();
+  const auto domain = workload::power_domain_assignment(cluster, 3);
+  ASSERT_EQ(domain.size(), cluster.node_count());
+
+  const auto& hosts = cluster.hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    EXPECT_EQ(domain[hosts[i].index()], i % 3) << "host offset " << i;
+  }
+  // Switches carry no power domain.
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    const NodeId id{static_cast<NodeId::underlying_type>(n)};
+    if (!cluster.is_host(id)) {
+      EXPECT_EQ(domain[n], model::FailureDomains::kNone);
+    }
+  }
+}
+
+TEST(PowerDomainsTest, DomainHostListsPartitionTheHosts) {
+  const auto cluster = racked_cluster();
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t d = 0; d < 3; ++d) {
+    const auto members = workload::power_domain_hosts(cluster, 3, d);
+    EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+    all.insert(all.end(), members.begin(), members.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), cluster.hosts().size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], cluster.hosts()[i].value());
+  }
+}
+
+TEST(PowerDomainsTest, BlastDomainIsLowestAdjacentSwitch) {
+  const auto cluster = racked_cluster();
+  const auto fd = workload::derive_failure_domains(cluster, 2);
+  for (const NodeId h : cluster.hosts()) {
+    std::uint32_t lowest = model::FailureDomains::kNone;
+    for (const auto& adj : cluster.graph().neighbors(h)) {
+      if (cluster.is_host(adj.neighbor)) continue;
+      lowest = std::min(lowest, adj.neighbor.value());
+    }
+    EXPECT_EQ(fd.blast_domain[h.index()], lowest);
+  }
+  // Power striping must NOT be congruent with the blast racks: with two
+  // leaf switches of four hosts each and a stride of 2, every rack holds
+  // hosts of both power domains.
+  for (const NodeId h : cluster.hosts()) {
+    for (const NodeId other : cluster.hosts()) {
+      if (fd.blast_domain[h.index()] == fd.blast_domain[other.index()] &&
+          fd.power_domain[h.index()] != fd.power_domain[other.index()]) {
+        SUCCEED();
+        return;
+      }
+    }
+  }
+  ADD_FAILURE() << "striping degenerated to rack-aligned power domains";
+}
+
+TEST(PowerDomainsTest, AnnotationInstallsAndValidates) {
+  auto cluster = racked_cluster();
+  EXPECT_TRUE(cluster.failure_domains().empty());
+  workload::annotate_failure_domains(cluster, 4);
+  EXPECT_FALSE(cluster.failure_domains().empty());
+  EXPECT_EQ(cluster.failure_domains().power_domain,
+            workload::power_domain_assignment(cluster, 4));
+
+  model::FailureDomains bad;
+  bad.power_domain.assign(3, 0);  // wrong length for this cluster
+  EXPECT_THROW(cluster.set_failure_domains(std::move(bad)),
+               std::invalid_argument);
+}
+
+TEST(PowerDomainsTest, OneCrewSerializesRepairs) {
+  const auto cluster = racked_cluster();
+  workload::FailureOptions fo;
+  fo.horizon = 200.0;
+  fo.power_mttf = 10.0;
+  fo.power_mttr = 4.0;
+  fo.power_domains = 3;
+  const auto trace = workload::generate_failures(fo, cluster, 77);
+
+  double last_time = 0.0;
+  double last_recover = 0.0;
+  std::size_t fails = 0, recovers = 0;
+  std::vector<bool> down(fo.power_domains, false);
+  for (const auto& ev : trace) {
+    EXPECT_GE(ev.time, last_time);  // canonical event order
+    last_time = ev.time;
+    if (ev.kind == workload::EventKind::kPowerFail) {
+      ++fails;
+      ASSERT_LT(ev.element, fo.power_domains);  // a domain id, not a node
+      EXPECT_FALSE(down[ev.element]);
+      down[ev.element] = true;
+      EXPECT_EQ(ev.group_hosts, workload::power_domain_hosts(
+                                    cluster, fo.power_domains, ev.element));
+      EXPECT_FALSE(ev.group_links.empty());
+    } else if (ev.kind == workload::EventKind::kPowerRecover) {
+      ++recovers;
+      ASSERT_LT(ev.element, fo.power_domains);
+      EXPECT_TRUE(down[ev.element]);
+      down[ev.element] = false;
+      // One crew: repairs are serialized, so recoveries are strictly
+      // ordered — two domains can be dark at once but never finish
+      // repairing at the same instant or out of crew order.
+      EXPECT_GT(ev.time, last_recover);
+      last_recover = ev.time;
+    }
+  }
+  EXPECT_GT(fails, 2u);          // the stream actually fired
+  EXPECT_LE(recovers, fails);    // tail outage may run past the horizon
+}
+
+TEST(PowerDomainsTest, PowerStreamIsDeterministic) {
+  const auto cluster = racked_cluster();
+  workload::FailureOptions fo;
+  fo.horizon = 120.0;
+  fo.power_mttf = 15.0;
+  fo.power_domains = 4;
+  const auto a = workload::generate_failures(fo, cluster, 9);
+  const auto b = workload::generate_failures(fo, cluster, 9);
+  EXPECT_EQ(a, b);
+
+  // Zero-config short-circuit: power_mttf = 0 adds nothing, so legacy
+  // streams replay byte-identically.
+  workload::FailureOptions off = fo;
+  off.power_mttf = 0.0;
+  EXPECT_TRUE(workload::generate_failures(off, cluster, 9).empty());
+}
+
+}  // namespace

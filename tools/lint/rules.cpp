@@ -625,7 +625,8 @@ FileContext classify_path(std::string_view path) {
     if (slash == std::string_view::npos) slash = path.size();
     const std::string_view seg = path.substr(start, slash - start);
     if (seg == "orchestrator" || seg == "core" || seg == "workload" ||
-        seg == "topology" || seg == "availability" || seg == "multilevel") {
+        seg == "topology" || seg == "availability" || seg == "multilevel" ||
+        seg == "extensions") {
       ctx.is_decision_module = true;
     }
     if (seg == "util") ctx.is_util_module = true;
