@@ -16,6 +16,7 @@
 #include "util/csv.h"
 #include "core/objective.h"
 #include "sim/master_worker.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 int main() {

@@ -9,6 +9,7 @@
 
 #include "extensions/min_hosts_mapper.h"
 #include "sim/deployment.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 int main() {

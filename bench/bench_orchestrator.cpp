@@ -36,6 +36,7 @@
 // defrag, and decision latency p50/p99.  A final determinism check replays
 // the top-load trace through the JSONL record/replay path and requires
 // bit-identical decisions.
+#include "util/rng.h"
 #include "bench_common.h"
 
 #include "io/trace.h"

@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <string>
 
+#include "util/rng.h"
 #include "core/hmn_mapper.h"
 #include "io/trace.h"
 #include "orchestrator/orchestrator.h"

@@ -17,7 +17,7 @@
 #include "expfw/report.h"
 #include "extensions/mapper_registry.h"
 #include "io/json.h"
-#include "io/suite.h"
+#include "expfw/suite.h"
 
 using namespace hmn;
 
@@ -67,12 +67,12 @@ int main(int argc, char** argv) {
   }
   if (suite_path.empty()) return usage();
 
-  auto suite_or = io::load_suite_file(suite_path);
+  auto suite_or = expfw::load_suite_file(suite_path);
   if (auto* err = std::get_if<io::SpecError>(&suite_or)) {
     std::fprintf(stderr, "error: %s\n", err->message.c_str());
     return 2;
   }
-  auto& suite = std::get<io::SuiteSpec>(suite_or);
+  auto& suite = std::get<expfw::SuiteSpec>(suite_or);
 
   std::vector<core::MapperPtr> owned;
   std::vector<const core::Mapper*> mappers;
@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(out_dir, ec);
   std::ofstream(out_dir / "objective.csv") << objective.to_csv();
   std::ofstream(out_dir / "time.csv") << time.to_csv();
-  std::ofstream(out_dir / "records.json") << io::to_json(records);
+  std::ofstream(out_dir / "records.json") << expfw::to_json(records);
   std::printf("\nwrote %s/{objective.csv,time.csv,records.json}\n",
               out_dir.string().c_str());
   return 0;

@@ -11,6 +11,7 @@
 #include "core/hmn_mapper.h"
 #include "core/objective.h"
 #include "core/validator.h"
+#include "topology/topologies.h"
 #include "util/table.h"
 #include "workload/host_generator.h"
 #include "workload/venv_generator.h"

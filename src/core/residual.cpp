@@ -38,12 +38,16 @@ ResidualState::ResidualState(const model::PhysicalCluster& cluster,
   }
 }
 
+// The fits/place/remove/bw quartet runs once per candidate host per guest —
+// the innermost loop of Hosting and Migration.  None of them may allocate.
+// hmn-lint: hot-path
 bool ResidualState::fits(const model::GuestRequirements& req,
                          NodeId host) const {
   return mem_[host.index()] >= req.mem_mb &&
          stor_[host.index()] >= req.stor_gb;
 }
 
+// hmn-lint: hot-path
 bool ResidualState::fits_both(const model::GuestRequirements& a,
                               const model::GuestRequirements& b,
                               NodeId host) const {
@@ -51,6 +55,7 @@ bool ResidualState::fits_both(const model::GuestRequirements& a,
          stor_[host.index()] >= a.stor_gb + b.stor_gb;
 }
 
+// hmn-lint: hot-path
 void ResidualState::place(const model::GuestRequirements& req, NodeId host) {
   assert(cluster_->is_host(host));
   proc_[host.index()] -= req.proc_mips;  // may go negative: CPU is the
@@ -61,6 +66,7 @@ void ResidualState::place(const model::GuestRequirements& req, NodeId host) {
          "place() called without a fits() check");
 }
 
+// hmn-lint: hot-path
 void ResidualState::remove(const model::GuestRequirements& req, NodeId host) {
   proc_[host.index()] += req.proc_mips;
   mem_[host.index()] += req.mem_mb;
@@ -75,6 +81,7 @@ std::vector<double> ResidualState::residual_proc_of_hosts() const {
   return out;
 }
 
+// hmn-lint: hot-path
 void ResidualState::reserve_bw(const graph::Path& path, double bw) {
   for (const EdgeId e : path) {
     bw_[e.index()] -= bw;
@@ -82,6 +89,7 @@ void ResidualState::reserve_bw(const graph::Path& path, double bw) {
   }
 }
 
+// hmn-lint: hot-path
 void ResidualState::release_bw(const graph::Path& path, double bw) {
   for (const EdgeId e : path) bw_[e.index()] += bw;
 }

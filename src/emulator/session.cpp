@@ -1,6 +1,7 @@
 #include "emulator/session.h"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "core/hmn_mapper.h"
@@ -200,6 +201,39 @@ std::string EmulationSession::report() const {
   }
   out << table.to_string();
   if (!error_.empty()) out << "last error: " << error_ << '\n';
+  return out.str();
+}
+
+std::string to_json(const std::vector<PhaseRecord>& timeline) {
+  const auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  const auto quoted = [](const std::string& s) {
+    std::string out = "\"";
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default: out += ch;
+      }
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const PhaseRecord& r = timeline[i];
+    if (i > 0) out << ',';
+    out << "{\"phase\":" << quoted(r.phase)
+        << ",\"wall_seconds\":" << num(r.wall_seconds)
+        << ",\"simulated_seconds\":" << num(r.simulated_seconds)
+        << ",\"note\":" << quoted(r.note) << '}';
+  }
+  out << ']';
   return out.str();
 }
 

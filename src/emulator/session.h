@@ -71,6 +71,11 @@ struct PhaseRecord {
   std::string note;
 };
 
+/// A session timeline as a JSON array (for frontends logging sessions).
+/// Lives here rather than in io so that io never includes upward into the
+/// emulator layer.
+[[nodiscard]] std::string to_json(const std::vector<PhaseRecord>& timeline);
+
 class EmulationSession {
  public:
   EmulationSession(model::PhysicalCluster cluster, SessionConfig config);

@@ -62,6 +62,9 @@ bool TenancyManager::edge_masked(EdgeId e) const {
   return node_down_[ep.a.index()] || node_down_[ep.b.index()];
 }
 
+// Every admission, heal, and defrag pass starts by materializing a residual
+// view; its per-node/per-edge vectors are all size-known and reserved.
+// hmn-lint: hot-path
 model::PhysicalCluster TenancyManager::residual_view(const Tenant* exclude,
                                                      bool biased) const {
   // Hand the excluded tenant's reservations back into local copies; the

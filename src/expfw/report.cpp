@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
+#include <string_view>
 
 namespace hmn::expfw {
 namespace {
@@ -27,6 +29,26 @@ bool workload_boundary(const std::vector<workload::Scenario>& scenarios,
                        std::size_t index) {
   return index > 0 &&
          scenarios[index].workload != scenarios[index - 1].workload;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string quoted(std::string_view s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch;
+    }
+  }
+  out += '"';
+  return out;
 }
 
 }  // namespace
@@ -125,6 +147,26 @@ std::string render_series(const std::vector<SeriesPoint>& pts,
     out << '|' << std::string(static_cast<std::size_t>(bars), '#') << ' '
         << Table::fmt(p.mean, 4) << "s\n";
   }
+  return out.str();
+}
+
+std::string to_json(const std::vector<RunRecord>& records) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    if (i > 0) out << ',';
+    out << "{\"scenario\":" << r.scenario_index << ",\"cluster\":"
+        << quoted(to_string(r.cluster)) << ",\"mapper\":" << quoted(r.mapper)
+        << ",\"rep\":" << r.repetition << ",\"ok\":"
+        << (r.ok ? "true" : "false") << ",\"objective\":" << num(r.objective)
+        << ",\"map_seconds\":" << num(r.stats.total_seconds)
+        << ",\"links_routed\":" << r.stats.links_routed
+        << ",\"guests\":" << r.guests << ",\"virtual_links\":"
+        << r.virtual_links << ",\"experiment_seconds\":"
+        << num(r.experiment_seconds) << '}';
+  }
+  out << ']';
   return out.str();
 }
 

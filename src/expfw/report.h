@@ -48,4 +48,8 @@ struct SeriesPoint {
                                         const std::string& x_label,
                                         const std::string& y_label);
 
+/// Experiment records as a JSON array (one object per run).  Lives here
+/// rather than in io so that io never includes upward into expfw.
+[[nodiscard]] std::string to_json(const std::vector<RunRecord>& records);
+
 }  // namespace hmn::expfw

@@ -1,13 +1,18 @@
-#include "io/suite.h"
+#include "expfw/suite.h"
 
 #include <fstream>
 #include <sstream>
 
 #include "io/json_parser.h"
 
-namespace hmn::io {
+namespace hmn::expfw {
 
-std::variant<SuiteSpec, SpecError> load_suite_json(std::string_view text) {
+using io::SpecError;
+using io::JsonParseError;
+using io::JsonValue;
+using io::parse_json;
+
+std::variant<SuiteSpec, io::SpecError> load_suite_json(std::string_view text) {
   auto parsed = parse_json(text);
   if (auto* err = std::get_if<JsonParseError>(&parsed)) {
     return SpecError{"JSON error at offset " + std::to_string(err->offset) +
@@ -96,7 +101,7 @@ std::variant<SuiteSpec, SpecError> load_suite_json(std::string_view text) {
   return suite;
 }
 
-std::variant<SuiteSpec, SpecError> load_suite_file(const std::string& path) {
+std::variant<SuiteSpec, io::SpecError> load_suite_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return SpecError{"cannot open " + path};
   std::ostringstream buf;
@@ -104,4 +109,4 @@ std::variant<SuiteSpec, SpecError> load_suite_file(const std::string& path) {
   return load_suite_json(buf.str());
 }
 
-}  // namespace hmn::io
+}  // namespace hmn::expfw

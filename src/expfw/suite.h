@@ -16,6 +16,9 @@
 //
 // All fields are optional except "scenarios"; defaults are the paper's
 // (30 repetitions, both clusters, the four Table 2 mappers).
+// The suite loader lives in expfw (the layer that owns GridSpec) and reaches
+// *down* into io for the JSON parser and SpecError — io stays below the
+// frameworks it serializes for.
 #pragma once
 
 #include <string>
@@ -25,17 +28,17 @@
 #include "expfw/runner.h"
 #include "io/spec.h"
 
-namespace hmn::io {
+namespace hmn::expfw {
 
 struct SuiteSpec {
-  expfw::GridSpec grid;
+  GridSpec grid;
   std::vector<std::string> mapper_names;
 };
 
-[[nodiscard]] std::variant<SuiteSpec, SpecError> load_suite_json(
+[[nodiscard]] std::variant<SuiteSpec, io::SpecError> load_suite_json(
     std::string_view text);
 
-[[nodiscard]] std::variant<SuiteSpec, SpecError> load_suite_file(
+[[nodiscard]] std::variant<SuiteSpec, io::SpecError> load_suite_file(
     const std::string& path);
 
-}  // namespace hmn::io
+}  // namespace hmn::expfw

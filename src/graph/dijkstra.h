@@ -45,6 +45,7 @@ struct DijkstraScratch {
 /// per-call allocation of the returning overload below; results are
 /// identical (the heap uses the same comparator and push/pop order).
 template <typename WeightFn>
+// hmn-lint: hot-path
 void dijkstra_into(const Graph& g, NodeId source, WeightFn&& weight,
                    ShortestPaths& out, DijkstraScratch& scratch) {
   constexpr double kInf = std::numeric_limits<double>::infinity();

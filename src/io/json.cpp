@@ -118,39 +118,4 @@ std::string to_json(const core::MapOutcome& outcome) {
   return out.str();
 }
 
-std::string to_json(const std::vector<expfw::RunRecord>& records) {
-  std::ostringstream out;
-  out << '[';
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const expfw::RunRecord& r = records[i];
-    if (i > 0) out << ',';
-    out << "{\"scenario\":" << r.scenario_index << ",\"cluster\":"
-        << quoted(to_string(r.cluster)) << ",\"mapper\":" << quoted(r.mapper)
-        << ",\"rep\":" << r.repetition << ",\"ok\":"
-        << (r.ok ? "true" : "false") << ",\"objective\":" << num(r.objective)
-        << ",\"map_seconds\":" << num(r.stats.total_seconds)
-        << ",\"links_routed\":" << r.stats.links_routed
-        << ",\"guests\":" << r.guests << ",\"virtual_links\":"
-        << r.virtual_links << ",\"experiment_seconds\":"
-        << num(r.experiment_seconds) << '}';
-  }
-  out << ']';
-  return out.str();
-}
-
-std::string to_json(const std::vector<emulator::PhaseRecord>& timeline) {
-  std::ostringstream out;
-  out << '[';
-  for (std::size_t i = 0; i < timeline.size(); ++i) {
-    const emulator::PhaseRecord& r = timeline[i];
-    if (i > 0) out << ',';
-    out << "{\"phase\":" << quoted(r.phase)
-        << ",\"wall_seconds\":" << num(r.wall_seconds)
-        << ",\"simulated_seconds\":" << num(r.simulated_seconds)
-        << ",\"note\":" << quoted(r.note) << '}';
-  }
-  out << ']';
-  return out.str();
-}
-
 }  // namespace hmn::io

@@ -1,14 +1,15 @@
 // Minimal JSON serialization of the library's domain objects, for piping
 // experiment inputs/outputs into external tooling.  Writing only — the
 // library has no need to parse JSON, and a writer is auditable in a page.
+// Serializers for layer-3 record types (expfw::RunRecord timelines,
+// emulator::PhaseRecord timelines) live with those types — expfw::to_json
+// and emulator::to_json — so this module never includes upward.
 #pragma once
 
 #include <string>
 
 #include "core/map_result.h"
 #include "core/mapping.h"
-#include "emulator/session.h"
-#include "expfw/runner.h"
 #include "model/physical_cluster.h"
 #include "model/virtual_environment.h"
 
@@ -19,9 +20,5 @@ namespace hmn::io {
 [[nodiscard]] std::string to_json(const core::Mapping& mapping);
 /// Full outcome including stats and error state.
 [[nodiscard]] std::string to_json(const core::MapOutcome& outcome);
-/// Experiment records as a JSON array (one object per run).
-[[nodiscard]] std::string to_json(const std::vector<expfw::RunRecord>& records);
-/// An emulation session's phase timeline (for frontends logging sessions).
-[[nodiscard]] std::string to_json(const std::vector<emulator::PhaseRecord>& timeline);
 
 }  // namespace hmn::io

@@ -12,7 +12,7 @@
 
 #include "graph/graph.h"
 #include "model/resources.h"
-#include "topology/topologies.h"
+#include "model/topology.h"
 
 namespace hmn::model {
 

@@ -1,0 +1,27 @@
+#include "model/topology.h"
+
+#include <algorithm>
+
+namespace hmn::topology {
+
+std::size_t Topology::host_count() const {
+  return static_cast<std::size_t>(
+      std::count(role.begin(), role.end(), NodeRole::kHost));
+}
+
+std::size_t Topology::switch_count() const {
+  return role.size() - host_count();
+}
+
+std::vector<NodeId> Topology::host_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(role.size());
+  for (std::size_t i = 0; i < role.size(); ++i) {
+    if (role[i] == NodeRole::kHost) {
+      out.push_back(NodeId{static_cast<NodeId::underlying_type>(i)});
+    }
+  }
+  return out;
+}
+
+}  // namespace hmn::topology

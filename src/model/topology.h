@@ -1,0 +1,35 @@
+// The topology *type*: a cluster graph plus a host/switch role per node.
+//
+// This lives in model (layer 1) rather than topology/ so that the cluster
+// model can store a Topology without depending on the builder catalogue —
+// topology/topologies.h provides the torus/switched/fat-tree/... builders
+// and includes this header for the type.  The namespace stays
+// hmn::topology: the type belongs to the topology vocabulary even though
+// its home module is model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hmn::topology {
+
+/// Role of a cluster node.  Switches forward traffic but cannot run guests.
+enum class NodeRole : std::uint8_t { kHost, kSwitch };
+
+/// A topology: graph structure plus per-node role.
+struct Topology {
+  graph::Graph graph;
+  std::vector<NodeRole> role;
+
+  [[nodiscard]] std::size_t host_count() const;
+  [[nodiscard]] std::size_t switch_count() const;
+  [[nodiscard]] std::vector<NodeId> host_nodes() const;
+  [[nodiscard]] bool is_host(NodeId n) const {
+    return role[n.index()] == NodeRole::kHost;
+  }
+};
+
+}  // namespace hmn::topology

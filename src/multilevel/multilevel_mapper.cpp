@@ -26,6 +26,8 @@ struct LevelMapping {
 
 /// Routes every venv link over the subcluster induced by `region_nodes`,
 /// writing level-local paths into `m.link_paths` on success.
+// Refinement's inner re-route: called up to three times per descent level.
+// hmn-lint: hot-path
 bool route_region(const model::PhysicalCluster& fine,
                   const std::vector<NodeId>& region_nodes,
                   const model::VirtualEnvironment& venv,

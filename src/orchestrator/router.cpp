@@ -129,6 +129,8 @@ void PlacementRouter::refresh_headroom(std::size_t s) {
   st.headroom = sum;
 }
 
+// Scoring runs once per admission batch entry; probe vectors stay reserved.
+// hmn-lint: hot-path
 std::vector<std::size_t> PlacementRouter::try_order(
     const std::vector<double>& headroom_snapshot, std::uint64_t seed) const {
   const std::size_t k = shards_.size();

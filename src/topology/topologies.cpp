@@ -21,24 +21,6 @@ Topology hosts_only(std::size_t n) {
 
 }  // namespace
 
-std::size_t Topology::host_count() const {
-  return static_cast<std::size_t>(
-      std::count(role.begin(), role.end(), NodeRole::kHost));
-}
-
-std::size_t Topology::switch_count() const {
-  return role.size() - host_count();
-}
-
-std::vector<NodeId> Topology::host_nodes() const {
-  std::vector<NodeId> out;
-  out.reserve(role.size());
-  for (std::size_t i = 0; i < role.size(); ++i) {
-    if (role[i] == NodeRole::kHost) out.push_back(nid(i));
-  }
-  return out;
-}
-
 Topology torus_2d(std::size_t rows, std::size_t cols) {
   assert(rows >= 1 && cols >= 1);
   Topology t = hosts_only(rows * cols);

@@ -6,31 +6,17 @@
 // topologies named in the paper's related-work discussion (ring, etc.) and
 // common cluster fabrics, all as pure topology objects: a graph plus a
 // host/switch role per node.  Capacities are attached by the model layer.
+// The Topology type itself lives in model/topology.h (the model layer
+// stores one per cluster); this header is the builder catalogue.
 #pragma once
 
 #include <cstddef>
-#include <vector>
 
 #include "graph/graph.h"
+#include "model/topology.h"
 #include "util/rng.h"
 
 namespace hmn::topology {
-
-/// Role of a cluster node.  Switches forward traffic but cannot run guests.
-enum class NodeRole : std::uint8_t { kHost, kSwitch };
-
-/// A topology: graph structure plus per-node role.
-struct Topology {
-  graph::Graph graph;
-  std::vector<NodeRole> role;
-
-  [[nodiscard]] std::size_t host_count() const;
-  [[nodiscard]] std::size_t switch_count() const;
-  [[nodiscard]] std::vector<NodeId> host_nodes() const;
-  [[nodiscard]] bool is_host(NodeId n) const {
-    return role[n.index()] == NodeRole::kHost;
-  }
-};
 
 /// 2-D torus of rows x cols hosts: each host links to its four grid
 /// neighbors with wraparound.  The paper's first evaluation cluster

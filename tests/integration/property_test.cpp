@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "topology/topologies.h"
 #include "baselines/composite_mappers.h"
 #include "core/hmn_mapper.h"
 #include "core/objective.h"

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/hmn_mapper.h"
+#include "expfw/report.h"
 #include "io/dot.h"
 #include "io/json.h"
 #include "testing/fixtures.h"
@@ -101,7 +102,7 @@ TEST_F(IoFixture, RecordsJsonIsArray) {
   records[0].objective = 42.5;
   records[1].mapper = "R";
   records[1].ok = false;
-  const std::string j = io::to_json(records);
+  const std::string j = expfw::to_json(records);
   EXPECT_EQ(j.front(), '[');
   EXPECT_EQ(j.back(), ']');
   EXPECT_NE(j.find("\"mapper\":\"HMN\""), std::string::npos);
@@ -110,7 +111,7 @@ TEST_F(IoFixture, RecordsJsonIsArray) {
 }
 
 TEST_F(IoFixture, EmptyRecordsIsEmptyArray) {
-  EXPECT_EQ(io::to_json(std::vector<expfw::RunRecord>{}), "[]");
+  EXPECT_EQ(expfw::to_json(std::vector<expfw::RunRecord>{}), "[]");
 }
 
 }  // namespace

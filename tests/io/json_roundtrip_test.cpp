@@ -5,6 +5,7 @@
 
 #include <chrono>
 
+#include "expfw/report.h"
 #include "core/hmn_mapper.h"
 #include "emulator/session.h"
 #include "expfw/runner.h"
@@ -28,7 +29,7 @@ TEST(JsonRoundTrip, RunRecordsParseWithExpectedFields) {
   spec.repetitions = 2;
   const auto records = expfw::run_grid(spec, {&mapper});
 
-  const JsonValue root = parse_json_or_throw(io::to_json(records));
+  const JsonValue root = parse_json_or_throw(expfw::to_json(records));
   ASSERT_TRUE(root.is_array());
   ASSERT_EQ(root.as_array().size(), 2u);
   for (const JsonValue& rec : root.as_array()) {
@@ -66,7 +67,7 @@ TEST(JsonRoundTrip, SessionTimelineParses) {
   ASSERT_TRUE(session.deploy());
   ASSERT_TRUE(session.run());
 
-  const JsonValue root = parse_json_or_throw(io::to_json(session.timeline()));
+  const JsonValue root = parse_json_or_throw(emulator::to_json(session.timeline()));
   ASSERT_TRUE(root.is_array());
   ASSERT_EQ(root.as_array().size(), 3u);
   EXPECT_EQ(root.as_array()[0].find("phase")->as_string(), "map");

@@ -2,16 +2,16 @@
 #include <gtest/gtest.h>
 
 #include "extensions/mapper_registry.h"
-#include "io/suite.h"
+#include "expfw/suite.h"
 
 namespace {
 
 using namespace hmn;
 using extensions::known_mapper_names;
 using extensions::make_named_mapper;
-using io::load_suite_json;
+using expfw::load_suite_json;
 using io::SpecError;
-using io::SuiteSpec;
+using expfw::SuiteSpec;
 
 SuiteSpec ok(std::string_view text) {
   auto result = load_suite_json(text);

@@ -1,0 +1,28 @@
+// Known-bad fixture for hot-path-alloc: every allocation class the rule
+// recognizes, inside an annotated function.
+#include <map>
+#include <memory>
+#include <vector>
+
+// hmn-lint: hot-path
+void hot_everything(std::vector<int>& sink) {
+  std::vector<int> grown;
+  for (int i = 0; i < 64; ++i) {
+    grown.push_back(i);  // unreserved local: reallocation mid-loop
+  }
+  std::map<int, int> lookup;  // node-based container construction
+  auto owned = std::make_unique<int>(7);
+  int* raw = new int(9);
+  sink.push_back(*raw + *owned + lookup[0] + grown[0]);
+}
+
+void cold_everything(std::vector<int>& sink) {
+  // Identical body, no annotation: the rule must stay silent.
+  std::vector<int> grown;
+  for (int i = 0; i < 64; ++i) {
+    grown.push_back(i);
+  }
+  std::map<int, int> lookup;
+  int* raw = new int(9);
+  sink.push_back(*raw + lookup[0] + grown[0]);
+}

@@ -1,0 +1,26 @@
+// Clean hot path: reserved growth, caller-owned buffers, no node
+// containers, no naked new.
+#include <vector>
+
+// hmn-lint: hot-path
+void hot_reserved(const std::vector<int>& in, std::vector<int>& out) {
+  std::vector<int> tmp;
+  tmp.reserve(in.size());
+  for (const int v : in) {
+    tmp.push_back(v * 2);  // reserved above: no reallocation
+  }
+  out.push_back(tmp.empty() ? 0 : tmp.back());  // caller-owned, not a local
+}
+
+// Multi-line signature: the annotation still attaches to the function whose
+// name follows it.
+// hmn-lint: hot-path
+double hot_multiline_signature(const std::vector<double>& weights,
+                               const std::vector<double>& values,
+                               double scale) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] * values[i];
+  }
+  return acc * scale;
+}

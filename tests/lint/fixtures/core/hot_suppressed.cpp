@@ -1,0 +1,13 @@
+// Cold-start allocation inside a hot-path function, under an audited
+// suppression.
+#include <vector>
+
+// hmn-lint: hot-path
+void hot_with_coldstart(std::vector<int>& out) {
+  // hmn-lint: allow(hot-path-alloc, one-time scratch sized on first call and reused thereafter)
+  static std::vector<int>* scratch = new std::vector<int>(1024);
+  for (std::size_t i = 0; i < scratch->size(); ++i) {
+    (*scratch)[i] = static_cast<int>(i);
+  }
+  out.push_back(scratch->back());
+}

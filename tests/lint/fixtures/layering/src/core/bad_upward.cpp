@@ -1,0 +1,7 @@
+// Known-bad fixture for include-layering: core (layer 1) reaching upward
+// into expfw (layer 3).  The include target does not need to resolve — the
+// layering pass classifies by path alone.
+#include "expfw/runner.h"
+#include "util/rng.h"
+
+void poke() {}

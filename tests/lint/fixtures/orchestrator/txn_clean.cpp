@@ -1,0 +1,36 @@
+// Clean transaction shapes: every return path commits or rolls back, and
+// branch-local commits cover their own paths only (mirrors healer.cpp's
+// heal_one).
+struct FakeManager;
+
+bool heal_one_clean(FakeManager& mgr, int id, bool precheck) {
+  if (precheck) {
+    return false;  // early return BEFORE the transaction begins: fine
+  }
+  auto view = mgr.residual_cluster_excluding(id);
+  auto outcome = mgr.map(view);
+  if (outcome.ok() && mgr.update_mappings(outcome)) {
+    return true;
+  }
+  mgr.evict_and_park(id);
+  return false;
+}
+
+bool commit_in_return(FakeManager& mgr, int id) {
+  auto view = mgr.residual_cluster_excluding(id);
+  return mgr.update_mappings(view);  // commit inside the return statement
+}
+
+bool explicit_txn(FakeManager& mgr) {
+  mgr.txn_begin();
+  if (mgr.poll()) {
+    mgr.txn_commit();
+    return true;
+  }
+  mgr.txn_abort();
+  return false;
+}
+
+void rollback_without_begin(FakeManager& mgr, int id) {
+  mgr.release(id);  // release outside a transaction is a plain departure
+}

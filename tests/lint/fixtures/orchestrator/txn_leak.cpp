@@ -1,0 +1,32 @@
+// Known-bad fixture: a healer-style transaction that leaks on one branch.
+// The staged exclusion (residual_cluster_excluding) is never committed or
+// rolled back on the early-return path.
+struct FakeManager;
+
+bool heal_one_leaky(FakeManager& mgr, int id, bool shortcut) {
+  auto view = mgr.residual_cluster_excluding(id);
+  if (shortcut) {
+    return false;  // leak: neither update_mappings nor release
+  }
+  if (mgr.update_mappings(view)) {
+    return true;
+  }
+  mgr.release(id);
+  return false;
+}
+
+bool heal_leaky_return(FakeManager& mgr, int id) {
+  auto view = mgr.residual_cluster_excluding(id);
+  mgr.inspect(view);
+  return true;  // leak: no commit/rollback before returning
+}
+
+bool explicit_begin_leak(FakeManager& mgr) {
+  mgr.txn_begin();
+  return mgr.poll();  // leak: txn_begin without txn_commit/txn_abort
+}
+
+void heal_fall_off_end(FakeManager& mgr, int id) {
+  auto view = mgr.residual_cluster_excluding(id);
+  mgr.inspect(view);
+}  // leak: transaction still open at the closing brace

@@ -1,0 +1,10 @@
+// A transaction leak under an audited suppression: the claim is reviewed,
+// the finding is recorded as suppressed, not dropped.
+struct FakeManager;
+
+bool drain_for_shutdown(FakeManager& mgr, int id) {
+  auto view = mgr.residual_cluster_excluding(id);
+  mgr.inspect(view);
+  // hmn-lint: allow(txn-discipline, shutdown drain - the process exits and the manager is discarded)
+  return true;
+}

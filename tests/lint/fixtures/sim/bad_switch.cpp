@@ -1,0 +1,11 @@
+// Known-bad fixture for exhaustive-switch: a switch over a local enum
+// class that misses enumerators and has no default.
+enum class Signal : unsigned char { kStart, kStop, kPause, kResume };
+
+int dispatch(Signal s) {
+  switch (s) {
+    case Signal::kStart: return 1;
+    case Signal::kStop: return 2;
+  }
+  return 0;
+}

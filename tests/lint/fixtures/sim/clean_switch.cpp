@@ -1,0 +1,36 @@
+// Clean switches: full enumerator coverage, or an explicit default.
+enum class Signal : unsigned char { kStart, kStop, kPause, kResume };
+enum class Mode { kFast = 1, kSafe = 2 };
+
+int full_coverage(Signal s) {
+  switch (s) {
+    case Signal::kStart: return 1;
+    case Signal::kStop: return 2;
+    case Signal::kPause: return 3;
+    case Signal::kResume: return 4;
+  }
+  return 0;
+}
+
+int with_default(Signal s) {
+  switch (s) {
+    case Signal::kStart: return 1;
+    default: return 0;
+  }
+}
+
+int initialized_enumerators(Mode m) {
+  switch (m) {
+    case Mode::kFast: return 1;
+    case Mode::kSafe: return 2;
+  }
+  return 0;
+}
+
+int not_an_enum_switch(int v) {
+  switch (v) {
+    case 1: return 1;
+    case 2: return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Relaxed-profile fixture (tools/): printing, randomness, and float
+// comparisons are a tool's business — but unordered iteration and switch
+// exhaustiveness still hold.
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+enum class ToolMode : unsigned char { kList, kCheck, kFix };
+
+int run_tool(ToolMode mode) {
+  std::printf("seed: %d\n", std::rand());  // fine under the relaxed profile
+  double x = 0.5;
+  if (x == 0.5) std::printf("exact\n");  // fine under the relaxed profile
+
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  for (const auto& [k, v] : counts) {  // still flagged: order-dependent
+    std::printf("%d=%d\n", k, v);
+  }
+
+  switch (mode) {  // still flagged: kFix missing, no default
+    case ToolMode::kList: return 0;
+    case ToolMode::kCheck: return 1;
+  }
+  return 2;
+}

@@ -1,0 +1,337 @@
+#include "functions.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hmn::lint {
+namespace {
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Keywords that look like `name (` but never open a function definition.
+constexpr std::string_view kControlKeywords[] = {
+    "if",     "for",    "while",  "switch", "catch",  "return",
+    "sizeof", "alignof", "decltype", "noexcept", "static_assert",
+    "co_await", "co_return", "co_yield", "new", "delete", "throw"};
+
+bool is_control_keyword(std::string_view s) {
+  return std::find(std::begin(kControlKeywords), std::end(kControlKeywords),
+                   s) != std::end(kControlKeywords);
+}
+
+class FunctionScanner {
+ public:
+  explicit FunctionScanner(const LexResult& lex) : lex_(lex) {}
+
+  std::vector<FunctionBody> run() {
+    const auto& T = lex_.tokens;
+    std::size_t i = 0;
+    while (i < T.size()) {
+      const std::size_t next = try_function(i);
+      if (next > i) {
+        i = next;
+      } else {
+        ++i;
+      }
+    }
+    attach_annotations();
+    return std::move(out_);
+  }
+
+ private:
+  const Token* at(std::size_t i) const {
+    return i < lex_.tokens.size() ? &lex_.tokens[i] : nullptr;
+  }
+
+  /// Index one past the brace/paren/bracket group opening at `i`, or `i`
+  /// if the group never closes (unterminated input).
+  std::size_t skip_balanced(std::size_t i) const {
+    const auto& T = lex_.tokens;
+    int depth = 0;
+    for (std::size_t j = i; j < T.size(); ++j) {
+      if (is_punct(T[j], "(") || is_punct(T[j], "{") || is_punct(T[j], "[")) {
+        ++depth;
+      } else if (is_punct(T[j], ")") || is_punct(T[j], "}") ||
+                 is_punct(T[j], "]")) {
+        --depth;
+        if (depth == 0) return j + 1;
+      }
+    }
+    return i;
+  }
+
+  /// Tries to recognize a function definition whose *name* is at token i.
+  /// Returns the index one past the body's closing brace on success (so
+  /// nested definitions inside the body are not re-reported), or `i` when
+  /// the tokens do not spell a definition.
+  std::size_t try_function(std::size_t i) {
+    const auto& T = lex_.tokens;
+    const Token& name = T[i];
+    if (name.kind != TokenKind::kIdentifier || is_control_keyword(name.text)) {
+      return i;
+    }
+    const Token* open = at(i + 1);
+    if (open == nullptr || !is_punct(*open, "(")) return i;
+    // `name (` directly after `.` / `->` / `&` is a call or a pointer
+    // expression, not a definition.  `::` is fine (qualified names).
+    if (i > 0 && (is_punct(T[i - 1], ".") || is_punct(T[i - 1], "->"))) {
+      return i;
+    }
+    const std::size_t after_params = skip_balanced(i + 1);
+    if (after_params == i + 1) return i;  // unbalanced params
+
+    // Walk the post-parameter noise: cv/ref qualifiers, noexcept(+args),
+    // attributes, trailing return types, override/final.  A `;` or `,` or
+    // `=` (default/delete/initializer) means declaration, not definition.
+    std::size_t j = after_params;
+    bool ctor_inits = false;
+    while (const Token* t = at(j)) {
+      if (is_punct(*t, "{")) break;
+      if (is_punct(*t, ";") || is_punct(*t, ",") || is_punct(*t, "=") ||
+          is_punct(*t, ")")) {
+        return i;
+      }
+      if (is_punct(*t, ":")) {
+        ctor_inits = true;
+        break;
+      }
+      if (is_ident(*t, "const") || is_ident(*t, "volatile") ||
+          is_ident(*t, "noexcept") || is_ident(*t, "override") ||
+          is_ident(*t, "final") || is_ident(*t, "try") ||
+          is_ident(*t, "requires") || is_punct(*t, "&") ||
+          is_punct(*t, "&&") || is_punct(*t, "->") || is_punct(*t, "::") ||
+          t->kind == TokenKind::kIdentifier) {
+        ++j;
+        continue;
+      }
+      if (is_punct(*t, "(") || is_punct(*t, "[")) {  // noexcept(...), [[..]]
+        const std::size_t skipped = skip_balanced(j);
+        if (skipped == j) return i;
+        j = skipped;
+        continue;
+      }
+      if (is_punct(*t, "<")) {  // trailing return type template args
+        ++j;
+        continue;
+      }
+      if (is_punct(*t, ">") || is_punct(*t, ">>") || is_punct(*t, "*")) {
+        ++j;
+        continue;
+      }
+      return i;  // anything else: not a definition
+    }
+    if (at(j) == nullptr) return i;
+
+    if (ctor_inits) {
+      // `: member_(expr), base{expr}, ... {`.  Each initializer is an
+      // identifier chain followed by one balanced () or {} group.
+      ++j;  // past ':'
+      while (true) {
+        // identifier chain (qualified / templated base names)
+        bool saw_name = false;
+        while (const Token* t = at(j)) {
+          if (t->kind == TokenKind::kIdentifier || is_punct(*t, "::")) {
+            saw_name = true;
+            ++j;
+            continue;
+          }
+          if (is_punct(*t, "<")) {  // templated base: skip to matching '>'
+            int d = 0;
+            while (const Token* u = at(j)) {
+              if (is_punct(*u, "<")) ++d;
+              if (is_punct(*u, ">")) {
+                --d;
+                if (d == 0) break;
+              }
+              if (is_punct(*u, ">>")) {
+                d -= 2;
+                if (d <= 0) break;
+              }
+              if (is_punct(*u, "(") || is_punct(*u, "{")) break;
+              ++j;
+            }
+            ++j;
+            continue;
+          }
+          break;
+        }
+        const Token* g = at(j);
+        if (!saw_name || g == nullptr ||
+            (!is_punct(*g, "(") && !is_punct(*g, "{"))) {
+          return i;  // not actually a ctor-init list
+        }
+        const std::size_t after_group = skip_balanced(j);
+        if (after_group == j) return i;
+        j = after_group;
+        const Token* sep = at(j);
+        if (sep != nullptr && is_punct(*sep, ",")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      const Token* body = at(j);
+      if (body == nullptr || !is_punct(*body, "{")) return i;
+    }
+
+    // j now indexes the body's '{'.
+    const std::size_t body_begin = j;
+    const std::size_t after_body = skip_balanced(body_begin);
+    if (after_body == body_begin) return i;  // unterminated body
+
+    FunctionBody fn;
+    fn.name = name.text;
+    fn.name_index = i;
+    fn.body_begin = body_begin;
+    fn.body_end = after_body - 1;
+    fn.line = name.line;
+    out_.push_back(fn);
+    return after_body;
+  }
+
+  /// First code line at or after the comment, mirroring the suppression
+  /// engine's attachment rule.
+  std::size_t next_code_line(const Comment& c) const {
+    for (const Token& t : lex_.tokens) {
+      if (t.line > c.line || (t.line == c.line && t.col > c.col)) {
+        return t.line;
+      }
+    }
+    return c.line;
+  }
+
+  void attach_annotations() {
+    for (const Comment& c : lex_.comments) {
+      const std::size_t marker = live_marker_pos(c.text);
+      if (marker == std::string_view::npos) continue;
+      if (c.text.find("hot-path", marker) == std::string_view::npos) continue;
+      const std::size_t target = c.own_line ? next_code_line(c) : c.line;
+      // The annotation marks the function whose signature starts on the
+      // target line: match on the name line, or — for multi-line
+      // signatures opening with the return type — the first function whose
+      // name appears after the target with no other code line between.
+      FunctionBody* best = nullptr;
+      for (FunctionBody& fn : out_) {
+        if (fn.line < target) continue;
+        if (best == nullptr || fn.line < best->line) best = &fn;
+      }
+      if (best != nullptr && best->line <= target + 4) best->hot_path = true;
+    }
+  }
+
+  const LexResult& lex_;
+  std::vector<FunctionBody> out_;
+};
+
+}  // namespace
+
+std::vector<FunctionBody> scan_functions(const LexResult& lex) {
+  return FunctionScanner(lex).run();
+}
+
+std::size_t live_marker_pos(std::string_view comment_text) {
+  const std::size_t marker = comment_text.find("hmn-lint:");
+  if (marker == std::string_view::npos || marker < 2) {
+    return std::string_view::npos;
+  }
+  for (std::size_t i = 2; i < marker; ++i) {
+    if (std::isspace(static_cast<unsigned char>(comment_text[i])) == 0) {
+      return std::string_view::npos;
+    }
+  }
+  return marker;
+}
+
+void EnumRegistry::merge(const EnumRegistry& other) {
+  for (const std::string& name : other.ambiguous) {
+    enums.erase(name);
+    if (std::find(ambiguous.begin(), ambiguous.end(), name) ==
+        ambiguous.end()) {
+      ambiguous.push_back(name);
+    }
+  }
+  for (const auto& [name, values] : other.enums) {
+    if (std::find(ambiguous.begin(), ambiguous.end(), name) !=
+        ambiguous.end()) {
+      continue;
+    }
+    const auto it = enums.find(name);
+    if (it == enums.end()) {
+      enums.emplace(name, values);
+    } else if (it->second != values) {
+      enums.erase(it);
+      ambiguous.push_back(name);
+    }
+  }
+  std::sort(ambiguous.begin(), ambiguous.end());
+}
+
+EnumRegistry collect_enums(const LexResult& lex) {
+  EnumRegistry reg;
+  const auto& T = lex.tokens;
+  auto is_id = [&](std::size_t i, std::string_view s) {
+    return i < T.size() && is_ident(T[i], s);
+  };
+  for (std::size_t i = 0; i + 3 < T.size(); ++i) {
+    if (!is_id(i, "enum") || (!is_id(i + 1, "class") && !is_id(i + 1, "struct"))) {
+      continue;
+    }
+    std::size_t j = i + 2;
+    if (T[j].kind != TokenKind::kIdentifier) continue;
+    const std::string name(T[j].text);
+    ++j;
+    // Optional underlying type: `: std::uint8_t`
+    if (j < T.size() && is_punct(T[j], ":")) {
+      ++j;
+      while (j < T.size() && !is_punct(T[j], "{") && !is_punct(T[j], ";")) {
+        ++j;
+      }
+    }
+    if (j >= T.size() || !is_punct(T[j], "{")) continue;  // fwd declaration
+    ++j;
+    std::vector<std::string> values;
+    while (j < T.size() && !is_punct(T[j], "}")) {
+      if (T[j].kind != TokenKind::kIdentifier) break;  // malformed
+      values.push_back(std::string(T[j].text));
+      ++j;
+      // `= expr` initializers: skip to the separating ',' or closing '}'.
+      int depth = 0;
+      while (j < T.size()) {
+        if (is_punct(T[j], "(") || is_punct(T[j], "{") ||
+            is_punct(T[j], "[")) {
+          ++depth;
+        } else if (is_punct(T[j], ")") || is_punct(T[j], "]") ||
+                   is_punct(T[j], "}")) {
+          if (depth == 0) break;  // the enum's own closing brace
+          --depth;
+        } else if (depth == 0 && is_punct(T[j], ",")) {
+          break;
+        }
+        ++j;
+      }
+      if (j < T.size() && is_punct(T[j], ",")) ++j;
+    }
+    if (j >= T.size() || values.empty()) continue;
+    const auto it = reg.enums.find(name);
+    if (it == reg.enums.end()) {
+      if (std::find(reg.ambiguous.begin(), reg.ambiguous.end(), name) ==
+          reg.ambiguous.end()) {
+        reg.enums.emplace(name, std::move(values));
+      }
+    } else if (it->second != values) {
+      reg.enums.erase(it);
+      reg.ambiguous.push_back(name);
+    }
+    i = j;
+  }
+  std::sort(reg.ambiguous.begin(), reg.ambiguous.end());
+  return reg;
+}
+
+}  // namespace hmn::lint

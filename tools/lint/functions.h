@@ -1,0 +1,65 @@
+// Function-body extraction and enum collection for hmn-lint's
+// intraprocedural passes (txn-discipline, hot-path-alloc,
+// exhaustive-switch).
+//
+// The scanner is lexical, not syntactic: it recognizes the shape
+// `name ( ... ) [noise] [: ctor-inits] {` and pairs the body braces, which
+// is exact on the codebase's style (no function-try blocks, no K&R
+// definitions) and degrades to "no function found" — never a crash or a
+// mis-paired body — on anything it half understands.  Lambdas are *not*
+// extracted as functions of their own; their tokens stay inside the
+// enclosing body, which is what the allocation and transaction rules want
+// (a lambda in a hot path runs on the hot path).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+
+namespace hmn::lint {
+
+struct FunctionBody {
+  std::string_view name;      // unqualified spelling (last identifier)
+  std::size_t name_index = 0; // token index of the name
+  std::size_t body_begin = 0; // token index of the opening '{'
+  std::size_t body_end = 0;   // token index of the matching '}'
+  std::size_t line = 0;       // line of the name token
+  bool hot_path = false;      // carries a `// hmn-lint: hot-path` annotation
+};
+
+/// Extracts every function definition (free functions, member functions,
+/// constructors) from a lexed translation unit, in source order.  Bodies
+/// never overlap except by nesting (local structs/lambdas); the scanner
+/// reports the *outermost* definitions only, so each token belongs to at
+/// most one returned body.
+[[nodiscard]] std::vector<FunctionBody> scan_functions(const LexResult& lex);
+
+/// Enum registry: `enum class Name { ... }` definitions, name ->
+/// enumerators in declaration order.  Used by exhaustive-switch.  A name
+/// defined twice with *different* enumerator sets (two namespaces, one
+/// spelling) is ambiguous at the lexical level and is dropped from the
+/// registry rather than risking a false finding.
+struct EnumRegistry {
+  std::map<std::string, std::vector<std::string>, std::less<>> enums;
+  std::vector<std::string> ambiguous;  // names dropped for conflicting defs
+
+  /// Merges `other` into this registry with the same conflict rule.
+  void merge(const EnumRegistry& other);
+};
+
+/// Collects `enum class` definitions from one translation unit.  Plain
+/// (unscoped) enums are ignored: their enumerators are not referenced as
+/// `Name::value`, so switch labels cannot be attributed to them lexically.
+[[nodiscard]] EnumRegistry collect_enums(const LexResult& lex);
+
+/// Position of a *live* hmn-lint marker in a comment, or npos.  A marker is
+/// live only when it directly follows the comment introducer (`//` or `/*`)
+/// with nothing but whitespace between — prose that merely mentions the
+/// syntax (docs, this very file) is not a directive.
+[[nodiscard]] std::size_t live_marker_pos(std::string_view comment_text);
+
+}  // namespace hmn::lint

@@ -1,0 +1,242 @@
+#include "layers.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace hmn::lint {
+namespace {
+
+constexpr std::string_view kRule = "include-layering";
+
+struct ModuleLayer {
+  std::string_view module;
+  int layer;
+};
+
+/// The declared layer map (DESIGN.md §6a).  Order within a layer is
+/// cosmetic; the DOT rendering groups by layer.
+constexpr std::array<ModuleLayer, 15> kLayers = {{
+    {"util", 0},
+    {"graph", 0},
+    {"model", 1},
+    {"core", 1},
+    {"topology", 1},
+    {"io", 2},
+    {"workload", 2},
+    {"availability", 2},
+    {"multilevel", 2},
+    {"extensions", 2},
+    {"baselines", 2},
+    {"orchestrator", 3},
+    {"emulator", 3},
+    {"expfw", 3},
+    {"sim", 3},
+}};
+
+std::vector<std::string_view> split_path(std::string_view path) {
+  std::vector<std::string_view> segs;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t slash = path.find('/', start);
+    if (slash == std::string_view::npos) slash = path.size();
+    if (slash > start) segs.push_back(path.substr(start, slash - start));
+    if (slash == path.size()) break;
+    start = slash + 1;
+  }
+  return segs;
+}
+
+}  // namespace
+
+std::optional<int> layer_of_module(std::string_view module) {
+  for (const ModuleLayer& ml : kLayers) {
+    if (ml.module == module) return ml.layer;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> module_of_path(std::string_view path) {
+  const std::vector<std::string_view> segs = split_path(path);
+  // Prefer the segment after the last "src": scanned files are given by
+  // filesystem path ("/repo/src/core/x.cpp", "fixtures/layering/src/a/y.h").
+  for (std::size_t i = segs.size(); i > 0; --i) {
+    if (segs[i - 1] == "src" && i < segs.size()) {
+      const std::string_view m = segs[i];
+      if (layer_of_module(m)) return std::string(m);
+      return std::nullopt;
+    }
+  }
+  // Include targets are repo-root-relative: "core/hosting.h".
+  if (!segs.empty() && layer_of_module(segs.front())) {
+    return std::string(segs.front());
+  }
+  return std::nullopt;
+}
+
+std::vector<IncludeSite> collect_includes(const LexResult& lex) {
+  std::vector<IncludeSite> out;
+  for (const Token& t : lex.tokens) {
+    if (t.kind != TokenKind::kPreprocessor) continue;
+    std::string_view text = t.text;
+    const std::size_t inc = text.find("include");
+    if (inc == std::string_view::npos) continue;
+    // Only quoted includes: <...> names the outside world, which layering
+    // does not govern.
+    const std::size_t open = text.find('"', inc);
+    if (open == std::string_view::npos) continue;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string_view::npos) continue;
+    IncludeSite site;
+    site.target = std::string(text.substr(open + 1, close - open - 1));
+    site.line = t.line;
+    out.push_back(std::move(site));
+  }
+  return out;
+}
+
+void IncludeGraph::add_file(const std::string& path,
+                            std::vector<IncludeSite> includes) {
+  FileEntry entry;
+  entry.path = path;
+  entry.module = module_of_path(path).value_or("");
+  entry.includes = std::move(includes);
+  files_.push_back(std::move(entry));
+}
+
+std::map<std::string, std::map<std::string, std::size_t>>
+IncludeGraph::module_edges() const {
+  std::map<std::string, std::map<std::string, std::size_t>> edges;
+  for (const FileEntry& f : files_) {
+    if (f.module.empty()) continue;
+    edges[f.module];  // ensure isolated modules still render
+    for (const IncludeSite& site : f.includes) {
+      const std::optional<std::string> to = module_of_path(site.target);
+      if (!to || *to == f.module) continue;
+      ++edges[f.module][*to];
+    }
+  }
+  return edges;
+}
+
+std::vector<Finding> IncludeGraph::check() const {
+  std::vector<Finding> findings;
+
+  // Upward edges, one finding per include site.
+  for (const FileEntry& f : files_) {
+    if (f.module.empty()) continue;
+    const int from_layer = *layer_of_module(f.module);
+    for (const IncludeSite& site : f.includes) {
+      const std::optional<std::string> to = module_of_path(site.target);
+      if (!to || *to == f.module) continue;
+      const int to_layer = *layer_of_module(*to);
+      if (to_layer <= from_layer) continue;
+      Finding finding;
+      finding.file = f.path;
+      finding.line = site.line;
+      finding.col = 1;
+      finding.rule = std::string(kRule);
+      finding.message = "module '" + f.module + "' (layer " +
+                        std::to_string(from_layer) + ") includes '" +
+                        site.target + "' from module '" + *to + "' (layer " +
+                        std::to_string(to_layer) +
+                        ") — upward edges invert the declared layering; "
+                        "move the shared type down or the dependent code up";
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  // Module-level cycles (within-layer edges are legal only while acyclic).
+  const auto edges = module_edges();
+  std::map<std::string, int> state;  // 0 unvisited / 1 on stack / 2 done
+  std::vector<std::string> stack;
+  std::set<std::vector<std::string>> cycles;
+
+  // Iterative DFS with an explicit recursion since the module count is
+  // tiny; recursion depth is bounded by the module count.
+  auto dfs = [&](auto&& self, const std::string& m) -> void {
+    state[m] = 1;
+    stack.push_back(m);
+    const auto it = edges.find(m);
+    if (it != edges.end()) {
+      for (const auto& [to, count] : it->second) {
+        (void)count;
+        if (edges.find(to) == edges.end()) continue;
+        if (state[to] == 1) {
+          // Extract the cycle m0 -> ... -> to -> m0 and canonicalize it so
+          // the same cycle found from different roots dedups.
+          const auto pos = std::find(stack.begin(), stack.end(), to);
+          std::vector<std::string> cycle(pos, stack.end());
+          const auto smallest =
+              std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), smallest, cycle.end());
+          cycles.insert(std::move(cycle));
+        } else if (state[to] == 0) {
+          self(self, to);
+        }
+      }
+    }
+    stack.pop_back();
+    state[m] = 2;
+  };
+  for (const auto& [m, outs] : edges) {
+    (void)outs;
+    if (state[m] == 0) dfs(dfs, m);
+  }
+
+  for (const std::vector<std::string>& cycle : cycles) {
+    std::string path;
+    for (const std::string& m : cycle) path += m + " -> ";
+    path += cycle.front();
+    Finding finding;
+    finding.file = "(module graph)";
+    finding.line = 0;
+    finding.col = 0;
+    finding.rule = std::string(kRule);
+    finding.message =
+        "include cycle between modules: " + path +
+        " — the layer map requires the module graph to be a DAG";
+    findings.push_back(std::move(finding));
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::string IncludeGraph::to_dot() const {
+  const auto edges = module_edges();
+  std::ostringstream out;
+  out << "digraph hmn_includes {\n"
+      << "  rankdir=BT;\n"
+      << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  // One subgraph rank per layer, lowest at the bottom.
+  std::map<int, std::vector<std::string>> by_layer;
+  for (const auto& [m, outs] : edges) {
+    (void)outs;
+    by_layer[*layer_of_module(m)].push_back(m);
+  }
+  for (const auto& [layer, modules] : by_layer) {
+    out << "  { rank=same;";
+    for (const std::string& m : modules) {
+      out << " \"" << m << "\";";
+    }
+    out << " }  // layer " << layer << "\n";
+  }
+  for (const auto& [from, outs] : edges) {
+    for (const auto& [to, count] : outs) {
+      if (edges.find(to) == edges.end()) continue;
+      out << "  \"" << from << "\" -> \"" << to << "\" [label=\"" << count
+          << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hmn::lint

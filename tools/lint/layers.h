@@ -1,0 +1,87 @@
+// Include-graph layering for hmn-lint: the whole-repo pass.
+//
+// The codebase declares a strict module layering (DESIGN.md §6a):
+//
+//   layer 0  util, graph                      (leaf utilities)
+//   layer 1  model, core, topology            (domain types + the heuristic)
+//   layer 2  io, workload, availability,      (services over the core)
+//            multilevel, extensions, baselines
+//   layer 3  orchestrator, emulator, expfw,   (composition roots)
+//            sim
+//
+// A file in module M may `#include "..."` only modules at M's layer or
+// below, and the module-level include graph must be acyclic even within a
+// layer (same-layer edges are fine — core uses model — but a cycle means
+// the layers are a fiction).  Violations are hard findings: unlike the
+// per-file rules there is no suppression, because a layering exception is
+// an architecture decision, not a local annotation.
+//
+// The pass also renders the module graph as GraphViz DOT (one rank per
+// layer, edges weighted by include count) so CI can publish the actual
+// architecture next to the declared one.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace hmn::lint {
+
+/// One `#include "..."` site (project-relative target; system includes are
+/// not collected).
+struct IncludeSite {
+  std::string target;      // text between the quotes
+  std::size_t line = 0;
+};
+
+/// Extracts `#include "..."` targets from a lexed translation unit.
+[[nodiscard]] std::vector<IncludeSite> collect_includes(const LexResult& lex);
+
+/// Module name for a path: the segment after the last `src` segment
+/// ("src/core/hosting.cpp" -> "core"), or — for include targets, which are
+/// repo-root-relative — the first segment ("core/hosting.h" -> "core").
+/// Returns nullopt when the result is not a declared module (tools, bench,
+/// examples, and third-party targets do not participate in layering).
+[[nodiscard]] std::optional<std::string> module_of_path(std::string_view path);
+
+/// Declared layer of a module, or nullopt for unknown modules.
+[[nodiscard]] std::optional<int> layer_of_module(std::string_view module);
+
+class IncludeGraph {
+ public:
+  /// Registers one scanned file and its include sites.  Files outside any
+  /// declared module still register (their outgoing edges are ignored), so
+  /// the caller can feed every scanned file unconditionally.
+  void add_file(const std::string& path, std::vector<IncludeSite> includes);
+
+  /// Runs the layering checks: upward edges (per include site) and module
+  /// cycles (one finding per cycle, deterministically anchored at the
+  /// lexicographically smallest module on the cycle).
+  [[nodiscard]] std::vector<Finding> check() const;
+
+  /// GraphViz DOT rendering of the module graph.
+  [[nodiscard]] std::string to_dot() const;
+
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+
+ private:
+  struct FileEntry {
+    std::string path;
+    std::string module;  // empty: outside the layered tree
+    std::vector<IncludeSite> includes;
+  };
+
+  /// module -> module -> number of include sites inducing the edge.
+  [[nodiscard]] std::map<std::string, std::map<std::string, std::size_t>>
+  module_edges() const;
+
+  std::vector<FileEntry> files_;
+};
+
+}  // namespace hmn::lint

@@ -72,10 +72,35 @@ class Lexer {
     code_on_line_ = true;
   }
 
+  /// Length of a line continuation at `off` (backslash + newline, with a
+  /// CRLF tolerated between — editors on other platforms write them, and a
+  /// missed continuation desyncs the whole directive), or 0.
+  std::size_t continuation_len(std::size_t off = 0) const {
+    if (peek(off) != '\\') return 0;
+    if (peek(off + 1) == '\n') return 2;
+    if (peek(off + 1) == '\r' && peek(off + 2) == '\n') return 3;
+    return 0;
+  }
+
+  /// Length of a raw-string introducer at the current position: `R"`,
+  /// optionally behind an encoding prefix (`u8R"`, `uR"`, `UR"`, `LR"`).
+  /// Without this the prefix lexes as an identifier and the `"` opens an
+  /// ordinary string whose first `)` ends it — token-stream desync.
+  std::size_t raw_string_intro_len() const {
+    std::size_t p = 0;
+    if (peek() == 'u' && peek(1) == '8') {
+      p = 2;
+    } else if (peek() == 'u' || peek() == 'U' || peek() == 'L') {
+      p = 1;
+    }
+    if (peek(p) == 'R' && peek(p + 1) == '"') return p + 2;
+    return 0;
+  }
+
   void step() {
     const char c = peek();
-    if (c == '\\' && peek(1) == '\n') {  // stray line continuation
-      advance_n(2);
+    if (continuation_len() > 0) {  // stray line continuation
+      advance_n(continuation_len());
       return;
     }
     if (std::isspace(static_cast<unsigned char>(c)) != 0) {
@@ -94,8 +119,8 @@ class Lexer {
       lex_preprocessor();
       return;
     }
-    if (c == 'R' && peek(1) == '"') {
-      lex_raw_string();
+    if (raw_string_intro_len() > 0) {
+      lex_raw_string(raw_string_intro_len());
       return;
     }
     if (c == '"') {
@@ -129,7 +154,8 @@ class Lexer {
     const std::size_t start_col = col_;
     const bool own = !code_on_line_;
     while (pos_ < src_.size() && peek() != '\n') {
-      if (peek() == '\\' && peek(1) == '\n') advance();  // continued comment
+      const std::size_t cont = continuation_len();
+      if (cont > 0) advance_n(cont - 1);  // continued comment
       advance();
     }
     result_.comments.push_back(
@@ -153,8 +179,8 @@ class Lexer {
     const std::size_t start_line = line_;
     const std::size_t start_col = col_;
     while (pos_ < src_.size() && peek() != '\n') {
-      if (peek() == '\\' && peek(1) == '\n') {
-        advance_n(2);
+      if (continuation_len() > 0) {
+        advance_n(continuation_len());
         continue;
       }
       if (peek() == '/' && peek(1) == '/') break;  // trailing comment
@@ -169,15 +195,26 @@ class Lexer {
     code_on_line_ = false;
   }
 
-  void lex_raw_string() {
+  void lex_raw_string(std::size_t intro_len) {
     const std::size_t start = pos_;
     const std::size_t start_line = line_;
     const std::size_t start_col = col_;
-    advance_n(2);  // R"
+    advance_n(intro_len);  // [u8|u|U|L]R"
     std::string delim;
-    while (pos_ < src_.size() && peek() != '(') {
+    // Delimiters are short and never contain whitespace; a newline here
+    // means the source is malformed — stop so the scan cannot swallow the
+    // rest of the file looking for '('.
+    while (pos_ < src_.size() && peek() != '(' && peek() != '\n' &&
+           delim.size() < 16) {
       delim.push_back(peek());
       advance();
+    }
+    if (pos_ >= src_.size() || peek() != '(') {
+      // Malformed: no opener before the line ended.  Emit what we saw and
+      // resync at the newline instead of scanning the whole file for a
+      // closer that cannot exist.
+      emit(TokenKind::kString, start, start_line, start_col);
+      return;
     }
     advance();  // (
     const std::string closer = ")" + delim + "\"";

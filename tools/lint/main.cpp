@@ -1,14 +1,24 @@
-// hmn-lint — determinism & hygiene static analyzer for the HMN codebase.
+// hmn-lint — determinism, hygiene & architecture static analyzer for the
+// HMN codebase.
 //
 //   hmn-lint [options] <file-or-dir>...
 //
 //   --json <path>            write the machine-readable report
 //   --baseline <path>        subtract a recorded baseline before failing
-//   --write-baseline <path>  record current unsuppressed findings and exit 0
+//   --ratchet <path>         like --baseline, and additionally fail on any
+//                            suppressed (file, rule) pair the baseline has
+//                            not audited (ratchet-drift findings)
+//   --write-baseline <path>  record current unsuppressed findings plus the
+//                            suppressed-pair ratchet and exit 0
+//   --dot <path>             write the module include graph as GraphViz DOT
 //   --root <path>            strip this prefix from reported paths (module
 //                            classification always uses the full path)
 //   --show-suppressed        print suppressed findings too
 //   --list-rules             print rule names and exit
+//
+// The run is two-pass: every input is lexed once to build the whole-repo
+// view (the include graph for the layering rule, the merged enum registry
+// for exhaustive-switch), then the per-file rules run with that context.
 //
 // Exit codes: 0 clean, 1 unsuppressed findings remain, 2 usage/IO error.
 #include <algorithm>
@@ -20,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "layers.h"
 #include "report.h"
 #include "rules.h"
 
@@ -34,16 +45,17 @@ struct Options {
   std::string json_path;
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string dot_path;
   std::string root;
+  bool ratchet = false;  // baseline_path doubles as the ratchet document
   bool show_suppressed = false;
   bool list_rules = false;
 };
 
 int usage(std::ostream& out, int code) {
-  out << "usage: hmn-lint [--json FILE] [--baseline FILE] "
-         "[--write-baseline FILE]\n"
-         "                [--root DIR] [--show-suppressed] [--list-rules] "
-         "PATH...\n";
+  out << "usage: hmn-lint [--json FILE] [--baseline FILE] [--ratchet FILE]\n"
+         "                [--write-baseline FILE] [--dot FILE] [--root DIR]\n"
+         "                [--show-suppressed] [--list-rules] PATH...\n";
   return code;
 }
 
@@ -59,6 +71,11 @@ bool parse_args(int argc, char** argv, Options& opts) {
       if (!value(opts.json_path)) return false;
     } else if (arg == "--baseline") {
       if (!value(opts.baseline_path)) return false;
+    } else if (arg == "--ratchet") {
+      if (!value(opts.baseline_path)) return false;
+      opts.ratchet = true;
+    } else if (arg == "--dot") {
+      if (!value(opts.dot_path)) return false;
     } else if (arg == "--write-baseline") {
       if (!value(opts.write_baseline_path)) return false;
     } else if (arg == "--root") {
@@ -138,24 +155,51 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<Finding> findings;
-  for (const fs::path& file : files) {
-    std::ifstream in(file, std::ios::binary);
+  // Pass 1: lex everything once; build the whole-repo view (include graph
+  // for the layering rule, merged enum registry for exhaustive-switch).
+  std::vector<std::string> sources(files.size());
+  hmn::lint::IncludeGraph include_graph;
+  hmn::lint::RepoContext repo;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::ifstream in(files[i], std::ios::binary);
     if (!in) {
-      std::cerr << "hmn-lint: cannot read " << file << '\n';
+      std::cerr << "hmn-lint: cannot read " << files[i] << '\n';
       return 2;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    const std::string source = buf.str();
+    sources[i] = buf.str();
+    const hmn::lint::LexResult lexed = hmn::lint::lex(sources[i]);
+    include_graph.add_file(display_path(files[i], opts.root),
+                           hmn::lint::collect_includes(lexed));
+    repo.enums.merge(hmn::lint::collect_enums(lexed));
+  }
+
+  // Pass 2: per-file rules with the repo context, then the layering pass.
+  std::vector<Finding> findings;
+  for (std::size_t i = 0; i < files.size(); ++i) {
     // Classification sees the real path; the report sees the trimmed one.
     const hmn::lint::FileContext ctx =
-        hmn::lint::classify_path(file.generic_string());
+        hmn::lint::classify_path(files[i].generic_string());
     std::vector<Finding> file_findings = hmn::lint::analyze_source(
-        display_path(file, opts.root), source, ctx);
+        display_path(files[i], opts.root), sources[i], ctx, &repo);
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
+  }
+  {
+    std::vector<Finding> layering = include_graph.check();
+    findings.insert(findings.end(),
+                    std::make_move_iterator(layering.begin()),
+                    std::make_move_iterator(layering.end()));
+  }
+  if (!opts.dot_path.empty()) {
+    std::ofstream out(opts.dot_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "hmn-lint: cannot write " << opts.dot_path << '\n';
+      return 2;
+    }
+    out << include_graph.to_dot();
   }
 
   if (!opts.write_baseline_path.empty()) {
@@ -189,13 +233,31 @@ int main(int argc, char** argv) {
 
   std::vector<Finding> active;
   std::size_t baselined = 0;
+  std::vector<Finding> drift;
   for (Finding& f : findings) {
     if (!f.suppressed && baseline.absorb(f)) {
       ++baselined;
       continue;
     }
+    // The ratchet: a suppressed finding whose (file, rule) pair the
+    // committed baseline never audited is drift — someone added an
+    // allow() in a new place without re-recording the baseline.
+    if (opts.ratchet && f.suppressed && !baseline.covers_suppressed(f)) {
+      Finding d;
+      d.file = f.file;
+      d.line = f.line;
+      d.col = f.col;
+      d.rule = "ratchet-drift";
+      d.message = "suppressed '" + f.rule +
+                  "' finding in a (file, rule) pair the committed baseline "
+                  "has not audited — review the suppression, then "
+                  "regenerate with --write-baseline";
+      drift.push_back(std::move(d));
+    }
     active.push_back(std::move(f));
   }
+  active.insert(active.end(), std::make_move_iterator(drift.begin()),
+                std::make_move_iterator(drift.end()));
 
   hmn::lint::print_text(std::cout, active, opts.show_suppressed);
   if (!opts.json_path.empty()) {

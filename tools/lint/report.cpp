@@ -23,18 +23,36 @@ class BaselineParser {
     skip_ws();
     if (!expect('{')) return false;
     if (!expect_key("entries")) return false;
+    if (!parse_entry_array(/*want_message=*/true, out.keys)) return false;
+    skip_ws();
+    if (peek() == ',') {  // version 2: the suppressed-pair ratchet section
+      ++pos_;
+      if (!expect_key("suppressed")) return false;
+      if (!parse_entry_array(/*want_message=*/false, out.suppressed_pairs)) {
+        return false;
+      }
+    }
+    return finish();
+  }
+
+ private:
+  /// `[ {"file": ..., "rule": ..., ("message": ...)} , ... ]`.  Keys may
+  /// appear in any order; exactly the expected set must be present.
+  bool parse_entry_array(bool want_message, std::vector<std::string>& into) {
     if (!expect('[')) return false;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
-      return finish();
+      return true;
     }
+    const int field_count = want_message ? 3 : 2;
     while (true) {
       std::string file;
       std::string rule;
       std::string message;
+      bool saw_message = false;
       if (!expect('{')) return false;
-      for (int k = 0; k < 3; ++k) {
+      for (int k = 0; k < field_count; ++k) {
         std::string key;
         std::string value;
         if (!parse_string(key) || !expect(':') || !parse_string(value)) {
@@ -44,8 +62,9 @@ class BaselineParser {
           file = value;
         } else if (key == "rule") {
           rule = value;
-        } else if (key == "message") {
+        } else if (key == "message" && want_message) {
           message = value;
+          saw_message = true;
         } else {
           return false;
         }
@@ -55,8 +74,11 @@ class BaselineParser {
           skip_ws();
         }
       }
+      if (want_message && !saw_message) return false;
       if (!expect('}')) return false;
-      out.keys.push_back(file + "\x1f" + rule + "\x1f" + message);
+      into.push_back(want_message
+                         ? file + "\x1f" + rule + "\x1f" + message
+                         : file + "\x1f" + rule);
       skip_ws();
       if (peek() == ',') {
         ++pos_;
@@ -64,11 +86,9 @@ class BaselineParser {
       }
       break;
     }
-    if (!expect(']')) return false;
-    return finish();
+    return expect(']');
   }
 
- private:
   bool finish() {
     skip_ws();
     return expect('}');
@@ -200,12 +220,19 @@ std::string to_json(const std::vector<Finding>& findings) {
 
 std::string write_baseline(const std::vector<Finding>& findings) {
   std::vector<const Finding*> live;
+  std::vector<std::string> pairs;
   for (const Finding& f : findings) {
-    if (!f.suppressed) live.push_back(&f);
+    if (!f.suppressed) {
+      live.push_back(&f);
+    } else {
+      pairs.push_back(f.file + "\x1f" + f.rule);
+    }
   }
   std::sort(live.begin(), live.end(), [](const Finding* a, const Finding* b) {
     return baseline_key(*a) < baseline_key(*b);
   });
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
   std::ostringstream out;
   out << "{\"entries\": [";
   bool first = true;
@@ -215,6 +242,15 @@ std::string write_baseline(const std::vector<Finding>& findings) {
     out << "  {\"file\": \"" << json_escape(f->file) << "\", \"rule\": \""
         << json_escape(f->rule) << "\", \"message\": \""
         << json_escape(f->message) << "\"}";
+  }
+  out << (first ? "" : "\n") << "],\n\"suppressed\": [";
+  first = true;
+  for (const std::string& pair : pairs) {
+    const std::size_t sep = pair.find('\x1f');
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "  {\"file\": \"" << json_escape(pair.substr(0, sep))
+        << "\", \"rule\": \"" << json_escape(pair.substr(sep + 1)) << "\"}";
   }
   out << (first ? "" : "\n") << "]}\n";
   return out.str();
@@ -228,11 +264,18 @@ bool Baseline::absorb(const Finding& f) {
   return true;
 }
 
+bool Baseline::covers_suppressed(const Finding& f) const {
+  return std::binary_search(suppressed_pairs.begin(), suppressed_pairs.end(),
+                            f.file + "\x1f" + f.rule);
+}
+
 bool load_baseline(std::string_view text, Baseline& out) {
   out.keys.clear();
+  out.suppressed_pairs.clear();
   BaselineParser parser(text);
   if (!parser.parse(out)) return false;
   std::sort(out.keys.begin(), out.keys.end());
+  std::sort(out.suppressed_pairs.begin(), out.suppressed_pairs.end());
   return true;
 }
 

@@ -26,7 +26,11 @@ void print_text(std::ostream& out, const std::vector<Finding>& findings,
 /// plus summary counts.
 [[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
 
-/// Serializes unsuppressed findings as a baseline document.
+/// Serializes unsuppressed findings as a baseline document.  Version 2
+/// additionally records the distinct (file, rule) pairs of *suppressed*
+/// findings: the ratchet.  A later `--ratchet` run fails when a new
+/// suppressed pair appears that the committed baseline has not audited —
+/// suppressions cannot silently spread to new files or new rules.
 [[nodiscard]] std::string write_baseline(const std::vector<Finding>& findings);
 
 struct Baseline {
@@ -34,9 +38,16 @@ struct Baseline {
   /// identical findings need two baseline entries.
   std::vector<std::string> keys;
 
+  /// Sorted distinct (file, rule) pairs with at least one audited
+  /// suppression.  Absent in version-1 documents (empty vector).
+  std::vector<std::string> suppressed_pairs;
+
   /// True (and consumes one key occurrence) if the finding is
   /// grandfathered.  Call at most once per finding.
   [[nodiscard]] bool absorb(const Finding& f);
+
+  /// True if the suppressed finding's (file, rule) pair is audited.
+  [[nodiscard]] bool covers_suppressed(const Finding& f) const;
 };
 
 /// Parses a baseline document produced by write_baseline.  Returns false on

@@ -15,8 +15,24 @@ constexpr std::string_view kRawRandom = "raw-random";
 constexpr std::string_view kFloatEq = "float-eq";
 constexpr std::string_view kRawOutput = "raw-output";
 constexpr std::string_view kHeaderHygiene = "header-hygiene";
+constexpr std::string_view kTxnDiscipline = "txn-discipline";
+constexpr std::string_view kHotPathAlloc = "hot-path-alloc";
+constexpr std::string_view kExhaustiveSwitch = "exhaustive-switch";
+constexpr std::string_view kIncludeLayering = "include-layering";
 constexpr std::string_view kBadSuppression = "bad-suppression";
 constexpr std::string_view kUnusedSuppression = "unused-suppression";
+
+/// The transaction vocabulary (DESIGN.md §6a): begin stages work that the
+/// TenancyManager has not yet seen; commit lands it atomically; rollback
+/// renounces it (eviction/parking counts — the tenant's old state is
+/// released, which IS the documented drop path).  txn_begin/txn_commit/
+/// txn_abort are the generic spellings for future transactional APIs.
+constexpr std::array<std::string_view, 2> kTxnBegin = {
+    "residual_cluster_excluding", "txn_begin"};
+constexpr std::array<std::string_view, 3> kTxnCommit = {
+    "update_mappings", "txn_commit", "admit"};
+constexpr std::array<std::string_view, 3> kTxnRollback = {
+    "release", "evict_and_park", "txn_abort"};
 
 bool contains(const std::set<std::string, std::less<>>& s,
               std::string_view v) {
@@ -71,18 +87,28 @@ struct Suppression {
 
 class Analyzer {
  public:
-  Analyzer(std::string file, std::string_view source, const FileContext& ctx)
-      : file_(std::move(file)), ctx_(ctx), lex_(lex(source)) {}
+  Analyzer(std::string file, std::string_view source, const FileContext& ctx,
+           const RepoContext* repo)
+      : file_(std::move(file)), ctx_(ctx), repo_(repo), lex_(lex(source)) {}
 
   std::vector<Finding> run() {
+    const bool relaxed = ctx_.profile == LintProfile::kRelaxed;
     collect_suppressions();
     collect_unordered_names();
-    collect_float_vars();
+    if (!relaxed) collect_float_vars();
     rule_unordered_iter();
-    rule_raw_random();
-    rule_float_eq();
-    rule_raw_output();
+    if (!relaxed) {
+      rule_raw_random();
+      rule_float_eq();
+      rule_raw_output();
+    }
     rule_header_hygiene();
+    functions_ = scan_functions(lex_);
+    if (!relaxed) {
+      rule_txn_discipline();
+      rule_hot_path_alloc();
+    }
+    rule_exhaustive_switch();
     apply_suppressions();
     std::stable_sort(findings_.begin(), findings_.end(),
                      [](const Finding& a, const Finding& b) {
@@ -122,9 +148,12 @@ class Analyzer {
 
   void collect_suppressions() {
     for (const Comment& c : lex_.comments) {
-      const std::size_t marker = c.text.find("hmn-lint:");
+      const std::size_t marker = live_marker_pos(c.text);
       if (marker == std::string_view::npos) continue;
       std::string_view rest = c.text.substr(marker + 9);
+      // `hot-path` is the function annotation, not a suppression; it is
+      // consumed by scan_functions.
+      if (trim(rest).substr(0, 8) == "hot-path") continue;
       bool any = false;
       while (true) {
         const std::size_t a = rest.find("allow");
@@ -583,6 +612,346 @@ class Analyzer {
     }
   }
 
+  // ---- R6: txn-discipline ----------------------------------------------
+
+  /// True when token i spells a call (or member call) of one of `names`.
+  template <typename Arr>
+  bool is_call_of(std::size_t i, const Arr& names) const {
+    const Token& t = toks()[i];
+    if (t.kind != TokenKind::kIdentifier || !in(names, t.text)) return false;
+    const Token* next = at(i + 1);
+    return next != nullptr && is_punct(*next, "(");
+  }
+
+  void rule_txn_discipline() {
+    for (const FunctionBody& fn : functions_) {
+      check_txn_body(fn);
+    }
+  }
+
+  /// Linear brace-aware walk: `open` is true while a transaction is
+  /// pending in the *current* scope.  Entering a brace saves the state;
+  /// leaving restores it, so a commit inside one branch does not excuse
+  /// the other branch or the code after the conditional.  A commit in a
+  /// branch followed by `return` inside that same branch is fine — the
+  /// state is branch-local in both directions.
+  void check_txn_body(const FunctionBody& fn) {
+    const auto& T = toks();
+    bool open = false;
+    const Token* begin_tok = nullptr;
+    std::vector<bool> saved;
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const Token& t = T[i];
+      if (is_punct(t, "{")) {
+        saved.push_back(open);
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        if (!saved.empty()) {
+          open = saved.back();
+          saved.pop_back();
+        }
+        continue;
+      }
+      if (is_call_of(i, kTxnBegin)) {
+        open = true;
+        begin_tok = &t;
+        continue;
+      }
+      if (is_call_of(i, kTxnCommit) || is_call_of(i, kTxnRollback)) {
+        open = false;
+        continue;
+      }
+      if (is_ident(t, "return") && open) {
+        // `return commit(...)` closes on the way out: scan the return
+        // statement itself before judging.
+        bool closes = false;
+        for (std::size_t j = i + 1; j < fn.body_end && !is_punct(T[j], ";");
+             ++j) {
+          if (is_call_of(j, kTxnCommit) || is_call_of(j, kTxnRollback)) {
+            closes = true;
+            break;
+          }
+        }
+        if (!closes) {
+          report(kTxnDiscipline, t,
+                 "'" + std::string(fn.name) + "' begins a transaction ('" +
+                     std::string(begin_tok ? begin_tok->text : "txn_begin") +
+                     "') but this return path neither commits nor rolls "
+                     "back — every exit must update_mappings/txn_commit or "
+                     "release/evict_and_park/txn_abort");
+        }
+      }
+    }
+    if (open) {
+      // A function whose final top-level statement is `return ...;` cannot
+      // also fall off the end — that return already got its own finding.
+      bool ends_in_return = false;
+      if (fn.body_end > fn.body_begin + 1 &&
+          is_punct(T[fn.body_end - 1], ";")) {
+        std::size_t j = fn.body_end - 1;
+        while (j > fn.body_begin) {
+          --j;
+          if (is_punct(T[j], ";") || is_punct(T[j], "{") ||
+              is_punct(T[j], "}")) {
+            ++j;
+            break;
+          }
+        }
+        ends_in_return = is_ident(T[j], "return");
+      }
+      if (!ends_in_return) {
+        report(kTxnDiscipline, T[fn.body_end],
+               "'" + std::string(fn.name) +
+                   "' begins a transaction ('" +
+                   std::string(begin_tok ? begin_tok->text : "txn_begin") +
+                   "') and falls off the end without commit or rollback");
+      }
+    }
+  }
+
+  // ---- R7: hot-path-alloc ----------------------------------------------
+
+  void rule_hot_path_alloc() {
+    for (const FunctionBody& fn : functions_) {
+      if (fn.hot_path) check_hot_body(fn);
+    }
+  }
+
+  static bool is_container_type(std::string_view s) {
+    constexpr std::array<std::string_view, 6> kGrowable = {
+        "vector", "deque", "string", "basic_string", "list", "forward_list"};
+    return in(kGrowable, s);
+  }
+
+  static bool is_node_container_type(std::string_view s) {
+    constexpr std::array<std::string_view, 8> kNodeBased = {
+        "map",           "set",           "multimap",      "multiset",
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    return in(kNodeBased, s);
+  }
+
+  void check_hot_body(const FunctionBody& fn) {
+    const auto& T = toks();
+    // Pass 1 over the body: locals declared with growable container types,
+    // and names that are reserve()d anywhere in the body.
+    std::set<std::string, std::less<>> growable_locals;
+    std::set<std::string, std::less<>> reserved;
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const Token& t = T[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (is_container_type(t.text)) {
+        std::size_t j = i + 1;
+        if (at(j) != nullptr && is_punct(*at(j), "<")) {
+          j = skip_template_args(j);
+        }
+        j = skip_declarator_noise(j);
+        const Token* name = at(j);
+        if (name != nullptr && name->kind == TokenKind::kIdentifier &&
+            j < fn.body_end) {
+          growable_locals.insert(std::string(name->text));
+        }
+        continue;
+      }
+      const Token* dot = at(i + 1);
+      const Token* fn_name = at(i + 2);
+      const Token* paren = at(i + 3);
+      if (dot != nullptr && fn_name != nullptr && paren != nullptr &&
+          (is_punct(*dot, ".") || is_punct(*dot, "->")) &&
+          is_ident(*fn_name, "reserve") && is_punct(*paren, "(")) {
+        reserved.insert(std::string(t.text));
+      }
+    }
+
+    // Pass 2: report allocations.
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const Token& t = T[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (t.text == "new") {
+        const Token* prev = i > 0 ? &T[i - 1] : nullptr;
+        if (prev != nullptr && (is_punct(*prev, ".") || is_punct(*prev, "->") ||
+                                is_ident(*prev, "operator"))) {
+          continue;
+        }
+        report(kHotPathAlloc, t,
+               "'new' inside hot-path function '" + std::string(fn.name) +
+                   "' — allocate scratch once at setup and reuse it");
+        continue;
+      }
+      if (t.text == "make_unique" || t.text == "make_shared") {
+        report(kHotPathAlloc, t,
+               "'" + std::string(t.text) + "' inside hot-path function '" +
+                   std::string(fn.name) +
+                   "' — heap allocation on a hot path; hoist to cold setup");
+        continue;
+      }
+      if (is_node_container_type(t.text)) {
+        // A declaration (followed by template args + a declarator), not a
+        // qualified mention like std::map<...>::iterator in a cast.
+        std::size_t j = i + 1;
+        if (at(j) == nullptr || !is_punct(*at(j), "<")) continue;
+        j = skip_template_args(j);
+        j = skip_declarator_noise(j);
+        const Token* name = at(j);
+        if (name == nullptr || name->kind != TokenKind::kIdentifier ||
+            j >= fn.body_end) {
+          continue;
+        }
+        report(kHotPathAlloc, t,
+               "node-based '" + std::string(t.text) +
+                   "' constructed inside hot-path function '" +
+                   std::string(fn.name) +
+                   "' — every insert allocates; use sorted vectors or "
+                   "preallocated dense arrays");
+        i = j;
+        continue;
+      }
+      // push_back / emplace_back on a non-reserve()d body-local.
+      const Token* dot = at(i + 1);
+      const Token* call = at(i + 2);
+      const Token* paren = at(i + 3);
+      if (dot != nullptr && call != nullptr && paren != nullptr &&
+          (is_punct(*dot, ".") || is_punct(*dot, "->")) &&
+          (is_ident(*call, "push_back") || is_ident(*call, "emplace_back")) &&
+          is_punct(*paren, "(") &&
+          contains(growable_locals, t.text) && !contains(reserved, t.text)) {
+        report(kHotPathAlloc, *call,
+               "'" + std::string(t.text) + "." + std::string(call->text) +
+                   "' on a local never reserve()d inside hot-path function "
+                   "'" + std::string(fn.name) +
+                   "' — growth reallocates mid-loop; reserve() up front");
+      }
+    }
+  }
+
+  // ---- R8: exhaustive-switch -------------------------------------------
+
+  const std::vector<std::string>* enum_values(std::string_view name) const {
+    if (repo_ != nullptr) {
+      if (std::find(repo_->enums.ambiguous.begin(),
+                    repo_->enums.ambiguous.end(),
+                    std::string(name)) != repo_->enums.ambiguous.end()) {
+        return nullptr;
+      }
+      const auto it = repo_->enums.enums.find(name);
+      if (it != repo_->enums.enums.end()) return &it->second;
+    }
+    if (std::find(file_enums_.ambiguous.begin(), file_enums_.ambiguous.end(),
+                  std::string(name)) != file_enums_.ambiguous.end()) {
+      return nullptr;
+    }
+    const auto it = file_enums_.enums.find(name);
+    return it != file_enums_.enums.end() ? &it->second : nullptr;
+  }
+
+  void rule_exhaustive_switch() {
+    file_enums_ = collect_enums(lex_);
+    const auto& T = toks();
+    for (std::size_t i = 0; i + 1 < T.size(); ++i) {
+      if (!is_ident(T[i], "switch") || !is_punct(T[i + 1], "(")) continue;
+      // Find the controlled statement's braces.
+      int depth = 0;
+      std::size_t body_begin = 0;
+      for (std::size_t j = i + 1; j < T.size(); ++j) {
+        if (is_punct(T[j], "(")) ++depth;
+        if (is_punct(T[j], ")")) {
+          --depth;
+          if (depth == 0) {
+            if (j + 1 < T.size() && is_punct(T[j + 1], "{")) {
+              body_begin = j + 1;
+            }
+            break;
+          }
+        }
+      }
+      if (body_begin == 0) continue;
+      int brace = 0;
+      std::size_t body_end = body_begin;
+      for (std::size_t j = body_begin; j < T.size(); ++j) {
+        if (is_punct(T[j], "{")) ++brace;
+        if (is_punct(T[j], "}")) {
+          --brace;
+          if (brace == 0) {
+            body_end = j;
+            break;
+          }
+        }
+      }
+      if (body_end == body_begin) continue;
+
+      bool has_default = false;
+      std::string enum_name;
+      std::set<std::string, std::less<>> used;
+      bool mixed = false;
+      int nest = 0;
+      for (std::size_t j = body_begin + 1; j < body_end; ++j) {
+        if (is_punct(T[j], "{")) ++nest;
+        if (is_punct(T[j], "}")) --nest;
+        if (is_ident(T[j], "switch")) {
+          // Labels of a nested switch belong to it; skip its body.
+          std::size_t k = j;
+          int d = 0;
+          bool entered = false;
+          while (k < body_end) {
+            if (is_punct(T[k], "{")) {
+              ++d;
+              entered = true;
+            }
+            if (is_punct(T[k], "}")) {
+              --d;
+              if (entered && d == 0) break;
+            }
+            ++k;
+          }
+          j = k;
+          continue;
+        }
+        if (is_ident(T[j], "default") && at(j + 1) != nullptr &&
+            is_punct(*at(j + 1), ":")) {
+          has_default = true;
+        }
+        if (!is_ident(T[j], "case")) continue;
+        // Label shape: [quals ::] EnumName :: enumerator :
+        std::size_t k = j + 1;
+        std::vector<std::string_view> idents;
+        while (k < body_end && !is_punct(T[k], ":")) {
+          if (T[k].kind == TokenKind::kIdentifier) {
+            idents.push_back(T[k].text);
+          } else if (!is_punct(T[k], "::")) {
+            idents.clear();
+            break;
+          }
+          ++k;
+        }
+        if (idents.size() < 2) continue;  // integer/char labels etc.
+        const std::string this_enum(idents[idents.size() - 2]);
+        if (enum_name.empty()) {
+          enum_name = this_enum;
+        } else if (enum_name != this_enum) {
+          mixed = true;
+        }
+        used.insert(std::string(idents.back()));
+        j = k;
+      }
+      if (mixed || enum_name.empty() || has_default) continue;
+      const std::vector<std::string>* values = enum_values(enum_name);
+      if (values == nullptr) continue;
+      std::string missing;
+      for (const std::string& v : *values) {
+        if (contains(used, v)) continue;
+        if (!missing.empty()) missing += ", ";
+        missing += v;
+      }
+      if (missing.empty()) continue;
+      report(kExhaustiveSwitch, T[i],
+             "switch over enum '" + enum_name +
+                 "' is missing case(s) " + missing +
+                 " and has no default — handle every enumerator or add an "
+                 "explicit default");
+    }
+  }
+
   bool opened_by_namespace(std::size_t brace) const {
     const auto& T = toks();
     std::size_t i = brace;
@@ -601,7 +970,10 @@ class Analyzer {
 
   std::string file_;
   FileContext ctx_;
+  const RepoContext* repo_ = nullptr;
   LexResult lex_;
+  std::vector<FunctionBody> functions_;
+  EnumRegistry file_enums_;
   std::set<std::string, std::less<>> unordered_names_;
   std::set<std::string, std::less<>> unordered_aliases_;
   std::set<std::string, std::less<>> float_vars_;
@@ -630,6 +1002,9 @@ FileContext classify_path(std::string_view path) {
       ctx.is_decision_module = true;
     }
     if (seg == "util") ctx.is_util_module = true;
+    if (seg == "tools" || seg == "bench" || seg == "examples") {
+      ctx.profile = LintProfile::kRelaxed;
+    }
     if (slash == path.size()) break;
     start = slash + 1;
   }
@@ -640,7 +1015,9 @@ const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
       std::string(kUnorderedIter),    std::string(kRawRandom),
       std::string(kFloatEq),          std::string(kRawOutput),
-      std::string(kHeaderHygiene),    std::string(kBadSuppression),
+      std::string(kHeaderHygiene),    std::string(kTxnDiscipline),
+      std::string(kHotPathAlloc),     std::string(kExhaustiveSwitch),
+      std::string(kIncludeLayering),  std::string(kBadSuppression),
       std::string(kUnusedSuppression)};
   return kNames;
 }
@@ -651,8 +1028,9 @@ bool is_known_rule(std::string_view rule) {
 }
 
 std::vector<Finding> analyze_source(std::string file, std::string_view source,
-                                    const FileContext& ctx) {
-  return Analyzer(std::move(file), source, ctx).run();
+                                    const FileContext& ctx,
+                                    const RepoContext* repo) {
+  return Analyzer(std::move(file), source, ctx, repo).run();
 }
 
 std::vector<Finding> analyze_source(std::string file,

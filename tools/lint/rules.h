@@ -25,6 +25,31 @@
 //                        caller-supplied streams.
 //   header-hygiene   R5  Headers must open with #pragma once and must not
 //                        `using namespace` at namespace scope.
+//   txn-discipline   R6  A function that begins a tenancy/healer
+//                        transaction (stages a repair against
+//                        residual_cluster_excluding, or calls txn_begin)
+//                        must commit (update_mappings / txn_commit) or roll
+//                        back (release / evict_and_park / txn_abort) on
+//                        every return path.  The pass is brace- and
+//                        return-aware: a commit inside one branch does not
+//                        excuse the other branch.
+//   hot-path-alloc   R7  Under a `// hmn-lint: hot-path` function
+//                        annotation, allocation is a finding: `new`,
+//                        make_unique/make_shared, push_back/emplace_back on
+//                        body-local containers that are never reserve()d,
+//                        and construction of node-based map/set locals.
+//                        Cold-start allocation is suppressed with the usual
+//                        audited allow().
+//   exhaustive-switch R8 A switch whose case labels name a known `enum
+//                        class` must either cover every enumerator or
+//                        carry a default.  Enum definitions are collected
+//                        repo-wide (RepoContext) so cross-header switches
+//                        are checked too.
+//   include-layering R9  Emitted by the whole-repo include-graph pass
+//                        (layers.h), not by analyze_source: upward include
+//                        edges against the declared layer map, and module
+//                        cycles.  Not suppressible — a layering exception
+//                        is an architecture decision, not an annotation.
 //
 // Suppression syntax, on the finding's line or alone on the line above:
 //
@@ -42,6 +67,7 @@
 #include <string_view>
 #include <vector>
 
+#include "functions.h"
 #include "lexer.h"
 
 namespace hmn::lint {
@@ -56,12 +82,27 @@ struct Finding {
   std::string suppression_reason;  // set iff suppressed
 };
 
+/// Rule profile: library code gets every rule; tools/, bench/, and
+/// examples/ run the relaxed profile (header-hygiene, unordered-iter, and
+/// exhaustive-switch only) — a bench legitimately prints and reads clocks,
+/// but its headers and switches still follow house style.
+enum class LintProfile : unsigned char { kFull, kRelaxed };
+
 /// Where a file sits in the project layout; drives per-module rule scoping.
 struct FileContext {
   bool is_header = false;          // .h / .hpp
   bool is_decision_module = false; // orchestrator/, core/, workload/,
                                    //   topology/, availability/, multilevel/
   bool is_util_module = false;     // util/ — the sanctioned randomness home
+  LintProfile profile = LintProfile::kFull;
+};
+
+/// Cross-file facts shared by a whole-repo run: today the merged enum
+/// registry (exhaustive-switch needs enumerator lists for enums defined in
+/// other headers).  Per-file runs pass nullptr and still check enums
+/// defined in the same translation unit.
+struct RepoContext {
+  EnumRegistry enums;
 };
 
 /// Derives the context from a path: extension for is_header, path segments
@@ -75,11 +116,14 @@ struct FileContext {
 [[nodiscard]] bool is_known_rule(std::string_view rule);
 
 /// Runs every rule over one translation unit.  `file` is used verbatim in
-/// findings; `ctx` scopes the per-module rules.  Pure function of its
+/// findings; `ctx` scopes the per-module rules; `repo` (optional) supplies
+/// cross-file facts from a whole-repo pass.  Pure function of its
 /// arguments — no filesystem access, no global state.
 [[nodiscard]] std::vector<Finding> analyze_source(std::string file,
                                                   std::string_view source,
-                                                  const FileContext& ctx);
+                                                  const FileContext& ctx,
+                                                  const RepoContext* repo =
+                                                      nullptr);
 
 /// Convenience: classify_path + analyze_source.
 [[nodiscard]] std::vector<Finding> analyze_source(std::string file,
