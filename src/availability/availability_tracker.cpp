@@ -49,6 +49,25 @@ bool ClassTracker::is_down(std::uint32_t element) const {
   return element < state_.size() && state_[element].down;
 }
 
+std::vector<ElementSnapshot> ClassTracker::snapshot() const {
+  std::vector<ElementSnapshot> out;
+  out.reserve(state_.size());
+  for (const ElementState& st : state_) {
+    out.push_back({st.avail, st.since, st.down, st.ever_failed});
+  }
+  return out;
+}
+
+void ClassTracker::restore(const std::vector<ElementSnapshot>& states) {
+  if (states.size() != state_.size()) return;  // size mismatch: refuse
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    state_[i].avail = states[i].avail;
+    state_[i].since = states[i].since;
+    state_[i].down = states[i].down;
+    state_[i].ever_failed = states[i].ever_failed;
+  }
+}
+
 AvailabilityTracker::AvailabilityTracker(std::size_t node_count,
                                          std::size_t link_count,
                                          AvailabilityOptions opts)

@@ -40,6 +40,17 @@ struct AvailabilityOptions {
   double floor = 0.05;
 };
 
+/// One element's tracker state, exposed verbatim for checkpointing: the
+/// recovery subsystem snapshots and restores trackers bit-exactly (the
+/// doubles travel as IEEE-754 bit patterns), so a recovered orchestrator
+/// biases admission identically to the uninterrupted run.
+struct ElementSnapshot {
+  double avail = 1.0;
+  double since = 0.0;
+  bool down = false;
+  bool ever_failed = false;
+};
+
 /// Tracks up/down state and EWMA availability per element of one class
 /// (nodes or edges — the owner keeps one tracker per class).
 class ClassTracker {
@@ -58,6 +69,12 @@ class ClassTracker {
 
   [[nodiscard]] bool is_down(std::uint32_t element) const;
   [[nodiscard]] std::size_t size() const { return state_.size(); }
+
+  /// Checkpoint support: element states in index order, and their exact
+  /// restoration.  restore() requires the same element count the tracker
+  /// was constructed with.
+  [[nodiscard]] std::vector<ElementSnapshot> snapshot() const;
+  void restore(const std::vector<ElementSnapshot>& states);
 
  private:
   struct ElementState {
@@ -111,6 +128,23 @@ class AvailabilityTracker {
   /// Per-host placement weights (availability of the host node), indexed
   /// by node id.  All-1.0 before the first failure.
   [[nodiscard]] std::vector<double> node_weights() const;
+
+  /// Checkpoint support (see ClassTracker::snapshot): the whole tracker as
+  /// plain state, and its exact restoration into a tracker constructed
+  /// with the same (node_count, link_count, opts).
+  struct Snapshot {
+    std::vector<ElementSnapshot> nodes;
+    std::vector<ElementSnapshot> links;
+    bool has_history = false;
+  };
+  [[nodiscard]] Snapshot snapshot() const {
+    return {nodes_.snapshot(), links_.snapshot(), has_history_};
+  }
+  void restore(const Snapshot& snap) {
+    nodes_.restore(snap.nodes);
+    links_.restore(snap.links);
+    has_history_ = snap.has_history;
+  }
 
  private:
   ClassTracker nodes_;

@@ -1,8 +1,11 @@
 #include "emulator/tenancy.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "core/incremental.h"
 
@@ -159,6 +162,93 @@ void TenancyManager::set_link_down(EdgeId edge, bool down) {
   } else {
     --down_count_;
   }
+}
+
+TenancyManager::State TenancyManager::export_state() const {
+  State state;
+  state.tenants.reserve(tenants_.size());
+  for (const auto& [id, tenant] : tenants_) state.tenants.push_back(tenant);
+  state.next_id = next_id_;
+  state.node_down = node_down_;
+  state.edge_down = edge_down_;
+  state.host_weights = host_weights_;
+  state.admission_headroom = admission_headroom_;
+  state.used_proc = used_proc_;
+  state.used_mem = used_mem_;
+  state.used_stor = used_stor_;
+  state.used_bw = used_bw_;
+  return state;
+}
+
+namespace {
+
+/// The rebuilt aggregate and the exported one may disagree by accumulated
+/// rounding (ulps on values up to host capacity, across thousands of
+/// add/remove ops) but never by a real reservation, which is O(1) or more.
+void check_aggregate(const std::vector<double>& exact,
+                     const std::vector<double>& rebuilt, const char* what) {
+  if (exact.size() != rebuilt.size()) {
+    throw std::invalid_argument(
+        std::string("restored tenancy state: ") + what + " has " +
+        std::to_string(exact.size()) + " entries, cluster expects " +
+        std::to_string(rebuilt.size()));
+  }
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const double scale =
+        std::max({1.0, std::abs(exact[i]), std::abs(rebuilt[i])});
+    if (std::abs(exact[i] - rebuilt[i]) > 1e-6 * scale) {
+      throw std::invalid_argument(
+          std::string("restored tenancy state: ") + what + "[" +
+          std::to_string(i) + "] = " + std::to_string(exact[i]) +
+          " disagrees with the " + std::to_string(rebuilt[i]) +
+          " its tenant mappings reserve");
+    }
+  }
+}
+
+}  // namespace
+
+void TenancyManager::restore_state(State state) {
+  tenants_.clear();
+  used_proc_.assign(cluster_.node_count(), 0.0);
+  used_mem_.assign(cluster_.node_count(), 0.0);
+  used_stor_.assign(cluster_.node_count(), 0.0);
+  used_bw_.assign(cluster_.link_count(), 0.0);
+  for (Tenant& tenant : state.tenants) {
+    apply(tenant, +1.0);
+    const TenantId id = tenant.id;
+    tenants_.emplace(id, std::move(tenant));
+  }
+  // Install the exported aggregates bit-for-bit (after checking the
+  // mappings actually back them): a restored run must see the *exact*
+  // residuals the live run saw, or last-ulp differences flip near-ties.
+  if (!state.used_proc.empty() || !state.used_mem.empty() ||
+      !state.used_stor.empty() || !state.used_bw.empty()) {
+    check_aggregate(state.used_proc, used_proc_, "used_proc");
+    check_aggregate(state.used_mem, used_mem_, "used_mem");
+    check_aggregate(state.used_stor, used_stor_, "used_stor");
+    check_aggregate(state.used_bw, used_bw_, "used_bw");
+    used_proc_ = std::move(state.used_proc);
+    used_mem_ = std::move(state.used_mem);
+    used_stor_ = std::move(state.used_stor);
+    used_bw_ = std::move(state.used_bw);
+  }
+  next_id_ = state.next_id;
+  node_down_.assign(cluster_.node_count(), false);
+  edge_down_.assign(cluster_.link_count(), false);
+  down_count_ = 0;
+  for (std::size_t n = 0;
+       n < state.node_down.size() && n < node_down_.size(); ++n) {
+    set_node_down(NodeId{static_cast<NodeId::underlying_type>(n)},
+                  state.node_down[n]);
+  }
+  for (std::size_t e = 0;
+       e < state.edge_down.size() && e < edge_down_.size(); ++e) {
+    set_link_down(EdgeId{static_cast<EdgeId::underlying_type>(e)},
+                  state.edge_down[e]);
+  }
+  host_weights_ = std::move(state.host_weights);
+  admission_headroom_ = state.admission_headroom;
 }
 
 core::FailureSet TenancyManager::failed_elements() const {

@@ -175,6 +175,36 @@ class TenancyManager {
 
   [[nodiscard]] TenancyUtilization utilization() const;
 
+  /// Checkpoint support (src/recovery): the manager's complete logical
+  /// state as plain values.  The aggregate `used_*` reservations are
+  /// carried *verbatim*: they are derivable from the mappings, but only up
+  /// to floating-point rounding — the live arrays hold the residue of the
+  /// whole add/remove history, while a fresh rebuild sums surviving
+  /// tenants in id order, and the last-ulp difference is enough to flip a
+  /// near-tie placement after restore.  restore_state() still rebuilds
+  /// them from the mappings and refuses a state whose exported aggregates
+  /// disagree beyond rounding noise, so a checkpoint cannot smuggle in
+  /// bookkeeping the committed mappings don't back.
+  struct State {
+    std::vector<Tenant> tenants;  // ascending id order
+    TenantId next_id = 1;
+    std::vector<bool> node_down;
+    std::vector<bool> edge_down;
+    std::vector<double> host_weights;
+    double admission_headroom = 0.0;
+    // Exact aggregates at export time (empty: derive from the mappings).
+    std::vector<double> used_proc;
+    std::vector<double> used_mem;
+    std::vector<double> used_stor;
+    std::vector<double> used_bw;
+  };
+  [[nodiscard]] State export_state() const;
+  /// Restores into a manager constructed over the same cluster and pool.
+  /// Any previous tenants are discarded.  Throws std::invalid_argument if
+  /// the state's `used_*` aggregates are present but inconsistent with
+  /// what its tenant mappings reserve.
+  void restore_state(State state);
+
  private:
   model::PhysicalCluster cluster_;
   extensions::HeuristicPool pool_;

@@ -206,6 +206,7 @@ std::variant<workload::ChurnTrace, TraceParseError> read_trace(
     std::string_view text) {
   workload::ChurnTrace trace;
   bool saw_header = false;
+  std::uint32_t version = 0;  // header-declared; gates v4-only constructs
   std::size_t line_no = 0;
   std::size_t pos = 0;
   std::unordered_set<std::uint32_t> arrived;  // tenant keys seen arriving
@@ -232,7 +233,6 @@ std::variant<workload::ChurnTrace, TraceParseError> read_trace(
           type->as_string() != "churn-trace") {
         return err(line_no, "missing churn-trace header");
       }
-      std::uint32_t version = 0;
       std::string vwhy;
       if (!read_u32(obj, "version", version, vwhy)) {
         return err(line_no, "header: " + vwhy);
@@ -294,8 +294,34 @@ std::variant<workload::ChurnTrace, TraceParseError> read_trace(
     }
     const std::string& k = kind->as_string();
     std::string why;
+    // v4 field discipline (the v2 hardening standard: nothing malformed
+    // skips quietly).  Tier / replica declarations belong to arrive lines
+    // of version-4 traces only; anywhere else they signal a corrupted or
+    // hand-mangled trace and are rejected with the field named, not
+    // silently ignored.
+    for (const char* name : {"tier", "replica_n", "replica_k"}) {
+      if (obj.find(name) == nullptr) continue;
+      if (k != "arrive") {
+        return err(line_no, "'" + std::string(name) +
+                                "' is only valid on arrive events (found on "
+                                "a " +
+                                k + " line)");
+      }
+      if (version < 4) {
+        return err(line_no, "'" + std::string(name) +
+                                "' requires trace version 4 (header "
+                                "declares " +
+                                std::to_string(version) + ")");
+      }
+    }
     if (k == "blast-fail" || k == "blast-recover" || k == "power-fail" ||
         k == "power-recover") {
+      const bool power = k == "power-fail" || k == "power-recover";
+      if (power && version < 4) {
+        return err(line_no, k + " events require trace version 4 (header "
+                                "declares " +
+                                std::to_string(version) + ")");
+      }
       ev.kind = k == "blast-fail"      ? workload::EventKind::kBlastFail
                 : k == "blast-recover" ? workload::EventKind::kBlastRecover
                 : k == "power-fail"    ? workload::EventKind::kPowerFail
@@ -304,6 +330,12 @@ std::variant<workload::ChurnTrace, TraceParseError> read_trace(
           !read_group(obj, "hosts", ev.group_hosts, why) ||
           !read_group(obj, "links", ev.group_links, why)) {
         return err(line_no, k + " event: " + why);
+      }
+      // A power domain that feeds nothing cannot exist; an empty group is
+      // a truncated writer, not a degenerate-but-valid event.
+      if (power && ev.group_hosts.empty() && ev.group_links.empty()) {
+        return err(line_no,
+                   k + " event: empty correlated group (no hosts, no links)");
       }
       trace.events.push_back(std::move(ev));
       continue;

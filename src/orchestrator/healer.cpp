@@ -52,9 +52,34 @@ std::vector<HealRecord> Healer::heal_all(emulator::TenancyManager& mgr,
 }
 
 double Healer::backoff_delay(std::size_t failed_attempts) const {
-  const double factor = std::pow(
-      opts_.backoff_factor, static_cast<double>(failed_attempts) - 1.0);
-  return std::min(opts_.backoff_max, opts_.backoff_base * factor);
+  // Bounded-exponential by capped repeated multiplication: the schedule
+  // saturates at backoff_max and *stops multiplying* there, so an
+  // unbounded attempt budget on a long outage can neither overflow to
+  // infinity nor spend attempt-count work in pow().  A non-growing factor
+  // (<= 1) degenerates to the flat base delay.
+  double delay = opts_.backoff_base;
+  if (opts_.backoff_factor > 1.0) {
+    for (std::size_t i = 1; i < failed_attempts; ++i) {
+      if (delay >= opts_.backoff_max) break;
+      delay *= opts_.backoff_factor;
+    }
+  }
+  return std::min(opts_.backoff_max, delay);
+}
+
+Healer::State Healer::export_state() const {
+  State state;
+  state.degraded = degraded_;
+  state.deferred = deferred_;
+  state.parked.assign(parked_.begin(), parked_.end());
+  return state;
+}
+
+void Healer::restore_state(State state) {
+  degraded_ = std::move(state.degraded);
+  deferred_ = std::move(state.deferred);
+  parked_.assign(std::make_move_iterator(state.parked.begin()),
+                 std::make_move_iterator(state.parked.end()));
 }
 
 void Healer::evict_and_park(emulator::TenancyManager& mgr, LiveMap& live,

@@ -62,8 +62,13 @@ struct HealerOptions {
   /// Re-admission attempts for a parked tenant before it is dropped
   /// (0 = unbounded).
   std::size_t max_heal_attempts = 6;
-  /// Exponential backoff between re-admission attempts, in event time:
-  /// delay(n) = min(backoff_max, backoff_base * backoff_factor^(n-1)).
+  /// Bounded-exponential backoff between re-admission attempts, in event
+  /// time: delay(n) = min(backoff_max, backoff_base * backoff_factor^(n-1)),
+  /// computed by capped repeated multiplication — the doubling stops the
+  /// moment the cap is reached, so a long outage with an unbounded attempt
+  /// budget can never overflow to infinity or degrade into an
+  /// attempt-count-sized pow() (the schedule is deterministic and flat at
+  /// backoff_max from the saturation point on).
   double backoff_base = 1.0;
   double backoff_factor = 2.0;
   double backoff_max = 32.0;
@@ -167,6 +172,24 @@ class Healer {
   [[nodiscard]] const std::map<std::uint32_t, std::vector<GuestId>>&
   deferred() const {
     return deferred_;
+  }
+
+  /// Checkpoint support (src/recovery): the healer's complete bookkeeping
+  /// — Degraded dark links, Deferred dead replicas, and the parked queue
+  /// in queue order — as plain values.
+  struct State {
+    std::map<std::uint32_t, std::vector<VirtLinkId>> degraded;
+    std::map<std::uint32_t, std::vector<GuestId>> deferred;
+    std::vector<ParkedTenant> parked;
+  };
+  [[nodiscard]] State export_state() const;
+  void restore_state(State state);
+
+  /// Exposed for the bounded-backoff regression tests: the re-admission
+  /// delay after `failed_attempts` failures (>= 1).
+  [[nodiscard]] double backoff_delay_for_testing(
+      std::size_t failed_attempts) const {
+    return backoff_delay(failed_attempts);
   }
 
   /// Independent invariant audit: recomputes everything from the committed

@@ -15,9 +15,21 @@ namespace hmn::orchestrator {
 namespace {
 
 std::uint64_t fnv1a(const std::vector<NodeId>& hosts) {
-  std::uint64_t h = 14695981039346656037ULL;
+  std::uint64_t h = kFingerprintSeed;
   for (const NodeId n : hosts) {
     h ^= n.value();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Byte-wise FNV-1a continuation — the run-fingerprint chain folds each
+/// decision's canonical string into the previous chain value.
+std::uint64_t fnv1a_bytes(const char* data, std::size_t len,
+                          std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
     h *= 1099511628211ULL;
   }
   return h;
@@ -69,7 +81,8 @@ Orchestrator::Orchestrator(model::PhysicalCluster cluster,
     : mgr_(std::move(cluster), std::move(pool)),
       profile_(profile),
       opts_(opts),
-      queue_(opts.retry_max_attempts, opts.max_queue, opts.queue_policy),
+      queue_(opts.retry_max_attempts, opts.max_queue, opts.queue_policy,
+             opts.retry_max_passovers),
       healer_(opts.healer),
       avail_(mgr_.cluster().node_count(), mgr_.cluster().link_count(),
              opts.availability) {}
@@ -132,8 +145,31 @@ std::uint64_t Orchestrator::placement_hash(emulator::TenantId id) const {
 }
 
 void Orchestrator::record(EventDecision decision) {
+  // Fold the decision into the running fingerprint chain using exactly the
+  // canonical per-decision string of decision_signature(), so
+  // run_fingerprint() == fnv1a(decision_signature()) at all times without
+  // retaining the vector across a checkpoint.
+  char buf[128];
+  const int n = std::snprintf(
+      buf, sizeof(buf), "%.17g|%d|%u|%d|%d|%016" PRIx64 ";", decision.time,
+      static_cast<int>(decision.kind), decision.tenant,
+      static_cast<int>(decision.decision), static_cast<int>(decision.error),
+      decision.placement_hash);
+  run_fingerprint_ =
+      fnv1a_bytes(buf, static_cast<std::size_t>(n), run_fingerprint_);
   report_.decision_latencies_us.push_back(decision.latency_us);
   report_.decisions.push_back(std::move(decision));
+}
+
+void Orchestrator::emit_txn(TxnKind kind, double time, std::uint32_t key,
+                            std::uint64_t detail) {
+  if (observer_ == nullptr) return;
+  TxnRecord txn;
+  txn.kind = kind;
+  txn.time = time;
+  txn.key = key;
+  txn.detail = detail;
+  observer_->on_txn(txn);
 }
 
 void Orchestrator::sample(double time) {
@@ -147,7 +183,7 @@ void Orchestrator::sample(double time) {
   report_.timeline.push_back(s);
 }
 
-void Orchestrator::maybe_defrag() {
+void Orchestrator::maybe_defrag(double now) {
   // Defrag rebuilds residuals from the unmasked cluster and re-routes every
   // link from scratch; while elements are down, tenants run dark links, or
   // replica repairs sit deferred (their mappings deliberately reference
@@ -167,6 +203,7 @@ void Orchestrator::maybe_defrag() {
     ++report_.defrag.committed;
     report_.defrag.migrations += pass.migrations;
     report_.defrag.lbf_reduction += pass.lbf_before - pass.lbf_after;
+    emit_txn(TxnKind::kDefragCommit, now, 0, pass.migrations);
   }
 }
 
@@ -200,6 +237,7 @@ void Orchestrator::drain_queue(double now) {
     ++report_.admitted_from_queue;
     report_.queue_waits.push_back(d.queue_wait);
     record(d);
+    emit_txn(TxnKind::kBackfillCommit, now, entry.key, d.placement_hash);
   }
   for (const PendingTenant& entry : outcome.dropped) {
     EventDecision d;
@@ -212,6 +250,19 @@ void Orchestrator::drain_queue(double now) {
     d.latency_us = latencies[entry.key];
     ++report_.dropped;
     record(d);
+    emit_txn(TxnKind::kQueueDrop, now, entry.key, entry.attempts);
+  }
+  for (const PendingTenant& entry : outcome.preempted) {
+    EventDecision d;
+    d.time = now;
+    d.kind = workload::EventKind::kArrive;
+    d.tenant = entry.key;
+    d.decision = Decision::kPreempted;
+    d.queue_wait = now - entry.enqueued_at;
+    d.latency_us = latencies[entry.key];
+    ++report_.preempted;
+    record(d);
+    emit_txn(TxnKind::kQueuePreempt, now, entry.key, entry.passed_over);
   }
 }
 
@@ -297,6 +348,9 @@ void Orchestrator::record_heals(const std::vector<HealRecord>& records,
       report_.heal_latencies_us.push_back(r.latency_us);
     }
     record(d);
+    emit_txn(TxnKind::kHealAction, now, r.key,
+             static_cast<std::uint64_t>(r.action) << 32 |
+                 static_cast<std::uint64_t>(d.placement_hash & 0xffffffffULL));
   }
 }
 
@@ -309,6 +363,7 @@ void Orchestrator::run_audit(double now) {
 }
 
 EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
+  if (observer_ != nullptr) observer_->on_event_begin(event_index_, ev);
   const util::Timer timer;
   EventDecision d;
   d.time = ev.time;
@@ -330,6 +385,7 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
         d.decision = Decision::kAdmitted;
         d.placement_hash = placement_hash(*result.tenant);
         ++report_.admitted_immediately;
+        emit_txn(TxnKind::kAdmitCommit, ev.time, ev.tenant, d.placement_hash);
       } else {
         d.error = result.error;
         PendingTenant pending;
@@ -341,9 +397,11 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
         pending.attempts = 1;  // the arrival itself
         if (queue_.push(std::move(pending))) {
           d.decision = Decision::kQueued;
+          emit_txn(TxnKind::kQueuePush, ev.time, ev.tenant, 0);
         } else {
           d.decision = Decision::kRejected;
           ++report_.rejected;
+          emit_txn(TxnKind::kQueueReject, ev.time, ev.tenant, 0);
         }
       }
       break;
@@ -365,10 +423,13 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
         d.placement_hash = placement_hash(it->second);
         ++(result.used_full_remap ? report_.grown_by_remap
                                   : report_.grown_in_place);
+        emit_txn(TxnKind::kGrowCommit, ev.time, ev.tenant, d.placement_hash);
       } else {
         d.decision = Decision::kGrowthRejected;
         d.error = result.error;
         ++report_.growth_rejected;
+        emit_txn(TxnKind::kGrowAbort, ev.time, ev.tenant,
+                 static_cast<std::uint64_t>(result.error));
       }
       break;
     }
@@ -382,16 +443,19 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
         d.decision = Decision::kDeparted;
         ++departures_;
         freed_capacity = true;
+        emit_txn(TxnKind::kReleaseCommit, ev.time, ev.tenant, 0);
       } else if (auto entry = queue_.erase(ev.tenant)) {
         d.decision = Decision::kAbandoned;
         d.queue_wait = ev.time - entry->enqueued_at;
         ++report_.abandoned;
+        emit_txn(TxnKind::kQueueAbandon, ev.time, ev.tenant, 0);
       } else if (auto outage = healer_.abandon_parked(ev.tenant, ev.time)) {
         // Departed while evicted: the whole parked window is lost time.
         d.decision = Decision::kAbandoned;
         d.queue_wait = *outage;
         add_lost(ev.tenant, *outage);
         ++report_.abandoned;
+        emit_txn(TxnKind::kQueueAbandon, ev.time, ev.tenant, 1);
       } else if (const auto lost = lost_since_.find(ev.tenant);
                  lost != lost_since_.end()) {
         add_lost(ev.tenant, ev.time - lost->second);
@@ -450,6 +514,8 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
           break;
       }
       observe_failure_event(ev);
+      emit_txn(TxnKind::kFailureApplied, ev.time, ev.element,
+               static_cast<std::uint64_t>(ev.kind));
       heals = healer_.on_event(mgr_, live_, ev);
       break;
     }
@@ -463,18 +529,62 @@ EventDecision Orchestrator::handle(const workload::TenantEvent& ev) {
     // queue before the ordinary defrag + admission backfill.
     record_heals(healer_.on_capacity_freed(mgr_, live_, ev.time), ev.time,
                  ev.kind);
-    maybe_defrag();
+    maybe_defrag(ev.time);
     drain_queue(ev.time);
   }
   if (recovered) drain_queue(ev.time);
   run_audit(ev.time);
   sample(ev.time);
+  ++event_index_;
+  if (observer_ != nullptr) {
+    observer_->on_event_end(event_index_ - 1, ev.time, run_fingerprint_);
+  }
   return d;
 }
 
 const OrchestratorReport& Orchestrator::run(const workload::ChurnTrace& trace) {
   for (const workload::TenantEvent& ev : trace.events) handle(ev);
   return report_;
+}
+
+Orchestrator::State Orchestrator::export_state() const {
+  State state;
+  state.tenancy = mgr_.export_state();
+  state.healer = healer_.export_state();
+  state.queue = queue_.export_entries();
+  state.availability = avail_.snapshot();
+  state.live = live_;
+  state.degraded_since = degraded_since_;
+  state.lost_since = lost_since_;
+  state.tier_of = tier_of_;
+  state.departures = departures_;
+  state.events_handled = event_index_;
+  state.run_fingerprint = run_fingerprint_;
+  state.report = report_;
+  // Scalars only: the longitudinal vectors would make checkpoint size (and
+  // with it recovery time) grow with run length.
+  state.report.decisions.clear();
+  state.report.timeline.clear();
+  state.report.invariant_violations.clear();
+  state.report.queue_waits.clear();
+  state.report.decision_latencies_us.clear();
+  state.report.heal_latencies_us.clear();
+  return state;
+}
+
+void Orchestrator::restore_state(State state) {
+  mgr_.restore_state(std::move(state.tenancy));
+  healer_.restore_state(std::move(state.healer));
+  queue_.restore_entries(std::move(state.queue));
+  avail_.restore(state.availability);
+  live_ = std::move(state.live);
+  degraded_since_ = std::move(state.degraded_since);
+  lost_since_ = std::move(state.lost_since);
+  tier_of_ = std::move(state.tier_of);
+  departures_ = state.departures;
+  event_index_ = state.events_handled;
+  run_fingerprint_ = state.run_fingerprint;
+  report_ = std::move(state.report);
 }
 
 }  // namespace hmn::orchestrator

@@ -76,6 +76,8 @@ enum class Decision : std::uint8_t {
   kPowerFailed,      // POWER_FAIL: a power domain went dark
   kPowerRecovered,   // POWER_RECOVER: the repair crew finished the domain
   kReplicaDeferred,  // dead replicas, quorum holds: repair deferred
+
+  kPreempted,  // left the queue after too many backfills jumped it
 };
 
 [[nodiscard]] constexpr const char* to_string(Decision d) {
@@ -106,6 +108,7 @@ enum class Decision : std::uint8_t {
     case Decision::kPowerFailed: return "power-failed";
     case Decision::kPowerRecovered: return "power-recovered";
     case Decision::kReplicaDeferred: return "replica-deferred";
+    case Decision::kPreempted: return "preempted";
   }
   return "?";
 }
@@ -153,6 +156,7 @@ struct OrchestratorReport {
   std::size_t admitted_from_queue = 0;
   std::size_t rejected = 0;   // queue-full rejections
   std::size_t dropped = 0;    // retry attempts exhausted
+  std::size_t preempted = 0;  // passover budget exhausted
   std::size_t abandoned = 0;  // departed while queued
   std::size_t growths = 0;
   std::size_t grown_in_place = 0;
@@ -209,6 +213,11 @@ struct OrchestratorOptions {
   /// Retry-queue policy (see RetryQueue).
   std::size_t retry_max_attempts = 8;
   std::size_t max_queue = 0;
+  /// Preemption budget: abandon a queued tenant (Decision::kPreempted)
+  /// once this many backfills have been admitted by drains that failed it
+  /// (0 = never preempt).  Bounds the starvation the non-FIFO queue
+  /// policies can inflict on a giant that never fits.
+  std::size_t retry_max_passovers = 0;
   /// Backfill drain order; every policy is deterministic and every drain
   /// decision is logged, so any choice replays byte-identically.
   QueuePolicy queue_policy = QueuePolicy::kFifo;
@@ -230,6 +239,63 @@ struct OrchestratorOptions {
   bool availability_aware = false;
   double spare_headroom = 0.1;
   availability::AvailabilityOptions availability;
+};
+
+/// FNV-1a offset basis — the run fingerprint of an orchestrator that has
+/// recorded no decisions yet.
+inline constexpr std::uint64_t kFingerprintSeed = 14695981039346656037ULL;
+
+/// State-mutating transaction classes the orchestrator announces to its
+/// TxnObserver.  One txn record per committed (or explicitly aborted)
+/// mutation, in execution order, between an event's begin/end markers —
+/// the write-ahead journal (src/recovery) persists exactly this stream.
+enum class TxnKind : std::uint8_t {
+  kAdmitCommit = 1,  // arrival admission committed
+  kQueuePush,        // rejected arrival parked for retry
+  kQueueReject,      // rejected arrival bounced off a full queue
+  kGrowCommit,       // growth committed (in place or by remap)
+  kGrowAbort,        // growth infeasible; tenant rolled back
+  kReleaseCommit,    // running tenant released
+  kQueueAbandon,     // queued/parked tenant departed before admission
+  kFailureApplied,   // failure/recovery mask flip applied to the cluster
+  kHealAction,       // one healer outcome (heal/degrade/park/readmit/...)
+  kDefragCommit,     // defrag pass committed a migration batch
+  kBackfillCommit,   // retry-queue drain admitted a tenant
+  kQueueDrop,        // drain dropped a tenant (attempts exhausted)
+  kQueuePreempt,     // drain abandoned a tenant (passovers exhausted)
+};
+
+/// One journalable transaction.  `key` is the churn tenant key (or the
+/// failed element id for kFailureApplied); `detail` carries the
+/// kind-specific payload: placement hash for commits, error/action codes
+/// for aborts and heals, migration count for defrag.
+struct TxnRecord {
+  TxnKind kind = TxnKind::kAdmitCommit;
+  double time = 0.0;
+  std::uint32_t key = 0;
+  std::uint64_t detail = 0;
+};
+
+/// Observer of the orchestrator's transaction stream.  The recovery
+/// subsystem implements this (recovery::WalManager) to journal every
+/// mutation; the orchestrator itself stays recovery-agnostic, which keeps
+/// the include graph acyclic (recovery -> orchestrator only).  Callbacks
+/// may throw — a crash-injection harness uses exactly that to kill the
+/// run at any journaling site — so every callback fires *after* the
+/// in-memory mutation it describes: the journal can only ever lag the
+/// truth, never lead it, and a torn tail loses decisions, not invariants.
+class TxnObserver {
+ public:
+  virtual ~TxnObserver() = default;
+  /// `event_index` is the 0-based position of `ev` in the handled stream.
+  virtual void on_event_begin(std::uint64_t event_index,
+                              const workload::TenantEvent& ev) = 0;
+  virtual void on_txn(const TxnRecord& txn) = 0;
+  /// Fired after the event is fully processed (audit + sample included);
+  /// `fingerprint` is the running decision fingerprint including every
+  /// decision this event produced.
+  virtual void on_event_end(std::uint64_t event_index, double time,
+                            std::uint64_t fingerprint) = 0;
 };
 
 class Orchestrator {
@@ -258,12 +324,58 @@ class Orchestrator {
   [[nodiscard]] const availability::AvailabilityTracker& availability() const {
     return avail_;
   }
+  [[nodiscard]] const RetryQueue& retry_queue() const { return queue_; }
+
+  /// Installs (or clears, with nullptr) the transaction observer.  Not
+  /// owned; must outlive the orchestrator or be cleared first.
+  void set_txn_observer(TxnObserver* observer) { observer_ = observer; }
+
+  /// Events handled so far — the index the next event will get.
+  [[nodiscard]] std::uint64_t events_handled() const { return event_index_; }
+
+  /// Running FNV-1a chain over the canonical form of every decision
+  /// recorded so far (same fields as OrchestratorReport::
+  /// decision_signature, which it matches decision-for-decision without
+  /// retaining the vector).  Checkpoints persist it and replay continues
+  /// it, so a recovered run proves byte-identity with the uninterrupted
+  /// run by comparing one u64.
+  [[nodiscard]] std::uint64_t run_fingerprint() const {
+    return run_fingerprint_;
+  }
+
+  /// Checkpoint support (src/recovery): the orchestrator's complete
+  /// logical state as plain values.  The report travels with its scalar
+  /// counters only — the decision/timeline/latency vectors are
+  /// deliberately excluded (with them a checkpoint would grow with run
+  /// length and recovery time would stop being bounded by the journal
+  /// tail); a recovered report therefore carries post-recovery vectors
+  /// only, while run_fingerprint covers the full history.
+  struct State {
+    emulator::TenancyManager::State tenancy;
+    Healer::State healer;
+    std::vector<PendingTenant> queue;  // retry queue, queue order
+    availability::AvailabilityTracker::Snapshot availability;
+    std::map<std::uint32_t, emulator::TenantId> live;
+    std::map<std::uint32_t, double> degraded_since;
+    std::map<std::uint32_t, double> lost_since;
+    std::map<std::uint32_t, model::SlaTier> tier_of;
+    std::uint64_t departures = 0;
+    std::uint64_t events_handled = 0;
+    std::uint64_t run_fingerprint = kFingerprintSeed;
+    OrchestratorReport report;  // scalar counters only; vectors empty
+  };
+  [[nodiscard]] State export_state() const;
+  /// Restores into an orchestrator constructed with the same cluster,
+  /// profile, pool, and options.  Anything currently running is discarded.
+  void restore_state(State state);
 
  private:
   void observe_failure_event(const workload::TenantEvent& ev);
   void drain_queue(double now);
-  void maybe_defrag();
+  void maybe_defrag(double now);
   void sample(double time);
+  void emit_txn(TxnKind kind, double time, std::uint32_t key,
+                std::uint64_t detail);
   void record(EventDecision decision);
   void record_heals(const std::vector<HealRecord>& records, double now,
                     workload::EventKind kind);
@@ -284,6 +396,9 @@ class Orchestrator {
   std::map<std::uint32_t, double> lost_since_;        // dropped key -> park time
   std::map<std::uint32_t, model::SlaTier> tier_of_;   // key -> declared tier
   std::size_t departures_ = 0;
+  std::uint64_t event_index_ = 0;
+  std::uint64_t run_fingerprint_ = kFingerprintSeed;
+  TxnObserver* observer_ = nullptr;  // not owned
   OrchestratorReport report_;
 };
 

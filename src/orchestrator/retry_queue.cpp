@@ -20,4 +20,13 @@ std::optional<PendingTenant> RetryQueue::erase(std::uint32_t key) {
   return out;
 }
 
+std::vector<PendingTenant> RetryQueue::export_entries() const {
+  return {entries_.begin(), entries_.end()};
+}
+
+void RetryQueue::restore_entries(std::vector<PendingTenant> entries) {
+  entries_.assign(std::make_move_iterator(entries.begin()),
+                  std::make_move_iterator(entries.end()));
+}
+
 }  // namespace hmn::orchestrator

@@ -8,7 +8,10 @@
 // reorder of the same entries, and the orchestrator logs each admission /
 // drop as a decision, so any policy replays byte-identically.  A
 // per-tenant attempt cap bounds the work a hopeless giant can consume
-// before it is dropped.
+// before it is dropped, and a *preemption budget* (max_passovers) bounds
+// the unfairness the non-FIFO policies can inflict: a queued tenant that
+// watches k later backfills admit past it is abandoned with an explicit
+// preemption decision rather than starving invisibly.
 #pragma once
 
 #include <algorithm>
@@ -55,16 +58,25 @@ struct PendingTenant {
   std::uint64_t seed = 0;     // admission seed (attempts derive from it)
   double enqueued_at = 0.0;   // event time of the original rejection
   std::size_t attempts = 0;   // admission attempts so far (includes arrival)
+  /// Backfills admitted by drains in which this entry failed — the count
+  /// the preemption budget is charged against.
+  std::size_t passed_over = 0;
 };
 
 class RetryQueue {
  public:
   /// max_attempts: drop a tenant after this many failed admissions
   /// (0 = never drop).  max_size: reject instead of enqueue when the queue
-  /// is this long (0 = unbounded).
+  /// is this long (0 = unbounded).  max_passovers: abandon a tenant once
+  /// this many backfills have been admitted by drains that failed it
+  /// (0 = never preempt).
   explicit RetryQueue(std::size_t max_attempts = 0, std::size_t max_size = 0,
-                      QueuePolicy policy = QueuePolicy::kFifo)
-      : max_attempts_(max_attempts), max_size_(max_size), policy_(policy) {}
+                      QueuePolicy policy = QueuePolicy::kFifo,
+                      std::size_t max_passovers = 0)
+      : max_attempts_(max_attempts),
+        max_size_(max_size),
+        policy_(policy),
+        max_passovers_(max_passovers) {}
 
   [[nodiscard]] QueuePolicy policy() const { return policy_; }
 
@@ -84,24 +96,36 @@ class RetryQueue {
   [[nodiscard]] std::optional<PendingTenant> erase(std::uint32_t key);
 
   struct DrainResult {
-    std::vector<PendingTenant> admitted;  // entries `try_admit` accepted
-    std::vector<PendingTenant> dropped;   // entries past max_attempts
+    std::vector<PendingTenant> admitted;   // entries `try_admit` accepted
+    std::vector<PendingTenant> dropped;    // entries past max_attempts
+    std::vector<PendingTenant> preempted;  // entries past max_passovers
   };
 
   /// Re-attempts every queued tenant in policy order.  `try_admit` is
   /// called with the entry (attempts already incremented) and returns
   /// whether the tenant was admitted; admitted and attempt-exhausted
   /// entries leave the queue, the rest stay in policy order.
+  ///
+  /// Preemption accounting runs after the pass: each entry that failed
+  /// this drain is charged one passover per tenant the same drain
+  /// *admitted* — capacity demonstrably existed and went to someone else,
+  /// whatever the try order (under kSmallestFirst the starving giant is
+  /// tried last, so order-sensitive accounting would never charge it).
+  /// An entry whose lifetime passovers reach max_passovers is abandoned
+  /// into `preempted`.  The attempt cap wins ties: an entry exhausting
+  /// both budgets in the same drain is `dropped`, not preempted.
   template <typename TryAdmit>
   DrainResult drain(TryAdmit&& try_admit) {
     reorder();
     DrainResult result;
     std::deque<PendingTenant> keep;
+    std::size_t admitted_count = 0;
     while (!entries_.empty()) {
       PendingTenant entry = std::move(entries_.front());
       entries_.pop_front();
       ++entry.attempts;
       if (try_admit(entry)) {
+        ++admitted_count;
         result.admitted.push_back(std::move(entry));
       } else if (max_attempts_ != 0 && entry.attempts >= max_attempts_) {
         result.dropped.push_back(std::move(entry));
@@ -109,9 +133,23 @@ class RetryQueue {
         keep.push_back(std::move(entry));
       }
     }
-    entries_ = std::move(keep);
+    while (!keep.empty()) {
+      PendingTenant entry = std::move(keep.front());
+      keep.pop_front();
+      entry.passed_over += admitted_count;
+      if (max_passovers_ != 0 && entry.passed_over >= max_passovers_) {
+        result.preempted.push_back(std::move(entry));
+      } else {
+        entries_.push_back(std::move(entry));
+      }
+    }
     return result;
   }
+
+  /// Checkpoint support (src/recovery): the entries in queue order, and
+  /// their exact restoration (any current entries are discarded).
+  [[nodiscard]] std::vector<PendingTenant> export_entries() const;
+  void restore_entries(std::vector<PendingTenant> entries);
 
  private:
   /// Deterministic policy reorder applied before each drain.  Stable, so
@@ -150,6 +188,7 @@ class RetryQueue {
   std::size_t max_attempts_;
   std::size_t max_size_;
   QueuePolicy policy_ = QueuePolicy::kFifo;
+  std::size_t max_passovers_ = 0;
   std::deque<PendingTenant> entries_;
 };
 

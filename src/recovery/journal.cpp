@@ -1,0 +1,296 @@
+#include "recovery/journal.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "io/binfmt.h"
+#include "recovery/checkpoint.h"
+
+namespace hmn::recovery {
+namespace {
+
+[[noreturn]] void fail_record(std::size_t index, const std::string& what) {
+  throw RecoveryError("journal record " + std::to_string(index) +
+                      " is malformed: " + what);
+}
+
+template <typename T>
+T need(std::optional<T> v, std::size_t index, const char* field) {
+  if (!v.has_value()) {
+    fail_record(index, std::string("truncated field '") + field + "'");
+  }
+  return *std::move(v);
+}
+
+void put_event(std::string& out, const workload::TenantEvent& ev) {
+  io::put_f64(out, ev.time);
+  io::put_u8(out, static_cast<std::uint8_t>(ev.kind));
+  io::put_u32(out, ev.tenant);
+  io::put_u64(out, ev.guest_count);
+  io::put_f64(out, ev.density);
+  io::put_u64(out, ev.add_guests);
+  io::put_u64(out, ev.add_links);
+  io::put_u64(out, ev.seed);
+  io::put_u32(out, ev.element);
+  io::put_u8(out, static_cast<std::uint8_t>(ev.sla_tier));
+  io::put_u32(out, ev.replica_n);
+  io::put_u32(out, ev.replica_k);
+  io::put_u32_vec(out, ev.group_hosts);
+  io::put_u32_vec(out, ev.group_links);
+}
+
+workload::TenantEvent take_event(io::BinReader& r, std::size_t index) {
+  workload::TenantEvent ev;
+  ev.time = need(r.take_f64(), index, "event.time");
+  const std::uint8_t kind = need(r.take_u8(), index, "event.kind");
+  if (kind > static_cast<std::uint8_t>(workload::EventKind::kPowerRecover)) {
+    fail_record(index, "event kind " + std::to_string(kind) + " out of range");
+  }
+  ev.kind = static_cast<workload::EventKind>(kind);
+  ev.tenant = need(r.take_u32(), index, "event.tenant");
+  ev.guest_count = need(r.take_u64(), index, "event.guest_count");
+  ev.density = need(r.take_f64(), index, "event.density");
+  ev.add_guests = need(r.take_u64(), index, "event.add_guests");
+  ev.add_links = need(r.take_u64(), index, "event.add_links");
+  ev.seed = need(r.take_u64(), index, "event.seed");
+  ev.element = need(r.take_u32(), index, "event.element");
+  const std::uint8_t tier = need(r.take_u8(), index, "event.sla_tier");
+  if (tier > static_cast<std::uint8_t>(model::SlaTier::kBestEffort)) {
+    fail_record(index, "event sla tier out of range");
+  }
+  ev.sla_tier = static_cast<model::SlaTier>(tier);
+  ev.replica_n = need(r.take_u32(), index, "event.replica_n");
+  ev.replica_k = need(r.take_u32(), index, "event.replica_k");
+  ev.group_hosts = need(r.take_u32_vec(), index, "event.group_hosts");
+  ev.group_links = need(r.take_u32_vec(), index, "event.group_links");
+  return ev;
+}
+
+JournalRecord decode_record(std::string_view payload, std::size_t index) {
+  io::BinReader r(payload);
+  JournalRecord rec;
+  const std::uint8_t type = need(r.take_u8(), index, "type");
+  switch (type) {
+    case static_cast<std::uint8_t>(RecordType::kEventBegin):
+      rec.type = RecordType::kEventBegin;
+      rec.event_index = need(r.take_u64(), index, "event_index");
+      rec.event = take_event(r, index);
+      break;
+    case static_cast<std::uint8_t>(RecordType::kTxn): {
+      rec.type = RecordType::kTxn;
+      const std::uint8_t kind = need(r.take_u8(), index, "txn.kind");
+      if (kind < static_cast<std::uint8_t>(
+                     orchestrator::TxnKind::kAdmitCommit) ||
+          kind > static_cast<std::uint8_t>(
+                     orchestrator::TxnKind::kQueuePreempt)) {
+        fail_record(index,
+                    "txn kind " + std::to_string(kind) + " out of range");
+      }
+      rec.txn.kind = static_cast<orchestrator::TxnKind>(kind);
+      rec.txn.time = need(r.take_f64(), index, "txn.time");
+      rec.txn.key = need(r.take_u32(), index, "txn.key");
+      rec.txn.detail = need(r.take_u64(), index, "txn.detail");
+      break;
+    }
+    case static_cast<std::uint8_t>(RecordType::kEventEnd):
+      rec.type = RecordType::kEventEnd;
+      rec.event_index = need(r.take_u64(), index, "event_index");
+      rec.time = need(r.take_f64(), index, "time");
+      rec.fingerprint = need(r.take_u64(), index, "fingerprint");
+      break;
+    case static_cast<std::uint8_t>(RecordType::kCheckpoint):
+      rec.type = RecordType::kCheckpoint;
+      rec.event_index = need(r.take_u64(), index, "event_index");
+      rec.fingerprint = need(r.take_u64(), index, "fingerprint");
+      rec.checkpoint =
+          std::string(need(r.take_bytes(), index, "checkpoint state"));
+      break;
+    default:
+      fail_record(index,
+                  "unknown record type " + std::to_string(type));
+  }
+  if (!r.exhausted()) {
+    fail_record(index, "trailing bytes after a complete record");
+  }
+  return rec;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+void JournalWriter::append(std::string_view payload) {
+  const std::uint64_t seq = seq_++;
+  if (armed_ && seq == crash_seq_) {
+    armed_ = false;
+    // A power cut persists some prefix of the frame — possibly none of it,
+    // possibly all of it (the crash then hit after the write but before
+    // the next one).  torn_seed picks which, deterministically.
+    const std::string frame = io::encode_frame(payload);
+    const std::size_t persisted = torn_seed_ % (frame.size() + 1);
+    out_->append(frame.data(), persisted);
+    throw CrashError(seq, persisted, frame.size());
+  }
+  io::append_frame(*out_, payload);
+}
+
+void JournalWriter::event_begin(std::uint64_t event_index,
+                                const workload::TenantEvent& ev) {
+  std::string payload;
+  io::put_u8(payload, static_cast<std::uint8_t>(RecordType::kEventBegin));
+  io::put_u64(payload, event_index);
+  put_event(payload, ev);
+  append(payload);
+}
+
+void JournalWriter::txn(const orchestrator::TxnRecord& txn) {
+  std::string payload;
+  io::put_u8(payload, static_cast<std::uint8_t>(RecordType::kTxn));
+  io::put_u8(payload, static_cast<std::uint8_t>(txn.kind));
+  io::put_f64(payload, txn.time);
+  io::put_u32(payload, txn.key);
+  io::put_u64(payload, txn.detail);
+  append(payload);
+}
+
+void JournalWriter::event_end(std::uint64_t event_index, double time,
+                              std::uint64_t fingerprint) {
+  std::string payload;
+  io::put_u8(payload, static_cast<std::uint8_t>(RecordType::kEventEnd));
+  io::put_u64(payload, event_index);
+  io::put_f64(payload, time);
+  io::put_u64(payload, fingerprint);
+  append(payload);
+}
+
+void JournalWriter::checkpoint(std::uint64_t events_handled,
+                               std::uint64_t fingerprint,
+                               std::string_view encoded_state) {
+  std::string payload;
+  payload.reserve(encoded_state.size() + 64);
+  io::put_u8(payload, static_cast<std::uint8_t>(RecordType::kCheckpoint));
+  io::put_u64(payload, events_handled);
+  io::put_u64(payload, fingerprint);
+  io::put_bytes(payload, encoded_state);
+  append(payload);
+}
+
+JournalParse parse_journal(std::string_view data) {
+  io::FrameScan scan;
+  if (const auto err = io::scan_frames(data, scan)) {
+    throw RecoveryError("journal corrupted at byte offset " +
+                        std::to_string(err->offset) + ": " + err->message);
+  }
+  JournalParse parse;
+  parse.valid_bytes = scan.valid_bytes;
+  parse.torn_tail = scan.torn_tail;
+  parse.records.reserve(scan.frames.size());
+  for (std::size_t i = 0; i < scan.frames.size(); ++i) {
+    parse.records.push_back(decode_record(scan.frames[i], i));
+  }
+  return parse;
+}
+
+std::string journal_to_jsonl(std::string_view data) {
+  const JournalParse parse = parse_journal(data);
+  std::string out;
+  char buf[256];
+  for (std::size_t i = 0; i < parse.records.size(); ++i) {
+    const JournalRecord& rec = parse.records[i];
+    out += "{\"seq\":" + std::to_string(i) + ",\"type\":\"";
+    out += to_string(rec.type);
+    out += '"';
+    switch (rec.type) {
+      case RecordType::kEventBegin:
+        std::snprintf(buf, sizeof(buf),
+                      ",\"event\":%" PRIu64
+                      ",\"time\":%.17g,\"kind\":\"%s\",\"tenant\":%u",
+                      rec.event_index, rec.event.time,
+                      workload::to_string(rec.event.kind), rec.event.tenant);
+        out += buf;
+        if (rec.event.kind == workload::EventKind::kArrive) {
+          std::snprintf(buf, sizeof(buf),
+                        ",\"guests\":%zu,\"tier\":\"%s\"",
+                        rec.event.guest_count,
+                        model::to_string(rec.event.sla_tier));
+          out += buf;
+        }
+        break;
+      case RecordType::kTxn:
+        std::snprintf(buf, sizeof(buf),
+                      ",\"txn\":%d,\"time\":%.17g,\"key\":%u,"
+                      "\"detail\":\"%016" PRIx64 "\"",
+                      static_cast<int>(rec.txn.kind), rec.txn.time,
+                      rec.txn.key, rec.txn.detail);
+        out += buf;
+        break;
+      case RecordType::kEventEnd:
+        std::snprintf(buf, sizeof(buf),
+                      ",\"event\":%" PRIu64
+                      ",\"time\":%.17g,\"fingerprint\":\"%016" PRIx64 "\"",
+                      rec.event_index, rec.time, rec.fingerprint);
+        out += buf;
+        break;
+      case RecordType::kCheckpoint:
+        std::snprintf(buf, sizeof(buf),
+                      ",\"events_handled\":%" PRIu64
+                      ",\"fingerprint\":\"%016" PRIx64
+                      "\",\"state_bytes\":%zu",
+                      rec.event_index, rec.fingerprint,
+                      rec.checkpoint.size());
+        out += buf;
+        break;
+    }
+    out += "}\n";
+  }
+  if (parse.torn_tail) {
+    out += "{\"type\":\"torn-tail\",\"valid_bytes\":" +
+           std::to_string(parse.valid_bytes) + ",\"dropped_bytes\":" +
+           std::to_string(data.size() - parse.valid_bytes) + "}\n";
+  }
+  return out;
+}
+
+WalManager::WalManager(orchestrator::Orchestrator& orch, std::string& journal,
+                       WalOptions opts, std::uint64_t start_seq)
+    : orch_(&orch), writer_(journal, start_seq), opts_(opts) {
+  orch_->set_txn_observer(this);
+}
+
+WalManager::~WalManager() { orch_->set_txn_observer(nullptr); }
+
+void WalManager::on_event_begin(std::uint64_t event_index,
+                                const workload::TenantEvent& ev) {
+  writer_.event_begin(event_index, ev);
+}
+
+void WalManager::on_txn(const orchestrator::TxnRecord& txn) {
+  writer_.txn(txn);
+}
+
+void WalManager::on_event_end(std::uint64_t event_index, double time,
+                              std::uint64_t fingerprint) {
+  writer_.event_end(event_index, time, fingerprint);
+  const std::uint64_t every = opts_.checkpoint_every_events;
+  if (every != 0 && (event_index + 1) % every == 0) {
+    writer_.checkpoint(event_index + 1, fingerprint,
+                       encode_state(orch_->export_state()));
+  }
+}
+
+}  // namespace hmn::recovery

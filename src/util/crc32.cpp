@@ -1,0 +1,34 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace hmn::util {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320U;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) != 0 ? kPoly ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (const char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace hmn::util

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// The checksum the recovery subsystem's write-ahead journal frames every
+// record with: a torn tail write (the process died mid-append) or a
+// bit-flip on disk must be *detected* at recovery time, never half-applied.
+// Table-driven, one table shared process-wide, no allocation per call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hmn::util {
+
+/// CRC-32 of `data`, starting from `seed` (pass a previous result to
+/// checksum a logical stream in chunks: crc32(b, crc32(a)) == crc32(ab)).
+[[nodiscard]] std::uint32_t crc32(std::string_view data,
+                                  std::uint32_t seed = 0);
+
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t len,
+                                         std::uint32_t seed = 0) {
+  return crc32(
+      std::string_view(static_cast<const char*>(data), len), seed);
+}
+
+}  // namespace hmn::util

@@ -1,0 +1,29 @@
+#include "workload/crashes.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace hmn::workload {
+
+std::vector<CrashPoint> generate_crash_schedule(std::uint64_t seed,
+                                                std::size_t count,
+                                                std::uint64_t max_seq) {
+  std::vector<CrashPoint> schedule;
+  if (count == 0 || max_seq == 0) return schedule;
+  schedule.reserve(count);
+  util::Rng rng(util::derive_seed(seed, 0x6372617368ULL));  // "crash"
+  for (std::size_t i = 0; i < count; ++i) {
+    CrashPoint p;
+    p.record_seq = rng.next() % max_seq;
+    p.torn_seed = rng.next();
+    schedule.push_back(p);
+  }
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const CrashPoint& a, const CrashPoint& b) {
+                     return a.record_seq < b.record_seq;
+                   });
+  return schedule;
+}
+
+}  // namespace hmn::workload

@@ -1,0 +1,38 @@
+// Crash-point schedules for the recovery chaos harness.
+//
+// The write-ahead journal (src/recovery) appends one CRC-framed record per
+// orchestrator transaction; every append is a place the process can die,
+// possibly leaving a torn partial frame behind.  A CrashPoint names one
+// such site by journal *sequence number* — the index of the record whose
+// append is killed — plus a seed for how many bytes of the frame the
+// doomed write persisted (0 .. the whole frame; the injector reduces the
+// seed modulo frame length + 1).
+//
+// Schedules are deterministic in (seed, count, max_seq): the chaos driver
+// and the E18 gate re-derive the same kill list on every run, so a crash
+// reproduction is one (seed, index) pair, not a core dump.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hmn::workload {
+
+/// One injected crash: die while appending journal record `record_seq`,
+/// persisting `torn_seed`-derived bytes of its frame.
+struct CrashPoint {
+  std::uint64_t record_seq = 0;
+  std::uint64_t torn_seed = 0;
+
+  friend bool operator==(const CrashPoint&, const CrashPoint&) = default;
+};
+
+/// Draws `count` crash points with record_seq uniform in [0, max_seq) and
+/// an independent torn seed each, sorted ascending by record_seq (ties
+/// keep draw order).  Deterministic in all arguments; max_seq == 0 or
+/// count == 0 yields an empty schedule.
+[[nodiscard]] std::vector<CrashPoint> generate_crash_schedule(
+    std::uint64_t seed, std::size_t count, std::uint64_t max_seq);
+
+}  // namespace hmn::workload

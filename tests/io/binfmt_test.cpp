@@ -1,0 +1,186 @@
+// The binary frame layer under the write-ahead journal: primitive codecs
+// must round-trip bit-exactly, and the frame scanner must classify every
+// defect — torn tail (truncate, usable prefix) vs mid-stream corruption
+// (loud error) — exactly as the recovery contract promises.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "io/binfmt.h"
+#include "util/crc32.h"
+
+namespace {
+
+using namespace hmn;
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The IEEE 802.3 check value: CRC-32 of "123456789".
+  EXPECT_EQ(util::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(util::crc32(""), 0u);
+  // Chunked checksumming composes: crc(b, crc(a)) == crc(ab).
+  const std::string ab = "hello, journal";
+  EXPECT_EQ(util::crc32(ab.substr(6), util::crc32(ab.substr(0, 6))),
+            util::crc32(ab));
+}
+
+TEST(BinfmtTest, PrimitivesRoundTripBitExact) {
+  std::string buf;
+  io::put_u8(buf, 0xAB);
+  io::put_u32(buf, 0xDEADBEEFu);
+  io::put_u64(buf, 0x0123456789ABCDEFull);
+  io::put_f64(buf, -0.1);  // not representable exactly: bit pattern matters
+  io::put_f64(buf, std::numeric_limits<double>::infinity());
+  io::put_bytes(buf, std::string("raw\0bytes", 9));
+  io::put_u32_vec(buf, {7, 0, 4294967295u});
+
+  io::BinReader r(buf);
+  EXPECT_EQ(r.take_u8(), 0xAB);
+  EXPECT_EQ(r.take_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.take_u64(), 0x0123456789ABCDEFull);
+  const auto f = r.take_f64();
+  ASSERT_TRUE(f.has_value());
+  std::uint64_t bits = 0, want = 0;
+  const double neg_tenth = -0.1;
+  std::memcpy(&bits, &*f, sizeof(bits));
+  std::memcpy(&want, &neg_tenth, sizeof(want));
+  EXPECT_EQ(bits, want);
+  EXPECT_EQ(r.take_f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.take_bytes(), std::string_view("raw\0bytes", 9));
+  EXPECT_EQ(r.take_u32_vec(),
+            (std::vector<std::uint32_t>{7, 0, 4294967295u}));
+  EXPECT_TRUE(r.exhausted());
+  // Past the end every take_* reports exhaustion, never UB.
+  EXPECT_FALSE(r.take_u8().has_value());
+}
+
+TEST(BinfmtTest, TruncatedLengthPrefixIsNullopt) {
+  std::string buf;
+  io::put_bytes(buf, "0123456789");
+  // Cut inside the declared payload: the length prefix overruns.
+  io::BinReader r(std::string_view(buf).substr(0, buf.size() - 3));
+  EXPECT_FALSE(r.take_bytes().has_value());
+}
+
+TEST(BinfmtTest, FrameStreamScansClean) {
+  // Empty payloads are deliberately NOT legal: every journal record opens
+  // with a type byte, so a zero declared length can only be damage.
+  std::string stream;
+  io::append_frame(stream, "first");
+  io::append_frame(stream, "second record");
+  io::append_frame(stream, std::string("\0binary\xFF", 8));
+
+  io::FrameScan scan;
+  EXPECT_FALSE(io::scan_frames(stream, scan).has_value());
+  ASSERT_EQ(scan.frames.size(), 3u);
+  EXPECT_EQ(scan.frames[0], "first");
+  EXPECT_EQ(scan.frames[1], "second record");
+  EXPECT_EQ(scan.frames[2], std::string_view("\0binary\xFF", 8));
+  EXPECT_EQ(scan.valid_bytes, stream.size());
+  EXPECT_FALSE(scan.torn_tail);
+}
+
+TEST(BinfmtTest, EncodeFrameMatchesAppendFrame) {
+  std::string appended;
+  io::append_frame(appended, "payload");
+  EXPECT_EQ(io::encode_frame("payload"), appended);
+}
+
+TEST(BinfmtTest, TornTailIsTruncatedNotFatal) {
+  std::string intact;
+  io::append_frame(intact, "alpha");
+  io::append_frame(intact, "beta");
+  const std::size_t intact_bytes = intact.size();
+
+  std::string torn = intact;
+  io::append_frame(torn, "gamma-never-finished");
+  // Every possible torn length of the final frame — header cut short,
+  // payload cut short, even zero extra bytes — must scan back to the same
+  // intact prefix.
+  for (std::size_t keep = intact_bytes; keep < torn.size(); ++keep) {
+    io::FrameScan scan;
+    const auto err = io::scan_frames(std::string_view(torn).substr(0, keep),
+                                     scan);
+    EXPECT_FALSE(err.has_value()) << "torn at " << keep;
+    EXPECT_EQ(scan.frames.size(), 2u) << "torn at " << keep;
+    EXPECT_EQ(scan.valid_bytes, intact_bytes) << "torn at " << keep;
+    EXPECT_EQ(scan.torn_tail, keep != intact_bytes) << "torn at " << keep;
+  }
+}
+
+TEST(BinfmtTest, MidStreamBitFlipIsLoudCorruption) {
+  std::string stream;
+  io::append_frame(stream, "alpha");
+  const std::size_t first_frame = stream.size();
+  io::append_frame(stream, "beta");
+
+  // Flip one payload bit of the *first* frame: bytes follow, so this can
+  // never be a crash artifact and must be an error naming the offset.
+  std::string corrupt = stream;
+  corrupt[first_frame - 2] ^= 0x01;
+  io::FrameScan scan;
+  const auto err = io::scan_frames(corrupt, scan);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->offset, 0u);
+  EXPECT_NE(err->message.find("CRC-32"), std::string::npos)
+      << err->message;
+}
+
+TEST(BinfmtTest, ChecksumFailureAtExactEofIsTornTail) {
+  // A frame whose CRC fails but which ends exactly at EOF is the signature
+  // of a torn final write that happened to persist its full length with a
+  // garbage tail — still a crash artifact, still truncated.
+  std::string stream;
+  io::append_frame(stream, "alpha");
+  const std::size_t first_frame = stream.size();
+  io::append_frame(stream, "beta");
+  stream.back() ^= 0x40;
+
+  io::FrameScan scan;
+  EXPECT_FALSE(io::scan_frames(stream, scan).has_value());
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, first_frame);
+  EXPECT_TRUE(scan.torn_tail);
+}
+
+TEST(BinfmtTest, AbsurdDeclaredLengthClassifiesByWhatFollows) {
+  std::string stream;
+  io::append_frame(stream, "alpha");
+  const std::size_t offset = stream.size();
+
+  // A zero declared length with bytes following can never be a crash
+  // artifact (records always carry at least a type byte): loud error.
+  std::string zero_len = stream;
+  zero_len += std::string(8, '\0');       // len=0, crc=0
+  zero_len += std::string(60, 'x');       // ...and the stream continues
+  io::FrameScan scan;
+  const auto err = io::scan_frames(zero_len, scan);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->offset, offset);
+  EXPECT_NE(err->message.find("declares length 0"), std::string::npos)
+      << err->message;
+
+  // An over-cap length whose payload never materializes is just a torn
+  // header full of garbage: truncate back to the intact prefix.
+  std::string torn = stream;
+  const std::uint32_t absurd = io::kMaxFramePayload + 1;
+  for (std::size_t i = 0; i < 4; ++i) {
+    torn.push_back(static_cast<char>((absurd >> (8 * i)) & 0xFF));
+  }
+  torn += std::string(64, 'x');  // far less than the declared payload
+  EXPECT_FALSE(io::scan_frames(torn, scan).has_value());
+  EXPECT_EQ(scan.valid_bytes, offset);
+  EXPECT_TRUE(scan.torn_tail);
+
+  // A zero length that is itself the final header at EOF is equally a torn
+  // artifact, not an error.
+  std::string zero_at_eof = stream;
+  zero_at_eof += std::string(8, '\0');
+  EXPECT_FALSE(io::scan_frames(zero_at_eof, scan).has_value());
+  EXPECT_EQ(scan.valid_bytes, offset);
+  EXPECT_TRUE(scan.torn_tail);
+}
+
+}  // namespace

@@ -339,6 +339,91 @@ TEST(TraceMalformed, TierReplicaPowerStreamRoundTripsByteIdentical) {
   EXPECT_EQ(io::write_trace(parsed), once);
 }
 
+std::string v3_header() {
+  std::string h = header();
+  const auto pos = h.find("\"version\":4");
+  EXPECT_NE(pos, std::string::npos);
+  h.replace(pos, std::string("\"version\":4").size(), "\"version\":3");
+  return h;
+}
+
+TEST(TraceMalformed, TierOnNonArriveLineIsRejected) {
+  // v4 field discipline: tier/replica declarations belong to arrive lines
+  // only.  Anywhere else is a mangled trace and the field is named.
+  const auto on_grow = must_fail(
+      header() +
+      "{\"t\":1,\"ev\":\"grow\",\"tenant\":1,\"add_guests\":1,"
+      "\"add_links\":0,\"seed\":\"9\",\"tier\":\"gold\"}");
+  EXPECT_EQ(on_grow.line, 2u);
+  EXPECT_TRUE(contains(on_grow.message,
+                       "'tier' is only valid on arrive events"))
+      << on_grow.message;
+  EXPECT_TRUE(contains(on_grow.message, "grow line")) << on_grow.message;
+
+  const auto on_depart = must_fail(
+      header() +
+      "{\"t\":1,\"ev\":\"depart\",\"tenant\":1,\"replica_n\":3}");
+  EXPECT_EQ(on_depart.line, 2u);
+  EXPECT_TRUE(contains(on_depart.message, "'replica_n'"))
+      << on_depart.message;
+
+  const auto on_fail = must_fail(
+      header() +
+      "{\"t\":1,\"ev\":\"host-fail\",\"element\":0,\"replica_k\":2}");
+  EXPECT_TRUE(contains(on_fail.message, "'replica_k'")) << on_fail.message;
+}
+
+TEST(TraceMalformed, TierFieldsNeedAVersion4Header) {
+  // A v3 trace carrying v4 fields is version skew, not a silent default.
+  const auto e =
+      must_fail(v3_header() + arrive_line(",\"tier\":\"gold\""));
+  EXPECT_EQ(e.line, 2u);
+  EXPECT_TRUE(contains(e.message, "'tier' requires trace version 4"))
+      << e.message;
+  EXPECT_TRUE(contains(e.message, "declares 3")) << e.message;
+
+  const auto r = must_fail(
+      v3_header() + arrive_line(",\"replica_n\":3,\"replica_k\":2"));
+  EXPECT_TRUE(contains(r.message, "'replica_n' requires trace version 4"))
+      << r.message;
+}
+
+TEST(TraceMalformed, PowerEventsNeedAVersion4Header) {
+  const auto e = must_fail(
+      v3_header() +
+      "{\"t\":1,\"ev\":\"power-fail\",\"element\":0,\"hosts\":[0],"
+      "\"links\":[0]}");
+  EXPECT_EQ(e.line, 2u);
+  EXPECT_TRUE(contains(e.message, "power-fail events require trace version 4"))
+      << e.message;
+  EXPECT_TRUE(contains(e.message, "declares 3")) << e.message;
+  // Blast events are v3 vocabulary and stay legal under a v3 header.
+  const auto ok = io::read_trace_or_throw(
+      v3_header() +
+      "{\"t\":1,\"ev\":\"blast-fail\",\"element\":9,\"hosts\":[0],"
+      "\"links\":[0]}");
+  ASSERT_EQ(ok.events.size(), 1u);
+  EXPECT_EQ(ok.events[0].kind, workload::EventKind::kBlastFail);
+}
+
+TEST(TraceMalformed, EmptyPowerGroupIsRejected) {
+  // A power domain that feeds nothing cannot exist: both member arrays
+  // empty means a truncated writer, not a degenerate-but-valid event.
+  const auto e = must_fail(
+      header() +
+      "{\"t\":1,\"ev\":\"power-recover\",\"element\":0,\"hosts\":[],"
+      "\"links\":[]}");
+  EXPECT_EQ(e.line, 2u);
+  EXPECT_TRUE(contains(e.message, "empty correlated group")) << e.message;
+  // One-sided groups are fine — a leaf domain may feed only hosts.
+  const auto ok = io::read_trace_or_throw(
+      header() +
+      "{\"t\":1,\"ev\":\"power-fail\",\"element\":0,\"hosts\":[0,1],"
+      "\"links\":[]}");
+  ASSERT_EQ(ok.events.size(), 1u);
+  EXPECT_EQ(ok.events[0].group_hosts.size(), 2u);
+}
+
 TEST(TraceMalformed, V3TraceWithoutTierOrReplicasStillParses) {
   // The v3-reader shim in reverse: a hand-written v3 header + plain arrive
   // line parses with standard tier and no replica spec.

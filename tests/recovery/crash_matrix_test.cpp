@@ -1,0 +1,187 @@
+// The crash-point matrix: kill the orchestrator at EVERY journal append
+// site of a seeded churn-plus-blast workload — torn partial frame
+// included — recover from the journal bytes alone, resume the feed, and
+// prove the finished run is byte-identical to the uninterrupted one.
+// This is the E18 invariant in unit-test form; bench_recovery measures
+// the same sweep's overhead and recovery-time bounds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "recovery/checkpoint.h"
+#include "recovery/journal.h"
+#include "recovery/recovery.h"
+#include "workload/crashes.h"
+#include "recovery/harness.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using orchestrator::Orchestrator;
+using recovery::RecoveredRun;
+
+struct Reference {
+  model::PhysicalCluster cluster;
+  workload::ChurnTrace trace;
+  std::uint64_t fingerprint = 0;
+  std::string final_state;
+  std::uint64_t total_records = 0;
+};
+
+Reference make_reference(std::uint64_t seed,
+                         std::uint64_t checkpoint_every) {
+  Reference ref;
+  ref.cluster = recovery_cluster();
+  ref.trace = recovery_trace(ref.cluster, seed);
+  std::string journal;
+  recovery::WalOptions wopts;
+  wopts.checkpoint_every_events = checkpoint_every;
+  Orchestrator orch(ref.cluster, ref.trace.profile, recovery_options());
+  recovery::WalManager wal(orch, journal, wopts);
+  for (const auto& ev : ref.trace.events) orch.handle(ev);
+  ref.fingerprint = orch.run_fingerprint();
+  ref.final_state = recovery::encode_state(orch.export_state());
+  ref.total_records = wal.next_seq();
+  return ref;
+}
+
+/// Crash at `point`, recover from the journal bytes, resume the feed from
+/// RecoveredRun::next_event_index, and return the finished orchestrator's
+/// (fingerprint, state) for comparison against the reference.
+struct CrashRunResult {
+  std::uint64_t fingerprint = 0;
+  std::string final_state;
+  bool crashed = false;
+  bool torn_tail = false;
+  bool used_checkpoint = false;
+};
+
+CrashRunResult run_with_crash(const Reference& ref,
+                              const workload::CrashPoint& point,
+                              std::uint64_t checkpoint_every) {
+  recovery::WalOptions wopts;
+  wopts.checkpoint_every_events = checkpoint_every;
+  std::string journal;
+  CrashRunResult out;
+  {
+    JournaledRun doomed(ref.cluster, ref.trace.profile, recovery_options(),
+                        journal, wopts);
+    doomed.wal->arm_crash(point);
+    const auto died_at = feed(*doomed.orch, ref.trace.events, 0);
+    out.crashed = died_at.has_value();
+    // The bundle goes out of scope here: process death.  Only `journal`
+    // survives.
+  }
+  if (!out.crashed) {
+    // The armed seq was never reached (it indexed a record the run does
+    // not produce); the uninterrupted result stands.
+    const recovery::JournalParse parse = recovery::parse_journal(journal);
+    EXPECT_FALSE(parse.torn_tail);
+  }
+
+  // Recovery: a fresh "process" with the same static configuration.
+  Orchestrator orch(ref.cluster, ref.trace.profile, recovery_options());
+  const RecoveredRun rec = recovery::recover(orch, journal);
+  out.torn_tail = rec.torn_tail;
+  out.used_checkpoint = rec.used_checkpoint;
+  journal.resize(rec.valid_bytes);
+
+  // Resume feeding from the *recovered* index, not a harness-side counter:
+  // a crash during a checkpoint append leaves a fully journaled group for
+  // an event the feeder never got credit for.
+  recovery::WalManager wal(orch, journal, wopts, rec.next_seq);
+  EXPECT_FALSE(feed(orch, ref.trace.events, rec.next_event_index)
+                   .has_value());
+  out.fingerprint = orch.run_fingerprint();
+  out.final_state = recovery::encode_state(orch.export_state());
+  return out;
+}
+
+TEST(CrashMatrixTest, EveryInjectionSiteRecoversByteIdentical) {
+  const std::uint64_t kCheckpointEvery = 8;
+  const Reference ref = make_reference(0xE18C0DEu, kCheckpointEvery);
+  ASSERT_GT(ref.trace.events.size(), 40u);
+  ASSERT_GT(ref.total_records, ref.trace.events.size() * 2);
+
+  std::size_t torn = 0, checkpointed = 0;
+  for (std::uint64_t seq = 0; seq < ref.total_records; ++seq) {
+    workload::CrashPoint point;
+    point.record_seq = seq;
+    // Deterministic torn-byte variety across the sweep: full torn range
+    // gets hit because the modulus differs per frame.
+    point.torn_seed = seq * 2654435761ull + 0x9E3779B9ull;
+    const CrashRunResult res =
+        run_with_crash(ref, point, kCheckpointEvery);
+    EXPECT_TRUE(res.crashed) << "seq " << seq << " never fired";
+    EXPECT_EQ(res.fingerprint, ref.fingerprint) << "crash at seq " << seq;
+    EXPECT_EQ(res.final_state, ref.final_state) << "crash at seq " << seq;
+    torn += res.torn_tail;
+    checkpointed += res.used_checkpoint;
+  }
+  // The sweep must actually exercise both torn tails and checkpointed
+  // recoveries, or the matrix proves less than it claims.
+  EXPECT_GT(torn, 0u);
+  EXPECT_GT(checkpointed, 0u);
+}
+
+TEST(CrashMatrixTest, ScheduledCrashPointsAreDeterministicAndCovered) {
+  // The chaos driver's schedule generator: deterministic in all arguments,
+  // sorted by sequence, bounded by max_seq.
+  const auto a = workload::generate_crash_schedule(7, 32, 1000);
+  const auto b = workload::generate_crash_schedule(7, 32, 1000);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 32u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LT(a[i].record_seq, 1000u);
+    if (i > 0) {
+      EXPECT_GE(a[i].record_seq, a[i - 1].record_seq);
+    }
+  }
+  EXPECT_NE(workload::generate_crash_schedule(8, 32, 1000), a);
+  EXPECT_TRUE(workload::generate_crash_schedule(7, 0, 1000).empty());
+  EXPECT_TRUE(workload::generate_crash_schedule(7, 32, 0).empty());
+}
+
+TEST(CrashMatrixTest, DoubleCrashSurvivesRepeatedRecovery) {
+  // Crash, recover, crash again while re-feeding, recover again: the
+  // journal absorbs any number of deaths.
+  const std::uint64_t kCheckpointEvery = 8;
+  const Reference ref = make_reference(0xD0D0u, kCheckpointEvery);
+  recovery::WalOptions wopts;
+  wopts.checkpoint_every_events = kCheckpointEvery;
+
+  std::string journal;
+  {
+    JournaledRun first(ref.cluster, ref.trace.profile, recovery_options(),
+                       journal, wopts);
+    first.wal->arm_crash({ref.total_records / 3, 11});
+    ASSERT_TRUE(feed(*first.orch, ref.trace.events, 0).has_value());
+  }
+  std::uint64_t second_crash_events = 0;
+  {
+    Orchestrator orch(ref.cluster, ref.trace.profile, recovery_options());
+    const RecoveredRun rec = recovery::recover(orch, journal);
+    journal.resize(rec.valid_bytes);
+    recovery::WalManager wal(orch, journal, wopts, rec.next_seq);
+    wal.arm_crash({rec.next_seq + (ref.total_records - rec.next_seq) / 2,
+                   /*torn_seed=*/17});
+    ASSERT_TRUE(
+        feed(orch, ref.trace.events, rec.next_event_index).has_value());
+    second_crash_events = orch.events_handled();
+  }
+  {
+    Orchestrator orch(ref.cluster, ref.trace.profile, recovery_options());
+    const RecoveredRun rec = recovery::recover(orch, journal);
+    journal.resize(rec.valid_bytes);
+    EXPECT_GT(second_crash_events, 0u);
+    recovery::WalManager wal(orch, journal, wopts, rec.next_seq);
+    ASSERT_FALSE(
+        feed(orch, ref.trace.events, rec.next_event_index).has_value());
+    EXPECT_EQ(orch.run_fingerprint(), ref.fingerprint);
+    EXPECT_EQ(recovery::encode_state(orch.export_state()), ref.final_state);
+  }
+}
+
+}  // namespace

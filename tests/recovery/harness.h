@@ -1,0 +1,111 @@
+// Shared chaos-harness plumbing for the recovery tests: a seeded
+// churn-plus-blast workload, a journaled orchestrator bundle whose
+// lifetime models a process ("crashing" destroys the objects, only the
+// journal bytes survive), and the resume-from-journal procedure the crash
+// matrix drives at every injection site.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orchestrator/orchestrator.h"
+#include "recovery/checkpoint.h"
+#include "recovery/journal.h"
+#include "recovery/recovery.h"
+#include "topology/topologies.h"
+#include "workload/churn.h"
+#include "workload/scenario.h"
+
+namespace hmn::test {
+
+/// A small racked fabric: correlated blast failures need switches to kill.
+inline model::PhysicalCluster recovery_cluster() {
+  return model::PhysicalCluster::build(
+      topology::switch_tree(8, 4, 2),
+      std::vector<model::HostCapacity>(8, {1000, 4096, 4096}),
+      model::LinkProps{1000.0, 5.0});
+}
+
+/// Churn layered with correlated blast failures — every decision path the
+/// journal must cover (admission, queueing, growth, departure + backfill,
+/// blast healing, defrag) fires in ~a hundred events.
+inline workload::ChurnTrace recovery_trace(
+    const model::PhysicalCluster& cluster, std::uint64_t seed) {
+  workload::ChurnOptions copts;
+  copts.arrival_rate = 0.6;
+  copts.horizon = 30.0;
+  copts.mean_lifetime = 10.0;
+  copts.min_guests = 2;
+  copts.max_guests = 6;
+  copts.density = 0.3;
+  copts.grow_probability = 0.2;
+  copts.profile = workload::high_level_profile();
+  copts.profile.mem_mb = {512.0, 1280.0};
+  workload::ChurnTrace trace = workload::generate_churn(copts, seed);
+
+  workload::FailureOptions fopts;
+  fopts.horizon = copts.horizon;
+  fopts.host_mttf = 60.0;
+  fopts.host_mttr = 4.0;
+  fopts.blast_mttf = 18.0;
+  fopts.blast_mttr = 4.0;
+  workload::merge_events(
+      trace, workload::generate_failures(fopts, cluster, seed ^ 0xb1a57));
+  return trace;
+}
+
+/// Orchestrator options for the harness runs: a bounded queue with retries
+/// and a preemption budget, so the queue-side txn kinds appear too.
+inline orchestrator::OrchestratorOptions recovery_options() {
+  orchestrator::OrchestratorOptions opts;
+  opts.retry_max_attempts = 4;
+  opts.retry_max_passovers = 3;
+  opts.queue_policy = orchestrator::QueuePolicy::kSmallestFirst;
+  return opts;
+}
+
+/// One "process": an orchestrator journaling into a caller-owned buffer.
+/// Destroying the bundle is the crash — only the journal bytes survive it.
+struct JournaledRun {
+  std::unique_ptr<orchestrator::Orchestrator> orch;
+  std::unique_ptr<recovery::WalManager> wal;
+
+  JournaledRun(const model::PhysicalCluster& cluster,
+               const workload::GuestProfile& profile,
+               const orchestrator::OrchestratorOptions& opts,
+               std::string& journal, recovery::WalOptions wal_opts,
+               std::uint64_t start_seq = 0)
+      : orch(std::make_unique<orchestrator::Orchestrator>(cluster, profile,
+                                                          opts)),
+        wal(std::make_unique<recovery::WalManager>(*orch, journal, wal_opts,
+                                                   start_seq)) {}
+
+  ~JournaledRun() { crash(); }
+
+  /// Process death: the WAL detaches first (it observes the orchestrator),
+  /// then the orchestrator's in-memory state is discarded.
+  void crash() {
+    wal.reset();
+    orch.reset();
+  }
+};
+
+/// Feeds events [first, end) into a journaled run.  Returns the index of
+/// the event whose handling threw CrashError, or nullopt when the feed
+/// completed.  Any other exception propagates.
+inline std::optional<std::size_t> feed(
+    orchestrator::Orchestrator& orch,
+    const std::vector<workload::TenantEvent>& events, std::size_t first) {
+  for (std::size_t i = first; i < events.size(); ++i) {
+    try {
+      orch.handle(events[i]);
+    } catch (const recovery::CrashError&) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hmn::test

@@ -1,0 +1,227 @@
+// recover(): checkpoint restore + journal-tail replay, with every failure
+// mode loud — replay divergence, event-index gaps, orphaned END markers,
+// mid-stream corruption — and every crash artifact (torn tail, truncated
+// journal) absorbed exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "recovery/checkpoint.h"
+#include "recovery/journal.h"
+#include "recovery/recovery.h"
+#include "recovery/harness.h"
+
+namespace {
+
+using namespace hmn;
+using namespace hmn::test;
+using orchestrator::Orchestrator;
+using recovery::RecoveredRun;
+using recovery::RecoveryError;
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+struct Baseline {
+  std::string journal;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t events = 0;
+  std::string final_state;  // encode_state of the finished run
+};
+
+Baseline run_uninterrupted(std::uint64_t checkpoint_every,
+                           std::uint64_t seed = 0x5EEDu) {
+  const auto cluster = recovery_cluster();
+  const auto trace = recovery_trace(cluster, seed);
+  Baseline base;
+  recovery::WalOptions wopts;
+  wopts.checkpoint_every_events = checkpoint_every;
+  Orchestrator orch(cluster, trace.profile, recovery_options());
+  recovery::WalManager wal(orch, base.journal, wopts);
+  for (const auto& ev : trace.events) orch.handle(ev);
+  base.fingerprint = orch.run_fingerprint();
+  base.events = orch.events_handled();
+  base.final_state = recovery::encode_state(orch.export_state());
+  return base;
+}
+
+TEST(RecoveryTest, FullReplayWithoutCheckpointsRebuildsTheRun) {
+  const Baseline base = run_uninterrupted(/*checkpoint_every=*/0);
+  const auto cluster = recovery_cluster();
+  const auto trace = recovery_trace(cluster, 0x5EEDu);
+
+  Orchestrator orch(cluster, trace.profile, recovery_options());
+  const RecoveredRun rec = recovery::recover(orch, base.journal);
+  EXPECT_FALSE(rec.used_checkpoint);
+  EXPECT_FALSE(rec.torn_tail);
+  EXPECT_EQ(rec.replayed_events, base.events);
+  EXPECT_EQ(rec.next_event_index, base.events);
+  EXPECT_EQ(orch.run_fingerprint(), base.fingerprint);
+  EXPECT_EQ(recovery::encode_state(orch.export_state()), base.final_state);
+}
+
+TEST(RecoveryTest, CheckpointBoundsReplayToTheTail) {
+  const Baseline base = run_uninterrupted(/*checkpoint_every=*/8);
+  const auto cluster = recovery_cluster();
+  const auto trace = recovery_trace(cluster, 0x5EEDu);
+
+  Orchestrator orch(cluster, trace.profile, recovery_options());
+  const RecoveredRun rec = recovery::recover(orch, base.journal);
+  EXPECT_TRUE(rec.used_checkpoint);
+  // The newest checkpoint covers the largest multiple of 8 <= events.
+  EXPECT_EQ(rec.checkpoint_event_index, (base.events / 8) * 8);
+  EXPECT_EQ(rec.replayed_events, base.events - rec.checkpoint_event_index);
+  EXPECT_EQ(orch.run_fingerprint(), base.fingerprint);
+  EXPECT_EQ(recovery::encode_state(orch.export_state()), base.final_state);
+}
+
+TEST(RecoveryTest, TruncatedJournalRecoversThePrefix) {
+  const Baseline base = run_uninterrupted(/*checkpoint_every=*/8);
+  const auto cluster = recovery_cluster();
+  const auto trace = recovery_trace(cluster, 0x5EEDu);
+
+  // Cut the journal at an arbitrary byte (mid-frame): the torn tail is
+  // dropped and recovery lands on the last complete group before the cut.
+  const std::string cut = base.journal.substr(0, base.journal.size() / 2);
+  Orchestrator orch(cluster, trace.profile, recovery_options());
+  const RecoveredRun rec = recovery::recover(orch, cut);
+  EXPECT_LE(rec.valid_bytes, cut.size());
+  EXPECT_LT(rec.next_event_index, base.events);
+  EXPECT_EQ(orch.events_handled(), rec.next_event_index);
+
+  // Resuming the feed from next_event_index reconverges on the baseline.
+  std::string journal(cut.substr(0, rec.valid_bytes));
+  recovery::WalOptions wopts;
+  wopts.checkpoint_every_events = 8;
+  recovery::WalManager wal(orch, journal, wopts, rec.next_seq);
+  ASSERT_FALSE(feed(orch, trace.events, rec.next_event_index).has_value());
+  EXPECT_EQ(orch.run_fingerprint(), base.fingerprint);
+  EXPECT_EQ(recovery::encode_state(orch.export_state()), base.final_state);
+}
+
+TEST(RecoveryTest, MidStreamBitFlipIsALoudCanary) {
+  const Baseline base = run_uninterrupted(/*checkpoint_every=*/8);
+  const auto cluster = recovery_cluster();
+  const auto trace = recovery_trace(cluster, 0x5EEDu);
+
+  // Flip one bit in the middle of the journal: recovery must refuse with
+  // the byte offset, never silently truncate to the prefix.
+  std::string corrupt = base.journal;
+  corrupt[corrupt.size() / 2] ^= 0x10;
+  Orchestrator orch(cluster, trace.profile, recovery_options());
+  try {
+    (void)recovery::recover(orch, corrupt);
+    FAIL() << "expected RecoveryError";
+  } catch (const RecoveryError& e) {
+    EXPECT_TRUE(contains(e.what(), "byte offset")) << e.what();
+  }
+}
+
+TEST(RecoveryTest, ReplayDivergenceIsRefused) {
+  const auto cluster = recovery_cluster();
+  const auto trace = recovery_trace(cluster, 0x5EEDu);
+
+  // Journal a run, then doctor one EVENT_BEGIN's embedded event (different
+  // seed => different admission decision downstream).  Re-framing keeps the
+  // CRCs valid, so only the fingerprint check can catch it.
+  std::string journal;
+  {
+    Orchestrator orch(cluster, trace.profile, recovery_options());
+    recovery::WalOptions wopts;
+    wopts.checkpoint_every_events = 0;  // full replay must see the doctoring
+    recovery::WalManager wal(orch, journal, wopts);
+    for (const auto& ev : trace.events) orch.handle(ev);
+  }
+  const recovery::JournalParse parse = recovery::parse_journal(journal);
+  std::string doctored;
+  recovery::JournalWriter w(doctored);
+  for (const recovery::JournalRecord& rec : parse.records) {
+    switch (rec.type) {
+      case recovery::RecordType::kEventBegin: {
+        workload::TenantEvent ev = rec.event;
+        if (ev.kind == workload::EventKind::kArrive) ev.seed ^= 0xBAD;
+        w.event_begin(rec.event_index, ev);
+        break;
+      }
+      case recovery::RecordType::kTxn:
+        w.txn(rec.txn);
+        break;
+      case recovery::RecordType::kEventEnd:
+        w.event_end(rec.event_index, rec.time, rec.fingerprint);
+        break;
+      case recovery::RecordType::kCheckpoint:
+        w.checkpoint(rec.event_index, rec.fingerprint, rec.checkpoint);
+        break;
+    }
+  }
+
+  Orchestrator orch(cluster, trace.profile, recovery_options());
+  try {
+    (void)recovery::recover(orch, doctored);
+    FAIL() << "expected RecoveryError";
+  } catch (const RecoveryError& e) {
+    EXPECT_TRUE(contains(e.what(), "replay diverged")) << e.what();
+  }
+}
+
+TEST(RecoveryTest, OrphanedEndAndIndexGapAreRefused) {
+  // END without BEGIN.
+  {
+    std::string journal;
+    recovery::JournalWriter w(journal);
+    w.event_end(0, 1.0, 7);
+    Orchestrator orch(recovery_cluster(), workload::high_level_profile());
+    try {
+      (void)recovery::recover(orch, journal);
+      FAIL() << "expected RecoveryError";
+    } catch (const RecoveryError& e) {
+      EXPECT_TRUE(contains(e.what(), "without its EVENT_BEGIN")) << e.what();
+    }
+  }
+  // A group numbered past the recovered state (journal gap).
+  {
+    std::string journal;
+    recovery::JournalWriter w(journal);
+    workload::TenantEvent ev;
+    ev.time = 1.0;
+    ev.kind = workload::EventKind::kDepart;
+    ev.tenant = 3;
+    w.event_begin(5, ev);
+    w.event_end(5, 1.0, 7);
+    Orchestrator orch(recovery_cluster(), workload::high_level_profile());
+    try {
+      (void)recovery::recover(orch, journal);
+      FAIL() << "expected RecoveryError";
+    } catch (const RecoveryError& e) {
+      EXPECT_TRUE(contains(e.what(), "does not follow the recovered state"))
+          << e.what();
+    }
+  }
+}
+
+TEST(RecoveryTest, TrailingOpenGroupIsDroppedAsCrashArtifact) {
+  const auto cluster = recovery_cluster();
+  const auto trace = recovery_trace(cluster, 0x5EEDu);
+  std::string journal;
+  std::uint64_t fingerprint_before_last = 0;
+  {
+    Orchestrator orch(cluster, trace.profile, recovery_options());
+    recovery::WalManager wal(orch, journal, {});
+    for (std::size_t i = 0; i + 1 < trace.events.size(); ++i) {
+      orch.handle(trace.events[i]);
+    }
+    fingerprint_before_last = orch.run_fingerprint();
+    // Journal the last event's BEGIN by hand, no END: the crash window.
+    recovery::JournalWriter tail(journal, wal.next_seq());
+    tail.event_begin(orch.events_handled(), trace.events.back());
+  }
+
+  Orchestrator orch(cluster, trace.profile, recovery_options());
+  const RecoveredRun rec = recovery::recover(orch, journal);
+  EXPECT_EQ(rec.next_event_index, trace.events.size() - 1);
+  EXPECT_EQ(orch.run_fingerprint(), fingerprint_before_last);
+}
+
+}  // namespace

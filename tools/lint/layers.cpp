@@ -18,7 +18,7 @@ struct ModuleLayer {
 
 /// The declared layer map (DESIGN.md §6a).  Order within a layer is
 /// cosmetic; the DOT rendering groups by layer.
-constexpr std::array<ModuleLayer, 15> kLayers = {{
+constexpr std::array<ModuleLayer, 16> kLayers = {{
     {"util", 0},
     {"graph", 0},
     {"model", 1},
@@ -31,6 +31,7 @@ constexpr std::array<ModuleLayer, 15> kLayers = {{
     {"extensions", 2},
     {"baselines", 2},
     {"orchestrator", 3},
+    {"recovery", 3},
     {"emulator", 3},
     {"expfw", 3},
     {"sim", 3},

@@ -998,7 +998,7 @@ FileContext classify_path(std::string_view path) {
     const std::string_view seg = path.substr(start, slash - start);
     if (seg == "orchestrator" || seg == "core" || seg == "workload" ||
         seg == "topology" || seg == "availability" || seg == "multilevel" ||
-        seg == "extensions") {
+        seg == "extensions" || seg == "recovery") {
       ctx.is_decision_module = true;
     }
     if (seg == "util") ctx.is_util_module = true;
